@@ -1,0 +1,75 @@
+// Table 1 reproduction: ResNet-50 training on the simulated TPU,
+// examples/second for batch sizes 1..32, TFE (per-op execution) vs.
+// TFE + function (whole-function compilation).
+//
+// Eager TPU execution pays a per-op-signature compile cost (cached) plus a
+// large per-op dispatch cost; a staged function compiles once and executes
+// fused (paper §4.4). Steady state is measured: caches are warmed before
+// each window, as the paper excludes one-time build costs.
+//
+//   build/bench/bench_resnet_tpu
+#include "bench/bench_util.h"
+#include "models/resnet.h"
+
+using tfe::Tensor;
+namespace ops = tfe::ops;
+namespace bench = tfe::bench;
+
+int main() {
+  tfe::EagerContext::Options options;
+  options.accelerators_execute_kernels = false;
+  options.host_profile = tfe::HostProfile::Python();
+  tfe::EagerContext::ResetGlobal(options);
+
+  std::printf("ResNet-50 training on simulated TPU (Table 1)\n");
+  std::printf("protocol: %d iterations averaged over %d runs, virtual time, "
+              "compile caches warm\n",
+              bench::kIterations, bench::kRuns);
+
+  const std::vector<int64_t> batches = {1, 2, 4, 8, 16, 32};
+  tfe::DeviceScope tpu("/tpu:0");
+  auto model = std::make_shared<tfe::models::ResNet50>();
+
+  bench::Series tfe_series{"TFE", {}};
+  bench::Series staged_series{"TFE with function", {}};
+
+  for (int64_t batch : batches) {
+    Tensor images = ops::random_normal({batch, 224, 224, 3});
+    Tensor labels = ops::cast(
+        ops::argmax(ops::random_normal({batch, 1000}), 1), tfe::DType::kInt64);
+    const double examples = static_cast<double>(batch) * bench::kIterations;
+
+    auto eager_step = [&] { model->TrainStep(images, labels, 1e-4); };
+    eager_step();  // warm per-op compile cache
+    tfe_series.examples_per_second.push_back(
+        examples / bench::MeasureVirtualSeconds(eager_step));
+
+    tfe::Function staged = tfe::function(
+        [&model](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+          return {model->TrainStep(args[0], args[1], 1e-4)};
+        },
+        "resnet_tpu_step");
+    auto staged_step = [&] { staged({images, labels}); };
+    staged_step();  // trace + whole-function compile (one-time, excluded)
+    staged_series.examples_per_second.push_back(
+        examples / bench::MeasureVirtualSeconds(staged_step));
+    std::printf("  batch %2lld done\n", static_cast<long long>(batch));
+  }
+
+  std::printf("\nExamples/second training ResNet-50 on a TPU (Table 1)\n");
+  std::printf("%-22s", "batch size");
+  for (int64_t b : batches) std::printf("%9lld", static_cast<long long>(b));
+  std::printf("\n%-22s", "TensorFlow Eager");
+  for (double v : tfe_series.examples_per_second) std::printf("%9.2f", v);
+  std::printf("\n%-22s", "TFE with function");
+  for (double v : staged_series.examples_per_second) std::printf("%9.2f", v);
+  std::printf("\n\nspeedup from staging: ");
+  for (size_t i = 0; i < batches.size(); ++i) {
+    std::printf("%.1fx ", staged_series.examples_per_second[i] /
+                              tfe_series.examples_per_second[i]);
+  }
+  std::printf(
+      "\nExpected shape (paper): ~10-20x; eager scales ~linearly in batch\n"
+      "(per-op dispatch bound) while staged throughput saturates.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the trace cache (paper §4.6 "Polymorphism").
+//
+//   * cache hit    — signature computation + lookup + call (the steady
+//                    state; this is `function`'s per-invocation overhead),
+//   * retrace      — a cache miss: trace, optimize, register,
+//   * signature    — signature computation alone, for growing arg counts,
+//   * input-signature hit — explicit signature: one graph, many shapes.
+//
+//   build/bench/bench_trace_cache
+#include <benchmark/benchmark.h>
+
+#include "api/tfe.h"
+#include "staging/signature.h"
+
+namespace {
+
+using tfe::Tensor;
+namespace ops = tfe::ops;
+
+std::vector<Tensor> Body(const std::vector<Tensor>& args) {
+  return {ops::add(ops::mul(args[0], args[0]), args[0])};
+}
+
+void BM_CacheHit(benchmark::State& state) {
+  tfe::Function f = tfe::function(Body, "hit");
+  Tensor x = ops::random_normal({4, 4}, 0, 1, /*seed=*/1);
+  f({x});  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f({x})[0]);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissRetrace(benchmark::State& state) {
+  Tensor x = ops::random_normal({4, 4}, 0, 1, /*seed=*/2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tfe::Function f = tfe::function(Body, "miss");  // empty cache
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(f({x})[0]);
+  }
+}
+BENCHMARK(BM_CacheMissRetrace);
+
+void BM_SignatureComputation(benchmark::State& state) {
+  std::vector<Tensor> args;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    args.push_back(ops::random_normal({4, 4}, 0, 1, /*seed=*/i + 3));
+  }
+  tfe::AttrMap non_tensor;
+  non_tensor["training"] = tfe::AttrValue(true);
+  for (auto _ : state) {
+    auto key = tfe::ComputeSignature(args, non_tensor, "/gpu:0");
+    benchmark::DoNotOptimize(key->size());
+  }
+}
+BENCHMARK(BM_SignatureComputation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_InputSignatureHitAcrossShapes(benchmark::State& state) {
+  tfe::Function f = tfe::function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::reduce_sum(args[0], {1})};
+      },
+      "input_sig");
+  f.SetInputSignature({{tfe::DType::kFloat32,
+                        tfe::Shape({tfe::kUnknownDim, 4})}});
+  std::vector<Tensor> inputs;
+  for (int64_t rows = 1; rows <= 8; ++rows) {
+    inputs.push_back(ops::random_normal({rows, 4}, 0, 1, /*seed=*/rows));
+  }
+  f({inputs[0]});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f({inputs[i++ % inputs.size()]})[0]);
+  }
+  // Sanity: one trace despite 8 shapes.
+  if (f.num_traces() != 1) state.SkipWithError("unexpected retrace");
+}
+BENCHMARK(BM_InputSignatureHitAcrossShapes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

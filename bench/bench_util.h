@@ -1,0 +1,114 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Measurement protocol mirrors §6: "Each benchmark run was 10 iterations,
+// and an average of 3 runs was reported. For staged computations, build and
+// optimization times were not included" — we warm up (tracing + compile
+// caches) before each measured window and reset only the virtual timers.
+#ifndef TFE_BENCH_BENCH_UTIL_H_
+#define TFE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/tfe.h"
+
+namespace tfe {
+namespace bench {
+
+inline constexpr int kIterations = 10;
+inline constexpr int kRuns = 3;
+
+// Virtual seconds consumed by `iterations` calls of `step` (after `step`
+// has already been warmed up by the caller), averaged over kRuns.
+inline double MeasureVirtualSeconds(const std::function<void()>& step,
+                                    int iterations = kIterations) {
+  EagerContext* ctx = EagerContext::Global();
+  double total = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    ctx->ResetVirtualTime();
+    for (int i = 0; i < iterations; ++i) step();
+    total += static_cast<double>(ctx->SyncAllDevices()) / 1e9;
+  }
+  return total / kRuns;
+}
+
+// Wall-clock seconds for `iterations` calls of `step` (native-C++ series:
+// with a zero host profile, virtual time would not account for the real
+// eager dispatch path at all).
+inline double MeasureWallSeconds(const std::function<void()>& step,
+                                 int iterations = kIterations) {
+  double total = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) step();
+    total += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           begin)
+                 .count();
+  }
+  return total / kRuns;
+}
+
+// The classic-TF comparison series: same staged execution, but driven by a
+// thinner host binding (session.run has no per-call signature computation /
+// trace-cache machinery). DESIGN.md §2 and EXPERIMENTS.md document this
+// modelling choice.
+inline constexpr uint64_t kClassicTfSessionRunNs = 50'000;
+
+class ScopedHostProfile {
+ public:
+  explicit ScopedHostProfile(const HostProfile& profile)
+      : saved_(EagerContext::Global()->host_profile()) {
+    EagerContext::Global()->set_host_profile(profile);
+  }
+  ~ScopedHostProfile() { EagerContext::Global()->set_host_profile(saved_); }
+
+ private:
+  HostProfile saved_;
+};
+
+struct Series {
+  std::string name;
+  std::vector<double> examples_per_second;
+};
+
+inline void PrintTable(const std::string& title,
+                       const std::string& x_label,
+                       const std::vector<int64_t>& x_values,
+                       const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-18s", x_label.c_str());
+  for (int64_t x : x_values) std::printf("%10lld", static_cast<long long>(x));
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%-18s", s.name.c_str());
+    for (double v : s.examples_per_second) std::printf("%10.1f", v);
+    std::printf("\n");
+  }
+}
+
+inline void PrintImprovementOver(const std::string& title,
+                                 const Series& baseline,
+                                 const std::vector<int64_t>& x_values,
+                                 const std::vector<Series>& series) {
+  std::printf("\n%s (%% improvement over %s)\n", title.c_str(),
+              baseline.name.c_str());
+  for (const Series& s : series) {
+    if (s.name == baseline.name) continue;
+    std::printf("%-18s", s.name.c_str());
+    for (size_t i = 0; i < x_values.size(); ++i) {
+      double gain = 100.0 * (s.examples_per_second[i] /
+                                 baseline.examples_per_second[i] -
+                             1.0);
+      std::printf("%9.1f%%", gain);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace tfe
+
+#endif  // TFE_BENCH_BENCH_UTIL_H_

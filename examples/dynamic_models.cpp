@@ -1,0 +1,161 @@
+// Data-dependent models: the workloads the paper's introduction motivates
+// ("host-language integration greatly simplifies the implementation of
+// data-dependent models like ... recursive neural networks", §3).
+//
+// A recursive neural network (TreeRNN) over random binary parse trees:
+//   * the model is plain recursive host code over an arbitrary data
+//     structure — trivial to write imperatively, impossible to trace as a
+//     single static graph (every tree has a different shape);
+//   * the per-node composition cell IS trace-friendly, so we stage just
+//     that (the paper's refactor-into-staging-friendly-helpers advice,
+//     §4.7);
+//   * alternatively the whole recursion is embedded in a staged function
+//     via host_func, the py_func escape hatch.
+//
+//   build/examples/example_dynamic_models
+#include <cstdio>
+#include <memory>
+
+#include "api/tfe.h"
+#include "models/rnn.h"
+#include "support/random.h"
+
+using tfe::Tensor;
+namespace ops = tfe::ops;
+
+namespace {
+
+constexpr int64_t kDim = 16;
+
+struct TreeNode {
+  std::unique_ptr<TreeNode> left, right;
+  Tensor embedding;  // leaves only
+  bool is_leaf() const { return left == nullptr; }
+};
+
+std::unique_ptr<TreeNode> RandomTree(tfe::random::Philox& gen, int depth) {
+  auto node = std::make_unique<TreeNode>();
+  if (depth == 0 || gen.NextFloat() < 0.3f) {
+    node->embedding = ops::random_normal(
+        {1, kDim}, 0, 1, static_cast<int64_t>(gen.NextUint64() % 100000) + 1);
+    return node;
+  }
+  node->left = RandomTree(gen, depth - 1);
+  node->right = RandomTree(gen, depth - 1);
+  return node;
+}
+
+int CountLeaves(const TreeNode& node) {
+  if (node.is_leaf()) return 1;
+  return CountLeaves(*node.left) + CountLeaves(*node.right);
+}
+
+// The composition cell: combine(left, right) = tanh([l, r] W + b).
+struct TreeCell {
+  TreeCell()
+      : weights(ops::random_normal({2 * kDim, kDim}, 0, 0.3, 7), "tree/w"),
+        bias(ops::zeros(tfe::DType::kFloat32, {kDim}), "tree/b") {}
+  Tensor Combine(const Tensor& left, const Tensor& right) const {
+    Tensor joined = ops::concat({left, right}, 1);
+    return ops::tanh(
+        ops::add(ops::matmul(joined, weights.value()), bias.value()));
+  }
+  tfe::Variable weights;
+  tfe::Variable bias;
+};
+
+// 1. Fully imperative recursion: native control flow over host structures.
+Tensor EvalTree(const TreeCell& cell, const TreeNode& node) {
+  if (node.is_leaf()) return node.embedding;
+  return cell.Combine(EvalTree(cell, *node.left), EvalTree(cell, *node.right));
+}
+
+}  // namespace
+
+int main() {
+  tfe::random::Philox gen(2026, 7);
+  TreeCell cell;
+  auto tree = RandomTree(gen, 5);
+  std::printf("random tree with %d leaves\n", CountLeaves(*tree));
+
+  // --- imperative recursion, differentiable end to end ---------------------
+  Tensor root;
+  {
+    tfe::GradientTape tape;
+    root = EvalTree(cell, *tree);
+    Tensor loss = ops::reduce_sum(ops::square(root));
+    tape.StopRecording();
+    auto grads = tfe::gradient(tape, loss, {cell.weights, cell.bias});
+    std::printf("imperative TreeRNN: |root|^2 = %.4f, grad defined: %s\n",
+                loss.scalar<float>(),
+                grads[0].defined() && grads[1].defined() ? "yes" : "no");
+  }
+
+  // --- stage the hot cell only (the paper's recommended refactor) ----------
+  tfe::Function staged_cell = tfe::function(
+      [&cell](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {cell.Combine(args[0], args[1])};
+      },
+      "tree_cell");
+  std::function<Tensor(const TreeNode&)> eval_staged =
+      [&](const TreeNode& node) -> Tensor {
+    if (node.is_leaf()) return node.embedding;
+    return staged_cell(
+        {eval_staged(*node.left), eval_staged(*node.right)})[0];
+  };
+  Tensor staged_root = eval_staged(*tree);
+  std::printf("staged-cell TreeRNN matches imperative: %s (cell traced %d "
+              "time(s) for the whole tree)\n",
+              tfe::tensor_util::AllClose(root, staged_root, 1e-5, 1e-6)
+                  ? "yes"
+                  : "NO",
+              staged_cell.num_traces());
+
+  // --- or embed the whole recursion in a graph via host_func (§4.7) --------
+  tfe::Function whole_model = tfe::function(
+      [&cell, &tree](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        // Pre/post-processing is staged; the data-dependent recursion runs
+        // imperatively inside the graph.
+        Tensor scaled_input = ops::mul(args[0], args[0]);
+        std::vector<Tensor> rec = tfe::host_func(
+            "tree_recursion",
+            [&cell, &tree](const std::vector<Tensor>& ins)
+                -> tfe::StatusOr<std::vector<Tensor>> {
+              Tensor tree_out = EvalTree(cell, *tree);
+              return std::vector<Tensor>{
+                  ops::add(tree_out, ops::tile(ins[0], {1, kDim}))};
+            },
+            {scaled_input}, {{tfe::DType::kFloat32, tfe::Shape({1, kDim})}});
+        return {ops::reduce_sum(rec[0])};
+      },
+      "tree_with_host_func");
+  Tensor out = whole_model({ops::constant<float>({2.0f}, {1, 1})})[0];
+  std::printf("host_func-in-graph output: %.4f (= tree sum + 4 * %lld)\n",
+              out.scalar<float>(), static_cast<long long>(kDim));
+
+  // host_func graphs are not serializable — exactly the paper's caveat.
+  auto concrete =
+      whole_model.GetConcreteFunction({ops::constant<float>({2.0f}, {1, 1})});
+  std::printf("graph with host_func serializable: %s (expected: no)\n",
+              (*concrete)->IsSerializable() ? "yes" : "no");
+
+  // --- variable-length sequences: while_loop inside one trace --------------
+  // The other road for value-dependent control flow (paper §4.1): rewrite
+  // the loop with the staged while combinator. One trace, any length.
+  tfe::models::LSTMCell lstm(4, 8, /*seed=*/3);
+  Tensor sequences = ops::random_normal({2, 12, 4}, 0, 1, /*seed=*/5);
+  tfe::Function encode = tfe::function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {tfe::models::DynamicRnn(lstm, sequences, args[0])};
+      },
+      "encode_sequence");
+  for (double length : {3.0, 7.0, 12.0}) {
+    Tensor h =
+        encode({ops::fill(tfe::DType::kInt32, {}, length)})[0];
+    std::printf("dynamic LSTM over %2.0f steps -> |h| = %.4f (traces: %d)\n",
+                length,
+                ops::reduce_sum(ops::square(h)).scalar<float>(),
+                encode.num_traces());
+  }
+  return 0;
+}

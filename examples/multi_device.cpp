@@ -1,0 +1,114 @@
+// Devices (paper §4.4): listing, placement scopes, transparent copies,
+// staged functions as units of accelerator compilation, and virtual-time
+// introspection on the simulated accelerators.
+//
+//   build/examples/example_multi_device
+#include <cstdio>
+
+#include "api/tfe.h"
+
+using tfe::Tensor;
+namespace ops = tfe::ops;
+
+int main() {
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+
+  std::printf("== list_devices ==\n");
+  for (tfe::Device* device : tfe::list_devices()) {
+    std::printf("  %s%s\n", device->name().c_str(),
+                device->is_accelerator() ? "  (simulated)" : "");
+  }
+
+  // Listing 5: inputs on the CPU, op executed on the GPU.
+  Tensor a = ops::scalar<float>(1.0f);
+  Tensor b = ops::scalar<float>(2.0f);
+  Tensor c;
+  {
+    tfe::DeviceScope gpu("/gpu:0");
+    c = ops::add(a, b);
+  }
+  std::printf("\nadd on %s -> %.1f (inputs copied transparently: %llu "
+              "copies so far)\n",
+              c.device()->name().c_str(), c.scalar<float>(),
+              static_cast<unsigned long long>(
+                  ctx->stats().device_copies.load()));
+
+  // Placement follows inputs: ops on GPU-resident tensors stay on the GPU.
+  Tensor chained = ops::mul(c, c);
+  std::printf("follow-up op landed on %s\n",
+              chained.device()->name().c_str());
+
+  // Graph functions are a unit of compilation for accelerators (§4.4).
+  // Needs enough operations that per-op dispatch dominates the compiled
+  // function's fixed launch cost (the paper's "amortized over a large
+  // graph function").
+  constexpr int kLayers = 200;
+  tfe::Function layer = tfe::function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::matmul(args[0], args[0]);
+        for (int i = 0; i < kLayers; ++i) {
+          h = ops::tanh(ops::matmul(h, args[0]));
+        }
+        return {ops::reduce_sum(h)};
+      },
+      "tpu_layer");
+  Tensor x = ops::random_normal({32, 32}, 0, 0.05, /*seed=*/5);
+
+  // Warm the per-op compile cache first so both modes are measured in
+  // steady state ("build and optimization times were not included", §6).
+  auto eager_body = [&x]() {
+    tfe::DeviceScope tpu("/tpu:0");
+    Tensor h = ops::matmul(x, x);
+    for (int i = 0; i < kLayers; ++i) h = ops::tanh(ops::matmul(h, x));
+    return ops::reduce_sum(h);
+  };
+  eager_body();
+  ctx->ResetVirtualTime();
+  Tensor eager_result = eager_body();
+  uint64_t eager_ns = ctx->SyncAllDevices();
+
+  {
+    tfe::DeviceScope tpu("/tpu:0");
+    layer({x});  // compile once (one-time cost, excluded below)
+  }
+  ctx->ResetVirtualTime();
+  Tensor staged_result;
+  {
+    tfe::DeviceScope tpu("/tpu:0");
+    staged_result = layer({x})[0];
+  }
+  uint64_t staged_ns = ctx->SyncAllDevices();
+
+  std::printf("\n== simulated TPU (virtual time) ==\n");
+  std::printf("eager  per-op execution: %8.3f ms  (per-op compile+dispatch)\n",
+              eager_ns / 1e6);
+  std::printf("staged whole-function:   %8.3f ms  (compiled once, fused)\n",
+              staged_ns / 1e6);
+  std::printf("speedup: %.1fx — \"when amortized over a large graph "
+              "function, this overhead becomes negligible\" (§4.4)\n",
+              static_cast<double>(eager_ns) / staged_ns);
+  std::printf("results agree: %s\n",
+              tfe::tensor_util::AllClose(eager_result, staged_result, 1e-4,
+                                         1e-5)
+                  ? "yes"
+                  : "NO");
+
+  // Explicit per-node placement inside a function overrides the call-time
+  // device (§4.4).
+  tfe::Function mixed = tfe::function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor on_cpu;
+        {
+          tfe::DeviceScope cpu("/cpu:0");
+          on_cpu = ops::add(args[0], args[0]);
+        }
+        return {ops::mul(on_cpu, on_cpu)};
+      },
+      "mixed_placement");
+  tfe::DeviceScope gpu("/gpu:0");
+  Tensor mixed_out = mixed({ops::scalar<float>(3.0f)})[0];
+  std::printf("\nmixed-placement function -> %.1f (inner op pinned to CPU, "
+              "outer ran on %s)\n",
+              mixed_out.scalar<float>(), "/gpu:0");
+  return 0;
+}

@@ -1,0 +1,376 @@
+#include "api/ops_api.h"
+
+#include "runtime/dispatch.h"
+#include "staging/trace_context.h"
+
+namespace tfe {
+namespace ops {
+
+namespace {
+
+Tensor Run(OpCall call) {
+  auto result = DispatchSingle(std::move(call));
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+std::vector<Tensor> RunMulti(OpCall call) {
+  auto result = Dispatch(std::move(call));
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+Tensor Binary(const char* op, const Tensor& a, const Tensor& b) {
+  return Run({.op_name = op, .inputs = {a, b}});
+}
+
+Tensor Unary(const char* op, const Tensor& x) {
+  return Run({.op_name = op, .inputs = {x}});
+}
+
+Tensor Reduction(const char* op, const Tensor& x,
+                 const std::vector<int64_t>& axes, bool keep_dims) {
+  AttrMap attrs;
+  attrs["axis"] = AttrValue(axes);
+  attrs["keep_dims"] = AttrValue(keep_dims);
+  return Run({.op_name = op, .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+}  // namespace
+
+template <typename T>
+Tensor constant(const std::vector<T>& values, const Shape& shape) {
+  Tensor host = tensor_util::FromVector<T>(values, shape);
+  if (TraceContext* trace = TraceContext::Current(); trace != nullptr) {
+    auto result = trace->AddConstant(host);
+    result.status().ThrowIfError();
+    return std::move(result).value();
+  }
+  return host;
+}
+
+template Tensor constant<float>(const std::vector<float>&, const Shape&);
+template Tensor constant<double>(const std::vector<double>&, const Shape&);
+template Tensor constant<int32_t>(const std::vector<int32_t>&, const Shape&);
+template Tensor constant<int64_t>(const std::vector<int64_t>&, const Shape&);
+template Tensor constant<bool>(const std::vector<bool>&, const Shape&);
+
+Tensor zeros(DType dtype, const Shape& shape) { return fill(dtype, shape, 0); }
+Tensor ones(DType dtype, const Shape& shape) { return fill(dtype, shape, 1); }
+
+Tensor fill(DType dtype, const Shape& shape, double value) {
+  Tensor host = tensor_util::Full(dtype, shape, value);
+  if (TraceContext* trace = TraceContext::Current(); trace != nullptr) {
+    auto result = trace->AddConstant(host);
+    result.status().ThrowIfError();
+    return std::move(result).value();
+  }
+  return host;
+}
+
+namespace {
+Tensor Random(const char* op, const Shape& shape, double p0, double p1,
+              int64_t seed, DType dtype, const char* name0,
+              const char* name1) {
+  AttrMap attrs;
+  attrs["shape"] = AttrValue(shape);
+  attrs["dtype"] = AttrValue(dtype);
+  attrs["seed"] = AttrValue(seed);
+  attrs[name0] = AttrValue(p0);
+  attrs[name1] = AttrValue(p1);
+  return Run({.op_name = op, .attrs = std::move(attrs)});
+}
+}  // namespace
+
+Tensor random_normal(const Shape& shape, double mean, double stddev,
+                     int64_t seed, DType dtype) {
+  return Random("RandomNormal", shape, mean, stddev, seed, dtype, "mean",
+                "stddev");
+}
+
+Tensor random_uniform(const Shape& shape, double minval, double maxval,
+                      int64_t seed, DType dtype) {
+  return Random("RandomUniform", shape, minval, maxval, seed, dtype, "minval",
+                "maxval");
+}
+
+Tensor add(const Tensor& a, const Tensor& b) { return Binary("Add", a, b); }
+Tensor sub(const Tensor& a, const Tensor& b) { return Binary("Sub", a, b); }
+Tensor mul(const Tensor& a, const Tensor& b) { return Binary("Mul", a, b); }
+Tensor div(const Tensor& a, const Tensor& b) { return Binary("Div", a, b); }
+Tensor pow(const Tensor& a, const Tensor& b) { return Binary("Pow", a, b); }
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return Binary("Maximum", a, b);
+}
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return Binary("Minimum", a, b);
+}
+Tensor squared_difference(const Tensor& a, const Tensor& b) {
+  return Binary("SquaredDifference", a, b);
+}
+
+Tensor equal(const Tensor& a, const Tensor& b) { return Binary("Equal", a, b); }
+Tensor not_equal(const Tensor& a, const Tensor& b) {
+  return Binary("NotEqual", a, b);
+}
+Tensor less(const Tensor& a, const Tensor& b) { return Binary("Less", a, b); }
+Tensor less_equal(const Tensor& a, const Tensor& b) {
+  return Binary("LessEqual", a, b);
+}
+Tensor greater(const Tensor& a, const Tensor& b) {
+  return Binary("Greater", a, b);
+}
+Tensor greater_equal(const Tensor& a, const Tensor& b) {
+  return Binary("GreaterEqual", a, b);
+}
+
+Tensor neg(const Tensor& x) { return Unary("Neg", x); }
+Tensor abs(const Tensor& x) { return Unary("Abs", x); }
+Tensor exp(const Tensor& x) { return Unary("Exp", x); }
+Tensor log(const Tensor& x) { return Unary("Log", x); }
+Tensor sqrt(const Tensor& x) { return Unary("Sqrt", x); }
+Tensor rsqrt(const Tensor& x) { return Unary("Rsqrt", x); }
+Tensor square(const Tensor& x) { return Unary("Square", x); }
+Tensor tanh(const Tensor& x) { return Unary("Tanh", x); }
+Tensor sigmoid(const Tensor& x) { return Unary("Sigmoid", x); }
+Tensor relu(const Tensor& x) { return Unary("Relu", x); }
+Tensor sin(const Tensor& x) { return Unary("Sin", x); }
+Tensor cos(const Tensor& x) { return Unary("Cos", x); }
+Tensor sign(const Tensor& x) { return Unary("Sign", x); }
+Tensor reciprocal(const Tensor& x) { return Unary("Reciprocal", x); }
+Tensor floor(const Tensor& x) { return Unary("Floor", x); }
+
+Tensor select(const Tensor& cond, const Tensor& x, const Tensor& y) {
+  return Run({.op_name = "Select", .inputs = {cond, x, y}});
+}
+
+Tensor cast(const Tensor& x, DType dst) {
+  AttrMap attrs;
+  attrs["dst"] = AttrValue(dst);
+  return Run({.op_name = "Cast", .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+Tensor identity(const Tensor& x) { return Unary("Identity", x); }
+Tensor stop_gradient(const Tensor& x) { return Unary("StopGradient", x); }
+Tensor zeros_like(const Tensor& x) { return Unary("ZerosLike", x); }
+Tensor ones_like(const Tensor& x) { return Unary("OnesLike", x); }
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b) {
+  AttrMap attrs;
+  attrs["transpose_a"] = AttrValue(transpose_a);
+  attrs["transpose_b"] = AttrValue(transpose_b);
+  return Run({.op_name = "MatMul", .inputs = {a, b},
+              .attrs = std::move(attrs)});
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& filter,
+              const std::vector<int64_t>& strides,
+              const std::string& padding) {
+  AttrMap attrs;
+  attrs["strides"] = AttrValue(strides);
+  attrs["padding"] = AttrValue(padding);
+  return Run({.op_name = "Conv2D", .inputs = {x, filter},
+              .attrs = std::move(attrs)});
+}
+
+namespace {
+Tensor Pool(const char* op, const Tensor& x, const std::vector<int64_t>& ksize,
+            const std::vector<int64_t>& strides, const std::string& padding) {
+  AttrMap attrs;
+  attrs["ksize"] = AttrValue(ksize);
+  attrs["strides"] = AttrValue(strides);
+  attrs["padding"] = AttrValue(padding);
+  return Run({.op_name = op, .inputs = {x}, .attrs = std::move(attrs)});
+}
+}  // namespace
+
+Tensor max_pool(const Tensor& x, const std::vector<int64_t>& ksize,
+                const std::vector<int64_t>& strides,
+                const std::string& padding) {
+  return Pool("MaxPool", x, ksize, strides, padding);
+}
+
+Tensor avg_pool(const Tensor& x, const std::vector<int64_t>& ksize,
+                const std::vector<int64_t>& strides,
+                const std::string& padding) {
+  return Pool("AvgPool", x, ksize, strides, padding);
+}
+
+BatchNormResult fused_batch_norm(const Tensor& x, const Tensor& scale,
+                                 const Tensor& offset, const Tensor& mean,
+                                 const Tensor& variance, bool is_training,
+                                 double epsilon) {
+  AttrMap attrs;
+  attrs["is_training"] = AttrValue(is_training);
+  attrs["epsilon"] = AttrValue(epsilon);
+  std::vector<Tensor> outputs =
+      RunMulti({.op_name = "FusedBatchNorm",
+                .inputs = {x, scale, offset, mean, variance},
+                .attrs = std::move(attrs)});
+  return {outputs[0], outputs[1], outputs[2]};
+}
+
+Tensor softmax(const Tensor& logits) { return Unary("Softmax", logits); }
+Tensor log_softmax(const Tensor& logits) {
+  return Unary("LogSoftmax", logits);
+}
+
+Tensor sparse_softmax_cross_entropy_with_logits(const Tensor& logits,
+                                                const Tensor& labels) {
+  std::vector<Tensor> outputs =
+      RunMulti({.op_name = "SparseSoftmaxCrossEntropyWithLogits",
+                .inputs = {logits, labels}});
+  return outputs[0];
+}
+
+Tensor reduce_sum(const Tensor& x, const std::vector<int64_t>& axes,
+                  bool keep_dims) {
+  return Reduction("Sum", x, axes, keep_dims);
+}
+Tensor reduce_mean(const Tensor& x, const std::vector<int64_t>& axes,
+                   bool keep_dims) {
+  return Reduction("Mean", x, axes, keep_dims);
+}
+Tensor reduce_max(const Tensor& x, const std::vector<int64_t>& axes,
+                  bool keep_dims) {
+  return Reduction("Max", x, axes, keep_dims);
+}
+Tensor reduce_min(const Tensor& x, const std::vector<int64_t>& axes,
+                  bool keep_dims) {
+  return Reduction("Min", x, axes, keep_dims);
+}
+
+Tensor argmax(const Tensor& x, int64_t axis) {
+  AttrMap attrs;
+  attrs["axis"] = AttrValue(axis);
+  return Run({.op_name = "ArgMax", .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+Tensor reshape(const Tensor& x, const std::vector<int64_t>& shape) {
+  AttrMap attrs;
+  attrs["shape"] = AttrValue(shape);
+  return Run({.op_name = "Reshape", .inputs = {x},
+              .attrs = std::move(attrs)});
+}
+
+Tensor transpose(const Tensor& x, const std::vector<int64_t>& perm) {
+  AttrMap attrs;
+  attrs["perm"] = AttrValue(perm);
+  return Run({.op_name = "Transpose", .inputs = {x},
+              .attrs = std::move(attrs)});
+}
+
+Tensor concat(const std::vector<Tensor>& xs, int64_t axis) {
+  AttrMap attrs;
+  attrs["axis"] = AttrValue(axis);
+  return Run({.op_name = "Concat", .inputs = xs, .attrs = std::move(attrs)});
+}
+
+Tensor slice(const Tensor& x, const std::vector<int64_t>& begin,
+             const std::vector<int64_t>& size) {
+  AttrMap attrs;
+  attrs["begin"] = AttrValue(begin);
+  attrs["size"] = AttrValue(size);
+  return Run({.op_name = "Slice", .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+Tensor pad(const Tensor& x, const std::vector<int64_t>& paddings) {
+  AttrMap attrs;
+  attrs["paddings"] = AttrValue(paddings);
+  return Run({.op_name = "Pad", .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+Tensor tile(const Tensor& x, const std::vector<int64_t>& multiples) {
+  AttrMap attrs;
+  attrs["multiples"] = AttrValue(multiples);
+  return Run({.op_name = "Tile", .inputs = {x}, .attrs = std::move(attrs)});
+}
+
+Tensor expand_dims(const Tensor& x, int64_t axis) {
+  AttrMap attrs;
+  attrs["axis"] = AttrValue(axis);
+  return Run({.op_name = "ExpandDims", .inputs = {x},
+              .attrs = std::move(attrs)});
+}
+
+Tensor squeeze(const Tensor& x, const std::vector<int64_t>& axes) {
+  AttrMap attrs;
+  attrs["axis"] = AttrValue(axes);
+  return Run({.op_name = "Squeeze", .inputs = {x},
+              .attrs = std::move(attrs)});
+}
+
+Tensor gather(const Tensor& params, const Tensor& indices) {
+  return Run({.op_name = "Gather", .inputs = {params, indices}});
+}
+
+Tensor range(double start, double limit, double delta, DType dtype) {
+  AttrMap attrs;
+  attrs["start"] = AttrValue(start);
+  attrs["limit"] = AttrValue(limit);
+  attrs["delta"] = AttrValue(delta);
+  attrs["dtype"] = AttrValue(dtype);
+  return Run({.op_name = "Range", .attrs = std::move(attrs)});
+}
+
+Tensor stack(const std::vector<Tensor>& xs, int64_t axis) {
+  TFE_CHECK(!xs.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(xs.size());
+  for (const Tensor& x : xs) expanded.push_back(expand_dims(x, axis));
+  return concat(expanded, axis);
+}
+
+std::vector<Tensor> unstack(const Tensor& x, int64_t axis) {
+  if (axis < 0) axis += x.shape().rank();
+  TFE_CHECK_GE(axis, 0);
+  TFE_CHECK_LT(axis, x.shape().rank());
+  const int64_t count = x.shape().dim(static_cast<int>(axis));
+  std::vector<Tensor> pieces;
+  pieces.reserve(count);
+  std::vector<int64_t> begin(x.shape().rank(), 0);
+  std::vector<int64_t> size(x.shape().rank(), -1);
+  size[axis] = 1;
+  for (int64_t i = 0; i < count; ++i) {
+    begin[axis] = i;
+    pieces.push_back(squeeze(slice(x, begin, size), {axis}));
+  }
+  return pieces;
+}
+
+std::vector<Tensor> split(const Tensor& x, int64_t num, int64_t axis) {
+  if (axis < 0) axis += x.shape().rank();
+  TFE_CHECK_GE(axis, 0);
+  TFE_CHECK_LT(axis, x.shape().rank());
+  const int64_t extent = x.shape().dim(static_cast<int>(axis));
+  TFE_CHECK_GT(num, 0);
+  TFE_CHECK_EQ(extent % num, 0)
+      << "split axis extent " << extent << " not divisible by " << num;
+  const int64_t piece = extent / num;
+  std::vector<int64_t> begin(x.shape().rank(), 0);
+  std::vector<int64_t> size(x.shape().rank(), -1);
+  size[axis] = piece;
+  std::vector<Tensor> pieces;
+  pieces.reserve(num);
+  for (int64_t i = 0; i < num; ++i) {
+    begin[axis] = i * piece;
+    pieces.push_back(slice(x, begin, size));
+  }
+  return pieces;
+}
+
+Tensor one_hot(const Tensor& indices, int64_t depth, DType dtype,
+               double on_value, double off_value) {
+  // equal(indices[..., None], range(depth)) selected between on/off.
+  Tensor wide =
+      expand_dims(cast(indices, DType::kInt64), indices.shape().rank());
+  Tensor classes = range(0, static_cast<double>(depth), 1.0, DType::kInt64);
+  Tensor hits = cast(equal(wide, classes), dtype);
+  Tensor on = fill(dtype, {}, on_value);
+  Tensor off = fill(dtype, {}, off_value);
+  return add(mul(hits, sub(on, off)), off);
+}
+
+}  // namespace ops
+}  // namespace tfe

@@ -1,0 +1,166 @@
+// The public operation surface — the `tf.*` library-function analog.
+//
+// Every helper builds an OpCall and hands it to the multi-stage dispatcher,
+// so the same call executes immediately in eager mode and records a node
+// under tracing (paper §4.1: library functions "construct operations and
+// then immediately execute their kernels" imperatively, or stage them in a
+// graph-building context). Helpers throw tfe::RuntimeError on failure.
+#ifndef TFE_API_OPS_API_H_
+#define TFE_API_OPS_API_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_util.h"
+
+namespace tfe {
+namespace ops {
+
+// ---- construction -----------------------------------------------------------
+
+// Creates a constant. Eagerly: a host tensor; under tracing: a Const node
+// (so literals written inside staged code are embedded in the graph).
+template <typename T>
+Tensor constant(const std::vector<T>& values, const Shape& shape);
+template <typename T>
+Tensor scalar(T value) {
+  return constant<T>({value}, Shape());
+}
+
+Tensor zeros(DType dtype, const Shape& shape);
+Tensor ones(DType dtype, const Shape& shape);
+Tensor fill(DType dtype, const Shape& shape, double value);
+
+// Stateful when seed == 0, deterministic otherwise.
+Tensor random_normal(const Shape& shape, double mean = 0.0,
+                     double stddev = 1.0, int64_t seed = 0,
+                     DType dtype = DType::kFloat32);
+Tensor random_uniform(const Shape& shape, double minval = 0.0,
+                      double maxval = 1.0, int64_t seed = 0,
+                      DType dtype = DType::kFloat32);
+
+// ---- elementwise ------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor pow(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor minimum(const Tensor& a, const Tensor& b);
+Tensor squared_difference(const Tensor& a, const Tensor& b);
+
+Tensor equal(const Tensor& a, const Tensor& b);
+Tensor not_equal(const Tensor& a, const Tensor& b);
+Tensor less(const Tensor& a, const Tensor& b);
+Tensor less_equal(const Tensor& a, const Tensor& b);
+Tensor greater(const Tensor& a, const Tensor& b);
+Tensor greater_equal(const Tensor& a, const Tensor& b);
+
+Tensor neg(const Tensor& x);
+Tensor abs(const Tensor& x);
+Tensor exp(const Tensor& x);
+Tensor log(const Tensor& x);
+Tensor sqrt(const Tensor& x);
+Tensor rsqrt(const Tensor& x);
+Tensor square(const Tensor& x);
+Tensor tanh(const Tensor& x);
+Tensor sigmoid(const Tensor& x);
+Tensor relu(const Tensor& x);
+Tensor sin(const Tensor& x);
+Tensor cos(const Tensor& x);
+Tensor sign(const Tensor& x);
+Tensor reciprocal(const Tensor& x);
+Tensor floor(const Tensor& x);
+
+Tensor select(const Tensor& cond, const Tensor& x, const Tensor& y);
+Tensor cast(const Tensor& x, DType dst);
+Tensor identity(const Tensor& x);
+Tensor stop_gradient(const Tensor& x);
+Tensor zeros_like(const Tensor& x);
+Tensor ones_like(const Tensor& x);
+
+// ---- linear algebra / nn ----------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+Tensor conv2d(const Tensor& x, const Tensor& filter,
+              const std::vector<int64_t>& strides = {1, 1},
+              const std::string& padding = "SAME");
+Tensor max_pool(const Tensor& x, const std::vector<int64_t>& ksize,
+                const std::vector<int64_t>& strides,
+                const std::string& padding = "VALID");
+Tensor avg_pool(const Tensor& x, const std::vector<int64_t>& ksize,
+                const std::vector<int64_t>& strides,
+                const std::string& padding = "VALID");
+
+struct BatchNormResult {
+  Tensor y;
+  Tensor batch_mean;
+  Tensor batch_variance;
+};
+BatchNormResult fused_batch_norm(const Tensor& x, const Tensor& scale,
+                                 const Tensor& offset, const Tensor& mean,
+                                 const Tensor& variance,
+                                 bool is_training = true,
+                                 double epsilon = 1e-3);
+
+Tensor softmax(const Tensor& logits);
+Tensor log_softmax(const Tensor& logits);
+// Returns the per-example loss [batch]; the fused backprop output rides
+// along on the tape.
+Tensor sparse_softmax_cross_entropy_with_logits(const Tensor& logits,
+                                                const Tensor& labels);
+
+// ---- reductions / shape ------------------------------------------------------
+
+Tensor reduce_sum(const Tensor& x, const std::vector<int64_t>& axes = {},
+                  bool keep_dims = false);
+Tensor reduce_mean(const Tensor& x, const std::vector<int64_t>& axes = {},
+                   bool keep_dims = false);
+Tensor reduce_max(const Tensor& x, const std::vector<int64_t>& axes = {},
+                  bool keep_dims = false);
+Tensor reduce_min(const Tensor& x, const std::vector<int64_t>& axes = {},
+                  bool keep_dims = false);
+Tensor argmax(const Tensor& x, int64_t axis);
+
+Tensor reshape(const Tensor& x, const std::vector<int64_t>& shape);
+Tensor transpose(const Tensor& x, const std::vector<int64_t>& perm);
+Tensor concat(const std::vector<Tensor>& xs, int64_t axis);
+Tensor slice(const Tensor& x, const std::vector<int64_t>& begin,
+             const std::vector<int64_t>& size);
+Tensor pad(const Tensor& x, const std::vector<int64_t>& paddings);
+Tensor tile(const Tensor& x, const std::vector<int64_t>& multiples);
+Tensor expand_dims(const Tensor& x, int64_t axis);
+Tensor squeeze(const Tensor& x, const std::vector<int64_t>& axes = {});
+Tensor gather(const Tensor& params, const Tensor& indices);
+
+// [start, limit) stepping by delta.
+Tensor range(double start, double limit, double delta = 1.0,
+             DType dtype = DType::kInt64);
+// Stacks equal-shaped tensors along a new `axis` (composed from
+// expand_dims + concat, so it is differentiable for free).
+Tensor stack(const std::vector<Tensor>& xs, int64_t axis = 0);
+// Inverse of stack: splits along `axis` and squeezes it away.
+std::vector<Tensor> unstack(const Tensor& x, int64_t axis = 0);
+// Splits `x` into `num` equal parts along `axis`.
+std::vector<Tensor> split(const Tensor& x, int64_t num, int64_t axis);
+// indices [..] (integer) -> [..., depth] with on/off values.
+Tensor one_hot(const Tensor& indices, int64_t depth,
+               DType dtype = DType::kFloat32, double on_value = 1.0,
+               double off_value = 0.0);
+
+// ---- operator sugar ----------------------------------------------------------
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+inline Tensor operator-(const Tensor& x) { return neg(x); }
+
+}  // namespace ops
+}  // namespace tfe
+
+#endif  // TFE_API_OPS_API_H_

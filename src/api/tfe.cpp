@@ -1,0 +1,52 @@
+#include "api/tfe.h"
+
+#include "runtime/dispatch.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+std::vector<Device*> list_devices() {
+  return EagerContext::Global()->devices().ListDevices();
+}
+
+std::vector<Tensor> gradient(GradientTape& tape, const Tensor& target,
+                             const std::vector<Variable>& variables) {
+  std::vector<Tensor> sources;
+  sources.reserve(variables.size());
+  for (const Variable& variable : variables) {
+    TFE_CHECK(variable.defined());
+    sources.push_back(variable.handle());
+  }
+  auto result = tape.gradient(target, sources);
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+std::vector<Tensor> host_func(
+    const std::string& name,
+    std::function<StatusOr<std::vector<Tensor>>(const std::vector<Tensor>&)>
+        fn,
+    const std::vector<Tensor>& inputs,
+    const std::vector<TypeAndShape>& output_types) {
+  auto callback = std::make_shared<HostFunc>();
+  callback->name = name;
+  callback->fn = std::move(fn);
+  AttrMap attrs;
+  attrs["func"] = AttrValue(callback);
+  attrs["num_outputs"] = AttrValue(static_cast<int64_t>(output_types.size()));
+  for (size_t i = 0; i < output_types.size(); ++i) {
+    attrs[strings::StrCat("out_dtype_", i)] = AttrValue(output_types[i].dtype);
+    attrs[strings::StrCat("out_shape_", i)] = AttrValue(output_types[i].shape);
+  }
+  auto result = Dispatch({.op_name = "HostFunc", .inputs = inputs,
+                          .attrs = std::move(attrs)});
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+uint64_t SyncVirtualClock(EagerContext* ctx) {
+  if (ctx == nullptr) ctx = EagerContext::Global();
+  return ctx->SyncAllDevices();
+}
+
+}  // namespace tfe

@@ -1,0 +1,55 @@
+// tfe.h — the single public entry point of the library.
+//
+//   #include "api/tfe.h"
+//
+//   tfe::Tensor x = tfe::ops::constant<float>({2.0f, -2.0f}, {2, 1});
+//   tfe::GradientTape tape;
+//   ...
+//   auto f = tfe::function([](const std::vector<tfe::Tensor>& args) { ... });
+//
+// See README.md for a guided tour and examples/ for runnable programs.
+#ifndef TFE_API_TFE_H_
+#define TFE_API_TFE_H_
+
+#include "api/ops_api.h"
+#include "autodiff/tape.h"
+#include "data/dataset.h"
+#include "runtime/eager_context.h"
+#include "staging/control_flow.h"
+#include "staging/function.h"
+#include "staging/trace_context.h"
+#include "state/checkpoint.h"
+#include "state/hash_table.h"
+#include "state/variable.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_util.h"
+
+namespace tfe {
+
+// Devices the runtime is aware of (paper §4.4's `list_devices`).
+std::vector<Device*> list_devices();
+
+// d(target)/d(variables) convenience: resolves variables to their resource
+// handles. Throws on failure. Entries are undefined when `target` does not
+// depend on the corresponding variable.
+std::vector<Tensor> gradient(GradientTape& tape, const Tensor& target,
+                             const std::vector<Variable>& variables);
+
+// Embeds an imperative host callback as an operation (the py_func analog,
+// paper §4.7). Eagerly this just invokes `fn`; inside a trace it records a
+// HostFunc node whose outputs have the declared types.
+std::vector<Tensor> host_func(
+    const std::string& name,
+    std::function<StatusOr<std::vector<Tensor>>(const std::vector<Tensor>&)>
+        fn,
+    const std::vector<Tensor>& inputs,
+    const std::vector<TypeAndShape>& output_types);
+
+// Synchronizes virtual time with all devices and returns elapsed virtual
+// nanoseconds (benchmark harness helper).
+uint64_t SyncVirtualClock(EagerContext* ctx = nullptr);
+
+}  // namespace tfe
+
+#endif  // TFE_API_TFE_H_

@@ -1,0 +1,47 @@
+// Differentiating staged functions (paper §4.2).
+//
+// When a graph function is first called under a watching tape, we build a
+// *forward variant* that additionally returns every intermediate value the
+// backward pass could need, and — when the tape is queried — a *backward
+// graph function* produced by running reverse-mode AD over the forward
+// graph's structure. Both are ordinary graph functions executed by Call ops,
+// so "if a computation was staged in the forward pass, its corresponding
+// backward pass will also be staged", the backward pass is itself
+// differentiable (higher order), and there is "no meaningful change in the
+// amount of computation or memory needed in the backward pass by staging or
+// unstaging".
+#ifndef TFE_AUTODIFF_FUNCTION_GRAD_H_
+#define TFE_AUTODIFF_FUNCTION_GRAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph_function.h"
+#include "support/status.h"
+
+namespace tfe {
+
+class EagerContext;
+
+// Returns (building and registering on first use) the forward variant of
+// `function`: same graph, outputs extended with all intermediate node
+// outputs, named "<name>__fwd".
+StatusOr<std::shared_ptr<GraphFunction>> BuildForwardFunction(
+    EagerContext* ctx, const std::shared_ptr<GraphFunction>& function);
+
+struct BackwardFunction {
+  std::shared_ptr<GraphFunction> function;
+  // function's outputs correspond to gradients for these forward-arg
+  // positions (args without incoming gradients are omitted).
+  std::vector<int> grad_arg_indices;
+};
+
+// Returns (building on first use) the backward function for a forward
+// variant with `num_original_outputs` user-visible outputs.
+StatusOr<BackwardFunction> GetOrBuildBackwardFunction(
+    EagerContext* ctx, const std::shared_ptr<GraphFunction>& forward,
+    int num_original_outputs);
+
+}  // namespace tfe
+
+#endif  // TFE_AUTODIFF_FUNCTION_GRAD_H_

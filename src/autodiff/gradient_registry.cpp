@@ -1,0 +1,25 @@
+#include "autodiff/gradient_registry.h"
+
+namespace tfe {
+
+GradientRegistry* GradientRegistry::Global() {
+  static GradientRegistry* registry = new GradientRegistry();
+  return registry;
+}
+
+Status GradientRegistry::Register(const std::string& op_name, GradFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gradients_.emplace(op_name, std::move(fn));
+  if (!inserted) {
+    return AlreadyExists("Gradient already registered for " + op_name);
+  }
+  return Status::OK();
+}
+
+const GradFn* GradientRegistry::Find(const std::string& op_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gradients_.find(op_name);
+  return it == gradients_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tfe

@@ -1,0 +1,48 @@
+// Registry of per-op gradient functions.
+//
+// A gradient function receives the recorded forward entry and the gradients
+// flowing into its outputs, and returns gradients for each input (undefined
+// where no gradient flows). Gradient functions compute with primitive ops
+// through Dispatch(), so they run eagerly or staged depending on the ambient
+// context (paper §4.2).
+#ifndef TFE_AUTODIFF_GRADIENT_REGISTRY_H_
+#define TFE_AUTODIFF_GRADIENT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "support/status.h"
+
+namespace tfe {
+
+using GradFn = std::function<StatusOr<std::vector<Tensor>>(
+    const TapeEntry& entry, const std::vector<Tensor>& grad_outputs)>;
+
+class GradientRegistry {
+ public:
+  static GradientRegistry* Global();
+
+  Status Register(const std::string& op_name, GradFn fn);
+  // nullptr when no gradient is registered.
+  const GradFn* Find(const std::string& op_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, GradFn> gradients_;
+};
+
+// Registers every built-in gradient (autodiff/gradients.cpp +
+// autodiff/function_grad.cpp); invoked from EnsureOpsRegistered().
+void RegisterAllGradients();
+
+// Gradients for composite ops (Call, HostFunc) — autodiff/function_grad.cpp.
+// Called by RegisterAllGradients().
+void RegisterFunctionGradients();
+
+}  // namespace tfe
+
+#endif  // TFE_AUTODIFF_GRADIENT_REGISTRY_H_

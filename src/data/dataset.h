@@ -1,0 +1,116 @@
+// Input pipelines: datasets and iterators with serializable position
+// (paper §4.3: besides variables, checkpointable state includes "an
+// iterator over input data whose position in a dataset is serialized").
+//
+// A Dataset is an immutable description (tensor slices + shuffle / repeat /
+// batch transformations). An Iterator is a host object whose mutable state
+// — (epoch, offset) — lives in an int64 Variable, so it checkpoints and
+// restores through the ordinary graph-based state matching machinery and
+// resumes mid-epoch. Advancing the iterator is a stateful primitive
+// operation (IteratorNext), so input pipelines work inside staged
+// computations: each execution of the graph draws the next batch.
+#ifndef TFE_DATA_DATASET_H_
+#define TFE_DATA_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "state/object_graph.h"
+#include "state/variable.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+namespace data {
+
+class Dataset {
+ public:
+  // Elements are the rows (dim 0 slices) of each component; all components
+  // must share dim 0. Components must be concrete host tensors.
+  static Dataset FromTensors(std::vector<Tensor> components);
+
+  // Deterministic per-epoch shuffle: epoch e uses permutation
+  // philox(seed, e), so a restored iterator replays the identical stream.
+  Dataset Shuffle(uint64_t seed) const;
+
+  // Groups `batch_size` consecutive elements into one element with a
+  // leading batch dimension. Partial trailing batches are dropped
+  // (shapes stay static, as staging requires).
+  Dataset Batch(int64_t batch_size) const;
+
+  // Repeats for `count` epochs; -1 repeats forever.
+  Dataset Repeat(int64_t count = -1) const;
+
+  // Elements per epoch (after batching).
+  int64_t cardinality() const;
+  int num_components() const {
+    return static_cast<int>(components_.size());
+  }
+  // dtype/shape of component `i` of one element (with batch dim applied).
+  DType component_dtype(int i) const;
+  Shape element_shape(int i) const;
+
+  const std::vector<Tensor>& components() const { return components_; }
+  int64_t batch_size() const { return batch_size_; }
+  bool shuffled() const { return shuffle_; }
+  uint64_t shuffle_seed() const { return shuffle_seed_; }
+  int64_t repeat_count() const { return repeat_count_; }
+  int64_t num_rows() const;
+
+ private:
+  std::vector<Tensor> components_;
+  int64_t batch_size_ = 1;
+  bool shuffle_ = false;
+  uint64_t shuffle_seed_ = 0;
+  int64_t repeat_count_ = 1;
+};
+
+// The mutable iteration state, reachable from a resource tensor. Position
+// is an int64[2] Variable {epoch, offset}.
+class IteratorResource : public ResourceBase {
+ public:
+  IteratorResource(Dataset dataset, Variable position);
+
+  std::string TypeName() const override { return "Iterator"; }
+
+  const Dataset& dataset() const { return dataset_; }
+  const Variable& position() const { return position_; }
+
+  // Produces the next element and advances the position; OutOfRange at the
+  // end of the final epoch.
+  StatusOr<std::vector<Tensor>> Next();
+
+ private:
+  Dataset dataset_;
+  Variable position_;
+  std::mutex mu_;
+};
+
+// User-facing handle (checkpointable: tracks its position variable).
+class Iterator : public Checkpointable {
+ public:
+  Iterator() = default;
+  explicit Iterator(const Dataset& dataset);
+
+  bool defined() const { return resource_ != nullptr; }
+
+  // Dispatches the stateful IteratorNext op (usable inside traces). Throws
+  // tfe::RuntimeError with kOutOfRange at end of data.
+  std::vector<Tensor> Next() const;
+  // Status-returning variant for loop-until-exhausted driving.
+  StatusOr<std::vector<Tensor>> TryNext() const;
+
+  const Tensor& handle() const { return handle_; }
+
+ private:
+  std::shared_ptr<IteratorResource> resource_;
+  Tensor handle_;
+};
+
+// Registers the IteratorNext op + kernel (called by EnsureOpsRegistered).
+void RegisterDataOps();
+
+}  // namespace data
+}  // namespace tfe
+
+#endif  // TFE_DATA_DATASET_H_

@@ -1,0 +1,62 @@
+#include "device/device_manager.h"
+
+#include "support/strings.h"
+
+namespace tfe {
+
+StatusOr<Device*> DeviceManager::AddDevice(std::unique_ptr<Device> device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : devices_) {
+    if (existing->name() == device->name()) {
+      return AlreadyExists("Device already registered: " + device->name());
+    }
+  }
+  devices_.push_back(std::move(device));
+  return devices_.back().get();
+}
+
+StatusOr<Device*> DeviceManager::FindDevice(const std::string& name) const {
+  TFE_ASSIGN_OR_RETURN(DeviceNameParts parts, ParseDeviceName(name));
+  return FindDevice(parts);
+}
+
+StatusOr<Device*> DeviceManager::FindDevice(
+    const DeviceNameParts& parts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& device : devices_) {
+    if (device->name_parts() == parts) return device.get();
+  }
+  return NotFound("No device named " + parts.ToString());
+}
+
+std::vector<Device*> DeviceManager::ListDevices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Device*> result;
+  result.reserve(devices_.size());
+  for (const auto& device : devices_) result.push_back(device.get());
+  return result;
+}
+
+StatusOr<Device*> DeviceManager::FirstDeviceOfKind(DeviceKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& device : devices_) {
+    if (device->kind() == kind && device->name_parts().job == "localhost") {
+      return device.get();
+    }
+  }
+  return NotFound(strings::StrCat("No local device of kind ",
+                                  DeviceKindName(kind)));
+}
+
+Device* DeviceManager::HostCpu() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& device : devices_) {
+    if (device->kind() == DeviceKind::kCpu &&
+        device->name_parts().job == "localhost") {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tfe

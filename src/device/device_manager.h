@@ -1,0 +1,51 @@
+// Owns every device the runtime knows about and resolves device names.
+//
+// Paper §4.4: "During program startup, the runtime detects the devices that
+// are available to the machine"; §4.5: remote worker servers "add their
+// locally available devices to the pool of devices available to the main
+// program". Both paths land here.
+#ifndef TFE_DEVICE_DEVICE_MANAGER_H_
+#define TFE_DEVICE_DEVICE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "support/status.h"
+
+namespace tfe {
+
+class DeviceManager {
+ public:
+  DeviceManager() = default;
+
+  DeviceManager(const DeviceManager&) = delete;
+  DeviceManager& operator=(const DeviceManager&) = delete;
+
+  // Registers a device; fails if a device with the same canonical name
+  // already exists. Returns the stable pointer.
+  StatusOr<Device*> AddDevice(std::unique_ptr<Device> device);
+
+  // Looks up by any accepted name form ("/gpu:0", full canonical name, ...).
+  StatusOr<Device*> FindDevice(const std::string& name) const;
+  StatusOr<Device*> FindDevice(const DeviceNameParts& parts) const;
+
+  // All devices, in registration order (paper §4.4: `list_devices`).
+  std::vector<Device*> ListDevices() const;
+
+  // First local device of `kind`, or error.
+  StatusOr<Device*> FirstDeviceOfKind(DeviceKind kind) const;
+
+  // The host CPU device (always present after EagerContext construction).
+  Device* HostCpu() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DEVICE_DEVICE_MANAGER_H_

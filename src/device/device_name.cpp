@@ -1,0 +1,81 @@
+#include "device/device_name.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace tfe {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "CPU";
+    case DeviceKind::kGpu:
+      return "GPU";
+    case DeviceKind::kTpu:
+      return "TPU";
+  }
+  return "?";
+}
+
+StatusOr<DeviceKind> DeviceKindFromName(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+  if (upper == "CPU") return DeviceKind::kCpu;
+  if (upper == "GPU") return DeviceKind::kGpu;
+  if (upper == "TPU") return DeviceKind::kTpu;
+  return InvalidArgument("Unknown device kind: " + name);
+}
+
+std::string DeviceNameParts::ToString() const {
+  return strings::StrCat("/job:", job, "/task:", task,
+                         "/device:", DeviceKindName(kind), ":", index);
+}
+
+StatusOr<DeviceNameParts> ParseDeviceName(const std::string& name) {
+  if (name.empty()) return InvalidArgument("Empty device name");
+  DeviceNameParts parts;
+
+  // Strip a leading '/', then split on '/'.
+  std::string text = name[0] == '/' ? name.substr(1) : name;
+  for (const std::string& piece : strings::Split(text, '/')) {
+    if (piece.empty()) continue;
+    std::vector<std::string> fields = strings::Split(piece, ':');
+    const std::string& head = fields[0];
+    if (head == "job") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return InvalidArgument("Malformed job field in device name: " + name);
+      }
+      parts.job = fields[1];
+    } else if (head == "task") {
+      if (fields.size() != 2) {
+        return InvalidArgument("Malformed task field in device name: " + name);
+      }
+      int64_t task = strings::ParseNonNegativeInt(fields[1]);
+      if (task < 0) {
+        return InvalidArgument("Malformed task index in device name: " + name);
+      }
+      parts.task = static_cast<int>(task);
+    } else {
+      // "device:GPU:1", "GPU:1", "gpu", "device:CPU".
+      size_t kind_field = head == "device" ? 1 : 0;
+      if (fields.size() <= kind_field) {
+        return InvalidArgument("Malformed device field: " + name);
+      }
+      TFE_ASSIGN_OR_RETURN(parts.kind, DeviceKindFromName(fields[kind_field]));
+      if (fields.size() > kind_field + 1) {
+        int64_t index = strings::ParseNonNegativeInt(fields[kind_field + 1]);
+        if (index < 0) {
+          return InvalidArgument("Malformed device index: " + name);
+        }
+        parts.index = static_cast<int>(index);
+      }
+      if (fields.size() > kind_field + 2) {
+        return InvalidArgument("Malformed device field: " + name);
+      }
+    }
+  }
+  return parts;
+}
+
+}  // namespace tfe

@@ -1,0 +1,114 @@
+#include "distrib/cluster.h"
+
+#include "graph/serialization.h"
+#include "runtime/eager_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+Cluster::Cluster(const Options& options) {
+  uint64_t seed = 1000;
+  for (const auto& [job, tasks] : options.jobs) {
+    for (int task = 0; task < tasks; ++task) {
+      WorkerServer::Options worker_options;
+      worker_options.job = job;
+      worker_options.task = task;
+      worker_options.with_sim_gpu = options.workers_have_sim_gpu;
+      worker_options.random_seed = seed++;
+      workers_.push_back(std::make_unique<WorkerServer>(worker_options));
+    }
+  }
+}
+
+std::vector<std::string> Cluster::ListRemoteDevices() const {
+  std::vector<std::string> names;
+  for (const auto& worker : workers_) {
+    for (const std::string& name : worker->DeviceNames()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+StatusOr<WorkerServer*> Cluster::ResolveWorker(
+    const std::string& device_name) const {
+  TFE_ASSIGN_OR_RETURN(DeviceNameParts parts, ParseDeviceName(device_name));
+  for (const auto& worker : workers_) {
+    if (worker->job() == parts.job && worker->task() == parts.task) {
+      return worker.get();
+    }
+  }
+  return NotFound("No worker serving " + device_name);
+}
+
+StatusOr<std::string> Cluster::LocalDevicePart(
+    const std::string& device_name) {
+  TFE_ASSIGN_OR_RETURN(DeviceNameParts parts, ParseDeviceName(device_name));
+  DeviceNameParts local = parts;
+  local.job = "localhost";
+  local.task = 0;
+  return local.ToString();
+}
+
+StatusOr<RemoteTensor> Cluster::Put(const std::string& device_name,
+                                    const Tensor& tensor) {
+  TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
+  return worker->Put(tensor);
+}
+
+StatusOr<std::vector<RemoteTensor>> Cluster::RunOp(
+    const std::string& device_name, const std::string& op_name,
+    const std::vector<RemoteTensor>& inputs, const AttrMap& attrs) {
+  TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
+  TFE_ASSIGN_OR_RETURN(std::string local_device,
+                       LocalDevicePart(device_name));
+  std::vector<int64_t> handles;
+  handles.reserve(inputs.size());
+  for (const RemoteTensor& input : inputs) {
+    // Tensors do not implicitly hop between workers; the caller fetches and
+    // re-puts (matching the paper's explicit-copy model).
+    TFE_ASSIGN_OR_RETURN(WorkerServer * owner, ResolveWorker(input.device));
+    if (owner != worker) {
+      return InvalidArgument(strings::StrCat(
+          "Input tensor lives on ", input.device, ", not on ", device_name,
+          "; copy it explicitly via Fetch/Put"));
+    }
+    handles.push_back(input.handle_id);
+  }
+  return worker->RunOp(local_device, op_name, handles, attrs);
+}
+
+StatusOr<std::vector<RemoteTensor>> Cluster::RunFunction(
+    const std::string& device_name, const GraphFunction& function,
+    const std::vector<RemoteTensor>& inputs) {
+  TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
+  TFE_ASSIGN_OR_RETURN(std::string local_device,
+                       LocalDevicePart(device_name));
+  // Ship the transitive closure: nested Call/Cond/While callees included.
+  TFE_ASSIGN_OR_RETURN(
+      std::string serialized,
+      SerializeFunctionBundle(function,
+                              EagerContext::Global()->functions()));
+  std::vector<int64_t> handles;
+  handles.reserve(inputs.size());
+  for (const RemoteTensor& input : inputs) {
+    TFE_ASSIGN_OR_RETURN(WorkerServer * owner, ResolveWorker(input.device));
+    if (owner != worker) {
+      return InvalidArgument("Cross-worker inputs require explicit copies");
+    }
+    handles.push_back(input.handle_id);
+  }
+  return worker->RunFunction(local_device, serialized, handles);
+}
+
+StatusOr<Tensor> Cluster::Fetch(const RemoteTensor& tensor) {
+  TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(tensor.device));
+  return worker->Fetch(tensor.handle_id);
+}
+
+Status Cluster::Delete(const RemoteTensor& tensor) {
+  TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(tensor.device));
+  return worker->Delete(tensor.handle_id);
+}
+
+}  // namespace tfe

@@ -1,0 +1,71 @@
+// Cluster: the main program's view of distributed execution (paper §4.5).
+//
+// "The current system supports distributed execution with a single central
+// server running the main program and several worker servers running on
+// remote hosts. Each worker server adds its locally available devices to the
+// pool of devices available to the main program." Remote devices are
+// addressed by application-level names ("/job:training/task:2/device:GPU:0");
+// the cluster maps them to worker instances — the analog of mapping names to
+// DNS addresses when a real server joins.
+#ifndef TFE_DISTRIB_CLUSTER_H_
+#define TFE_DISTRIB_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distrib/worker.h"
+#include "graph/graph_function.h"
+
+namespace tfe {
+
+class Cluster {
+ public:
+  struct Options {
+    // job name -> number of tasks.
+    std::map<std::string, int> jobs = {{"worker", 2}};
+    bool workers_have_sim_gpu = false;
+  };
+
+  explicit Cluster(const Options& options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // All remote device names in the pool.
+  std::vector<std::string> ListRemoteDevices() const;
+
+  // Ships a client tensor to the worker owning `device_name`.
+  StatusOr<RemoteTensor> Put(const std::string& device_name,
+                             const Tensor& tensor);
+
+  // Runs one op on a remote device; the same syntax as local execution but
+  // with a remote name (paper §4.5). Outputs stay remote.
+  StatusOr<std::vector<RemoteTensor>> RunOp(
+      const std::string& device_name, const std::string& op_name,
+      const std::vector<RemoteTensor>& inputs, const AttrMap& attrs = {});
+
+  // Runs a whole graph function remotely; the function is serialized and
+  // shipped on first use.
+  StatusOr<std::vector<RemoteTensor>> RunFunction(
+      const std::string& device_name, const GraphFunction& function,
+      const std::vector<RemoteTensor>& inputs);
+
+  // Copies a remote tensor to the central server ("e.g. to use their value
+  // in an if statement").
+  StatusOr<Tensor> Fetch(const RemoteTensor& tensor);
+
+  Status Delete(const RemoteTensor& tensor);
+
+ private:
+  StatusOr<WorkerServer*> ResolveWorker(const std::string& device_name) const;
+  // The device part relative to the worker (kind:index).
+  static StatusOr<std::string> LocalDevicePart(const std::string& device_name);
+
+  std::vector<std::unique_ptr<WorkerServer>> workers_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DISTRIB_CLUSTER_H_

@@ -1,0 +1,14 @@
+#include "distrib/remote_tensor.h"
+
+#include "support/strings.h"
+
+namespace tfe {
+
+std::string RemoteTensor::DebugString() const {
+  if (!defined()) return "RemoteTensor(undefined)";
+  return strings::StrCat("RemoteTensor(#", handle_id, " ",
+                         DTypeName(dtype), shape.ToString(), " on ", device,
+                         ")");
+}
+
+}  // namespace tfe

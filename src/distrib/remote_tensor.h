@@ -1,0 +1,28 @@
+// Remote tensor handles (paper §4.5: "Tensors produced as the result of
+// running an operation on a remote device stay on the remote device. Users
+// can then either perform more operations on these tensors or copy them to
+// the central server").
+#ifndef TFE_DISTRIB_REMOTE_TENSOR_H_
+#define TFE_DISTRIB_REMOTE_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace tfe {
+
+struct RemoteTensor {
+  std::string device;  // full name, e.g. "/job:training/task:2/device:CPU:0"
+  int64_t handle_id = -1;
+  DType dtype = DType::kInvalid;
+  Shape shape;
+
+  bool defined() const { return handle_id >= 0; }
+  std::string DebugString() const;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DISTRIB_REMOTE_TENSOR_H_

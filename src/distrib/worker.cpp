@@ -1,0 +1,213 @@
+#include "distrib/worker.h"
+
+#include "graph/serialization.h"
+#include "support/strings.h"
+#include "tensor/tensor_util.h"
+
+namespace tfe {
+
+WorkerServer::WorkerServer(const Options& options) : options_(options) {
+  EagerContext::Options ctx_options;
+  ctx_options.register_sim_gpu = options.with_sim_gpu;
+  ctx_options.register_sim_tpu = false;
+  ctx_options.random_seed = options.random_seed;
+  ctx_options.executor_threads = 2;
+  ctx_ = std::make_unique<EagerContext>(ctx_options);
+  service_thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+WorkerServer::~WorkerServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  service_thread_.join();
+}
+
+std::vector<std::string> WorkerServer::DeviceNames() const {
+  std::vector<std::string> names;
+  for (Device* device : ctx_->devices().ListDevices()) {
+    DeviceNameParts parts = device->name_parts();
+    parts.job = options_.job;
+    parts.task = options_.task;
+    names.push_back(parts.ToString());
+  }
+  return names;
+}
+
+void WorkerServer::Call(Request fn) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TFE_CHECK(!shutdown_);
+    queue_.push_back([&] {
+      fn();
+      {
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        done = true;
+      }
+      done_cv.notify_one();
+    });
+  }
+  wake_.notify_one();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+void WorkerServer::ServiceLoop() {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    request();
+  }
+}
+
+RemoteTensor WorkerServer::Store(Tensor tensor,
+                                 const std::string& device_name) {
+  RemoteTensor remote;
+  remote.device = device_name;
+  remote.dtype = tensor.dtype();
+  remote.shape = tensor.shape();
+  std::lock_guard<std::mutex> lock(store_mu_);
+  remote.handle_id = next_handle_++;
+  store_.emplace(remote.handle_id, std::move(tensor));
+  return remote;
+}
+
+StatusOr<std::vector<RemoteTensor>> WorkerServer::RunOp(
+    const std::string& device, const std::string& op_name,
+    const std::vector<int64_t>& input_handles, const AttrMap& attrs) {
+  StatusOr<std::vector<RemoteTensor>> result =
+      InvalidArgument("worker did not run");
+  Call([&] {
+    std::vector<Tensor> inputs;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      for (int64_t handle : input_handles) {
+        auto it = store_.find(handle);
+        if (it == store_.end()) {
+          result = NotFound(strings::StrCat("No remote tensor #", handle,
+                                            " on ", options_.job, "/task:",
+                                            options_.task));
+          return;
+        }
+        inputs.push_back(it->second);
+      }
+    }
+    auto outputs = ctx_->RunPrimitive(op_name, std::move(inputs), attrs,
+                                      device);
+    if (!outputs.ok()) {
+      result = outputs.status();
+      return;
+    }
+    auto parts = ParseDeviceName(device);
+    DeviceNameParts full = parts.ok() ? *parts : DeviceNameParts{};
+    full.job = options_.job;
+    full.task = options_.task;
+    std::vector<RemoteTensor> handles;
+    for (Tensor& output : *outputs) {
+      handles.push_back(Store(std::move(output), full.ToString()));
+    }
+    result = std::move(handles);
+  });
+  return result;
+}
+
+StatusOr<std::vector<RemoteTensor>> WorkerServer::RunFunction(
+    const std::string& device, const std::string& serialized_function,
+    const std::vector<int64_t>& input_handles) {
+  StatusOr<std::vector<RemoteTensor>> result =
+      InvalidArgument("worker did not run");
+  Call([&] {
+    // Bundles carry the whole transitive closure of graph functions (nested
+    // Call / Cond / While callees included).
+    auto bundle = DeserializeFunctionBundle(serialized_function);
+    if (!bundle.ok()) {
+      result = bundle.status();
+      return;
+    }
+    std::shared_ptr<GraphFunction> function = bundle->front();
+    for (const auto& fn : *bundle) {
+      if (!ctx_->functions().Contains(fn->name())) {
+        Status status = ctx_->functions().Register(fn);
+        if (!status.ok()) {
+          result = status;
+          return;
+        }
+      }
+    }
+    std::vector<Tensor> inputs;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      for (int64_t handle : input_handles) {
+        auto it = store_.find(handle);
+        if (it == store_.end()) {
+          result = NotFound("Missing remote tensor handle");
+          return;
+        }
+        inputs.push_back(it->second);
+      }
+    }
+    // Captures ship inside the serialized function; append them.
+    for (const Capture& capture : function->captures()) {
+      inputs.push_back(capture.tensor);
+    }
+    AttrMap attrs;
+    attrs["function"] = AttrValue(function->name());
+    auto outputs =
+        ctx_->RunPrimitive("Call", std::move(inputs), attrs, device);
+    if (!outputs.ok()) {
+      result = outputs.status();
+      return;
+    }
+    auto parts = ParseDeviceName(device);
+    DeviceNameParts full = parts.ok() ? *parts : DeviceNameParts{};
+    full.job = options_.job;
+    full.task = options_.task;
+    std::vector<RemoteTensor> handles;
+    for (Tensor& output : *outputs) {
+      handles.push_back(Store(std::move(output), full.ToString()));
+    }
+    result = std::move(handles);
+  });
+  return result;
+}
+
+StatusOr<RemoteTensor> WorkerServer::Put(const Tensor& tensor) {
+  if (!tensor.defined() || tensor.is_symbolic() || tensor.is_resource()) {
+    return InvalidArgument("Only concrete value tensors can be shipped");
+  }
+  DeviceNameParts parts;
+  parts.job = options_.job;
+  parts.task = options_.task;
+  // Deep copy: the wire transfer that gRPC would perform.
+  return Store(tensor_util::DeepCopy(tensor), parts.ToString());
+}
+
+StatusOr<Tensor> WorkerServer::Fetch(int64_t handle_id) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  auto it = store_.find(handle_id);
+  if (it == store_.end()) {
+    return NotFound("No remote tensor with that handle");
+  }
+  return tensor_util::DeepCopy(it->second);
+}
+
+Status WorkerServer::Delete(int64_t handle_id) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (store_.erase(handle_id) == 0) {
+    return NotFound("No remote tensor with that handle");
+  }
+  return Status::OK();
+}
+
+}  // namespace tfe

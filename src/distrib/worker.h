@@ -1,0 +1,97 @@
+// WorkerServer: one remote host in the simulated cluster (paper §4.5).
+//
+// Each worker runs its own EagerContext (its own devices, function library
+// and RNG) on a dedicated service thread, and communicates with the main
+// program through a message queue — the in-process stand-in for the gRPC
+// transport (DESIGN.md §2 documents this substitution). The worker speaks
+// three requests: run an op, run a (serialized) graph function, move a
+// tensor in or out of its store.
+#ifndef TFE_DISTRIB_WORKER_H_
+#define TFE_DISTRIB_WORKER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distrib/remote_tensor.h"
+#include "runtime/eager_context.h"
+#include "support/status.h"
+
+namespace tfe {
+
+class WorkerServer {
+ public:
+  struct Options {
+    std::string job = "worker";
+    int task = 0;
+    bool with_sim_gpu = false;
+    uint64_t random_seed = 99;
+  };
+
+  explicit WorkerServer(const Options& options);
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  const std::string& job() const { return options_.job; }
+  int task() const { return options_.task; }
+
+  // Device names this worker contributes to the cluster pool.
+  std::vector<std::string> DeviceNames() const;
+
+  // ---- synchronous RPCs (thread-safe; execute on the service thread) ------
+
+  // Executes one primitive op on `device` (a local device name relative to
+  // this worker, e.g. "CPU:0"). Inputs are handle ids in this worker's
+  // store; outputs are stored and returned as new handles.
+  StatusOr<std::vector<RemoteTensor>> RunOp(
+      const std::string& device, const std::string& op_name,
+      const std::vector<int64_t>& input_handles, const AttrMap& attrs);
+
+  // Registers a serialized graph function (idempotent per name) and calls
+  // it.
+  StatusOr<std::vector<RemoteTensor>> RunFunction(
+      const std::string& device, const std::string& serialized_function,
+      const std::vector<int64_t>& input_handles);
+
+  // Stores a tensor shipped from the client; returns its handle.
+  StatusOr<RemoteTensor> Put(const Tensor& tensor);
+  // Copies a stored tensor back to the client.
+  StatusOr<Tensor> Fetch(int64_t handle_id);
+  // Drops a stored tensor.
+  Status Delete(int64_t handle_id);
+
+ private:
+  // A queued request: runs on the service thread, fulfills its promise.
+  using Request = std::function<void()>;
+
+  // Enqueues `fn` and blocks until the service thread has run it.
+  void Call(Request fn);
+  void ServiceLoop();
+
+  RemoteTensor Store(Tensor tensor, const std::string& device_name);
+
+  Options options_;
+  std::unique_ptr<EagerContext> ctx_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  std::thread service_thread_;
+
+  std::mutex store_mu_;
+  std::map<int64_t, Tensor> store_;
+  int64_t next_handle_ = 1;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DISTRIB_WORKER_H_

@@ -1,0 +1,58 @@
+// The dataflow executor: runs a GraphFunction's nodes in dependency order,
+// in parallel where the DAG allows (paper §5: the staged runtime "runs
+// kernels in parallel when possible").
+//
+// The executor is also the virtual-time engine for staged execution: each
+// node retires on its device's timeline no earlier than its dependencies,
+// which models inter-op parallelism limits and — on the simulated TPU — the
+// whole-function compilation discount (DESIGN.md §2).
+#ifndef TFE_EXECUTOR_EXECUTOR_H_
+#define TFE_EXECUTOR_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_function.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class Device;
+class EagerContext;
+
+class Executor {
+ public:
+  explicit Executor(EagerContext* ctx) : ctx_(ctx) {}
+
+  struct Result {
+    std::vector<Tensor> outputs;
+    // Virtual time at which all outputs (and all side effects) retire.
+    uint64_t finish_ns = 0;
+  };
+
+  // Executes `function` with `args` (explicit parameters followed by
+  // captures, all concrete). Nodes without an explicit device request run on
+  // `default_device`. `start_ns` is the virtual time at which inputs are
+  // available; `compiled` marks execution inside a whole-function
+  // accelerator compilation unit. `parallel` chooses the thread-pool
+  // ready-queue engine (top-level calls) or inline sequential execution
+  // (nested calls, which run on pool threads and must not block on the
+  // pool).
+  StatusOr<Result> Run(const GraphFunction& function,
+                       const std::vector<Tensor>& args,
+                       Device* default_device, uint64_t start_ns,
+                       bool compiled, bool parallel = true);
+
+  // True while the calling thread is executing a graph node — nested
+  // function calls use this to switch to inline execution so pool threads
+  // never block on the pool.
+  static bool InExecutor();
+
+ private:
+  EagerContext* ctx_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,84 @@
+#include "graph/graph_function.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace tfe {
+
+bool GraphFunction::IsStateful() const {
+  for (int i = 0; i < graph_.num_nodes(); ++i) {
+    if (graph_.node(i).is_stateful() && graph_.node(i).op != "Arg") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GraphFunction::IsSerializable() const {
+  for (int i = 0; i < graph_.num_nodes(); ++i) {
+    for (const auto& [name, attr] : graph_.node(i).attrs) {
+      if (!attr.IsSerializable()) return false;
+    }
+  }
+  return true;
+}
+
+std::string GraphFunction::DebugString() const {
+  std::ostringstream out;
+  out << "function " << name_ << "(args=" << num_explicit_args()
+      << ", captures=" << captures_.size() << ") -> " << num_outputs()
+      << " outputs\n";
+  out << graph_.DebugString();
+  out << "returns: ";
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "%" << outputs_[i].node_id << ":" << outputs_[i].index;
+  }
+  out << "\n";
+  return out.str();
+}
+
+Status FunctionLibrary::Register(std::shared_ptr<GraphFunction> function) {
+  TFE_CHECK(function != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = functions_.emplace(function->name(), function);
+  if (!inserted) {
+    return AlreadyExists("Function already registered: " + function->name());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<GraphFunction>> FunctionLibrary::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return NotFound("Function not found: " + name);
+  }
+  return it->second;
+}
+
+bool FunctionLibrary::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return functions_.count(name) > 0;
+}
+
+std::vector<std::string> FunctionLibrary::ListFunctions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+std::string FunctionLibrary::UniqueName(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name;
+  do {
+    name = strings::StrCat(prefix, "_", next_id_++);
+  } while (functions_.count(name) > 0);
+  return name;
+}
+
+}  // namespace tfe

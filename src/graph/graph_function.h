@@ -1,0 +1,99 @@
+// GraphFunction: a dataflow graph with named inputs and outputs — the unit
+// of staging, compilation, composition, and serialization (paper §4.1, §4.6,
+// §5).
+#ifndef TFE_GRAPH_GRAPH_FUNCTION_H_
+#define TFE_GRAPH_GRAPH_FUNCTION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tfe {
+
+// A value the trace closed over. Lexical captures are "silently passed to
+// the graph function at call-time, without programmer intervention" (§4.6):
+// eager tensors are captured by value, variables by reference (their
+// resource handle), and — during nested tracing — symbolic tensors of the
+// enclosing graph are forwarded to the inner function's call node.
+struct Capture {
+  Tensor tensor;  // concrete tensor, resource handle, or outer-graph symbol
+};
+
+class GraphFunction {
+ public:
+  explicit GraphFunction(std::string name) : name_(std::move(name)) {}
+
+  GraphFunction(const GraphFunction&) = delete;
+  GraphFunction& operator=(const GraphFunction&) = delete;
+
+  const std::string& name() const { return name_; }
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+
+  // Arg nodes in parameter order. The first num_explicit_args() parameters
+  // are the user-visible ones; the rest receive captures.
+  std::vector<int>& arg_nodes() { return arg_nodes_; }
+  const std::vector<int>& arg_nodes() const { return arg_nodes_; }
+
+  std::vector<Endpoint>& outputs() { return outputs_; }
+  const std::vector<Endpoint>& outputs() const { return outputs_; }
+
+  std::vector<Capture>& captures() { return captures_; }
+  const std::vector<Capture>& captures() const { return captures_; }
+
+  int num_args() const { return static_cast<int>(arg_nodes_.size()); }
+  int num_explicit_args() const {
+    return num_args() - static_cast<int>(captures_.size());
+  }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  TypeAndShape output_type(int i) const {
+    return graph_.endpoint_type(outputs_.at(i));
+  }
+  TypeAndShape arg_type(int i) const {
+    return graph_.node(arg_nodes_.at(i)).outputs.at(0);
+  }
+
+  // True if any node in the body is stateful; stateful calls are never
+  // pruned or folded.
+  bool IsStateful() const;
+
+  // True if the function can be serialized (no HostFunc attrs — paper §4.7:
+  // "graphs with py_funcs are not in general serializable").
+  bool IsSerializable() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::string name_;
+  Graph graph_;
+  std::vector<int> arg_nodes_;
+  std::vector<Endpoint> outputs_;
+  std::vector<Capture> captures_;
+};
+
+// A name -> function map. Each EagerContext owns one; nested function calls
+// resolve their callee here at execution time.
+class FunctionLibrary {
+ public:
+  Status Register(std::shared_ptr<GraphFunction> function);
+  StatusOr<std::shared_ptr<GraphFunction>> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListFunctions() const;
+
+  // Returns "<prefix>_<n>" unique within this library.
+  std::string UniqueName(const std::string& prefix);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<GraphFunction>> functions_;
+  int next_id_ = 0;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_GRAPH_GRAPH_FUNCTION_H_

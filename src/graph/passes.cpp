@@ -1,0 +1,188 @@
+#include "graph/passes.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "runtime/eager_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+namespace passes {
+
+namespace {
+
+// Rebuilds `function`'s graph keeping only nodes with keep[id] true,
+// remapping every endpoint/control edge/arg/output. Kept nodes preserve
+// relative (topological) order.
+Status RebuildKeeping(GraphFunction& function, const std::vector<bool>& keep,
+                      const std::vector<int>& replace_with) {
+  Graph& graph = function.graph();
+  const int n = graph.num_nodes();
+  std::vector<int> new_id(n, -1);
+
+  // Resolve replacement chains (a pruned node may point at its CSE twin).
+  auto resolve = [&](int id) {
+    while (replace_with[id] != id) id = replace_with[id];
+    return id;
+  };
+
+  std::deque<Node> nodes;
+  for (int id = 0; id < n; ++id) {
+    if (!keep[id]) continue;
+    new_id[id] = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(graph.node(id)));
+  }
+  for (Node& node : nodes) {
+    node.id = new_id[resolve(node.id)];
+    for (Endpoint& e : node.inputs) {
+      int target = new_id[resolve(e.node_id)];
+      if (target < 0) {
+        return Internal("Pass dropped a node that is still referenced");
+      }
+      e.node_id = target;
+    }
+    std::vector<int> controls;
+    for (int dep : node.control_inputs) {
+      int target = new_id[resolve(dep)];
+      if (target >= 0 && target != node.id) controls.push_back(target);
+    }
+    node.control_inputs = std::move(controls);
+  }
+  for (int& arg : function.arg_nodes()) {
+    arg = new_id[resolve(arg)];
+    if (arg < 0) return Internal("Pass dropped an Arg node");
+  }
+  for (Endpoint& out : function.outputs()) {
+    out.node_id = new_id[resolve(out.node_id)];
+    if (out.node_id < 0) return Internal("Pass dropped an output node");
+  }
+  graph.ResetNodes(std::move(nodes));
+  return Status::OK();
+}
+
+std::vector<int> IdentityMap(int n) {
+  std::vector<int> map(n);
+  for (int i = 0; i < n; ++i) map[i] = i;
+  return map;
+}
+
+}  // namespace
+
+Status Prune(GraphFunction& function, PassStats* stats) {
+  Graph& graph = function.graph();
+  const int n = graph.num_nodes();
+  std::vector<bool> keep(n, false);
+  std::vector<int> worklist;
+
+  auto mark = [&](int id) {
+    if (!keep[id]) {
+      keep[id] = true;
+      worklist.push_back(id);
+    }
+  };
+
+  for (const Endpoint& out : function.outputs()) mark(out.node_id);
+  for (int id = 0; id < n; ++id) {
+    const Node& node = graph.node(id);
+    if (node.op == "Arg" || (node.is_stateful() && node.op != "Arg")) {
+      mark(id);
+    }
+  }
+  while (!worklist.empty()) {
+    int id = worklist.back();
+    worklist.pop_back();
+    for (const Endpoint& e : graph.node(id).inputs) mark(e.node_id);
+    for (int dep : graph.node(id).control_inputs) mark(dep);
+  }
+
+  int pruned = 0;
+  for (int id = 0; id < n; ++id) {
+    if (!keep[id]) ++pruned;
+  }
+  if (stats != nullptr) stats->pruned_nodes += pruned;
+  if (pruned == 0) return Status::OK();
+  return RebuildKeeping(function, keep, IdentityMap(n));
+}
+
+Status EliminateCommonSubexpressions(GraphFunction& function,
+                                     PassStats* stats) {
+  Graph& graph = function.graph();
+  const int n = graph.num_nodes();
+  std::vector<int> replace_with = IdentityMap(n);
+  std::vector<bool> keep(n, true);
+  std::map<std::string, int> canonical;
+  int merged = 0;
+
+  for (int id = 0; id < n; ++id) {
+    const Node& node = graph.node(id);
+    if (node.is_stateful() || node.op == "Arg" || node.op == "Const") {
+      continue;
+    }
+    std::string key = node.op + "|" + node.requested_device + "|" +
+                      AttrMapToString(node.attrs) + "|";
+    for (const Endpoint& e : node.inputs) {
+      int src = e.node_id;
+      while (replace_with[src] != src) src = replace_with[src];
+      key += strings::StrCat(src, ":", e.index, ",");
+    }
+    auto [it, inserted] = canonical.emplace(key, id);
+    if (!inserted) {
+      replace_with[id] = it->second;
+      keep[id] = false;
+      ++merged;
+    }
+  }
+  if (stats != nullptr) stats->cse_merged += merged;
+  if (merged == 0) return Status::OK();
+  return RebuildKeeping(function, keep, replace_with);
+}
+
+Status FoldConstants(GraphFunction& function, PassStats* stats) {
+  Graph& graph = function.graph();
+  EagerContext* ctx = EagerContext::Global();
+  const int n = graph.num_nodes();
+  int folded = 0;
+
+  for (int id = 0; id < n; ++id) {
+    Node& node = graph.node(id);
+    if (node.is_stateful() || node.op == "Arg" || node.op == "Const" ||
+        node.num_outputs() != 1) {
+      continue;
+    }
+    bool all_const = !node.inputs.empty();
+    std::vector<Tensor> inputs;
+    for (const Endpoint& e : node.inputs) {
+      const Node& src = graph.node(e.node_id);
+      if (src.op != "Const") {
+        all_const = false;
+        break;
+      }
+      inputs.push_back(src.constant_value);
+    }
+    if (!all_const) continue;
+
+    auto run = ctx->ExecuteKernel(node.op, inputs, node.attrs, ctx->HostCpu(),
+                                  /*compiled=*/false, /*start_ns=*/0);
+    if (!run.ok() || run->outputs.size() != 1) continue;  // fold is best-effort
+    // Rewrite in place as a Const node.
+    node.op = "Const";
+    node.attrs.clear();
+    node.inputs.clear();
+    node.constant_value = run->outputs[0];
+    node.outputs = {{node.constant_value.dtype(), node.constant_value.shape()}};
+    ++folded;
+  }
+  if (stats != nullptr) stats->folded_constants += folded;
+  return Status::OK();
+}
+
+Status Optimize(GraphFunction& function, PassStats* stats) {
+  TFE_RETURN_IF_ERROR(FoldConstants(function, stats));
+  TFE_RETURN_IF_ERROR(EliminateCommonSubexpressions(function, stats));
+  TFE_RETURN_IF_ERROR(Prune(function, stats));
+  return Status::OK();
+}
+
+}  // namespace passes
+}  // namespace tfe

@@ -1,0 +1,42 @@
+// Graph-function optimization passes (paper §5: "This approach still allows
+// for graph optimizations: for example, non-stateful operations that are not
+// reachable from the outputs of a function are pruned, just as in
+// TensorFlow", and §4.1: staging "allows for optimizations like
+// constant-folding and buffer reuse" — buffer reuse lives in the executor's
+// refcounted tensors; the structural passes live here).
+#ifndef TFE_GRAPH_PASSES_H_
+#define TFE_GRAPH_PASSES_H_
+
+#include "graph/graph_function.h"
+#include "support/status.h"
+
+namespace tfe {
+namespace passes {
+
+struct PassStats {
+  int pruned_nodes = 0;
+  int cse_merged = 0;
+  int folded_constants = 0;
+};
+
+// Dead-op pruning: removes non-stateful nodes not reachable from the
+// function outputs or from stateful ops. Arg nodes are always kept (the
+// call signature is fixed).
+Status Prune(GraphFunction& function, PassStats* stats = nullptr);
+
+// Common-subexpression elimination over non-stateful nodes.
+Status EliminateCommonSubexpressions(GraphFunction& function,
+                                     PassStats* stats = nullptr);
+
+// Folds non-stateful nodes whose inputs are all constants by executing
+// their kernels at staging time on the host.
+Status FoldConstants(GraphFunction& function, PassStats* stats = nullptr);
+
+// The standard pipeline run at the end of every trace:
+// fold -> CSE -> prune.
+Status Optimize(GraphFunction& function, PassStats* stats = nullptr);
+
+}  // namespace passes
+}  // namespace tfe
+
+#endif  // TFE_GRAPH_PASSES_H_

@@ -1,0 +1,38 @@
+// GraphFunction serialization — the deployment path (paper §4.3: "staging
+// enables serializing the program for use without a [host interpreter]...
+// serializing a trace for use in a production environment").
+//
+// Functions are serializable iff they contain no HostFunc callbacks (§4.7)
+// and no resource captures (variables are program state, saved separately by
+// Checkpoint); value captures are embedded as constants-like payloads.
+#ifndef TFE_GRAPH_SERIALIZATION_H_
+#define TFE_GRAPH_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph_function.h"
+#include "support/status.h"
+
+namespace tfe {
+
+StatusOr<std::string> SerializeFunction(const GraphFunction& function);
+
+StatusOr<std::shared_ptr<GraphFunction>> DeserializeFunction(
+    const std::string& data);
+
+class FunctionLibrary;
+
+// Serializes `function` together with every graph function it references
+// transitively (nested Call / Cond / While callees), resolved against
+// `library`. The main function is the bundle's first entry.
+StatusOr<std::string> SerializeFunctionBundle(const GraphFunction& function,
+                                              const FunctionLibrary& library);
+
+// Inverse: returns [main, dependencies...].
+StatusOr<std::vector<std::shared_ptr<GraphFunction>>> DeserializeFunctionBundle(
+    const std::string& data);
+
+}  // namespace tfe
+
+#endif  // TFE_GRAPH_SERIALIZATION_H_

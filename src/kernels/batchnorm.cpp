@@ -1,0 +1,157 @@
+// FusedBatchNorm (NHWC, per-channel) and its gradient.
+//
+// Training mode normalizes with batch statistics and reports them (the
+// caller maintains running averages); inference mode uses the provided
+// moving mean/variance.
+#include <cmath>
+
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+constexpr double kDefaultEpsilon = 1e-3;
+
+// inputs: x [n,h,w,c], scale [c], offset [c], mean [c], variance [c]
+// outputs: y, batch_mean, batch_variance
+Status FusedBatchNormKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  const Tensor& scale = ctx->input(1);
+  const Tensor& offset = ctx->input(2);
+  const Tensor& moving_mean = ctx->input(3);
+  const Tensor& moving_var = ctx->input(4);
+  const bool training = ctx->GetAttrOr<bool>("is_training", true);
+  const double epsilon = ctx->GetAttrOr<double>("epsilon", kDefaultEpsilon);
+  if (x.shape().rank() != 4) {
+    return InvalidArgument("FusedBatchNorm expects NHWC input");
+  }
+  const int64_t channels = x.shape().dim(3);
+  const int64_t rows = x.num_elements() / channels;
+  if (scale.num_elements() != channels || offset.num_elements() != channels) {
+    return InvalidArgument("FusedBatchNorm scale/offset must be [channels]");
+  }
+
+  Tensor y = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  Tensor out_mean = ctx->AllocateOutput(1, x.dtype(), Shape({channels}));
+  Tensor out_var = ctx->AllocateOutput(2, x.dtype(), Shape({channels}));
+
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    const T* gamma = scale.data<T>();
+    const T* beta = offset.data<T>();
+    T* out = y.mutable_data<T>();
+    T* mean = out_mean.mutable_data<T>();
+    T* variance = out_var.mutable_data<T>();
+
+    if (training) {
+      for (int64_t c = 0; c < channels; ++c) {
+        mean[c] = T(0);
+        variance[c] = T(0);
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        const T* row = in + r * channels;
+        for (int64_t c = 0; c < channels; ++c) mean[c] += row[c];
+      }
+      for (int64_t c = 0; c < channels; ++c) mean[c] /= static_cast<T>(rows);
+      for (int64_t r = 0; r < rows; ++r) {
+        const T* row = in + r * channels;
+        for (int64_t c = 0; c < channels; ++c) {
+          T d = row[c] - mean[c];
+          variance[c] += d * d;
+        }
+      }
+      for (int64_t c = 0; c < channels; ++c) {
+        variance[c] /= static_cast<T>(rows);
+      }
+    } else {
+      for (int64_t c = 0; c < channels; ++c) {
+        mean[c] = moving_mean.data<T>()[c];
+        variance[c] = moving_var.data<T>()[c];
+      }
+    }
+
+    std::vector<T> inv_std(channels);
+    for (int64_t c = 0; c < channels; ++c) {
+      inv_std[c] = T(1) / std::sqrt(variance[c] + static_cast<T>(epsilon));
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      const T* row = in + r * channels;
+      T* out_row = out + r * channels;
+      for (int64_t c = 0; c < channels; ++c) {
+        out_row[c] = gamma[c] * (row[c] - mean[c]) * inv_std[c] + beta[c];
+      }
+    }
+  });
+  return Status::OK();
+}
+
+// inputs: dy, x, scale, saved_mean, saved_variance (training-mode batch
+// statistics). outputs: dx, dscale, doffset.
+Status FusedBatchNormGradKernel(KernelContext* ctx) {
+  const Tensor& dy = ctx->input(0);
+  const Tensor& x = ctx->input(1);
+  const Tensor& scale = ctx->input(2);
+  const Tensor& saved_mean = ctx->input(3);
+  const Tensor& saved_var = ctx->input(4);
+  const double epsilon = ctx->GetAttrOr<double>("epsilon", kDefaultEpsilon);
+  const int64_t channels = x.shape().dim(3);
+  const int64_t rows = x.num_elements() / channels;
+
+  Tensor dx = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  Tensor dscale = ctx->AllocateOutput(1, x.dtype(), Shape({channels}));
+  Tensor doffset = ctx->AllocateOutput(2, x.dtype(), Shape({channels}));
+
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* grad = dy.data<T>();
+    const T* in = x.data<T>();
+    const T* gamma = scale.data<T>();
+    const T* mean = saved_mean.data<T>();
+    const T* variance = saved_var.data<T>();
+    T* din = dx.mutable_data<T>();
+    T* dgamma = dscale.mutable_data<T>();
+    T* dbeta = doffset.mutable_data<T>();
+
+    std::vector<T> inv_std(channels), sum_dy(channels, T(0)),
+        sum_dy_xhat(channels, T(0));
+    for (int64_t c = 0; c < channels; ++c) {
+      inv_std[c] = T(1) / std::sqrt(variance[c] + static_cast<T>(epsilon));
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      const T* dy_row = grad + r * channels;
+      const T* x_row = in + r * channels;
+      for (int64_t c = 0; c < channels; ++c) {
+        T xhat = (x_row[c] - mean[c]) * inv_std[c];
+        sum_dy[c] += dy_row[c];
+        sum_dy_xhat[c] += dy_row[c] * xhat;
+      }
+    }
+    for (int64_t c = 0; c < channels; ++c) {
+      dgamma[c] = sum_dy_xhat[c];
+      dbeta[c] = sum_dy[c];
+    }
+    const T inv_rows = T(1) / static_cast<T>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      const T* dy_row = grad + r * channels;
+      const T* x_row = in + r * channels;
+      T* dx_row = din + r * channels;
+      for (int64_t c = 0; c < channels; ++c) {
+        T xhat = (x_row[c] - mean[c]) * inv_std[c];
+        dx_row[c] = gamma[c] * inv_std[c] *
+                    (dy_row[c] - sum_dy[c] * inv_rows -
+                     xhat * sum_dy_xhat[c] * inv_rows);
+      }
+    }
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterBatchNormKernels() {
+  RegisterKernel("FusedBatchNorm", FusedBatchNormKernel);
+  RegisterKernel("FusedBatchNormGrad", FusedBatchNormGradKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

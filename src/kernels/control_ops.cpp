@@ -1,0 +1,32 @@
+// Identity-like and no-op kernels.
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+// Identity and StopGradient share storage with their input; StopGradient's
+// semantics live entirely in its (absent) gradient.
+Status IdentityKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  if (x.is_resource() || x.is_opaque()) {
+    ctx->SetOutput(0, x);
+    return Status::OK();
+  }
+  ctx->SetOutput(0, Tensor::Concrete(x.dtype(), x.shape(), x.buffer(),
+                                     ctx->device()));
+  return Status::OK();
+}
+
+Status NoOpKernel(KernelContext* ctx) { return Status::OK(); }
+
+}  // namespace
+
+void RegisterControlKernels() {
+  RegisterKernel("Identity", IdentityKernel);
+  RegisterKernel("StopGradient", IdentityKernel);
+  RegisterKernel("NoOp", NoOpKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

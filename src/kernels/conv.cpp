@@ -1,0 +1,220 @@
+// 2-D convolution kernels (NHWC activations, HWIO filters) and their
+// backprops. Direct loops — clarity over peak FLOPs; ResNet-scale benchmark
+// timing comes from the device cost model, and numerics are validated on
+// small shapes.
+#include <algorithm>
+
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+struct ConvGeometry {
+  int64_t batch, in_h, in_w, in_c;
+  int64_t k_h, k_w, out_c;
+  int64_t stride_h, stride_w;
+  int64_t out_h, out_w;
+  int64_t pad_top, pad_left;
+};
+
+StatusOr<ConvGeometry> MakeGeometry(const Shape& input, const Shape& filter,
+                                    const std::vector<int64_t>& strides,
+                                    const std::string& padding) {
+  if (input.rank() != 4 || filter.rank() != 4 || strides.size() != 2) {
+    return InvalidArgument("Conv2D expects NHWC input, HWIO filter, 2 strides");
+  }
+  ConvGeometry g;
+  g.batch = input.dim(0);
+  g.in_h = input.dim(1);
+  g.in_w = input.dim(2);
+  g.in_c = input.dim(3);
+  g.k_h = filter.dim(0);
+  g.k_w = filter.dim(1);
+  if (filter.dim(2) != g.in_c) {
+    return InvalidArgument("Conv2D filter in-channels mismatch");
+  }
+  g.out_c = filter.dim(3);
+  g.stride_h = strides[0];
+  g.stride_w = strides[1];
+  if (g.stride_h <= 0 || g.stride_w <= 0) {
+    return InvalidArgument("Conv2D strides must be positive");
+  }
+  if (padding == "SAME") {
+    g.out_h = (g.in_h + g.stride_h - 1) / g.stride_h;
+    g.out_w = (g.in_w + g.stride_w - 1) / g.stride_w;
+    int64_t pad_h = std::max<int64_t>(
+        (g.out_h - 1) * g.stride_h + g.k_h - g.in_h, 0);
+    int64_t pad_w = std::max<int64_t>(
+        (g.out_w - 1) * g.stride_w + g.k_w - g.in_w, 0);
+    g.pad_top = pad_h / 2;
+    g.pad_left = pad_w / 2;
+  } else if (padding == "VALID") {
+    if (g.k_h > g.in_h || g.k_w > g.in_w) {
+      return InvalidArgument("Conv2D VALID window larger than input");
+    }
+    g.out_h = (g.in_h - g.k_h) / g.stride_h + 1;
+    g.out_w = (g.in_w - g.k_w) / g.stride_w + 1;
+    g.pad_top = 0;
+    g.pad_left = 0;
+  } else {
+    return InvalidArgument("Unknown padding: " + padding);
+  }
+  return g;
+}
+
+template <typename T>
+void ConvForward(const ConvGeometry& g, const T* x, const T* f, T* y) {
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (int64_t ow = 0; ow < g.out_w; ++ow) {
+        T* out = y + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
+        for (int64_t kh = 0; kh < g.k_h; ++kh) {
+          int64_t ih = oh * g.stride_h + kh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (int64_t kw = 0; kw < g.k_w; ++kw) {
+            int64_t iw = ow * g.stride_w + kw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const T* in = x + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+            const T* weights = f + (kh * g.k_w + kw) * g.in_c * g.out_c;
+            for (int64_t ic = 0; ic < g.in_c; ++ic) {
+              T xv = in[ic];
+              if (xv == T(0)) continue;
+              const T* w_row = weights + ic * g.out_c;
+              for (int64_t oc = 0; oc < g.out_c; ++oc) {
+                out[oc] += xv * w_row[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void ConvBackpropInput(const ConvGeometry& g, const T* f, const T* dy, T* dx) {
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (int64_t ow = 0; ow < g.out_w; ++ow) {
+        const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
+        for (int64_t kh = 0; kh < g.k_h; ++kh) {
+          int64_t ih = oh * g.stride_h + kh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (int64_t kw = 0; kw < g.k_w; ++kw) {
+            int64_t iw = ow * g.stride_w + kw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            T* din = dx + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+            const T* weights = f + (kh * g.k_w + kw) * g.in_c * g.out_c;
+            for (int64_t ic = 0; ic < g.in_c; ++ic) {
+              const T* w_row = weights + ic * g.out_c;
+              T acc = T(0);
+              for (int64_t oc = 0; oc < g.out_c; ++oc) {
+                acc += grad[oc] * w_row[oc];
+              }
+              din[ic] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void ConvBackpropFilter(const ConvGeometry& g, const T* x, const T* dy,
+                        T* df) {
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (int64_t ow = 0; ow < g.out_w; ++ow) {
+        const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
+        for (int64_t kh = 0; kh < g.k_h; ++kh) {
+          int64_t ih = oh * g.stride_h + kh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (int64_t kw = 0; kw < g.k_w; ++kw) {
+            int64_t iw = ow * g.stride_w + kw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const T* in = x + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+            T* weights = df + (kh * g.k_w + kw) * g.in_c * g.out_c;
+            for (int64_t ic = 0; ic < g.in_c; ++ic) {
+              T xv = in[ic];
+              if (xv == T(0)) continue;
+              T* w_row = weights + ic * g.out_c;
+              for (int64_t oc = 0; oc < g.out_c; ++oc) {
+                w_row[oc] += xv * grad[oc];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Status Conv2DKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  const Tensor& f = ctx->input(1);
+  TFE_ASSIGN_OR_RETURN(auto strides,
+                       ctx->GetAttr<std::vector<int64_t>>("strides"));
+  TFE_ASSIGN_OR_RETURN(auto padding, ctx->GetAttr<std::string>("padding"));
+  TFE_ASSIGN_OR_RETURN(ConvGeometry g,
+                       MakeGeometry(x.shape(), f.shape(), strides, padding));
+  Tensor out = ctx->AllocateOutput(
+      0, x.dtype(), Shape({g.batch, g.out_h, g.out_w, g.out_c}));
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    ConvForward<T>(g, x.data<T>(), f.data<T>(), out.mutable_data<T>());
+  });
+  return Status::OK();
+}
+
+Status Conv2DBackpropInputKernel(KernelContext* ctx) {
+  // inputs: filter, dy; attr input_shape.
+  const Tensor& f = ctx->input(0);
+  const Tensor& dy = ctx->input(1);
+  TFE_ASSIGN_OR_RETURN(Shape input_shape, ctx->GetAttr<Shape>("input_shape"));
+  TFE_ASSIGN_OR_RETURN(auto strides,
+                       ctx->GetAttr<std::vector<int64_t>>("strides"));
+  TFE_ASSIGN_OR_RETURN(auto padding, ctx->GetAttr<std::string>("padding"));
+  TFE_ASSIGN_OR_RETURN(ConvGeometry g,
+                       MakeGeometry(input_shape, f.shape(), strides, padding));
+  if (dy.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
+    return InvalidArgument("Conv2DBackpropInput dy shape mismatch");
+  }
+  Tensor dx = ctx->AllocateOutput(0, dy.dtype(), input_shape);
+  TFE_SWITCH_FLOAT(dy.dtype(), T, {
+    ConvBackpropInput<T>(g, f.data<T>(), dy.data<T>(), dx.mutable_data<T>());
+  });
+  return Status::OK();
+}
+
+Status Conv2DBackpropFilterKernel(KernelContext* ctx) {
+  // inputs: x, dy; attr filter_shape.
+  const Tensor& x = ctx->input(0);
+  const Tensor& dy = ctx->input(1);
+  TFE_ASSIGN_OR_RETURN(Shape filter_shape,
+                       ctx->GetAttr<Shape>("filter_shape"));
+  TFE_ASSIGN_OR_RETURN(auto strides,
+                       ctx->GetAttr<std::vector<int64_t>>("strides"));
+  TFE_ASSIGN_OR_RETURN(auto padding, ctx->GetAttr<std::string>("padding"));
+  TFE_ASSIGN_OR_RETURN(ConvGeometry g,
+                       MakeGeometry(x.shape(), filter_shape, strides, padding));
+  if (dy.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
+    return InvalidArgument("Conv2DBackpropFilter dy shape mismatch");
+  }
+  Tensor df = ctx->AllocateOutput(0, x.dtype(), filter_shape);
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    ConvBackpropFilter<T>(g, x.data<T>(), dy.data<T>(), df.mutable_data<T>());
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterConvKernels() {
+  RegisterKernel("Conv2D", Conv2DKernel);
+  RegisterKernel("Conv2DBackpropInput", Conv2DBackpropInputKernel);
+  RegisterKernel("Conv2DBackpropFilter", Conv2DBackpropFilterKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,330 @@
+// Elementwise kernels: broadcasting binary arithmetic, comparisons, unary
+// math, Select, Cast, ZerosLike/OnesLike.
+#include <cmath>
+#include <cstring>
+
+#include "kernels/kernel_util.h"
+#include "support/logging.h"
+#include "tensor/tensor_util.h"
+
+namespace tfe {
+namespace kernels {
+
+std::vector<int64_t> ComputeStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.rank());
+  int64_t stride = 1;
+  for (int i = shape.rank() - 1; i >= 0; --i) {
+    strides[i] = stride;
+    stride *= shape.dims()[i];
+  }
+  return strides;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& input,
+                                      const Shape& output) {
+  std::vector<int64_t> in_strides = ComputeStrides(input);
+  std::vector<int64_t> strides(output.rank(), 0);
+  for (int i = 0; i < input.rank(); ++i) {
+    int out_dim = output.rank() - input.rank() + i;
+    strides[out_dim] = input.dims()[i] == 1 && output.dims()[out_dim] != 1
+                           ? 0
+                           : in_strides[i];
+  }
+  return strides;
+}
+
+void RegisterKernel(const char* op_name, KernelFn fn) {
+  Status status = KernelRegistry::Global()->Register(op_name, std::move(fn));
+  TFE_CHECK(status.ok()) << status.ToString();
+}
+
+namespace {
+
+// Iterates the output index space, mapping each output coordinate to
+// (possibly broadcast) input offsets.
+template <typename TIn, typename TOut, typename BinaryFn>
+void BroadcastBinaryLoop(const TIn* a, const std::vector<int64_t>& a_strides,
+                         const TIn* b, const std::vector<int64_t>& b_strides,
+                         TOut* out, const Shape& out_shape, BinaryFn fn) {
+  const int rank = out_shape.rank();
+  const int64_t count = out_shape.num_elements();
+  if (rank == 0) {
+    if (count == 1) out[0] = fn(a[0], b[0]);
+    return;
+  }
+  std::vector<int64_t> coord(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = fn(a[a_off], b[b_off]);
+    // Odometer increment with running offsets.
+    for (int d = rank - 1; d >= 0; --d) {
+      a_off += a_strides[d];
+      b_off += b_strides[d];
+      if (++coord[d] < out_shape.dims()[d]) break;
+      coord[d] = 0;
+      a_off -= a_strides[d] * out_shape.dims()[d];
+      b_off -= b_strides[d] * out_shape.dims()[d];
+    }
+  }
+}
+
+// F exposes `template <typename T> static T Apply(T, T)`.
+template <typename F>
+Status BinaryKernel(KernelContext* ctx) {
+  const Tensor& a = ctx->input(0);
+  const Tensor& b = ctx->input(1);
+  if (a.dtype() != b.dtype()) {
+    return InvalidArgument("Binary op dtype mismatch: " +
+                           std::string(DTypeName(a.dtype())) + " vs " +
+                           DTypeName(b.dtype()));
+  }
+  TFE_ASSIGN_OR_RETURN(Shape out_shape, BroadcastShapes(a.shape(), b.shape()));
+  Tensor out = ctx->AllocateOutput(0, a.dtype(), out_shape);
+  auto a_strides = BroadcastStrides(a.shape(), out_shape);
+  auto b_strides = BroadcastStrides(b.shape(), out_shape);
+  TFE_SWITCH_NUMERIC(a.dtype(), T, {
+    BroadcastBinaryLoop<T, T>(a.data<T>(), a_strides, b.data<T>(), b_strides,
+                              out.mutable_data<T>(), out_shape,
+                              [](T x, T y) { return F::template Apply<T>(x, y); });
+  });
+  return Status::OK();
+}
+
+// Float-only binary (Pow).
+template <typename F>
+Status BinaryFloatKernel(KernelContext* ctx) {
+  const Tensor& a = ctx->input(0);
+  const Tensor& b = ctx->input(1);
+  if (a.dtype() != b.dtype()) {
+    return InvalidArgument("Binary op dtype mismatch");
+  }
+  TFE_ASSIGN_OR_RETURN(Shape out_shape, BroadcastShapes(a.shape(), b.shape()));
+  Tensor out = ctx->AllocateOutput(0, a.dtype(), out_shape);
+  auto a_strides = BroadcastStrides(a.shape(), out_shape);
+  auto b_strides = BroadcastStrides(b.shape(), out_shape);
+  TFE_SWITCH_FLOAT(a.dtype(), T, {
+    BroadcastBinaryLoop<T, T>(a.data<T>(), a_strides, b.data<T>(), b_strides,
+                              out.mutable_data<T>(), out_shape,
+                              [](T x, T y) { return F::template Apply<T>(x, y); });
+  });
+  return Status::OK();
+}
+
+template <typename F>
+Status CompareKernel(KernelContext* ctx) {
+  const Tensor& a = ctx->input(0);
+  const Tensor& b = ctx->input(1);
+  if (a.dtype() != b.dtype()) {
+    return InvalidArgument("Comparison dtype mismatch");
+  }
+  TFE_ASSIGN_OR_RETURN(Shape out_shape, BroadcastShapes(a.shape(), b.shape()));
+  Tensor out = ctx->AllocateOutput(0, DType::kBool, out_shape);
+  auto a_strides = BroadcastStrides(a.shape(), out_shape);
+  auto b_strides = BroadcastStrides(b.shape(), out_shape);
+  TFE_SWITCH_NUMERIC(a.dtype(), T, {
+    BroadcastBinaryLoop<T, bool>(
+        a.data<T>(), a_strides, b.data<T>(), b_strides,
+        out.mutable_data<bool>(), out_shape,
+        [](T x, T y) { return F::template Apply<T>(x, y); });
+  });
+  return Status::OK();
+}
+
+// F exposes `template <typename T> static T Apply(T)`.
+template <typename F>
+Status UnaryKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  TFE_SWITCH_NUMERIC(x.dtype(), T, {
+    const T* in = x.data<T>();
+    T* result = out.mutable_data<T>();
+    const int64_t count = x.num_elements();
+    for (int64_t i = 0; i < count; ++i) {
+      result[i] = F::template Apply<T>(in[i]);
+    }
+  });
+  return Status::OK();
+}
+
+template <typename F>
+Status UnaryFloatKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    T* result = out.mutable_data<T>();
+    const int64_t count = x.num_elements();
+    for (int64_t i = 0; i < count; ++i) {
+      result[i] = F::template Apply<T>(in[i]);
+    }
+  });
+  return Status::OK();
+}
+
+// ---- functors ---------------------------------------------------------------
+
+#define TFE_BINARY_FUNCTOR(NAME, EXPR)         \
+  struct NAME {                                \
+    template <typename T>                      \
+    static T Apply(T x, T y) {                 \
+      return (EXPR);                           \
+    }                                          \
+  }
+
+TFE_BINARY_FUNCTOR(AddF, x + y);
+TFE_BINARY_FUNCTOR(SubF, x - y);
+TFE_BINARY_FUNCTOR(MulF, x* y);
+TFE_BINARY_FUNCTOR(DivF, x / y);
+TFE_BINARY_FUNCTOR(MaximumF, x > y ? x : y);
+TFE_BINARY_FUNCTOR(MinimumF, x < y ? x : y);
+TFE_BINARY_FUNCTOR(SquaredDifferenceF, (x - y) * (x - y));
+TFE_BINARY_FUNCTOR(PowF, std::pow(x, y));
+
+#define TFE_COMPARE_FUNCTOR(NAME, OP)          \
+  struct NAME {                                \
+    template <typename T>                      \
+    static bool Apply(T x, T y) {              \
+      return x OP y;                           \
+    }                                          \
+  }
+
+TFE_COMPARE_FUNCTOR(EqualF, ==);
+TFE_COMPARE_FUNCTOR(NotEqualF, !=);
+TFE_COMPARE_FUNCTOR(LessF, <);
+TFE_COMPARE_FUNCTOR(LessEqualF, <=);
+TFE_COMPARE_FUNCTOR(GreaterF, >);
+TFE_COMPARE_FUNCTOR(GreaterEqualF, >=);
+
+#define TFE_UNARY_FUNCTOR(NAME, EXPR)          \
+  struct NAME {                                \
+    template <typename T>                      \
+    static T Apply(T x) {                      \
+      return (EXPR);                           \
+    }                                          \
+  }
+
+TFE_UNARY_FUNCTOR(NegF, -x);
+TFE_UNARY_FUNCTOR(AbsF, x < T(0) ? -x : x);
+TFE_UNARY_FUNCTOR(SquareF, x* x);
+TFE_UNARY_FUNCTOR(SignF, x > T(0) ? T(1) : (x < T(0) ? T(-1) : T(0)));
+TFE_UNARY_FUNCTOR(ReluF, x > T(0) ? x : T(0));
+TFE_UNARY_FUNCTOR(ExpF, std::exp(x));
+TFE_UNARY_FUNCTOR(LogF, std::log(x));
+TFE_UNARY_FUNCTOR(SqrtF, std::sqrt(x));
+TFE_UNARY_FUNCTOR(RsqrtF, T(1) / std::sqrt(x));
+TFE_UNARY_FUNCTOR(TanhF, std::tanh(x));
+TFE_UNARY_FUNCTOR(SigmoidF, T(1) / (T(1) + std::exp(-x)));
+TFE_UNARY_FUNCTOR(SinF, std::sin(x));
+TFE_UNARY_FUNCTOR(CosF, std::cos(x));
+TFE_UNARY_FUNCTOR(ReciprocalF, T(1) / x);
+TFE_UNARY_FUNCTOR(FloorF, std::floor(x));
+
+Status SelectKernel(KernelContext* ctx) {
+  const Tensor& cond = ctx->input(0);
+  const Tensor& x = ctx->input(1);
+  const Tensor& y = ctx->input(2);
+  if (cond.dtype() != DType::kBool) {
+    return InvalidArgument("Select condition must be bool");
+  }
+  if (x.shape() != y.shape() || x.shape() != cond.shape()) {
+    return InvalidArgument("Select requires equal shapes");
+  }
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  const bool* c = cond.data<bool>();
+  TFE_SWITCH_NUMERIC(x.dtype(), T, {
+    const T* xs = x.data<T>();
+    const T* ys = y.data<T>();
+    T* result = out.mutable_data<T>();
+    for (int64_t i = 0; i < x.num_elements(); ++i) {
+      result[i] = c[i] ? xs[i] : ys[i];
+    }
+  });
+  return Status::OK();
+}
+
+Status CastKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(DType dst, ctx->GetAttr<DType>("dst"));
+  Tensor out = ctx->AllocateOutput(0, dst, x.shape());
+  const int64_t count = x.num_elements();
+  if (x.dtype() == DType::kBool || dst == DType::kBool) {
+    // Bool conversions go through the generic element accessors (bool masks
+    // cast to float are common in accept/reject samplers like L2HMC).
+    for (int64_t i = 0; i < count; ++i) {
+      tensor_util::SetElementFromDouble(out, i,
+                                        tensor_util::ElementAsDouble(x, i));
+    }
+    return Status::OK();
+  }
+  TFE_SWITCH_NUMERIC(x.dtype(), TIn, {
+    const TIn* in = x.data<TIn>();
+    TFE_SWITCH_NUMERIC(dst, TOut, {
+      TOut* result = out.mutable_data<TOut>();
+      for (int64_t i = 0; i < count; ++i) {
+        result[i] = static_cast<TOut>(in[i]);
+      }
+    });
+  });
+  return Status::OK();
+}
+
+Status ZerosLikeKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  ctx->AllocateOutput(0, x.dtype(), x.shape());  // zero-initialized
+  return Status::OK();
+}
+
+Status OnesLikeKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  TFE_SWITCH_NUMERIC(x.dtype(), T, {
+    T* result = out.mutable_data<T>();
+    for (int64_t i = 0; i < x.num_elements(); ++i) result[i] = T(1);
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterElementwiseKernels() {
+  RegisterKernel("Add", BinaryKernel<AddF>);
+  RegisterKernel("Sub", BinaryKernel<SubF>);
+  RegisterKernel("Mul", BinaryKernel<MulF>);
+  RegisterKernel("Div", BinaryKernel<DivF>);
+  RegisterKernel("Maximum", BinaryKernel<MaximumF>);
+  RegisterKernel("Minimum", BinaryKernel<MinimumF>);
+  RegisterKernel("SquaredDifference", BinaryKernel<SquaredDifferenceF>);
+  RegisterKernel("Pow", BinaryFloatKernel<PowF>);
+
+  RegisterKernel("Equal", CompareKernel<EqualF>);
+  RegisterKernel("NotEqual", CompareKernel<NotEqualF>);
+  RegisterKernel("Less", CompareKernel<LessF>);
+  RegisterKernel("LessEqual", CompareKernel<LessEqualF>);
+  RegisterKernel("Greater", CompareKernel<GreaterF>);
+  RegisterKernel("GreaterEqual", CompareKernel<GreaterEqualF>);
+
+  RegisterKernel("Neg", UnaryKernel<NegF>);
+  RegisterKernel("Abs", UnaryKernel<AbsF>);
+  RegisterKernel("Square", UnaryKernel<SquareF>);
+  RegisterKernel("Sign", UnaryKernel<SignF>);
+  RegisterKernel("Relu", UnaryKernel<ReluF>);
+  RegisterKernel("Exp", UnaryFloatKernel<ExpF>);
+  RegisterKernel("Log", UnaryFloatKernel<LogF>);
+  RegisterKernel("Sqrt", UnaryFloatKernel<SqrtF>);
+  RegisterKernel("Rsqrt", UnaryFloatKernel<RsqrtF>);
+  RegisterKernel("Tanh", UnaryFloatKernel<TanhF>);
+  RegisterKernel("Sigmoid", UnaryFloatKernel<SigmoidF>);
+  RegisterKernel("Sin", UnaryFloatKernel<SinF>);
+  RegisterKernel("Cos", UnaryFloatKernel<CosF>);
+  RegisterKernel("Reciprocal", UnaryFloatKernel<ReciprocalF>);
+  RegisterKernel("Floor", UnaryFloatKernel<FloorF>);
+
+  RegisterKernel("Select", SelectKernel);
+  RegisterKernel("Cast", CastKernel);
+  RegisterKernel("ZerosLike", ZerosLikeKernel);
+  RegisterKernel("OnesLike", OnesLikeKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,37 @@
+// HostFunc: the py_func analog (paper §4.7) — an operation whose attr is an
+// imperative host-language callback, letting users embed arbitrary
+// imperative code inside a dataflow graph.
+#include "kernels/kernel_util.h"
+#include "staging/trace_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+Status HostFuncKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto func,
+                       ctx->GetAttr<std::shared_ptr<HostFunc>>("func"));
+  if (func == nullptr || !func->fn) {
+    return InvalidArgument("HostFunc has no callback");
+  }
+  // The callback runs imperatively even when this node executes inside a
+  // graph ("py_func returns control to a single-threaded [interpreter]").
+  InitScope imperative;
+  TFE_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, func->fn(ctx->inputs()));
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (!outputs[i].defined() || outputs[i].is_symbolic()) {
+      return InvalidArgument(strings::StrCat(
+          "HostFunc '", func->name, "' output ", i, " is not concrete"));
+    }
+    ctx->SetOutput(static_cast<int>(i), outputs[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterHostFuncKernels() { RegisterKernel("HostFunc", HostFuncKernel); }
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,76 @@
+// Shared helpers for CPU kernel implementations.
+#ifndef TFE_KERNELS_KERNEL_UTIL_H_
+#define TFE_KERNELS_KERNEL_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/kernel.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+// Dtype dispatch: expands STMTS once per supported element type with `T`
+// bound. The *_NUMERIC form covers arithmetic types; *_FLOAT covers the
+// floating types only (transcendental kernels).
+#define TFE_SWITCH_NUMERIC(DTYPE, T, ...)                          \
+  switch (DTYPE) {                                                 \
+    case ::tfe::DType::kFloat32: {                                 \
+      using T = float;                                             \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    case ::tfe::DType::kFloat64: {                                 \
+      using T = double;                                            \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    case ::tfe::DType::kInt32: {                                   \
+      using T = int32_t;                                           \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    case ::tfe::DType::kInt64: {                                   \
+      using T = int64_t;                                           \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    default:                                                       \
+      return ::tfe::InvalidArgument("Unsupported dtype for kernel"); \
+  }
+
+#define TFE_SWITCH_FLOAT(DTYPE, T, ...)                            \
+  switch (DTYPE) {                                                 \
+    case ::tfe::DType::kFloat32: {                                 \
+      using T = float;                                             \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    case ::tfe::DType::kFloat64: {                                 \
+      using T = double;                                            \
+      __VA_ARGS__;                                                 \
+      break;                                                       \
+    }                                                              \
+    default:                                                       \
+      return ::tfe::InvalidArgument(                               \
+          "Kernel requires a floating-point dtype");               \
+  }
+
+namespace tfe {
+namespace kernels {
+
+// Row-major strides of `shape`; broadcast dims (size 1 where the output is
+// larger) get stride 0 when `broadcast_to` is provided.
+std::vector<int64_t> ComputeStrides(const Shape& shape);
+
+// Strides for reading `input` as if broadcast to `output` (trailing-dim
+// alignment). Lengths equal output rank.
+std::vector<int64_t> BroadcastStrides(const Shape& input, const Shape& output);
+
+// Registers `fn` for `op_name` on all device kinds, CHECK-failing on
+// duplicates (used by the startup registrars).
+void RegisterKernel(const char* op_name, KernelFn fn);
+
+}  // namespace kernels
+}  // namespace tfe
+
+#endif  // TFE_KERNELS_KERNEL_UTIL_H_

@@ -1,0 +1,217 @@
+// Max/avg pooling kernels (NHWC) and their backprops.
+#include <algorithm>
+#include <limits>
+
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+struct PoolGeometry {
+  int64_t batch, in_h, in_w, channels;
+  int64_t k_h, k_w, stride_h, stride_w;
+  int64_t out_h, out_w;
+  int64_t pad_top, pad_left;
+};
+
+StatusOr<PoolGeometry> MakeGeometry(KernelContext* ctx, const Shape& input) {
+  TFE_ASSIGN_OR_RETURN(auto ksize, ctx->GetAttr<std::vector<int64_t>>("ksize"));
+  TFE_ASSIGN_OR_RETURN(auto strides,
+                       ctx->GetAttr<std::vector<int64_t>>("strides"));
+  TFE_ASSIGN_OR_RETURN(auto padding, ctx->GetAttr<std::string>("padding"));
+  if (input.rank() != 4 || ksize.size() != 2 || strides.size() != 2) {
+    return InvalidArgument("Pooling expects NHWC input, 2-element ksize/strides");
+  }
+  PoolGeometry g;
+  g.batch = input.dim(0);
+  g.in_h = input.dim(1);
+  g.in_w = input.dim(2);
+  g.channels = input.dim(3);
+  g.k_h = ksize[0];
+  g.k_w = ksize[1];
+  g.stride_h = strides[0];
+  g.stride_w = strides[1];
+  if (padding == "SAME") {
+    g.out_h = (g.in_h + g.stride_h - 1) / g.stride_h;
+    g.out_w = (g.in_w + g.stride_w - 1) / g.stride_w;
+    int64_t pad_h =
+        std::max<int64_t>((g.out_h - 1) * g.stride_h + g.k_h - g.in_h, 0);
+    int64_t pad_w =
+        std::max<int64_t>((g.out_w - 1) * g.stride_w + g.k_w - g.in_w, 0);
+    g.pad_top = pad_h / 2;
+    g.pad_left = pad_w / 2;
+  } else if (padding == "VALID") {
+    if (g.k_h > g.in_h || g.k_w > g.in_w) {
+      return InvalidArgument("Pooling VALID window larger than input");
+    }
+    g.out_h = (g.in_h - g.k_h) / g.stride_h + 1;
+    g.out_w = (g.in_w - g.k_w) / g.stride_w + 1;
+    g.pad_top = 0;
+    g.pad_left = 0;
+  } else {
+    return InvalidArgument("Unknown padding: " + padding);
+  }
+  return g;
+}
+
+template <typename T, typename PerWindowFn>
+void ForEachWindow(const PoolGeometry& g, PerWindowFn fn) {
+  for (int64_t n = 0; n < g.batch; ++n) {
+    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (int64_t c = 0; c < g.channels; ++c) {
+          fn(n, oh, ow, c);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+int64_t InputOffset(const PoolGeometry& g, int64_t n, int64_t ih, int64_t iw,
+                    int64_t c) {
+  return ((n * g.in_h + ih) * g.in_w + iw) * g.channels + c;
+}
+
+template <typename T>
+int64_t OutputOffset(const PoolGeometry& g, int64_t n, int64_t oh, int64_t ow,
+                     int64_t c) {
+  return ((n * g.out_h + oh) * g.out_w + ow) * g.channels + c;
+}
+
+Status MaxPoolKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(PoolGeometry g, MakeGeometry(ctx, x.shape()));
+  Tensor out = ctx->AllocateOutput(
+      0, x.dtype(), Shape({g.batch, g.out_h, g.out_w, g.channels}));
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    T* result = out.mutable_data<T>();
+    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+      T best = -std::numeric_limits<T>::infinity();
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          best = std::max(best, in[InputOffset<T>(g, n, ih, iw, c)]);
+        }
+      }
+      result[OutputOffset<T>(g, n, oh, ow, c)] = best;
+    });
+  });
+  return Status::OK();
+}
+
+// inputs: x, y (forward output), dy.
+Status MaxPoolGradKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  const Tensor& y = ctx->input(1);
+  const Tensor& dy = ctx->input(2);
+  TFE_ASSIGN_OR_RETURN(PoolGeometry g, MakeGeometry(ctx, x.shape()));
+  Tensor dx = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    const T* out = y.data<T>();
+    const T* grad = dy.data<T>();
+    T* din = dx.mutable_data<T>();
+    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+      int64_t out_off = OutputOffset<T>(g, n, oh, ow, c);
+      T max_value = out[out_off];
+      // Route the gradient to the first element achieving the max,
+      // matching TF's tie-breaking.
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          int64_t in_off = InputOffset<T>(g, n, ih, iw, c);
+          if (in[in_off] == max_value) {
+            din[in_off] += grad[out_off];
+            return;
+          }
+        }
+      }
+    });
+  });
+  return Status::OK();
+}
+
+Status AvgPoolKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(PoolGeometry g, MakeGeometry(ctx, x.shape()));
+  Tensor out = ctx->AllocateOutput(
+      0, x.dtype(), Shape({g.batch, g.out_h, g.out_w, g.channels}));
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    T* result = out.mutable_data<T>();
+    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+      T sum = T(0);
+      int64_t count = 0;
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          sum += in[InputOffset<T>(g, n, ih, iw, c)];
+          ++count;
+        }
+      }
+      result[OutputOffset<T>(g, n, oh, ow, c)] =
+          count > 0 ? sum / static_cast<T>(count) : T(0);
+    });
+  });
+  return Status::OK();
+}
+
+// input: dy; attr input_shape.
+Status AvgPoolGradKernel(KernelContext* ctx) {
+  const Tensor& dy = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(Shape input_shape, ctx->GetAttr<Shape>("input_shape"));
+  TFE_ASSIGN_OR_RETURN(PoolGeometry g, MakeGeometry(ctx, input_shape));
+  Tensor dx = ctx->AllocateOutput(0, dy.dtype(), input_shape);
+  TFE_SWITCH_FLOAT(dy.dtype(), T, {
+    const T* grad = dy.data<T>();
+    T* din = dx.mutable_data<T>();
+    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+      int64_t count = 0;
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          ++count;
+        }
+      }
+      if (count == 0) return;
+      T share = grad[OutputOffset<T>(g, n, oh, ow, c)] / static_cast<T>(count);
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          din[InputOffset<T>(g, n, ih, iw, c)] += share;
+        }
+      }
+    });
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterPoolingKernels() {
+  RegisterKernel("MaxPool", MaxPoolKernel);
+  RegisterKernel("MaxPoolGrad", MaxPoolGradKernel);
+  RegisterKernel("AvgPool", AvgPoolKernel);
+  RegisterKernel("AvgPoolGrad", AvgPoolGradKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,67 @@
+// Random kernels, built on counter-based Philox.
+//
+// With a nonzero `seed` attr the op is a pure function of (seed, seed2) —
+// the same stream in eager and staged execution. With seed == 0 the op draws
+// from the context's stateful stream: every *execution* yields fresh
+// randomness, which is exactly why tracing a TF random op preserves
+// semantics while tracing np.random.randn would freeze a constant into the
+// graph (paper §4.1).
+#include "kernels/kernel_util.h"
+#include "runtime/eager_context.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+template <bool kNormal>
+Status RandomKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(Shape shape, ctx->GetAttr<Shape>("shape"));
+  DType dtype = ctx->GetAttrOr<DType>("dtype", DType::kFloat32);
+  int64_t seed = ctx->GetAttrOr<int64_t>("seed", 0);
+  int64_t seed2 = ctx->GetAttrOr<int64_t>("seed2", 0);
+  if (!IsFloating(dtype)) {
+    return InvalidArgument("Random ops require a floating dtype");
+  }
+  Tensor out = ctx->AllocateOutput(0, dtype, shape);
+  const int64_t count = shape.num_elements();
+
+  auto fill = [&](random::Philox& gen) {
+    TFE_SWITCH_FLOAT(dtype, T, {
+      T* data = out.mutable_data<T>();
+      if (kNormal) {
+        double mean = ctx->GetAttrOr<double>("mean", 0.0);
+        double stddev = ctx->GetAttrOr<double>("stddev", 1.0);
+        for (int64_t i = 0; i < count; ++i) {
+          data[i] = static_cast<T>(mean + stddev * gen.NextGaussian());
+        }
+      } else {
+        double minval = ctx->GetAttrOr<double>("minval", 0.0);
+        double maxval = ctx->GetAttrOr<double>("maxval", 1.0);
+        for (int64_t i = 0; i < count; ++i) {
+          data[i] = static_cast<T>(minval +
+                                   (maxval - minval) * gen.NextDouble());
+        }
+      }
+    });
+    return Status::OK();
+  };
+
+  if (seed != 0 || seed2 != 0) {
+    random::Philox gen(static_cast<uint64_t>(seed),
+                       static_cast<uint64_t>(seed2));
+    return fill(gen);
+  }
+  EagerContext* ectx = ctx->eager_context();
+  std::lock_guard<std::mutex> lock(ectx->rng_mu());
+  return fill(ectx->rng());
+}
+
+}  // namespace
+
+void RegisterRandomKernels() {
+  RegisterKernel("RandomNormal", RandomKernel<true>);
+  RegisterKernel("RandomUniform", RandomKernel<false>);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,168 @@
+// Reduction kernels: Sum, Mean, Max, Min over attr-specified axes, ArgMax.
+#include <algorithm>
+#include <limits>
+
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+struct ReductionPlan {
+  Shape out_shape;            // after keep_dims handling
+  std::vector<bool> reduced;  // per input dim
+  int64_t reduce_count = 1;   // elements folded into each output
+};
+
+StatusOr<ReductionPlan> MakePlan(KernelContext* ctx, const Shape& in) {
+  std::vector<int64_t> axes =
+      ctx->GetAttrOr<std::vector<int64_t>>("axis", {});
+  bool keep_dims = ctx->GetAttrOr<bool>("keep_dims", false);
+  ReductionPlan plan;
+  plan.reduced.assign(in.rank(), axes.empty());
+  for (int64_t axis : axes) {
+    if (axis < 0) axis += in.rank();
+    if (axis < 0 || axis >= in.rank()) {
+      return InvalidArgument("Reduction axis out of range");
+    }
+    plan.reduced[axis] = true;
+  }
+  std::vector<int64_t> dims;
+  for (int i = 0; i < in.rank(); ++i) {
+    if (plan.reduced[i]) {
+      plan.reduce_count *= in.dims()[i];
+      if (keep_dims) dims.push_back(1);
+    } else {
+      dims.push_back(in.dims()[i]);
+    }
+  }
+  plan.out_shape = Shape(std::move(dims));
+  return plan;
+}
+
+enum class Reduction { kSum, kMean, kMax, kMin };
+
+template <typename T>
+void Reduce(const Tensor& x, Tensor& out, const ReductionPlan& plan,
+            Reduction kind) {
+  const T* in = x.data<T>();
+  T* result = out.mutable_data<T>();
+  const int rank = x.shape().rank();
+  const int64_t out_count = out.num_elements();
+
+  T init;
+  switch (kind) {
+    case Reduction::kMax:
+      init = std::numeric_limits<T>::lowest();
+      break;
+    case Reduction::kMin:
+      init = std::numeric_limits<T>::max();
+      break;
+    default:
+      init = T(0);
+  }
+  for (int64_t i = 0; i < out_count; ++i) result[i] = init;
+
+  // Map each input element to its output slot via the non-reduced dims.
+  std::vector<int64_t> out_stride_of_dim(rank, 0);
+  {
+    int64_t stride = 1;
+    for (int i = rank - 1; i >= 0; --i) {
+      if (!plan.reduced[i]) {
+        out_stride_of_dim[i] = stride;
+        stride *= x.shape().dims()[i];
+      }
+    }
+  }
+  std::vector<int64_t> coord(rank, 0);
+  int64_t out_off = 0;
+  const int64_t in_count = x.num_elements();
+  for (int64_t i = 0; i < in_count; ++i) {
+    switch (kind) {
+      case Reduction::kSum:
+      case Reduction::kMean:
+        result[out_off] += in[i];
+        break;
+      case Reduction::kMax:
+        result[out_off] = std::max(result[out_off], in[i]);
+        break;
+      case Reduction::kMin:
+        result[out_off] = std::min(result[out_off], in[i]);
+        break;
+    }
+    for (int d = rank - 1; d >= 0; --d) {
+      out_off += out_stride_of_dim[d];
+      if (++coord[d] < x.shape().dims()[d]) break;
+      coord[d] = 0;
+      out_off -= out_stride_of_dim[d] * x.shape().dims()[d];
+    }
+  }
+  if (kind == Reduction::kMean && plan.reduce_count > 0) {
+    for (int64_t i = 0; i < out_count; ++i) {
+      result[i] /= static_cast<T>(plan.reduce_count);
+    }
+  }
+}
+
+template <Reduction kKind>
+Status ReductionKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(ReductionPlan plan, MakePlan(ctx, x.shape()));
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), plan.out_shape);
+  TFE_SWITCH_NUMERIC(x.dtype(), T, { Reduce<T>(x, out, plan, kKind); });
+  return Status::OK();
+}
+
+Status ArgMaxKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  TFE_ASSIGN_OR_RETURN(int64_t axis, ctx->GetAttr<int64_t>("axis"));
+  if (axis < 0) axis += x.shape().rank();
+  if (axis < 0 || axis >= x.shape().rank()) {
+    return InvalidArgument("ArgMax axis out of range");
+  }
+  std::vector<int64_t> dims;
+  for (int i = 0; i < x.shape().rank(); ++i) {
+    if (i != axis) dims.push_back(x.shape().dims()[i]);
+  }
+  Tensor out = ctx->AllocateOutput(0, DType::kInt64, Shape(dims));
+
+  const int64_t axis_size = x.shape().dim(static_cast<int>(axis));
+  int64_t inner = 1;
+  for (int i = static_cast<int>(axis) + 1; i < x.shape().rank(); ++i) {
+    inner *= x.shape().dims()[i];
+  }
+  int64_t outer = x.num_elements() / (axis_size * inner);
+
+  TFE_SWITCH_NUMERIC(x.dtype(), T, {
+    const T* in = x.data<T>();
+    int64_t* result = out.mutable_data<int64_t>();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        T best = in[o * axis_size * inner + i];
+        int64_t best_index = 0;
+        for (int64_t a = 1; a < axis_size; ++a) {
+          T value = in[(o * axis_size + a) * inner + i];
+          if (value > best) {
+            best = value;
+            best_index = a;
+          }
+        }
+        result[o * inner + i] = best_index;
+      }
+    }
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterReductionKernels() {
+  RegisterKernel("Sum", ReductionKernel<Reduction::kSum>);
+  RegisterKernel("Mean", ReductionKernel<Reduction::kMean>);
+  RegisterKernel("Max", ReductionKernel<Reduction::kMax>);
+  RegisterKernel("Min", ReductionKernel<Reduction::kMin>);
+  RegisterKernel("ArgMax", ArgMaxKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,56 @@
+// One-stop registration of op defs, kernels and gradients.
+#include <mutex>
+
+#include "autodiff/gradient_registry.h"
+#include "ops/op_registry.h"
+
+namespace tfe {
+
+namespace data {
+void RegisterDataOps();
+}  // namespace data
+
+void RegisterHashTableOps();      // state/hash_table.cpp
+void RegisterControlFlowOps();    // staging/control_flow.cpp
+
+namespace kernels {
+void RegisterElementwiseKernels();
+void RegisterMatMulKernels();
+void RegisterConvKernels();
+void RegisterPoolingKernels();
+void RegisterBatchNormKernels();
+void RegisterReductionKernels();
+void RegisterShapeOpKernels();
+void RegisterSoftmaxKernels();
+void RegisterRandomKernels();
+void RegisterVariableKernels();
+void RegisterControlKernels();
+void RegisterCallKernels();
+void RegisterHostFuncKernels();
+}  // namespace kernels
+
+void EnsureOpsRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterAllOpDefs();
+    kernels::RegisterElementwiseKernels();
+    kernels::RegisterMatMulKernels();
+    kernels::RegisterConvKernels();
+    kernels::RegisterPoolingKernels();
+    kernels::RegisterBatchNormKernels();
+    kernels::RegisterReductionKernels();
+    kernels::RegisterShapeOpKernels();
+    kernels::RegisterSoftmaxKernels();
+    kernels::RegisterRandomKernels();
+    kernels::RegisterVariableKernels();
+    kernels::RegisterControlKernels();
+    kernels::RegisterCallKernels();
+    kernels::RegisterHostFuncKernels();
+    data::RegisterDataOps();
+    RegisterHashTableOps();
+    RegisterControlFlowOps();
+    RegisterAllGradients();
+  });
+}
+
+}  // namespace tfe

@@ -1,0 +1,111 @@
+// Softmax family: Softmax, LogSoftmax (last axis) and
+// SparseSoftmaxCrossEntropyWithLogits.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/kernel_util.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+template <typename T>
+void RowSoftmax(const T* in, T* out, int64_t cols, bool log_form) {
+  T max_value = in[0];
+  for (int64_t c = 1; c < cols; ++c) max_value = std::max(max_value, in[c]);
+  T sum = T(0);
+  for (int64_t c = 0; c < cols; ++c) {
+    out[c] = std::exp(in[c] - max_value);
+    sum += out[c];
+  }
+  if (log_form) {
+    T log_sum = std::log(sum);
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] = in[c] - max_value - log_sum;
+    }
+  } else {
+    for (int64_t c = 0; c < cols; ++c) out[c] /= sum;
+  }
+}
+
+template <bool kLogForm>
+Status SoftmaxKernel(KernelContext* ctx) {
+  const Tensor& x = ctx->input(0);
+  if (x.shape().rank() < 1) {
+    return InvalidArgument("Softmax requires rank >= 1");
+  }
+  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  const int64_t cols = x.shape().dim(x.shape().rank() - 1);
+  const int64_t rows = x.num_elements() / cols;
+  TFE_SWITCH_FLOAT(x.dtype(), T, {
+    const T* in = x.data<T>();
+    T* result = out.mutable_data<T>();
+    for (int64_t r = 0; r < rows; ++r) {
+      RowSoftmax<T>(in + r * cols, result + r * cols, cols, kLogForm);
+    }
+  });
+  return Status::OK();
+}
+
+// inputs: logits [b,c], labels int [b]; outputs: loss [b], backprop [b,c]
+// (backprop = softmax(logits) - one_hot(labels), the cached gradient).
+Status SparseXentKernel(KernelContext* ctx) {
+  const Tensor& logits = ctx->input(0);
+  const Tensor& labels = ctx->input(1);
+  if (logits.shape().rank() != 2 || labels.shape().rank() != 1) {
+    return InvalidArgument("SparseXent expects logits [b,c], labels [b]");
+  }
+  if (!IsInteger(labels.dtype())) {
+    return InvalidArgument("SparseXent labels must be integer");
+  }
+  const int64_t batch = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  if (labels.shape().dim(0) != batch) {
+    return InvalidArgument("SparseXent batch mismatch");
+  }
+  Tensor loss = ctx->AllocateOutput(0, logits.dtype(), Shape({batch}));
+  Tensor backprop = ctx->AllocateOutput(1, logits.dtype(), logits.shape());
+
+  TFE_SWITCH_FLOAT(logits.dtype(), T, {
+    const T* in = logits.data<T>();
+    T* loss_out = loss.mutable_data<T>();
+    T* grad_out = backprop.mutable_data<T>();
+    for (int64_t b = 0; b < batch; ++b) {
+      int64_t label = labels.dtype() == DType::kInt32
+                          ? labels.data<int32_t>()[b]
+                          : labels.data<int64_t>()[b];
+      if (label < 0 || label >= classes) {
+        return OutOfRange("SparseXent label out of range");
+      }
+      const T* row = in + b * classes;
+      T* grad_row = grad_out + b * classes;
+      // log-softmax for numerical stability.
+      T max_value = row[0];
+      for (int64_t c = 1; c < classes; ++c) {
+        max_value = std::max(max_value, row[c]);
+      }
+      T sum = T(0);
+      for (int64_t c = 0; c < classes; ++c) {
+        sum += std::exp(row[c] - max_value);
+      }
+      T log_sum = std::log(sum);
+      loss_out[b] = -(row[label] - max_value - log_sum);
+      for (int64_t c = 0; c < classes; ++c) {
+        grad_row[c] = std::exp(row[c] - max_value - log_sum);
+      }
+      grad_row[label] -= T(1);
+    }
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterSoftmaxKernels() {
+  RegisterKernel("Softmax", SoftmaxKernel<false>);
+  RegisterKernel("LogSoftmax", SoftmaxKernel<true>);
+  RegisterKernel("SparseSoftmaxCrossEntropyWithLogits", SparseXentKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,165 @@
+// Variable (resource) kernels and the checkpoint save/restore ops.
+#include <filesystem>
+#include <fstream>
+
+#include "kernels/kernel_util.h"
+#include "state/variable.h"
+#include "support/strings.h"
+
+namespace tfe {
+namespace kernels {
+namespace {
+
+StatusOr<VariableStorage*> GetStorage(const Tensor& handle) {
+  if (!handle.defined() || !handle.is_resource()) {
+    return InvalidArgument("Expected a resource tensor");
+  }
+  auto* storage = dynamic_cast<VariableStorage*>(handle.resource().get());
+  if (storage == nullptr) {
+    return InvalidArgument("Resource is not a variable");
+  }
+  return storage;
+}
+
+Status ReadVariableKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(VariableStorage * storage, GetStorage(ctx->input(0)));
+  if (!storage->initialized()) {
+    return FailedPrecondition("Variable '" + storage->name() +
+                              "' is uninitialized");
+  }
+  // Each read is a fresh tensor identity sharing the (immutable) buffer:
+  // gradient tapes must treat two reads as two edges from the variable, or
+  // d(v*v)/dv would double-count.
+  Tensor value = storage->value();
+  if (value.is_opaque()) {
+    ctx->SetOutput(0, Tensor::Opaque(value.dtype(), value.shape(),
+                                     storage->device()));
+  } else {
+    ctx->SetOutput(0, Tensor::Concrete(value.dtype(), value.shape(),
+                                       value.buffer(), storage->device()));
+  }
+  return Status::OK();
+}
+
+Status AssignVariableKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(VariableStorage * storage, GetStorage(ctx->input(0)));
+  return storage->Assign(ctx->input(1));
+}
+
+// sign = +1 for AssignAdd, -1 for AssignSub.
+template <int kSign>
+Status AssignArithmeticKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(VariableStorage * storage, GetStorage(ctx->input(0)));
+  const Tensor& delta = ctx->input(1);
+  if (!storage->initialized()) {
+    return FailedPrecondition("Variable '" + storage->name() +
+                              "' is uninitialized");
+  }
+  Tensor current = storage->value();
+  if (delta.dtype() != current.dtype() || delta.shape() != current.shape()) {
+    return InvalidArgument("AssignAdd/Sub shape or dtype mismatch for '" +
+                           storage->name() + "'");
+  }
+  if (current.is_opaque() || delta.is_opaque()) {
+    // Timing-only simulation: contents are not materialized.
+    return storage->Assign(
+        Tensor::Opaque(current.dtype(), current.shape(), storage->device()));
+  }
+  Tensor next = Tensor::Empty(current.dtype(), current.shape(),
+                              storage->device());
+  TFE_SWITCH_NUMERIC(current.dtype(), T, {
+    const T* a = current.data<T>();
+    const T* b = delta.data<T>();
+    T* out = next.mutable_data<T>();
+    const int64_t count = current.num_elements();
+    for (int64_t i = 0; i < count; ++i) {
+      out[i] = kSign > 0 ? a[i] + b[i] : a[i] - b[i];
+    }
+  });
+  return storage->Assign(std::move(next));
+}
+
+std::string TensorFilePath(const std::string& prefix,
+                           const std::string& name) {
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    if (c == '/' || c == ':') c = '_';
+  }
+  return prefix + "/" + sanitized + ".tensor";
+}
+
+constexpr uint32_t kTensorFileMagic = 0x54464554;  // "TFET"
+
+// input: value; attrs: prefix, name. Writes one tensor file under the
+// checkpoint prefix (paper §4.3: saving "sends the value to a save op").
+Status SaveTensorKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto prefix, ctx->GetAttr<std::string>("prefix"));
+  TFE_ASSIGN_OR_RETURN(auto name, ctx->GetAttr<std::string>("name"));
+  const Tensor& value = ctx->input(0);
+  if (value.is_opaque()) {
+    return FailedPrecondition(
+        "Cannot checkpoint an opaque (timing-only simulation) tensor");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(prefix, ec);
+  std::ofstream out(TensorFilePath(prefix, name), std::ios::binary);
+  if (!out) return Unavailable("Cannot open checkpoint file for " + name);
+  uint32_t magic = kTensorFileMagic;
+  int32_t dtype = static_cast<int32_t>(value.dtype());
+  int32_t rank = value.shape().rank();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&dtype), sizeof(dtype));
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t dim : value.shape().dims()) {
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  out.write(static_cast<const char*>(value.raw_data()),
+            static_cast<std::streamsize>(value.num_elements() *
+                                         DTypeSize(value.dtype())));
+  if (!out) return Unavailable("Write failed for checkpoint entry " + name);
+  return Status::OK();
+}
+
+// attrs: prefix, name, dtype, shape. Produces the restored tensor (paper
+// §4.3: restoring "assigns from a restore operation").
+Status RestoreTensorKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto prefix, ctx->GetAttr<std::string>("prefix"));
+  TFE_ASSIGN_OR_RETURN(auto name, ctx->GetAttr<std::string>("name"));
+  std::ifstream in(TensorFilePath(prefix, name), std::ios::binary);
+  if (!in) return NotFound("No checkpoint entry for " + name);
+  uint32_t magic = 0;
+  int32_t dtype_raw = 0;
+  int32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dtype_raw), sizeof(dtype_raw));
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || magic != kTensorFileMagic || rank < 0 || rank > 32) {
+    return Internal("Corrupt checkpoint entry for " + name);
+  }
+  std::vector<int64_t> dims(rank);
+  for (int32_t i = 0; i < rank; ++i) {
+    in.read(reinterpret_cast<char*>(&dims[i]), sizeof(dims[i]));
+  }
+  DType dtype = static_cast<DType>(dtype_raw);
+  Shape shape(dims);
+  Tensor out = ctx->AllocateOutput(0, dtype, shape);
+  in.read(static_cast<char*>(out.raw_mutable_data()),
+          static_cast<std::streamsize>(shape.num_elements() *
+                                       DTypeSize(dtype)));
+  if (!in) return Internal("Truncated checkpoint entry for " + name);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterVariableKernels() {
+  RegisterKernel("ReadVariableOp", ReadVariableKernel);
+  RegisterKernel("AssignVariableOp", AssignVariableKernel);
+  RegisterKernel("AssignAddVariableOp", AssignArithmeticKernel<1>);
+  RegisterKernel("AssignSubVariableOp", AssignArithmeticKernel<-1>);
+  RegisterKernel("SaveTensor", SaveTensorKernel);
+  RegisterKernel("RestoreTensor", RestoreTensorKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

@@ -1,0 +1,84 @@
+#include "models/mlp.h"
+
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace tfe {
+namespace models {
+
+Dense::Dense(int64_t in_features, int64_t out_features, bool relu,
+             int64_t seed, const std::string& name)
+    : relu_(relu) {
+  // Glorot-style scale; seeded so eager and staged runs are reproducible.
+  double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+  Tensor kernel_init = ops::random_normal({in_features, out_features}, 0.0,
+                                          stddev, seed == 0 ? 7 : seed);
+  kernel_ = Variable(kernel_init, name + "/kernel");
+  bias_ = Variable(ops::zeros(DType::kFloat32, {out_features}),
+                   name + "/bias");
+  TrackVariable("kernel", kernel_);
+  TrackVariable("bias", bias_);
+}
+
+Tensor Dense::operator()(const Tensor& x) const {
+  Tensor y = ops::add(ops::matmul(x, kernel_.value()), bias_.value());
+  return relu_ ? ops::relu(y) : y;
+}
+
+MLP::MLP(const std::vector<int64_t>& layer_sizes, int64_t seed) {
+  TFE_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    bool relu = i + 2 < layer_sizes.size();
+    layers_.push_back(std::make_unique<Dense>(
+        layer_sizes[i], layer_sizes[i + 1], relu, seed + 13 * (i + 1),
+        strings::StrCat("mlp/dense_", i)));
+    TrackChild(strings::StrCat("dense_", i), layers_.back().get());
+  }
+}
+
+Tensor MLP::operator()(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = (*layer)(h);
+  return h;
+}
+
+std::vector<Variable> MLP::variables() const {
+  std::vector<Variable> variables;
+  for (const auto& layer : layers_) {
+    for (const Variable& variable : layer->variables()) {
+      variables.push_back(variable);
+    }
+  }
+  return variables;
+}
+
+Tensor MLP::Loss(const Tensor& x, const Tensor& labels) const {
+  Tensor losses =
+      ops::sparse_softmax_cross_entropy_with_logits((*this)(x), labels);
+  return ops::reduce_mean(losses);
+}
+
+Tensor MLP::TrainStep(const Tensor& x, const Tensor& labels,
+                      double lr) const {
+  GradientTape tape;
+  Tensor loss = Loss(x, labels);
+  tape.StopRecording();
+  std::vector<Variable> vars = variables();
+  std::vector<Tensor> grads = gradient(tape, loss, vars);
+  ApplySgd(vars, grads, lr);
+  return loss;
+}
+
+void ApplySgd(const std::vector<Variable>& variables,
+              const std::vector<Tensor>& gradients, double lr) {
+  TFE_CHECK_EQ(variables.size(), gradients.size());
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (!gradients[i].defined()) continue;
+    Tensor rate = ops::fill(gradients[i].dtype(), Shape(), lr);
+    variables[i].assign_sub(ops::mul(gradients[i], rate));
+  }
+}
+
+}  // namespace models
+}  // namespace tfe

@@ -1,0 +1,62 @@
+// Small layer library + MLP classifier, written purely against the public
+// API — usable eagerly or staged, like the paper's example models.
+#ifndef TFE_MODELS_MLP_H_
+#define TFE_MODELS_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "api/tfe.h"
+
+namespace tfe {
+namespace models {
+
+// Fully-connected layer with optional ReLU.
+class Dense : public Checkpointable {
+ public:
+  Dense(int64_t in_features, int64_t out_features, bool relu = false,
+        int64_t seed = 0, const std::string& name = "dense");
+
+  Tensor operator()(const Tensor& x) const;
+
+  std::vector<Variable> variables() const { return {kernel_, bias_}; }
+  const Variable& kernel() const { return kernel_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  Variable kernel_;
+  Variable bias_;
+  bool relu_;
+};
+
+// Multi-layer perceptron classifier.
+class MLP : public Checkpointable {
+ public:
+  // layer_sizes = {in, hidden..., out}; hidden layers use ReLU.
+  explicit MLP(const std::vector<int64_t>& layer_sizes, int64_t seed = 0);
+
+  // Logits for a [batch, in] input.
+  Tensor operator()(const Tensor& x) const;
+
+  std::vector<Variable> variables() const;
+
+  // Mean cross-entropy against integer labels.
+  Tensor Loss(const Tensor& x, const Tensor& labels) const;
+
+  // One eager SGD step; returns the scalar loss value.
+  Tensor TrainStep(const Tensor& x, const Tensor& labels, double lr) const;
+
+ private:
+  std::vector<std::unique_ptr<Dense>> layers_;
+};
+
+// Plain SGD update: v -= lr * g for each (variable, gradient) pair.
+// Undefined gradients are skipped. Works inside traces (the updates become
+// staged assignments).
+void ApplySgd(const std::vector<Variable>& variables,
+              const std::vector<Tensor>& gradients, double lr);
+
+}  // namespace models
+}  // namespace tfe
+
+#endif  // TFE_MODELS_MLP_H_

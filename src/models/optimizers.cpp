@@ -1,0 +1,97 @@
+#include "models/optimizers.h"
+
+#include "support/strings.h"
+
+namespace tfe {
+namespace models {
+
+namespace {
+Tensor ScalarOf(const Tensor& like, double value) {
+  return ops::fill(like.dtype(), Shape(), value);
+}
+}  // namespace
+
+Variable Optimizer::Slot(const Variable& variable,
+                         const std::string& slot_name) {
+  auto key = std::make_pair(variable.storage()->resource_id(), slot_name);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) return it->second;
+  // Zero-initialized host tensor: concrete even under an active trace, so
+  // lazy slot creation composes with the state-creation contract.
+  Variable slot(tensor_util::Zeros(variable.dtype(), variable.shape()),
+                variable.name() + "/" + slot_name);
+  TrackVariable(strings::StrCat(slot_name, "_", slots_.size()), slot);
+  slots_.emplace(key, slot);
+  return slot;
+}
+
+SGD::SGD(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+void SGD::ApplyGradients(const std::vector<Variable>& variables,
+                         const std::vector<Tensor>& gradients) {
+  TFE_CHECK_EQ(variables.size(), gradients.size());
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (!gradients[i].defined()) continue;
+    const Variable& variable = variables[i];
+    const Tensor& grad = gradients[i];
+    if (momentum_ == 0.0) {
+      variable.assign_sub(ops::mul(grad, ScalarOf(grad, learning_rate_)));
+      continue;
+    }
+    Variable accumulator = Slot(variable, "momentum");
+    Tensor next = ops::add(
+        ops::mul(accumulator.value(), ScalarOf(grad, momentum_)), grad);
+    accumulator.assign(next);
+    variable.assign_sub(ops::mul(next, ScalarOf(grad, learning_rate_)));
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      step_(tensor_util::Scalar<float>(0.0f), "adam/step") {
+  TrackVariable("step", step_);
+}
+
+void Adam::ApplyGradients(const std::vector<Variable>& variables,
+                          const std::vector<Tensor>& gradients) {
+  TFE_CHECK_EQ(variables.size(), gradients.size());
+  step_.assign_add(ops::fill(DType::kFloat32, {}, 1.0));
+  Tensor t = step_.value();
+  // Bias-corrected step size: lr * sqrt(1 - b2^t) / (1 - b1^t).
+  Tensor one = ops::fill(DType::kFloat32, {}, 1.0);
+  Tensor b1t = ops::pow(ops::fill(DType::kFloat32, {}, beta1_), t);
+  Tensor b2t = ops::pow(ops::fill(DType::kFloat32, {}, beta2_), t);
+  Tensor step_size =
+      ops::div(ops::mul(ops::fill(DType::kFloat32, {}, learning_rate_),
+                        ops::sqrt(ops::sub(one, b2t))),
+               ops::sub(one, b1t));
+
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (!gradients[i].defined()) continue;
+    const Variable& variable = variables[i];
+    const Tensor& grad = gradients[i];
+    Variable m = Slot(variable, "m");
+    Variable v = Slot(variable, "v");
+    Tensor m_next = ops::add(ops::mul(m.value(), ScalarOf(grad, beta1_)),
+                             ops::mul(grad, ScalarOf(grad, 1.0 - beta1_)));
+    Tensor v_next =
+        ops::add(ops::mul(v.value(), ScalarOf(grad, beta2_)),
+                 ops::mul(ops::square(grad), ScalarOf(grad, 1.0 - beta2_)));
+    m.assign(m_next);
+    v.assign(v_next);
+    Tensor lr = step_size.dtype() == grad.dtype()
+                    ? step_size
+                    : ops::cast(step_size, grad.dtype());
+    Tensor update =
+        ops::div(ops::mul(m_next, lr),
+                 ops::add(ops::sqrt(v_next), ScalarOf(grad, epsilon_)));
+    variable.assign_sub(update);
+  }
+}
+
+}  // namespace models
+}  // namespace tfe

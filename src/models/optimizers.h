@@ -1,0 +1,68 @@
+// Optimizers with slot variables.
+//
+// Slots (momentum buffers, Adam moments) are ordinary variables created
+// lazily on first use and tracked as named edges, so optimizer state
+// checkpoints and restores through graph-based state matching exactly like
+// model weights (paper §4.3). ApplyGradients is built from primitive
+// operations, so a training step using an optimizer stages cleanly.
+#ifndef TFE_MODELS_OPTIMIZERS_H_
+#define TFE_MODELS_OPTIMIZERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/tfe.h"
+
+namespace tfe {
+namespace models {
+
+class Optimizer : public Checkpointable {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update step. `gradients[i]` pairs with `variables[i]`;
+  // undefined gradients are skipped.
+  virtual void ApplyGradients(const std::vector<Variable>& variables,
+                              const std::vector<Tensor>& gradients) = 0;
+
+ protected:
+  // Returns (creating and tracking on first use) the named slot variable
+  // for `variable`, zero-initialized with the variable's type/shape.
+  Variable Slot(const Variable& variable, const std::string& slot_name);
+
+ private:
+  std::map<std::pair<int64_t, std::string>, Variable> slots_;
+};
+
+// SGD with optional momentum:
+//   m <- momentum * m + g;  v <- v - lr * m        (momentum > 0)
+//   v <- v - lr * g                                 (momentum == 0)
+class SGD : public Optimizer {
+ public:
+  explicit SGD(double learning_rate, double momentum = 0.0);
+  void ApplyGradients(const std::vector<Variable>& variables,
+                      const std::vector<Tensor>& gradients) override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+};
+
+// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-7);
+  void ApplyGradients(const std::vector<Variable>& variables,
+                      const std::vector<Tensor>& gradients) override;
+
+ private:
+  double learning_rate_, beta1_, beta2_, epsilon_;
+  Variable step_;  // int64-free: float32 scalar step counter
+};
+
+}  // namespace models
+}  // namespace tfe
+
+#endif  // TFE_MODELS_OPTIMIZERS_H_

@@ -1,0 +1,200 @@
+#include "models/resnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace tfe {
+namespace models {
+
+namespace {
+constexpr double kBatchNormMomentum = 0.9;
+}
+
+ConvLayer::ConvLayer(int64_t kernel, int64_t in_channels,
+                     int64_t out_channels, int64_t stride,
+                     const std::string& name, int64_t seed)
+    : strides_({stride, stride}) {
+  double fan_in = static_cast<double>(kernel * kernel * in_channels);
+  Tensor init = ops::random_normal({kernel, kernel, in_channels, out_channels},
+                                   0.0, std::sqrt(2.0 / fan_in), seed);
+  filter_ = Variable(init, name + "/filter");
+  TrackVariable("filter", filter_);
+}
+
+Tensor ConvLayer::operator()(const Tensor& x) const {
+  return ops::conv2d(x, filter_.value(), strides_, "SAME");
+}
+
+BatchNormLayer::BatchNormLayer(int64_t channels, const std::string& name) {
+  scale_ = Variable(ops::ones(DType::kFloat32, {channels}), name + "/scale");
+  offset_ = Variable(ops::zeros(DType::kFloat32, {channels}),
+                     name + "/offset");
+  moving_mean_ = Variable(ops::zeros(DType::kFloat32, {channels}),
+                          name + "/moving_mean");
+  moving_variance_ = Variable(ops::ones(DType::kFloat32, {channels}),
+                              name + "/moving_variance");
+  TrackVariable("scale", scale_);
+  TrackVariable("offset", offset_);
+  TrackVariable("moving_mean", moving_mean_);
+  TrackVariable("moving_variance", moving_variance_);
+}
+
+Tensor BatchNormLayer::operator()(const Tensor& x, bool training) const {
+  ops::BatchNormResult result = ops::fused_batch_norm(
+      x, scale_.value(), offset_.value(), moving_mean_.value(),
+      moving_variance_.value(), training);
+  if (training) {
+    Tensor momentum =
+        ops::fill(DType::kFloat32, Shape(), kBatchNormMomentum);
+    Tensor rest = ops::fill(DType::kFloat32, Shape(),
+                            1.0 - kBatchNormMomentum);
+    moving_mean_.assign(ops::add(ops::mul(moving_mean_.value(), momentum),
+                                 ops::mul(result.batch_mean, rest)));
+    moving_variance_.assign(
+        ops::add(ops::mul(moving_variance_.value(), momentum),
+                 ops::mul(result.batch_variance, rest)));
+  }
+  return result.y;
+}
+
+BottleneckBlock::BottleneckBlock(int64_t in_channels,
+                                 int64_t bottleneck_channels,
+                                 int64_t out_channels, int64_t stride,
+                                 const std::string& name, int64_t seed) {
+  conv1_ = std::make_unique<ConvLayer>(1, in_channels, bottleneck_channels, 1,
+                                       name + "/conv1", seed + 1);
+  bn1_ = std::make_unique<BatchNormLayer>(bottleneck_channels, name + "/bn1");
+  conv2_ = std::make_unique<ConvLayer>(3, bottleneck_channels,
+                                       bottleneck_channels, stride,
+                                       name + "/conv2", seed + 2);
+  bn2_ = std::make_unique<BatchNormLayer>(bottleneck_channels, name + "/bn2");
+  conv3_ = std::make_unique<ConvLayer>(1, bottleneck_channels, out_channels, 1,
+                                       name + "/conv3", seed + 3);
+  bn3_ = std::make_unique<BatchNormLayer>(out_channels, name + "/bn3");
+  if (in_channels != out_channels || stride != 1) {
+    shortcut_conv_ = std::make_unique<ConvLayer>(
+        1, in_channels, out_channels, stride, name + "/shortcut", seed + 4);
+    shortcut_bn_ =
+        std::make_unique<BatchNormLayer>(out_channels, name + "/shortcut_bn");
+  }
+  TrackChild("conv1", conv1_.get());
+  TrackChild("bn1", bn1_.get());
+  TrackChild("conv2", conv2_.get());
+  TrackChild("bn2", bn2_.get());
+  TrackChild("conv3", conv3_.get());
+  TrackChild("bn3", bn3_.get());
+  if (shortcut_conv_ != nullptr) {
+    TrackChild("shortcut_conv", shortcut_conv_.get());
+    TrackChild("shortcut_bn", shortcut_bn_.get());
+  }
+}
+
+Tensor BottleneckBlock::operator()(const Tensor& x, bool training) const {
+  Tensor h = ops::relu((*bn1_)((*conv1_)(x), training));
+  h = ops::relu((*bn2_)((*conv2_)(h), training));
+  h = (*bn3_)((*conv3_)(h), training);
+  Tensor shortcut = x;
+  if (shortcut_conv_ != nullptr) {
+    shortcut = (*shortcut_bn_)((*shortcut_conv_)(x), training);
+  }
+  return ops::relu(ops::add(h, shortcut));
+}
+
+void BottleneckBlock::CollectVariables(std::vector<Variable>* out) const {
+  for (const ConvLayer* conv :
+       {conv1_.get(), conv2_.get(), conv3_.get(), shortcut_conv_.get()}) {
+    if (conv == nullptr) continue;
+    for (const Variable& v : conv->variables()) out->push_back(v);
+  }
+  for (const BatchNormLayer* bn :
+       {bn1_.get(), bn2_.get(), bn3_.get(), shortcut_bn_.get()}) {
+    if (bn == nullptr) continue;
+    for (const Variable& v : bn->variables()) out->push_back(v);
+  }
+}
+
+ResNet50::ResNet50(const Config& config) : config_(config) {
+  const int64_t divisor = std::max<int64_t>(1, config.width_divisor);
+  auto width = [divisor](int64_t channels) {
+    return std::max<int64_t>(1, channels / divisor);
+  };
+  int64_t seed = config.seed;
+  stem_conv_ = std::make_unique<ConvLayer>(7, config.input_channels,
+                                           width(64), 2, "resnet/stem",
+                                           seed += 10);
+  stem_bn_ = std::make_unique<BatchNormLayer>(width(64), "resnet/stem_bn");
+  TrackChild("stem_conv", stem_conv_.get());
+  TrackChild("stem_bn", stem_bn_.get());
+
+  struct StageSpec {
+    int64_t bottleneck, out, stride;
+  };
+  std::vector<StageSpec> stages = {
+      {width(64), width(256), 1},
+      {width(128), width(512), 2},
+      {width(256), width(1024), 2},
+      {width(512), width(2048), 2},
+  };
+  int64_t in_channels = width(64);
+  for (size_t s = 0; s < stages.size(); ++s) {
+    int64_t blocks = s < config.blocks_per_stage.size()
+                         ? config.blocks_per_stage[s]
+                         : 1;
+    for (int64_t b = 0; b < blocks; ++b) {
+      int64_t stride = b == 0 ? stages[s].stride : 1;
+      blocks_.push_back(std::make_unique<BottleneckBlock>(
+          in_channels, stages[s].bottleneck, stages[s].out, stride,
+          strings::StrCat("resnet/stage", s, "/block", b), seed += 10));
+      TrackChild(strings::StrCat("stage", s, "_block", b),
+                 blocks_.back().get());
+      in_channels = stages[s].out;
+    }
+  }
+  head_ = std::make_unique<Dense>(in_channels, config.num_classes, false,
+                                  seed + 999, "resnet/head");
+  TrackChild("head", head_.get());
+}
+
+Tensor ResNet50::operator()(const Tensor& images, bool training) const {
+  Tensor h = (*stem_conv_)(images);
+  h = ops::relu((*stem_bn_)(h, training));
+  h = ops::max_pool(h, {3, 3}, {2, 2}, "SAME");
+  for (const auto& block : blocks_) {
+    h = (*block)(h, training);
+  }
+  // Global average pool over the spatial dims, then the classifier head.
+  h = ops::reduce_mean(h, {1, 2});
+  return (*head_)(h);
+}
+
+Tensor ResNet50::Loss(const Tensor& images, const Tensor& labels,
+                      bool training) const {
+  Tensor losses = ops::sparse_softmax_cross_entropy_with_logits(
+      (*this)(images, training), labels);
+  return ops::reduce_mean(losses);
+}
+
+Tensor ResNet50::TrainStep(const Tensor& images, const Tensor& labels,
+                           double lr) const {
+  GradientTape tape;
+  Tensor loss = Loss(images, labels, /*training=*/true);
+  tape.StopRecording();
+  std::vector<Variable> vars = variables();
+  std::vector<Tensor> grads = gradient(tape, loss, vars);
+  ApplySgd(vars, grads, lr);
+  return loss;
+}
+
+std::vector<Variable> ResNet50::variables() const {
+  std::vector<Variable> variables;
+  for (const Variable& v : stem_conv_->variables()) variables.push_back(v);
+  for (const Variable& v : stem_bn_->variables()) variables.push_back(v);
+  for (const auto& block : blocks_) block->CollectVariables(&variables);
+  for (const Variable& v : head_->variables()) variables.push_back(v);
+  return variables;
+}
+
+}  // namespace models
+}  // namespace tfe

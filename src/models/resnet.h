@@ -1,0 +1,101 @@
+// ResNet-50 (He et al., 2016), the paper's large-model benchmark (§6).
+//
+// Full v1 topology: 7x7/2 stem, 3x3/2 max-pool, four bottleneck stages of
+// [3, 4, 6, 3] blocks, global average pool, 1000-way dense head. Built
+// purely on the public API so the same code runs eagerly, staged, and on
+// the simulated accelerators ("the code used to generate these benchmarks
+// all rely on the same Model class; converting the code to use function is
+// simply a matter of decorating two functions").
+#ifndef TFE_MODELS_RESNET_H_
+#define TFE_MODELS_RESNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/tfe.h"
+#include "models/mlp.h"
+
+namespace tfe {
+namespace models {
+
+class ConvLayer : public Checkpointable {
+ public:
+  ConvLayer(int64_t kernel, int64_t in_channels, int64_t out_channels,
+            int64_t stride, const std::string& name, int64_t seed);
+  Tensor operator()(const Tensor& x) const;
+  std::vector<Variable> variables() const { return {filter_}; }
+
+ private:
+  Variable filter_;
+  std::vector<int64_t> strides_;
+};
+
+class BatchNormLayer : public Checkpointable {
+ public:
+  BatchNormLayer(int64_t channels, const std::string& name);
+  // Training mode uses batch statistics and updates the moving averages
+  // (staged runs update them through captured resources).
+  Tensor operator()(const Tensor& x, bool training) const;
+  std::vector<Variable> variables() const { return {scale_, offset_}; }
+
+ private:
+  Variable scale_;
+  Variable offset_;
+  Variable moving_mean_;
+  Variable moving_variance_;
+};
+
+// 1x1 -> 3x3 -> 1x1 bottleneck with projection shortcut where needed.
+class BottleneckBlock : public Checkpointable {
+ public:
+  BottleneckBlock(int64_t in_channels, int64_t bottleneck_channels,
+                  int64_t out_channels, int64_t stride,
+                  const std::string& name, int64_t seed);
+  Tensor operator()(const Tensor& x, bool training) const;
+  void CollectVariables(std::vector<Variable>* out) const;
+
+ private:
+  std::unique_ptr<ConvLayer> conv1_, conv2_, conv3_, shortcut_conv_;
+  std::unique_ptr<BatchNormLayer> bn1_, bn2_, bn3_, shortcut_bn_;
+};
+
+class ResNet50 : public Checkpointable {
+ public:
+  // `num_classes` and input channels are configurable so tests can build a
+  // tiny variant; `blocks_per_stage` defaults to the real [3,4,6,3].
+  struct Config {
+    int64_t num_classes = 1000;
+    int64_t input_channels = 3;
+    std::vector<int64_t> blocks_per_stage = {3, 4, 6, 3};
+    // Divides all channel counts (tests use 8-16x thinner networks).
+    int64_t width_divisor = 1;
+    int64_t seed = 42;
+  };
+  ResNet50() : ResNet50(Config()) {}
+  explicit ResNet50(const Config& config);
+
+  // Logits for NHWC input images.
+  Tensor operator()(const Tensor& images, bool training) const;
+
+  Tensor Loss(const Tensor& images, const Tensor& labels,
+              bool training) const;
+
+  // One SGD training step (forward + backward + update); returns the loss.
+  Tensor TrainStep(const Tensor& images, const Tensor& labels,
+                   double lr) const;
+
+  std::vector<Variable> variables() const;
+
+ private:
+  Config config_;
+  std::unique_ptr<ConvLayer> stem_conv_;
+  std::unique_ptr<BatchNormLayer> stem_bn_;
+  std::vector<std::unique_ptr<BottleneckBlock>> blocks_;
+  std::unique_ptr<Dense> head_;
+};
+
+}  // namespace models
+}  // namespace tfe
+
+#endif  // TFE_MODELS_RESNET_H_

@@ -1,0 +1,110 @@
+#include "models/rnn.h"
+
+#include <cmath>
+
+#include "staging/control_flow.h"
+#include "support/strings.h"
+
+namespace tfe {
+namespace models {
+
+LSTMCell::LSTMCell(int64_t input_size, int64_t hidden_size, int64_t seed,
+                   const std::string& name)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  double stddev = std::sqrt(1.0 / static_cast<double>(input_size + hidden_size));
+  kernel_ = Variable(
+      ops::random_normal({input_size + hidden_size, 4 * hidden_size}, 0.0,
+                         stddev, seed == 0 ? 23 : seed),
+      name + "/kernel");
+  bias_ = Variable(ops::zeros(DType::kFloat32, {4 * hidden_size}),
+                   name + "/bias");
+  TrackVariable("kernel", kernel_);
+  TrackVariable("bias", bias_);
+}
+
+LSTMCell::State LSTMCell::operator()(const Tensor& x,
+                                     const State& state) const {
+  Tensor joined = ops::concat({x, state.h}, 1);
+  Tensor gates = ops::add(ops::matmul(joined, kernel_.value()),
+                          bias_.value());
+  const int64_t hidden = hidden_size_;
+  auto gate = [&](int64_t index) {
+    return ops::slice(gates, {0, index * hidden}, {-1, hidden});
+  };
+  Tensor input_gate = ops::sigmoid(gate(0));
+  Tensor forget_gate = ops::sigmoid(gate(1));
+  Tensor candidate = ops::tanh(gate(2));
+  Tensor output_gate = ops::sigmoid(gate(3));
+  State next;
+  next.c = ops::add(ops::mul(forget_gate, state.c),
+                    ops::mul(input_gate, candidate));
+  next.h = ops::mul(output_gate, ops::tanh(next.c));
+  return next;
+}
+
+LSTMCell::State LSTMCell::ZeroState(int64_t batch) const {
+  State state;
+  state.h = ops::zeros(DType::kFloat32, {batch, hidden_size_});
+  state.c = ops::zeros(DType::kFloat32, {batch, hidden_size_});
+  return state;
+}
+
+namespace {
+
+// sequence [batch, time, input] -> timestep t as [batch, input], with `t`
+// a runtime int32 scalar (dynamic indexing through Gather).
+Tensor TimeStep(const Tensor& sequence, const Tensor& t) {
+  // [time, batch, input] then gather row t.
+  Tensor time_major = ops::transpose(sequence, {1, 0, 2});
+  Tensor index = ops::reshape(ops::cast(t, DType::kInt64), {1});
+  Tensor row = ops::gather(time_major, index);  // [1, batch, input]
+  return ops::squeeze(row, {0});
+}
+
+}  // namespace
+
+Tensor UnrolledRnn(const LSTMCell& cell, const Tensor& sequence) {
+  TFE_CHECK_EQ(sequence.shape().rank(), 3);
+  const int64_t batch = sequence.shape().dim(0);
+  const int64_t time = sequence.shape().dim(1);
+  const int64_t input = sequence.shape().dim(2);
+  LSTMCell::State state = cell.ZeroState(batch);
+  for (int64_t t = 0; t < time; ++t) {
+    Tensor x = ops::reshape(
+        ops::slice(sequence, {0, t, 0}, {-1, 1, -1}), {batch, input});
+    state = cell(x, state);
+  }
+  return state.h;
+}
+
+Tensor DynamicRnn(const LSTMCell& cell, const Tensor& sequence,
+                  const Tensor& length) {
+  TFE_CHECK_EQ(sequence.shape().rank(), 3);
+  const int64_t batch = sequence.shape().dim(0);
+
+  // Loop variables: {t, h, c}; sequence and length ride along as captures.
+  Function keep_going = function(
+      [length](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], length)};
+      },
+      "dynamic_rnn_cond");
+  Function step = function(
+      [&cell, sequence](const std::vector<Tensor>& vars)
+          -> std::vector<Tensor> {
+        Tensor x = TimeStep(sequence, vars[0]);
+        LSTMCell::State next = cell(x, {vars[1], vars[2]});
+        Tensor t_next =
+            ops::add(vars[0], ops::fill(DType::kInt32, {}, 1.0));
+        return {t_next, next.h, next.c};
+      },
+      "dynamic_rnn_step");
+
+  LSTMCell::State zero = cell.ZeroState(batch);
+  std::vector<Tensor> final_vars = ops::while_loop(
+      keep_going, step,
+      {ops::fill(DType::kInt32, {}, 0.0), zero.h, zero.c});
+  return final_vars[1];
+}
+
+}  // namespace models
+}  // namespace tfe

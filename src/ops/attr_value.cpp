@@ -1,0 +1,42 @@
+#include "ops/attr_value.h"
+
+#include "support/strings.h"
+
+namespace tfe {
+
+std::string AttrValue::ToString() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<unset>"; }
+    std::string operator()(int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return strings::StrCat(v); }
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(const std::string& v) const { return "\"" + v + "\""; }
+    std::string operator()(DType v) const { return DTypeName(v); }
+    std::string operator()(const Shape& v) const { return v.ToString(); }
+    std::string operator()(const std::vector<int64_t>& v) const {
+      std::vector<std::string> pieces;
+      pieces.reserve(v.size());
+      for (int64_t x : v) pieces.push_back(std::to_string(x));
+      return "(" + strings::Join(pieces, ",") + ")";
+    }
+    std::string operator()(const std::shared_ptr<HostFunc>& v) const {
+      return strings::StrCat("host_func:", v ? v->name : "<null>");
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+bool AttrValue::operator==(const AttrValue& other) const {
+  return value_ == other.value_;
+}
+
+std::string AttrMapToString(const AttrMap& attrs) {
+  std::vector<std::string> pieces;
+  pieces.reserve(attrs.size());
+  for (const auto& [name, value] : attrs) {
+    pieces.push_back(name + "=" + value.ToString());
+  }
+  return "{" + strings::Join(pieces, ", ") + "}";
+}
+
+}  // namespace tfe

@@ -1,0 +1,87 @@
+// Operation attributes.
+//
+// Attributes parameterize primitive operations (axis of a reduction, strides
+// of a convolution, the *name of the graph function* executed by a call op —
+// paper §4.1: "graph functions are themselves executed by an operation that
+// takes tensors as inputs and a function name as an attribute"). The
+// host-callback attribute backs the py_func escape hatch (§4.7); it is the
+// one attribute kind that cannot be serialized, exactly as graphs containing
+// py_funcs "are not in general serializable".
+#ifndef TFE_OPS_ATTR_VALUE_H_
+#define TFE_OPS_ATTR_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/status.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+// An imperative host-language callback embedded in a graph (py_func analog).
+struct HostFunc {
+  std::string name;
+  std::function<StatusOr<std::vector<Tensor>>(const std::vector<Tensor>&)> fn;
+};
+
+class AttrValue {
+ public:
+  AttrValue() = default;
+  AttrValue(int64_t v) : value_(v) {}                        // NOLINT
+  AttrValue(int v) : value_(static_cast<int64_t>(v)) {}      // NOLINT
+  AttrValue(double v) : value_(v) {}                         // NOLINT
+  AttrValue(bool v) : value_(v) {}                           // NOLINT
+  AttrValue(std::string v) : value_(std::move(v)) {}         // NOLINT
+  AttrValue(const char* v) : value_(std::string(v)) {}       // NOLINT
+  AttrValue(DType v) : value_(v) {}                          // NOLINT
+  AttrValue(Shape v) : value_(std::move(v)) {}               // NOLINT
+  AttrValue(std::vector<int64_t> v) : value_(std::move(v)) {}           // NOLINT
+  AttrValue(std::shared_ptr<HostFunc> v) : value_(std::move(v)) {}      // NOLINT
+
+  bool has_value() const {
+    return !std::holds_alternative<std::monostate>(value_);
+  }
+
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(value_);
+  }
+
+  template <typename T>
+  const T& Get() const {
+    return std::get<T>(value_);
+  }
+
+  // Stable rendering used in trace-cache keys and debug output.
+  std::string ToString() const;
+
+  // Host callbacks make an attribute (and the graph holding it)
+  // unserializable.
+  bool IsSerializable() const {
+    return !std::holds_alternative<std::shared_ptr<HostFunc>>(value_);
+  }
+
+  bool operator==(const AttrValue& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, DType,
+               Shape, std::vector<int64_t>, std::shared_ptr<HostFunc>>
+      value_;
+};
+
+// Ordered so that iteration (and thus cache-key construction) is
+// deterministic.
+using AttrMap = std::map<std::string, AttrValue>;
+
+std::string AttrMapToString(const AttrMap& attrs);
+
+}  // namespace tfe
+
+#endif  // TFE_OPS_ATTR_VALUE_H_

@@ -1,0 +1,59 @@
+#include "ops/kernel.h"
+
+namespace tfe {
+
+Tensor KernelContext::AllocateOutput(int i, DType dtype, const Shape& shape) {
+  if (static_cast<int>(outputs_.size()) <= i) outputs_.resize(i + 1);
+  outputs_[i] = Tensor::Empty(dtype, shape, device_);
+  return outputs_[i];
+}
+
+void KernelContext::SetOutput(int i, Tensor tensor) {
+  if (static_cast<int>(outputs_.size()) <= i) outputs_.resize(i + 1);
+  outputs_[i] = std::move(tensor);
+}
+
+KernelRegistry* KernelRegistry::Global() {
+  static KernelRegistry* registry = new KernelRegistry();
+  return registry;
+}
+
+Status KernelRegistry::Register(const std::string& op_name, KernelFn fn,
+                                std::vector<DeviceKind> kinds) {
+  if (kinds.empty()) {
+    kinds = {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kTpu};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& per_kind = kernels_[op_name];
+  for (DeviceKind kind : kinds) {
+    if (!per_kind.emplace(kind, fn).second) {
+      return AlreadyExists("Kernel already registered: " + op_name + " on " +
+                           DeviceKindName(kind));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<const KernelFn*> KernelRegistry::LookUp(const std::string& op_name,
+                                                 DeviceKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = kernels_.find(op_name);
+  if (it == kernels_.end()) {
+    return NotFound("No kernel registered for op " + op_name);
+  }
+  auto kernel_it = it->second.find(kind);
+  if (kernel_it == it->second.end()) {
+    return NotFound("No " + std::string(DeviceKindName(kind)) +
+                    " kernel for op " + op_name);
+  }
+  return &kernel_it->second;
+}
+
+bool KernelRegistry::HasKernel(const std::string& op_name,
+                               DeviceKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = kernels_.find(op_name);
+  return it != kernels_.end() && it->second.count(kind) > 0;
+}
+
+}  // namespace tfe

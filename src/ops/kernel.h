@@ -1,0 +1,122 @@
+// Kernels: device-specific implementations of operations (paper §4
+// terminology), and the registry mapping (op, device kind) -> kernel.
+//
+// All kernels in this reproduction compute on host memory; the simulated
+// accelerators reuse the CPU math (device placement still matters — it
+// drives transfers, cost accounting, and kernel-availability-based
+// placement, as in the paper §4.4).
+#ifndef TFE_OPS_KERNEL_H_
+#define TFE_OPS_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "ops/attr_value.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class EagerContext;
+
+class KernelContext {
+ public:
+  KernelContext(EagerContext* eager_context, Device* device,
+                std::vector<Tensor> inputs, const AttrMap* attrs)
+      : eager_context_(eager_context),
+        device_(device),
+        inputs_(std::move(inputs)),
+        attrs_(attrs) {}
+
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  const Tensor& input(int i) const { return inputs_.at(i); }
+  const std::vector<Tensor>& inputs() const { return inputs_; }
+
+  Device* device() const { return device_; }
+
+  // The owning runtime; used by the call kernel (to run a graph function)
+  // and the host_func kernel (to execute an imperative callback).
+  EagerContext* eager_context() const { return eager_context_; }
+
+  template <typename T>
+  StatusOr<T> GetAttr(const std::string& name) const {
+    auto it = attrs_->find(name);
+    if (it == attrs_->end()) {
+      return InvalidArgument("Missing attr '" + name + "'");
+    }
+    if (!it->second.Is<T>()) {
+      return InvalidArgument("Attr '" + name + "' has unexpected type");
+    }
+    return it->second.Get<T>();
+  }
+
+  template <typename T>
+  T GetAttrOr(const std::string& name, T fallback) const {
+    auto it = attrs_->find(name);
+    if (it == attrs_->end() || !it->second.Is<T>()) return fallback;
+    return it->second.Get<T>();
+  }
+
+  const AttrMap& attrs() const { return *attrs_; }
+
+  // Allocates output `i` (zero-initialized) on this context's device.
+  // Returns the handle by value — handles share state, and a reference into
+  // outputs_ would be invalidated by the next allocation.
+  Tensor AllocateOutput(int i, DType dtype, const Shape& shape);
+  // Publishes an existing tensor (e.g. a buffer-sharing view) as output `i`.
+  void SetOutput(int i, Tensor tensor);
+
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  std::vector<Tensor> ConsumeOutputs() { return std::move(outputs_); }
+
+  // --- virtual-time plumbing for composite kernels (Call) -------------------
+  // Virtual time at which this kernel's inputs are ready.
+  uint64_t start_ns() const { return start_ns_; }
+  void set_start_ns(uint64_t ns) { start_ns_ = ns; }
+  // A composite kernel that schedules its own device time (the Call kernel
+  // drives the executor) reports its completion here; 0 means "not set" and
+  // the caller schedules `device_ns` itself.
+  uint64_t completion_ns() const { return completion_ns_; }
+  void set_completion_ns(uint64_t ns) { completion_ns_ = ns; }
+  // Whether this kernel runs inside a whole-function compilation unit.
+  bool compiled() const { return compiled_; }
+  void set_compiled(bool compiled) { compiled_ = compiled; }
+
+ private:
+  EagerContext* eager_context_;
+  Device* device_;
+  std::vector<Tensor> inputs_;
+  const AttrMap* attrs_;
+  std::vector<Tensor> outputs_;
+  uint64_t start_ns_ = 0;
+  uint64_t completion_ns_ = 0;
+  bool compiled_ = false;
+};
+
+using KernelFn = std::function<Status(KernelContext*)>;
+
+class KernelRegistry {
+ public:
+  static KernelRegistry* Global();
+
+  // Registers `fn` for `op_name` on each kind in `kinds`. An empty `kinds`
+  // registers for all device kinds (CPU + simulated GPU/TPU).
+  Status Register(const std::string& op_name, KernelFn fn,
+                  std::vector<DeviceKind> kinds = {});
+
+  StatusOr<const KernelFn*> LookUp(const std::string& op_name,
+                                   DeviceKind kind) const;
+  bool HasKernel(const std::string& op_name, DeviceKind kind) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<DeviceKind, KernelFn>> kernels_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_OPS_KERNEL_H_

@@ -1,0 +1,38 @@
+// Operation definitions and the process-wide op registry.
+//
+// An OpDef is the stage-agnostic description of a primitive operation: both
+// the imperative dispatcher and the tracer consult the same registry, which
+// is what gives TensorFlow Eager its "single set of primitive operations"
+// shared across execution modes (paper §1, contribution 1).
+#ifndef TFE_OPS_OP_DEF_H_
+#define TFE_OPS_OP_DEF_H_
+
+#include <string>
+
+#include "ops/shape_inference.h"
+
+namespace tfe {
+
+struct OpDef {
+  std::string name;
+
+  // Number of tensor inputs; kVariadic means determined at call time.
+  static constexpr int kVariadic = -1;
+  int num_inputs = 0;
+
+  // Stateful ops (variable reads/writes, random with stateful seed,
+  // host_func, save/restore) are never pruned, folded, or CSE'd, matching
+  // the paper §5: "non-stateful operations that are not reachable from the
+  // outputs of a function are pruned".
+  bool is_stateful = false;
+
+  // Whether a gradient function may be registered; tapes raise an error when
+  // asked to differentiate through a non-differentiable op.
+  bool differentiable = true;
+
+  ShapeInferenceFn shape_fn;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_OPS_OP_DEF_H_

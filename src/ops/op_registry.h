@@ -1,0 +1,41 @@
+#ifndef TFE_OPS_OP_REGISTRY_H_
+#define TFE_OPS_OP_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ops/op_def.h"
+#include "support/status.h"
+
+namespace tfe {
+
+// Process-wide registry of op definitions. Registration happens once at
+// startup (kernels/register_all.cpp); lookups are lock-free afterwards in
+// practice but guarded for safety.
+class OpRegistry {
+ public:
+  static OpRegistry* Global();
+
+  Status Register(OpDef op_def);
+  StatusOr<const OpDef*> LookUp(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> ListOps() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, OpDef> ops_;
+};
+
+// Registers the full op set + kernels + gradients exactly once; safe to call
+// repeatedly. EagerContext calls this on construction.
+void EnsureOpsRegistered();
+
+// Registers only the OpDefs (ops/op_defs.cpp); called by
+// EnsureOpsRegistered.
+void RegisterAllOpDefs();
+
+}  // namespace tfe
+
+#endif  // TFE_OPS_OP_REGISTRY_H_

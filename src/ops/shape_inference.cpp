@@ -1,0 +1,61 @@
+#include "ops/shape_inference.h"
+
+namespace tfe {
+namespace shape_fn {
+
+Status UnchangedShape(InferenceContext* ctx) {
+  if (ctx->num_inputs() < 1) {
+    return InvalidArgument("UnchangedShape requires at least one input");
+  }
+  ctx->AddOutput(ctx->input_dtype(0), ctx->input_shape(0));
+  return Status::OK();
+}
+
+Status BroadcastBinary(InferenceContext* ctx) {
+  if (ctx->num_inputs() != 2) {
+    return InvalidArgument("Binary op requires exactly two inputs");
+  }
+  const Shape& a = ctx->input_shape(0);
+  const Shape& b = ctx->input_shape(1);
+  if (!a.IsFullyDefined() || !b.IsFullyDefined()) {
+    // Partial shapes: broadcast what we can; give up to unknown rank-match.
+    if (a.rank() == b.rank()) {
+      std::vector<int64_t> dims(a.rank());
+      for (int i = 0; i < a.rank(); ++i) {
+        int64_t da = a.dims()[i];
+        int64_t db = b.dims()[i];
+        if (da == db) {
+          dims[i] = da;
+        } else if (da == kUnknownDim || db == kUnknownDim) {
+          dims[i] = kUnknownDim;
+        } else if (da == 1) {
+          dims[i] = db;
+        } else if (db == 1) {
+          dims[i] = da;
+        } else {
+          return InvalidArgument("Shapes " + a.ToString() + " and " +
+                                 b.ToString() + " are not broadcastable");
+        }
+      }
+      ctx->AddOutput(ctx->input_dtype(0), Shape(std::move(dims)));
+      return Status::OK();
+    }
+    ctx->AddOutput(ctx->input_dtype(0),
+                   a.rank() > b.rank() ? a : b);
+    return Status::OK();
+  }
+  TFE_ASSIGN_OR_RETURN(Shape out, BroadcastShapes(a, b));
+  ctx->AddOutput(ctx->input_dtype(0), std::move(out));
+  return Status::OK();
+}
+
+Status ScalarOfInputDType(InferenceContext* ctx) {
+  if (ctx->num_inputs() < 1) {
+    return InvalidArgument("Expected at least one input");
+  }
+  ctx->AddOutput(ctx->input_dtype(0), Shape());
+  return Status::OK();
+}
+
+}  // namespace shape_fn
+}  // namespace tfe

@@ -1,0 +1,82 @@
+#include "runtime/dispatch.h"
+
+#include "autodiff/tape.h"
+#include "runtime/eager_context.h"
+#include "staging/trace_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+StatusOr<std::vector<Tensor>> Dispatch(OpCall call) {
+  EagerContext* ctx = call.ctx != nullptr ? call.ctx : EagerContext::Global();
+  TraceContext* trace = TraceContext::Current();
+
+  std::vector<Tensor> outputs;
+  if (trace != nullptr) {
+    // Staging: record the op; non-primitive work (shape inference) happens
+    // now, kernels at graph-execution time. The Call op's output signature
+    // comes from the callee graph function, not a shape function.
+    std::vector<TypeAndShape> pre_inferred;
+    auto function_outputs = [&](const char* attr) -> Status {
+      auto name_it = call.attrs.find(attr);
+      if (name_it == call.attrs.end() || !name_it->second.Is<std::string>()) {
+        return InvalidArgument(call.op_name + " op requires a '" +
+                               std::string(attr) + "' attr");
+      }
+      TFE_ASSIGN_OR_RETURN(
+          std::shared_ptr<GraphFunction> callee,
+          ctx->functions().Find(name_it->second.Get<std::string>()));
+      for (int i = 0; i < callee->num_outputs(); ++i) {
+        pre_inferred.push_back(callee->output_type(i));
+      }
+      return Status::OK();
+    };
+    if (call.op_name == "Call") {
+      TFE_RETURN_IF_ERROR(function_outputs("function"));
+    } else if (call.op_name == "Cond") {
+      // Branch output signatures agree (validated at construction).
+      TFE_RETURN_IF_ERROR(function_outputs("then_function"));
+    } else if (call.op_name == "While") {
+      // Loop-invariant: outputs have the loop variables' types.
+      auto vars_it = call.attrs.find("num_vars");
+      if (vars_it == call.attrs.end() || !vars_it->second.Is<int64_t>()) {
+        return InvalidArgument("While op requires a 'num_vars' attr");
+      }
+      for (int64_t i = 0; i < vars_it->second.Get<int64_t>(); ++i) {
+        pre_inferred.push_back(
+            {call.inputs.at(i).dtype(), call.inputs.at(i).shape()});
+      }
+    }
+    TFE_ASSIGN_OR_RETURN(outputs,
+                         trace->RecordOp(call.op_name, call.inputs, call.attrs,
+                                         call.device,
+                                         std::move(pre_inferred)));
+  } else {
+    TFE_ASSIGN_OR_RETURN(outputs, ctx->RunPrimitive(call.op_name, call.inputs,
+                                                    call.attrs, call.device));
+  }
+
+  // Offer to the gradient tapes. One exception: an *eagerly executed*
+  // HostFunc runs its callback through this dispatcher, so the callback's
+  // primitive ops were already recorded; recording the HostFunc itself would
+  // double-count (paper §4.7: "when executing in imperative mode, wrapping a
+  // Python function in a py_func has essentially no effect").
+  if (!(trace == nullptr && call.op_name == "HostFunc")) {
+    GradientTape::RecordOperation(call.op_name, call.attrs, call.inputs,
+                                  outputs, call.device);
+  }
+  return outputs;
+}
+
+StatusOr<Tensor> DispatchSingle(OpCall call) {
+  std::string op_name = call.op_name;
+  TFE_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, Dispatch(std::move(call)));
+  if (outputs.size() != 1) {
+    return Internal(strings::StrCat("Op ", op_name, " produced ",
+                                    outputs.size(),
+                                    " outputs; expected exactly 1"));
+  }
+  return outputs[0];
+}
+
+}  // namespace tfe

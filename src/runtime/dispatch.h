@@ -1,0 +1,42 @@
+// Multi-stage dispatch: the single entry point through which every primitive
+// operation flows (paper §4.1 / DESIGN.md §5).
+//
+//   if a trace is active  -> record a node, return symbolic tensors (staging)
+//   otherwise             -> execute the kernel now, return concrete tensors
+//
+// and in both cases the op is offered to the active gradient tapes — which
+// is what makes the tape machinery stage-agnostic (§4.2: "gradient
+// computation is itself expressed as a function which executes primitive
+// operations, so it is possible to stage it or not").
+#ifndef TFE_RUNTIME_DISPATCH_H_
+#define TFE_RUNTIME_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/attr_value.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class EagerContext;
+
+struct OpCall {
+  std::string op_name;
+  std::vector<Tensor> inputs;
+  AttrMap attrs;
+  // Requested device name; empty defers to the DeviceScope / placement.
+  std::string device;
+  // Runtime to execute under; nullptr = EagerContext::Global().
+  EagerContext* ctx = nullptr;
+};
+
+StatusOr<std::vector<Tensor>> Dispatch(OpCall call);
+
+// Convenience for single-output ops; fails if the op has != 1 output.
+StatusOr<Tensor> DispatchSingle(OpCall call);
+
+}  // namespace tfe
+
+#endif  // TFE_RUNTIME_DISPATCH_H_

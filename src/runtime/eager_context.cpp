@@ -1,0 +1,353 @@
+#include "runtime/eager_context.h"
+
+#include <chrono>
+#include <thread>
+
+#include "ops/op_registry.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+namespace {
+
+// Ops that must really execute even on timing-only simulated devices:
+// function calls drive the executor, host funcs run imperative callbacks,
+// and state ops maintain variable/checkpoint contents.
+bool AlwaysExecutes(const std::string& op_name) {
+  return op_name == "Call" || op_name == "HostFunc" ||
+         op_name == "ReadVariableOp" || op_name == "AssignVariableOp" ||
+         op_name == "AssignAddVariableOp" || op_name == "AssignSubVariableOp" ||
+         op_name == "SaveTensor" || op_name == "RestoreTensor" ||
+         op_name == "IteratorNext" || op_name == "HashTableInsert" ||
+         op_name == "HashTableLookup" || op_name == "HashTableSize" ||
+         op_name == "Cond" || op_name == "While" || op_name == "NoOp";
+}
+
+bool IsVariableOp(const std::string& op_name) {
+  return op_name == "ReadVariableOp" || op_name == "AssignVariableOp" ||
+         op_name == "AssignAddVariableOp" || op_name == "AssignSubVariableOp";
+}
+
+// Host<->accelerator interconnect bandwidth (PCIe-3 x16 class).
+constexpr double kTransferBytesPerSecond = 12e9;
+
+uint64_t NowWallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::unique_ptr<EagerContext>& GlobalSlot() {
+  static std::unique_ptr<EagerContext> context;
+  return context;
+}
+
+std::mutex& GlobalMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+EagerContext::EagerContext() : EagerContext(Options()) {}
+
+EagerContext::EagerContext(const Options& options)
+    : host_profile_(options.host_profile),
+      rng_(options.random_seed, /*stream=*/0x7465666f) {
+  EnsureOpsRegistered();
+  // Paper §4.4: "During program startup, the runtime detects the devices
+  // that are available to the machine."
+  host_cpu_ = devices_.AddDevice(MakeCpuDevice()).value();
+  if (options.register_sim_gpu) {
+    devices_
+        .AddDevice(MakeSimGpuDevice(0, options.accelerators_execute_kernels))
+        .value();
+  }
+  if (options.register_sim_tpu) {
+    devices_
+        .AddDevice(MakeSimTpuDevice(0, options.accelerators_execute_kernels))
+        .value();
+  }
+  int threads = options.executor_threads;
+  if (threads <= 0) {
+    threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  executor_pool_ = std::make_unique<ThreadPool>("tfe_executor", threads);
+}
+
+EagerContext::~EagerContext() = default;
+
+EagerContext* EagerContext::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMu());
+  if (GlobalSlot() == nullptr) {
+    GlobalSlot() = std::make_unique<EagerContext>(Options());
+  }
+  return GlobalSlot().get();
+}
+
+void EagerContext::ResetGlobal(const Options& options) {
+  std::lock_guard<std::mutex> lock(GlobalMu());
+  // Tensors created under the previous context hold device tags owned by it;
+  // callers must not keep tensors across a reset.
+  GlobalSlot() = std::make_unique<EagerContext>(options);
+}
+
+StatusOr<Device*> EagerContext::ResolveDevice(
+    const std::string& op_name, const std::vector<Tensor>& inputs,
+    const std::string& requested_device) {
+  // Variable ops execute where the variable's storage lives (paper §4.4).
+  if (IsVariableOp(op_name) && !inputs.empty() && inputs[0].defined() &&
+      inputs[0].is_resource() && inputs[0].device() != nullptr) {
+    return inputs[0].device();
+  }
+  std::string request = requested_device;
+  if (request.empty()) request = DeviceScope::Current();
+  if (!request.empty()) {
+    TFE_ASSIGN_OR_RETURN(Device * device, devices_.FindDevice(request));
+    if (!AlwaysExecutes(op_name) && op_name != "Const" &&
+        !KernelRegistry::Global()->HasKernel(op_name, device->kind())) {
+      return InvalidArgument(strings::StrCat(
+          "Op ", op_name, " was explicitly placed on ", device->name(),
+          " but has no kernel for that device"));
+    }
+    return device;
+  }
+  // Unspecified: prefer the device of the first accelerator-resident input
+  // if a kernel is available there — "the runtime is able to select a device
+  // based on the availability of kernels" (paper §4.4).
+  for (const Tensor& input : inputs) {
+    if (!input.defined() || input.is_symbolic()) continue;
+    Device* device = input.device();
+    if (device != nullptr && device->is_accelerator() &&
+        KernelRegistry::Global()->HasKernel(op_name, device->kind())) {
+      return device;
+    }
+  }
+  return host_cpu_;
+}
+
+StatusOr<Tensor> EagerContext::CopyToDevice(const Tensor& tensor,
+                                            Device* device) {
+  TFE_CHECK(device != nullptr);
+  if (!tensor.defined() || tensor.is_symbolic()) {
+    return Internal("CopyToDevice on non-concrete tensor");
+  }
+  if (tensor.is_resource()) return tensor;  // resources never move
+  Device* src = tensor.device() != nullptr ? tensor.device() : host_cpu_;
+  if (src == device) return tensor;
+
+  stats_.device_copies.fetch_add(1, std::memory_order_relaxed);
+  // Copying out of an asynchronous device requires it to drain first — this
+  // is the implicit synchronization a `.numpy()` / `.cpu()` call performs.
+  if (!src->synchronous()) RaiseHostNs(src->timeline().free_at_ns());
+  if (src->is_accelerator() || device->is_accelerator()) {
+    double bytes = static_cast<double>(tensor.num_elements()) *
+                   static_cast<double>(DTypeSize(tensor.dtype()));
+    AdvanceHostNs(static_cast<uint64_t>(bytes / kTransferBytesPerSecond * 1e9));
+  }
+  if (tensor.is_opaque()) {
+    return Tensor::Opaque(tensor.dtype(), tensor.shape(), device);
+  }
+  // All storage is host memory; a cross-device copy re-tags the (immutable)
+  // buffer under a fresh tensor identity.
+  return Tensor::Concrete(tensor.dtype(), tensor.shape(), tensor.buffer(),
+                          device);
+}
+
+StatusOr<EagerContext::KernelRun> EagerContext::ExecuteKernel(
+    const std::string& op_name, const std::vector<Tensor>& inputs,
+    const AttrMap& attrs, Device* device, bool compiled, uint64_t start_ns) {
+  KernelRun run;
+  const bool execute = device->executes_kernels() || AlwaysExecutes(op_name);
+  // An opaque input forces simulation regardless: there are no values to
+  // compute with (state ops handle opacity themselves).
+  bool opaque_inputs = false;
+  for (const Tensor& input : inputs) {
+    if (input.defined() && input.is_opaque()) opaque_inputs = true;
+  }
+
+  std::vector<Shape> input_shapes;
+  input_shapes.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    if (input.defined() && !input.is_resource()) {
+      input_shapes.push_back(input.shape());
+    }
+  }
+
+  if (execute && (!opaque_inputs || AlwaysExecutes(op_name))) {
+    TFE_ASSIGN_OR_RETURN(
+        const KernelFn* kernel,
+        KernelRegistry::Global()->LookUp(op_name, device->kind()));
+    KernelContext ctx(this, device, inputs, &attrs);
+    ctx.set_start_ns(start_ns);
+    ctx.set_compiled(compiled);
+    uint64_t wall_begin = NowWallNs();
+    TFE_RETURN_IF_ERROR((*kernel)(&ctx));
+    uint64_t wall_ns = NowWallNs() - wall_begin;
+    run.outputs = ctx.ConsumeOutputs();
+    if (ctx.completion_ns() != 0) {
+      // Composite kernel accounted its own device time.
+      run.completion_ns = ctx.completion_ns();
+      run.device_ns = 0;
+      return run;
+    }
+    if (device->is_accelerator()) {
+      std::vector<Shape> output_shapes;
+      for (const Tensor& output : run.outputs) {
+        if (output.defined() && !output.is_resource()) {
+          output_shapes.push_back(output.shape());
+        }
+      }
+      OpCost cost = EstimateOpCost(op_name, input_shapes, output_shapes,
+                                   DTypeSize(inputs.empty()
+                                                 ? DType::kFloat32
+                                                 : inputs[0].dtype()));
+      run.device_ns = KernelTimeNs(cost, device->cost_params(), compiled);
+    } else {
+      run.device_ns = wall_ns;  // CPU: measured, not modelled
+    }
+    return run;
+  }
+
+  // Simulation-only path: infer output shapes, produce opaque tensors,
+  // charge modelled time.
+  TFE_ASSIGN_OR_RETURN(const OpDef* def, OpRegistry::Global()->LookUp(op_name));
+  std::vector<TypeAndShape> input_types;
+  input_types.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    input_types.push_back({input.dtype(), input.shape()});
+  }
+  InferenceContext infer(std::move(input_types), &attrs);
+  TFE_RETURN_IF_ERROR(def->shape_fn(&infer));
+  std::vector<Shape> output_shapes;
+  for (const TypeAndShape& out : infer.outputs()) {
+    if (!out.shape.IsFullyDefined()) {
+      return Internal(strings::StrCat(
+          "Simulated execution of ", op_name,
+          " produced a partial output shape: ", out.shape.ToString()));
+    }
+    run.outputs.push_back(Tensor::Opaque(out.dtype, out.shape, device));
+    output_shapes.push_back(out.shape);
+  }
+  OpCost cost =
+      EstimateOpCost(op_name, input_shapes, output_shapes,
+                     DTypeSize(inputs.empty() || inputs[0].is_resource()
+                                   ? DType::kFloat32
+                                   : inputs[0].dtype()));
+  run.device_ns = KernelTimeNs(cost, device->cost_params(), compiled);
+  return run;
+}
+
+StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
+    const std::string& op_name, std::vector<Tensor> inputs,
+    const AttrMap& attrs, const std::string& requested_device) {
+  stats_.eager_ops.fetch_add(1, std::memory_order_relaxed);
+  // Host-language dispatch cost (DESIGN.md §2: calibrated interpreter
+  // model; zero under HostProfile::Native).
+  AdvanceHostNs(op_name == "Call" ? host_profile_.function_call_ns
+                                  : host_profile_.per_op_dispatch_ns);
+
+  for (const Tensor& input : inputs) {
+    if (input.defined() && input.is_symbolic()) {
+      return InvalidArgument(strings::StrCat(
+          "Symbolic tensor passed to eager execution of ", op_name,
+          "; symbolic tensors are only usable inside their trace"));
+    }
+  }
+
+  TFE_ASSIGN_OR_RETURN(Device * device,
+                       ResolveDevice(op_name, inputs, requested_device));
+
+  // Transparent input copies (paper §4.4, Listing 5). Tensors with no
+  // device tag are host (CPU) memory.
+  for (Tensor& input : inputs) {
+    if (!input.defined() || input.is_resource() || input.is_symbolic()) {
+      continue;
+    }
+    Device* source = input.device() != nullptr ? input.device() : host_cpu_;
+    if (source != device) {
+      TFE_ASSIGN_OR_RETURN(input, CopyToDevice(input, device));
+    }
+  }
+
+  // Simulated-TPU eager mode: each new op signature pays a compile cost
+  // before it can run (paper §4.4); the per-device cache makes it one-time.
+  if (device->cost_params().per_op_compile_ns > 0 && op_name != "Call") {
+    std::string signature = op_name;
+    for (const Tensor& input : inputs) {
+      if (input.defined() && !input.is_resource()) {
+        signature += ";" + input.shape().ToString();
+      }
+    }
+    AdvanceHostNs(device->CompileCostNs(signature));
+  }
+
+  TFE_ASSIGN_OR_RETURN(KernelRun run,
+                       ExecuteKernel(op_name, inputs, attrs, device,
+                                     /*compiled=*/false, host_now_ns()));
+
+  if (run.completion_ns != 0) {
+    if (device->synchronous()) RaiseHostNs(run.completion_ns);
+  } else if (run.device_ns > 0) {
+    uint64_t done = device->timeline().Schedule(host_now_ns(), run.device_ns);
+    // Synchronous devices block the host until the kernel retires; the
+    // asynchronous GPU stream lets the host race ahead (this overlap is
+    // Figure 3's mechanism) — minus a sync fraction modelling the
+    // interpreter's imperfect pipelining.
+    if (device->synchronous()) {
+      RaiseHostNs(done);
+    } else if (device->cost_params().eager_host_sync_fraction > 0) {
+      AdvanceHostNs(static_cast<uint64_t>(
+          device->cost_params().eager_host_sync_fraction *
+          static_cast<double>(run.device_ns)));
+    }
+  }
+  return std::move(run.outputs);
+}
+
+void EagerContext::RaiseHostNs(uint64_t ns) {
+  uint64_t current = host_now_ns_.load(std::memory_order_relaxed);
+  while (current < ns && !host_now_ns_.compare_exchange_weak(
+                             current, ns, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t EagerContext::SyncAllDevices() {
+  for (Device* device : devices_.ListDevices()) {
+    RaiseHostNs(device->timeline().free_at_ns());
+  }
+  return host_now_ns();
+}
+
+void EagerContext::ResetVirtualTime() {
+  host_now_ns_.store(0, std::memory_order_relaxed);
+  for (Device* device : devices_.ListDevices()) {
+    device->ResetSimulation();
+  }
+  stats_.eager_ops.store(0);
+  stats_.executor_nodes.store(0);
+  stats_.function_calls.store(0);
+  stats_.traces.store(0);
+  stats_.device_copies.store(0);
+}
+
+// ---- DeviceScope ------------------------------------------------------------
+
+namespace {
+thread_local std::vector<std::string> g_device_scope_stack;
+const std::string kEmptyDevice;
+}  // namespace
+
+DeviceScope::DeviceScope(std::string device_name) {
+  g_device_scope_stack.push_back(std::move(device_name));
+}
+
+DeviceScope::~DeviceScope() { g_device_scope_stack.pop_back(); }
+
+const std::string& DeviceScope::Current() {
+  if (g_device_scope_stack.empty()) return kEmptyDevice;
+  return g_device_scope_stack.back();
+}
+
+}  // namespace tfe

@@ -1,0 +1,173 @@
+// EagerContext: the imperative runtime (paper §5: "the imperative runtime —
+// i.e., the code responsible for constructing and executing operations").
+//
+// It owns the devices, the function library, the executor thread pool, the
+// stateful RNG stream, and the virtual clock used by the simulated
+// accelerators. Both stages flow through it: eager ops via RunPrimitive()
+// (placement -> transparent input copies -> kernel -> time accounting), and
+// staged graph functions via the Call kernel, which re-enters the runtime.
+#ifndef TFE_RUNTIME_EAGER_CONTEXT_H_
+#define TFE_RUNTIME_EAGER_CONTEXT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/device_manager.h"
+#include "graph/graph_function.h"
+#include "ops/kernel.h"
+#include "support/random.h"
+#include "support/threadpool.h"
+
+namespace tfe {
+
+// Models the host-language dispatch cost per eager operation. `kNative`
+// measures the raw C++ runtime; `Python()` injects the CPython-era per-op
+// cost the paper measured against (DESIGN.md §2 documents this calibrated
+// substitution — it is the only simulated part of the eager path).
+struct HostProfile {
+  uint64_t per_op_dispatch_ns = 0;   // each eager primitive dispatch
+  uint64_t function_call_ns = 0;     // each staged function invocation
+                                     // (signature computation, cache lookup)
+  static HostProfile Native() { return {0, 0}; }
+  // Paper-era CPython + TF-Python-binding dispatch cost per op / per staged
+  // call (calibrated against Figures 3 & 4; see EXPERIMENTS.md).
+  static HostProfile Python() { return {25'000, 100'000}; }
+};
+
+class EagerContext {
+ public:
+  struct Options {
+    bool register_sim_gpu = true;
+    bool register_sim_tpu = true;
+    // When false, simulated accelerators skip kernel math and produce opaque
+    // tensors (timing-only benchmarking mode). CPU always computes.
+    bool accelerators_execute_kernels = true;
+    HostProfile host_profile = HostProfile::Native();
+    uint64_t random_seed = 1234;
+    int executor_threads = 0;  // 0 -> hardware concurrency
+  };
+
+  EagerContext();  // default Options
+  explicit EagerContext(const Options& options);
+  ~EagerContext();
+
+  EagerContext(const EagerContext&) = delete;
+  EagerContext& operator=(const EagerContext&) = delete;
+
+  // The process-default context used by the public API. Created lazily;
+  // ResetGlobal replaces it (tests and benchmarks reconfigure this way).
+  static EagerContext* Global();
+  static void ResetGlobal(const Options& options);
+
+  DeviceManager& devices() { return devices_; }
+  Device* HostCpu() const { return host_cpu_; }
+  FunctionLibrary& functions() { return functions_; }
+  ThreadPool& executor_pool() { return *executor_pool_; }
+
+  const HostProfile& host_profile() const { return host_profile_; }
+  void set_host_profile(const HostProfile& profile) {
+    host_profile_ = profile;
+  }
+
+  // ---- Execution -----------------------------------------------------------
+
+  // Runs one primitive operation imperatively: charges host dispatch cost,
+  // resolves placement, copies mismatched inputs, executes (or simulates)
+  // the kernel, and advances virtual time. Gradient-tape recording is the
+  // dispatcher's job, not ours.
+  StatusOr<std::vector<Tensor>> RunPrimitive(
+      const std::string& op_name, std::vector<Tensor> inputs,
+      const AttrMap& attrs, const std::string& requested_device);
+
+  // Kernel execution shared with the dataflow executor: no placement, no
+  // copies, no host-profile charge. `compiled` marks execution inside a
+  // whole-function compilation unit (simulated TPU fusion). Returns outputs
+  // and the virtual ns the kernel occupies on `device`'s timeline (for the
+  // CPU this is measured wall time).
+  struct KernelRun {
+    std::vector<Tensor> outputs;
+    uint64_t device_ns = 0;
+    // Set by composite kernels (Call) that schedule device time themselves.
+    uint64_t completion_ns = 0;
+  };
+  StatusOr<KernelRun> ExecuteKernel(const std::string& op_name,
+                                    const std::vector<Tensor>& inputs,
+                                    const AttrMap& attrs, Device* device,
+                                    bool compiled, uint64_t start_ns);
+
+  // Placement: explicit request > device scope > first input's device (if a
+  // kernel exists there) > host CPU. Variable ops stick to the variable's
+  // device (paper §4.4).
+  StatusOr<Device*> ResolveDevice(const std::string& op_name,
+                                  const std::vector<Tensor>& inputs,
+                                  const std::string& requested_device);
+
+  // Transparent cross-device copy (paper §4.4: "the runtime transparently
+  // copies the inputs to the correct device"). Accounts transfer time.
+  StatusOr<Tensor> CopyToDevice(const Tensor& tensor, Device* device);
+
+  // ---- Virtual time --------------------------------------------------------
+
+  uint64_t host_now_ns() const {
+    return host_now_ns_.load(std::memory_order_relaxed);
+  }
+  void AdvanceHostNs(uint64_t ns) {
+    host_now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  // Raises host time to at least `ns` (join with a device timeline).
+  void RaiseHostNs(uint64_t ns);
+  // Blocks (virtually) until all device work retires, as reading a tensor
+  // value would; returns the new host time.
+  uint64_t SyncAllDevices();
+  // Zeroes all timelines, compile caches, and counters for a fresh
+  // measurement window.
+  void ResetVirtualTime();
+
+  // ---- Introspection -------------------------------------------------------
+
+  struct Stats {
+    std::atomic<uint64_t> eager_ops{0};
+    std::atomic<uint64_t> executor_nodes{0};
+    std::atomic<uint64_t> function_calls{0};
+    std::atomic<uint64_t> traces{0};
+    std::atomic<uint64_t> device_copies{0};
+  };
+  Stats& stats() { return stats_; }
+
+  // The context-level stateful RNG stream backing seed-0 random ops.
+  random::Philox& rng() { return rng_; }
+  std::mutex& rng_mu() { return rng_mu_; }
+
+ private:
+  DeviceManager devices_;
+  Device* host_cpu_ = nullptr;
+  FunctionLibrary functions_;
+  std::unique_ptr<ThreadPool> executor_pool_;
+  HostProfile host_profile_;
+  std::atomic<uint64_t> host_now_ns_{0};
+  Stats stats_;
+  std::mutex rng_mu_;
+  random::Philox rng_;
+};
+
+// Scoped device override, the `with tf.device(...)` analog (paper §4.4).
+// Thread-local and nestable; an empty name clears the override within the
+// scope.
+class DeviceScope {
+ public:
+  explicit DeviceScope(std::string device_name);
+  ~DeviceScope();
+
+  DeviceScope(const DeviceScope&) = delete;
+  DeviceScope& operator=(const DeviceScope&) = delete;
+
+  // The innermost scope's device name, or "" when unscoped.
+  static const std::string& Current();
+};
+
+}  // namespace tfe
+
+#endif  // TFE_RUNTIME_EAGER_CONTEXT_H_

@@ -1,0 +1,445 @@
+#include "staging/control_flow.h"
+
+#include "api/ops_api.h"
+#include "autodiff/function_grad.h"
+#include "autodiff/gradient_registry.h"
+#include "executor/executor.h"
+#include "kernels/kernel_util.h"
+#include "ops/op_registry.h"
+#include "runtime/dispatch.h"
+#include "runtime/eager_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+namespace {
+
+// Validates that two concrete branches agree on output dtypes (shapes may
+// differ in dims but must be compatible) and returns the merged types.
+StatusOr<std::vector<TypeAndShape>> MergeOutputTypes(
+    const GraphFunction& a, const GraphFunction& b) {
+  if (a.num_outputs() != b.num_outputs()) {
+    return InvalidArgument(
+        strings::StrCat("cond branches produce different output counts: ",
+                        a.num_outputs(), " vs ", b.num_outputs()));
+  }
+  std::vector<TypeAndShape> merged;
+  for (int i = 0; i < a.num_outputs(); ++i) {
+    TypeAndShape ta = a.output_type(i);
+    TypeAndShape tb = b.output_type(i);
+    if (ta.dtype != tb.dtype) {
+      return InvalidArgument("cond branches disagree on output dtype");
+    }
+    if (ta.shape == tb.shape) {
+      merged.push_back(ta);
+    } else if (ta.shape.rank() == tb.shape.rank()) {
+      std::vector<int64_t> dims(ta.shape.rank());
+      for (int d = 0; d < ta.shape.rank(); ++d) {
+        dims[d] = ta.shape.dims()[d] == tb.shape.dims()[d]
+                      ? ta.shape.dims()[d]
+                      : kUnknownDim;
+      }
+      merged.push_back({ta.dtype, Shape(std::move(dims))});
+    } else {
+      return InvalidArgument("cond branches disagree on output rank");
+    }
+  }
+  return merged;
+}
+
+StatusOr<bool> ScalarPred(const Tensor& pred) {
+  if (!pred.defined() || pred.is_symbolic()) {
+    return Internal("Control-flow predicate is not concrete");
+  }
+  if (pred.is_opaque()) {
+    return FailedPrecondition(
+        "Value-dependent control flow cannot run on a timing-only simulated "
+        "device (the predicate has no materialized value)");
+  }
+  if (pred.dtype() != DType::kBool || pred.num_elements() != 1) {
+    return InvalidArgument("Control-flow predicate must be a scalar bool");
+  }
+  return pred.data<bool>()[0];
+}
+
+// Runs graph function `name` on `inputs` (explicit + that function's
+// captures), sharing the executor conventions of the Call kernel.
+StatusOr<Executor::Result> RunBranch(EagerContext* ctx,
+                                     const std::string& name,
+                                     std::vector<Tensor> inputs,
+                                     Device* device, uint64_t start_ns,
+                                     bool compiled) {
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> fn,
+                       ctx->functions().Find(name));
+  Executor executor(ctx);
+  return executor.Run(*fn, inputs, device, start_ns, compiled,
+                      /*parallel=*/!Executor::InExecutor());
+}
+
+Status CondKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto then_name, ctx->GetAttr<std::string>("then_function"));
+  TFE_ASSIGN_OR_RETURN(auto else_name, ctx->GetAttr<std::string>("else_function"));
+  TFE_ASSIGN_OR_RETURN(int64_t num_args, ctx->GetAttr<int64_t>("num_args"));
+  int64_t then_caps = ctx->GetAttrOr<int64_t>("then_captures", 0);
+  TFE_ASSIGN_OR_RETURN(bool pred, ScalarPred(ctx->input(0)));
+
+  // Input layout: [pred, args..., then_captures..., else_captures...].
+  std::vector<Tensor> inputs(ctx->inputs().begin() + 1,
+                             ctx->inputs().begin() + 1 + num_args);
+  if (pred) {
+    for (int64_t i = 0; i < then_caps; ++i) {
+      inputs.push_back(ctx->input(static_cast<int>(1 + num_args + i)));
+    }
+  } else {
+    for (int i = static_cast<int>(1 + num_args + then_caps);
+         i < ctx->num_inputs(); ++i) {
+      inputs.push_back(ctx->input(i));
+    }
+  }
+  TFE_ASSIGN_OR_RETURN(
+      Executor::Result result,
+      RunBranch(ctx->eager_context(), pred ? then_name : else_name,
+                std::move(inputs), ctx->device(), ctx->start_ns(),
+                ctx->compiled()));
+  for (size_t i = 0; i < result.outputs.size(); ++i) {
+    ctx->SetOutput(static_cast<int>(i), result.outputs[i]);
+  }
+  ctx->set_completion_ns(result.finish_ns);
+  return Status::OK();
+}
+
+Status WhileKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto cond_name, ctx->GetAttr<std::string>("cond_function"));
+  TFE_ASSIGN_OR_RETURN(auto body_name, ctx->GetAttr<std::string>("body_function"));
+  TFE_ASSIGN_OR_RETURN(int64_t num_vars, ctx->GetAttr<int64_t>("num_vars"));
+  int64_t cond_caps = ctx->GetAttrOr<int64_t>("cond_captures", 0);
+  int64_t max_iterations =
+      ctx->GetAttrOr<int64_t>("maximum_iterations", 1'000'000);
+
+  // Input layout: [vars..., cond_captures..., body_captures...].
+  std::vector<Tensor> vars(ctx->inputs().begin(),
+                           ctx->inputs().begin() + num_vars);
+  std::vector<Tensor> cond_captures(
+      ctx->inputs().begin() + num_vars,
+      ctx->inputs().begin() + num_vars + cond_caps);
+  std::vector<Tensor> body_captures(
+      ctx->inputs().begin() + num_vars + cond_caps, ctx->inputs().end());
+
+  uint64_t now_ns = ctx->start_ns();
+  EagerContext* ectx = ctx->eager_context();
+  for (int64_t iteration = 0;; ++iteration) {
+    if (iteration >= max_iterations) {
+      return FailedPrecondition("While exceeded maximum_iterations");
+    }
+    std::vector<Tensor> cond_inputs = vars;
+    cond_inputs.insert(cond_inputs.end(), cond_captures.begin(),
+                       cond_captures.end());
+    TFE_ASSIGN_OR_RETURN(Executor::Result cond_result,
+                         RunBranch(ectx, cond_name, std::move(cond_inputs),
+                                   ctx->device(), now_ns, ctx->compiled()));
+    now_ns = cond_result.finish_ns;
+    if (cond_result.outputs.size() != 1) {
+      return InvalidArgument("While condition must produce one output");
+    }
+    TFE_ASSIGN_OR_RETURN(bool keep_going, ScalarPred(cond_result.outputs[0]));
+    if (!keep_going) break;
+
+    std::vector<Tensor> body_inputs = vars;
+    body_inputs.insert(body_inputs.end(), body_captures.begin(),
+                       body_captures.end());
+    TFE_ASSIGN_OR_RETURN(Executor::Result body_result,
+                         RunBranch(ectx, body_name, std::move(body_inputs),
+                                   ctx->device(), now_ns, ctx->compiled()));
+    now_ns = body_result.finish_ns;
+    if (static_cast<int64_t>(body_result.outputs.size()) != num_vars) {
+      return InvalidArgument("While body must return the loop variables");
+    }
+    vars = std::move(body_result.outputs);
+  }
+  for (int64_t i = 0; i < num_vars; ++i) {
+    ctx->SetOutput(static_cast<int>(i), vars[i]);
+  }
+  ctx->set_completion_ns(now_ns);
+  return Status::OK();
+}
+
+// The gradient of Cond is a Cond over the branches' staged backward
+// computations: grad-branch(pred=true) rematerializes the then-branch's
+// intermediates via its forward variant and runs its backward function,
+// producing gradients aligned with the *full* Cond input list (zeros for
+// the other branch's captures).
+StatusOr<std::string> BuildCondGradBranch(
+    EagerContext* ctx, const std::string& branch_name, int64_t num_args,
+    int64_t my_capture_offset, int64_t my_capture_count,
+    int64_t total_inputs, const std::vector<TypeAndShape>& input_types,
+    const std::vector<TypeAndShape>& grad_types) {
+  std::string cache_name = branch_name + "__cond_grad";
+  if (ctx->functions().Contains(cache_name)) return cache_name;
+
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> branch,
+                       ctx->functions().Find(branch_name));
+  for (const Capture& capture : branch->captures()) {
+    if (capture.tensor.is_resource()) {
+      return Unimplemented(
+          "Gradients of cond branches that capture variables are not "
+          "supported");
+    }
+  }
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> forward,
+                       BuildForwardFunction(ctx, branch));
+  TFE_ASSIGN_OR_RETURN(
+      BackwardFunction backward,
+      GetOrBuildBackwardFunction(ctx, forward, forward->num_outputs()));
+
+  auto grad_fn = std::make_shared<GraphFunction>(cache_name);
+  {
+    TraceContext trace(grad_fn, ctx);
+    // Parameters: every Cond data input (both branches' captures), then the
+    // output gradients.
+    std::vector<Tensor> params;
+    for (const TypeAndShape& type : input_types) {
+      TFE_ASSIGN_OR_RETURN(Tensor param,
+                           trace.AddParameter(type.dtype, type.shape));
+      params.push_back(param);
+    }
+    std::vector<Tensor> grad_params;
+    for (const TypeAndShape& type : grad_types) {
+      TFE_ASSIGN_OR_RETURN(Tensor param,
+                           trace.AddParameter(type.dtype, type.shape));
+      grad_params.push_back(param);
+    }
+
+    // This branch's inputs: the shared explicit args + its own captures.
+    std::vector<Tensor> branch_inputs(params.begin(),
+                                      params.begin() + num_args);
+    for (int64_t i = 0; i < my_capture_count; ++i) {
+      branch_inputs.push_back(params[my_capture_offset + i]);
+    }
+
+    // Rematerialize the forward variant's intermediates.
+    AttrMap call_attrs;
+    call_attrs["function"] = AttrValue(forward->name());
+    call_attrs["num_original_outputs"] =
+        AttrValue(static_cast<int64_t>(branch->num_outputs()));
+    TFE_ASSIGN_OR_RETURN(std::vector<Tensor> full_outputs,
+                         Dispatch({.op_name = "Call", .inputs = branch_inputs,
+                                   .attrs = std::move(call_attrs)}));
+
+    // Backward call: [args..., intermediates..., grads for ALL fwd outputs].
+    std::vector<Tensor> backward_inputs = branch_inputs;
+    for (size_t i = branch->outputs().size(); i < full_outputs.size(); ++i) {
+      backward_inputs.push_back(full_outputs[i]);
+    }
+    for (int i = 0; i < forward->num_outputs(); ++i) {
+      if (i < static_cast<int>(grad_params.size())) {
+        backward_inputs.push_back(grad_params[i]);
+      } else {
+        backward_inputs.push_back(ops::zeros_like(full_outputs[i]));
+      }
+    }
+    AttrMap bwd_attrs;
+    bwd_attrs["function"] = AttrValue(backward.function->name());
+    TFE_ASSIGN_OR_RETURN(
+        std::vector<Tensor> grad_values,
+        Dispatch({.op_name = "Call", .inputs = std::move(backward_inputs),
+                  .attrs = std::move(bwd_attrs)}));
+
+    // Outputs: one gradient per Cond data input; zeros where this branch
+    // contributes nothing.
+    std::vector<Tensor> result(total_inputs);
+    for (size_t j = 0; j < grad_values.size(); ++j) {
+      int arg_index = backward.grad_arg_indices[j];
+      int64_t slot = arg_index < num_args
+                         ? arg_index
+                         : my_capture_offset + (arg_index - num_args);
+      result[slot] = grad_values[j];
+    }
+    for (int64_t i = 0; i < total_inputs; ++i) {
+      if (!result[i].defined()) result[i] = ops::zeros_like(params[i]);
+    }
+    for (Tensor& out : result) {
+      grad_fn->outputs().push_back({out.node_id(), out.output_index()});
+    }
+  }
+  TFE_RETURN_IF_ERROR(ctx->functions().Register(grad_fn));
+  return cache_name;
+}
+
+StatusOr<std::vector<Tensor>> CondGradImpl(const TapeEntry& e,
+                                           const std::vector<Tensor>& g) {
+  EagerContext* ctx = EagerContext::Global();
+  auto attr_str = [&](const char* name) {
+    return e.attrs.at(name).Get<std::string>();
+  };
+  int64_t num_args = e.attrs.at("num_args").Get<int64_t>();
+  int64_t then_caps = e.attrs.count("then_captures")
+                          ? e.attrs.at("then_captures").Get<int64_t>()
+                          : 0;
+  const int64_t total_inputs = static_cast<int64_t>(e.inputs.size()) - 1;
+
+  std::vector<TypeAndShape> input_types;
+  for (size_t i = 1; i < e.inputs.size(); ++i) {
+    if (e.inputs[i].is_resource()) {
+      return Unimplemented(
+          "Gradients of cond over resource inputs are not supported");
+    }
+    input_types.push_back({e.inputs[i].dtype(), e.inputs[i].shape()});
+  }
+  std::vector<TypeAndShape> grad_types;
+  std::vector<Tensor> grads = g;
+  for (size_t i = 0; i < e.outputs.size(); ++i) {
+    if (!grads[i].defined()) grads[i] = ops::zeros_like(e.outputs[i]);
+    grad_types.push_back({grads[i].dtype(), grads[i].shape()});
+  }
+
+  TFE_ASSIGN_OR_RETURN(
+      std::string then_grad,
+      BuildCondGradBranch(ctx, attr_str("then_function"), num_args,
+                          /*my_capture_offset=*/num_args, then_caps,
+                          total_inputs, input_types, grad_types));
+  TFE_ASSIGN_OR_RETURN(
+      std::string else_grad,
+      BuildCondGradBranch(ctx, attr_str("else_function"), num_args,
+                          /*my_capture_offset=*/num_args + then_caps,
+                          total_inputs - num_args - then_caps, total_inputs,
+                          input_types, grad_types));
+
+  AttrMap attrs;
+  attrs["then_function"] = AttrValue(then_grad);
+  attrs["else_function"] = AttrValue(else_grad);
+  attrs["num_args"] =
+      AttrValue(static_cast<int64_t>(total_inputs + grads.size()));
+  attrs["then_captures"] = AttrValue(static_cast<int64_t>(0));
+  std::vector<Tensor> inputs = {e.inputs[0]};  // same predicate
+  inputs.insert(inputs.end(), e.inputs.begin() + 1, e.inputs.end());
+  inputs.insert(inputs.end(), grads.begin(), grads.end());
+  TFE_ASSIGN_OR_RETURN(std::vector<Tensor> input_grads,
+                       Dispatch({.op_name = "Cond",
+                                 .inputs = std::move(inputs),
+                                 .attrs = std::move(attrs),
+                                 .device = e.device}));
+  std::vector<Tensor> result(e.inputs.size());
+  for (size_t i = 0; i < input_grads.size(); ++i) {
+    result[i + 1] = input_grads[i];
+  }
+  return result;  // no gradient for the predicate
+}
+
+}  // namespace
+
+namespace ops {
+
+std::vector<Tensor> cond(const Tensor& pred, Function& true_fn,
+                         Function& false_fn, const std::vector<Tensor>& args) {
+  if (TraceContext::Current() == nullptr) {
+    // Eager: ordinary host control flow over function calls (which is why
+    // imperative code rarely needs this combinator at all).
+    auto value = ScalarPred(pred);
+    value.status().ThrowIfError();
+    return *value ? true_fn(args) : false_fn(args);
+  }
+  EagerContext* ctx = EagerContext::Global();
+  auto then_fn = true_fn.GetConcreteFunction(args);
+  then_fn.status().ThrowIfError();
+  auto else_fn = false_fn.GetConcreteFunction(args);
+  else_fn.status().ThrowIfError();
+  auto merged = MergeOutputTypes(**then_fn, **else_fn);
+  merged.status().ThrowIfError();
+
+  std::vector<Tensor> inputs = {pred};
+  inputs.insert(inputs.end(), args.begin(), args.end());
+  for (const Capture& capture : (*then_fn)->captures()) {
+    inputs.push_back(capture.tensor);
+  }
+  for (const Capture& capture : (*else_fn)->captures()) {
+    inputs.push_back(capture.tensor);
+  }
+  AttrMap attrs;
+  attrs["then_function"] = AttrValue((*then_fn)->name());
+  attrs["else_function"] = AttrValue((*else_fn)->name());
+  attrs["num_args"] = AttrValue(static_cast<int64_t>(args.size()));
+  attrs["then_captures"] =
+      AttrValue(static_cast<int64_t>((*then_fn)->captures().size()));
+  (void)ctx;
+  auto result = Dispatch({.op_name = "Cond", .inputs = std::move(inputs),
+                          .attrs = std::move(attrs)});
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+std::vector<Tensor> while_loop(Function& cond_fn, Function& body_fn,
+                               const std::vector<Tensor>& init_vars,
+                               int64_t maximum_iterations) {
+  if (TraceContext::Current() == nullptr) {
+    std::vector<Tensor> vars = init_vars;
+    for (int64_t i = 0; i < maximum_iterations; ++i) {
+      Tensor keep_going = cond_fn(vars).at(0);
+      auto value = ScalarPred(keep_going);
+      value.status().ThrowIfError();
+      if (!*value) return vars;
+      vars = body_fn(vars);
+    }
+    throw RuntimeError(ErrorCode::kFailedPrecondition,
+                       "while_loop exceeded maximum_iterations");
+  }
+  EagerContext* ctx = EagerContext::Global();
+  auto cond_concrete = cond_fn.GetConcreteFunction(init_vars);
+  cond_concrete.status().ThrowIfError();
+  auto body_concrete = body_fn.GetConcreteFunction(init_vars);
+  body_concrete.status().ThrowIfError();
+  if ((*body_concrete)->num_outputs() !=
+      static_cast<int>(init_vars.size())) {
+    throw RuntimeError(ErrorCode::kInvalidArgument,
+                       "while_loop body must return the loop variables");
+  }
+
+  std::vector<Tensor> inputs = init_vars;
+  for (const Capture& capture : (*cond_concrete)->captures()) {
+    inputs.push_back(capture.tensor);
+  }
+  for (const Capture& capture : (*body_concrete)->captures()) {
+    inputs.push_back(capture.tensor);
+  }
+  AttrMap attrs;
+  attrs["cond_function"] = AttrValue((*cond_concrete)->name());
+  attrs["body_function"] = AttrValue((*body_concrete)->name());
+  attrs["num_vars"] = AttrValue(static_cast<int64_t>(init_vars.size()));
+  attrs["cond_captures"] =
+      AttrValue(static_cast<int64_t>((*cond_concrete)->captures().size()));
+  attrs["maximum_iterations"] = AttrValue(maximum_iterations);
+  (void)ctx;
+  auto result = Dispatch({.op_name = "While", .inputs = std::move(inputs),
+                          .attrs = std::move(attrs)});
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+}  // namespace ops
+
+void RegisterControlFlowOps() {
+  {
+    OpDef def;
+    def.name = "Cond";
+    def.num_inputs = OpDef::kVariadic;
+    def.is_stateful = true;  // branches may contain stateful ops
+    def.differentiable = true;
+    def.shape_fn = [](InferenceContext*) { return Status::OK(); };
+    TFE_CHECK(OpRegistry::Global()->Register(std::move(def)).ok());
+  }
+  {
+    OpDef def;
+    def.name = "While";
+    def.num_inputs = OpDef::kVariadic;
+    def.is_stateful = true;
+    // Marked differentiable with no gradient registered: asking for a While
+    // gradient must be a loud Unimplemented error, never a silent zero.
+    def.differentiable = true;
+    def.shape_fn = [](InferenceContext*) { return Status::OK(); };
+    TFE_CHECK(OpRegistry::Global()->Register(std::move(def)).ok());
+  }
+  kernels::RegisterKernel("Cond", CondKernel);
+  kernels::RegisterKernel("While", WhileKernel);
+  TFE_CHECK(GradientRegistry::Global()->Register("Cond", CondGradImpl).ok());
+}
+
+}  // namespace tfe

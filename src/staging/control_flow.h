@@ -1,0 +1,47 @@
+// Staged control flow: the tf.cond / tf.while_loop analogs (paper §4.1).
+//
+// Tracing bakes host-language branches into the graph and fully unrolls
+// host loops; when control flow must depend on *tensor values* inside a
+// staged computation, these combinators stage it as dedicated operations
+// whose branch/body computations are graph functions:
+//
+//   * cond(pred, true_fn, false_fn, args)   — one branch runs per execution
+//   * while_loop(cond_fn, body_fn, vars)    — iterates body while cond holds
+//
+// Eagerly they reduce to ordinary host control flow over function calls
+// (which is why eager code rarely needs them — the paper's point). Inside a
+// trace they record Cond / While nodes. cond() is differentiable (the
+// gradient is a Cond over the branches' staged backward functions);
+// while_loop() is forward-only, like much of classic TF's early story for
+// loop gradients.
+#ifndef TFE_STAGING_CONTROL_FLOW_H_
+#define TFE_STAGING_CONTROL_FLOW_H_
+
+#include <vector>
+
+#include "staging/function.h"
+
+namespace tfe {
+namespace ops {
+
+// `pred` is a scalar bool tensor. Both branches are invoked with `args` and
+// must produce matching output dtypes/shapes. Throws on failure.
+std::vector<Tensor> cond(const Tensor& pred, Function& true_fn,
+                         Function& false_fn, const std::vector<Tensor>& args);
+
+// Iterates `body_fn` on the loop variables while `cond_fn` (returning a
+// scalar bool) holds. `body_fn` must map the loop-variable types to
+// themselves. Returns the final loop variables.
+std::vector<Tensor> while_loop(Function& cond_fn, Function& body_fn,
+                               const std::vector<Tensor>& init_vars,
+                               int64_t maximum_iterations = 1'000'000);
+
+}  // namespace ops
+
+// Registers Cond/While ops, kernels and the Cond gradient (called by
+// EnsureOpsRegistered).
+void RegisterControlFlowOps();
+
+}  // namespace tfe
+
+#endif  // TFE_STAGING_CONTROL_FLOW_H_

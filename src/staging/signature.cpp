@@ -1,0 +1,73 @@
+#include "staging/signature.h"
+
+#include "support/strings.h"
+
+namespace tfe {
+
+namespace {
+
+StatusOr<std::string> TensorKey(const Tensor& tensor) {
+  if (!tensor.defined()) {
+    return InvalidArgument("Undefined tensor in function arguments");
+  }
+  if (tensor.is_resource()) {
+    // Variables are encoded by identity: two different variables must not
+    // share a trace (their storage bindings differ).
+    return strings::StrCat("res#", tensor.resource()->resource_id());
+  }
+  return strings::StrCat(DTypeName(tensor.dtype()),
+                         tensor.shape().ToString());
+}
+
+}  // namespace
+
+StatusOr<std::string> ComputeSignature(const std::vector<Tensor>& args,
+                                       const AttrMap& non_tensor_args,
+                                       const std::string& device) {
+  std::string key = "dev:" + device + "|";
+  for (const Tensor& arg : args) {
+    TFE_ASSIGN_OR_RETURN(std::string piece, TensorKey(arg));
+    key += piece + ";";
+  }
+  if (!non_tensor_args.empty()) {
+    key += "|" + AttrMapToString(non_tensor_args);
+  }
+  return key;
+}
+
+StatusOr<std::string> ComputeExplicitSignature(
+    const std::vector<TypeAndShape>& signature,
+    const std::vector<Tensor>& args, const AttrMap& non_tensor_args,
+    const std::string& device) {
+  if (args.size() != signature.size()) {
+    return InvalidArgument(strings::StrCat(
+        "Function with input signature of ", signature.size(),
+        " tensors called with ", args.size()));
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    const Tensor& arg = args[i];
+    if (!arg.defined()) return InvalidArgument("Undefined argument");
+    if (arg.is_resource()) {
+      return InvalidArgument(
+          "Explicit input signatures do not cover resource arguments");
+    }
+    if (arg.dtype() != signature[i].dtype ||
+        !signature[i].shape.IsCompatibleWith(arg.shape())) {
+      return InvalidArgument(strings::StrCat(
+          "Argument ", i, " (", DTypeName(arg.dtype()),
+          arg.shape().ToString(), ") does not match input signature ",
+          DTypeName(signature[i].dtype), signature[i].shape.ToString()));
+    }
+  }
+  // One key for every compatible call.
+  std::string key = "dev:" + device + "|sig";
+  for (const TypeAndShape& spec : signature) {
+    key += strings::StrCat(DTypeName(spec.dtype), spec.shape.ToString(), ";");
+  }
+  if (!non_tensor_args.empty()) {
+    key += "|" + AttrMapToString(non_tensor_args);
+  }
+  return key;
+}
+
+}  // namespace tfe

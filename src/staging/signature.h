@@ -1,0 +1,38 @@
+// Input signatures: the binding-time analysis behind the trace cache
+// (paper §4.6, "Polymorphism").
+//
+// Tensors are abstracted to (dtype, shape); resource tensors (variables) are
+// encoded by object identity (their resource id); non-tensor arguments are
+// encoded by value; and the requested device — "a small amount of metadata
+// about the surrounding program state" — is folded in. Equal keys reuse a
+// concrete graph function; distinct keys trigger a new trace.
+#ifndef TFE_STAGING_SIGNATURE_H_
+#define TFE_STAGING_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/attr_value.h"
+#include "ops/shape_inference.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+// Cache key for one invocation.
+StatusOr<std::string> ComputeSignature(const std::vector<Tensor>& args,
+                                       const AttrMap& non_tensor_args,
+                                       const std::string& device);
+
+// Key under an explicit input signature: shape/dtype come from the
+// signature, so one graph function serves every compatible call (paper:
+// "useful for creating a single function that can handle arbitrary batch
+// sizes"). Verifies compatibility of the actual arguments.
+StatusOr<std::string> ComputeExplicitSignature(
+    const std::vector<TypeAndShape>& signature,
+    const std::vector<Tensor>& args, const AttrMap& non_tensor_args,
+    const std::string& device);
+
+}  // namespace tfe
+
+#endif  // TFE_STAGING_SIGNATURE_H_

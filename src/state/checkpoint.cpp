@@ -1,0 +1,157 @@
+#include "state/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "runtime/dispatch.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+namespace {
+constexpr char kIndexFile[] = "object_graph.index";
+}
+
+Status Checkpoint::Save(const std::string& prefix) const {
+  std::vector<std::pair<Variable, std::string>> entries;
+  std::vector<std::pair<const SaveableState*, std::string>> state_entries;
+  SavedObjectGraph graph = BuildObjectGraph(*this, &entries, &state_entries);
+
+  std::error_code ec;
+  std::filesystem::create_directories(prefix, ec);
+  std::ofstream index(prefix + "/" + kIndexFile);
+  if (!index) return Unavailable("Cannot write checkpoint index at " + prefix);
+  index << graph.Serialize();
+  index.close();
+  if (!index) return Unavailable("Checkpoint index write failed");
+
+  for (const auto& [variable, key] : entries) {
+    // Saving sends the variable's value to a save operation (paper §4.3).
+    AttrMap attrs;
+    attrs["prefix"] = AttrValue(prefix);
+    attrs["name"] = AttrValue(key);
+    TFE_RETURN_IF_ERROR(Dispatch({.op_name = "SaveTensor",
+                                  .inputs = {variable.value()},
+                                  .attrs = std::move(attrs)})
+                            .status());
+  }
+  for (const auto& [state, key] : state_entries) {
+    TFE_ASSIGN_OR_RETURN(Tensor value, state->save());
+    AttrMap attrs;
+    attrs["prefix"] = AttrValue(prefix);
+    attrs["name"] = AttrValue(key);
+    TFE_RETURN_IF_ERROR(Dispatch({.op_name = "SaveTensor",
+                                  .inputs = {value},
+                                  .attrs = std::move(attrs)})
+                            .status());
+  }
+  return Status::OK();
+}
+
+StatusOr<Checkpoint::RestoreReport> Checkpoint::Restore(
+    const std::string& prefix) {
+  std::ifstream index(prefix + "/" + kIndexFile);
+  if (!index) return NotFound("No checkpoint index under " + prefix);
+  std::stringstream buffer;
+  buffer << index.rdbuf();
+  TFE_ASSIGN_OR_RETURN(SavedObjectGraph saved,
+                       SavedObjectGraph::Deserialize(buffer.str()));
+  if (saved.nodes.empty()) return RestoreReport{};
+
+  RestoreReport report;
+  // Greedy pairing of (live object, saved node) by edge names, breadth
+  // first from the root; each saved node pairs at most once.
+  std::vector<std::pair<const Checkpointable*, int>> worklist = {{this, 0}};
+  std::unordered_set<const Checkpointable*> visited;
+  std::unordered_set<int> saved_visited;
+
+  while (!worklist.empty()) {
+    auto [object, node_id] = worklist.back();
+    worklist.pop_back();
+    if (!visited.insert(object).second) continue;
+    saved_visited.insert(node_id);
+    const SavedObjectNode& node = saved.nodes[node_id];
+
+    for (const auto& [name, variable] : object->tracked_variables()) {
+      auto it = node.variables.find(name);
+      if (it == node.variables.end()) {
+        report.unmatched_live.push_back(variable.name());
+        continue;
+      }
+      AttrMap attrs;
+      attrs["prefix"] = AttrValue(prefix);
+      attrs["name"] = AttrValue(it->second);
+      attrs["dtype"] = AttrValue(variable.dtype());
+      attrs["shape"] = AttrValue(variable.shape());
+      // Restoring assigns to the variable from a restore operation (§4.3).
+      TFE_ASSIGN_OR_RETURN(Tensor value,
+                           DispatchSingle({.op_name = "RestoreTensor",
+                                           .attrs = std::move(attrs)}));
+      TFE_RETURN_IF_ERROR(
+          Dispatch({.op_name = "AssignVariableOp",
+                    .inputs = {variable.handle(), value}})
+              .status());
+      ++report.restored_variables;
+    }
+    for (const auto& [name, key] : node.variables) {
+      if (object->tracked_variables().count(name) == 0) {
+        report.unmatched_saved.push_back(key);
+      }
+    }
+
+    for (const auto& [name, state] : object->tracked_state()) {
+      auto it = node.states.find(name);
+      if (it == node.states.end()) {
+        report.unmatched_live.push_back(name);
+        continue;
+      }
+      AttrMap attrs;
+      attrs["prefix"] = AttrValue(prefix);
+      attrs["name"] = AttrValue(it->second);
+      // dtype/shape attrs are only consulted by shape inference inside
+      // traces; the eager kernel reads them from the file itself.
+      attrs["dtype"] = AttrValue(DType::kFloat32);
+      attrs["shape"] = AttrValue(Shape());
+      TFE_ASSIGN_OR_RETURN(Tensor value,
+                           DispatchSingle({.op_name = "RestoreTensor",
+                                           .attrs = std::move(attrs)}));
+      TFE_RETURN_IF_ERROR(state.restore(value));
+      ++report.restored_variables;
+    }
+    for (const auto& [name, key] : node.states) {
+      if (object->tracked_state().count(name) == 0) {
+        report.unmatched_saved.push_back(key);
+      }
+    }
+
+    for (const auto& [name, child] : object->children()) {
+      auto it = node.children.find(name);
+      if (it != node.children.end()) {
+        worklist.emplace_back(child, it->second);
+      }
+    }
+    for (const auto& [name, child_id] : node.children) {
+      if (object->children().count(name) == 0) {
+        // Whole saved subtree is unmatched; report its variables.
+        std::vector<int> stack = {child_id};
+        std::unordered_set<int> seen;
+        while (!stack.empty()) {
+          int id = stack.back();
+          stack.pop_back();
+          if (!seen.insert(id).second) continue;
+          for (const auto& [vn, key] : saved.nodes[id].variables) {
+            report.unmatched_saved.push_back(key);
+          }
+          for (const auto& [cn, cid] : saved.nodes[id].children) {
+            stack.push_back(cid);
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace tfe

@@ -1,0 +1,43 @@
+// Checkpoint: save/restore of program state with graph-based matching
+// (paper §4.3).
+//
+// Saving serializes the object graph (named edges) alongside one tensor file
+// per variable, each written by a SaveTensor operation; restoring greedily
+// matches the saved graph against the live object graph from the root and
+// assigns each matched variable from a RestoreTensor operation. Matching is
+// local: renaming an unrelated part of the program does not disturb the
+// correspondence of the parts being restored.
+#ifndef TFE_STATE_CHECKPOINT_H_
+#define TFE_STATE_CHECKPOINT_H_
+
+#include <string>
+
+#include "state/object_graph.h"
+#include "support/status.h"
+
+namespace tfe {
+
+class Checkpoint : public Checkpointable {
+ public:
+  Checkpoint() = default;
+
+  struct RestoreReport {
+    int restored_variables = 0;
+    // Saved entries with no matching live object/variable.
+    std::vector<std::string> unmatched_saved;
+    // Live variables with no saved value.
+    std::vector<std::string> unmatched_live;
+  };
+
+  // Writes the checkpoint under directory `prefix`.
+  Status Save(const std::string& prefix) const;
+
+  // Greedy graph matching + assignment. Fails only on I/O or assignment
+  // errors; partial matches are reported, not fatal (a model that gained a
+  // layer since the save restores everything else).
+  StatusOr<RestoreReport> Restore(const std::string& prefix);
+};
+
+}  // namespace tfe
+
+#endif  // TFE_STATE_CHECKPOINT_H_

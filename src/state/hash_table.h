@@ -1,0 +1,78 @@
+// Mutable hash tables: the paper's third kind of program state (§4.3:
+// "Examples include an iterator over input data ..., mutable hash tables").
+//
+// A table maps int64 keys to fixed-shape tensor values. Insert/lookup/size
+// are stateful primitive operations, so tables work identically in eager
+// and staged computations (the resource handle is captured by reference,
+// like a variable). Contents are checkpointable through the generic
+// tracked-state mechanism (exported as a keys tensor + a stacked values
+// tensor).
+#ifndef TFE_STATE_HASH_TABLE_H_
+#define TFE_STATE_HASH_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "state/object_graph.h"
+#include "state/variable.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class HashTableResource : public ResourceBase {
+ public:
+  HashTableResource(DType value_dtype, Shape value_shape);
+
+  std::string TypeName() const override { return "MutableHashTable"; }
+
+  DType value_dtype() const { return value_dtype_; }
+  const Shape& value_shape() const { return value_shape_; }
+
+  // keys [n] int64, values [n, value_shape...]; existing keys overwrite.
+  Status Insert(const Tensor& keys, const Tensor& values);
+  // keys [n] -> [n, value_shape...]; missing keys take `default_value`
+  // (shape value_shape).
+  StatusOr<Tensor> Lookup(const Tensor& keys, const Tensor& default_value);
+  int64_t size() const;
+
+  // Checkpoint export/import: (keys [n], values [n, value_shape...]).
+  std::pair<Tensor, Tensor> Export() const;
+  Status Import(const Tensor& keys, const Tensor& values);
+
+ private:
+  DType value_dtype_;
+  Shape value_shape_;
+  mutable std::mutex mu_;
+  std::map<int64_t, Tensor> table_;  // ordered: deterministic export
+};
+
+class HashTable : public Checkpointable {
+ public:
+  HashTable() = default;
+  HashTable(DType value_dtype, const Shape& value_shape);
+
+  bool defined() const { return resource_ != nullptr; }
+  const Tensor& handle() const { return handle_; }
+
+  // All three dispatch stateful primitives (trace-friendly).
+  void insert(const Tensor& keys, const Tensor& values) const;
+  Tensor lookup(const Tensor& keys, const Tensor& default_value) const;
+  Tensor size() const;  // int64 scalar
+
+  const std::shared_ptr<HashTableResource>& resource() const {
+    return resource_;
+  }
+
+ private:
+  std::shared_ptr<HashTableResource> resource_;
+  Tensor handle_;
+};
+
+// Registers the hash-table ops + kernels (called by EnsureOpsRegistered).
+void RegisterHashTableOps();
+
+}  // namespace tfe
+
+#endif  // TFE_STATE_HASH_TABLE_H_

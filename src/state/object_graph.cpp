@@ -1,0 +1,135 @@
+#include "state/object_graph.h"
+
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace tfe {
+
+void Checkpointable::TrackChild(const std::string& name,
+                                Checkpointable* child) {
+  TFE_CHECK(child != nullptr);
+  children_[name] = child;
+}
+
+void Checkpointable::TrackVariable(const std::string& name,
+                                   Variable variable) {
+  TFE_CHECK(variable.defined());
+  variables_[name] = std::move(variable);
+}
+
+void Checkpointable::TrackState(const std::string& name,
+                                SaveableState state) {
+  TFE_CHECK(state.save != nullptr && state.restore != nullptr);
+  state_[name] = std::move(state);
+}
+
+std::string SavedObjectGraph::Serialize() const {
+  std::ostringstream out;
+  out << "object_graph_v1 " << nodes.size() << "\n";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out << "node " << i << "\n";
+    for (const auto& [name, child] : nodes[i].children) {
+      out << "child " << name << " " << child << "\n";
+    }
+    for (const auto& [name, key] : nodes[i].variables) {
+      out << "var " << name << " " << key << "\n";
+    }
+    for (const auto& [name, key] : nodes[i].states) {
+      out << "state " << name << " " << key << "\n";
+    }
+  }
+  return out.str();
+}
+
+StatusOr<SavedObjectGraph> SavedObjectGraph::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+  size_t count = 0;
+  in >> token >> count;
+  if (token != "object_graph_v1") {
+    return InvalidArgument("Not an object-graph index file");
+  }
+  SavedObjectGraph graph;
+  graph.nodes.resize(count);
+  int current = -1;
+  while (in >> token) {
+    if (token == "node") {
+      in >> current;
+      if (current < 0 || current >= static_cast<int>(count)) {
+        return InvalidArgument("Corrupt object-graph index: bad node id");
+      }
+    } else if (token == "child") {
+      std::string name;
+      int child = -1;
+      in >> name >> child;
+      if (current < 0 || child < 0 || child >= static_cast<int>(count)) {
+        return InvalidArgument("Corrupt object-graph index: bad child");
+      }
+      graph.nodes[current].children[name] = child;
+    } else if (token == "var") {
+      std::string name, key;
+      in >> name >> key;
+      if (current < 0) {
+        return InvalidArgument("Corrupt object-graph index: var before node");
+      }
+      graph.nodes[current].variables[name] = key;
+    } else if (token == "state") {
+      std::string name, key;
+      in >> name >> key;
+      if (current < 0) {
+        return InvalidArgument(
+            "Corrupt object-graph index: state before node");
+      }
+      graph.nodes[current].states[name] = key;
+    } else {
+      return InvalidArgument("Corrupt object-graph index: token " + token);
+    }
+  }
+  return graph;
+}
+
+SavedObjectGraph BuildObjectGraph(
+    const Checkpointable& root,
+    std::vector<std::pair<Variable, std::string>>* keys_out,
+    std::vector<std::pair<const SaveableState*, std::string>>* state_out) {
+  SavedObjectGraph graph;
+  std::unordered_map<const Checkpointable*, int> ids;
+  std::vector<const Checkpointable*> order;
+
+  // Discovery is DFS in edge-name order, so ids are deterministic and
+  // shared objects (diamonds) serialize once.
+  std::function<int(const Checkpointable*)> visit =
+      [&](const Checkpointable* object) -> int {
+    auto it = ids.find(object);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(graph.nodes.size());
+    ids.emplace(object, id);
+    graph.nodes.emplace_back();
+    for (const auto& [name, variable] : object->tracked_variables()) {
+      std::string key = strings::StrCat("node", id, "-", name);
+      graph.nodes[id].variables[name] = key;
+      if (keys_out != nullptr) keys_out->emplace_back(variable, key);
+    }
+    for (const auto& [name, state] : object->tracked_state()) {
+      std::string key = strings::StrCat("node", id, "-s-", name);
+      graph.nodes[id].states[name] = key;
+      if (state_out != nullptr) state_out->emplace_back(&state, key);
+    }
+    // Children may grow graph.nodes; take names first.
+    std::vector<std::pair<std::string, Checkpointable*>> children(
+        object->children().begin(), object->children().end());
+    for (const auto& [name, child] : children) {
+      int child_id = visit(child);
+      graph.nodes[id].children[name] = child_id;
+    }
+    return id;
+  };
+  visit(&root);
+  return graph;
+}
+
+}  // namespace tfe

@@ -1,0 +1,87 @@
+// The checkpointable object graph (paper §4.3).
+//
+// "TensorFlow Eager uses a graph-based matching system, where a directed
+// graph with named edges between objects is serialized along with the
+// program state. On restore, a greedy matching determines a correspondence
+// between serialized state and the objects being restored. This matching is
+// local: it depends only on the objects being saved and restored."
+//
+// Checkpointable is the Trackable analog: an object exposes named edges to
+// child objects and named variables; Checkpoint (checkpoint.h) serializes
+// and greedily matches these graphs.
+#ifndef TFE_STATE_OBJECT_GRAPH_H_
+#define TFE_STATE_OBJECT_GRAPH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "state/variable.h"
+
+namespace tfe {
+
+// Non-variable state serialized as a tensor (iterator positions are
+// variables already; hash-table contents and "miscellaneous host state"
+// use this — paper §4.3: "even miscellaneous [host] state ... can use
+// graph-based state matching").
+struct SaveableState {
+  std::function<StatusOr<Tensor>()> save;
+  std::function<Status(const Tensor&)> restore;
+};
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  // Adds a named edge to a child object (not owned; must outlive uses in
+  // save/restore). Re-tracking a name replaces the edge.
+  void TrackChild(const std::string& name, Checkpointable* child);
+  // Adds a named edge to a variable.
+  void TrackVariable(const std::string& name, Variable variable);
+  // Adds a named edge to a generic saveable.
+  void TrackState(const std::string& name, SaveableState state);
+
+  const std::map<std::string, Checkpointable*>& children() const {
+    return children_;
+  }
+  const std::map<std::string, Variable>& tracked_variables() const {
+    return variables_;
+  }
+  const std::map<std::string, SaveableState>& tracked_state() const {
+    return state_;
+  }
+
+ private:
+  // Ordered maps: serialization order is deterministic.
+  std::map<std::string, Checkpointable*> children_;
+  std::map<std::string, Variable> variables_;
+  std::map<std::string, SaveableState> state_;
+};
+
+// The serialized form of an object graph.
+struct SavedObjectNode {
+  std::map<std::string, int> children;          // edge name -> node id
+  std::map<std::string, std::string> variables; // edge name -> tensor key
+  std::map<std::string, std::string> states;    // edge name -> tensor key
+};
+
+struct SavedObjectGraph {
+  std::vector<SavedObjectNode> nodes;  // node 0 is the root
+
+  std::string Serialize() const;
+  static StatusOr<SavedObjectGraph> Deserialize(const std::string& text);
+};
+
+// Flattens a live object graph into its serialized form; `keys_out`
+// receives (variable, tensor key) pairs and `state_out` receives
+// (saveable, tensor key) pairs, both in discovery order.
+SavedObjectGraph BuildObjectGraph(
+    const Checkpointable& root,
+    std::vector<std::pair<Variable, std::string>>* keys_out,
+    std::vector<std::pair<const SaveableState*, std::string>>* state_out =
+        nullptr);
+
+}  // namespace tfe
+
+#endif  // TFE_STATE_OBJECT_GRAPH_H_

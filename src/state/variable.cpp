@@ -1,0 +1,120 @@
+#include "state/variable.h"
+
+#include <atomic>
+
+#include "runtime/dispatch.h"
+#include "runtime/eager_context.h"
+#include "staging/trace_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+namespace {
+std::atomic<int64_t> g_anonymous_variable_counter{0};
+}
+
+VariableStorage::VariableStorage(std::string name, DType dtype, Shape shape,
+                                 Device* device)
+    : name_(std::move(name)),
+      dtype_(dtype),
+      shape_(std::move(shape)),
+      device_(device) {}
+
+Tensor VariableStorage::value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TFE_CHECK(value_.defined()) << "Reading uninitialized variable " << name_;
+  return value_;
+}
+
+bool VariableStorage::initialized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_.defined();
+}
+
+Status VariableStorage::Assign(Tensor value) {
+  if (value.dtype() != dtype_ || value.shape() != shape_) {
+    return InvalidArgument(strings::StrCat(
+        "Cannot assign ", DTypeName(value.dtype()), value.shape().ToString(),
+        " to variable '", name_, "' of type ", DTypeName(dtype_),
+        shape_.ToString()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = std::move(value);
+  return Status::OK();
+}
+
+Variable::Variable(const Tensor& initial_value, std::string name) {
+  TFE_CHECK(initial_value.defined());
+  TFE_CHECK(!initial_value.is_symbolic())
+      << "Variables must be initialized with concrete values; compute the "
+         "initializer under an init_scope when inside a trace";
+  // State-creation contract (paper §4.6): a traced function may create
+  // variables only during a trace that allows it (its first trace). A user
+  // error, so it throws rather than CHECK-failing.
+  if (TraceContext* trace = TraceContext::Current(); trace != nullptr) {
+    if (!trace->allow_variable_creation()) {
+      throw RuntimeError(
+          ErrorCode::kFailedPrecondition,
+          "tfe::function-decorated callables must create variables only the "
+          "first time they are called (paper §4.6, 'State creation')");
+    }
+    trace->NoteVariableCreated();
+  }
+  if (name.empty()) {
+    name = strings::StrCat(
+        "Variable_", g_anonymous_variable_counter.fetch_add(1));
+  }
+  Device* device = initial_value.device();
+  if (device == nullptr) {
+    device = EagerContext::Global()->HostCpu();
+    if (!DeviceScope::Current().empty()) {
+      auto resolved =
+          EagerContext::Global()->devices().FindDevice(DeviceScope::Current());
+      if (resolved.ok()) device = *resolved;
+    }
+  }
+  storage_ = std::make_shared<VariableStorage>(std::move(name),
+                                               initial_value.dtype(),
+                                               initial_value.shape(), device);
+  TFE_CHECK(storage_->Assign(initial_value).ok());
+  handle_ = Tensor::MakeResource(storage_, device);
+}
+
+const Tensor& Variable::handle() const {
+  TFE_CHECK(defined());
+  return handle_;
+}
+
+Tensor Variable::value() const {
+  TFE_CHECK(defined());
+  AttrMap attrs;
+  attrs["dtype"] = AttrValue(storage_->dtype());
+  attrs["shape"] = AttrValue(storage_->shape());
+  auto result = DispatchSingle(
+      {.op_name = "ReadVariableOp", .inputs = {handle_}, .attrs = attrs});
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+void Variable::assign(const Tensor& value) const {
+  TFE_CHECK(defined());
+  Dispatch({.op_name = "AssignVariableOp", .inputs = {handle_, value}})
+      .status()
+      .ThrowIfError();
+}
+
+void Variable::assign_add(const Tensor& delta) const {
+  TFE_CHECK(defined());
+  Dispatch({.op_name = "AssignAddVariableOp", .inputs = {handle_, delta}})
+      .status()
+      .ThrowIfError();
+}
+
+void Variable::assign_sub(const Tensor& delta) const {
+  TFE_CHECK(defined());
+  Dispatch({.op_name = "AssignSubVariableOp", .inputs = {handle_, delta}})
+      .status()
+      .ThrowIfError();
+}
+
+}  // namespace tfe

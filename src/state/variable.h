@@ -1,0 +1,93 @@
+// Variables: mutable program state (paper §4.3).
+//
+// A Variable is a host-language object with its own unique storage, deleted
+// when the last reference dies. Staged computations reference it *by
+// identifier* through a resource tensor captured as a function input, so
+// graph functions mutate the same storage the imperative code sees (paper
+// §4.6, Listing 7). Reading a variable's value automatically watches it on
+// all active gradient tapes (§4.3, Listing 2).
+//
+// Storage mutation is buffer-swap: assign installs a fresh tensor, so
+// previously read values are never overwritten behind a reader's back.
+#ifndef TFE_STATE_VARIABLE_H_
+#define TFE_STATE_VARIABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class Device;
+
+class VariableStorage : public ResourceBase {
+ public:
+  VariableStorage(std::string name, DType dtype, Shape shape, Device* device);
+
+  std::string TypeName() const override { return "Variable"; }
+
+  const std::string& name() const { return name_; }
+  DType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+  Device* device() const { return device_; }
+
+  // Snapshot of the current value (cheap: shares the immutable buffer).
+  Tensor value() const;
+  bool initialized() const;
+
+  // Installs `value` as the new contents. Shape/dtype must match.
+  Status Assign(Tensor value);
+
+ private:
+  std::string name_;
+  DType dtype_;
+  Shape shape_;
+  Device* device_;
+  mutable std::mutex mu_;
+  Tensor value_;
+};
+
+// The user-facing handle; copyable with shared-ownership semantics, like a
+// Python variable reference.
+class Variable {
+ public:
+  Variable() = default;
+  // Creates a variable initialized to `initial_value` (must be concrete).
+  // Under an active trace this enforces the state-creation contract: only a
+  // trace that permits variable creation (the first trace of a function)
+  // may create variables (paper §4.6, "State creation"). Storage lives
+  // outside any graph.
+  explicit Variable(const Tensor& initial_value, std::string name = "");
+
+  bool defined() const { return storage_ != nullptr; }
+
+  // The resource tensor staged computations capture (stable identity).
+  const Tensor& handle() const;
+
+  // Dispatches ReadVariableOp: returns the value and auto-watches the
+  // variable on active tapes. Usable inside traces.
+  Tensor value() const;
+  // Alias mirroring `read_value()` in the paper's listings.
+  Tensor read_value() const { return value(); }
+
+  void assign(const Tensor& value) const;
+  void assign_add(const Tensor& delta) const;
+  void assign_sub(const Tensor& delta) const;
+
+  DType dtype() const { return storage_->dtype(); }
+  const Shape& shape() const { return storage_->shape(); }
+  const std::string& name() const { return storage_->name(); }
+
+  const std::shared_ptr<VariableStorage>& storage() const { return storage_; }
+
+ private:
+  std::shared_ptr<VariableStorage> storage_;
+  Tensor handle_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_STATE_VARIABLE_H_

@@ -1,0 +1,67 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace tfe {
+namespace logging {
+namespace {
+
+std::atomic<int> g_min_severity{[] {
+  const char* env = std::getenv("TFE_MIN_LOG_LEVEL");
+  if (env != nullptr) {
+    int level = std::atoi(env);
+    if (level >= 0 && level <= 2) return level;
+  }
+  return 0;
+}()};
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+Severity min_severity() {
+  return static_cast<Severity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void set_min_severity(Severity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(const char* file, int line, Severity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ < min_severity() && severity_ != Severity::kFatal) return;
+  std::fprintf(stderr, "[tfe %s %s:%d] %s\n", SeverityName(severity_),
+               Basename(file_), line_, stream_.str().c_str());
+  std::fflush(stderr);
+}
+
+LogMessageFatal::~LogMessageFatal() {
+  // Base destructor has not run yet; emit explicitly before aborting.
+  std::fprintf(stderr, "[tfe F] %s\n", str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace logging
+}  // namespace tfe

@@ -1,0 +1,79 @@
+// Minimal logging + invariant-check macros.
+//
+// LOG(INFO/WARNING/ERROR) stream to stderr; TFE_CHECK* abort on violated
+// invariants (programming errors, never user errors — those use Status).
+#ifndef TFE_SUPPORT_LOGGING_H_
+#define TFE_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tfe {
+namespace logging {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Messages below this severity are dropped. Settable via set_min_severity or
+// the TFE_MIN_LOG_LEVEL environment variable (0=INFO..2=ERROR).
+Severity min_severity();
+void set_min_severity(Severity severity);
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, Severity severity);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  const char* file_;
+  int line_;
+  Severity severity_;
+};
+
+// Fatal variant: flushes the message then aborts.
+class LogMessageFatal : public LogMessage {
+ public:
+  LogMessageFatal(const char* file, int line)
+      : LogMessage(file, line, Severity::kFatal) {}
+  [[noreturn]] ~LogMessageFatal();
+};
+
+}  // namespace logging
+}  // namespace tfe
+
+#define TFE_LOG_INFO                                        \
+  ::tfe::logging::LogMessage(__FILE__, __LINE__,            \
+                             ::tfe::logging::Severity::kInfo)
+#define TFE_LOG_WARNING                                     \
+  ::tfe::logging::LogMessage(__FILE__, __LINE__,            \
+                             ::tfe::logging::Severity::kWarning)
+#define TFE_LOG_ERROR                                       \
+  ::tfe::logging::LogMessage(__FILE__, __LINE__,            \
+                             ::tfe::logging::Severity::kError)
+#define TFE_LOG_FATAL ::tfe::logging::LogMessageFatal(__FILE__, __LINE__)
+
+#define TFE_LOG(severity) TFE_LOG_##severity.stream()
+
+#define TFE_CHECK(condition)                                        \
+  if (!(condition))                                                 \
+  TFE_LOG_FATAL.stream() << "Check failed: " #condition " "
+
+#define TFE_CHECK_BINOP(a, b, op)                                          \
+  if (!((a)op(b)))                                                         \
+  TFE_LOG_FATAL.stream() << "Check failed: " #a " " #op " " #b " (" << (a) \
+                         << " vs " << (b) << ") "
+
+#define TFE_CHECK_EQ(a, b) TFE_CHECK_BINOP(a, b, ==)
+#define TFE_CHECK_NE(a, b) TFE_CHECK_BINOP(a, b, !=)
+#define TFE_CHECK_LT(a, b) TFE_CHECK_BINOP(a, b, <)
+#define TFE_CHECK_LE(a, b) TFE_CHECK_BINOP(a, b, <=)
+#define TFE_CHECK_GT(a, b) TFE_CHECK_BINOP(a, b, >)
+#define TFE_CHECK_GE(a, b) TFE_CHECK_BINOP(a, b, >=)
+
+#define TFE_DCHECK(condition) TFE_CHECK(condition)
+
+#endif  // TFE_SUPPORT_LOGGING_H_

@@ -1,0 +1,102 @@
+#include "support/random.h"
+
+#include <cmath>
+
+namespace tfe {
+namespace random {
+namespace {
+
+constexpr uint32_t kPhiloxW32A = 0x9E3779B9;
+constexpr uint32_t kPhiloxW32B = 0xBB67AE85;
+constexpr uint32_t kPhiloxM4x32A = 0xD2511F53;
+constexpr uint32_t kPhiloxM4x32B = 0xCD9E8D57;
+
+inline void MulHiLo(uint32_t a, uint32_t b, uint32_t* hi, uint32_t* lo) {
+  uint64_t product = static_cast<uint64_t>(a) * b;
+  *hi = static_cast<uint32_t>(product >> 32);
+  *lo = static_cast<uint32_t>(product);
+}
+
+inline std::array<uint32_t, 4> Round(const std::array<uint32_t, 4>& counter,
+                                     const std::array<uint32_t, 2>& key) {
+  uint32_t hi0, lo0, hi1, lo1;
+  MulHiLo(kPhiloxM4x32A, counter[0], &hi0, &lo0);
+  MulHiLo(kPhiloxM4x32B, counter[2], &hi1, &lo1);
+  return {hi1 ^ counter[1] ^ key[0], lo1, hi0 ^ counter[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+Philox::Philox(uint64_t seed, uint64_t stream) {
+  key_ = {static_cast<uint32_t>(seed), static_cast<uint32_t>(seed >> 32)};
+  counter_ = {0, 0, static_cast<uint32_t>(stream),
+              static_cast<uint32_t>(stream >> 32)};
+}
+
+std::array<uint32_t, 4> Philox::Next4() {
+  std::array<uint32_t, 4> counter = counter_;
+  std::array<uint32_t, 2> key = key_;
+  for (int round = 0; round < 10; ++round) {
+    counter = Round(counter, key);
+    key[0] += kPhiloxW32A;
+    key[1] += kPhiloxW32B;
+  }
+  Skip(1);
+  return counter;
+}
+
+void Philox::Skip(uint64_t count) {
+  uint64_t lo = static_cast<uint64_t>(counter_[0]) |
+                (static_cast<uint64_t>(counter_[1]) << 32);
+  uint64_t before = lo;
+  lo += count;
+  counter_[0] = static_cast<uint32_t>(lo);
+  counter_[1] = static_cast<uint32_t>(lo >> 32);
+  if (lo < before) {  // carry into the high 64 bits
+    if (++counter_[2] == 0) ++counter_[3];
+  }
+}
+
+float Philox::NextFloat() {
+  if (buffer_pos_ >= 4) {
+    buffer_ = Next4();
+    buffer_pos_ = 0;
+  }
+  uint32_t bits = buffer_[buffer_pos_++];
+  // 24 random mantissa bits -> [0, 1).
+  return static_cast<float>(bits >> 8) * (1.0f / 16777216.0f);
+}
+
+double Philox::NextDouble() {
+  uint64_t bits = NextUint64();
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Philox::NextUint64() {
+  if (buffer_pos_ >= 3) {
+    buffer_ = Next4();
+    buffer_pos_ = 0;
+  }
+  uint64_t lo = buffer_[buffer_pos_++];
+  uint64_t hi = buffer_[buffer_pos_++];
+  return lo | (hi << 32);
+}
+
+float Philox::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller on two uniforms; guard against log(0).
+  float u1 = NextFloat();
+  float u2 = NextFloat();
+  if (u1 < 1e-30f) u1 = 1e-30f;
+  float radius = std::sqrt(-2.0f * std::log(u1));
+  float theta = 2.0f * 3.14159265358979323846f * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+}  // namespace random
+}  // namespace tfe

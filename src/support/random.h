@@ -1,0 +1,50 @@
+// Philox4x32-10 counter-based RNG.
+//
+// TensorFlow's random kernels are built on Philox so that random ops are
+// *stateless functions of (seed, counter)* — which is exactly what makes
+// them safe to stage: tracing a random op records the op (not a sampled
+// constant), preserving semantics (paper §4.1's add_noise example). We use
+// the same construction so eager and staged executions of the same seeded
+// program produce identical streams.
+#ifndef TFE_SUPPORT_RANDOM_H_
+#define TFE_SUPPORT_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace tfe {
+namespace random {
+
+// Counter-based Philox4x32-10 block cipher. Each Next4() produces four
+// 32-bit outputs and advances the 128-bit counter.
+class Philox {
+ public:
+  Philox(uint64_t seed, uint64_t stream);
+
+  // Returns the next four uniform 32-bit values.
+  std::array<uint32_t, 4> Next4();
+
+  // Skips ahead by `count` 4-word blocks (O(1)).
+  void Skip(uint64_t count);
+
+  // Uniform in [0, 1).
+  float NextFloat();
+  double NextDouble();
+  // Uniform in [lo, hi).
+  uint64_t NextUint64();
+  // Standard normal via Box-Muller.
+  float NextGaussian();
+
+ private:
+  std::array<uint32_t, 4> counter_;
+  std::array<uint32_t, 2> key_;
+  std::array<uint32_t, 4> buffer_;
+  int buffer_pos_ = 4;  // buffer exhausted
+  bool have_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0f;
+};
+
+}  // namespace random
+}  // namespace tfe
+
+#endif  // TFE_SUPPORT_RANDOM_H_

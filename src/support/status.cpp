@@ -1,0 +1,59 @@
+#include "support/status.h"
+
+namespace tfe {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(ErrorCodeName(code_)) + ": " + message_;
+}
+
+Status InvalidArgument(const std::string& msg) {
+  return Status(ErrorCode::kInvalidArgument, msg);
+}
+Status NotFound(const std::string& msg) {
+  return Status(ErrorCode::kNotFound, msg);
+}
+Status AlreadyExists(const std::string& msg) {
+  return Status(ErrorCode::kAlreadyExists, msg);
+}
+Status FailedPrecondition(const std::string& msg) {
+  return Status(ErrorCode::kFailedPrecondition, msg);
+}
+Status OutOfRange(const std::string& msg) {
+  return Status(ErrorCode::kOutOfRange, msg);
+}
+Status Unimplemented(const std::string& msg) {
+  return Status(ErrorCode::kUnimplemented, msg);
+}
+Status Internal(const std::string& msg) {
+  return Status(ErrorCode::kInternal, msg);
+}
+Status Unavailable(const std::string& msg) {
+  return Status(ErrorCode::kUnavailable, msg);
+}
+
+}  // namespace tfe

@@ -1,0 +1,156 @@
+// Status / StatusOr: recoverable-error plumbing used throughout the runtime.
+//
+// Internal runtime code returns Status / StatusOr<T>; the public `tfe::` API
+// converts failures into exceptions (tfe::RuntimeError) at the boundary so
+// user code can be written linearly, mirroring how TensorFlow Eager surfaces
+// C++ runtime errors as Python exceptions.
+#ifndef TFE_SUPPORT_STATUS_H_
+#define TFE_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tfe {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+};
+
+// The exception type thrown at the public API boundary.
+class RuntimeError : public std::runtime_error {
+ public:
+  RuntimeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Throws RuntimeError if not ok. Used at the public API boundary.
+  void ThrowIfError() const {
+    if (!ok()) throw RuntimeError(code_, message_);
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(const std::string& msg);
+Status NotFound(const std::string& msg);
+Status AlreadyExists(const std::string& msg);
+Status FailedPrecondition(const std::string& msg);
+Status OutOfRange(const std::string& msg);
+Status Unimplemented(const std::string& msg);
+Status Internal(const std::string& msg);
+Status Unavailable(const std::string& msg);
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A value-or-error wrapper. Accessing the value of a non-ok StatusOr is a
+// programming error (it throws, carrying the underlying status message).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}             // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}       // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Internal("StatusOr constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  // Throws on error; used at the public API boundary.
+  T ValueOrThrow() && {
+    status_.ThrowIfError();
+    return std::move(*value_);
+  }
+
+  T* operator->() {
+    EnsureOk();
+    return &*value_;
+  }
+  const T* operator->() const {
+    EnsureOk();
+    return &*value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!value_.has_value()) {
+      throw RuntimeError(status_.code(),
+                         "StatusOr access without value: " + status_.message());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace tfe
+
+// Error-propagation macros, following the usual ML-systems idiom.
+#define TFE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::tfe::Status _tfe_status = (expr);          \
+    if (!_tfe_status.ok()) return _tfe_status;   \
+  } while (0)
+
+#define TFE_CONCAT_IMPL(a, b) a##b
+#define TFE_CONCAT(a, b) TFE_CONCAT_IMPL(a, b)
+
+#define TFE_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto TFE_CONCAT(_tfe_sor_, __LINE__) = (expr);             \
+  if (!TFE_CONCAT(_tfe_sor_, __LINE__).ok())                 \
+    return TFE_CONCAT(_tfe_sor_, __LINE__).status();         \
+  lhs = std::move(TFE_CONCAT(_tfe_sor_, __LINE__)).value()
+
+#endif  // TFE_SUPPORT_STATUS_H_

@@ -1,0 +1,55 @@
+#include "support/strings.h"
+
+#include <cctype>
+
+namespace tfe {
+namespace strings {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      pieces.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  pieces.push_back(current);
+  return pieces;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int64_t ParseNonNegativeInt(const std::string& text) {
+  if (text.empty()) return -1;
+  int64_t value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    value = value * 10 + (c - '0');
+    if (value < 0) return -1;  // overflow
+  }
+  return value;
+}
+
+}  // namespace strings
+}  // namespace tfe

@@ -1,0 +1,46 @@
+// Small string helpers (GCC 12 lacks full std::format).
+#ifndef TFE_SUPPORT_STRINGS_H_
+#define TFE_SUPPORT_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tfe {
+namespace strings {
+
+namespace internal {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& out, const T& piece,
+                  const Rest&... rest) {
+  out << piece;
+  AppendPieces(out, rest...);
+}
+}  // namespace internal
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  internal::AppendPieces(out, args...);
+  return out.str();
+}
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+// Splits `text` on the single character `sep`; keeps empty pieces.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+// Parses a non-negative integer; returns -1 on malformed input.
+int64_t ParseNonNegativeInt(const std::string& text);
+
+}  // namespace strings
+}  // namespace tfe
+
+#endif  // TFE_SUPPORT_STRINGS_H_

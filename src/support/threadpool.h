@@ -1,0 +1,52 @@
+// A fixed-size work-stealing-free thread pool with a shared queue.
+//
+// Used by the dataflow executor for inter-op parallelism (paper §5: the
+// staged runtime "runs kernels in parallel when possible, across multiple
+// CPU cores").
+#ifndef TFE_SUPPORT_THREADPOOL_H_
+#define TFE_SUPPORT_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tfe {
+
+class ThreadPool {
+ public:
+  // `num_threads` must be >= 1.
+  ThreadPool(std::string name, int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for asynchronous execution. Never blocks.
+  void Schedule(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Blocks until the queue is empty and all workers are idle. Only safe when
+  // no other thread is concurrently scheduling work.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_SUPPORT_THREADPOOL_H_

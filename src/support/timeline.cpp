@@ -1,0 +1,4 @@
+#include "support/timeline.h"
+
+// Timeline is header-only today; this translation unit anchors the header in
+// the build so include hygiene is compiler-checked.

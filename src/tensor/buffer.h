@@ -1,0 +1,40 @@
+// A reference-counted block of tensor storage.
+//
+// All storage — including storage "on" the simulated accelerators — is host
+// memory; the owning Device is a *tag* recorded on the tensor handle, and
+// the simulated devices account for transfer/kernel time in virtual time
+// (see device/). Buffers are immutable once published inside a tensor; ops
+// that mutate state (variable assign) swap in freshly allocated buffers, so
+// readers holding the old buffer are never invalidated.
+#ifndef TFE_TENSOR_BUFFER_H_
+#define TFE_TENSOR_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace tfe {
+
+class Buffer {
+ public:
+  // Allocates `bytes` of 64-byte-aligned, zero-initialized storage.
+  static std::shared_ptr<Buffer> Allocate(size_t bytes);
+
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  Buffer(void* data, size_t bytes) : data_(data), bytes_(bytes) {}
+
+  void* data_;
+  size_t bytes_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_BUFFER_H_

@@ -1,0 +1,66 @@
+#include "tensor/dtype.h"
+
+#include "support/logging.h"
+
+namespace tfe {
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kBool:
+      return 1;
+    case DType::kResource:
+      return sizeof(void*);
+    case DType::kInvalid:
+      break;
+  }
+  TFE_LOG(FATAL) << "DTypeSize on invalid dtype";
+  return 0;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kBool:
+      return "bool";
+    case DType::kResource:
+      return "resource";
+    case DType::kInvalid:
+      return "invalid";
+  }
+  return "invalid";
+}
+
+DType DTypeFromName(const std::string& name) {
+  if (name == "float32") return DType::kFloat32;
+  if (name == "float64") return DType::kFloat64;
+  if (name == "int32") return DType::kInt32;
+  if (name == "int64") return DType::kInt64;
+  if (name == "bool") return DType::kBool;
+  if (name == "resource") return DType::kResource;
+  return DType::kInvalid;
+}
+
+bool IsFloating(DType dtype) {
+  return dtype == DType::kFloat32 || dtype == DType::kFloat64;
+}
+
+bool IsInteger(DType dtype) {
+  return dtype == DType::kInt32 || dtype == DType::kInt64;
+}
+
+}  // namespace tfe

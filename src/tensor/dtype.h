@@ -1,0 +1,69 @@
+// Tensor element types.
+//
+// The set mirrors the types the paper's models need (float32 everywhere,
+// float64 for L2HMC numerics checks, integer types for labels/indices, bool
+// for masks) plus kResource: the handle type through which variables are
+// threaded into staged computations (paper §4.3/§4.6 — variables are
+// captured *by reference*, i.e. as resource inputs).
+#ifndef TFE_TENSOR_DTYPE_H_
+#define TFE_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace tfe {
+
+enum class DType : int {
+  kInvalid = 0,
+  kFloat32 = 1,
+  kFloat64 = 2,
+  kInt32 = 3,
+  kInt64 = 4,
+  kBool = 5,
+  kResource = 6,
+};
+
+// Bytes per element. Resource handles occupy pointer-size slots.
+size_t DTypeSize(DType dtype);
+
+// Human-readable name, e.g. "float32".
+const char* DTypeName(DType dtype);
+
+// Inverse of DTypeName; returns kInvalid on unknown names.
+DType DTypeFromName(const std::string& name);
+
+bool IsFloating(DType dtype);
+bool IsInteger(DType dtype);
+
+inline std::ostream& operator<<(std::ostream& os, DType dtype) {
+  return os << DTypeName(dtype);
+}
+
+// Compile-time C++ type -> DType mapping.
+template <typename T>
+struct DTypeOf;
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+template <>
+struct DTypeOf<int32_t> {
+  static constexpr DType value = DType::kInt32;
+};
+template <>
+struct DTypeOf<int64_t> {
+  static constexpr DType value = DType::kInt64;
+};
+template <>
+struct DTypeOf<bool> {
+  static constexpr DType value = DType::kBool;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_DTYPE_H_

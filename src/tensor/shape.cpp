@@ -1,0 +1,92 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace tfe {
+
+int64_t Shape::dim(int i) const {
+  TFE_CHECK_GE(i, 0);
+  TFE_CHECK_LT(i, rank());
+  return dims_[i];
+}
+
+void Shape::set_dim(int i, int64_t value) {
+  TFE_CHECK_GE(i, 0);
+  TFE_CHECK_LT(i, rank());
+  dims_[i] = value;
+}
+
+bool Shape::IsFullyDefined() const {
+  return std::none_of(dims_.begin(), dims_.end(),
+                      [](int64_t d) { return d == kUnknownDim; });
+}
+
+int64_t Shape::num_elements() const {
+  int64_t count = 1;
+  for (int64_t d : dims_) {
+    TFE_CHECK_NE(d, kUnknownDim) << "num_elements() on partial shape "
+                                 << ToString();
+    count *= d;
+  }
+  return count;
+}
+
+bool Shape::IsCompatibleWith(const Shape& other) const {
+  if (rank() != other.rank()) return false;
+  for (int i = 0; i < rank(); ++i) {
+    if (dims_[i] != kUnknownDim && other.dims_[i] != kUnknownDim &&
+        dims_[i] != other.dims_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<Shape> Shape::Merge(const Shape& a, const Shape& b) {
+  if (!a.IsCompatibleWith(b)) {
+    return InvalidArgument(strings::StrCat("Incompatible shapes ",
+                                           a.ToString(), " and ",
+                                           b.ToString()));
+  }
+  std::vector<int64_t> dims(a.rank());
+  for (int i = 0; i < a.rank(); ++i) {
+    dims[i] = a.dims()[i] != kUnknownDim ? a.dims()[i] : b.dims()[i];
+  }
+  return Shape(std::move(dims));
+}
+
+std::string Shape::ToString() const {
+  std::vector<std::string> pieces;
+  pieces.reserve(dims_.size());
+  for (int64_t d : dims_) {
+    pieces.push_back(d == kUnknownDim ? "?" : std::to_string(d));
+  }
+  return "[" + strings::Join(pieces, ",") + "]";
+}
+
+StatusOr<Shape> BroadcastShapes(const Shape& a, const Shape& b) {
+  int rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank);
+  for (int i = 0; i < rank; ++i) {
+    // Align trailing dimensions.
+    int ai = a.rank() - rank + i;
+    int bi = b.rank() - rank + i;
+    int64_t da = ai >= 0 ? a.dims()[ai] : 1;
+    int64_t db = bi >= 0 ? b.dims()[bi] : 1;
+    if (da == db || db == 1) {
+      dims[i] = da;
+    } else if (da == 1) {
+      dims[i] = db;
+    } else {
+      return InvalidArgument(strings::StrCat("Shapes ", a.ToString(), " and ",
+                                             b.ToString(),
+                                             " are not broadcastable"));
+    }
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace tfe

@@ -1,0 +1,61 @@
+// Tensor shapes, with optional unknown dimensions.
+//
+// Concrete tensors always have fully-defined shapes. Symbolic tensors inside
+// a trace may carry unknown dimensions (kUnknownDim) — this is how an
+// explicit input signature "can handle arbitrary batch sizes or sequence
+// lengths" (paper §4.6).
+#ifndef TFE_TENSOR_SHAPE_H_
+#define TFE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace tfe {
+
+inline constexpr int64_t kUnknownDim = -1;
+
+class Shape {
+ public:
+  Shape() = default;  // scalar
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  void set_dim(int i, int64_t value);
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool IsScalar() const { return dims_.empty(); }
+
+  // True if no dimension is unknown.
+  bool IsFullyDefined() const;
+
+  // Product of dimensions. Requires IsFullyDefined().
+  int64_t num_elements() const;
+
+  // True if `other` could be a runtime shape for this (possibly partial)
+  // shape: equal rank and every known dim matches.
+  bool IsCompatibleWith(const Shape& other) const;
+
+  // Element-wise merge of two compatible shapes, keeping known dims.
+  static StatusOr<Shape> Merge(const Shape& a, const Shape& b);
+
+  std::string ToString() const;  // e.g. "[2,?,3]" or "[]"
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+// NumPy-style broadcasting of two fully-defined shapes.
+StatusOr<Shape> BroadcastShapes(const Shape& a, const Shape& b);
+
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_SHAPE_H_

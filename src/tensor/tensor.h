@@ -1,0 +1,126 @@
+// Tensor: the single value type shared by both execution stages.
+//
+// A Tensor is a cheap, shared handle that is either
+//   * concrete  — dtype + fully-defined shape + device-tagged buffer
+//                 (imperative execution, paper §4.1), or
+//   * symbolic  — dtype + (possibly partial) shape + a reference to the
+//                 graph node output that will compute it (staged execution:
+//                 "operations return symbolic representations of values to
+//                 be computed instead of concrete values", §4.1), or
+//   * resource  — a handle to mutable state (a variable's storage), which is
+//                 how staged computations reference variables (§4.3).
+//
+// Every tensor carries a process-unique id used by gradient tapes to link
+// op outputs to op inputs (§4.2).
+#ifndef TFE_TENSOR_TENSOR_H_
+#define TFE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/logging.h"
+#include "tensor/buffer.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace tfe {
+
+class Device;
+class Graph;
+
+// Base class for reference-counted mutable state reachable from resource
+// tensors (variable storage, iterators, mutable tables).
+class ResourceBase {
+ public:
+  ResourceBase();
+  virtual ~ResourceBase() = default;
+  virtual std::string TypeName() const = 0;
+
+  // Process-unique id; staged computations reference state through it
+  // (paper §4.3: "staged computations reference variables by unique
+  // identifiers").
+  int64_t resource_id() const { return resource_id_; }
+
+ private:
+  int64_t resource_id_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;  // undefined handle
+
+  // --- Constructors -------------------------------------------------------
+  static Tensor Concrete(DType dtype, Shape shape,
+                         std::shared_ptr<Buffer> buffer, Device* device);
+  // Allocates a zeroed concrete tensor.
+  static Tensor Empty(DType dtype, const Shape& shape, Device* device);
+  static Tensor MakeResource(std::shared_ptr<ResourceBase> resource,
+                             Device* device);
+  static Tensor Symbolic(DType dtype, Shape shape, Graph* graph, int node_id,
+                         int output_index);
+  // A concrete tensor with shape/dtype metadata but no materialized values
+  // (backed by an empty buffer). Produced by simulated devices running in
+  // timing-only mode; reading its data is a programming error.
+  static Tensor Opaque(DType dtype, Shape shape, Device* device);
+
+  // --- Common accessors ----------------------------------------------------
+  bool defined() const { return state_ != nullptr; }
+  bool is_symbolic() const;
+  bool is_resource() const;
+  bool is_opaque() const;
+  int64_t id() const;
+  DType dtype() const;
+  const Shape& shape() const;
+  int64_t num_elements() const { return shape().num_elements(); }
+  Device* device() const;
+  std::string DebugString() const;
+
+  // --- Concrete accessors (CHECK-fail on symbolic handles) -----------------
+  const std::shared_ptr<Buffer>& buffer() const;
+  const void* raw_data() const;
+  void* raw_mutable_data();
+
+  template <typename T>
+  const T* data() const {
+    TFE_CHECK(DTypeOf<T>::value == dtype())
+        << "Tensor::data<" << DTypeName(DTypeOf<T>::value)
+        << "> on tensor of dtype " << DTypeName(dtype());
+    return static_cast<const T*>(raw_data());
+  }
+
+  template <typename T>
+  T* mutable_data() {
+    TFE_CHECK(DTypeOf<T>::value == dtype());
+    return static_cast<T*>(raw_mutable_data());
+  }
+
+  // Value of a rank-0 (or single-element) tensor.
+  template <typename T>
+  T scalar() const {
+    TFE_CHECK_EQ(num_elements(), 1) << "scalar() on " << shape().ToString();
+    return data<T>()[0];
+  }
+
+  const std::shared_ptr<ResourceBase>& resource() const;
+
+  // --- Symbolic accessors ---------------------------------------------------
+  Graph* graph() const;
+  int node_id() const;
+  int output_index() const;
+
+  bool operator==(const Tensor& other) const { return state_ == other.state_; }
+
+  // Implementation detail, public only so the factory helpers in tensor.cpp
+  // can allocate it; never touch directly.
+  struct State;
+
+ private:
+  explicit Tensor(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_TENSOR_H_

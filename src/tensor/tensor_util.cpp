@@ -1,0 +1,118 @@
+#include "tensor/tensor_util.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace tfe {
+namespace tensor_util {
+
+Tensor Full(DType dtype, const Shape& shape, double value, Device* device) {
+  Tensor tensor = Tensor::Empty(dtype, shape, device);
+  for (int64_t i = 0; i < tensor.num_elements(); ++i) {
+    SetElementFromDouble(tensor, i, value);
+  }
+  return tensor;
+}
+
+Tensor Zeros(DType dtype, const Shape& shape, Device* device) {
+  return Tensor::Empty(dtype, shape, device);  // buffers are zero-initialized
+}
+
+Tensor Ones(DType dtype, const Shape& shape, Device* device) {
+  return Full(dtype, shape, 1.0, device);
+}
+
+Tensor DeepCopy(const Tensor& tensor) {
+  TFE_CHECK(!tensor.is_symbolic());
+  TFE_CHECK(!tensor.is_resource());
+  Tensor copy = Tensor::Empty(tensor.dtype(), tensor.shape(), tensor.device());
+  std::memcpy(copy.raw_mutable_data(), tensor.raw_data(),
+              static_cast<size_t>(tensor.num_elements()) *
+                  DTypeSize(tensor.dtype()));
+  return copy;
+}
+
+double ElementAsDouble(const Tensor& tensor, int64_t index) {
+  TFE_CHECK_GE(index, 0);
+  TFE_CHECK_LT(index, tensor.num_elements());
+  switch (tensor.dtype()) {
+    case DType::kFloat32:
+      return tensor.data<float>()[index];
+    case DType::kFloat64:
+      return tensor.data<double>()[index];
+    case DType::kInt32:
+      return tensor.data<int32_t>()[index];
+    case DType::kInt64:
+      return static_cast<double>(tensor.data<int64_t>()[index]);
+    case DType::kBool:
+      return tensor.data<bool>()[index] ? 1.0 : 0.0;
+    default:
+      TFE_LOG(FATAL) << "ElementAsDouble on dtype "
+                     << DTypeName(tensor.dtype());
+      return 0.0;
+  }
+}
+
+void SetElementFromDouble(Tensor& tensor, int64_t index, double value) {
+  TFE_CHECK_GE(index, 0);
+  TFE_CHECK_LT(index, tensor.num_elements());
+  switch (tensor.dtype()) {
+    case DType::kFloat32:
+      tensor.mutable_data<float>()[index] = static_cast<float>(value);
+      return;
+    case DType::kFloat64:
+      tensor.mutable_data<double>()[index] = value;
+      return;
+    case DType::kInt32:
+      tensor.mutable_data<int32_t>()[index] = static_cast<int32_t>(value);
+      return;
+    case DType::kInt64:
+      tensor.mutable_data<int64_t>()[index] = static_cast<int64_t>(value);
+      return;
+    case DType::kBool:
+      tensor.mutable_data<bool>()[index] = value != 0.0;
+      return;
+    default:
+      TFE_LOG(FATAL) << "SetElementFromDouble on dtype "
+                     << DTypeName(tensor.dtype());
+  }
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.dtype() != b.dtype() || a.shape() != b.shape()) return false;
+  const int64_t count = a.num_elements();
+  if (!IsFloating(a.dtype())) {
+    return std::memcmp(a.raw_data(), b.raw_data(),
+                       static_cast<size_t>(count) * DTypeSize(a.dtype())) == 0;
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    double va = ElementAsDouble(a, i);
+    double vb = ElementAsDouble(b, i);
+    if (std::isnan(va) != std::isnan(vb)) return false;
+    if (std::isnan(va)) continue;
+    if (std::abs(va - vb) > atol + rtol * std::abs(vb)) return false;
+  }
+  return true;
+}
+
+std::string ToString(const Tensor& tensor, int64_t max_elements) {
+  if (!tensor.defined()) return "Tensor(undefined)";
+  if (tensor.is_symbolic() || tensor.is_resource()) {
+    return tensor.DebugString();
+  }
+  std::ostringstream out;
+  out << "tfe.Tensor(shape=" << tensor.shape().ToString()
+      << ", dtype=" << DTypeName(tensor.dtype()) << ", values=[";
+  int64_t count = std::min(tensor.num_elements(), max_elements);
+  for (int64_t i = 0; i < count; ++i) {
+    if (i > 0) out << ", ";
+    out << ElementAsDouble(tensor, i);
+  }
+  if (count < tensor.num_elements()) out << ", ...";
+  out << "])";
+  return out.str();
+}
+
+}  // namespace tensor_util
+}  // namespace tfe

@@ -1,0 +1,66 @@
+// Host-side tensor construction, inspection and comparison helpers.
+//
+// These never dispatch ops — they operate directly on host buffers and are
+// used by tests, kernels, and the public `tfe::constant` entry points.
+#ifndef TFE_TENSOR_TENSOR_UTIL_H_
+#define TFE_TENSOR_TENSOR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tfe {
+namespace tensor_util {
+
+// Builds a concrete host tensor from a flat value list. The value count must
+// match the shape.
+template <typename T>
+Tensor FromVector(const std::vector<T>& values, const Shape& shape,
+                  Device* device = nullptr) {
+  TFE_CHECK_EQ(static_cast<int64_t>(values.size()), shape.num_elements());
+  Tensor tensor = Tensor::Empty(DTypeOf<T>::value, shape, device);
+  std::copy(values.begin(), values.end(), tensor.mutable_data<T>());
+  return tensor;
+}
+
+template <typename T>
+Tensor Scalar(T value, Device* device = nullptr) {
+  return FromVector<T>({value}, Shape(), device);
+}
+
+// Every element set to `value` (cast to the tensor dtype).
+Tensor Full(DType dtype, const Shape& shape, double value,
+            Device* device = nullptr);
+
+Tensor Zeros(DType dtype, const Shape& shape, Device* device = nullptr);
+Tensor Ones(DType dtype, const Shape& shape, Device* device = nullptr);
+
+// Copies the tensor's values into a std::vector<T>.
+template <typename T>
+std::vector<T> ToVector(const Tensor& tensor) {
+  const T* data = tensor.data<T>();
+  return std::vector<T>(data, data + tensor.num_elements());
+}
+
+// Deep copy of a concrete tensor's storage (same device tag).
+Tensor DeepCopy(const Tensor& tensor);
+
+// Reads element `i` of a numeric tensor as double regardless of dtype.
+double ElementAsDouble(const Tensor& tensor, int64_t index);
+// Writes element `i`, casting from double to the tensor's dtype.
+void SetElementFromDouble(Tensor& tensor, int64_t index, double value);
+
+// Elementwise |a - b| <= atol + rtol*|b| for numeric tensors of equal
+// dtype/shape. Integer/bool tensors compare exactly.
+bool AllClose(const Tensor& a, const Tensor& b, double rtol = 1e-5,
+              double atol = 1e-6);
+
+// Multi-line rendering with values (truncated for large tensors), in the
+// spirit of TF's `print(tensor)` output.
+std::string ToString(const Tensor& tensor, int64_t max_elements = 64);
+
+}  // namespace tensor_util
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_TENSOR_UTIL_H_

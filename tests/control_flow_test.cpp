@@ -1,0 +1,320 @@
+// Staged control flow (tf.cond / tf.while_loop analogs, paper §4.1) and the
+// mutable hash table (§4.3).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "api/tfe.h"
+#include "staging/control_flow.h"
+#include "state/hash_table.h"
+#include "models/optimizers.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::ToVector;
+
+Function DoubleFn() {
+  return function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], ops::fill(DType::kFloat32, {}, 2.0))};
+      },
+      "double_branch");
+}
+
+Function SquareFn() {
+  return function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::square(args[0])};
+      },
+      "square_branch");
+}
+
+TEST(CondTest, EagerPicksBranchByValue) {
+  Function t = DoubleFn();
+  Function f = SquareFn();
+  Tensor x = ops::scalar<float>(3.0f);
+  EXPECT_FLOAT_EQ(
+      ops::cond(ops::constant<bool>({true}, {}), t, f, {x})[0].scalar<float>(),
+      6.0f);
+  EXPECT_FLOAT_EQ(
+      ops::cond(ops::constant<bool>({false}, {}), t, f, {x})[0].scalar<float>(),
+      9.0f);
+}
+
+TEST(CondTest, StagedCondChoosesAtExecutionTime) {
+  // Unlike baked host conditionals, a staged cond re-decides per execution.
+  Function t = DoubleFn();
+  Function f = SquareFn();
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor is_positive = ops::greater(args[0], ops::zeros_like(args[0]));
+        return ops::cond(is_positive, t, f, {args[0]});
+      },
+      "staged_cond");
+  EXPECT_FLOAT_EQ(staged({ops::scalar<float>(3.0f)})[0].scalar<float>(),
+                  6.0f);  // positive -> doubled
+  EXPECT_FLOAT_EQ(staged({ops::scalar<float>(-3.0f)})[0].scalar<float>(),
+                  9.0f);  // negative -> squared
+  EXPECT_EQ(staged.num_traces(), 1);  // ONE graph serves both outcomes
+}
+
+TEST(CondTest, BranchesWithCaptures) {
+  Tensor bonus = ops::scalar<float>(100.0f);
+  Function with_bonus = function(
+      [bonus](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::add(args[0], bonus)};
+      },
+      "with_bonus");
+  Function plain = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::identity(args[0])};
+      },
+      "plain");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor big = ops::greater(args[0], ops::fill(DType::kFloat32, {}, 10.0));
+        return ops::cond(big, with_bonus, plain, {args[0]});
+      },
+      "cond_captures");
+  EXPECT_FLOAT_EQ(staged({ops::scalar<float>(20.0f)})[0].scalar<float>(),
+                  120.0f);
+  EXPECT_FLOAT_EQ(staged({ops::scalar<float>(5.0f)})[0].scalar<float>(),
+                  5.0f);
+}
+
+TEST(CondTest, MismatchedBranchesRejected) {
+  Function one_out = DoubleFn();
+  Function two_out = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {args[0], args[0]};
+      },
+      "two_out");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor pred = ops::greater(args[0], ops::zeros_like(args[0]));
+        return ops::cond(pred, one_out, two_out, {args[0]});
+      },
+      "bad_cond");
+  EXPECT_THROW(staged({ops::scalar<float>(1.0f)}), RuntimeError);
+}
+
+TEST(CondTest, GradientFlowsThroughTakenBranch) {
+  Function t = DoubleFn();   // d/dx = 2
+  Function f = SquareFn();   // d/dx = 2x
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor pred = ops::greater(args[0], ops::zeros_like(args[0]));
+        return ops::cond(pred, t, f, {args[0]});
+      },
+      "grad_cond");
+  for (float x_value : {3.0f, -3.0f}) {
+    Tensor x = ops::scalar<float>(x_value);
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = staged({x})[0];
+    tape.StopRecording();
+    Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+    float expected = x_value > 0 ? 2.0f : 2.0f * x_value;
+    EXPECT_FLOAT_EQ(grad.scalar<float>(), expected) << "at x=" << x_value;
+  }
+}
+
+TEST(WhileTest, EagerLoop) {
+  Function below_100 = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], ops::fill(DType::kFloat32, {}, 100.0))};
+      },
+      "below_100");
+  Function double_it = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::mul(vars[0], ops::fill(DType::kFloat32, {}, 2.0))};
+      },
+      "double_it");
+  std::vector<Tensor> result =
+      ops::while_loop(below_100, double_it, {ops::scalar<float>(3.0f)});
+  EXPECT_FLOAT_EQ(result[0].scalar<float>(), 192.0f);  // 3*2^6
+}
+
+TEST(WhileTest, StagedLoopRunsDataDependentIterations) {
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        // vars = {value, limit}
+        return {ops::less(vars[0], vars[1])};
+      },
+      "below_limit");
+  Function body = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::mul(vars[0], ops::fill(DType::kFloat32, {}, 2.0)),
+                vars[1]};
+      },
+      "double_body");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return ops::while_loop(below, body, {args[0], args[1]});
+      },
+      "staged_while");
+  // Iteration count depends on the runtime values — impossible with an
+  // unrolled host loop, exactly the paper's point about tf.while.
+  EXPECT_FLOAT_EQ(
+      staged({ops::scalar<float>(1.0f), ops::scalar<float>(10.0f)})[0]
+          .scalar<float>(),
+      16.0f);
+  EXPECT_FLOAT_EQ(
+      staged({ops::scalar<float>(1.0f), ops::scalar<float>(1000.0f)})[0]
+          .scalar<float>(),
+      1024.0f);
+  EXPECT_EQ(staged.num_traces(), 1);
+}
+
+TEST(WhileTest, MaximumIterationsGuards) {
+  Function always = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::constant<bool>({true}, {})};
+      },
+      "always_true");
+  Function id_body = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {vars[0]};
+      },
+      "id_body");
+  EXPECT_THROW(
+      ops::while_loop(always, id_body, {ops::scalar<float>(1.0f)}, 10),
+      RuntimeError);
+}
+
+TEST(HashTableTest, InsertLookupSize) {
+  HashTable table(DType::kFloat32, Shape({2}));
+  EXPECT_EQ(table.size().scalar<int64_t>(), 0);
+  table.insert(ops::constant<int64_t>({1, 2}, {2}),
+               ops::constant<float>({10, 11, 20, 21}, {2, 2}));
+  EXPECT_EQ(table.size().scalar<int64_t>(), 2);
+  Tensor found = table.lookup(ops::constant<int64_t>({2, 5, 1}, {3}),
+                              ops::constant<float>({-1, -1}, {2}));
+  EXPECT_EQ(ToVector<float>(found),
+            (std::vector<float>{20, 21, -1, -1, 10, 11}));
+}
+
+TEST(HashTableTest, InsertOverwrites) {
+  HashTable table(DType::kFloat32, Shape({}));
+  table.insert(ops::constant<int64_t>({7}, {1}), ops::constant<float>({1}, {1}));
+  table.insert(ops::constant<int64_t>({7}, {1}), ops::constant<float>({2}, {1}));
+  EXPECT_EQ(table.size().scalar<int64_t>(), 1);
+  Tensor found = table.lookup(ops::constant<int64_t>({7}, {1}),
+                              ops::scalar<float>(0));
+  EXPECT_FLOAT_EQ(found.data<float>()[0], 2.0f);
+}
+
+TEST(HashTableTest, WorksInsideStagedFunctions) {
+  HashTable table(DType::kFloat32, Shape({}));
+  Function remember = function(
+      [&table](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor keys = ops::cast(args[0], DType::kInt64);
+        table.insert(keys, args[1]);
+        return {table.size()};
+      },
+      "remember");
+  remember({ops::constant<int64_t>({1, 2}, {2}),
+            ops::constant<float>({1.5f, 2.5f}, {2})});
+  Tensor size = remember({ops::constant<int64_t>({3, 4}, {2}),
+                          ops::constant<float>({3.5f, 4.5f}, {2})})[0];
+  EXPECT_EQ(size.scalar<int64_t>(), 4);
+  Tensor found = table.lookup(ops::constant<int64_t>({3}, {1}),
+                              ops::scalar<float>(-1));
+  EXPECT_FLOAT_EQ(found.data<float>()[0], 3.5f);
+}
+
+TEST(HashTableTest, CheckpointRoundTrip) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "tfe_table_ckpt").string();
+  std::filesystem::remove_all(dir);
+  {
+    HashTable table(DType::kFloat32, Shape({2}));
+    table.insert(ops::constant<int64_t>({5, 9}, {2}),
+                 ops::constant<float>({1, 2, 3, 4}, {2, 2}));
+    Checkpoint checkpoint;
+    checkpoint.TrackChild("table", &table);
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    HashTable table(DType::kFloat32, Shape({2}));
+    Checkpoint checkpoint;
+    checkpoint.TrackChild("table", &table);
+    ASSERT_TRUE(checkpoint.Restore(dir).ok());
+    EXPECT_EQ(table.size().scalar<int64_t>(), 2);
+    Tensor found = table.lookup(ops::constant<int64_t>({9}, {1}),
+                                ops::constant<float>({0, 0}, {2}));
+    EXPECT_EQ(ToVector<float>(found), (std::vector<float>{3, 4}));
+  }
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  // Minimize (w - 3)^2 with momentum; slots are created lazily.
+  Variable w(ops::scalar<float>(0.0f));
+  models::SGD sgd(0.1, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    GradientTape tape;
+    Tensor loss = ops::square(ops::sub(w.value(), ops::scalar<float>(3.0f)));
+    tape.StopRecording();
+    sgd.ApplyGradients({w}, gradient(tape, loss, {w}));
+  }
+  EXPECT_NEAR(w.value().scalar<float>(), 3.0f, 0.1f);
+  EXPECT_EQ(sgd.tracked_variables().size(), 1u);  // one momentum slot
+}
+
+TEST(OptimizerTest, AdamInsideStagedTrainStep) {
+  Variable w(ops::constant<float>({0, 0}, {2}));
+  models::Adam adam(0.1);
+  Tensor target = ops::constant<float>({1.0f, -2.0f}, {2});
+  Function step = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        GradientTape tape;
+        Tensor loss =
+            ops::reduce_sum(ops::square(ops::sub(w.value(), args[0])));
+        tape.StopRecording();
+        adam.ApplyGradients({w}, gradient(tape, loss, {w}));
+        return {loss};
+      },
+      "adam_step");
+  float first = step({target})[0].scalar<float>();
+  for (int i = 0; i < 100; ++i) step({target});
+  float last = step({target})[0].scalar<float>();
+  EXPECT_LT(last, first * 0.01f);
+  EXPECT_EQ(step.num_traces(), 1);
+  EXPECT_EQ(adam.tracked_variables().size(), 3u);  // step + m + v
+}
+
+TEST(OptimizerTest, OptimizerStateCheckpoints) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "tfe_opt_ckpt").string();
+  std::filesystem::remove_all(dir);
+  Variable w(ops::scalar<float>(0.0f));
+  models::SGD sgd(0.1, 0.9);
+  {
+    GradientTape tape;
+    Tensor loss = ops::square(ops::sub(w.value(), ops::scalar<float>(3.0f)));
+    tape.StopRecording();
+    sgd.ApplyGradients({w}, gradient(tape, loss, {w}));
+  }
+  Checkpoint checkpoint;
+  checkpoint.TrackChild("optimizer", &sgd);
+  ASSERT_TRUE(checkpoint.Save(dir).ok());
+
+  models::SGD restored_sgd(0.1, 0.9);
+  Variable w2(ops::scalar<float>(0.0f));
+  // Slots match by tracked edge name; create the slot first.
+  {
+    GradientTape tape;
+    Tensor loss = ops::square(ops::sub(w2.value(), ops::scalar<float>(3.0f)));
+    tape.StopRecording();
+    restored_sgd.ApplyGradients({w2}, gradient(tape, loss, {w2}));
+  }
+  Checkpoint restore_checkpoint;
+  restore_checkpoint.TrackChild("optimizer", &restored_sgd);
+  auto report = restore_checkpoint.Restore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->restored_variables, 1);
+}
+
+}  // namespace
+}  // namespace tfe

@@ -1,0 +1,231 @@
+// Distributed execution (paper §4.5): worker servers, remote device names,
+// remote tensors, remote graph-function execution.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "api/tfe.h"
+#include "distrib/cluster.h"
+#include "staging/control_flow.h"
+
+namespace tfe {
+namespace {
+
+Cluster::Options TwoWorkerOptions() {
+  Cluster::Options options;
+  options.jobs = {{"training", 2}};
+  return options;
+}
+
+TEST(ClusterTest, WorkersAddDevicesToThePool) {
+  Cluster cluster(TwoWorkerOptions());
+  std::vector<std::string> devices = cluster.ListRemoteDevices();
+  ASSERT_GE(devices.size(), 2u);
+  bool task0 = false, task1 = false;
+  for (const std::string& name : devices) {
+    if (name == "/job:training/task:0/device:CPU:0") task0 = true;
+    if (name == "/job:training/task:1/device:CPU:0") task1 = true;
+  }
+  EXPECT_TRUE(task0);
+  EXPECT_TRUE(task1);
+}
+
+TEST(ClusterTest, RemoteOpWithRemoteName) {
+  // "To run an operation on a remote device, the user uses the same syntax
+  // as for local devices but a remote device name."
+  Cluster cluster(TwoWorkerOptions());
+  const std::string device = "/job:training/task:1/device:CPU:0";
+  auto a = cluster.Put(device, ops::constant<float>({1, 2}, {2}));
+  ASSERT_TRUE(a.ok());
+  auto b = cluster.Put(device, ops::constant<float>({10, 20}, {2}));
+  ASSERT_TRUE(b.ok());
+  auto sums = cluster.RunOp(device, "Add", {*a, *b});
+  ASSERT_TRUE(sums.ok());
+  ASSERT_EQ(sums->size(), 1u);
+  // Result stays on the remote device...
+  EXPECT_EQ((*sums)[0].device, device);
+  // ...until explicitly copied to the central server.
+  auto fetched = cluster.Fetch((*sums)[0]);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(tensor_util::ToVector<float>(*fetched),
+            (std::vector<float>{11, 22}));
+}
+
+TEST(ClusterTest, RemoteTensorsStayRemoteAcrossChains) {
+  Cluster cluster(TwoWorkerOptions());
+  const std::string device = "/job:training/task:0/device:CPU:0";
+  auto x = cluster.Put(device, ops::scalar<float>(2.0f));
+  ASSERT_TRUE(x.ok());
+  RemoteTensor current = *x;
+  for (int i = 0; i < 4; ++i) {
+    auto next = cluster.RunOp(device, "Mul", {current, current});
+    ASSERT_TRUE(next.ok());
+    current = (*next)[0];
+  }
+  auto value = cluster.Fetch(current);
+  ASSERT_TRUE(value.ok());
+  EXPECT_FLOAT_EQ(value->scalar<float>(), 65536.0f);  // 2^16
+}
+
+TEST(ClusterTest, CrossWorkerInputsNeedExplicitCopies) {
+  Cluster cluster(TwoWorkerOptions());
+  auto on_zero =
+      cluster.Put("/job:training/task:0/device:CPU:0", ops::scalar<float>(1));
+  auto on_one =
+      cluster.Put("/job:training/task:1/device:CPU:0", ops::scalar<float>(2));
+  ASSERT_TRUE(on_zero.ok());
+  ASSERT_TRUE(on_one.ok());
+  auto bad = cluster.RunOp("/job:training/task:0/device:CPU:0", "Add",
+                           {*on_zero, *on_one});
+  EXPECT_FALSE(bad.ok());
+
+  // Explicit Fetch + Put makes it work.
+  auto hauled = cluster.Put("/job:training/task:0/device:CPU:0",
+                            cluster.Fetch(*on_one).value());
+  ASSERT_TRUE(hauled.ok());
+  auto sum = cluster.RunOp("/job:training/task:0/device:CPU:0", "Add",
+                           {*on_zero, *hauled});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_FLOAT_EQ(cluster.Fetch((*sum)[0])->scalar<float>(), 3.0f);
+}
+
+TEST(ClusterTest, RunWholeGraphFunctionRemotely) {
+  // "The main program can then execute operations or whole graph functions
+  // on remote devices through the worker servers."
+  Cluster cluster(TwoWorkerOptions());
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::tanh(args[0]);
+        return {ops::add(ops::mul(h, h), ops::fill(DType::kFloat32, {}, 1.0))};
+      },
+      "remote_fn");
+  Tensor x = ops::constant<float>({0.5f, -0.25f}, {2});
+  Tensor local_result = f({x})[0];
+
+  auto concrete = f.GetConcreteFunction({x});
+  ASSERT_TRUE(concrete.ok());
+  const std::string device = "/job:training/task:1/device:CPU:0";
+  auto remote_x = cluster.Put(device, x);
+  ASSERT_TRUE(remote_x.ok());
+  auto remote_result = cluster.RunFunction(device, **concrete, {*remote_x});
+  ASSERT_TRUE(remote_result.ok());
+  auto fetched = cluster.Fetch((*remote_result)[0]);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_TRUE(tensor_util::AllClose(local_result, *fetched));
+}
+
+TEST(ClusterTest, RemoteFunctionWithNestedCalleesAndCond) {
+  // The shipped bundle must include nested Call and Cond callees.
+  Cluster cluster(TwoWorkerOptions());
+  Function inner = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::square(args[0])};
+      },
+      "remote_nested_inner");
+  Function halve = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], ops::fill(DType::kFloat32, {}, 0.5))};
+      },
+      "remote_halve");
+  Function negate = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::neg(args[0])};
+      },
+      "remote_negate");
+  Function outer = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor squared = inner({args[0]})[0];
+        Tensor big = ops::greater(squared, ops::fill(DType::kFloat32, {}, 4.0));
+        return ops::cond(big, halve, negate, {squared});
+      },
+      "remote_nested_outer");
+  Tensor small = ops::scalar<float>(1.0f);
+  Tensor large = ops::scalar<float>(10.0f);
+  float expected_small = outer({small})[0].scalar<float>();  // -(1)
+  float expected_large = outer({large})[0].scalar<float>();  // 50
+
+  auto concrete = outer.GetConcreteFunction({small});
+  ASSERT_TRUE(concrete.ok());
+  const std::string device = "/job:training/task:0/device:CPU:0";
+  for (auto [input, expected] :
+       {std::make_pair(small, expected_small),
+        std::make_pair(large, expected_large)}) {
+    auto remote_in = cluster.Put(device, input);
+    ASSERT_TRUE(remote_in.ok());
+    auto remote_out = cluster.RunFunction(device, **concrete, {*remote_in});
+    ASSERT_TRUE(remote_out.ok());
+    EXPECT_FLOAT_EQ(cluster.Fetch((*remote_out)[0])->scalar<float>(),
+                    expected);
+  }
+}
+
+TEST(ClusterTest, MissingHandleAndUnknownDeviceFail) {
+  Cluster cluster(TwoWorkerOptions());
+  RemoteTensor bogus;
+  bogus.device = "/job:training/task:0/device:CPU:0";
+  bogus.handle_id = 123456;
+  EXPECT_FALSE(cluster.Fetch(bogus).ok());
+  EXPECT_FALSE(
+      cluster.Put("/job:nosuch/task:0/device:CPU:0", ops::scalar<float>(1))
+          .ok());
+}
+
+TEST(ClusterTest, DeleteReleasesHandles) {
+  Cluster cluster(TwoWorkerOptions());
+  const std::string device = "/job:training/task:0/device:CPU:0";
+  auto handle = cluster.Put(device, ops::scalar<float>(5));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cluster.Delete(*handle).ok());
+  EXPECT_FALSE(cluster.Fetch(*handle).ok());
+  EXPECT_FALSE(cluster.Delete(*handle).ok());
+}
+
+TEST(ClusterTest, ConcurrentClientsFromThreads) {
+  // "developers need to start these computations concurrently, e.g. using
+  // [host] threads."
+  Cluster cluster(TwoWorkerOptions());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cluster, &failures, t] {
+      std::string device =
+          "/job:training/task:" + std::to_string(t) + "/device:CPU:0";
+      for (int i = 1; i <= 25; ++i) {
+        auto x = cluster.Put(device, tensor_util::Scalar<float>(i));
+        if (!x.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto squared = cluster.RunOp(device, "Mul", {*x, *x});
+        if (!squared.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto value = cluster.Fetch((*squared)[0]);
+        if (!value.ok() || value->scalar<float>() != i * i) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ClusterTest, MultipleJobs) {
+  Cluster::Options options;
+  options.jobs = {{"ps", 1}, {"worker", 2}};
+  Cluster cluster(options);
+  EXPECT_TRUE(cluster.Put("/job:ps/task:0/device:CPU:0",
+                          ops::scalar<float>(1))
+                  .ok());
+  EXPECT_TRUE(cluster.Put("/job:worker/task:1/device:CPU:0",
+                          ops::scalar<float>(1))
+                  .ok());
+  EXPECT_FALSE(cluster.Put("/job:worker/task:2/device:CPU:0",
+                           ops::scalar<float>(1))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tfe

@@ -1,0 +1,337 @@
+// Imperative execution: the op surface, broadcasting, placement, devices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/tfe.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::FromVector;
+using tensor_util::ToVector;
+
+TEST(EagerTest, PaperIntroExample) {
+  // The select() example from §4.1 of the paper.
+  Tensor a = ops::constant<float>({1.0f, 0.0f}, {1, 2});
+  Tensor x = ops::constant<float>({2.0f, -2.0f}, {2, 1});
+  Tensor result = ops::matmul(a, x);
+  EXPECT_EQ(result.shape(), Shape({1, 1}));
+  EXPECT_FLOAT_EQ(result.scalar<float>(), 2.0f);
+}
+
+TEST(EagerTest, BinaryOpsElementwise) {
+  Tensor a = ops::constant<float>({1, 2, 3}, {3});
+  Tensor b = ops::constant<float>({4, 5, 6}, {3});
+  EXPECT_EQ(ToVector<float>(ops::add(a, b)), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(ToVector<float>(ops::sub(a, b)), (std::vector<float>{-3, -3, -3}));
+  EXPECT_EQ(ToVector<float>(ops::mul(a, b)), (std::vector<float>{4, 10, 18}));
+  EXPECT_EQ(ToVector<float>(ops::maximum(a, b)), ToVector<float>(b));
+  EXPECT_EQ(ToVector<float>(ops::minimum(a, b)), ToVector<float>(a));
+  EXPECT_EQ(ToVector<float>(ops::squared_difference(a, b)),
+            (std::vector<float>{9, 9, 9}));
+}
+
+TEST(EagerTest, BroadcastingMatchesNumpyRules) {
+  Tensor matrix = ops::constant<float>({1, 2, 3, 4}, {2, 2});
+  Tensor row = ops::constant<float>({10, 20}, {2});
+  Tensor column = ops::constant<float>({100, 200}, {2, 1});
+  Tensor scalar = ops::scalar<float>(5);
+
+  EXPECT_EQ(ToVector<float>(ops::add(matrix, row)),
+            (std::vector<float>{11, 22, 13, 24}));
+  EXPECT_EQ(ToVector<float>(ops::add(matrix, column)),
+            (std::vector<float>{101, 102, 203, 204}));
+  EXPECT_EQ(ToVector<float>(ops::add(matrix, scalar)),
+            (std::vector<float>{6, 7, 8, 9}));
+  // Broadcast both ways: [2,1] + [2] -> [2,2].
+  EXPECT_EQ(ToVector<float>(ops::add(column, row)),
+            (std::vector<float>{110, 120, 210, 220}));
+}
+
+TEST(EagerTest, BroadcastErrorSurfaces) {
+  Tensor a = ops::constant<float>({1, 2}, {2});
+  Tensor b = ops::constant<float>({1, 2, 3}, {3});
+  EXPECT_THROW(ops::add(a, b), RuntimeError);
+}
+
+TEST(EagerTest, DTypeMismatchRejected) {
+  Tensor a = ops::constant<float>({1}, {1});
+  Tensor b = ops::constant<double>({1}, {1});
+  EXPECT_THROW(ops::add(a, b), RuntimeError);
+}
+
+TEST(EagerTest, UnaryMath) {
+  Tensor x = ops::constant<float>({-1, 0, 4}, {3});
+  EXPECT_EQ(ToVector<float>(ops::neg(x)), (std::vector<float>{1, 0, -4}));
+  EXPECT_EQ(ToVector<float>(ops::abs(x)), (std::vector<float>{1, 0, 4}));
+  EXPECT_EQ(ToVector<float>(ops::relu(x)), (std::vector<float>{0, 0, 4}));
+  EXPECT_EQ(ToVector<float>(ops::sign(x)), (std::vector<float>{-1, 0, 1}));
+  EXPECT_EQ(ToVector<float>(ops::square(x)), (std::vector<float>{1, 0, 16}));
+  EXPECT_FLOAT_EQ(ToVector<float>(ops::sqrt(x))[2], 2.0f);
+  EXPECT_NEAR(ToVector<float>(ops::exp(ops::scalar<float>(1)))[0], 2.71828f,
+              1e-4);
+  EXPECT_NEAR(ToVector<float>(ops::tanh(ops::scalar<float>(100)))[0], 1.0f,
+              1e-6);
+  EXPECT_NEAR(ToVector<float>(ops::sigmoid(ops::scalar<float>(0)))[0], 0.5f,
+              1e-6);
+}
+
+TEST(EagerTest, ComparisonsAndSelect) {
+  Tensor a = ops::constant<float>({1, 5}, {2});
+  Tensor b = ops::constant<float>({3, 3}, {2});
+  Tensor less = ops::less(a, b);
+  EXPECT_EQ(less.dtype(), DType::kBool);
+  EXPECT_EQ(ToVector<bool>(less), (std::vector<bool>{true, false}));
+  Tensor picked = ops::select(less, a, b);
+  EXPECT_EQ(ToVector<float>(picked), (std::vector<float>{1, 3}));
+}
+
+TEST(EagerTest, CastBetweenTypes) {
+  Tensor x = ops::constant<float>({1.7f, -2.3f}, {2});
+  Tensor ints = ops::cast(x, DType::kInt32);
+  EXPECT_EQ(ToVector<int32_t>(ints), (std::vector<int32_t>{1, -2}));
+  Tensor mask = ops::cast(ops::greater(x, ops::zeros_like(x)),
+                          DType::kFloat32);
+  EXPECT_EQ(ToVector<float>(mask), (std::vector<float>{1, 0}));
+}
+
+TEST(EagerTest, MatMulVariants) {
+  Tensor a = ops::constant<float>({1, 2, 3, 4}, {2, 2});
+  Tensor b = ops::constant<float>({5, 6, 7, 8}, {2, 2});
+  EXPECT_EQ(ToVector<float>(ops::matmul(a, b)),
+            (std::vector<float>{19, 22, 43, 50}));
+  EXPECT_EQ(ToVector<float>(ops::matmul(a, b, true, false)),
+            (std::vector<float>{26, 30, 38, 44}));
+  EXPECT_EQ(ToVector<float>(ops::matmul(a, b, false, true)),
+            (std::vector<float>{17, 23, 39, 53}));
+  EXPECT_EQ(ToVector<float>(ops::matmul(a, b, true, true)),
+            (std::vector<float>{23, 31, 34, 46}));
+}
+
+TEST(EagerTest, Reductions) {
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_FLOAT_EQ(ops::reduce_sum(x).scalar<float>(), 21.0f);
+  EXPECT_FLOAT_EQ(ops::reduce_mean(x).scalar<float>(), 3.5f);
+  EXPECT_EQ(ToVector<float>(ops::reduce_sum(x, {0})),
+            (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(ToVector<float>(ops::reduce_sum(x, {1})),
+            (std::vector<float>{6, 15}));
+  EXPECT_EQ(ToVector<float>(ops::reduce_max(x, {1})),
+            (std::vector<float>{3, 6}));
+  EXPECT_EQ(ToVector<float>(ops::reduce_min(x, {0})),
+            (std::vector<float>{1, 2, 3}));
+  Tensor keep = ops::reduce_sum(x, {1}, /*keep_dims=*/true);
+  EXPECT_EQ(keep.shape(), Shape({2, 1}));
+  // Negative axis.
+  EXPECT_EQ(ToVector<float>(ops::reduce_sum(x, {-1})),
+            (std::vector<float>{6, 15}));
+}
+
+TEST(EagerTest, ArgMax) {
+  Tensor x = ops::constant<float>({1, 9, 3, 8, 2, 7}, {2, 3});
+  EXPECT_EQ(ToVector<int64_t>(ops::argmax(x, 1)),
+            (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(ToVector<int64_t>(ops::argmax(x, 0)),
+            (std::vector<int64_t>{1, 0, 1}));
+}
+
+TEST(EagerTest, ShapeOps) {
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(ops::reshape(x, {3, 2}).shape(), Shape({3, 2}));
+  EXPECT_EQ(ops::reshape(x, {-1}).shape(), Shape({6}));
+  EXPECT_EQ(ops::reshape(x, {3, -1}).shape(), Shape({3, 2}));
+  EXPECT_THROW(ops::reshape(x, {4, 2}), RuntimeError);
+
+  Tensor transposed = ops::transpose(x, {1, 0});
+  EXPECT_EQ(transposed.shape(), Shape({3, 2}));
+  EXPECT_EQ(ToVector<float>(transposed), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+
+  EXPECT_EQ(ops::expand_dims(x, 0).shape(), Shape({1, 2, 3}));
+  EXPECT_EQ(ops::expand_dims(x, -1).shape(), Shape({2, 3, 1}));
+  EXPECT_EQ(ops::squeeze(ops::expand_dims(x, 1)).shape(), Shape({2, 3}));
+
+  Tensor sliced = ops::slice(x, {0, 1}, {2, 2});
+  EXPECT_EQ(ToVector<float>(sliced), (std::vector<float>{2, 3, 5, 6}));
+  Tensor tail = ops::slice(x, {1, 0}, {-1, -1});
+  EXPECT_EQ(ToVector<float>(tail), (std::vector<float>{4, 5, 6}));
+
+  Tensor padded = ops::pad(ops::constant<float>({1, 2}, {2}), {1, 2});
+  EXPECT_EQ(ToVector<float>(padded), (std::vector<float>{0, 1, 2, 0, 0}));
+
+  Tensor tiled = ops::tile(ops::constant<float>({1, 2}, {2}), {3});
+  EXPECT_EQ(ToVector<float>(tiled), (std::vector<float>{1, 2, 1, 2, 1, 2}));
+
+  Tensor stacked = ops::concat({x, x}, 0);
+  EXPECT_EQ(stacked.shape(), Shape({4, 3}));
+  Tensor wide = ops::concat({x, x}, 1);
+  EXPECT_EQ(wide.shape(), Shape({2, 6}));
+  EXPECT_EQ(ToVector<float>(wide),
+            (std::vector<float>{1, 2, 3, 1, 2, 3, 4, 5, 6, 4, 5, 6}));
+}
+
+TEST(EagerTest, GatherAndSegmentSum) {
+  Tensor params = ops::constant<float>({10, 20, 30, 40, 50, 60}, {3, 2});
+  Tensor indices = ops::constant<int32_t>({2, 0, 2}, {3});
+  Tensor gathered = ops::gather(params, indices);
+  EXPECT_EQ(gathered.shape(), Shape({3, 2}));
+  EXPECT_EQ(ToVector<float>(gathered),
+            (std::vector<float>{50, 60, 10, 20, 50, 60}));
+  EXPECT_THROW(ops::gather(params, ops::constant<int32_t>({5}, {1})),
+               RuntimeError);
+}
+
+TEST(EagerTest, RangeStackUnstackSplit) {
+  Tensor r = ops::range(0, 5);
+  EXPECT_EQ(ToVector<int64_t>(r), (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  Tensor stepped = ops::range(1, 8, 3, DType::kFloat32);
+  EXPECT_EQ(ToVector<float>(stepped), (std::vector<float>{1, 4, 7}));
+  EXPECT_EQ(ops::range(5, 0).num_elements(), 0);
+
+  Tensor a = ops::constant<float>({1, 2}, {2});
+  Tensor b = ops::constant<float>({3, 4}, {2});
+  Tensor stacked = ops::stack({a, b});
+  EXPECT_EQ(stacked.shape(), Shape({2, 2}));
+  EXPECT_EQ(ToVector<float>(stacked), (std::vector<float>{1, 2, 3, 4}));
+  Tensor stacked1 = ops::stack({a, b}, 1);
+  EXPECT_EQ(ToVector<float>(stacked1), (std::vector<float>{1, 3, 2, 4}));
+
+  std::vector<Tensor> rows = ops::unstack(stacked, 0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(tensor_util::AllClose(rows[0], a));
+  EXPECT_TRUE(tensor_util::AllClose(rows[1], b));
+
+  Tensor wide = ops::constant<float>({1, 2, 3, 4, 5, 6}, {1, 6});
+  std::vector<Tensor> thirds = ops::split(wide, 3, 1);
+  ASSERT_EQ(thirds.size(), 3u);
+  EXPECT_EQ(ToVector<float>(thirds[1]), (std::vector<float>{3, 4}));
+}
+
+TEST(EagerTest, OneHot) {
+  Tensor indices = ops::constant<int64_t>({0, 2, 1}, {3});
+  Tensor encoded = ops::one_hot(indices, 3);
+  EXPECT_EQ(encoded.shape(), Shape({3, 3}));
+  EXPECT_EQ(ToVector<float>(encoded),
+            (std::vector<float>{1, 0, 0, 0, 0, 1, 0, 1, 0}));
+  Tensor custom = ops::one_hot(indices, 3, DType::kFloat32, 5.0, -1.0);
+  EXPECT_EQ(ToVector<float>(custom)[0], 5.0f);
+  EXPECT_EQ(ToVector<float>(custom)[1], -1.0f);
+}
+
+TEST(EagerTest, StackGradientFlows) {
+  Tensor a = ops::scalar<float>(2.0f);
+  Tensor b = ops::scalar<float>(3.0f);
+  GradientTape tape;
+  tape.watch(a);
+  tape.watch(b);
+  Tensor y = ops::reduce_sum(ops::mul(ops::stack({a, b}),
+                                      ops::constant<float>({10, 100}, {2})));
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(y, {a, b})).value();
+  EXPECT_FLOAT_EQ(grads[0].scalar<float>(), 10.0f);
+  EXPECT_FLOAT_EQ(grads[1].scalar<float>(), 100.0f);
+}
+
+TEST(EagerTest, SoftmaxFamily) {
+  Tensor logits = ops::constant<float>({0, 0, 1000, 0}, {2, 2});
+  Tensor probs = ops::softmax(logits);
+  EXPECT_NEAR(ToVector<float>(probs)[0], 0.5f, 1e-6);
+  EXPECT_NEAR(ToVector<float>(probs)[2], 1.0f, 1e-6);  // stable at 1000
+  Tensor log_probs = ops::log_softmax(logits);
+  EXPECT_NEAR(ToVector<float>(log_probs)[1], std::log(0.5f), 1e-5);
+
+  Tensor labels = ops::constant<int64_t>({0, 0}, {2});
+  Tensor losses =
+      ops::sparse_softmax_cross_entropy_with_logits(logits, labels);
+  EXPECT_EQ(losses.shape(), Shape({2}));
+  EXPECT_NEAR(ToVector<float>(losses)[0], -std::log(0.5f), 1e-5);
+  EXPECT_NEAR(ToVector<float>(losses)[1], 0.0f, 1e-5);
+}
+
+TEST(EagerTest, RandomSeededIsDeterministic) {
+  Tensor a = ops::random_normal({16}, 0, 1, /*seed=*/1234);
+  Tensor b = ops::random_normal({16}, 0, 1, /*seed=*/1234);
+  EXPECT_TRUE(tensor_util::AllClose(a, b));
+  Tensor c = ops::random_normal({16}, 0, 1, /*seed=*/99);
+  EXPECT_FALSE(tensor_util::AllClose(a, c));
+}
+
+TEST(EagerTest, RandomStatefulDraws) {
+  Tensor a = ops::random_uniform({32});
+  Tensor b = ops::random_uniform({32});
+  EXPECT_FALSE(tensor_util::AllClose(a, b));
+  for (float value : ToVector<float>(a)) {
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LT(value, 1.0f);
+  }
+}
+
+TEST(EagerTest, RandomUniformRange) {
+  Tensor x = ops::random_uniform({64}, -2.0, 3.0, /*seed=*/5);
+  for (float value : ToVector<float>(x)) {
+    EXPECT_GE(value, -2.0f);
+    EXPECT_LT(value, 3.0f);
+  }
+}
+
+TEST(EagerTest, DevicePlacementAndTransparentCopies) {
+  // Listing 5 from the paper: inputs on CPU, op on GPU, result fetched.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor a = ops::scalar<float>(1.0f);
+  Tensor b = ops::scalar<float>(2.0f);
+  uint64_t copies_before = ctx->stats().device_copies.load();
+  Tensor c;
+  {
+    DeviceScope scope("/gpu:0");
+    c = ops::add(a, b);
+  }
+  EXPECT_EQ(c.device()->kind(), DeviceKind::kGpu);
+  EXPECT_FLOAT_EQ(c.scalar<float>(), 3.0f);
+  EXPECT_GT(ctx->stats().device_copies.load(), copies_before);
+}
+
+TEST(EagerTest, AcceleratorStickiness) {
+  // Outputs of a GPU op stay on the GPU; later ops follow their inputs.
+  Tensor a = ops::scalar<float>(1.0f);
+  Tensor on_gpu;
+  {
+    DeviceScope scope("/gpu:0");
+    on_gpu = ops::add(a, a);
+  }
+  Tensor follow = ops::mul(on_gpu, on_gpu);
+  EXPECT_EQ(follow.device()->kind(), DeviceKind::kGpu);
+  EXPECT_FLOAT_EQ(follow.scalar<float>(), 4.0f);
+}
+
+TEST(EagerTest, UnknownDeviceFails) {
+  Tensor a = ops::scalar<float>(1.0f);
+  DeviceScope scope("/gpu:7");
+  EXPECT_THROW(ops::add(a, a), RuntimeError);
+}
+
+TEST(EagerTest, ListDevices) {
+  std::vector<Device*> devices = list_devices();
+  ASSERT_GE(devices.size(), 3u);  // CPU + sim GPU + sim TPU
+  bool has_cpu = false, has_gpu = false, has_tpu = false;
+  for (Device* device : devices) {
+    if (device->kind() == DeviceKind::kCpu) has_cpu = true;
+    if (device->kind() == DeviceKind::kGpu) has_gpu = true;
+    if (device->kind() == DeviceKind::kTpu) has_tpu = true;
+  }
+  EXPECT_TRUE(has_cpu && has_gpu && has_tpu);
+}
+
+TEST(EagerTest, NestedDeviceScopes) {
+  Tensor a = ops::scalar<float>(1.0f);
+  DeviceScope outer("/gpu:0");
+  {
+    DeviceScope inner("/cpu:0");
+    Tensor c = ops::add(a, a);
+    EXPECT_EQ(c.device()->kind(), DeviceKind::kCpu);
+  }
+  Tensor c = ops::add(a, a);
+  EXPECT_EQ(c.device()->kind(), DeviceKind::kGpu);
+}
+
+}  // namespace
+}  // namespace tfe

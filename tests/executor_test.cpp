@@ -1,0 +1,182 @@
+// The dataflow executor: parallel execution, errors, ordering, nesting,
+// virtual-time bookkeeping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "api/tfe.h"
+#include "executor/executor.h"
+#include "graph/graph_function.h"
+#include "runtime/eager_context.h"
+#include "staging/trace_context.h"
+
+namespace tfe {
+namespace {
+
+// Builds a function by tracing `body` with float scalar args.
+std::shared_ptr<GraphFunction> Build(
+    const std::string& name, int num_args,
+    std::function<std::vector<Tensor>(const std::vector<Tensor>&)> body) {
+  auto fn = std::make_shared<GraphFunction>(name);
+  TraceContext trace(fn, EagerContext::Global());
+  std::vector<Tensor> params;
+  for (int i = 0; i < num_args; ++i) {
+    params.push_back(
+        trace.AddParameter(DType::kFloat32, Shape()).value());
+  }
+  for (Tensor& out : body(params)) {
+    fn->outputs().push_back({out.node_id(), out.output_index()});
+  }
+  return fn;
+}
+
+TEST(ExecutorTest, RunsSimpleGraph) {
+  auto fn = Build("exec_simple", 2, [](const std::vector<Tensor>& args) {
+    return std::vector<Tensor>{ops::add(args[0], ops::mul(args[1], args[1]))};
+  });
+  Executor executor(EagerContext::Global());
+  auto result = executor.Run(*fn, {ops::scalar<float>(1), ops::scalar<float>(3)},
+                             nullptr, 0, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ(result->outputs[0].scalar<float>(), 10.0f);
+}
+
+TEST(ExecutorTest, ParallelAndInlineAgree) {
+  auto fn = Build("exec_modes", 1, [](const std::vector<Tensor>& args) {
+    // A diamond with plenty of parallel branches.
+    std::vector<Tensor> branches;
+    for (int i = 0; i < 16; ++i) {
+      branches.push_back(ops::exp(ops::mul(
+          args[0], ops::fill(DType::kFloat32, {}, 0.1 * i))));
+    }
+    Tensor sum = branches[0];
+    for (size_t i = 1; i < branches.size(); ++i) {
+      sum = ops::add(sum, branches[i]);
+    }
+    return std::vector<Tensor>{sum};
+  });
+  Executor executor(EagerContext::Global());
+  auto parallel = executor.Run(*fn, {ops::scalar<float>(0.5f)}, nullptr, 0,
+                               false, /*parallel=*/true);
+  auto inline_run = executor.Run(*fn, {ops::scalar<float>(0.5f)}, nullptr, 0,
+                                 false, /*parallel=*/false);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(inline_run.ok());
+  EXPECT_FLOAT_EQ(parallel->outputs[0].scalar<float>(),
+                  inline_run->outputs[0].scalar<float>());
+}
+
+TEST(ExecutorTest, ArgCountMismatchFails) {
+  auto fn = Build("exec_argc", 2, [](const std::vector<Tensor>& args) {
+    return std::vector<Tensor>{ops::add(args[0], args[1])};
+  });
+  Executor executor(EagerContext::Global());
+  EXPECT_FALSE(
+      executor.Run(*fn, {ops::scalar<float>(1)}, nullptr, 0, false).ok());
+}
+
+TEST(ExecutorTest, ArgTypeMismatchFails) {
+  auto fn = Build("exec_argt", 1, [](const std::vector<Tensor>& args) {
+    return std::vector<Tensor>{ops::identity(args[0])};
+  });
+  Executor executor(EagerContext::Global());
+  EXPECT_FALSE(
+      executor.Run(*fn, {tensor_util::Scalar<int32_t>(1)}, nullptr, 0, false)
+          .ok());
+  EXPECT_FALSE(executor
+                   .Run(*fn, {ops::ones(DType::kFloat32, {2})}, nullptr, 0,
+                        false)
+                   .ok());
+}
+
+TEST(ExecutorTest, KernelErrorPropagatesFromParallelRun) {
+  // Gather with out-of-range index fails at execution time.
+  auto fn = Build("exec_error", 1, [](const std::vector<Tensor>& args) {
+    Tensor params = ops::constant<float>({1, 2}, {2});
+    Tensor bad_index = ops::constant<int32_t>({7}, {1});
+    Tensor gathered = ops::gather(params, bad_index);
+    return std::vector<Tensor>{ops::add(args[0],
+                                        ops::reduce_sum(gathered))};
+  });
+  Executor executor(EagerContext::Global());
+  auto result = executor.Run(*fn, {ops::scalar<float>(1)}, nullptr, 0, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(ExecutorTest, VirtualTimeAdvancesOnSimDevices) {
+  EagerContext* ctx = EagerContext::Global();
+  auto fn = Build("exec_vtime", 1, [](const std::vector<Tensor>& args) {
+    return std::vector<Tensor>{ops::exp(ops::add(args[0], args[0]))};
+  });
+  Device* gpu = ctx->devices().FindDevice("/gpu:0").value();
+  uint64_t before = gpu->timeline().busy_ns();
+  Executor executor(ctx);
+  auto result = executor.Run(*fn, {ops::scalar<float>(1)}, gpu, 0, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(gpu->timeline().busy_ns(), before);
+  EXPECT_GT(result->finish_ns, 0u);
+}
+
+TEST(ExecutorTest, FinishCoversSideEffects) {
+  // A function whose only "result" is an assignment still reports a finish
+  // time covering the write.
+  Variable v(ops::scalar<float>(0.0f));
+  Function f = function(
+      [&v](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        v.assign(ops::mul(args[0], args[0]));
+        return {};
+      },
+      "side_effect_finish");
+  f({ops::scalar<float>(4.0f)});
+  EXPECT_FLOAT_EQ(v.value().scalar<float>(), 16.0f);
+}
+
+TEST(ExecutorTest, DeeplyNestedFunctionsRunInline) {
+  // Three levels of nesting exercise the inline (non-pool) path and must
+  // not deadlock on the executor pool.
+  Function level1 = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::add(args[0], ops::scalar<float>(1.0f))};
+      },
+      "level1");
+  Function level2 = function(
+      [&level1](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(level1({args[0]})[0], ops::scalar<float>(2.0f))};
+      },
+      "level2");
+  Function level3 = function(
+      [&level2](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::add(level2({args[0]})[0], level2({args[0]})[0])};
+      },
+      "level3");
+  EXPECT_FLOAT_EQ(level3({ops::scalar<float>(3.0f)})[0].scalar<float>(),
+                  16.0f);
+}
+
+TEST(ExecutorTest, ManyConcurrentTopLevelCalls) {
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::tanh(ops::mul(args[0], args[0]))};
+      },
+      "concurrent_calls");
+  f({ops::scalar<float>(1.0f)});  // trace once up front
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&f, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        float x = 0.1f * t + 0.01f * i;
+        float got = f({ops::scalar<float>(x)})[0].scalar<float>();
+        if (std::abs(got - std::tanh(x * x)) > 1e-5) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tfe

@@ -1,0 +1,283 @@
+// Differentiating staged functions (paper §4.2): forward variants, staged
+// backward functions, higher-order gradients through Call ops, variables
+// inside functions, host_func gradients, gradients computed *inside* traces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/tfe.h"
+#include "autodiff/function_grad.h"
+#include "runtime/eager_context.h"
+#include "support/strings.h"
+
+namespace tfe {
+namespace {
+
+TEST(FunctionGradTest, GradThroughStagedFunctionMatchesEager) {
+  auto body = [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+    return {ops::mul(ops::mul(args[0], args[0]), args[0])};  // x^3
+  };
+  Function staged = function(body, "cube");
+  Tensor x = ops::scalar<float>(2.0f);
+
+  GradientTape eager_tape;
+  eager_tape.watch(x);
+  Tensor eager_y = body({x})[0];
+  eager_tape.StopRecording();
+  Tensor eager_grad = std::move(eager_tape.gradient(eager_y, {x})).value()[0];
+
+  GradientTape staged_tape;
+  staged_tape.watch(x);
+  Tensor staged_y = staged({x})[0];
+  staged_tape.StopRecording();
+  Tensor staged_grad =
+      std::move(staged_tape.gradient(staged_y, {x})).value()[0];
+
+  EXPECT_FLOAT_EQ(eager_y.scalar<float>(), staged_y.scalar<float>());
+  EXPECT_FLOAT_EQ(eager_grad.scalar<float>(), 12.0f);
+  EXPECT_FLOAT_EQ(staged_grad.scalar<float>(), 12.0f);
+}
+
+TEST(FunctionGradTest, ForwardVariantOnlyBuiltUnderTape) {
+  EagerContext* ctx = EagerContext::Global();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::square(args[0])};
+      },
+      "fwd_variant_probe");
+  Tensor x = ops::scalar<float>(3.0f);
+  f({x});  // no tape: plain call
+  auto concrete = f.GetConcreteFunction({x});
+  ASSERT_TRUE(concrete.ok());
+  EXPECT_FALSE(ctx->functions().Contains((*concrete)->name() + "__fwd"));
+
+  GradientTape tape;
+  tape.watch(x);
+  f({x});
+  tape.StopRecording();
+  EXPECT_TRUE(ctx->functions().Contains((*concrete)->name() + "__fwd"));
+}
+
+TEST(FunctionGradTest, BackwardIsItselfAGraphFunction) {
+  // "if a computation was staged in the forward pass, its corresponding
+  // backward pass will also be staged" — the gradient of a Call comes back
+  // through another Call, visible as a registered __grad function.
+  EagerContext* ctx = EagerContext::Global();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::tanh(args[0])};
+      },
+      "staged_backward_probe");
+  Tensor x = ops::scalar<float>(0.3f);
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = f({x})[0];
+  tape.StopRecording();
+  Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+  float expected = 1.0f - std::tanh(0.3f) * std::tanh(0.3f);
+  EXPECT_NEAR(grad.scalar<float>(), expected, 1e-5);
+
+  bool found_grad_function = false;
+  for (const std::string& name : ctx->functions().ListFunctions()) {
+    if (name.find("staged_backward_probe") != std::string::npos &&
+        name.find("__grad") != std::string::npos) {
+      found_grad_function = true;
+    }
+  }
+  EXPECT_TRUE(found_grad_function);
+}
+
+TEST(FunctionGradTest, HigherOrderThroughStagedFunction) {
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], ops::mul(args[0], args[0]))};
+      },
+      "cube_ho");
+  Tensor x = ops::scalar<float>(2.0f);
+  GradientTape t1;
+  GradientTape t2;
+  t1.watch(x);
+  t2.watch(x);
+  Tensor y = f({x})[0];
+  Tensor d1 = std::move(t2.gradient(y, {x})).value()[0];
+  EXPECT_FLOAT_EQ(d1.scalar<float>(), 12.0f);  // 3x^2
+  Tensor d2 = std::move(t1.gradient(d1, {x})).value()[0];
+  EXPECT_FLOAT_EQ(d2.scalar<float>(), 12.0f);  // 6x
+}
+
+TEST(FunctionGradTest, VariablesInsideFunctions) {
+  Variable v(ops::scalar<float>(3.0f));
+  Function f = function(
+      [&v](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], ops::mul(v.value(), v.value()))};
+      },
+      "var_grad");
+  Tensor x = ops::scalar<float>(2.0f);
+  GradientTape tape;
+  Tensor y = f({x})[0];
+  tape.StopRecording();
+  EXPECT_FLOAT_EQ(y.scalar<float>(), 18.0f);
+  // d(x*v^2)/dv = 2xv = 12.
+  std::vector<Tensor> grads = gradient(tape, y, {v});
+  ASSERT_TRUE(grads[0].defined());
+  EXPECT_FLOAT_EQ(grads[0].scalar<float>(), 12.0f);
+}
+
+TEST(FunctionGradTest, MultiArgMultiOutput) {
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], args[1]), ops::add(args[0], args[1])};
+      },
+      "multi_grad");
+  Tensor a = ops::scalar<float>(3.0f);
+  Tensor b = ops::scalar<float>(4.0f);
+  GradientTape tape(/*persistent=*/true);
+  tape.watch(a);
+  tape.watch(b);
+  auto outs = f({a, b});
+  tape.StopRecording();
+  auto grads_mul = std::move(tape.gradient(outs[0], {a, b})).value();
+  EXPECT_FLOAT_EQ(grads_mul[0].scalar<float>(), 4.0f);
+  EXPECT_FLOAT_EQ(grads_mul[1].scalar<float>(), 3.0f);
+  auto grads_add = std::move(tape.gradient(outs[1], {a, b})).value();
+  EXPECT_FLOAT_EQ(grads_add[0].scalar<float>(), 1.0f);
+  EXPECT_FLOAT_EQ(grads_add[1].scalar<float>(), 1.0f);
+}
+
+TEST(FunctionGradTest, GradientComputedInsideTrace) {
+  // Staging the *gradient computation itself* (paper §4.2: "gradient
+  // computation is itself expressed as a function ... so it is possible to
+  // stage it or not").
+  Function grad_fn = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        GradientTape tape;
+        tape.watch(args[0]);
+        Tensor y = ops::mul(args[0], args[0]);
+        tape.StopRecording();
+        auto grads = tape.gradient(y, {args[0]});
+        grads.status().ThrowIfError();
+        return {(*grads)[0]};
+      },
+      "staged_grad");
+  Tensor x = ops::scalar<float>(5.0f);
+  EXPECT_FLOAT_EQ(grad_fn({x})[0].scalar<float>(), 10.0f);
+  EXPECT_FLOAT_EQ(grad_fn({ops::scalar<float>(-1.5f)})[0].scalar<float>(),
+                  -3.0f);
+  EXPECT_EQ(grad_fn.num_traces(), 1);
+}
+
+TEST(FunctionGradTest, NestedFunctionGradient) {
+  // Gradient through a function that calls another function: the backward
+  // builder meets a plain Call node and rematerializes its intermediates.
+  Function inner = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::square(args[0])};
+      },
+      "nested_inner");
+  Function outer = function(
+      [&inner](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(inner({args[0]})[0], args[0])};  // x^3
+      },
+      "nested_outer");
+  Tensor x = ops::scalar<float>(2.0f);
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = outer({x})[0];
+  tape.StopRecording();
+  EXPECT_FLOAT_EQ(y.scalar<float>(), 8.0f);
+  Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+  EXPECT_FLOAT_EQ(grad.scalar<float>(), 12.0f);
+}
+
+TEST(FunctionGradTest, HostFuncGradientInsideGraph) {
+  // py_func "executes under a gradient tape and as such it is
+  // differentiable" (§4.7) — including when staged.
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        std::vector<Tensor> outs = host_func(
+            "square_host",
+            [](const std::vector<Tensor>& ins)
+                -> StatusOr<std::vector<Tensor>> {
+              return std::vector<Tensor>{ops::mul(ins[0], ins[0])};
+            },
+            {args[0]}, {{DType::kFloat32, Shape()}});
+        return {ops::mul(outs[0], args[0])};  // x^3 overall
+      },
+      "hostfunc_grad");
+  Tensor x = ops::scalar<float>(2.0f);
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = f({x})[0];
+  tape.StopRecording();
+  EXPECT_FLOAT_EQ(y.scalar<float>(), 8.0f);
+  Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+  EXPECT_FLOAT_EQ(grad.scalar<float>(), 12.0f);
+}
+
+TEST(FunctionGradTest, EagerHostFuncGradient) {
+  // Eagerly, the callback's internal ops are taped directly.
+  Tensor x = ops::scalar<float>(3.0f);
+  GradientTape tape;
+  tape.watch(x);
+  std::vector<Tensor> outs = host_func(
+      "square_eager",
+      [](const std::vector<Tensor>& ins) -> StatusOr<std::vector<Tensor>> {
+        return std::vector<Tensor>{ops::mul(ins[0], ins[0])};
+      },
+      {x}, {{DType::kFloat32, Shape()}});
+  tape.StopRecording();
+  Tensor grad = std::move(tape.gradient(outs[0], {x})).value()[0];
+  EXPECT_FLOAT_EQ(grad.scalar<float>(), 6.0f);
+}
+
+TEST(FunctionGradTest, StagedTrainingStepUpdatesVariables) {
+  // The whole train step — forward, backward, SGD update — as one staged
+  // function (the L2HMC/ResNet benchmark pattern).
+  Variable w(ops::scalar<float>(1.0f));
+  Function train_step = function(
+      [&w](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        GradientTape tape;
+        Tensor y = ops::square(ops::sub(ops::mul(w.value(), args[0]),
+                                        args[1]));
+        tape.StopRecording();
+        std::vector<Tensor> grads = gradient(tape, y, {w});
+        w.assign_sub(ops::mul(grads[0], ops::fill(DType::kFloat32, {}, 0.1)));
+        return {y};
+      },
+      "train_step");
+  Tensor x = ops::scalar<float>(1.0f);
+  Tensor target = ops::scalar<float>(3.0f);
+  float prev = 1e30f;
+  for (int i = 0; i < 20; ++i) {
+    float loss = train_step({x, target})[0].scalar<float>();
+    EXPECT_LE(loss, prev + 1e-5f);
+    prev = loss;
+  }
+  EXPECT_LT(prev, 0.05f);
+  EXPECT_NEAR(w.value().scalar<float>(), 3.0f, 0.2f);
+  EXPECT_EQ(train_step.num_traces(), 1);
+}
+
+TEST(FunctionGradTest, FiniteDifferenceThroughStagedComposite) {
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::tanh(ops::mul(args[0], args[0]));
+        return {ops::add(ops::exp(h), ops::sigmoid(args[0]))};
+      },
+      "composite_fd");
+  const float point = 0.7f;
+  Tensor x = ops::scalar<float>(point);
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = f({x})[0];
+  tape.StopRecording();
+  Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+
+  const float eps = 1e-3f;
+  float up = f({ops::scalar<float>(point + eps)})[0].scalar<float>();
+  float down = f({ops::scalar<float>(point - eps)})[0].scalar<float>();
+  EXPECT_NEAR(grad.scalar<float>(), (up - down) / (2 * eps), 1e-2);
+}
+
+}  // namespace
+}  // namespace tfe

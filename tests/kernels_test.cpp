@@ -1,0 +1,240 @@
+// Direct numeric verification of the structured kernels (conv, pooling,
+// batch norm) against hand-computed values, plus finite-difference gradient
+// checks at the tensor level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/tfe.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::ToVector;
+
+TEST(ConvKernelTest, HandComputedValid) {
+  // 1x3x3x1 input, 2x2x1x1 filter of ones, VALID, stride 1:
+  // each output = sum of the 2x2 window.
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6, 7, 8, 9}, {1, 3, 3, 1});
+  Tensor filter = ops::constant<float>({1, 1, 1, 1}, {2, 2, 1, 1});
+  Tensor y = ops::conv2d(x, filter, {1, 1}, "VALID");
+  EXPECT_EQ(y.shape(), Shape({1, 2, 2, 1}));
+  EXPECT_EQ(ToVector<float>(y), (std::vector<float>{12, 16, 24, 28}));
+}
+
+TEST(ConvKernelTest, HandComputedSameWithPadding) {
+  // Same setup, SAME padding: output 3x3; bottom-right windows run off the
+  // edge and see zeros.
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6, 7, 8, 9}, {1, 3, 3, 1});
+  Tensor filter = ops::constant<float>({1, 1, 1, 1}, {2, 2, 1, 1});
+  Tensor y = ops::conv2d(x, filter, {1, 1}, "SAME");
+  EXPECT_EQ(y.shape(), Shape({1, 3, 3, 1}));
+  EXPECT_EQ(ToVector<float>(y),
+            (std::vector<float>{12, 16, 9, 24, 28, 15, 15, 17, 9}));
+}
+
+TEST(ConvKernelTest, StrideTwoAndChannels) {
+  // 1x4x4x1, 1x1 filter with weight 2, stride 2: picks every other pixel.
+  std::vector<float> values(16);
+  for (int i = 0; i < 16; ++i) values[i] = static_cast<float>(i);
+  Tensor x = tensor_util::FromVector<float>(values, Shape({1, 4, 4, 1}));
+  Tensor filter = ops::constant<float>({2}, {1, 1, 1, 1});
+  Tensor y = ops::conv2d(x, filter, {2, 2}, "VALID");
+  EXPECT_EQ(y.shape(), Shape({1, 2, 2, 1}));
+  EXPECT_EQ(ToVector<float>(y), (std::vector<float>{0, 4, 16, 20}));
+
+  // Multi-channel contraction: cin=2 summed into one output channel.
+  Tensor x2 = ops::constant<float>({1, 10, 2, 20}, {1, 1, 2, 2});
+  Tensor f2 = ops::constant<float>({1, 1}, {1, 1, 2, 1});
+  Tensor y2 = ops::conv2d(x2, f2, {1, 1}, "VALID");
+  EXPECT_EQ(ToVector<float>(y2), (std::vector<float>{11, 22}));
+}
+
+TEST(ConvKernelTest, GradientMatchesFiniteDifference) {
+  Tensor x = ops::random_normal({1, 4, 4, 2}, 0, 1, /*seed=*/101);
+  Tensor filter = ops::random_normal({3, 3, 2, 2}, 0, 0.5, /*seed=*/102);
+  auto loss_of = [&](const Tensor& xv, const Tensor& fv) {
+    return ops::reduce_sum(
+        ops::mul(ops::conv2d(xv, fv, {1, 1}, "SAME"),
+                 ops::conv2d(xv, fv, {1, 1}, "SAME")));
+  };
+  GradientTape tape;
+  tape.watch(x);
+  tape.watch(filter);
+  Tensor loss = loss_of(x, filter);
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(loss, {x, filter})).value();
+
+  const float eps = 1e-2f;
+  // Probe a few coordinates of each gradient.
+  for (int64_t index : {0L, 7L, 21L}) {
+    Tensor up = tensor_util::DeepCopy(x);
+    Tensor down = tensor_util::DeepCopy(x);
+    up.mutable_data<float>()[index] += eps;
+    down.mutable_data<float>()[index] -= eps;
+    float numeric = (loss_of(up, filter).scalar<float>() -
+                     loss_of(down, filter).scalar<float>()) /
+                    (2 * eps);
+    EXPECT_NEAR(grads[0].data<float>()[index], numeric,
+                2e-2 * (1 + std::abs(numeric)))
+        << "dx[" << index << "]";
+  }
+  for (int64_t index : {0L, 5L, 17L}) {
+    Tensor up = tensor_util::DeepCopy(filter);
+    Tensor down = tensor_util::DeepCopy(filter);
+    up.mutable_data<float>()[index] += eps;
+    down.mutable_data<float>()[index] -= eps;
+    float numeric = (loss_of(x, up).scalar<float>() -
+                     loss_of(x, down).scalar<float>()) /
+                    (2 * eps);
+    EXPECT_NEAR(grads[1].data<float>()[index], numeric,
+                2e-2 * (1 + std::abs(numeric)))
+        << "dfilter[" << index << "]";
+  }
+}
+
+TEST(PoolKernelTest, MaxPoolHandComputed) {
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                   14, 15, 16},
+                                  {1, 4, 4, 1});
+  Tensor y = ops::max_pool(x, {2, 2}, {2, 2}, "VALID");
+  EXPECT_EQ(ToVector<float>(y), (std::vector<float>{6, 8, 14, 16}));
+}
+
+TEST(PoolKernelTest, AvgPoolHandComputedWithSamePadding) {
+  Tensor x = ops::constant<float>({1, 2, 3, 4, 5, 6, 7, 8, 9}, {1, 3, 3, 1});
+  Tensor y = ops::avg_pool(x, {2, 2}, {2, 2}, "SAME");
+  EXPECT_EQ(y.shape(), Shape({1, 2, 2, 1}));
+  // Windows: {1,2,4,5}, {3,6}, {7,8}, {9} — averaged over VALID members.
+  EXPECT_EQ(ToVector<float>(y), (std::vector<float>{3, 4.5, 7.5, 9}));
+}
+
+TEST(PoolKernelTest, MaxPoolGradientRoutesToArgmax) {
+  Tensor x = ops::constant<float>({1, 9, 2, 3}, {1, 2, 2, 1});
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = ops::reduce_sum(ops::max_pool(x, {2, 2}, {2, 2}, "VALID"));
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(y, {x})).value();
+  EXPECT_EQ(ToVector<float>(grads[0]), (std::vector<float>{0, 1, 0, 0}));
+}
+
+TEST(PoolKernelTest, AvgPoolGradientSpreadsEvenly) {
+  Tensor x = ops::constant<float>({1, 2, 3, 4}, {1, 2, 2, 1});
+  GradientTape tape;
+  tape.watch(x);
+  Tensor y = ops::reduce_sum(ops::avg_pool(x, {2, 2}, {2, 2}, "VALID"));
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(y, {x})).value();
+  EXPECT_EQ(ToVector<float>(grads[0]),
+            (std::vector<float>{0.25, 0.25, 0.25, 0.25}));
+}
+
+TEST(BatchNormKernelTest, TrainingNormalizesToUnitStatistics) {
+  Tensor x = ops::random_normal({4, 3, 3, 2}, 5.0, 3.0, /*seed=*/111);
+  Tensor scale = ops::ones(DType::kFloat32, {2});
+  Tensor offset = ops::zeros(DType::kFloat32, {2});
+  auto result = ops::fused_batch_norm(x, scale, offset, offset, scale,
+                                      /*is_training=*/true, /*epsilon=*/1e-5);
+  // Per-channel output mean ~0 and variance ~1.
+  Tensor mean = ops::reduce_mean(result.y, {0, 1, 2});
+  Tensor variance =
+      ops::reduce_mean(ops::square(result.y), {0, 1, 2});
+  for (float m : ToVector<float>(mean)) EXPECT_NEAR(m, 0.0f, 1e-4);
+  for (float v : ToVector<float>(variance)) EXPECT_NEAR(v, 1.0f, 1e-2);
+  // Reported batch stats match the input's.
+  Tensor input_mean = ops::reduce_mean(x, {0, 1, 2});
+  EXPECT_TRUE(tensor_util::AllClose(result.batch_mean, input_mean, 1e-4,
+                                    1e-4));
+}
+
+TEST(BatchNormKernelTest, InferenceUsesMovingStatistics) {
+  Tensor x = ops::constant<float>({10, 20}, {1, 1, 1, 2});
+  Tensor scale = ops::constant<float>({2, 2}, {2});
+  Tensor offset = ops::constant<float>({1, 1}, {2});
+  Tensor moving_mean = ops::constant<float>({10, 10}, {2});
+  Tensor moving_var = ops::constant<float>({4, 4}, {2});
+  auto result = ops::fused_batch_norm(x, scale, offset, moving_mean,
+                                      moving_var, /*is_training=*/false,
+                                      /*epsilon=*/0.0);
+  // y = scale * (x - mean)/sqrt(var) + offset = 2*(x-10)/2 + 1.
+  EXPECT_NEAR(ToVector<float>(result.y)[0], 1.0f, 1e-4);
+  EXPECT_NEAR(ToVector<float>(result.y)[1], 11.0f, 1e-4);
+}
+
+TEST(BatchNormKernelTest, GradientMatchesFiniteDifference) {
+  Tensor x = ops::random_normal({2, 2, 2, 2}, 0, 1, /*seed=*/121);
+  Tensor scale = ops::constant<float>({1.5f, 0.5f}, {2});
+  Tensor offset = ops::constant<float>({0.1f, -0.2f}, {2});
+  Tensor zeros = ops::zeros(DType::kFloat32, {2});
+  Tensor ones = ops::ones(DType::kFloat32, {2});
+  auto loss_of = [&](const Tensor& xv, const Tensor& sv, const Tensor& ov) {
+    auto result = ops::fused_batch_norm(xv, sv, ov, zeros, ones, true, 1e-3);
+    return ops::reduce_sum(ops::mul(result.y, result.y));
+  };
+  GradientTape tape;
+  tape.watch(x);
+  tape.watch(scale);
+  tape.watch(offset);
+  Tensor loss = loss_of(x, scale, offset);
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(loss, {x, scale, offset})).value();
+
+  const float eps = 1e-2f;
+  for (int64_t index : {0L, 9L}) {
+    Tensor up = tensor_util::DeepCopy(x);
+    Tensor down = tensor_util::DeepCopy(x);
+    up.mutable_data<float>()[index] += eps;
+    down.mutable_data<float>()[index] -= eps;
+    float numeric = (loss_of(up, scale, offset).scalar<float>() -
+                     loss_of(down, scale, offset).scalar<float>()) /
+                    (2 * eps);
+    EXPECT_NEAR(grads[0].data<float>()[index], numeric,
+                5e-2 * (1 + std::abs(numeric)));
+  }
+  for (int64_t index : {0L, 1L}) {
+    Tensor up = tensor_util::DeepCopy(scale);
+    Tensor down = tensor_util::DeepCopy(scale);
+    up.mutable_data<float>()[index] += eps;
+    down.mutable_data<float>()[index] -= eps;
+    float numeric = (loss_of(x, up, offset).scalar<float>() -
+                     loss_of(x, down, offset).scalar<float>()) /
+                    (2 * eps);
+    EXPECT_NEAR(grads[1].data<float>()[index], numeric,
+                5e-2 * (1 + std::abs(numeric)));
+  }
+}
+
+TEST(XentKernelTest, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits = ops::constant<float>({2, 1, 0, 0, 0, 3}, {2, 3});
+  Tensor labels = ops::constant<int64_t>({0, 2}, {2});
+  GradientTape tape;
+  tape.watch(logits);
+  Tensor loss = ops::reduce_sum(
+      ops::sparse_softmax_cross_entropy_with_logits(logits, labels));
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(loss, {logits})).value();
+  Tensor expected =
+      ops::sub(ops::softmax(logits), ops::one_hot(labels, 3));
+  EXPECT_TRUE(tensor_util::AllClose(grads[0], expected, 1e-5, 1e-6));
+}
+
+TEST(Float64KernelTest, DoublePrecisionPath) {
+  // The float64 path matters for scientific workloads (L2HMC lineage).
+  Tensor a = ops::constant<double>({1.0, 2.0}, {2});
+  Tensor b = ops::constant<double>({3.0, 4.0}, {2});
+  Tensor y = ops::add(ops::mul(a, b), ops::sqrt(a));
+  EXPECT_EQ(y.dtype(), DType::kFloat64);
+  EXPECT_NEAR(ToVector<double>(y)[1], 8.0 + std::sqrt(2.0), 1e-12);
+
+  GradientTape tape;
+  tape.watch(a);
+  Tensor loss = ops::reduce_sum(ops::mul(a, a));
+  tape.StopRecording();
+  auto grads = std::move(tape.gradient(loss, {a})).value();
+  EXPECT_EQ(grads[0].dtype(), DType::kFloat64);
+  EXPECT_NEAR(ToVector<double>(grads[0])[1], 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tfe

@@ -1,0 +1,173 @@
+// Graph optimization passes: pruning, CSE, constant folding (paper §5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/tfe.h"
+#include "graph/passes.h"
+#include "staging/trace_context.h"
+
+namespace tfe {
+namespace {
+
+int CountOps(const GraphFunction& fn, const std::string& op) {
+  int count = 0;
+  for (int i = 0; i < fn.graph().num_nodes(); ++i) {
+    if (fn.graph().node(i).op == op) ++count;
+  }
+  return count;
+}
+
+// Traces `body` WITHOUT running the optimizer, so passes can be tested in
+// isolation.
+std::shared_ptr<GraphFunction> TraceRaw(
+    const std::string& name, int num_args,
+    std::function<std::vector<Tensor>(const std::vector<Tensor>&)> body) {
+  auto fn = std::make_shared<GraphFunction>(name);
+  TraceContext trace(fn, EagerContext::Global());
+  std::vector<Tensor> params;
+  for (int i = 0; i < num_args; ++i) {
+    params.push_back(trace.AddParameter(DType::kFloat32, Shape()).value());
+  }
+  for (Tensor& out : body(params)) {
+    fn->outputs().push_back({out.node_id(), out.output_index()});
+  }
+  return fn;
+}
+
+TEST(PassesTest, PruneRemovesDeadNonStatefulOps) {
+  auto fn = TraceRaw("prune_dead", 1, [](const std::vector<Tensor>& args) {
+    Tensor dead = ops::exp(args[0]);   // unused
+    Tensor dead2 = ops::mul(dead, dead);  // unused
+    (void)dead2;
+    return std::vector<Tensor>{ops::add(args[0], args[0])};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::Prune(*fn, &stats).ok());
+  EXPECT_EQ(stats.pruned_nodes, 2);
+  EXPECT_EQ(CountOps(*fn, "Exp"), 0);
+  EXPECT_EQ(CountOps(*fn, "Add"), 1);
+}
+
+TEST(PassesTest, PruneKeepsStatefulOps) {
+  // "non-stateful operations that are not reachable from the outputs of a
+  // function are pruned" — stateful ones are NOT.
+  Variable v(ops::scalar<float>(0.0f));
+  auto fn = TraceRaw("prune_stateful", 1, [&](const std::vector<Tensor>& args) {
+    v.assign(args[0]);  // side effect, unreachable from outputs
+    Tensor dead = ops::exp(args[0]);
+    (void)dead;
+    return std::vector<Tensor>{ops::add(args[0], args[0])};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::Prune(*fn, &stats).ok());
+  EXPECT_EQ(CountOps(*fn, "AssignVariableOp"), 1);
+  EXPECT_EQ(CountOps(*fn, "Exp"), 0);
+}
+
+TEST(PassesTest, PruneKeepsArgs) {
+  auto fn = TraceRaw("prune_args", 2, [](const std::vector<Tensor>& args) {
+    return std::vector<Tensor>{ops::identity(args[0])};  // args[1] unused
+  });
+  ASSERT_TRUE(passes::Prune(*fn).ok());
+  EXPECT_EQ(CountOps(*fn, "Arg"), 2);  // call signature unchanged
+  EXPECT_EQ(fn->num_args(), 2);
+}
+
+TEST(PassesTest, CseMergesIdenticalOps) {
+  auto fn = TraceRaw("cse", 1, [](const std::vector<Tensor>& args) {
+    Tensor a = ops::exp(args[0]);
+    Tensor b = ops::exp(args[0]);  // identical
+    return std::vector<Tensor>{ops::add(a, b)};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::EliminateCommonSubexpressions(*fn, &stats).ok());
+  EXPECT_EQ(stats.cse_merged, 1);
+  EXPECT_EQ(CountOps(*fn, "Exp"), 1);
+}
+
+TEST(PassesTest, CseRespectsAttrs) {
+  auto fn = TraceRaw("cse_attrs", 1, [](const std::vector<Tensor>& args) {
+    Tensor m = ops::expand_dims(args[0], 0);
+    Tensor a = ops::reduce_sum(m, {0}, true);
+    Tensor b = ops::reduce_sum(m, {0}, false);  // different attrs
+    return std::vector<Tensor>{a, b};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::EliminateCommonSubexpressions(*fn, &stats).ok());
+  EXPECT_EQ(stats.cse_merged, 0);
+  EXPECT_EQ(CountOps(*fn, "Sum"), 2);
+}
+
+TEST(PassesTest, CseNeverMergesStatefulOps) {
+  auto fn = TraceRaw("cse_random", 0, [](const std::vector<Tensor>&) {
+    Tensor a = ops::random_normal({2});
+    Tensor b = ops::random_normal({2});  // must stay distinct draws!
+    return std::vector<Tensor>{ops::add(a, b)};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::EliminateCommonSubexpressions(*fn, &stats).ok());
+  EXPECT_EQ(CountOps(*fn, "RandomNormal"), 2);
+}
+
+TEST(PassesTest, ConstantFolding) {
+  auto fn = TraceRaw("fold", 1, [](const std::vector<Tensor>& args) {
+    Tensor c = ops::add(ops::scalar<float>(2.0f), ops::scalar<float>(3.0f));
+    return std::vector<Tensor>{ops::mul(args[0], c)};
+  });
+  EXPECT_EQ(CountOps(*fn, "Add"), 1);
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FoldConstants(*fn, &stats).ok());
+  ASSERT_TRUE(passes::Prune(*fn, &stats).ok());
+  EXPECT_EQ(stats.folded_constants, 1);
+  EXPECT_EQ(CountOps(*fn, "Add"), 0);
+  // Folded payload is correct.
+  bool found = false;
+  for (int i = 0; i < fn->graph().num_nodes(); ++i) {
+    const Node& node = fn->graph().node(i);
+    if (node.op == "Const" && node.constant_value.defined() &&
+        node.constant_value.num_elements() == 1 &&
+        node.constant_value.dtype() == DType::kFloat32 &&
+        node.constant_value.scalar<float>() == 5.0f) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PassesTest, FoldingCascades) {
+  auto fn = TraceRaw("fold_chain", 1, [](const std::vector<Tensor>& args) {
+    Tensor c1 = ops::add(ops::scalar<float>(1.0f), ops::scalar<float>(1.0f));
+    Tensor c2 = ops::mul(c1, ops::scalar<float>(3.0f));  // foldable after c1
+    return std::vector<Tensor>{ops::add(args[0], c2)};
+  });
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FoldConstants(*fn, &stats).ok());
+  EXPECT_EQ(stats.folded_constants, 2);
+}
+
+TEST(PassesTest, OptimizedFunctionStillComputesCorrectly) {
+  // End-to-end: the default pipeline must preserve semantics.
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor waste = ops::exp(ops::exp(args[0]));  // dead
+        (void)waste;
+        Tensor c = ops::mul(ops::scalar<float>(2.0f),
+                            ops::scalar<float>(4.0f));  // folds to 8
+        Tensor a = ops::tanh(args[0]);
+        Tensor b = ops::tanh(args[0]);  // CSE with a
+        return {ops::add(ops::mul(a, c), b)};
+      },
+      "optimized_e2e");
+  float x = 0.5f;
+  float expected = std::tanh(x) * 8.0f + std::tanh(x);
+  EXPECT_NEAR(f({ops::scalar<float>(x)})[0].scalar<float>(), expected, 1e-5);
+  auto concrete = f.GetConcreteFunction({ops::scalar<float>(x)});
+  ASSERT_TRUE(concrete.ok());
+  EXPECT_EQ(CountOps(**concrete, "Exp"), 0);   // pruned
+  EXPECT_EQ(CountOps(**concrete, "Tanh"), 1);  // merged
+  EXPECT_EQ(CountOps(**concrete, "Mul"), 1);   // constant folded away
+}
+
+}  // namespace
+}  // namespace tfe

@@ -1,0 +1,185 @@
+// Virtual-time semantics of the simulated accelerators — the mechanism
+// behind Figure 3 / Table 1 (DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include "api/tfe.h"
+#include "models/mlp.h"
+
+namespace tfe {
+namespace {
+
+// These tests reconfigure the global context; each fixture restores the
+// default afterwards so other tests see the standard runtime.
+class SimTimeTest : public ::testing::Test {
+ protected:
+  static void Configure(bool execute_kernels, HostProfile profile) {
+    EagerContext::Options options;
+    options.accelerators_execute_kernels = execute_kernels;
+    options.host_profile = profile;
+    EagerContext::ResetGlobal(options);
+  }
+  void TearDown() override {
+    EagerContext::ResetGlobal(EagerContext::Options());
+  }
+};
+
+TEST_F(SimTimeTest, EagerGpuOverlapsHostAndDevice) {
+  Configure(true, HostProfile{/*per_op=*/10'000, /*call=*/10'000});
+  EagerContext* ctx = EagerContext::Global();
+  ctx->ResetVirtualTime();
+  Tensor x = ops::random_normal({64, 64}, 0, 1, /*seed=*/1);
+  {
+    DeviceScope gpu("/gpu:0");
+    Tensor h = ops::matmul(x, x);
+    for (int i = 0; i < 9; ++i) h = ops::matmul(h, x);
+  }
+  // Host ran ahead of the async device: host time reflects dispatch cost,
+  // device timeline holds the kernels.
+  Device* gpu = ctx->devices().FindDevice("/gpu:0").value();
+  EXPECT_GE(ctx->host_now_ns(), 10u * 10'000u);
+  EXPECT_GT(gpu->timeline().busy_ns(), 0u);
+  uint64_t synced = ctx->SyncAllDevices();
+  EXPECT_GE(synced, gpu->timeline().free_at_ns());
+}
+
+TEST_F(SimTimeTest, TimingOnlyModeProducesOpaque) {
+  Configure(/*execute_kernels=*/false, HostProfile::Native());
+  Tensor x = ops::random_normal({8, 8}, 0, 1, /*seed=*/2);
+  DeviceScope gpu("/gpu:0");
+  Tensor y = ops::matmul(ops::identity(x), ops::identity(x));
+  EXPECT_TRUE(y.is_opaque());
+  EXPECT_EQ(y.shape(), Shape({8, 8}));
+  // Opaque tensors still flow through further ops and training-style code.
+  Tensor z = ops::add(y, y);
+  EXPECT_TRUE(z.is_opaque());
+}
+
+TEST_F(SimTimeTest, TimingOnlyVariablesTrainWithoutNumerics) {
+  Configure(/*execute_kernels=*/false, HostProfile::Native());
+  DeviceScope gpu("/gpu:0");
+  Tensor init = ops::random_normal({4, 4}, 0, 1, /*seed=*/3);
+  ASSERT_TRUE(init.is_opaque());
+  Variable w(init);
+  GradientTape tape;
+  Tensor loss = ops::reduce_sum(ops::mul(w.value(), w.value()));
+  tape.StopRecording();
+  std::vector<Tensor> grads = gradient(tape, loss, {w});
+  ASSERT_TRUE(grads[0].defined());
+  w.assign_sub(grads[0]);
+  EXPECT_TRUE(w.value().is_opaque());
+}
+
+TEST_F(SimTimeTest, TpuEagerPaysCompileOncePerSignature) {
+  Configure(true, HostProfile::Native());
+  EagerContext* ctx = EagerContext::Global();
+  ctx->ResetVirtualTime();
+  Tensor x = ops::random_normal({16, 16}, 0, 1, /*seed=*/4);
+  DeviceScope tpu("/tpu:0");
+
+  Tensor y = ops::matmul(x, x);
+  uint64_t after_first = ctx->host_now_ns();
+  y = ops::matmul(y, y);
+  uint64_t second_delta = ctx->host_now_ns() - after_first;
+  // First op paid the per-op compile cost; the second hit the cache.
+  Device* tpu_device = ctx->devices().FindDevice("/tpu:0").value();
+  EXPECT_GE(after_first, tpu_device->cost_params().per_op_compile_ns);
+  EXPECT_LT(second_delta, after_first);
+}
+
+TEST_F(SimTimeTest, StagedTpuBeatsEagerTpuByAnOrderOfMagnitude) {
+  // The Table 1 mechanism, in miniature: a chain of small matmuls on the
+  // simulated TPU, eager vs. staged.
+  Configure(true, HostProfile::Native());
+  EagerContext* ctx = EagerContext::Global();
+
+  // Large enough that per-op dispatch dominates the fixed per-call launch
+  // cost of the compiled function (paper: amortized "over a large graph").
+  auto body = [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+    Tensor h = args[0];
+    for (int i = 0; i < 1000; ++i) h = ops::matmul(h, args[0]);
+    return {h};
+  };
+  Tensor x = ops::random_normal({8, 8}, 0, 0.1, /*seed=*/5);
+
+  // Eager on TPU (warm the compile cache first, as the paper excludes
+  // one-time build costs).
+  uint64_t eager_ns = 0;
+  {
+    DeviceScope tpu("/tpu:0");
+    body({x});
+    ctx->ResetVirtualTime();
+    body({x});
+    eager_ns = ctx->SyncAllDevices();
+  }
+
+  Function staged = function(body, "tpu_chain");
+  uint64_t staged_ns = 0;
+  {
+    DeviceScope tpu("/tpu:0");
+    staged({x});  // trace + compile
+    ctx->ResetVirtualTime();
+    staged({x});
+    staged_ns = ctx->SyncAllDevices();
+  }
+  EXPECT_GT(eager_ns, 10 * staged_ns)
+      << "eager " << eager_ns << "ns vs staged " << staged_ns << "ns";
+}
+
+TEST_F(SimTimeTest, HostProfileMakesEagerDispatchBound) {
+  // The Figure 4 mechanism: with an interpreter-like per-op cost, staging a
+  // many-small-op function removes the host bottleneck.
+  Configure(true, HostProfile::Python());
+  EagerContext* ctx = EagerContext::Global();
+
+  auto body = [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+    Tensor h = args[0];
+    for (int i = 0; i < 50; ++i) {
+      h = ops::add(ops::mul(h, args[0]), args[0]);
+    }
+    return {h};
+  };
+  Tensor x = ops::random_normal({4}, 0, 0.01, /*seed=*/6);
+
+  ctx->ResetVirtualTime();
+  body({x});
+  uint64_t eager_ns = ctx->SyncAllDevices();
+
+  Function staged = function(body, "cpu_chain");
+  staged({x});  // trace
+  ctx->ResetVirtualTime();
+  staged({x});
+  uint64_t staged_ns = ctx->SyncAllDevices();
+
+  EXPECT_GT(eager_ns, 5 * staged_ns)
+      << "eager " << eager_ns << "ns vs staged " << staged_ns << "ns";
+  // ~100 ops at the Python-profile per-op cost each.
+  EXPECT_GE(eager_ns, 100u * HostProfile::Python().per_op_dispatch_ns);
+}
+
+TEST_F(SimTimeTest, CopiesChargeTransferTime) {
+  Configure(true, HostProfile::Native());
+  EagerContext* ctx = EagerContext::Global();
+  ctx->ResetVirtualTime();
+  Tensor big = ops::random_normal({1024, 1024}, 0, 1, /*seed=*/7);  // 4MB
+  uint64_t before = ctx->host_now_ns();
+  {
+    DeviceScope gpu("/gpu:0");
+    ops::identity(big);  // forces a host->device copy
+  }
+  // 4MB over the 12GB/s interconnect ~ 350us.
+  EXPECT_GE(ctx->host_now_ns() - before, 300'000u);
+}
+
+TEST_F(SimTimeTest, ResetVirtualTimeClearsEverything) {
+  Configure(true, HostProfile::Python());
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::scalar<float>(1.0f);
+  ops::add(x, x);
+  EXPECT_GT(ctx->host_now_ns(), 0u);
+  ctx->ResetVirtualTime();
+  EXPECT_EQ(ctx->host_now_ns(), 0u);
+  EXPECT_EQ(ctx->stats().eager_ops.load(), 0u);
+}
+
+}  // namespace
+}  // namespace tfe

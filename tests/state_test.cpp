@@ -1,0 +1,248 @@
+// Variables and checkpointing with graph-based state matching (paper §4.3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "api/tfe.h"
+#include "models/mlp.h"
+
+namespace tfe {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / ("tfe_ckpt_" + tag)).string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+TEST(VariableTest, CreateReadAssign) {
+  Variable v(ops::constant<float>({1, 2}, {2}), "v");
+  EXPECT_EQ(v.name(), "v");
+  EXPECT_EQ(v.shape(), Shape({2}));
+  EXPECT_EQ(v.dtype(), DType::kFloat32);
+  EXPECT_EQ(tensor_util::ToVector<float>(v.value()),
+            (std::vector<float>{1, 2}));
+  v.assign(ops::constant<float>({3, 4}, {2}));
+  EXPECT_EQ(tensor_util::ToVector<float>(v.value()),
+            (std::vector<float>{3, 4}));
+  v.assign_add(ops::constant<float>({1, 1}, {2}));
+  EXPECT_EQ(tensor_util::ToVector<float>(v.value()),
+            (std::vector<float>{4, 5}));
+  v.assign_sub(ops::constant<float>({2, 2}, {2}));
+  EXPECT_EQ(tensor_util::ToVector<float>(v.value()),
+            (std::vector<float>{2, 3}));
+}
+
+TEST(VariableTest, AssignShapeMismatchRejected) {
+  Variable v(ops::scalar<float>(1.0f));
+  EXPECT_THROW(v.assign(ops::constant<float>({1, 2}, {2})), RuntimeError);
+  EXPECT_THROW(v.assign(ops::scalar<double>(1.0)), RuntimeError);
+}
+
+TEST(VariableTest, ReadsSnapshotOldValue) {
+  // Buffer-swap semantics: a read taken before an assign keeps its value.
+  Variable v(ops::scalar<float>(1.0f));
+  Tensor before = v.value();
+  v.assign(ops::scalar<float>(2.0f));
+  EXPECT_FLOAT_EQ(before.scalar<float>(), 1.0f);
+  EXPECT_FLOAT_EQ(v.value().scalar<float>(), 2.0f);
+}
+
+TEST(VariableTest, UniqueStoragePerObject) {
+  Variable a(ops::scalar<float>(1.0f));
+  Variable b(ops::scalar<float>(1.0f));
+  a.assign(ops::scalar<float>(9.0f));
+  EXPECT_FLOAT_EQ(b.value().scalar<float>(), 1.0f);
+  EXPECT_NE(a.storage()->resource_id(), b.storage()->resource_id());
+}
+
+TEST(VariableTest, HandleIdentityIsStable) {
+  Variable v(ops::scalar<float>(1.0f));
+  int64_t id = v.handle().id();
+  v.assign(ops::scalar<float>(2.0f));
+  EXPECT_EQ(v.handle().id(), id);
+}
+
+// The Net model from the paper's Listing 3: a variable plus a dense layer,
+// tracked as named edges.
+class ListingThreeNet : public Checkpointable {
+ public:
+  ListingThreeNet()
+      : v(ops::scalar<float>(1.0f), "net_v"), out(1, 1, false, 11, "out") {
+    TrackVariable("v", v);
+    TrackChild("out", &out);
+  }
+  Variable v;
+  models::Dense out;
+};
+
+TEST(CheckpointTest, SaveRestoreRoundTrip) {
+  std::string dir = TempDir("roundtrip");
+  {
+    Checkpoint checkpoint;
+    ListingThreeNet net;
+    checkpoint.TrackChild("net", &net);
+    net.v.assign(ops::scalar<float>(42.0f));
+    net.out.kernel().assign(ops::constant<float>({7.0f}, {1, 1}));
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    Checkpoint checkpoint;
+    ListingThreeNet net;  // fresh, default-initialized
+    checkpoint.TrackChild("net", &net);
+    EXPECT_FLOAT_EQ(net.v.value().scalar<float>(), 1.0f);
+    auto report = checkpoint.Restore(dir);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->restored_variables, 3);  // v + kernel + bias
+    EXPECT_FLOAT_EQ(net.v.value().scalar<float>(), 42.0f);
+    EXPECT_FLOAT_EQ(net.out.kernel().value().scalar<float>(), 7.0f);
+  }
+}
+
+TEST(CheckpointTest, MatchingIsLocalAndByEdgeName) {
+  // Matching depends only on edge names from the root, not variable names
+  // or creation order.
+  std::string dir = TempDir("matching");
+  {
+    Checkpoint checkpoint;
+    Variable a(ops::scalar<float>(10.0f), "completely_unrelated_name_1");
+    Variable b(ops::scalar<float>(20.0f), "completely_unrelated_name_2");
+    checkpoint.TrackVariable("alpha", a);
+    checkpoint.TrackVariable("beta", b);
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    Checkpoint checkpoint;
+    // Created in the opposite order, with different variable names.
+    Variable b(ops::scalar<float>(0.0f), "other_2");
+    Variable a(ops::scalar<float>(0.0f), "other_1");
+    checkpoint.TrackVariable("beta", b);
+    checkpoint.TrackVariable("alpha", a);
+    ASSERT_TRUE(checkpoint.Restore(dir).ok());
+    EXPECT_FLOAT_EQ(a.value().scalar<float>(), 10.0f);
+    EXPECT_FLOAT_EQ(b.value().scalar<float>(), 20.0f);
+  }
+}
+
+TEST(CheckpointTest, PartialMatchesReported) {
+  std::string dir = TempDir("partial");
+  {
+    Checkpoint checkpoint;
+    Variable keep(ops::scalar<float>(1.0f));
+    Variable dropped(ops::scalar<float>(2.0f));
+    checkpoint.TrackVariable("keep", keep);
+    checkpoint.TrackVariable("dropped", dropped);
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    Checkpoint checkpoint;
+    Variable keep(ops::scalar<float>(0.0f));
+    Variable added(ops::scalar<float>(3.0f));
+    checkpoint.TrackVariable("keep", keep);
+    checkpoint.TrackVariable("added", added);
+    auto report = checkpoint.Restore(dir);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->restored_variables, 1);
+    ASSERT_EQ(report->unmatched_saved.size(), 1u);
+    ASSERT_EQ(report->unmatched_live.size(), 1u);
+    EXPECT_FLOAT_EQ(keep.value().scalar<float>(), 1.0f);
+    EXPECT_FLOAT_EQ(added.value().scalar<float>(), 3.0f);  // untouched
+  }
+}
+
+TEST(CheckpointTest, TwoModelCopiesRestoreIndependently) {
+  // The paper's motivating scenario: "creating two copies of the same model
+  // requires special consideration" under name-based matching; graph-based
+  // matching handles it naturally.
+  std::string dir = TempDir("two_copies");
+  {
+    Checkpoint checkpoint;
+    ListingThreeNet first;
+    ListingThreeNet second;
+    first.v.assign(ops::scalar<float>(100.0f));
+    second.v.assign(ops::scalar<float>(200.0f));
+    checkpoint.TrackChild("first", &first);
+    checkpoint.TrackChild("second", &second);
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    Checkpoint checkpoint;
+    ListingThreeNet first;
+    ListingThreeNet second;
+    checkpoint.TrackChild("first", &first);
+    checkpoint.TrackChild("second", &second);
+    ASSERT_TRUE(checkpoint.Restore(dir).ok());
+    EXPECT_FLOAT_EQ(first.v.value().scalar<float>(), 100.0f);
+    EXPECT_FLOAT_EQ(second.v.value().scalar<float>(), 200.0f);
+  }
+}
+
+TEST(CheckpointTest, SharedObjectsSerializeOnce) {
+  std::string dir = TempDir("diamond");
+  Checkpoint checkpoint;
+  ListingThreeNet shared;
+  shared.v.assign(ops::scalar<float>(5.0f));
+  checkpoint.TrackChild("left", &shared);
+  checkpoint.TrackChild("right", &shared);  // diamond edge
+  ASSERT_TRUE(checkpoint.Save(dir).ok());
+
+  Checkpoint restore_checkpoint;
+  ListingThreeNet fresh;
+  restore_checkpoint.TrackChild("left", &fresh);
+  restore_checkpoint.TrackChild("right", &fresh);
+  ASSERT_TRUE(restore_checkpoint.Restore(dir).ok());
+  EXPECT_FLOAT_EQ(fresh.v.value().scalar<float>(), 5.0f);
+}
+
+TEST(CheckpointTest, RestoreFromMissingDirectoryFails) {
+  Checkpoint checkpoint;
+  EXPECT_FALSE(checkpoint.Restore("/nonexistent/tfe/path").ok());
+}
+
+TEST(CheckpointTest, MlpTrainingStateRoundTrips) {
+  std::string dir = TempDir("mlp");
+  Tensor x = ops::random_normal({8, 4}, 0, 1, /*seed=*/21);
+  Tensor labels = ops::constant<int64_t>({0, 1, 2, 0, 1, 2, 0, 1}, {8});
+  std::vector<float> saved_logits;
+  {
+    models::MLP mlp({4, 16, 3}, /*seed=*/5);
+    Checkpoint checkpoint;
+    checkpoint.TrackChild("model", &mlp);
+    for (int i = 0; i < 5; ++i) mlp.TrainStep(x, labels, 0.1);
+    saved_logits = tensor_util::ToVector<float>(mlp(x));
+    ASSERT_TRUE(checkpoint.Save(dir).ok());
+  }
+  {
+    models::MLP mlp({4, 16, 3}, /*seed=*/77);  // different init
+    Checkpoint checkpoint;
+    checkpoint.TrackChild("model", &mlp);
+    ASSERT_TRUE(checkpoint.Restore(dir).ok());
+    EXPECT_EQ(tensor_util::ToVector<float>(mlp(x)), saved_logits);
+  }
+}
+
+TEST(ObjectGraphTest, SerializeDeserializeRoundTrip) {
+  Checkpoint root;
+  ListingThreeNet net;
+  root.TrackChild("net", &net);
+  SavedObjectGraph graph = BuildObjectGraph(root, nullptr);
+  std::string text = graph.Serialize();
+  auto parsed = SavedObjectGraph::Deserialize(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->nodes.size(), graph.nodes.size());
+  EXPECT_EQ(parsed->nodes[0].children, graph.nodes[0].children);
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    EXPECT_EQ(parsed->nodes[i].variables, graph.nodes[i].variables);
+  }
+}
+
+TEST(ObjectGraphTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SavedObjectGraph::Deserialize("not a graph").ok());
+  EXPECT_FALSE(
+      SavedObjectGraph::Deserialize("object_graph_v1 1\nchild x 0\n").ok());
+}
+
+}  // namespace
+}  // namespace tfe

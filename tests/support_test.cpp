@@ -1,0 +1,176 @@
+// Unit tests for the support substrate: Status/StatusOr, strings, Philox,
+// ThreadPool, Timeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/random.h"
+#include "support/status.h"
+#include "support/strings.h"
+#include "support/threadpool.h"
+#include "support/timeline.h"
+
+namespace tfe {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgument("bad tensor");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad tensor");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad tensor");
+}
+
+TEST(StatusTest, ThrowIfErrorThrows) {
+  EXPECT_THROW(NotFound("missing").ThrowIfError(), RuntimeError);
+  EXPECT_NO_THROW(Status::OK().ThrowIfError());
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kFailedPrecondition,
+        ErrorCode::kOutOfRange, ErrorCode::kUnimplemented,
+        ErrorCode::kInternal, ErrorCode::kUnavailable}) {
+    EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_THROW(std::move(result).ValueOrThrow(), RuntimeError);
+}
+
+TEST(StatusOrTest, MacrosPropagate) {
+  auto inner = []() -> StatusOr<int> { return OutOfRange("boom"); };
+  auto outer = [&]() -> StatusOr<int> {
+    TFE_ASSIGN_OR_RETURN(int value, inner());
+    return value + 1;
+  };
+  EXPECT_EQ(outer().status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(strings::StrCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+TEST(StringsTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> pieces = {"a", "", "bc"};
+  EXPECT_EQ(strings::Join(pieces, ","), "a,,bc");
+  EXPECT_EQ(strings::Split("a,,bc", ','), pieces);
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(strings::StartsWith("/job:w", "/job"));
+  EXPECT_FALSE(strings::StartsWith("job", "/job"));
+  EXPECT_TRUE(strings::EndsWith("fn__fwd", "__fwd"));
+  EXPECT_FALSE(strings::EndsWith("fwd", "__fwd"));
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(strings::ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(strings::ParseNonNegativeInt("123"), 123);
+  EXPECT_EQ(strings::ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(strings::ParseNonNegativeInt("-3"), -1);
+  EXPECT_EQ(strings::ParseNonNegativeInt("1a"), -1);
+}
+
+TEST(PhiloxTest, DeterministicForSeed) {
+  random::Philox a(7, 9);
+  random::Philox b(7, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(PhiloxTest, DifferentSeedsDiffer) {
+  random::Philox a(7, 9);
+  random::Philox b(8, 9);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(PhiloxTest, FloatsInUnitInterval) {
+  random::Philox gen(123, 0);
+  for (int i = 0; i < 1000; ++i) {
+    float value = gen.NextFloat();
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LT(value, 1.0f);
+  }
+}
+
+TEST(PhiloxTest, GaussianMoments) {
+  random::Philox gen(5, 5);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double value = gen.NextGaussian();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(PhiloxTest, SkipMatchesSequentialDraws) {
+  random::Philox a(11, 0);
+  random::Philox b(11, 0);
+  for (int i = 0; i < 3; ++i) a.Next4();
+  b.Skip(3);
+  EXPECT_EQ(a.Next4(), b.Next4());
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool("test", 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool("empty", 2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(TimelineTest, SchedulesSerially) {
+  Timeline timeline("gpu");
+  EXPECT_EQ(timeline.Schedule(0, 100), 100u);
+  // Resource busy until 100 even though ready at 50.
+  EXPECT_EQ(timeline.Schedule(50, 10), 110u);
+  // Idle gap honored.
+  EXPECT_EQ(timeline.Schedule(200, 10), 210u);
+  EXPECT_EQ(timeline.busy_ns(), 120u);
+  EXPECT_EQ(timeline.items(), 3u);
+}
+
+TEST(TimelineTest, ResetClears) {
+  Timeline timeline;
+  timeline.Schedule(0, 5);
+  timeline.Reset();
+  EXPECT_EQ(timeline.free_at_ns(), 0u);
+  EXPECT_EQ(timeline.busy_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace tfe

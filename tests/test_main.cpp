@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "runtime/eager_context.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Materialize the default runtime up front so device pointers are stable
+  // across all tests.
+  tfe::EagerContext::Global();
+  return RUN_ALL_TESTS();
+}
