@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch.dir/bench_dispatch.cpp.o"
+  "CMakeFiles/bench_dispatch.dir/bench_dispatch.cpp.o.d"
+  "bench_dispatch"
+  "bench_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

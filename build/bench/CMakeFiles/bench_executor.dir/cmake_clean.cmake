@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_executor.dir/bench_executor.cpp.o"
+  "CMakeFiles/bench_executor.dir/bench_executor.cpp.o.d"
+  "bench_executor"
+  "bench_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_opt.dir/bench_graph_opt.cpp.o"
+  "CMakeFiles/bench_graph_opt.dir/bench_graph_opt.cpp.o.d"
+  "bench_graph_opt"
+  "bench_graph_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

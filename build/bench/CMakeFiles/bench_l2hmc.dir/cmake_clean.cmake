@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_l2hmc.dir/bench_l2hmc.cpp.o"
+  "CMakeFiles/bench_l2hmc.dir/bench_l2hmc.cpp.o.d"
+  "bench_l2hmc"
+  "bench_l2hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l2hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

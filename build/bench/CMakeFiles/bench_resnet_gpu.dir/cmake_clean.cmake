@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resnet_gpu.dir/bench_resnet_gpu.cpp.o"
+  "CMakeFiles/bench_resnet_gpu.dir/bench_resnet_gpu.cpp.o.d"
+  "bench_resnet_gpu"
+  "bench_resnet_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resnet_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resnet_tpu.dir/bench_resnet_tpu.cpp.o"
+  "CMakeFiles/bench_resnet_tpu.dir/bench_resnet_tpu.cpp.o.d"
+  "bench_resnet_tpu"
+  "bench_resnet_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resnet_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_cache.dir/bench_trace_cache.cpp.o"
+  "CMakeFiles/bench_trace_cache.dir/bench_trace_cache.cpp.o.d"
+  "bench_trace_cache"
+  "bench_trace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed.dir/distributed.cpp.o"
+  "CMakeFiles/example_distributed.dir/distributed.cpp.o.d"
+  "example_distributed"
+  "example_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

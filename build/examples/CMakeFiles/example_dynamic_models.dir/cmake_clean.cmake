@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_models.dir/dynamic_models.cpp.o"
+  "CMakeFiles/example_dynamic_models.dir/dynamic_models.cpp.o.d"
+  "example_dynamic_models"
+  "example_dynamic_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dynamic_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mnist_mlp.dir/mnist_mlp.cpp.o"
+  "CMakeFiles/example_mnist_mlp.dir/mnist_mlp.cpp.o.d"
+  "example_mnist_mlp"
+  "example_mnist_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mnist_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_device.dir/multi_device.cpp.o"
+  "CMakeFiles/example_multi_device.dir/multi_device.cpp.o.d"
+  "example_multi_device"
+  "example_multi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/ops_api.cpp" "src/CMakeFiles/tfe.dir/api/ops_api.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/api/ops_api.cpp.o.d"
+  "/root/repo/src/api/tfe.cpp" "src/CMakeFiles/tfe.dir/api/tfe.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/api/tfe.cpp.o.d"
+  "/root/repo/src/autodiff/function_grad.cpp" "src/CMakeFiles/tfe.dir/autodiff/function_grad.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/autodiff/function_grad.cpp.o.d"
+  "/root/repo/src/autodiff/gradient_registry.cpp" "src/CMakeFiles/tfe.dir/autodiff/gradient_registry.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/autodiff/gradient_registry.cpp.o.d"
+  "/root/repo/src/autodiff/gradients.cpp" "src/CMakeFiles/tfe.dir/autodiff/gradients.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/autodiff/gradients.cpp.o.d"
+  "/root/repo/src/autodiff/tape.cpp" "src/CMakeFiles/tfe.dir/autodiff/tape.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/autodiff/tape.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/tfe.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/device/cost_model.cpp" "src/CMakeFiles/tfe.dir/device/cost_model.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/cost_model.cpp.o.d"
+  "/root/repo/src/device/cpu_device.cpp" "src/CMakeFiles/tfe.dir/device/cpu_device.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/cpu_device.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/tfe.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/device_manager.cpp" "src/CMakeFiles/tfe.dir/device/device_manager.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/device_manager.cpp.o.d"
+  "/root/repo/src/device/device_name.cpp" "src/CMakeFiles/tfe.dir/device/device_name.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/device_name.cpp.o.d"
+  "/root/repo/src/device/sim_device.cpp" "src/CMakeFiles/tfe.dir/device/sim_device.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/device/sim_device.cpp.o.d"
+  "/root/repo/src/distrib/cluster.cpp" "src/CMakeFiles/tfe.dir/distrib/cluster.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/distrib/cluster.cpp.o.d"
+  "/root/repo/src/distrib/remote_tensor.cpp" "src/CMakeFiles/tfe.dir/distrib/remote_tensor.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/distrib/remote_tensor.cpp.o.d"
+  "/root/repo/src/distrib/worker.cpp" "src/CMakeFiles/tfe.dir/distrib/worker.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/distrib/worker.cpp.o.d"
+  "/root/repo/src/executor/executor.cpp" "src/CMakeFiles/tfe.dir/executor/executor.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/executor/executor.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/tfe.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_function.cpp" "src/CMakeFiles/tfe.dir/graph/graph_function.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/graph/graph_function.cpp.o.d"
+  "/root/repo/src/graph/passes.cpp" "src/CMakeFiles/tfe.dir/graph/passes.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/graph/passes.cpp.o.d"
+  "/root/repo/src/graph/serialization.cpp" "src/CMakeFiles/tfe.dir/graph/serialization.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/graph/serialization.cpp.o.d"
+  "/root/repo/src/kernels/batchnorm.cpp" "src/CMakeFiles/tfe.dir/kernels/batchnorm.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/batchnorm.cpp.o.d"
+  "/root/repo/src/kernels/call_op.cpp" "src/CMakeFiles/tfe.dir/kernels/call_op.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/call_op.cpp.o.d"
+  "/root/repo/src/kernels/control_ops.cpp" "src/CMakeFiles/tfe.dir/kernels/control_ops.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/control_ops.cpp.o.d"
+  "/root/repo/src/kernels/conv.cpp" "src/CMakeFiles/tfe.dir/kernels/conv.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/conv.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/CMakeFiles/tfe.dir/kernels/elementwise.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/host_func_op.cpp" "src/CMakeFiles/tfe.dir/kernels/host_func_op.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/host_func_op.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/tfe.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/pooling.cpp" "src/CMakeFiles/tfe.dir/kernels/pooling.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/pooling.cpp.o.d"
+  "/root/repo/src/kernels/random_ops.cpp" "src/CMakeFiles/tfe.dir/kernels/random_ops.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/random_ops.cpp.o.d"
+  "/root/repo/src/kernels/reduction.cpp" "src/CMakeFiles/tfe.dir/kernels/reduction.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/reduction.cpp.o.d"
+  "/root/repo/src/kernels/register_all.cpp" "src/CMakeFiles/tfe.dir/kernels/register_all.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/register_all.cpp.o.d"
+  "/root/repo/src/kernels/shape_ops.cpp" "src/CMakeFiles/tfe.dir/kernels/shape_ops.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/shape_ops.cpp.o.d"
+  "/root/repo/src/kernels/softmax.cpp" "src/CMakeFiles/tfe.dir/kernels/softmax.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/softmax.cpp.o.d"
+  "/root/repo/src/kernels/variable_ops.cpp" "src/CMakeFiles/tfe.dir/kernels/variable_ops.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/kernels/variable_ops.cpp.o.d"
+  "/root/repo/src/models/l2hmc.cpp" "src/CMakeFiles/tfe.dir/models/l2hmc.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/models/l2hmc.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/tfe.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/optimizers.cpp" "src/CMakeFiles/tfe.dir/models/optimizers.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/models/optimizers.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/tfe.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/rnn.cpp" "src/CMakeFiles/tfe.dir/models/rnn.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/models/rnn.cpp.o.d"
+  "/root/repo/src/ops/attr_value.cpp" "src/CMakeFiles/tfe.dir/ops/attr_value.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/ops/attr_value.cpp.o.d"
+  "/root/repo/src/ops/kernel.cpp" "src/CMakeFiles/tfe.dir/ops/kernel.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/ops/kernel.cpp.o.d"
+  "/root/repo/src/ops/op_defs.cpp" "src/CMakeFiles/tfe.dir/ops/op_defs.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/ops/op_defs.cpp.o.d"
+  "/root/repo/src/ops/op_registry.cpp" "src/CMakeFiles/tfe.dir/ops/op_registry.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/ops/op_registry.cpp.o.d"
+  "/root/repo/src/ops/shape_inference.cpp" "src/CMakeFiles/tfe.dir/ops/shape_inference.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/ops/shape_inference.cpp.o.d"
+  "/root/repo/src/runtime/dispatch.cpp" "src/CMakeFiles/tfe.dir/runtime/dispatch.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/runtime/dispatch.cpp.o.d"
+  "/root/repo/src/runtime/eager_context.cpp" "src/CMakeFiles/tfe.dir/runtime/eager_context.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/runtime/eager_context.cpp.o.d"
+  "/root/repo/src/staging/control_flow.cpp" "src/CMakeFiles/tfe.dir/staging/control_flow.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/staging/control_flow.cpp.o.d"
+  "/root/repo/src/staging/function.cpp" "src/CMakeFiles/tfe.dir/staging/function.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/staging/function.cpp.o.d"
+  "/root/repo/src/staging/signature.cpp" "src/CMakeFiles/tfe.dir/staging/signature.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/staging/signature.cpp.o.d"
+  "/root/repo/src/staging/trace_context.cpp" "src/CMakeFiles/tfe.dir/staging/trace_context.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/staging/trace_context.cpp.o.d"
+  "/root/repo/src/state/checkpoint.cpp" "src/CMakeFiles/tfe.dir/state/checkpoint.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/state/checkpoint.cpp.o.d"
+  "/root/repo/src/state/hash_table.cpp" "src/CMakeFiles/tfe.dir/state/hash_table.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/state/hash_table.cpp.o.d"
+  "/root/repo/src/state/object_graph.cpp" "src/CMakeFiles/tfe.dir/state/object_graph.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/state/object_graph.cpp.o.d"
+  "/root/repo/src/state/variable.cpp" "src/CMakeFiles/tfe.dir/state/variable.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/state/variable.cpp.o.d"
+  "/root/repo/src/support/logging.cpp" "src/CMakeFiles/tfe.dir/support/logging.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/logging.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "src/CMakeFiles/tfe.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/random.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/CMakeFiles/tfe.dir/support/status.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/status.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/tfe.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/threadpool.cpp" "src/CMakeFiles/tfe.dir/support/threadpool.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/threadpool.cpp.o.d"
+  "/root/repo/src/support/timeline.cpp" "src/CMakeFiles/tfe.dir/support/timeline.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/support/timeline.cpp.o.d"
+  "/root/repo/src/tensor/buffer.cpp" "src/CMakeFiles/tfe.dir/tensor/buffer.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/tensor/buffer.cpp.o.d"
+  "/root/repo/src/tensor/dtype.cpp" "src/CMakeFiles/tfe.dir/tensor/dtype.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/tensor/dtype.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/tfe.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/tfe.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_util.cpp" "src/CMakeFiles/tfe.dir/tensor/tensor_util.cpp.o" "gcc" "src/CMakeFiles/tfe.dir/tensor/tensor_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cpp" "tests/CMakeFiles/tfe_tests.dir/autodiff_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/autodiff_test.cpp.o.d"
+  "/root/repo/tests/control_flow_test.cpp" "tests/CMakeFiles/tfe_tests.dir/control_flow_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/control_flow_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/tfe_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/tfe_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/distrib_test.cpp" "tests/CMakeFiles/tfe_tests.dir/distrib_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/distrib_test.cpp.o.d"
+  "/root/repo/tests/eager_test.cpp" "tests/CMakeFiles/tfe_tests.dir/eager_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/eager_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/tfe_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/function_grad_test.cpp" "tests/CMakeFiles/tfe_tests.dir/function_grad_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/function_grad_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tfe_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/tfe_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/tfe_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/ops_registry_test.cpp" "tests/CMakeFiles/tfe_tests.dir/ops_registry_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/ops_registry_test.cpp.o.d"
+  "/root/repo/tests/passes_test.cpp" "tests/CMakeFiles/tfe_tests.dir/passes_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/passes_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/tfe_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rnn_test.cpp" "tests/CMakeFiles/tfe_tests.dir/rnn_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/rnn_test.cpp.o.d"
+  "/root/repo/tests/serialization_test.cpp" "tests/CMakeFiles/tfe_tests.dir/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/serialization_test.cpp.o.d"
+  "/root/repo/tests/sim_device_test.cpp" "tests/CMakeFiles/tfe_tests.dir/sim_device_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/sim_device_test.cpp.o.d"
+  "/root/repo/tests/staging_test.cpp" "tests/CMakeFiles/tfe_tests.dir/staging_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/staging_test.cpp.o.d"
+  "/root/repo/tests/state_test.cpp" "tests/CMakeFiles/tfe_tests.dir/state_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/state_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/tfe_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/tfe_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/tfe_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/tfe_tests.dir/test_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
