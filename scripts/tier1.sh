@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then the async
+# runtime's concurrency-sensitive tests under ThreadSanitizer and the
+# handle-lifetime tests under AddressSanitizer (separate build trees; see
+# TFE_SANITIZE in the top-level CMakeLists.txt).
+#
+#   scripts/tier1.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "==== tier 1: standard build + ctest ===="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  echo "==== sanitizer passes skipped ===="
+  exit 0
+fi
+
+# Concurrency tests only: full-suite sanitizer runs are a tier-2 job.
+ASYNC_FILTER='Async*:*Async*'
+
+echo "==== tsan: async execution tests ===="
+cmake -B build-tsan -S . -DTFE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target tfe_tests
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/tfe_tests --gtest_filter="$ASYNC_FILTER"
+
+echo "==== asan: async handle-lifetime tests ===="
+cmake -B build-asan -S . -DTFE_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target tfe_tests
+ASAN_OPTIONS="detect_leaks=1" \
+  ./build-asan/tests/tfe_tests --gtest_filter="$ASYNC_FILTER"
+
+echo "==== tier 1 ok ===="

@@ -49,4 +49,14 @@ uint64_t SyncVirtualClock(EagerContext* ctx) {
   return ctx->SyncAllDevices();
 }
 
+void set_async(bool enable, EagerContext* ctx) {
+  if (ctx == nullptr) ctx = EagerContext::Global();
+  ctx->set_async(enable);
+}
+
+Status sync(EagerContext* ctx) {
+  if (ctx == nullptr) ctx = EagerContext::Global();
+  return ctx->Sync();
+}
+
 }  // namespace tfe

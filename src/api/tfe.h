@@ -50,6 +50,16 @@ std::vector<Tensor> host_func(
 // nanoseconds (benchmark harness helper).
 uint64_t SyncVirtualClock(EagerContext* ctx = nullptr);
 
+// Toggles asynchronous eager execution (paper §5): when enabled, primitive
+// ops return immediately with future-backed tensors and retire in order on
+// per-device queues. Disabling drains all queues first.
+void set_async(bool enable, EagerContext* ctx = nullptr);
+
+// Blocks until every per-device op queue is empty and returns the first
+// deferred async error (clearing it, so the context stays usable) — the
+// explicit barrier of the paper's async API.
+Status sync(EagerContext* ctx = nullptr);
+
 }  // namespace tfe
 
 #endif  // TFE_API_TFE_H_

@@ -112,6 +112,13 @@ StatusOr<std::vector<Tensor>> GradientTape::gradient(
   used_ = true;
   if (!target.defined()) return InvalidArgument("gradient() of undefined target");
 
+  // Entering the backward pass is a sync point for async eager (paper §5):
+  // wait for the target's producer and surface a deferred failure as this
+  // call's Status instead of letting it poison the gradient chain. The
+  // recorded forward tensors materialize lazily as gradient kernels read
+  // them; backward ops themselves dispatch asynchronously like any others.
+  TFE_RETURN_IF_ERROR(target.Materialize());
+
   // The backward pass must not record onto this tape (it *is* recorded by
   // enclosing tapes and traces — that is how higher-order and staged
   // gradients compose).

@@ -3,6 +3,7 @@
 #include "graph/serialization.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 
 namespace tfe {
 
@@ -104,6 +105,20 @@ StatusOr<std::vector<RemoteTensor>> Cluster::RunFunction(
 StatusOr<Tensor> Cluster::Fetch(const RemoteTensor& tensor) {
   TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(tensor.device));
   return worker->Fetch(tensor.handle_id);
+}
+
+Tensor Cluster::FetchAsync(const RemoteTensor& tensor) {
+  auto worker = ResolveWorker(tensor.device);
+  if (!worker.ok()) {
+    // Same deferred-error protocol as a failed async op: the resolution
+    // failure rides in the handle and surfaces at the next sync point.
+    auto handle = TensorHandle::Pending(tensor.dtype, tensor.shape,
+                                        /*device=*/nullptr,
+                                        /*host_clock=*/nullptr);
+    handle->SetError(worker.status());
+    return Tensor::FromHandle(std::move(handle));
+  }
+  return (*worker)->FetchAsync(tensor);
 }
 
 Status Cluster::Delete(const RemoteTensor& tensor) {

@@ -56,6 +56,13 @@ class Cluster {
   // in an if statement").
   StatusOr<Tensor> Fetch(const RemoteTensor& tensor);
 
+  // Non-blocking fetch: returns a tensor backed by a pending TensorHandle
+  // (dtype/shape from the RemoteTensor metadata) that the owning worker's
+  // service thread resolves. Errors — unknown worker, missing handle —
+  // arrive deferred through the handle and surface at the next sync point,
+  // unifying remote tensors with the local async-execution protocol.
+  Tensor FetchAsync(const RemoteTensor& tensor);
+
   Status Delete(const RemoteTensor& tensor);
 
  private:

@@ -2,6 +2,7 @@
 
 #include "graph/serialization.h"
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 #include "tensor/tensor_util.h"
 
 namespace tfe {
@@ -55,6 +56,15 @@ void WorkerServer::Call(Request fn) {
   wake_.notify_one();
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return done; });
+}
+
+void WorkerServer::CallAsync(Request fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TFE_CHECK(!shutdown_);
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
 }
 
 void WorkerServer::ServiceLoop() {
@@ -200,6 +210,31 @@ StatusOr<Tensor> WorkerServer::Fetch(int64_t handle_id) {
     return NotFound("No remote tensor with that handle");
   }
   return tensor_util::DeepCopy(it->second);
+}
+
+Tensor WorkerServer::FetchAsync(const RemoteTensor& remote) {
+  // Metadata travels with the RemoteTensor, so the client-side handle is
+  // fully typed before the worker has even seen the request — the remote
+  // analog of shape inference priming a local pending handle.
+  auto handle = TensorHandle::Pending(remote.dtype, remote.shape,
+                                      /*device=*/nullptr,
+                                      /*host_clock=*/nullptr);
+  CallAsync([this, handle, handle_id = remote.handle_id] {
+    Tensor stored;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      auto it = store_.find(handle_id);
+      if (it == store_.end()) {
+        handle->SetError(NotFound(strings::StrCat(
+            "No remote tensor #", handle_id, " on ", options_.job,
+            "/task:", options_.task)));
+        return;
+      }
+      stored = it->second;
+    }
+    handle->SetTensor(tensor_util::DeepCopy(stored), /*ready_ns=*/0);
+  });
+  return Tensor::FromHandle(std::move(handle));
 }
 
 Status WorkerServer::Delete(int64_t handle_id) {

@@ -65,6 +65,12 @@ class WorkerServer {
   StatusOr<RemoteTensor> Put(const Tensor& tensor);
   // Copies a stored tensor back to the client.
   StatusOr<Tensor> Fetch(int64_t handle_id);
+  // Non-blocking fetch: returns immediately with a tensor backed by a
+  // pending TensorHandle carrying the RemoteTensor's dtype/shape. The
+  // service thread resolves the handle (or poisons it with NotFound) when
+  // it processes the request — the same future protocol local async
+  // dispatch uses, so remote reads compose with local sync points.
+  Tensor FetchAsync(const RemoteTensor& remote);
   // Drops a stored tensor.
   Status Delete(int64_t handle_id);
 
@@ -74,6 +80,9 @@ class WorkerServer {
 
   // Enqueues `fn` and blocks until the service thread has run it.
   void Call(Request fn);
+  // Enqueues `fn` and returns immediately; the service thread runs it in
+  // arrival order (requests posted before shutdown still drain).
+  void CallAsync(Request fn);
   void ServiceLoop();
 
   RemoteTensor Store(Tensor tensor, const std::string& device_name);

@@ -53,6 +53,14 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
   }
   if (default_device == nullptr) default_device = ctx_->HostCpu();
 
+  // Staged execution is a sync point for async eager dispatch (paper §5):
+  // pending arguments materialize before the dataflow run so graph kernels
+  // never see unresolved handles, and a poisoned argument surfaces its
+  // original Status as this call's error.
+  for (const Tensor& arg : args) {
+    TFE_RETURN_IF_ERROR(arg.Materialize());
+  }
+
   std::vector<NodeState> states(n);
   // Map arg index -> node id for fast Arg lookup.
   std::vector<int> arg_of_node(n, -1);

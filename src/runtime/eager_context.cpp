@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "ops/op_registry.h"
+#include "runtime/op_queue.h"
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 
 namespace tfe {
 
@@ -54,7 +56,8 @@ EagerContext::EagerContext() : EagerContext(Options()) {}
 
 EagerContext::EagerContext(const Options& options)
     : host_profile_(options.host_profile),
-      rng_(options.random_seed, /*stream=*/0x7465666f) {
+      rng_(options.random_seed, /*stream=*/0x7465666f),
+      async_(options.async) {
   EnsureOpsRegistered();
   // Paper §4.4: "During program startup, the runtime detects the devices
   // that are available to the machine."
@@ -76,7 +79,11 @@ EagerContext::EagerContext(const Options& options)
   executor_pool_ = std::make_unique<ThreadPool>("tfe_executor", threads);
 }
 
-EagerContext::~EagerContext() = default;
+EagerContext::~EagerContext() {
+  // In-flight async ops reference devices and the pool; retire them before
+  // members start tearing down.
+  WaitQueuesDrained();
+}
 
 EagerContext* EagerContext::Global() {
   std::lock_guard<std::mutex> lock(GlobalMu());
@@ -142,9 +149,8 @@ StatusOr<Tensor> EagerContext::CopyToDevice(const Tensor& tensor,
   // is the implicit synchronization a `.numpy()` / `.cpu()` call performs.
   if (!src->synchronous()) RaiseHostNs(src->timeline().free_at_ns());
   if (src->is_accelerator() || device->is_accelerator()) {
-    double bytes = static_cast<double>(tensor.num_elements()) *
-                   static_cast<double>(DTypeSize(tensor.dtype()));
-    AdvanceHostNs(static_cast<uint64_t>(bytes / kTransferBytesPerSecond * 1e9));
+    AdvanceHostNs(TransferTimeNs(tensor.num_elements() *
+                                 static_cast<int64_t>(DTypeSize(tensor.dtype()))));
   }
   if (tensor.is_opaque()) {
     return Tensor::Opaque(tensor.dtype(), tensor.shape(), device);
@@ -259,6 +265,26 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
   TFE_ASSIGN_OR_RETURN(Device * device,
                        ResolveDevice(op_name, inputs, requested_device));
 
+  // Async fast path (paper §5): enqueue and return pending handles. Composite
+  // and stateful ops (AlwaysExecutes) re-enter the runtime or touch shared
+  // state, so they stay on the synchronous path and act as sync points.
+  if (async() && !AlwaysExecutes(op_name)) {
+    std::vector<Tensor> pending;
+    if (EnqueueAsync(op_name, inputs, attrs, device, &pending)) {
+      return pending;
+    }
+  }
+
+  // Synchronous path. Entering it is a sync point for this op's inputs: wait
+  // for pending producers (raising the virtual host clock to their retire
+  // time) and surface a poisoned input's original Status here.
+  for (Tensor& input : inputs) {
+    const auto& handle = input.pending_handle();
+    if (handle == nullptr) continue;
+    TFE_RETURN_IF_ERROR(handle->WaitReady());
+    input = handle->tensor();
+  }
+
   // Transparent input copies (paper §4.4, Listing 5). Tensors with no
   // device tag are host (CPU) memory.
   for (Tensor& input : inputs) {
@@ -306,6 +332,90 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
   return std::move(run.outputs);
 }
 
+uint64_t EagerContext::TransferTimeNs(int64_t bytes) {
+  return static_cast<uint64_t>(static_cast<double>(bytes) /
+                               kTransferBytesPerSecond * 1e9);
+}
+
+bool EagerContext::EnqueueAsync(const std::string& op_name,
+                                const std::vector<Tensor>& inputs,
+                                const AttrMap& attrs, Device* device,
+                                std::vector<Tensor>* outputs) {
+  // Output metadata must be known at dispatch time; anything shape inference
+  // cannot pin down without values falls back to synchronous execution
+  // (which also produces the familiar error messages for invalid calls).
+  auto def_or = OpRegistry::Global()->LookUp(op_name);
+  if (!def_or.ok()) return false;
+  std::vector<TypeAndShape> input_types;
+  input_types.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    if (!input.defined()) return false;
+    input_types.push_back({input.dtype(), input.shape()});
+  }
+  InferenceContext infer(std::move(input_types), &attrs);
+  if (!(*def_or)->shape_fn(&infer).ok()) return false;
+  for (const TypeAndShape& out : infer.outputs()) {
+    if (!out.shape.IsFullyDefined()) return false;
+  }
+
+  OpQueue::Node node;
+  node.op_name = op_name;
+  node.inputs = inputs;
+  node.attrs = attrs;
+  node.enqueue_host_ns = host_now_ns();
+  std::vector<Tensor> result;
+  result.reserve(infer.outputs().size());
+  for (const TypeAndShape& out : infer.outputs()) {
+    auto handle =
+        TensorHandle::Pending(out.dtype, out.shape, device, &host_now_ns_);
+    node.outputs.push_back(handle);
+    result.push_back(Tensor::FromHandle(std::move(handle)));
+  }
+  queue_for(device)->Enqueue(std::move(node));
+  *outputs = std::move(result);
+  return true;
+}
+
+OpQueue* EagerContext::queue_for(Device* device) {
+  std::lock_guard<std::mutex> lock(queues_mu_);
+  std::unique_ptr<OpQueue>& queue = queues_[device];
+  if (queue == nullptr) queue = std::make_unique<OpQueue>(this, device);
+  return queue.get();
+}
+
+void EagerContext::WaitQueuesDrained() {
+  std::vector<OpQueue*> queues;
+  {
+    std::lock_guard<std::mutex> lock(queues_mu_);
+    queues.reserve(queues_.size());
+    for (auto& entry : queues_) queues.push_back(entry.second.get());
+  }
+  // Ops only enter queues from dispatching threads, never from other queues,
+  // so one pass over a snapshot drains everything in flight.
+  for (OpQueue* queue : queues) queue->WaitDrained();
+}
+
+void EagerContext::NoteAsyncError(const Status& status) {
+  std::lock_guard<std::mutex> lock(async_error_mu_);
+  if (async_error_.ok()) async_error_ = status;
+}
+
+void EagerContext::set_async(bool async) {
+  if (!async) WaitQueuesDrained();
+  async_.store(async, std::memory_order_relaxed);
+}
+
+Status EagerContext::Sync() {
+  WaitQueuesDrained();
+  for (Device* device : devices_.ListDevices()) {
+    RaiseHostNs(device->timeline().free_at_ns());
+  }
+  std::lock_guard<std::mutex> lock(async_error_mu_);
+  Status first_error = async_error_;
+  async_error_ = Status::OK();
+  return first_error;
+}
+
 void EagerContext::RaiseHostNs(uint64_t ns) {
   uint64_t current = host_now_ns_.load(std::memory_order_relaxed);
   while (current < ns && !host_now_ns_.compare_exchange_weak(
@@ -314,6 +424,7 @@ void EagerContext::RaiseHostNs(uint64_t ns) {
 }
 
 uint64_t EagerContext::SyncAllDevices() {
+  WaitQueuesDrained();
   for (Device* device : devices_.ListDevices()) {
     RaiseHostNs(device->timeline().free_at_ns());
   }
@@ -321,6 +432,7 @@ uint64_t EagerContext::SyncAllDevices() {
 }
 
 void EagerContext::ResetVirtualTime() {
+  WaitQueuesDrained();
   host_now_ns_.store(0, std::memory_order_relaxed);
   for (Device* device : devices_.ListDevices()) {
     device->ResetSimulation();

@@ -6,6 +6,14 @@
 // accelerators. Both stages flow through it: eager ops via RunPrimitive()
 // (placement -> transparent input copies -> kernel -> time accounting), and
 // staged graph functions via the Call kernel, which re-enters the runtime.
+//
+// Execution is synchronous by default. With Options::async, primitive ops
+// are enqueued on per-device in-order OpQueues and RunPrimitive returns
+// pending TensorHandle-backed tensors immediately (paper §5: the runtime
+// "can execute operations asynchronously"; the host only blocks at sync
+// points — value reads, tape gradient entry, staged calls, Sync()). A failed
+// op poisons downstream handles; its Status surfaces at the next sync point
+// and Sync() leaves the context reusable.
 #ifndef TFE_RUNTIME_EAGER_CONTEXT_H_
 #define TFE_RUNTIME_EAGER_CONTEXT_H_
 
@@ -15,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "device/device_manager.h"
 #include "graph/graph_function.h"
 #include "ops/kernel.h"
@@ -22,6 +32,8 @@
 #include "support/threadpool.h"
 
 namespace tfe {
+
+class OpQueue;
 
 // Models the host-language dispatch cost per eager operation. `kNative`
 // measures the raw C++ runtime; `Python()` injects the CPython-era per-op
@@ -48,6 +60,10 @@ class EagerContext {
     HostProfile host_profile = HostProfile::Native();
     uint64_t random_seed = 1234;
     int executor_threads = 0;  // 0 -> hardware concurrency
+    // Asynchronous eager dispatch (paper §5): primitive ops enqueue on
+    // per-device queues and return pending handles. Off by default — all
+    // synchronous semantics (and tests) are unchanged unless opted in.
+    bool async = false;
   };
 
   EagerContext();  // default Options
@@ -71,6 +87,28 @@ class EagerContext {
   void set_host_profile(const HostProfile& profile) {
     host_profile_ = profile;
   }
+
+  // ---- Async mode ----------------------------------------------------------
+
+  bool async() const { return async_.load(std::memory_order_relaxed); }
+  // Toggling async off is itself a sync point (drains the queues first).
+  void set_async(bool async);
+
+  // Sync point: drains every per-device op queue, joins the host clock with
+  // all device timelines, and surfaces (then clears) the first deferred
+  // async error, leaving the context reusable. Also correct, and a no-op, in
+  // sync mode.
+  Status Sync();
+
+  // Blocks until all per-device queues are empty (no error reporting).
+  void WaitQueuesDrained();
+
+  // First-wins record of a failed async op; surfaced by the next Sync().
+  void NoteAsyncError(const Status& status);
+
+  // Modelled host<->accelerator transfer time for `bytes` over the
+  // PCIe-class interconnect (shared by the sync path and the op queues).
+  static uint64_t TransferTimeNs(int64_t bytes);
 
   // ---- Execution -----------------------------------------------------------
 
@@ -142,6 +180,17 @@ class EagerContext {
   std::mutex& rng_mu() { return rng_mu_; }
 
  private:
+  // The per-device in-order queue, created on first async dispatch to the
+  // device.
+  OpQueue* queue_for(Device* device);
+  // Async fast path: infers output metadata, enqueues the op, and returns
+  // pending tensors. Returns false (and leaves `outputs` untouched) when the
+  // op must take the synchronous path — composite/stateful ops, or shapes
+  // that inference cannot pin down without values.
+  bool EnqueueAsync(const std::string& op_name,
+                    const std::vector<Tensor>& inputs, const AttrMap& attrs,
+                    Device* device, std::vector<Tensor>* outputs);
+
   DeviceManager devices_;
   Device* host_cpu_ = nullptr;
   FunctionLibrary functions_;
@@ -151,6 +200,12 @@ class EagerContext {
   Stats stats_;
   std::mutex rng_mu_;
   random::Philox rng_;
+
+  std::atomic<bool> async_{false};
+  std::mutex queues_mu_;
+  std::unordered_map<Device*, std::unique_ptr<OpQueue>> queues_;
+  std::mutex async_error_mu_;
+  Status async_error_;
 };
 
 // Scoped device override, the `with tf.device(...)` analog (paper §4.4).

@@ -1,0 +1,177 @@
+#include "runtime/op_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "device/device.h"
+#include "runtime/eager_context.h"
+#include "support/threadpool.h"
+
+namespace tfe {
+
+namespace {
+
+// The front node's first input handle that has not resolved yet, or null if
+// the node is ready to execute. Handles from this queue are always resolved
+// by the time their consumer reaches the front (in-order execution), so this
+// only ever parks on cross-device dependencies.
+std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node) {
+  for (const Tensor& input : node.inputs) {
+    const auto& handle = input.pending_handle();
+    if (handle != nullptr && !handle->resolved()) return handle;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+OpQueue::OpQueue(EagerContext* ctx, Device* device)
+    : ctx_(ctx), device_(device) {}
+
+void OpQueue::Enqueue(Node node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(node));
+  PumpLocked();
+}
+
+void OpQueue::PumpLocked() {
+  if (draining_ || parked_ || queue_.empty()) return;
+  draining_ = true;
+  ctx_->executor_pool().Schedule([this] { Drain(); });
+}
+
+void OpQueue::Drain() {
+  for (;;) {
+    Node* front;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        draining_ = false;
+        drained_cv_.notify_all();
+        return;
+      }
+      // Safe to inspect outside the lock: only the single active drain pops,
+      // and deque growth does not invalidate the front element.
+      front = &queue_.front();
+    }
+    if (std::shared_ptr<TensorHandle> unresolved = FirstUnresolvedInput(*front)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        draining_ = false;
+        parked_ = true;
+      }
+      // Park: re-arm the drain when the cross-device dependency resolves.
+      // If it resolved between the check above and here, AndThen runs the
+      // callback inline and the drain restarts immediately.
+      unresolved->AndThen([this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        parked_ = false;
+        PumpLocked();
+      });
+      return;
+    }
+    Node node;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      node = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(std::move(node));
+  }
+}
+
+void OpQueue::Execute(Node node) {
+  // Deferred error propagation: a poisoned input poisons every output with
+  // the *original* Status, without executing (paper §5 error semantics).
+  uint64_t start_ns = node.enqueue_host_ns;
+  std::vector<Tensor> inputs;
+  inputs.reserve(node.inputs.size());
+  for (const Tensor& input : node.inputs) {
+    const auto& handle = input.pending_handle();
+    if (handle == nullptr) {
+      inputs.push_back(input);
+      continue;
+    }
+    Status status = handle->status();
+    if (!status.ok()) {
+      for (const auto& out : node.outputs) out->SetError(status);
+      ctx_->NoteAsyncError(status);
+      return;
+    }
+    start_ns = std::max(start_ns, handle->ready_ns());
+    inputs.push_back(handle->tensor());
+  }
+
+  auto poison = [&](const Status& status) {
+    for (const auto& out : node.outputs) out->SetError(status);
+    ctx_->NoteAsyncError(status);
+  };
+
+  // Transparent input copies (paper §4.4). Unlike the synchronous path, the
+  // transfer cost is charged to the op's device occupancy, not the host —
+  // the host already raced ahead.
+  uint64_t extra_ns = 0;
+  for (Tensor& input : inputs) {
+    if (!input.defined() || input.is_resource() || input.is_symbolic()) {
+      continue;
+    }
+    Device* source = input.device() != nullptr ? input.device() : ctx_->HostCpu();
+    if (source == device_) continue;
+    ctx_->stats().device_copies.fetch_add(1, std::memory_order_relaxed);
+    if (source->is_accelerator() || device_->is_accelerator()) {
+      extra_ns += EagerContext::TransferTimeNs(
+          input.num_elements() * static_cast<int64_t>(DTypeSize(input.dtype())));
+    }
+    if (input.is_opaque()) {
+      input = Tensor::Opaque(input.dtype(), input.shape(), device_);
+    } else {
+      input = Tensor::Concrete(input.dtype(), input.shape(), input.buffer(),
+                               device_);
+    }
+  }
+
+  // Per-op-signature compile cost (simulated TPU eager mode) also rides on
+  // the device occupancy in async mode.
+  if (device_->cost_params().per_op_compile_ns > 0) {
+    std::string signature = node.op_name;
+    for (const Tensor& input : inputs) {
+      if (input.defined() && !input.is_resource()) {
+        signature += ";" + input.shape().ToString();
+      }
+    }
+    extra_ns += device_->CompileCostNs(signature);
+  }
+
+  auto run = ctx_->ExecuteKernel(node.op_name, inputs, node.attrs, device_,
+                                 /*compiled=*/false, start_ns);
+  if (!run.ok()) {
+    poison(run.status());
+    return;
+  }
+  uint64_t done_ns =
+      run->completion_ns != 0
+          ? run->completion_ns
+          : device_->timeline().Schedule(start_ns, extra_ns + run->device_ns);
+
+  if (run->outputs.size() != node.outputs.size()) {
+    poison(Internal("Async op " + node.op_name + " produced " +
+                    std::to_string(run->outputs.size()) + " outputs, expected " +
+                    std::to_string(node.outputs.size())));
+    return;
+  }
+  for (size_t i = 0; i < node.outputs.size(); ++i) {
+    node.outputs[i]->SetTensor(std::move(run->outputs[i]), done_ns);
+  }
+}
+
+void OpQueue::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !draining_; });
+}
+
+size_t OpQueue::pending_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace tfe

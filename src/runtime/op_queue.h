@@ -1,0 +1,85 @@
+// OpQueue: one device's in-order asynchronous dispatch queue (paper §5).
+//
+// Async eager dispatch enqueues each primitive here and returns pending
+// TensorHandles immediately; the queue executes ops in submission order on
+// the runtime's shared ThreadPool. Drains are continuation-style and never
+// block a pool thread: when the front op's inputs include an unresolved
+// handle from another device's queue, the drain parks itself on that handle
+// (TensorHandle::AndThen) and re-arms when it resolves — so any number of
+// queues share a small pool without deadlock.
+//
+// Virtual-time accounting rides on the queue: an op occupies its device's
+// timeline starting no earlier than (a) the host clock at enqueue and (b)
+// its inputs' ready times, which models the host racing ahead of device
+// work (the overlap behind Figure 3).
+#ifndef TFE_RUNTIME_OP_QUEUE_H_
+#define TFE_RUNTIME_OP_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ops/attr_value.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_handle.h"
+
+namespace tfe {
+
+class Device;
+class EagerContext;
+
+class OpQueue {
+ public:
+  // One enqueued primitive: inputs may be pending tensors from any queue;
+  // `outputs` are the handles handed to the caller at dispatch time.
+  struct Node {
+    std::string op_name;
+    std::vector<Tensor> inputs;
+    AttrMap attrs;
+    // Virtual host time when the op was dispatched (earliest device start).
+    uint64_t enqueue_host_ns = 0;
+    std::vector<std::shared_ptr<TensorHandle>> outputs;
+  };
+
+  OpQueue(EagerContext* ctx, Device* device);
+
+  OpQueue(const OpQueue&) = delete;
+  OpQueue& operator=(const OpQueue&) = delete;
+
+  // Never blocks; safe from any thread.
+  void Enqueue(Node node);
+
+  // Blocks the calling (user) thread until every enqueued op has retired.
+  void WaitDrained();
+
+  size_t pending_ops() const;
+
+ private:
+  // Schedules a drain on the pool if one is not already running and work
+  // exists. Caller must hold mu_.
+  void PumpLocked();
+  // Pops and executes ready ops in order; parks on the first unresolved
+  // input handle. Runs on a pool thread; never blocks.
+  void Drain();
+  // Runs one op: propagates poisoned inputs, materializes the rest, executes
+  // the kernel, accounts device time, and fulfills the output handles.
+  void Execute(Node node);
+
+  EagerContext* const ctx_;
+  Device* const device_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::deque<Node> queue_;
+  bool draining_ = false;
+  // Waiting on a cross-device input handle; its AndThen callback un-parks.
+  bool parked_ = false;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_RUNTIME_OP_QUEUE_H_

@@ -3,6 +3,7 @@
 #include "ops/op_registry.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 
 namespace tfe {
 
@@ -44,11 +45,23 @@ StatusOr<Tensor> TraceContext::AddParameter(DType dtype, Shape shape) {
 }
 
 StatusOr<Tensor> TraceContext::AddConstant(const Tensor& value) {
+  // Embedding a value freezes it into the graph — a sync point for async
+  // eager dispatch (the trace boundary of paper §5).
+  TFE_RETURN_IF_ERROR(value.Materialize());
   TFE_ASSIGN_OR_RETURN(Node * node, function_->graph().AddConst(value));
   return function_->graph().MakeSymbolic({node->id, 0});
 }
 
 StatusOr<Tensor> TraceContext::Capture(const Tensor& external) {
+  // Captured eager tensors only contribute dtype/shape at trace time (values
+  // flow in at call time), so pending handles capture without blocking — but
+  // a poisoned one must surface its deferred error at this trace boundary.
+  {
+    const auto& handle = external.pending_handle();
+    if (handle != nullptr && handle->resolved()) {
+      TFE_RETURN_IF_ERROR(handle->status());
+    }
+  }
   auto it = capture_index_.find(external.id());
   if (it != capture_index_.end()) {
     return function_->graph().MakeSymbolic(it->second);

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "runtime/dispatch.h"
+#include "tensor/tensor_handle.h"
 #include "runtime/eager_context.h"
 #include "staging/trace_context.h"
 #include "support/strings.h"
@@ -32,6 +33,13 @@ bool VariableStorage::initialized() const {
 }
 
 Status VariableStorage::Assign(Tensor value) {
+  // Variable state is shared and long-lived, so assignment is a sync point
+  // for async eager execution: a pending value materializes here, and a
+  // poisoned one surfaces its original Status instead of being stored.
+  TFE_RETURN_IF_ERROR(value.Materialize());
+  if (const auto& handle = value.pending_handle(); handle != nullptr) {
+    value = handle->tensor();
+  }
   if (value.dtype() != dtype_ || value.shape() != shape_) {
     return InvalidArgument(strings::StrCat(
         "Cannot assign ", DTypeName(value.dtype()), value.shape().ToString(),
@@ -76,7 +84,9 @@ Variable::Variable(const Tensor& initial_value, std::string name) {
   storage_ = std::make_shared<VariableStorage>(std::move(name),
                                                initial_value.dtype(),
                                                initial_value.shape(), device);
-  TFE_CHECK(storage_->Assign(initial_value).ok());
+  // A user error (e.g. a poisoned async initializer), not a runtime bug —
+  // throw rather than CHECK-fail.
+  storage_->Assign(initial_value).ThrowIfError();
   handle_ = Tensor::MakeResource(storage_, device);
 }
 

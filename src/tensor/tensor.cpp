@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 
 namespace tfe {
 
@@ -31,6 +32,9 @@ struct Tensor::State {
 
   // Timing-only placeholder (simulated device, kernels not executed).
   bool opaque = false;
+
+  // Async-dispatch future; when set, value accessors block on it.
+  std::shared_ptr<TensorHandle> handle;
 };
 
 namespace {
@@ -98,7 +102,45 @@ Tensor Tensor::Opaque(DType dtype, Shape shape, Device* device) {
   return Tensor(std::move(state));
 }
 
-bool Tensor::is_opaque() const { return defined() && state_->opaque; }
+Tensor Tensor::FromHandle(std::shared_ptr<TensorHandle> handle) {
+  TFE_CHECK(handle != nullptr);
+  auto state = NewState();
+  // Metadata is known up front (shape inference); only the value is deferred.
+  state->dtype = handle->dtype();
+  state->shape = handle->shape();
+  state->device = handle->device();
+  state->handle = std::move(handle);
+  return Tensor(std::move(state));
+}
+
+bool Tensor::has_handle() const { return defined() && state_->handle != nullptr; }
+
+const std::shared_ptr<TensorHandle>& Tensor::pending_handle() const {
+  static const std::shared_ptr<TensorHandle> kNull;
+  return defined() && state_->handle != nullptr ? state_->handle : kNull;
+}
+
+Status Tensor::Materialize() const {
+  if (!defined() || state_->handle == nullptr) return Status::OK();
+  return state_->handle->WaitReady();
+}
+
+const Tensor& Tensor::ResolvedValue() const {
+  Status status = state_->handle->WaitReady();
+  TFE_CHECK(status.ok()) << "Reading a poisoned async tensor: "
+                         << status.ToString();
+  return state_->handle->tensor();
+}
+
+bool Tensor::is_opaque() const {
+  if (!defined()) return false;
+  if (state_->handle != nullptr) {
+    const auto& handle = state_->handle;
+    return handle->resolved() && handle->status().ok() &&
+           handle->tensor().is_opaque();
+  }
+  return state_->opaque;
+}
 
 bool Tensor::is_symbolic() const {
   return defined() && state_->graph != nullptr;
@@ -130,18 +172,25 @@ Device* Tensor::device() const {
 
 const std::shared_ptr<Buffer>& Tensor::buffer() const {
   TFE_CHECK(defined());
+  if (state_->handle != nullptr) return ResolvedValue().buffer();
   TFE_CHECK(!is_symbolic()) << "buffer() on symbolic tensor";
   TFE_CHECK(state_->buffer != nullptr) << "buffer() on resource tensor";
   return state_->buffer;
 }
 
 const void* Tensor::raw_data() const {
+  TFE_CHECK(defined());
+  if (state_->handle != nullptr) return ResolvedValue().raw_data();
   TFE_CHECK(!is_opaque())
       << "Reading values of an opaque (timing-only simulation) tensor";
   return buffer()->data();
 }
 
 void* Tensor::raw_mutable_data() {
+  TFE_CHECK(defined());
+  if (state_->handle != nullptr) {
+    return const_cast<Tensor&>(ResolvedValue()).raw_mutable_data();
+  }
   TFE_CHECK(!is_opaque())
       << "Writing values of an opaque (timing-only simulation) tensor";
   return buffer()->data();
@@ -170,6 +219,10 @@ int Tensor::output_index() const {
 
 std::string Tensor::DebugString() const {
   if (!defined()) return "Tensor(undefined)";
+  if (state_->handle != nullptr && !state_->handle->resolved()) {
+    return strings::StrCat("PendingTensor(dtype=", DTypeName(dtype()),
+                           ", shape=", shape().ToString(), ")");
+  }
   if (is_symbolic()) {
     return strings::StrCat("SymbolicTensor(dtype=", DTypeName(dtype()),
                            ", shape=", shape().ToString(), ", node=",

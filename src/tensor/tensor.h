@@ -8,7 +8,12 @@
 //                 "operations return symbolic representations of values to
 //                 be computed instead of concrete values", §4.1), or
 //   * resource  — a handle to mutable state (a variable's storage), which is
-//                 how staged computations reference variables (§4.3).
+//                 how staged computations reference variables (§4.3), or
+//   * pending   — dtype + shape + device known (from shape inference), value
+//                 still being produced by an asynchronously dispatched op
+//                 (§5: the imperative runtime "can execute operations
+//                 asynchronously" and the host races ahead). Backed by a
+//                 TensorHandle future; value reads are sync points.
 //
 // Every tensor carries a process-unique id used by gradient tapes to link
 // op outputs to op inputs (§4.2).
@@ -20,6 +25,7 @@
 #include <string>
 
 #include "support/logging.h"
+#include "support/status.h"
 #include "tensor/buffer.h"
 #include "tensor/dtype.h"
 #include "tensor/shape.h"
@@ -28,6 +34,7 @@ namespace tfe {
 
 class Device;
 class Graph;
+class TensorHandle;
 
 // Base class for reference-counted mutable state reachable from resource
 // tensors (variable storage, iterators, mutable tables).
@@ -63,12 +70,24 @@ class Tensor {
   // (backed by an empty buffer). Produced by simulated devices running in
   // timing-only mode; reading its data is a programming error.
   static Tensor Opaque(DType dtype, Shape shape, Device* device);
+  // A tensor backed by an unmaterialized handle: metadata is served from the
+  // handle, value reads block on it (async eager dispatch).
+  static Tensor FromHandle(std::shared_ptr<TensorHandle> handle);
 
   // --- Common accessors ----------------------------------------------------
   bool defined() const { return state_ != nullptr; }
   bool is_symbolic() const;
   bool is_resource() const;
   bool is_opaque() const;
+  // Handle-backed (produced by async dispatch). Stays true after the handle
+  // resolves; use Materialize()/pending_handle()->resolved() to distinguish.
+  bool has_handle() const;
+  // The backing future, or null for eagerly materialized tensors.
+  const std::shared_ptr<TensorHandle>& pending_handle() const;
+  // Sync point without crashing: blocks until the backing handle resolves and
+  // returns the producing op's Status (deferred error propagation). Concrete
+  // tensors return OK immediately.
+  Status Materialize() const;
   int64_t id() const;
   DType dtype() const;
   const Shape& shape() const;
@@ -117,6 +136,10 @@ class Tensor {
 
  private:
   explicit Tensor(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  // Blocks on the backing handle; CHECK-fails on a poisoned one. Callers that
+  // need the error as a Status use Materialize() first.
+  const Tensor& ResolvedValue() const;
 
   std::shared_ptr<State> state_;
 };

@@ -1,0 +1,104 @@
+#include "tensor/tensor_handle.h"
+
+#include <utility>
+
+#include "support/logging.h"
+
+namespace tfe {
+
+TensorHandle::TensorHandle(DType dtype, Shape shape, Device* device,
+                           std::atomic<uint64_t>* host_clock)
+    : dtype_(dtype),
+      shape_(std::move(shape)),
+      device_(device),
+      host_clock_(host_clock) {}
+
+std::shared_ptr<TensorHandle> TensorHandle::Pending(
+    DType dtype, Shape shape, Device* device,
+    std::atomic<uint64_t>* host_clock) {
+  return std::shared_ptr<TensorHandle>(
+      new TensorHandle(dtype, std::move(shape), device, host_clock));
+}
+
+TensorHandle::State TensorHandle::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void TensorHandle::Resolve(State state, Tensor value, Status status,
+                           uint64_t ready_ns) {
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TFE_CHECK(state_ == State::kPending) << "TensorHandle resolved twice";
+    state_ = state;
+    value_ = std::move(value);
+    error_ = std::move(status);
+    ready_ns_ = ready_ns;
+    callbacks.swap(callbacks_);
+  }
+  resolved_cv_.notify_all();
+  for (auto& fn : callbacks) fn();
+}
+
+void TensorHandle::SetTensor(Tensor value, uint64_t ready_ns) {
+  TFE_CHECK(value.defined());
+  Resolve(State::kConcrete, std::move(value), Status::OK(), ready_ns);
+}
+
+void TensorHandle::SetError(Status status) {
+  TFE_CHECK(!status.ok());
+  Resolve(State::kError, Tensor(), std::move(status), 0);
+}
+
+Status TensorHandle::WaitReady() const {
+  uint64_t ready_ns = 0;
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    resolved_cv_.wait(lock, [this] { return state_ != State::kPending; });
+    status = error_;
+    ready_ns = ready_ns_;
+  }
+  // Virtual blocking: reading the value joins the host clock with the
+  // producing op's completion on its device timeline.
+  if (host_clock_ != nullptr && ready_ns > 0) {
+    uint64_t current = host_clock_->load(std::memory_order_relaxed);
+    while (current < ready_ns &&
+           !host_clock_->compare_exchange_weak(current, ready_ns,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  return status;
+}
+
+const Tensor& TensorHandle::tensor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TFE_CHECK(state_ == State::kConcrete)
+      << "TensorHandle::tensor() on unresolved or poisoned handle: "
+      << error_.ToString();
+  return value_;
+}
+
+Status TensorHandle::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+uint64_t TensorHandle::ready_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_ns_;
+}
+
+void TensorHandle::AndThen(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kPending) {
+      callbacks_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+}  // namespace tfe

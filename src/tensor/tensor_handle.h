@@ -1,0 +1,102 @@
+// TensorHandle: the future behind an asynchronously executed operation's
+// output (paper §5: eager calls return immediately and the host races ahead;
+// the same deferred-materialization idea drives LazyTensor).
+//
+// A handle is a small state machine
+//
+//     pending ──SetTensor──▶ concrete
+//        └─────SetError────▶ error
+//
+// created with its dtype / shape / device already known (from shape
+// inference), so non-value accessors on a pending tensor never block. Value
+// reads are *sync points*: they wait for the producing op to retire and — in
+// virtual time — raise the host clock to the op's completion time, which is
+// exactly the overlap the GPU stream model in cost_model.h describes.
+//
+// A failed op poisons its outputs: the handle resolves to `error` carrying
+// the op's Status, downstream ops propagate it without executing, and the
+// original Status surfaces at the next sync point.
+#ifndef TFE_TENSOR_TENSOR_HANDLE_H_
+#define TFE_TENSOR_TENSOR_HANDLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+class TensorHandle {
+ public:
+  enum class State { kPending, kConcrete, kError };
+
+  // A pending handle with known output metadata. `host_clock`, when non-null,
+  // is the owning runtime's virtual host clock; WaitReady raises it to the
+  // producing op's completion time (the virtual cost of blocking on a read).
+  // The clock must outlive the handle — handles must not outlive their
+  // EagerContext, the same lifetime rule tensors already obey.
+  static std::shared_ptr<TensorHandle> Pending(
+      DType dtype, Shape shape, Device* device,
+      std::atomic<uint64_t>* host_clock = nullptr);
+
+  // --- metadata (immutable, never blocks) -----------------------------------
+  DType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+  Device* device() const { return device_; }
+
+  State state() const;
+  bool resolved() const { return state() != State::kPending; }
+
+  // --- resolution (producer side; called exactly once) ----------------------
+  // pending -> concrete. `ready_ns` is the virtual time at which the value
+  // exists on its device timeline.
+  void SetTensor(Tensor value, uint64_t ready_ns);
+  // pending -> error. Poisons every read of this handle with `status`.
+  void SetError(Status status);
+
+  // --- sync point (consumer side) -------------------------------------------
+  // Blocks until resolved; raises the virtual host clock to ready_ns. Returns
+  // OK for a concrete value, the poisoning Status for an error.
+  Status WaitReady() const;
+
+  // The materialized value; requires a prior successful WaitReady().
+  const Tensor& tensor() const;
+  // The resolution status without blocking (OK while still pending).
+  Status status() const;
+  // Virtual time at which the value retires on its device (0 until concrete).
+  uint64_t ready_ns() const;
+
+  // Runs `fn` once the handle resolves — inline if it already has. Used by
+  // the per-device op queues to re-arm a drain without blocking a pool
+  // thread on a cross-device dependency.
+  void AndThen(std::function<void()> fn);
+
+ private:
+  TensorHandle(DType dtype, Shape shape, Device* device,
+               std::atomic<uint64_t>* host_clock);
+
+  void Resolve(State state, Tensor value, Status status, uint64_t ready_ns);
+
+  const DType dtype_;
+  const Shape shape_;
+  Device* const device_;
+  std::atomic<uint64_t>* const host_clock_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable resolved_cv_;
+  State state_ = State::kPending;
+  Tensor value_;
+  Status error_;
+  uint64_t ready_ns_ = 0;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_TENSOR_TENSOR_HANDLE_H_

@@ -121,6 +121,55 @@ TEST_P(RandomProgramEquivalence, GradientsAgreeAcrossStages) {
   }
 }
 
+TEST_P(RandomProgramEquivalence, AsyncAgreesWithSync) {
+  uint64_t seed = GetParam();
+  Tensor x = ops::random_normal({4, 4}, 0, 0.5, /*seed=*/seed + 1);
+  Tensor y = ops::random_normal({4, 4}, 0, 0.5, /*seed=*/seed + 2);
+
+  std::vector<Tensor> sync_out = RandomProgram(seed, {x, y});
+
+  EagerContext::Global()->set_async(true);
+  std::vector<Tensor> async_out = RandomProgram(seed, {x, y});
+  Status drained = EagerContext::Global()->Sync();
+  EagerContext::Global()->set_async(false);
+  ASSERT_TRUE(drained.ok()) << drained.message();
+
+  ASSERT_EQ(sync_out.size(), async_out.size());
+  for (size_t i = 0; i < sync_out.size(); ++i) {
+    EXPECT_TRUE(tensor_util::AllClose(sync_out[i], async_out[i], 0, 0))
+        << "output " << i << " of seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramEquivalence, AsyncHandleLifetimesDrainCleanly) {
+  // Random DAGs where most intermediates are dropped before they ever
+  // materialize: queue nodes must keep the handles alive until their ops
+  // retire, and nothing may deadlock or leak (the tier-1 script re-runs
+  // this under ASan/TSan via TFE_SANITIZE).
+  uint64_t seed = GetParam();
+  random::Philox gen(seed * 31 + 7, 1);
+  EagerContext::Global()->set_async(true);
+  Tensor survivor;
+  {
+    std::vector<Tensor> live = {
+        ops::random_normal({4, 4}, 0, 0.5, /*seed=*/seed + 1),
+        ops::random_normal({4, 4}, 0, 0.5, /*seed=*/seed + 2)};
+    std::vector<Tensor> program = RandomProgram(seed, live);
+    for (int round = 0; round < 8; ++round) {
+      live.push_back(ops::mul(live[gen.NextUint64() % live.size()],
+                              live[gen.NextUint64() % live.size()]));
+      // Drop a random tensor — possibly one whose op is still queued.
+      live.erase(live.begin() + gen.NextUint64() % live.size());
+    }
+    survivor = live[gen.NextUint64() % live.size()];
+    // `program` and the rest of `live` die here, resolved or not.
+  }
+  EXPECT_TRUE(survivor.Materialize().ok());
+  Status drained = EagerContext::Global()->Sync();
+  EagerContext::Global()->set_async(false);
+  EXPECT_TRUE(drained.ok()) << drained.message();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramEquivalence,
                          ::testing::Range<uint64_t>(1, 13));
 
