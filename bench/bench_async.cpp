@@ -74,5 +74,11 @@ int main() {
       "\nExpected: ~1.8x. Sync pays dispatch + kernel per op; async\n"
       "overlaps each kernel with the next op's host dispatch and only\n"
       "joins the device timeline at the final sync point.\n");
+
+  bench::JsonReport report("async");
+  report.Add("sync_ops_per_second", sync_ops);
+  report.Add("async_ops_per_second", async_ops);
+  report.Add("speedup", async_ops / sync_ops);
+  report.Write();
   return 0;
 }

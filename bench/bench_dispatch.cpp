@@ -13,6 +13,8 @@
 //   build/bench/bench_dispatch
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "api/tfe.h"
 #include "ops/kernel.h"
 #include "runtime/eager_context.h"
@@ -88,4 +90,6 @@ BENCHMARK(BM_DeviceScopeLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfe::bench::RunBenchmarksToJson("dispatch", argc, argv);
+}

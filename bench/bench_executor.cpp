@@ -8,6 +8,8 @@
 //   build/bench/bench_executor
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "api/tfe.h"
 #include "executor/executor.h"
 #include "staging/trace_context.h"
@@ -111,4 +113,6 @@ BENCHMARK(BM_NestedCallDepth);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfe::bench::RunBenchmarksToJson("executor", argc, argv);
+}

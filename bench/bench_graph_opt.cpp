@@ -5,6 +5,8 @@
 //   build/bench/bench_graph_opt
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "api/tfe.h"
 #include "executor/executor.h"
 #include "graph/passes.h"
@@ -85,4 +87,6 @@ BENCHMARK(BM_ExecuteOptimized)->Arg(8)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfe::bench::RunBenchmarksToJson("graph_opt", argc, argv);
+}

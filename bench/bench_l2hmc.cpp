@@ -104,5 +104,12 @@ int main() {
   std::printf(
       "\nExpected shape (paper): staging yields at least an order of\n"
       "magnitude; TF tracks TFE+function closely.\n");
+
+  bench::JsonReport report("l2hmc");
+  for (const bench::Series& s : {tfe_series, staged_series, tf_series,
+                                 native_eager, native_staged}) {
+    report.AddSeries(sample_counts, s);
+  }
+  report.Write();
   return 0;
 }

@@ -106,5 +106,11 @@ int main() {
   std::printf(
       "\nExpected shape (paper): staging wins at small batches; the gap\n"
       "vanishes as batch size grows and kernel time dominates Python time.\n");
+
+  bench::JsonReport report("resnet_gpu");
+  for (const bench::Series& s : {tfe_series, staged_series, tf_series}) {
+    report.AddSeries(batches, s);
+  }
+  report.Write();
   return 0;
 }

@@ -71,5 +71,10 @@ int main() {
   std::printf(
       "\nExpected shape (paper): ~10-20x; eager scales ~linearly in batch\n"
       "(per-op dispatch bound) while staged throughput saturates.\n");
+
+  bench::JsonReport report("resnet_tpu");
+  report.AddSeries(batches, tfe_series);
+  report.AddSeries(batches, staged_series);
+  report.Write();
   return 0;
 }

@@ -9,6 +9,8 @@
 //   build/bench/bench_trace_cache
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "api/tfe.h"
 #include "staging/signature.h"
 
@@ -80,4 +82,6 @@ BENCHMARK(BM_InputSignatureHitAcrossShapes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfe::bench::RunBenchmarksToJson("trace_cache", argc, argv);
+}

@@ -7,10 +7,14 @@
 #ifndef TFE_BENCH_BENCH_UTIL_H_
 #define TFE_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/tfe.h"
@@ -106,6 +110,79 @@ inline void PrintImprovementOver(const std::string& title,
     }
     std::printf("\n");
   }
+}
+
+// --- machine-readable output ----------------------------------------------
+//
+// Every bench binary also writes its headline numbers to BENCH_<name>.json
+// in the current working directory, so CI and regression scripts can diff
+// runs without scraping the human-oriented tables.
+
+// Accumulates scalar metrics for the hand-rolled (non google-benchmark)
+// binaries and writes them as a flat {"metrics": {...}} object.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  // Flattens a table column-wise: one "<series>@<x>" metric per point.
+  void AddSeries(const std::vector<int64_t>& x_values, const Series& series) {
+    for (size_t i = 0; i < x_values.size() &&
+                       i < series.examples_per_second.size();
+         ++i) {
+      Add(series.name + "@" + std::to_string(x_values[i]),
+          series.examples_per_second[i]);
+    }
+  }
+
+  // Returns false (after printing a warning) if the file cannot be written.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"benchmark\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
+          << "\": " << metrics_[i].second;
+    }
+    out << "\n  }\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+// main() body for the google-benchmark binaries: console output as usual,
+// plus the full JSON report to BENCH_<name>.json.
+inline int RunBenchmarksToJson(const std::string& name, int argc,
+                               char** argv) {
+  // Appended after user flags so an explicit --benchmark_out still wins the
+  // parse; the library owns the reporters (a custom file reporter requires
+  // the flag anyway).
+  const std::string path = "BENCH_" + name + ".json";
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  args.push_back(out_flag.data());
+  args.push_back(format_flag.data());
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace bench

@@ -4,35 +4,48 @@
 # handle-lifetime tests under AddressSanitizer (separate build trees; see
 # TFE_SANITIZE in the top-level CMakeLists.txt).
 #
-#   scripts/tier1.sh [--skip-sanitizers]
+#   scripts/tier1.sh [--skip-sanitizers | --tier2]
+#
+# --tier2 runs the FULL test suite under both sanitizers instead of the
+# concurrency-focused subset — slower, but it sweeps every kernel now that
+# the drain fuser and the intra-op threadpool put real parallelism under
+# ordinary ops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
+MODE="${1:-}"
 
 echo "==== tier 1: standard build + ctest ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+if [[ "$MODE" == "--skip-sanitizers" ]]; then
   echo "==== sanitizer passes skipped ===="
   exit 0
 fi
 
-# Concurrency tests only: full-suite sanitizer runs are a tier-2 job.
-ASYNC_FILTER='Async*:*Async*'
+if [[ "$MODE" == "--tier2" ]]; then
+  # Everything, including the serial kernel tests: sanitizers still catch
+  # lifetime bugs there, and the suite is small enough to afford it.
+  FILTER='*'
+else
+  # Concurrency tests only: the async queues, the drain fuser, and the
+  # threadpool-parallel kernels.
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*'
+fi
 
-echo "==== tsan: async execution tests ===="
+echo "==== tsan: filter=$FILTER ===="
 cmake -B build-tsan -S . -DTFE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target tfe_tests
 TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tests/tfe_tests --gtest_filter="$ASYNC_FILTER"
+  ./build-tsan/tests/tfe_tests --gtest_filter="$FILTER"
 
-echo "==== asan: async handle-lifetime tests ===="
+echo "==== asan: filter=$FILTER ===="
 cmake -B build-asan -S . -DTFE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" --target tfe_tests
 ASAN_OPTIONS="detect_leaks=1" \
-  ./build-asan/tests/tfe_tests --gtest_filter="$ASYNC_FILTER"
+  ./build-asan/tests/tfe_tests --gtest_filter="$FILTER"
 
 echo "==== tier 1 ok ===="

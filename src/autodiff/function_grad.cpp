@@ -34,24 +34,6 @@ std::vector<Endpoint> IntermediateEndpoints(const GraphFunction& function) {
   return endpoints;
 }
 
-Status CloneGraphInto(const GraphFunction& source, GraphFunction& target) {
-  const Graph& graph = source.graph();
-  Graph& out = target.graph();
-  for (int id = 0; id < graph.num_nodes(); ++id) {
-    const Node& node = graph.node(id);
-    TFE_ASSIGN_OR_RETURN(
-        Node * cloned,
-        out.AddNode(node.op, node.inputs, node.attrs, node.outputs,
-                    node.requested_device));
-    cloned->constant_value = node.constant_value;
-    cloned->control_inputs = node.control_inputs;
-    TFE_CHECK_EQ(cloned->id, id);
-  }
-  target.arg_nodes() = source.arg_nodes();
-  target.captures() = source.captures();
-  return Status::OK();
-}
-
 // Backward-function cache (grad_arg_indices etc. live outside the library).
 struct BackwardCacheEntry {
   BackwardFunction backward;
@@ -213,7 +195,7 @@ StatusOr<std::shared_ptr<GraphFunction>> BuildForwardFunction(
     return ctx->functions().Find(name);
   }
   auto forward = std::make_shared<GraphFunction>(name);
-  TFE_RETURN_IF_ERROR(CloneGraphInto(*function, *forward));
+  TFE_RETURN_IF_ERROR(CloneGraphFunctionInto(*function, *forward));
   forward->outputs() = function->outputs();
   for (const Endpoint& e : IntermediateEndpoints(*function)) {
     forward->outputs().push_back(e);

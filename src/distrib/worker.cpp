@@ -46,10 +46,11 @@ void WorkerServer::Call(Request fn) {
     TFE_CHECK(!shutdown_);
     queue_.push_back([&] {
       fn();
-      {
-        std::lock_guard<std::mutex> done_lock(done_mu);
-        done = true;
-      }
+      // Notify under the lock: the waiter destroys done_cv (stack storage)
+      // as soon as it observes done, so an unlocked notify could touch a
+      // dead condition variable.
+      std::lock_guard<std::mutex> done_lock(done_mu);
+      done = true;
       done_cv.notify_one();
     });
   }

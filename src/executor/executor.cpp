@@ -43,7 +43,8 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
                                          const std::vector<Tensor>& args,
                                          Device* default_device,
                                          uint64_t start_ns, bool compiled,
-                                         bool parallel) {
+                                         bool parallel,
+                                         uint64_t rng_stream_base) {
   const Graph& graph = function.graph();
   const int n = graph.num_nodes();
   if (static_cast<int>(args.size()) != function.num_args()) {
@@ -60,6 +61,13 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
   for (const Tensor& arg : args) {
     TFE_RETURN_IF_ERROR(arg.Materialize());
   }
+
+  // Each node gets a deterministic Philox stream derived from this run's
+  // base and its (topological-order) id, fixed before any node executes —
+  // ready-queue scheduling cannot change which stream a random op draws
+  // from. SplitMix64 spreads bases so per-run id ranges don't overlap.
+  const uint64_t rng_base = random::SplitMix64(
+      rng_stream_base != 0 ? rng_stream_base : ctx_->NextRngStream());
 
   std::vector<NodeState> states(n);
   // Map arg index -> node id for fast Arg lookup.
@@ -127,10 +135,12 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
     }
 
     ctx_->stats().executor_nodes.fetch_add(1, std::memory_order_relaxed);
+    uint64_t node_stream = rng_base + static_cast<uint64_t>(id);
+    if (node_stream == 0) node_stream = 1;  // 0 means "unassigned"
     TFE_ASSIGN_OR_RETURN(
         EagerContext::KernelRun run,
         ctx_->ExecuteKernel(node.op, inputs, node.attrs, device, compiled,
-                            ready_ns));
+                            ready_ns, node_stream));
     if (run.completion_ns != 0) {
       state.completion_ns = run.completion_ns;
     } else {

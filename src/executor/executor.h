@@ -38,11 +38,14 @@ class Executor {
   // accelerator compilation unit. `parallel` chooses the thread-pool
   // ready-queue engine (top-level calls) or inline sequential execution
   // (nested calls, which run on pool threads and must not block on the
-  // pool).
+  // pool). `rng_stream_base` seeds the deterministic per-node RNG streams:
+  // kernels driving a nested run pass their own KernelContext stream so
+  // nesting stays deterministic; 0 reserves a fresh stream from the context.
   StatusOr<Result> Run(const GraphFunction& function,
                        const std::vector<Tensor>& args,
                        Device* default_device, uint64_t start_ns,
-                       bool compiled, bool parallel = true);
+                       bool compiled, bool parallel = true,
+                       uint64_t rng_stream_base = 0);
 
   // True while the calling thread is executing a graph node — nested
   // function calls use this to switch to inline execution so pool threads

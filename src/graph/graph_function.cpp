@@ -39,6 +39,36 @@ std::string GraphFunction::DebugString() const {
   return out.str();
 }
 
+std::shared_ptr<GraphFunction> GraphFunction::GetOrBuildExecutionVariant(
+    const std::function<std::shared_ptr<GraphFunction>()>& build) {
+  std::lock_guard<std::mutex> lock(variant_mu_);
+  if (!variant_ready_) {
+    execution_variant_ = build();
+    variant_ready_ = true;
+  }
+  return execution_variant_;
+}
+
+Status CloneGraphFunctionInto(const GraphFunction& source,
+                              GraphFunction& target) {
+  const Graph& graph = source.graph();
+  Graph& out = target.graph();
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    TFE_ASSIGN_OR_RETURN(
+        Node * cloned,
+        out.AddNode(node.op, node.inputs, node.attrs, node.outputs,
+                    node.requested_device));
+    cloned->constant_value = node.constant_value;
+    cloned->control_inputs = node.control_inputs;
+    TFE_CHECK_EQ(cloned->id, id);
+  }
+  target.arg_nodes() = source.arg_nodes();
+  target.captures() = source.captures();
+  target.outputs() = source.outputs();
+  return Status::OK();
+}
+
 Status FunctionLibrary::Register(std::shared_ptr<GraphFunction> function) {
   TFE_CHECK(function != nullptr);
   std::lock_guard<std::mutex> lock(mu_);

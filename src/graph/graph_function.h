@@ -4,6 +4,7 @@
 #ifndef TFE_GRAPH_GRAPH_FUNCTION_H_
 #define TFE_GRAPH_GRAPH_FUNCTION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -68,13 +69,32 @@ class GraphFunction {
 
   std::string DebugString() const;
 
+  // Returns the cached execution-only rewrite of this function, building it
+  // with `build` on first call; a null result ("no rewrite applies") is
+  // cached too. Execution variants (e.g. the elementwise-fused clone made by
+  // the Call kernel) are run directly by the caller and stay invisible to
+  // autodiff, serialization, and the function library, which all see the
+  // original graph.
+  std::shared_ptr<GraphFunction> GetOrBuildExecutionVariant(
+      const std::function<std::shared_ptr<GraphFunction>()>& build);
+
  private:
   std::string name_;
   Graph graph_;
   std::vector<int> arg_nodes_;
   std::vector<Endpoint> outputs_;
   std::vector<Capture> captures_;
+
+  std::mutex variant_mu_;
+  bool variant_ready_ = false;
+  std::shared_ptr<GraphFunction> execution_variant_;
 };
+
+// Structural copy of `source` — nodes (ids preserved), arg nodes, captures,
+// and outputs — into `target`, which must be freshly constructed. Shared by
+// the forward-variant builder in autodiff and the execution-variant rewrites.
+Status CloneGraphFunctionInto(const GraphFunction& source,
+                              GraphFunction& target);
 
 // A name -> function map. Each EagerContext owns one; nested function calls
 // resolve their callee here at execution time.

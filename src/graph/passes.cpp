@@ -1,9 +1,12 @@
 #include "graph/passes.h"
 
+#include <algorithm>
+#include <array>
 #include <deque>
 #include <map>
 #include <vector>
 
+#include "kernels/fused_elementwise.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
 
@@ -181,6 +184,201 @@ Status Optimize(GraphFunction& function, PassStats* stats) {
   TFE_RETURN_IF_ERROR(FoldConstants(function, stats));
   TFE_RETURN_IF_ERROR(EliminateCommonSubexpressions(function, stats));
   TFE_RETURN_IF_ERROR(Prune(function, stats));
+  return Status::OK();
+}
+
+Status FuseElementwise(GraphFunction& function, PassStats* stats) {
+  Graph& graph = function.graph();
+  const int n = graph.num_nodes();
+
+  // Mirrors the op-queue drain bound: limits the register footprint of one
+  // interpreted program.
+  constexpr int kMaxFusedRun = 64;
+
+  auto fusable = [&](const Node& node) {
+    kernels::MicroOpCode code;
+    return node.attrs.empty() && node.control_inputs.empty() &&
+           node.num_outputs() == 1 &&
+           kernels::MicroOpCodeFor(node.op, &code) &&
+           static_cast<int>(node.inputs.size()) == kernels::MicroOpArity(code) &&
+           node.outputs[0].shape.IsFullyDefined() &&
+           kernels::MicroOpSupports(code, node.outputs[0].dtype);
+  };
+
+  // Greedy maximal runs of consecutive node ids. Consecutiveness guarantees
+  // every external operand of a run precedes it topologically, so replacing
+  // the span with one node can never create a cycle.
+  struct Run {
+    int begin;
+    int end;  // exclusive
+  };
+  std::vector<Run> runs;
+  std::vector<int> run_of(n, -1);
+  int start = 0;
+  while (start < n) {
+    if (!fusable(graph.node(start))) {
+      ++start;
+      continue;
+    }
+    const DType dtype = graph.node(start).outputs[0].dtype;
+    const Shape& shape = graph.node(start).outputs[0].shape;
+    auto operand_ok = [&](const Endpoint& e, int cur) {
+      if (e.node_id >= start && e.node_id < cur) return e.index == 0;  // in-run
+      const TypeAndShape& t = graph.endpoint_type(e);
+      return t.dtype == dtype && t.shape.IsFullyDefined() &&
+             (t.shape == shape || t.shape.num_elements() == 1);
+    };
+    int end = start;
+    while (end < n && end - start < kMaxFusedRun) {
+      const Node& node = graph.node(end);
+      if (end > start &&
+          (!fusable(node) || node.outputs[0].dtype != dtype ||
+           !(node.outputs[0].shape == shape))) {
+        break;
+      }
+      bool ok = true;
+      for (const Endpoint& e : node.inputs) {
+        if (!operand_ok(e, end)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      ++end;
+    }
+    if (end - start >= 2) {
+      for (int i = start; i < end; ++i) run_of[i] = static_cast<int>(runs.size());
+      runs.push_back({start, end});
+      start = end;
+    } else {
+      ++start;
+    }
+  }
+  if (runs.empty()) return Status::OK();
+
+  // A run member's value must materialize as a fused output when anything
+  // outside its run — another node or the function's return list — reads it.
+  std::vector<bool> used_outside(n, false);
+  for (int id = 0; id < n; ++id) {
+    for (const Endpoint& e : graph.node(id).inputs) {
+      if (run_of[e.node_id] >= 0 && run_of[e.node_id] != run_of[id]) {
+        used_outside[e.node_id] = true;
+      }
+    }
+  }
+  for (const Endpoint& out : function.outputs()) {
+    if (run_of[out.node_id] >= 0) used_outside[out.node_id] = true;
+  }
+  // A fully-internal run (possible in principle, not after Prune) still
+  // publishes its final value.
+  for (const Run& run : runs) {
+    bool any = false;
+    for (int i = run.begin; i < run.end; ++i) any = any || used_outside[i];
+    if (!any) used_outside[run.end - 1] = true;
+  }
+
+  // Rebuild the node list: non-run nodes move over; each run collapses to a
+  // FusedElementwise node at its begin position.
+  std::deque<Node> nodes;
+  std::vector<int> new_node_id(n, -1);
+  std::vector<int> fused_out_index(n, -1);
+  for (int id = 0; id < n; ++id) {
+    const int r = run_of[id];
+    if (r >= 0 && runs[r].begin != id) continue;  // absorbed into its run
+    if (r < 0) {
+      new_node_id[id] = static_cast<int>(nodes.size());
+      nodes.push_back(std::move(graph.node(id)));
+      continue;
+    }
+    const Run& run = runs[r];
+    const TypeAndShape run_type = graph.node(run.begin).outputs[0];
+    // Pass 1: dedup external operands; record each member's argument slots as
+    // operand index (>= 0) or ~producer_member for in-run values.
+    kernels::MicroProgram program;
+    std::vector<Endpoint> operands;
+    std::vector<std::array<int64_t, 2>> args(run.end - run.begin, {0, 0});
+    for (int i = run.begin; i < run.end; ++i) {
+      const Node& member = graph.node(i);
+      for (size_t a = 0; a < member.inputs.size(); ++a) {
+        const Endpoint& e = member.inputs[a];
+        if (e.node_id >= run.begin && e.node_id < i) {
+          args[i - run.begin][a] = ~static_cast<int64_t>(e.node_id - run.begin);
+          continue;
+        }
+        int idx = -1;
+        for (size_t k = 0; k < operands.size(); ++k) {
+          if (operands[k] == e) {
+            idx = static_cast<int>(k);
+            break;
+          }
+        }
+        if (idx < 0) {
+          idx = static_cast<int>(operands.size());
+          operands.push_back(e);
+        }
+        args[i - run.begin][a] = idx;
+      }
+    }
+    // Pass 2: emit instructions and outputs with final register numbers.
+    program.num_operands = static_cast<int64_t>(operands.size());
+    Node fused;
+    fused.op = "FusedElementwise";
+    for (int i = run.begin; i < run.end; ++i) {
+      const Node& member = graph.node(i);
+      kernels::MicroOpCode code;
+      kernels::MicroOpCodeFor(member.op, &code);  // validated by fusable()
+      kernels::MicroInst inst;
+      inst.opcode = code;
+      auto to_reg = [&](int64_t v) {
+        return static_cast<int32_t>(v >= 0 ? v : program.num_operands + ~v);
+      };
+      inst.a = to_reg(args[i - run.begin][0]);
+      if (member.inputs.size() > 1) inst.b = to_reg(args[i - run.begin][1]);
+      program.insts.push_back(inst);
+      if (used_outside[i]) {
+        fused_out_index[i] = static_cast<int>(fused.outputs.size());
+        program.outputs.push_back(static_cast<int32_t>(program.num_operands) +
+                                  (i - run.begin));
+        fused.outputs.push_back(run_type);
+      }
+    }
+    fused.attrs.emplace("program", AttrValue(program.Encode()));
+    fused.inputs = std::move(operands);
+    const int fused_id = static_cast<int>(nodes.size());
+    for (int i = run.begin; i < run.end; ++i) new_node_id[i] = fused_id;
+    nodes.push_back(std::move(fused));
+    if (stats != nullptr) {
+      stats->fused_runs += 1;
+      stats->fused_nodes += run.end - run.begin;
+    }
+  }
+
+  // Remap every surviving edge, arg, and output to the new id space.
+  auto remap = [&](Endpoint& e) {
+    if (run_of[e.node_id] >= 0) {
+      e = Endpoint{new_node_id[e.node_id], fused_out_index[e.node_id]};
+    } else {
+      e.node_id = new_node_id[e.node_id];
+    }
+  };
+  int index = 0;
+  for (Node& node : nodes) {
+    node.id = index++;
+    for (Endpoint& e : node.inputs) remap(e);
+    std::vector<int> controls;
+    for (int dep : node.control_inputs) {
+      const int target = new_node_id[dep];
+      if (target >= 0 && target != node.id &&
+          std::find(controls.begin(), controls.end(), target) ==
+              controls.end()) {
+        controls.push_back(target);
+      }
+    }
+    node.control_inputs = std::move(controls);
+  }
+  for (int& arg : function.arg_nodes()) arg = new_node_id[arg];  // never fused
+  for (Endpoint& out : function.outputs()) remap(out);
+  graph.ResetNodes(std::move(nodes));
   return Status::OK();
 }
 

@@ -17,6 +17,9 @@ struct PassStats {
   int pruned_nodes = 0;
   int cse_merged = 0;
   int folded_constants = 0;
+  // FuseElementwise: runs collapsed / primitive nodes absorbed into them.
+  int fused_runs = 0;
+  int fused_nodes = 0;
 };
 
 // Dead-op pruning: removes non-stateful nodes not reachable from the
@@ -35,6 +38,18 @@ Status FoldConstants(GraphFunction& function, PassStats* stats = nullptr);
 // The standard pipeline run at the end of every trace:
 // fold -> CSE -> prune.
 Status Optimize(GraphFunction& function, PassStats* stats = nullptr);
+
+// Collapses runs of shape-compatible elementwise nodes into single
+// FusedElementwise nodes interpreting a micro-op program (the static
+// counterpart of the op-queue drain fusion; both lower to the same kernel).
+// Intermediates consumed only inside a run disappear from the graph;
+// intermediates used elsewhere (or returned) become extra fused outputs.
+//
+// Deliberately NOT part of Optimize(): FusedElementwise has no gradient, so
+// this pass must only run on execution-only clones (see
+// GraphFunction::GetOrBuildExecutionVariant), never on the graphs autodiff
+// or serialization see.
+Status FuseElementwise(GraphFunction& function, PassStats* stats = nullptr);
 
 }  // namespace passes
 }  // namespace tfe

@@ -2,6 +2,7 @@
 // §4.1), which is what makes staged functions compose, run on devices, and
 // appear on gradient tapes like any primitive.
 #include "executor/executor.h"
+#include "graph/passes.h"
 #include "kernels/kernel_util.h"
 #include "runtime/eager_context.h"
 
@@ -28,14 +29,34 @@ Status CallKernel(KernelContext* ctx) {
     start_ns += device->cost_params().compiled_call_overhead_ns;
   }
 
+  // On real compute devices, run the lazily-built execution variant with
+  // elementwise runs fused. The original function is what autodiff and
+  // serialization see; simulated accelerators keep the unfused graph so
+  // their per-node cost model is undisturbed.
+  std::shared_ptr<GraphFunction> to_run = function;
+  if (ectx->fuse_elementwise() && !device->is_accelerator() &&
+      device->executes_kernels()) {
+    auto fused = function->GetOrBuildExecutionVariant(
+        [&]() -> std::shared_ptr<GraphFunction> {
+          auto variant = std::make_shared<GraphFunction>(function->name() +
+                                                         "__fused_ew");
+          if (!CloneGraphFunctionInto(*function, *variant).ok()) return nullptr;
+          passes::PassStats pstats;
+          if (!passes::FuseElementwise(*variant, &pstats).ok()) return nullptr;
+          if (pstats.fused_runs == 0) return nullptr;  // nothing to gain
+          return variant;
+        });
+    if (fused != nullptr) to_run = std::move(fused);
+  }
+
   Executor executor(ectx);
   // Nested calls (this kernel running on an executor thread) execute inline
   // so pool threads never block waiting on the pool.
   const bool parallel = !Executor::InExecutor();
   TFE_ASSIGN_OR_RETURN(
       Executor::Result result,
-      executor.Run(*function, ctx->inputs(), device, start_ns, compiled,
-                   parallel));
+      executor.Run(*to_run, ctx->inputs(), device, start_ns, compiled,
+                   parallel, ctx->rng_stream()));
   for (size_t i = 0; i < result.outputs.size(); ++i) {
     ctx->SetOutput(static_cast<int>(i), result.outputs[i]);
   }

@@ -63,10 +63,22 @@ StatusOr<ConvGeometry> MakeGeometry(const Shape& input, const Shape& filter,
   return g;
 }
 
+// Minimum multiply-adds worth one shard; below it the kernels stay serial.
+constexpr int64_t kConvShardFlops = 1 << 20;
+
 template <typename T>
-void ConvForward(const ConvGeometry& g, const T* x, const T* f, T* y) {
-  for (int64_t n = 0; n < g.batch; ++n) {
-    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+void ConvForward(EagerContext* ectx, const ConvGeometry& g, const T* x,
+                 const T* f, T* y) {
+  // Shard over (n, oh) output rows: each writes a disjoint slice of y and
+  // keeps the serial per-element accumulation order.
+  const int64_t rows = g.batch * g.out_h;
+  const int64_t row_flops = g.out_w * g.k_h * g.k_w * g.in_c * g.out_c;
+  const int64_t min_rows =
+      std::max<int64_t>(1, kConvShardFlops / std::max<int64_t>(row_flops, 1));
+  ParallelFor(ectx, rows, min_rows, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t row = row_begin; row < row_end; ++row) {
+      const int64_t n = row / g.out_h;
+      const int64_t oh = row % g.out_h;
       for (int64_t ow = 0; ow < g.out_w; ++ow) {
         T* out = y + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
         for (int64_t kh = 0; kh < g.k_h; ++kh) {
@@ -89,38 +101,50 @@ void ConvForward(const ConvGeometry& g, const T* x, const T* f, T* y) {
         }
       }
     }
-  }
+  });
 }
 
 template <typename T>
-void ConvBackpropInput(const ConvGeometry& g, const T* f, const T* dy, T* dx) {
-  for (int64_t n = 0; n < g.batch; ++n) {
-    for (int64_t oh = 0; oh < g.out_h; ++oh) {
-      for (int64_t ow = 0; ow < g.out_w; ++ow) {
-        const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
-        for (int64_t kh = 0; kh < g.k_h; ++kh) {
-          int64_t ih = oh * g.stride_h + kh - g.pad_top;
-          if (ih < 0 || ih >= g.in_h) continue;
-          for (int64_t kw = 0; kw < g.k_w; ++kw) {
-            int64_t iw = ow * g.stride_w + kw - g.pad_left;
-            if (iw < 0 || iw >= g.in_w) continue;
-            T* din = dx + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
-            const T* weights = f + (kh * g.k_w + kw) * g.in_c * g.out_c;
-            for (int64_t ic = 0; ic < g.in_c; ++ic) {
-              const T* w_row = weights + ic * g.out_c;
-              T acc = T(0);
-              for (int64_t oc = 0; oc < g.out_c; ++oc) {
-                acc += grad[oc] * w_row[oc];
+void ConvBackpropInput(EagerContext* ectx, const ConvGeometry& g, const T* f,
+                       const T* dy, T* dx) {
+  // Output rows of dy scatter into overlapping dx rows, so the only
+  // write-disjoint partition is per batch image.
+  const int64_t image_flops =
+      g.out_h * g.out_w * g.k_h * g.k_w * g.in_c * g.out_c;
+  const int64_t min_images =
+      std::max<int64_t>(1, kConvShardFlops / std::max<int64_t>(image_flops, 1));
+  ParallelFor(ectx, g.batch, min_images, [&](int64_t n_begin, int64_t n_end) {
+    for (int64_t n = n_begin; n < n_end; ++n) {
+      for (int64_t oh = 0; oh < g.out_h; ++oh) {
+        for (int64_t ow = 0; ow < g.out_w; ++ow) {
+          const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
+          for (int64_t kh = 0; kh < g.k_h; ++kh) {
+            int64_t ih = oh * g.stride_h + kh - g.pad_top;
+            if (ih < 0 || ih >= g.in_h) continue;
+            for (int64_t kw = 0; kw < g.k_w; ++kw) {
+              int64_t iw = ow * g.stride_w + kw - g.pad_left;
+              if (iw < 0 || iw >= g.in_w) continue;
+              T* din = dx + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+              const T* weights = f + (kh * g.k_w + kw) * g.in_c * g.out_c;
+              for (int64_t ic = 0; ic < g.in_c; ++ic) {
+                const T* w_row = weights + ic * g.out_c;
+                T acc = T(0);
+                for (int64_t oc = 0; oc < g.out_c; ++oc) {
+                  acc += grad[oc] * w_row[oc];
+                }
+                din[ic] += acc;
               }
-              din[ic] += acc;
             }
           }
         }
       }
     }
-  }
+  });
 }
 
+// Stays serial: every (n, oh, ow) position accumulates into the one shared
+// filter gradient, so any partition either races or changes the fp
+// accumulation order.
 template <typename T>
 void ConvBackpropFilter(const ConvGeometry& g, const T* x, const T* dy,
                         T* df) {
@@ -162,7 +186,8 @@ Status Conv2DKernel(KernelContext* ctx) {
   Tensor out = ctx->AllocateOutput(
       0, x.dtype(), Shape({g.batch, g.out_h, g.out_w, g.out_c}));
   TFE_SWITCH_FLOAT(x.dtype(), T, {
-    ConvForward<T>(g, x.data<T>(), f.data<T>(), out.mutable_data<T>());
+    ConvForward<T>(ctx->eager_context(), g, x.data<T>(), f.data<T>(),
+                   out.mutable_data<T>());
   });
   return Status::OK();
 }
@@ -182,7 +207,8 @@ Status Conv2DBackpropInputKernel(KernelContext* ctx) {
   }
   Tensor dx = ctx->AllocateOutput(0, dy.dtype(), input_shape);
   TFE_SWITCH_FLOAT(dy.dtype(), T, {
-    ConvBackpropInput<T>(g, f.data<T>(), dy.data<T>(), dx.mutable_data<T>());
+    ConvBackpropInput<T>(ctx->eager_context(), g, f.data<T>(), dy.data<T>(),
+                         dx.mutable_data<T>());
   });
   return Status::OK();
 }

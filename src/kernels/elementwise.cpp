@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/elementwise_functors.h"
 #include "kernels/kernel_util.h"
 #include "support/logging.h"
 #include "tensor/tensor_util.h"
@@ -40,33 +41,50 @@ void RegisterKernel(const char* op_name, KernelFn fn) {
 
 namespace {
 
+// Below this many output elements the sharding overhead dominates and the
+// loops stay serial (ParallelFor's min_per_shard).
+constexpr int64_t kElementwiseGrain = 16 * 1024;
+
 // Iterates the output index space, mapping each output coordinate to
-// (possibly broadcast) input offsets.
+// (possibly broadcast) input offsets. Shards across the intra-op pool; each
+// shard writes a disjoint [begin, end) slice of `out`, so values are bitwise
+// identical to the serial loop.
 template <typename TIn, typename TOut, typename BinaryFn>
-void BroadcastBinaryLoop(const TIn* a, const std::vector<int64_t>& a_strides,
-                         const TIn* b, const std::vector<int64_t>& b_strides,
-                         TOut* out, const Shape& out_shape, BinaryFn fn) {
+void BroadcastBinaryLoop(EagerContext* ectx, const TIn* a,
+                         const std::vector<int64_t>& a_strides, const TIn* b,
+                         const std::vector<int64_t>& b_strides, TOut* out,
+                         const Shape& out_shape, BinaryFn fn) {
   const int rank = out_shape.rank();
   const int64_t count = out_shape.num_elements();
   if (rank == 0) {
     if (count == 1) out[0] = fn(a[0], b[0]);
     return;
   }
-  std::vector<int64_t> coord(rank, 0);
-  int64_t a_off = 0;
-  int64_t b_off = 0;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = fn(a[a_off], b[b_off]);
-    // Odometer increment with running offsets.
+  ParallelFor(ectx, count, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    // Seed the odometer at linear index `begin`.
+    std::vector<int64_t> coord(rank, 0);
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    int64_t rem = begin;
     for (int d = rank - 1; d >= 0; --d) {
-      a_off += a_strides[d];
-      b_off += b_strides[d];
-      if (++coord[d] < out_shape.dims()[d]) break;
-      coord[d] = 0;
-      a_off -= a_strides[d] * out_shape.dims()[d];
-      b_off -= b_strides[d] * out_shape.dims()[d];
+      coord[d] = rem % out_shape.dims()[d];
+      rem /= out_shape.dims()[d];
+      a_off += coord[d] * a_strides[d];
+      b_off += coord[d] * b_strides[d];
     }
-  }
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = fn(a[a_off], b[b_off]);
+      // Odometer increment with running offsets.
+      for (int d = rank - 1; d >= 0; --d) {
+        a_off += a_strides[d];
+        b_off += b_strides[d];
+        if (++coord[d] < out_shape.dims()[d]) break;
+        coord[d] = 0;
+        a_off -= a_strides[d] * out_shape.dims()[d];
+        b_off -= b_strides[d] * out_shape.dims()[d];
+      }
+    }
+  });
 }
 
 // F exposes `template <typename T> static T Apply(T, T)`.
@@ -84,8 +102,9 @@ Status BinaryKernel(KernelContext* ctx) {
   auto a_strides = BroadcastStrides(a.shape(), out_shape);
   auto b_strides = BroadcastStrides(b.shape(), out_shape);
   TFE_SWITCH_NUMERIC(a.dtype(), T, {
-    BroadcastBinaryLoop<T, T>(a.data<T>(), a_strides, b.data<T>(), b_strides,
-                              out.mutable_data<T>(), out_shape,
+    BroadcastBinaryLoop<T, T>(ctx->eager_context(), a.data<T>(), a_strides,
+                              b.data<T>(), b_strides, out.mutable_data<T>(),
+                              out_shape,
                               [](T x, T y) { return F::template Apply<T>(x, y); });
   });
   return Status::OK();
@@ -104,8 +123,9 @@ Status BinaryFloatKernel(KernelContext* ctx) {
   auto a_strides = BroadcastStrides(a.shape(), out_shape);
   auto b_strides = BroadcastStrides(b.shape(), out_shape);
   TFE_SWITCH_FLOAT(a.dtype(), T, {
-    BroadcastBinaryLoop<T, T>(a.data<T>(), a_strides, b.data<T>(), b_strides,
-                              out.mutable_data<T>(), out_shape,
+    BroadcastBinaryLoop<T, T>(ctx->eager_context(), a.data<T>(), a_strides,
+                              b.data<T>(), b_strides, out.mutable_data<T>(),
+                              out_shape,
                               [](T x, T y) { return F::template Apply<T>(x, y); });
   });
   return Status::OK();
@@ -124,7 +144,7 @@ Status CompareKernel(KernelContext* ctx) {
   auto b_strides = BroadcastStrides(b.shape(), out_shape);
   TFE_SWITCH_NUMERIC(a.dtype(), T, {
     BroadcastBinaryLoop<T, bool>(
-        a.data<T>(), a_strides, b.data<T>(), b_strides,
+        ctx->eager_context(), a.data<T>(), a_strides, b.data<T>(), b_strides,
         out.mutable_data<bool>(), out_shape,
         [](T x, T y) { return F::template Apply<T>(x, y); });
   });
@@ -139,10 +159,12 @@ Status UnaryKernel(KernelContext* ctx) {
   TFE_SWITCH_NUMERIC(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();
-    const int64_t count = x.num_elements();
-    for (int64_t i = 0; i < count; ++i) {
-      result[i] = F::template Apply<T>(in[i]);
-    }
+    ParallelFor(ctx->eager_context(), x.num_elements(), kElementwiseGrain,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    result[i] = F::template Apply<T>(in[i]);
+                  }
+                });
   });
   return Status::OK();
 }
@@ -154,71 +176,18 @@ Status UnaryFloatKernel(KernelContext* ctx) {
   TFE_SWITCH_FLOAT(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();
-    const int64_t count = x.num_elements();
-    for (int64_t i = 0; i < count; ++i) {
-      result[i] = F::template Apply<T>(in[i]);
-    }
+    ParallelFor(ctx->eager_context(), x.num_elements(), kElementwiseGrain,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    result[i] = F::template Apply<T>(in[i]);
+                  }
+                });
   });
   return Status::OK();
 }
 
-// ---- functors ---------------------------------------------------------------
-
-#define TFE_BINARY_FUNCTOR(NAME, EXPR)         \
-  struct NAME {                                \
-    template <typename T>                      \
-    static T Apply(T x, T y) {                 \
-      return (EXPR);                           \
-    }                                          \
-  }
-
-TFE_BINARY_FUNCTOR(AddF, x + y);
-TFE_BINARY_FUNCTOR(SubF, x - y);
-TFE_BINARY_FUNCTOR(MulF, x* y);
-TFE_BINARY_FUNCTOR(DivF, x / y);
-TFE_BINARY_FUNCTOR(MaximumF, x > y ? x : y);
-TFE_BINARY_FUNCTOR(MinimumF, x < y ? x : y);
-TFE_BINARY_FUNCTOR(SquaredDifferenceF, (x - y) * (x - y));
-TFE_BINARY_FUNCTOR(PowF, std::pow(x, y));
-
-#define TFE_COMPARE_FUNCTOR(NAME, OP)          \
-  struct NAME {                                \
-    template <typename T>                      \
-    static bool Apply(T x, T y) {              \
-      return x OP y;                           \
-    }                                          \
-  }
-
-TFE_COMPARE_FUNCTOR(EqualF, ==);
-TFE_COMPARE_FUNCTOR(NotEqualF, !=);
-TFE_COMPARE_FUNCTOR(LessF, <);
-TFE_COMPARE_FUNCTOR(LessEqualF, <=);
-TFE_COMPARE_FUNCTOR(GreaterF, >);
-TFE_COMPARE_FUNCTOR(GreaterEqualF, >=);
-
-#define TFE_UNARY_FUNCTOR(NAME, EXPR)          \
-  struct NAME {                                \
-    template <typename T>                      \
-    static T Apply(T x) {                      \
-      return (EXPR);                           \
-    }                                          \
-  }
-
-TFE_UNARY_FUNCTOR(NegF, -x);
-TFE_UNARY_FUNCTOR(AbsF, x < T(0) ? -x : x);
-TFE_UNARY_FUNCTOR(SquareF, x* x);
-TFE_UNARY_FUNCTOR(SignF, x > T(0) ? T(1) : (x < T(0) ? T(-1) : T(0)));
-TFE_UNARY_FUNCTOR(ReluF, x > T(0) ? x : T(0));
-TFE_UNARY_FUNCTOR(ExpF, std::exp(x));
-TFE_UNARY_FUNCTOR(LogF, std::log(x));
-TFE_UNARY_FUNCTOR(SqrtF, std::sqrt(x));
-TFE_UNARY_FUNCTOR(RsqrtF, T(1) / std::sqrt(x));
-TFE_UNARY_FUNCTOR(TanhF, std::tanh(x));
-TFE_UNARY_FUNCTOR(SigmoidF, T(1) / (T(1) + std::exp(-x)));
-TFE_UNARY_FUNCTOR(SinF, std::sin(x));
-TFE_UNARY_FUNCTOR(CosF, std::cos(x));
-TFE_UNARY_FUNCTOR(ReciprocalF, T(1) / x);
-TFE_UNARY_FUNCTOR(FloorF, std::floor(x));
+// The scalar functors live in kernels/elementwise_functors.h, shared with the
+// FusedElementwise interpreter so fused and unfused execution agree bitwise.
 
 Status SelectKernel(KernelContext* ctx) {
   const Tensor& cond = ctx->input(0);
@@ -236,9 +205,12 @@ Status SelectKernel(KernelContext* ctx) {
     const T* xs = x.data<T>();
     const T* ys = y.data<T>();
     T* result = out.mutable_data<T>();
-    for (int64_t i = 0; i < x.num_elements(); ++i) {
-      result[i] = c[i] ? xs[i] : ys[i];
-    }
+    ParallelFor(ctx->eager_context(), x.num_elements(), kElementwiseGrain,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    result[i] = c[i] ? xs[i] : ys[i];
+                  }
+                });
   });
   return Status::OK();
 }
@@ -261,9 +233,12 @@ Status CastKernel(KernelContext* ctx) {
     const TIn* in = x.data<TIn>();
     TFE_SWITCH_NUMERIC(dst, TOut, {
       TOut* result = out.mutable_data<TOut>();
-      for (int64_t i = 0; i < count; ++i) {
-        result[i] = static_cast<TOut>(in[i]);
-      }
+      ParallelFor(ctx->eager_context(), count, kElementwiseGrain,
+                  [&](int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                      result[i] = static_cast<TOut>(in[i]);
+                    }
+                  });
     });
   });
   return Status::OK();
@@ -288,6 +263,7 @@ Status OnesLikeKernel(KernelContext* ctx) {
 }  // namespace
 
 void RegisterElementwiseKernels() {
+  using namespace functors;  // NOLINT(build/namespaces)
   RegisterKernel("Add", BinaryKernel<AddF>);
   RegisterKernel("Sub", BinaryKernel<SubF>);
   RegisterKernel("Mul", BinaryKernel<MulF>);

@@ -1,0 +1,79 @@
+// Scalar functors for the elementwise kernels. Shared between the per-op
+// kernels (elementwise.cpp) and the FusedElementwise interpreter so fused
+// execution applies the *identical* expressions — the bitwise-agreement
+// guarantee the fusion tests assert rests on this file being the single
+// source of truth.
+#ifndef TFE_KERNELS_ELEMENTWISE_FUNCTORS_H_
+#define TFE_KERNELS_ELEMENTWISE_FUNCTORS_H_
+
+#include <cmath>
+
+namespace tfe {
+namespace kernels {
+namespace functors {
+
+#define TFE_BINARY_FUNCTOR(NAME, EXPR)         \
+  struct NAME {                                \
+    template <typename T>                      \
+    static T Apply(T x, T y) {                 \
+      return (EXPR);                           \
+    }                                          \
+  }
+
+TFE_BINARY_FUNCTOR(AddF, x + y);
+TFE_BINARY_FUNCTOR(SubF, x - y);
+TFE_BINARY_FUNCTOR(MulF, x* y);
+TFE_BINARY_FUNCTOR(DivF, x / y);
+TFE_BINARY_FUNCTOR(MaximumF, x > y ? x : y);
+TFE_BINARY_FUNCTOR(MinimumF, x < y ? x : y);
+TFE_BINARY_FUNCTOR(SquaredDifferenceF, (x - y) * (x - y));
+TFE_BINARY_FUNCTOR(PowF, std::pow(x, y));
+
+#define TFE_COMPARE_FUNCTOR(NAME, OP)          \
+  struct NAME {                                \
+    template <typename T>                      \
+    static bool Apply(T x, T y) {              \
+      return x OP y;                           \
+    }                                          \
+  }
+
+TFE_COMPARE_FUNCTOR(EqualF, ==);
+TFE_COMPARE_FUNCTOR(NotEqualF, !=);
+TFE_COMPARE_FUNCTOR(LessF, <);
+TFE_COMPARE_FUNCTOR(LessEqualF, <=);
+TFE_COMPARE_FUNCTOR(GreaterF, >);
+TFE_COMPARE_FUNCTOR(GreaterEqualF, >=);
+
+#define TFE_UNARY_FUNCTOR(NAME, EXPR)          \
+  struct NAME {                                \
+    template <typename T>                      \
+    static T Apply(T x) {                      \
+      return (EXPR);                           \
+    }                                          \
+  }
+
+TFE_UNARY_FUNCTOR(NegF, -x);
+TFE_UNARY_FUNCTOR(AbsF, x < T(0) ? -x : x);
+TFE_UNARY_FUNCTOR(SquareF, x* x);
+TFE_UNARY_FUNCTOR(SignF, x > T(0) ? T(1) : (x < T(0) ? T(-1) : T(0)));
+TFE_UNARY_FUNCTOR(ReluF, x > T(0) ? x : T(0));
+TFE_UNARY_FUNCTOR(ExpF, std::exp(x));
+TFE_UNARY_FUNCTOR(LogF, std::log(x));
+TFE_UNARY_FUNCTOR(SqrtF, std::sqrt(x));
+TFE_UNARY_FUNCTOR(RsqrtF, T(1) / std::sqrt(x));
+TFE_UNARY_FUNCTOR(TanhF, std::tanh(x));
+TFE_UNARY_FUNCTOR(SigmoidF, T(1) / (T(1) + std::exp(-x)));
+TFE_UNARY_FUNCTOR(SinF, std::sin(x));
+TFE_UNARY_FUNCTOR(CosF, std::cos(x));
+TFE_UNARY_FUNCTOR(ReciprocalF, T(1) / x);
+TFE_UNARY_FUNCTOR(FloorF, std::floor(x));
+
+#undef TFE_BINARY_FUNCTOR
+#undef TFE_COMPARE_FUNCTOR
+#undef TFE_UNARY_FUNCTOR
+
+}  // namespace functors
+}  // namespace kernels
+}  // namespace tfe
+
+#endif  // TFE_KERNELS_ELEMENTWISE_FUNCTORS_H_

@@ -1,0 +1,345 @@
+#include "kernels/fused_elementwise.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kernels/elementwise_functors.h"
+#include "kernels/kernel_util.h"
+#include "runtime/eager_context.h"
+
+namespace tfe {
+namespace kernels {
+
+std::vector<int64_t> MicroProgram::Encode() const {
+  std::vector<int64_t> encoded;
+  encoded.reserve(2 + insts.size() * 3 + 1 + outputs.size());
+  encoded.push_back(num_operands);
+  encoded.push_back(static_cast<int64_t>(insts.size()));
+  for (const MicroInst& inst : insts) {
+    encoded.push_back(static_cast<int64_t>(inst.opcode));
+    encoded.push_back(inst.a);
+    encoded.push_back(inst.b);
+  }
+  encoded.push_back(static_cast<int64_t>(outputs.size()));
+  for (int32_t reg : outputs) encoded.push_back(reg);
+  return encoded;
+}
+
+StatusOr<MicroProgram> MicroProgram::Decode(
+    const std::vector<int64_t>& encoded) {
+  MicroProgram program;
+  size_t pos = 0;
+  auto next = [&]() -> StatusOr<int64_t> {
+    if (pos >= encoded.size()) {
+      return InvalidArgument("Truncated FusedElementwise program");
+    }
+    return encoded[pos++];
+  };
+  TFE_ASSIGN_OR_RETURN(program.num_operands, next());
+  TFE_ASSIGN_OR_RETURN(int64_t num_insts, next());
+  if (program.num_operands < 0 || num_insts <= 0) {
+    return InvalidArgument("Malformed FusedElementwise program header");
+  }
+  program.insts.reserve(num_insts);
+  for (int64_t i = 0; i < num_insts; ++i) {
+    MicroInst inst;
+    TFE_ASSIGN_OR_RETURN(int64_t opcode, next());
+    if (opcode < static_cast<int64_t>(MicroOpCode::kAdd) ||
+        opcode > static_cast<int64_t>(MicroOpCode::kFloor)) {
+      return InvalidArgument("Unknown FusedElementwise opcode");
+    }
+    inst.opcode = static_cast<MicroOpCode>(opcode);
+    TFE_ASSIGN_OR_RETURN(int64_t a, next());
+    TFE_ASSIGN_OR_RETURN(int64_t b, next());
+    // Instruction i may read operand registers and earlier results only.
+    const int64_t limit = program.num_operands + i;
+    if (a < 0 || a >= limit || b < 0 || b >= limit) {
+      return InvalidArgument("FusedElementwise register out of range");
+    }
+    inst.a = static_cast<int32_t>(a);
+    inst.b = static_cast<int32_t>(b);
+    program.insts.push_back(inst);
+  }
+  TFE_ASSIGN_OR_RETURN(int64_t num_outputs, next());
+  if (num_outputs < 0) {
+    return InvalidArgument("Malformed FusedElementwise output count");
+  }
+  for (int64_t i = 0; i < num_outputs; ++i) {
+    TFE_ASSIGN_OR_RETURN(int64_t reg, next());
+    if (reg < 0 || reg >= program.num_registers()) {
+      return InvalidArgument("FusedElementwise output register out of range");
+    }
+    program.outputs.push_back(static_cast<int32_t>(reg));
+  }
+  if (pos != encoded.size()) {
+    return InvalidArgument("Trailing data in FusedElementwise program");
+  }
+  return program;
+}
+
+bool MicroOpCodeFor(const std::string& op_name, MicroOpCode* code) {
+  static const std::unordered_map<std::string, MicroOpCode>* kMap =
+      new std::unordered_map<std::string, MicroOpCode>{
+          {"Add", MicroOpCode::kAdd},
+          {"Sub", MicroOpCode::kSub},
+          {"Mul", MicroOpCode::kMul},
+          {"Div", MicroOpCode::kDiv},
+          {"Maximum", MicroOpCode::kMaximum},
+          {"Minimum", MicroOpCode::kMinimum},
+          {"SquaredDifference", MicroOpCode::kSquaredDifference},
+          {"Pow", MicroOpCode::kPow},
+          {"Neg", MicroOpCode::kNeg},
+          {"Abs", MicroOpCode::kAbs},
+          {"Square", MicroOpCode::kSquare},
+          {"Sign", MicroOpCode::kSign},
+          {"Relu", MicroOpCode::kRelu},
+          {"Exp", MicroOpCode::kExp},
+          {"Log", MicroOpCode::kLog},
+          {"Sqrt", MicroOpCode::kSqrt},
+          {"Rsqrt", MicroOpCode::kRsqrt},
+          {"Tanh", MicroOpCode::kTanh},
+          {"Sigmoid", MicroOpCode::kSigmoid},
+          {"Sin", MicroOpCode::kSin},
+          {"Cos", MicroOpCode::kCos},
+          {"Reciprocal", MicroOpCode::kReciprocal},
+          {"Floor", MicroOpCode::kFloor},
+      };
+  auto it = kMap->find(op_name);
+  if (it == kMap->end()) return false;
+  *code = it->second;
+  return true;
+}
+
+int MicroOpArity(MicroOpCode code) {
+  return code <= MicroOpCode::kPow ? 2 : 1;
+}
+
+bool MicroOpSupports(MicroOpCode code, DType dtype) {
+  const bool numeric = dtype == DType::kFloat32 || dtype == DType::kFloat64 ||
+                       dtype == DType::kInt32 || dtype == DType::kInt64;
+  if (!numeric) return false;
+  const bool is_float = dtype == DType::kFloat32 || dtype == DType::kFloat64;
+  switch (code) {
+    case MicroOpCode::kPow:
+    case MicroOpCode::kExp:
+    case MicroOpCode::kLog:
+    case MicroOpCode::kSqrt:
+    case MicroOpCode::kRsqrt:
+    case MicroOpCode::kTanh:
+    case MicroOpCode::kSigmoid:
+    case MicroOpCode::kSin:
+    case MicroOpCode::kCos:
+    case MicroOpCode::kReciprocal:
+    case MicroOpCode::kFloor:
+      return is_float;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+// Below this many output elements a fused shard is not worth a pool hop.
+constexpr int64_t kFusedGrainElements = 16 * 1024;
+
+// Elements interpreted per block. The interpreter dispatches each micro-op
+// once per block and then runs a tight loop the compiler can vectorize; the
+// hot registers (an instruction's operands are almost always recent results)
+// stay cache-resident at this size.
+constexpr int64_t kFusedBlockElements = 512;
+
+// Strides are 0 (broadcast scalar) or 1, so specializing the four cases
+// keeps every loop body a unit-stride read the vectorizer understands.
+template <typename F, typename T>
+void BinaryBlock(const T* a, int sa, const T* b, int sb, T* out, int64_t len) {
+  if (sa == 1 && sb == 1) {
+    for (int64_t i = 0; i < len; ++i) out[i] = F::template Apply<T>(a[i], b[i]);
+  } else if (sa == 1) {
+    const T y = b[0];
+    for (int64_t i = 0; i < len; ++i) out[i] = F::template Apply<T>(a[i], y);
+  } else if (sb == 1) {
+    const T x = a[0];
+    for (int64_t i = 0; i < len; ++i) out[i] = F::template Apply<T>(x, b[i]);
+  } else {
+    const T value = F::template Apply<T>(a[0], b[0]);
+    for (int64_t i = 0; i < len; ++i) out[i] = value;
+  }
+}
+
+template <typename F, typename T>
+void UnaryBlock(const T* a, int sa, T* out, int64_t len) {
+  if (sa == 1) {
+    for (int64_t i = 0; i < len; ++i) out[i] = F::template Apply<T>(a[i]);
+  } else {
+    const T value = F::template Apply<T>(a[0]);
+    for (int64_t i = 0; i < len; ++i) out[i] = value;
+  }
+}
+
+// One traversal of the output index space, blocked: for each block, every
+// instruction runs as one tight loop writing its own register row, and the
+// published registers are copied to the kernel outputs.
+template <typename T>
+void RunTyped(EagerContext* ectx, const MicroProgram& program,
+              const std::vector<const T*>& operands,
+              const std::vector<int>& operand_stride,
+              const std::vector<T*>& outputs, int64_t count) {
+  const int64_t num_blocks =
+      (count + kFusedBlockElements - 1) / kFusedBlockElements;
+  const int64_t min_blocks =
+      std::max<int64_t>(1, kFusedGrainElements / kFusedBlockElements);
+  // Rows shrink with the tensor so a long program over a tiny tensor does
+  // not pay for (and zero-init) full 512-element registers.
+  const int64_t row_elements = std::min(kFusedBlockElements, count);
+  ParallelFor(ectx, num_blocks, min_blocks, [&](int64_t block_begin,
+                                                int64_t block_end) {
+    // One block-length row per instruction result, owned by the shard.
+    std::vector<T> regs(program.insts.size() * row_elements);
+    for (int64_t block = block_begin; block < block_end; ++block) {
+      const int64_t base = block * kFusedBlockElements;
+      const int64_t len = std::min(kFusedBlockElements, count - base);
+      // Register -> (pointer, stride) within this block.
+      auto src = [&](int32_t r) -> std::pair<const T*, int> {
+        if (r < program.num_operands) {
+          return {operands[r] + (operand_stride[r] != 0 ? base : 0),
+                  operand_stride[r]};
+        }
+        return {regs.data() + (r - program.num_operands) * row_elements, 1};
+      };
+      for (size_t j = 0; j < program.insts.size(); ++j) {
+        const MicroInst& inst = program.insts[j];
+        auto [pa, sa] = src(inst.a);
+        T* out = regs.data() + j * row_elements;
+        if (MicroOpArity(inst.opcode) == 2) {
+          auto [pb, sb] = src(inst.b);
+          using namespace functors;  // NOLINT(build/namespaces)
+          switch (inst.opcode) {
+#define TFE_FUSED_BINARY_CASE(code, F)        \
+  case MicroOpCode::code:                     \
+    BinaryBlock<F, T>(pa, sa, pb, sb, out, len); \
+    break;
+            TFE_FUSED_BINARY_CASE(kAdd, AddF)
+            TFE_FUSED_BINARY_CASE(kSub, SubF)
+            TFE_FUSED_BINARY_CASE(kMul, MulF)
+            TFE_FUSED_BINARY_CASE(kDiv, DivF)
+            TFE_FUSED_BINARY_CASE(kMaximum, MaximumF)
+            TFE_FUSED_BINARY_CASE(kMinimum, MinimumF)
+            TFE_FUSED_BINARY_CASE(kSquaredDifference, SquaredDifferenceF)
+            TFE_FUSED_BINARY_CASE(kPow, PowF)
+#undef TFE_FUSED_BINARY_CASE
+            default:
+              break;  // unreachable; arity == 2 covers exactly these
+          }
+        } else {
+          using namespace functors;  // NOLINT(build/namespaces)
+          switch (inst.opcode) {
+#define TFE_FUSED_UNARY_CASE(code, F) \
+  case MicroOpCode::code:             \
+    UnaryBlock<F, T>(pa, sa, out, len); \
+    break;
+            TFE_FUSED_UNARY_CASE(kNeg, NegF)
+            TFE_FUSED_UNARY_CASE(kAbs, AbsF)
+            TFE_FUSED_UNARY_CASE(kSquare, SquareF)
+            TFE_FUSED_UNARY_CASE(kSign, SignF)
+            TFE_FUSED_UNARY_CASE(kRelu, ReluF)
+            TFE_FUSED_UNARY_CASE(kExp, ExpF)
+            TFE_FUSED_UNARY_CASE(kLog, LogF)
+            TFE_FUSED_UNARY_CASE(kSqrt, SqrtF)
+            TFE_FUSED_UNARY_CASE(kRsqrt, RsqrtF)
+            TFE_FUSED_UNARY_CASE(kTanh, TanhF)
+            TFE_FUSED_UNARY_CASE(kSigmoid, SigmoidF)
+            TFE_FUSED_UNARY_CASE(kSin, SinF)
+            TFE_FUSED_UNARY_CASE(kCos, CosF)
+            TFE_FUSED_UNARY_CASE(kReciprocal, ReciprocalF)
+            TFE_FUSED_UNARY_CASE(kFloor, FloorF)
+#undef TFE_FUSED_UNARY_CASE
+            default:
+              break;  // unreachable; Decode validated the opcode
+          }
+        }
+      }
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        auto [p, stride] = src(program.outputs[o]);
+        T* dst = outputs[o] + base;
+        if (stride == 1) {
+          std::copy(p, p + len, dst);
+        } else {
+          std::fill(dst, dst + len, p[0]);
+        }
+      }
+    }
+  });
+}
+
+Status FusedElementwiseKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto encoded,
+                       ctx->GetAttr<std::vector<int64_t>>("program"));
+  TFE_ASSIGN_OR_RETURN(MicroProgram program, MicroProgram::Decode(encoded));
+  const std::vector<Tensor>& inputs = ctx->inputs();
+  if (program.num_operands != static_cast<int64_t>(inputs.size())) {
+    return InvalidArgument("FusedElementwise operand count mismatch");
+  }
+  if (inputs.empty()) {
+    return InvalidArgument("FusedElementwise requires at least one operand");
+  }
+
+  const DType dtype = inputs[0].dtype();
+  Shape out_shape = inputs[0].shape();
+  for (const Tensor& input : inputs) {
+    if (input.dtype() != dtype) {
+      return InvalidArgument("FusedElementwise operand dtype mismatch");
+    }
+    if (input.num_elements() > out_shape.num_elements()) {
+      out_shape = input.shape();
+    }
+  }
+  for (const Tensor& input : inputs) {
+    if (input.shape() != out_shape && input.num_elements() != 1) {
+      return InvalidArgument(
+          "FusedElementwise operands must match the run shape or be scalars");
+    }
+  }
+  for (const MicroInst& inst : program.insts) {
+    if (!MicroOpSupports(inst.opcode, dtype)) {
+      return InvalidArgument("FusedElementwise opcode unsupported for dtype");
+    }
+  }
+
+  EagerContext* ectx = ctx->eager_context();
+  ectx->stats().fused_runs.fetch_add(1, std::memory_order_relaxed);
+  ectx->stats().fused_ops.fetch_add(program.insts.size(),
+                                    std::memory_order_relaxed);
+
+  const int64_t count = out_shape.num_elements();
+  TFE_SWITCH_NUMERIC(dtype, T, {
+    std::vector<const T*> operand_ptrs;
+    std::vector<int> operand_stride;
+    operand_ptrs.reserve(inputs.size());
+    operand_stride.reserve(inputs.size());
+    for (const Tensor& input : inputs) {
+      operand_ptrs.push_back(input.data<T>());
+      operand_stride.push_back(
+          input.num_elements() == 1 && count > 1 ? 0 : 1);
+    }
+    std::vector<T*> output_ptrs;
+    output_ptrs.reserve(program.outputs.size());
+    for (size_t o = 0; o < program.outputs.size(); ++o) {
+      Tensor out = ctx->AllocateOutput(static_cast<int>(o), dtype, out_shape);
+      output_ptrs.push_back(out.mutable_data<T>());
+    }
+    RunTyped<T>(ectx, program, operand_ptrs, operand_stride, output_ptrs,
+                count);
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterFusedElementwiseKernels() {
+  RegisterKernel("FusedElementwise", FusedElementwiseKernel);
+}
+
+}  // namespace kernels
+}  // namespace tfe

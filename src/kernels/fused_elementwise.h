@@ -1,0 +1,97 @@
+// FusedElementwise: one kernel invocation executing a run of elementwise ops
+// as a compact micro-op program in a single memory traversal.
+//
+// Both fusion frontends — the op-queue drain (dynamic, paper §5) and the
+// graph pass in graph/passes.cpp (static, the §4.6 staged-optimization
+// opportunity) — lower a recognized run to the same program encoding and the
+// same interpreter, so fused execution is bitwise identical in either stage.
+//
+// Program encoding (the "program" attr, a vector<int64_t>):
+//
+//     [num_operands, num_insts,
+//      opcode_0, a_0, b_0, ..., opcode_{n-1}, a_{n-1}, b_{n-1},
+//      num_outputs, out_reg_0, ...]
+//
+// Registers [0, num_operands) hold the kernel's inputs (full tensors of the
+// run shape, or broadcast scalars); register num_operands + i holds
+// instruction i's result. `b` is ignored for unary opcodes. Output registers
+// name which instruction results materialize as kernel outputs.
+#ifndef TFE_KERNELS_FUSED_ELEMENTWISE_H_
+#define TFE_KERNELS_FUSED_ELEMENTWISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "tensor/dtype.h"
+
+namespace tfe {
+namespace kernels {
+
+// Opcodes mirror the scalar functors in elementwise_functors.h one-for-one;
+// the interpreter applies the identical expressions, which is what makes a
+// fused run agree bitwise with op-at-a-time execution.
+enum class MicroOpCode : int64_t {
+  kAdd = 0,
+  kSub,
+  kMul,
+  kDiv,
+  kMaximum,
+  kMinimum,
+  kSquaredDifference,
+  kPow,
+  kNeg,
+  kAbs,
+  kSquare,
+  kSign,
+  kRelu,
+  kExp,
+  kLog,
+  kSqrt,
+  kRsqrt,
+  kTanh,
+  kSigmoid,
+  kSin,
+  kCos,
+  kReciprocal,
+  kFloor,
+};
+
+struct MicroInst {
+  MicroOpCode opcode = MicroOpCode::kAdd;
+  // Register operands; `b` is ignored for unary opcodes.
+  int32_t a = 0;
+  int32_t b = 0;
+};
+
+struct MicroProgram {
+  int64_t num_operands = 0;
+  std::vector<MicroInst> insts;
+  // Registers published as kernel outputs, in output order.
+  std::vector<int32_t> outputs;
+
+  int64_t num_registers() const {
+    return num_operands + static_cast<int64_t>(insts.size());
+  }
+
+  std::vector<int64_t> Encode() const;
+  static StatusOr<MicroProgram> Decode(const std::vector<int64_t>& encoded);
+};
+
+// Maps a primitive op name to its opcode; false when the op is not fusable.
+bool MicroOpCodeFor(const std::string& op_name, MicroOpCode* code);
+
+// 1 or 2. Only meaningful for codes produced by MicroOpCodeFor.
+int MicroOpArity(MicroOpCode code);
+
+// Transcendental opcodes require floating dtypes; arithmetic ones accept any
+// numeric dtype.
+bool MicroOpSupports(MicroOpCode code, DType dtype);
+
+void RegisterFusedElementwiseKernels();
+
+}  // namespace kernels
+}  // namespace tfe
+
+#endif  // TFE_KERNELS_FUSED_ELEMENTWISE_H_

@@ -3,6 +3,7 @@
 #define TFE_KERNELS_KERNEL_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ops/kernel.h"
@@ -69,6 +70,18 @@ std::vector<int64_t> BroadcastStrides(const Shape& input, const Shape& output);
 // Registers `fn` for `op_name` on all device kinds, CHECK-failing on
 // duplicates (used by the startup registrars).
 void RegisterKernel(const char* op_name, KernelFn fn);
+
+// Shards [0, total) into contiguous ranges and runs `fn(begin, end)` on the
+// context's intra-op thread pool, with the calling thread taking the first
+// shard. Runs serially when the range is below `min_per_shard` (the grain —
+// small tensors never pay a pool hop), when `ctx` is null, or when intra-op
+// parallelism is disabled on the context. Blocks until every shard finishes.
+//
+// `fn` must write only to disjoint state per shard and must not call
+// ParallelFor itself: shard bodies run as thread-pool leaves, and nesting
+// would block a pool thread on the pool.
+void ParallelFor(EagerContext* ctx, int64_t total, int64_t min_per_shard,
+                 const std::function<void(int64_t, int64_t)>& fn);
 
 }  // namespace kernels
 }  // namespace tfe

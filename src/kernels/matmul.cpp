@@ -9,9 +9,13 @@ namespace {
 
 // C[m,n] += A[m,k] * B[k,n], with A/B addressed through lda/ldb and optional
 // logical transposition folded into the index functions by the caller.
+//
+// Sharded across the intra-op pool by i0 row block. Every row's accumulation
+// order (p0 ascending, then p ascending) is the same under any shard split,
+// so the parallel product is bitwise identical to the serial one.
 template <typename T>
-void Gemm(const T* a, const T* b, T* c, int64_t m, int64_t n, int64_t k,
-          bool transpose_a, bool transpose_b) {
+void Gemm(EagerContext* ectx, const T* a, const T* b, T* c, int64_t m,
+          int64_t n, int64_t k, bool transpose_a, bool transpose_b) {
   auto a_at = [&](int64_t i, int64_t p) {
     return transpose_a ? a[p * m + i] : a[i * k + p];
   };
@@ -19,22 +23,30 @@ void Gemm(const T* a, const T* b, T* c, int64_t m, int64_t n, int64_t k,
     return transpose_b ? b[j * k + p] : b[p * n + j];
   };
   constexpr int64_t kBlock = 64;
-  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    int64_t i1 = std::min(i0 + kBlock, m);
-    for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
-      int64_t p1 = std::min(p0 + kBlock, k);
-      for (int64_t i = i0; i < i1; ++i) {
-        for (int64_t p = p0; p < p1; ++p) {
-          T aval = a_at(i, p);
-          if (aval == T(0)) continue;
-          T* c_row = c + i * n;
-          for (int64_t j = 0; j < n; ++j) {
-            c_row[j] += aval * b_at(p, j);
+  const int64_t row_blocks = (m + kBlock - 1) / kBlock;
+  // Stay serial below ~2M multiply-adds: sharding overhead beats the win.
+  const int64_t min_blocks_per_shard =
+      m * n * k >= (int64_t{2} << 20) ? 1 : row_blocks;
+  ParallelFor(ectx, row_blocks, min_blocks_per_shard,
+              [&](int64_t block_begin, int64_t block_end) {
+    for (int64_t block = block_begin; block < block_end; ++block) {
+      const int64_t i0 = block * kBlock;
+      const int64_t i1 = std::min(i0 + kBlock, m);
+      for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
+        int64_t p1 = std::min(p0 + kBlock, k);
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t p = p0; p < p1; ++p) {
+            T aval = a_at(i, p);
+            if (aval == T(0)) continue;
+            T* c_row = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              c_row[j] += aval * b_at(p, j);
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 Status MatMulKernel(KernelContext* ctx) {
@@ -56,7 +68,8 @@ Status MatMulKernel(KernelContext* ctx) {
   }
   Tensor out = ctx->AllocateOutput(0, a.dtype(), Shape({m, n}));
   TFE_SWITCH_FLOAT(a.dtype(), T, {
-    Gemm<T>(a.data<T>(), b.data<T>(), out.mutable_data<T>(), m, n, ka, ta, tb);
+    Gemm<T>(ctx->eager_context(), a.data<T>(), b.data<T>(),
+            out.mutable_data<T>(), m, n, ka, ta, tb);
   });
   return Status::OK();
 }

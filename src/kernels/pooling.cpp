@@ -55,17 +55,50 @@ StatusOr<PoolGeometry> MakeGeometry(KernelContext* ctx, const Shape& input) {
   return g;
 }
 
-template <typename T, typename PerWindowFn>
-void ForEachWindow(const PoolGeometry& g, PerWindowFn fn) {
-  for (int64_t n = 0; n < g.batch; ++n) {
-    for (int64_t oh = 0; oh < g.out_h; ++oh) {
+// Below this many window-element visits per shard the loops stay serial.
+constexpr int64_t kPoolShardWork = 1 << 18;
+
+// Iterates all windows, sharded over (n, oh) output rows. Only valid when
+// `fn`'s writes are disjoint per output row (the forward kernels).
+template <typename PerWindowFn>
+void ForEachWindowByRow(EagerContext* ectx, const PoolGeometry& g,
+                        PerWindowFn fn) {
+  const int64_t rows = g.batch * g.out_h;
+  const int64_t row_work = g.out_w * g.channels * g.k_h * g.k_w;
+  const int64_t min_rows =
+      std::max<int64_t>(1, kPoolShardWork / std::max<int64_t>(row_work, 1));
+  ParallelFor(ectx, rows, min_rows, [&](int64_t begin, int64_t end) {
+    for (int64_t row = begin; row < end; ++row) {
+      const int64_t n = row / g.out_h;
+      const int64_t oh = row % g.out_h;
       for (int64_t ow = 0; ow < g.out_w; ++ow) {
         for (int64_t c = 0; c < g.channels; ++c) {
           fn(n, oh, ow, c);
         }
       }
     }
-  }
+  });
+}
+
+// Iterates all windows, sharded per batch image: the grad kernels scatter
+// into overlapping input rows, so only the batch dimension is write-disjoint.
+template <typename PerWindowFn>
+void ForEachWindowByImage(EagerContext* ectx, const PoolGeometry& g,
+                          PerWindowFn fn) {
+  const int64_t image_work = g.out_h * g.out_w * g.channels * g.k_h * g.k_w;
+  const int64_t min_images =
+      std::max<int64_t>(1, kPoolShardWork / std::max<int64_t>(image_work, 1));
+  ParallelFor(ectx, g.batch, min_images, [&](int64_t begin, int64_t end) {
+    for (int64_t n = begin; n < end; ++n) {
+      for (int64_t oh = 0; oh < g.out_h; ++oh) {
+        for (int64_t ow = 0; ow < g.out_w; ++ow) {
+          for (int64_t c = 0; c < g.channels; ++c) {
+            fn(n, oh, ow, c);
+          }
+        }
+      }
+    }
+  });
 }
 
 template <typename T>
@@ -88,7 +121,7 @@ Status MaxPoolKernel(KernelContext* ctx) {
   TFE_SWITCH_FLOAT(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();
-    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+    ForEachWindowByRow(ctx->eager_context(), g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
       T best = -std::numeric_limits<T>::infinity();
       for (int64_t kh = 0; kh < g.k_h; ++kh) {
         int64_t ih = oh * g.stride_h + kh - g.pad_top;
@@ -117,7 +150,7 @@ Status MaxPoolGradKernel(KernelContext* ctx) {
     const T* out = y.data<T>();
     const T* grad = dy.data<T>();
     T* din = dx.mutable_data<T>();
-    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+    ForEachWindowByImage(ctx->eager_context(), g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
       int64_t out_off = OutputOffset<T>(g, n, oh, ow, c);
       T max_value = out[out_off];
       // Route the gradient to the first element achieving the max,
@@ -148,7 +181,7 @@ Status AvgPoolKernel(KernelContext* ctx) {
   TFE_SWITCH_FLOAT(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();
-    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+    ForEachWindowByRow(ctx->eager_context(), g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
       T sum = T(0);
       int64_t count = 0;
       for (int64_t kh = 0; kh < g.k_h; ++kh) {
@@ -177,7 +210,7 @@ Status AvgPoolGradKernel(KernelContext* ctx) {
   TFE_SWITCH_FLOAT(dy.dtype(), T, {
     const T* grad = dy.data<T>();
     T* din = dx.mutable_data<T>();
-    ForEachWindow<T>(g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
+    ForEachWindowByImage(ctx->eager_context(), g, [&](int64_t n, int64_t oh, int64_t ow, int64_t c) {
       int64_t count = 0;
       for (int64_t kh = 0; kh < g.k_h; ++kh) {
         int64_t ih = oh * g.stride_h + kh - g.pad_top;

@@ -52,6 +52,15 @@ Status RandomKernel(KernelContext* ctx) {
     return fill(gen);
   }
   EagerContext* ectx = ctx->eager_context();
+  // Seed-0 ops draw from the Philox stream reserved for this op at dispatch
+  // / graph-node level: fresh randomness per execution, but *deterministic*
+  // regardless of how kernel executions interleave across threads (the
+  // shared stateful generator below hands out values in execution order,
+  // which the parallel executor does not fix).
+  if (const uint64_t stream = ctx->rng_stream(); stream != 0) {
+    random::Philox gen(ectx->random_seed(), stream);
+    return fill(gen);
+  }
   std::lock_guard<std::mutex> lock(ectx->rng_mu());
   return fill(ectx->rng());
 }

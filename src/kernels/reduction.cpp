@@ -42,9 +42,28 @@ StatusOr<ReductionPlan> MakePlan(KernelContext* ctx, const Shape& in) {
 
 enum class Reduction { kSum, kMean, kMax, kMin };
 
+// Below this many element visits per shard reductions stay serial.
+constexpr int64_t kReduceShardWork = 1 << 18;
+
+// True when every reduced dim follows every kept dim, i.e. the input is a
+// row-major [outer, reduce_count] matrix and each output element folds one
+// contiguous block. Only that layout is sharded: each output's accumulation
+// is fully owned by one shard, so the parallel result is bitwise identical.
+bool IsTrailingReduction(const ReductionPlan& plan) {
+  bool seen_reduced = false;
+  for (bool reduced : plan.reduced) {
+    if (reduced) {
+      seen_reduced = true;
+    } else if (seen_reduced) {
+      return false;
+    }
+  }
+  return true;
+}
+
 template <typename T>
-void Reduce(const Tensor& x, Tensor& out, const ReductionPlan& plan,
-            Reduction kind) {
+void Reduce(EagerContext* ectx, const Tensor& x, Tensor& out,
+            const ReductionPlan& plan, Reduction kind) {
   const T* in = x.data<T>();
   T* result = out.mutable_data<T>();
   const int rank = x.shape().rank();
@@ -63,6 +82,36 @@ void Reduce(const Tensor& x, Tensor& out, const ReductionPlan& plan,
   }
   for (int64_t i = 0; i < out_count; ++i) result[i] = init;
 
+  if (IsTrailingReduction(plan) && plan.reduce_count > 0) {
+    const int64_t rc = plan.reduce_count;
+    const int64_t min_outputs =
+        std::max<int64_t>(1, kReduceShardWork / std::max<int64_t>(rc, 1));
+    ParallelFor(ectx, out_count, min_outputs, [&](int64_t begin, int64_t end) {
+      for (int64_t o = begin; o < end; ++o) {
+        const T* block = in + o * rc;
+        T acc = init;
+        switch (kind) {
+          case Reduction::kSum:
+          case Reduction::kMean:
+            for (int64_t a = 0; a < rc; ++a) acc += block[a];
+            break;
+          case Reduction::kMax:
+            for (int64_t a = 0; a < rc; ++a) acc = std::max(acc, block[a]);
+            break;
+          case Reduction::kMin:
+            for (int64_t a = 0; a < rc; ++a) acc = std::min(acc, block[a]);
+            break;
+        }
+        if (kind == Reduction::kMean) acc /= static_cast<T>(rc);
+        result[o] = acc;
+      }
+    });
+    return;
+  }
+
+  // General layouts stay serial: an input-order walk interleaves outputs
+  // across shard boundaries, so any split would either race or change the
+  // fp accumulation order.
   // Map each input element to its output slot via the non-reduced dims.
   std::vector<int64_t> out_stride_of_dim(rank, 0);
   {
@@ -109,7 +158,8 @@ Status ReductionKernel(KernelContext* ctx) {
   const Tensor& x = ctx->input(0);
   TFE_ASSIGN_OR_RETURN(ReductionPlan plan, MakePlan(ctx, x.shape()));
   Tensor out = ctx->AllocateOutput(0, x.dtype(), plan.out_shape);
-  TFE_SWITCH_NUMERIC(x.dtype(), T, { Reduce<T>(x, out, plan, kKind); });
+  TFE_SWITCH_NUMERIC(x.dtype(), T,
+                     { Reduce<T>(ctx->eager_context(), x, out, plan, kKind); });
   return Status::OK();
 }
 
@@ -136,20 +186,28 @@ Status ArgMaxKernel(KernelContext* ctx) {
   TFE_SWITCH_NUMERIC(x.dtype(), T, {
     const T* in = x.data<T>();
     int64_t* result = out.mutable_data<int64_t>();
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        T best = in[o * axis_size * inner + i];
-        int64_t best_index = 0;
-        for (int64_t a = 1; a < axis_size; ++a) {
-          T value = in[(o * axis_size + a) * inner + i];
-          if (value > best) {
-            best = value;
-            best_index = a;
+    // Each outer slice owns a disjoint result range and every argmax scan
+    // is per-element, so sharding over `outer` changes nothing numerically.
+    const int64_t slice_work = axis_size * inner;
+    const int64_t min_outer = std::max<int64_t>(
+        1, kReduceShardWork / std::max<int64_t>(slice_work, 1));
+    ParallelFor(ctx->eager_context(), outer, min_outer,
+                [&](int64_t begin, int64_t end) {
+      for (int64_t o = begin; o < end; ++o) {
+        for (int64_t i = 0; i < inner; ++i) {
+          T best = in[o * axis_size * inner + i];
+          int64_t best_index = 0;
+          for (int64_t a = 1; a < axis_size; ++a) {
+            T value = in[(o * axis_size + a) * inner + i];
+            if (value > best) {
+              best = value;
+              best_index = a;
+            }
           }
+          result[o * inner + i] = best_index;
         }
-        result[o * inner + i] = best_index;
       }
-    }
+    });
   });
   return Status::OK();
 }

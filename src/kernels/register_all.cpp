@@ -15,6 +15,7 @@ void RegisterControlFlowOps();    // staging/control_flow.cpp
 
 namespace kernels {
 void RegisterElementwiseKernels();
+void RegisterFusedElementwiseKernels();
 void RegisterMatMulKernels();
 void RegisterConvKernels();
 void RegisterPoolingKernels();
@@ -34,6 +35,7 @@ void EnsureOpsRegistered() {
   std::call_once(once, [] {
     RegisterAllOpDefs();
     kernels::RegisterElementwiseKernels();
+    kernels::RegisterFusedElementwiseKernels();
     kernels::RegisterMatMulKernels();
     kernels::RegisterConvKernels();
     kernels::RegisterPoolingKernels();

@@ -86,6 +86,14 @@ class KernelContext {
   bool compiled() const { return compiled_; }
   void set_compiled(bool compiled) { compiled_ = compiled; }
 
+  // Deterministic Philox stream for seed-0 random ops, assigned at dispatch
+  // (program order) or per graph node — never at execution time, so thread
+  // interleaving cannot change which stream an op draws from. 0 means
+  // unassigned (e.g. constant folding); kernels then fall back to the
+  // context's shared stateful stream.
+  uint64_t rng_stream() const { return rng_stream_; }
+  void set_rng_stream(uint64_t stream) { rng_stream_ = stream; }
+
  private:
   EagerContext* eager_context_;
   Device* device_;
@@ -95,6 +103,7 @@ class KernelContext {
   uint64_t start_ns_ = 0;
   uint64_t completion_ns_ = 0;
   bool compiled_ = false;
+  uint64_t rng_stream_ = 0;
 };
 
 using KernelFn = std::function<Status(KernelContext*)>;

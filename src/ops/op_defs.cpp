@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/fused_elementwise.h"
 #include "ops/op_registry.h"
 #include "support/strings.h"
 
@@ -691,6 +692,35 @@ struct Registrar {
                    .is_stateful = true,
                    .differentiable = false,
                    .shape_fn = NoOutputs});
+
+    // A fused run of elementwise ops interpreting a micro-op program (see
+    // kernels/fused_elementwise.h for the encoding). Produced only by the
+    // op-queue drain and the FuseElementwise graph pass, never by tracing —
+    // autodiff sees the original per-op graph, so no gradient exists.
+    RegisterOrDie({.name = "FusedElementwise",
+                   .num_inputs = OpDef::kVariadic,
+                   .differentiable = false,
+                   .shape_fn = [](InferenceContext* ctx) {
+                     TFE_ASSIGN_OR_RETURN(
+                         auto encoded,
+                         ctx->GetAttr<std::vector<int64_t>>("program"));
+                     TFE_ASSIGN_OR_RETURN(
+                         kernels::MicroProgram program,
+                         kernels::MicroProgram::Decode(encoded));
+                     if (ctx->num_inputs() == 0) {
+                       return InvalidArgument(
+                           "FusedElementwise requires inputs");
+                     }
+                     Shape out = ctx->input_shape(0);
+                     for (int i = 1; i < ctx->num_inputs(); ++i) {
+                       TFE_ASSIGN_OR_RETURN(
+                           out, BroadcastShapes(out, ctx->input_shape(i)));
+                     }
+                     for (size_t o = 0; o < program.outputs.size(); ++o) {
+                       ctx->AddOutput(ctx->input_dtype(0), out);
+                     }
+                     return Status::OK();
+                   }});
   }
 };
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "executor/executor.h"
 #include "ops/op_registry.h"
 #include "runtime/op_queue.h"
 #include "support/strings.h"
@@ -55,8 +56,11 @@ std::mutex& GlobalMu() {
 EagerContext::EagerContext() : EagerContext(Options()) {}
 
 EagerContext::EagerContext(const Options& options)
-    : host_profile_(options.host_profile),
+    : fuse_elementwise_(options.fuse_elementwise),
+      intra_op_parallelism_(options.intra_op_parallelism),
+      host_profile_(options.host_profile),
       rng_(options.random_seed, /*stream=*/0x7465666f),
+      random_seed_(options.random_seed),
       async_(options.async) {
   EnsureOpsRegistered();
   // Paper §4.4: "During program startup, the runtime detects the devices
@@ -77,6 +81,7 @@ EagerContext::EagerContext(const Options& options)
     threads = std::max(2u, std::thread::hardware_concurrency());
   }
   executor_pool_ = std::make_unique<ThreadPool>("tfe_executor", threads);
+  intraop_pool_ = std::make_unique<ThreadPool>("tfe_intraop", threads);
 }
 
 EagerContext::~EagerContext() {
@@ -163,7 +168,8 @@ StatusOr<Tensor> EagerContext::CopyToDevice(const Tensor& tensor,
 
 StatusOr<EagerContext::KernelRun> EagerContext::ExecuteKernel(
     const std::string& op_name, const std::vector<Tensor>& inputs,
-    const AttrMap& attrs, Device* device, bool compiled, uint64_t start_ns) {
+    const AttrMap& attrs, Device* device, bool compiled, uint64_t start_ns,
+    uint64_t rng_stream) {
   KernelRun run;
   const bool execute = device->executes_kernels() || AlwaysExecutes(op_name);
   // An opaque input forces simulation regardless: there are no values to
@@ -188,6 +194,7 @@ StatusOr<EagerContext::KernelRun> EagerContext::ExecuteKernel(
     KernelContext ctx(this, device, inputs, &attrs);
     ctx.set_start_ns(start_ns);
     ctx.set_compiled(compiled);
+    ctx.set_rng_stream(rng_stream);
     uint64_t wall_begin = NowWallNs();
     TFE_RETURN_IF_ERROR((*kernel)(&ctx));
     uint64_t wall_ns = NowWallNs() - wall_begin;
@@ -265,13 +272,26 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
   TFE_ASSIGN_OR_RETURN(Device * device,
                        ResolveDevice(op_name, inputs, requested_device));
 
-  // Async fast path (paper §5): enqueue and return pending handles. Composite
-  // and stateful ops (AlwaysExecutes) re-enter the runtime or touch shared
-  // state, so they stay on the synchronous path and act as sync points.
-  if (async() && !AlwaysExecutes(op_name)) {
-    std::vector<Tensor> pending;
-    if (EnqueueAsync(op_name, inputs, attrs, device, &pending)) {
-      return pending;
+  // Async fast path (paper §5): enqueue and return pending handles. Variable
+  // ops are sequenced through the owning variable's device queue too, so
+  // optimizer updates overlap the next step's dispatch instead of acting as
+  // sync points; in-order draining keeps assign/read ordering intact. Other
+  // composite and stateful ops (AlwaysExecutes) re-enter the runtime or
+  // touch shared state, so they stay on the synchronous path.
+  if (async()) {
+    if (!AlwaysExecutes(op_name) || IsVariableOp(op_name)) {
+      std::vector<Tensor> pending;
+      if (EnqueueAsync(op_name, inputs, attrs, device, &pending)) {
+        return pending;
+      }
+    }
+    // Synchronous stateful ops (Call, SaveTensor, iterator/hash-table ops,
+    // or a variable op falling back from EnqueueAsync) may read state the
+    // queues are still updating: order them behind every queued op. Executor
+    // threads skip the wait — their enclosing Call already drained, and
+    // blocking a pool thread here could starve the drains it waits on.
+    if (AlwaysExecutes(op_name) && !Executor::InExecutor()) {
+      WaitQueuesDrained();
     }
   }
 
@@ -311,7 +331,8 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
 
   TFE_ASSIGN_OR_RETURN(KernelRun run,
                        ExecuteKernel(op_name, inputs, attrs, device,
-                                     /*compiled=*/false, host_now_ns()));
+                                     /*compiled=*/false, host_now_ns(),
+                                     NextRngStream()));
 
   if (run.completion_ns != 0) {
     if (device->synchronous()) RaiseHostNs(run.completion_ns);
@@ -363,6 +384,9 @@ bool EagerContext::EnqueueAsync(const std::string& op_name,
   node.inputs = inputs;
   node.attrs = attrs;
   node.enqueue_host_ns = host_now_ns();
+  // Reserved at enqueue (host program order), not at drain time, so queue
+  // interleaving across devices cannot change a random op's stream.
+  node.rng_stream = NextRngStream();
   std::vector<Tensor> result;
   result.reserve(infer.outputs().size());
   for (const TypeAndShape& out : infer.outputs()) {
@@ -442,6 +466,8 @@ void EagerContext::ResetVirtualTime() {
   stats_.function_calls.store(0);
   stats_.traces.store(0);
   stats_.device_copies.store(0);
+  stats_.fused_runs.store(0);
+  stats_.fused_ops.store(0);
 }
 
 // ---- DeviceScope ------------------------------------------------------------

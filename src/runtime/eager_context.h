@@ -64,6 +64,14 @@ class EagerContext {
     // per-device queues and return pending handles. Off by default — all
     // synchronous semantics (and tests) are unchanged unless opted in.
     bool async = false;
+    // Cross-op elementwise fusion: the op-queue drain and the Call kernel
+    // collapse runs of shape-compatible elementwise ops into one
+    // FusedElementwise kernel (single traversal, bitwise-identical values).
+    bool fuse_elementwise = true;
+    // Intra-op parallelism: large CPU kernels shard across the dedicated
+    // intra-op pool via kernels::ParallelFor. Values are bitwise identical
+    // to serial execution (shards never change accumulation order).
+    bool intra_op_parallelism = true;
   };
 
   EagerContext();  // default Options
@@ -82,6 +90,23 @@ class EagerContext {
   Device* HostCpu() const { return host_cpu_; }
   FunctionLibrary& functions() { return functions_; }
   ThreadPool& executor_pool() { return *executor_pool_; }
+  // Pool for kernel-internal sharding (kernels::ParallelFor). Distinct from
+  // the executor pool so a kernel waiting on its shards can never deadlock
+  // against other kernels occupying executor threads.
+  ThreadPool& intraop_pool() { return *intraop_pool_; }
+
+  bool fuse_elementwise() const {
+    return fuse_elementwise_.load(std::memory_order_relaxed);
+  }
+  void set_fuse_elementwise(bool fuse) {
+    fuse_elementwise_.store(fuse, std::memory_order_relaxed);
+  }
+  bool intra_op_parallelism() const {
+    return intra_op_parallelism_.load(std::memory_order_relaxed);
+  }
+  void set_intra_op_parallelism(bool parallel) {
+    intra_op_parallelism_.store(parallel, std::memory_order_relaxed);
+  }
 
   const HostProfile& host_profile() const { return host_profile_; }
   void set_host_profile(const HostProfile& profile) {
@@ -131,10 +156,14 @@ class EagerContext {
     // Set by composite kernels (Call) that schedule device time themselves.
     uint64_t completion_ns = 0;
   };
+  // `rng_stream` is the deterministic Philox stream for seed-0 random ops
+  // (see KernelContext::rng_stream); 0 leaves the kernel on the shared
+  // stateful stream.
   StatusOr<KernelRun> ExecuteKernel(const std::string& op_name,
                                     const std::vector<Tensor>& inputs,
                                     const AttrMap& attrs, Device* device,
-                                    bool compiled, uint64_t start_ns);
+                                    bool compiled, uint64_t start_ns,
+                                    uint64_t rng_stream = 0);
 
   // Placement: explicit request > device scope > first input's device (if a
   // kernel exists there) > host CPU. Variable ops stick to the variable's
@@ -172,12 +201,25 @@ class EagerContext {
     std::atomic<uint64_t> function_calls{0};
     std::atomic<uint64_t> traces{0};
     std::atomic<uint64_t> device_copies{0};
+    // FusedElementwise invocations / primitive ops folded into them.
+    std::atomic<uint64_t> fused_runs{0};
+    std::atomic<uint64_t> fused_ops{0};
   };
   Stats& stats() { return stats_; }
 
-  // The context-level stateful RNG stream backing seed-0 random ops.
+  // The context-level stateful RNG stream backing seed-0 random ops that
+  // were dispatched without an assigned stream (rng_stream == 0).
   random::Philox& rng() { return rng_; }
   std::mutex& rng_mu() { return rng_mu_; }
+  // Base seed for the per-op deterministic streams.
+  uint64_t random_seed() const { return random_seed_; }
+  // Reserves the next deterministic RNG stream id (> 0). Called on
+  // dispatching host threads (program order) and once per unbased executor
+  // run, so the sequence of reservations is independent of kernel-execution
+  // interleaving.
+  uint64_t NextRngStream() {
+    return rng_stream_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
  private:
   // The per-device in-order queue, created on first async dispatch to the
@@ -195,11 +237,16 @@ class EagerContext {
   Device* host_cpu_ = nullptr;
   FunctionLibrary functions_;
   std::unique_ptr<ThreadPool> executor_pool_;
+  std::unique_ptr<ThreadPool> intraop_pool_;
+  std::atomic<bool> fuse_elementwise_{true};
+  std::atomic<bool> intra_op_parallelism_{true};
   HostProfile host_profile_;
   std::atomic<uint64_t> host_now_ns_{0};
   Stats stats_;
   std::mutex rng_mu_;
   random::Philox rng_;
+  uint64_t random_seed_ = 0;
+  std::atomic<uint64_t> rng_stream_counter_{0};
 
   std::atomic<bool> async_{false};
   std::mutex queues_mu_;

@@ -1,9 +1,11 @@
 #include "runtime/op_queue.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "device/device.h"
+#include "kernels/fused_elementwise.h"
 #include "runtime/eager_context.h"
 #include "support/threadpool.h"
 
@@ -21,6 +23,72 @@ std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node) {
     if (handle != nullptr && !handle->resolved()) return handle;
   }
   return nullptr;
+}
+
+// Longest run of elementwise ops one fused kernel invocation will absorb.
+// Bounds the peek-ahead work per drain step and the register footprint of
+// the interpreted program.
+constexpr size_t kMaxFusedRun = 64;
+
+// Structural half of fusability: no attrs, a single output whose dtype the
+// opcode supports. Value/shape checks are the caller's job.
+bool FusableNode(const OpQueue::Node& node, kernels::MicroOpCode* code) {
+  return node.attrs.empty() && node.outputs.size() == 1 &&
+         kernels::MicroOpCodeFor(node.op_name, code) &&
+         kernels::MicroOpSupports(*code, node.outputs[0]->dtype());
+}
+
+// Resolves an external (not produced in-run) input to its concrete value.
+// False when the input is unresolved, poisoned, or not plain data.
+bool ResolvedOperand(const Tensor& input, Tensor* value) {
+  const auto& handle = input.pending_handle();
+  if (handle == nullptr) {
+    *value = input;
+  } else {
+    if (!handle->resolved() || !handle->status().ok()) return false;
+    *value = handle->tensor();
+  }
+  return value->defined() && !value->is_symbolic() && !value->is_resource() &&
+         !value->is_opaque();
+}
+
+// Whether `value` can feed a fused run of the given dtype/shape on `device`
+// without a transparent copy: dtype matches, it is the run shape or a
+// broadcast scalar, and it is already resident (nullptr means host data,
+// which the host CPU reads in place).
+bool OperandCompatible(const Tensor& value, DType dtype, const Shape& shape,
+                       const Device* device) {
+  if (value.dtype() != dtype) return false;
+  if (value.device() != nullptr && value.device() != device) return false;
+  return value.shape() == shape || value.num_elements() == 1;
+}
+
+// Whether run node `n`'s output can be observed outside the run. False only
+// when provably every reference to the handle — and to the tensor state
+// wrapping it — is an input slot of a later node in the run, i.e. the caller
+// dropped its tensor and only the fuser holds the value. Use counts are racy
+// the same way shared_ptr::use_count is, but stale counts only err high, so
+// races resolve toward materializing (the safe direction).
+bool Observable(size_t n, const std::vector<OpQueue::Node>& run) {
+  const auto& handle = run[n].outputs[0];
+  const long handle_refs = handle.use_count();
+  if (handle_refs <= 1) return false;  // only run[n].outputs itself
+  if (handle_refs > 2) return true;    // several tensor states hold it
+  // Exactly one tensor state holds the handle. Locate it among the later
+  // in-run input slots; if found, it is unobservable iff those slots account
+  // for every tensor sharing the state.
+  const Tensor* holder = nullptr;
+  long in_run_state_refs = 0;
+  for (size_t m = n + 1; m < run.size(); ++m) {
+    for (const Tensor& input : run[m].inputs) {
+      if (input.pending_handle().get() == handle.get()) {
+        holder = &input;
+        ++in_run_state_refs;
+      }
+    }
+  }
+  if (holder == nullptr) return true;  // held outside the run
+  return holder->state_use_count() != in_run_state_refs;
 }
 
 }  // namespace
@@ -70,13 +138,197 @@ void OpQueue::Drain() {
       });
       return;
     }
-    Node node;
+    std::vector<Node> run;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      node = std::move(queue_.front());
+      run.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      // Peek ahead: absorb the longest fusable elementwise run behind the
+      // front. Ops are popped together so the run executes as one kernel.
+      if (NodeStartsRun(run.front())) {
+        while (run.size() < kMaxFusedRun && !queue_.empty() &&
+               NodeJoinsRun(queue_.front(), run)) {
+          run.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
     }
-    Execute(std::move(node));
+    if (run.size() == 1) {
+      Execute(std::move(run.front()));
+    } else {
+      ExecuteFused(std::move(run));
+    }
+  }
+}
+
+bool OpQueue::NodeStartsRun(const Node& node) const {
+  if (!ctx_->fuse_elementwise()) return false;
+  // Fuse only where the kernel actually computes: simulated accelerators are
+  // virtual-time devices and fusing would perturb their cost model.
+  if (device_->is_accelerator() || !device_->executes_kernels()) return false;
+  kernels::MicroOpCode code;
+  if (!FusableNode(node, &code)) return false;
+  const auto& out = *node.outputs[0];
+  if (!out.shape().IsFullyDefined()) return false;
+  for (const Tensor& input : node.inputs) {
+    Tensor value;
+    if (!ResolvedOperand(input, &value)) return false;
+    if (!OperandCompatible(value, out.dtype(), out.shape(), device_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OpQueue::NodeJoinsRun(const Node& node,
+                           const std::vector<Node>& run) const {
+  kernels::MicroOpCode code;
+  if (!FusableNode(node, &code)) return false;
+  const auto& head = *run.front().outputs[0];
+  const auto& out = *node.outputs[0];
+  if (out.dtype() != head.dtype() || !(out.shape() == head.shape())) {
+    return false;
+  }
+  for (const Tensor& input : node.inputs) {
+    const auto& handle = input.pending_handle();
+    if (handle != nullptr) {
+      bool in_run = false;
+      for (const Node& prev : run) {
+        if (prev.outputs[0] == handle) {
+          in_run = true;
+          break;
+        }
+      }
+      if (in_run) continue;
+    }
+    Tensor value;
+    if (!ResolvedOperand(input, &value)) return false;
+    if (!OperandCompatible(value, head.dtype(), head.shape(), device_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OpQueue::ExecuteFused(std::vector<Node> run) {
+  const DType dtype = run.front().outputs[0]->dtype();
+  const Shape shape = run.front().outputs[0]->shape();
+
+  // Build the micro-op program. Pass 1 deduplicates external operands (their
+  // registers come first); each input slot records either an operand index
+  // (>= 0) or ~producer_inst for values computed inside the run.
+  kernels::MicroProgram program;
+  std::vector<Tensor> operands;
+  std::unordered_map<const TensorHandle*, int> produced;
+  std::vector<std::vector<int64_t>> args(run.size());
+  uint64_t start_ns = 0;
+  bool ok = true;
+  for (size_t n = 0; ok && n < run.size(); ++n) {
+    const Node& node = run[n];
+    start_ns = std::max(start_ns, node.enqueue_host_ns);
+    for (const Tensor& input : node.inputs) {
+      const auto& handle = input.pending_handle();
+      if (handle != nullptr) {
+        auto it = produced.find(handle.get());
+        if (it != produced.end()) {
+          args[n].push_back(~static_cast<int64_t>(it->second));
+          continue;
+        }
+      }
+      Tensor value;
+      if (!ResolvedOperand(input, &value)) {
+        ok = false;  // raced from eligible to surprising: fall back
+        break;
+      }
+      if (handle != nullptr) start_ns = std::max(start_ns, handle->ready_ns());
+      int reg = -1;
+      for (size_t i = 0; i < operands.size(); ++i) {
+        if (operands[i] == value) {
+          reg = static_cast<int>(i);
+          break;
+        }
+      }
+      if (reg < 0) {
+        reg = static_cast<int>(operands.size());
+        operands.push_back(std::move(value));
+      }
+      args[n].push_back(reg);
+    }
+    produced[node.outputs[0].get()] = static_cast<int>(n);
+  }
+
+  // Pass 2: emit instructions with final register numbers, and materialize
+  // exactly the outputs something outside the run can still observe (the
+  // last node's always is — it is the run's result).
+  std::vector<bool> materialize(run.size(), false);
+  if (ok) {
+    program.num_operands = static_cast<int64_t>(operands.size());
+    for (size_t n = 0; ok && n < run.size(); ++n) {
+      kernels::MicroOpCode code;
+      kernels::MicroOpCodeFor(run[n].op_name, &code);  // validated by peek
+      if (static_cast<int>(args[n].size()) != kernels::MicroOpArity(code)) {
+        ok = false;
+        break;
+      }
+      kernels::MicroInst inst;
+      inst.opcode = code;
+      auto to_reg = [&](int64_t a) {
+        return static_cast<int32_t>(
+            a >= 0 ? a : program.num_operands + ~a);
+      };
+      inst.a = to_reg(args[n][0]);
+      if (args[n].size() > 1) inst.b = to_reg(args[n][1]);
+      program.insts.push_back(inst);
+      materialize[n] = n + 1 == run.size() || Observable(n, run);
+      if (materialize[n]) {
+        program.outputs.push_back(
+            static_cast<int32_t>(program.num_operands) + static_cast<int32_t>(n));
+      }
+    }
+  }
+
+  if (!ok) {
+    // Surprise during program construction — execute the run op-at-a-time,
+    // which preserves exact per-node error semantics.
+    for (Node& node : run) Execute(std::move(node));
+    return;
+  }
+
+  auto poison = [&](const Status& status) {
+    for (const Node& node : run) {
+      for (const auto& out : node.outputs) out->SetError(status);
+    }
+    ctx_->NoteAsyncError(status);
+  };
+
+  AttrMap attrs;
+  attrs.emplace("program", AttrValue(program.Encode()));
+  auto result = ctx_->ExecuteKernel("FusedElementwise", operands, attrs,
+                                    device_, /*compiled=*/false, start_ns);
+  if (!result.ok()) {
+    poison(result.status());
+    return;
+  }
+  const uint64_t done_ns =
+      device_->timeline().Schedule(start_ns, result->device_ns);
+  if (result->outputs.size() != program.outputs.size()) {
+    poison(Internal("FusedElementwise produced " +
+                    std::to_string(result->outputs.size()) +
+                    " outputs, expected " +
+                    std::to_string(program.outputs.size())));
+    return;
+  }
+  // Every handle in the run resolves at the same completion time; elided
+  // intermediates resolve to opaque placeholders (nobody can read them).
+  size_t out_index = 0;
+  for (size_t n = 0; n < run.size(); ++n) {
+    if (materialize[n]) {
+      run[n].outputs[0]->SetTensor(std::move(result->outputs[out_index++]),
+                                   done_ns);
+    } else {
+      run[n].outputs[0]->SetTensor(Tensor::Opaque(dtype, shape, device_),
+                                   done_ns);
+    }
   }
 }
 
@@ -143,7 +395,8 @@ void OpQueue::Execute(Node node) {
   }
 
   auto run = ctx_->ExecuteKernel(node.op_name, inputs, node.attrs, device_,
-                                 /*compiled=*/false, start_ns);
+                                 /*compiled=*/false, start_ns,
+                                 node.rng_stream);
   if (!run.ok()) {
     poison(run.status());
     return;

@@ -42,6 +42,8 @@ class OpQueue {
     AttrMap attrs;
     // Virtual host time when the op was dispatched (earliest device start).
     uint64_t enqueue_host_ns = 0;
+    // Deterministic RNG stream reserved at enqueue (program order).
+    uint64_t rng_stream = 0;
     std::vector<std::shared_ptr<TensorHandle>> outputs;
   };
 
@@ -63,11 +65,31 @@ class OpQueue {
   // exists. Caller must hold mu_.
   void PumpLocked();
   // Pops and executes ready ops in order; parks on the first unresolved
-  // input handle. Runs on a pool thread; never blocks.
+  // input handle. Runs on a pool thread; never blocks. When the front is a
+  // fusable elementwise op, peeks ahead and pops the whole run (see
+  // NodeStartsRun/NodeJoinsRun) to execute as one FusedElementwise kernel.
   void Drain();
   // Runs one op: propagates poisoned inputs, materializes the rest, executes
   // the kernel, accounts device time, and fulfills the output handles.
   void Execute(Node node);
+
+  // Whether `node` can open a fused elementwise run: fusion enabled, this is
+  // a real (non-accelerator) compute device, the op maps to a micro-opcode,
+  // and every input is an already-resolved, copy-free operand of the run
+  // shape (or a broadcast scalar).
+  bool NodeStartsRun(const Node& node) const;
+  // Whether `node` extends `run`: same dtype and shape as the run, and each
+  // input is either produced by a node already in the run or an external
+  // operand passing the NodeStartsRun input checks. An unresolved or
+  // poisoned external input cuts the run (the node stays queued and the next
+  // drain iteration parks or poisons as usual).
+  bool NodeJoinsRun(const Node& node, const std::vector<Node>& run) const;
+  // Executes a run of >= 2 fused nodes as one FusedElementwise invocation:
+  // builds the micro-op program (deduplicating operands), elides
+  // intermediates nobody outside the run can observe, schedules one span of
+  // device time, and fulfills every run handle at the same completion time.
+  // Falls back to per-node Execute() on any surprise.
+  void ExecuteFused(std::vector<Node> run);
 
   EagerContext* const ctx_;
   Device* const device_;

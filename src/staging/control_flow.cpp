@@ -68,12 +68,12 @@ StatusOr<Executor::Result> RunBranch(EagerContext* ctx,
                                      const std::string& name,
                                      std::vector<Tensor> inputs,
                                      Device* device, uint64_t start_ns,
-                                     bool compiled) {
+                                     bool compiled, uint64_t rng_stream_base) {
   TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> fn,
                        ctx->functions().Find(name));
   Executor executor(ctx);
   return executor.Run(*fn, inputs, device, start_ns, compiled,
-                      /*parallel=*/!Executor::InExecutor());
+                      /*parallel=*/!Executor::InExecutor(), rng_stream_base);
 }
 
 Status CondKernel(KernelContext* ctx) {
@@ -100,7 +100,7 @@ Status CondKernel(KernelContext* ctx) {
       Executor::Result result,
       RunBranch(ctx->eager_context(), pred ? then_name : else_name,
                 std::move(inputs), ctx->device(), ctx->start_ns(),
-                ctx->compiled()));
+                ctx->compiled(), ctx->rng_stream()));
   for (size_t i = 0; i < result.outputs.size(); ++i) {
     ctx->SetOutput(static_cast<int>(i), result.outputs[i]);
   }
@@ -134,9 +134,16 @@ Status WhileKernel(KernelContext* ctx) {
     std::vector<Tensor> cond_inputs = vars;
     cond_inputs.insert(cond_inputs.end(), cond_captures.begin(),
                        cond_captures.end());
+    // Every cond/body run gets its own stream base so random ops draw fresh
+    // values each iteration, deterministically: 2k+1 / 2k+2 in the space
+    // spread from this While node's stream.
+    const uint64_t iter_base =
+        random::SplitMix64(ctx->rng_stream()) +
+        2 * static_cast<uint64_t>(iteration);
     TFE_ASSIGN_OR_RETURN(Executor::Result cond_result,
                          RunBranch(ectx, cond_name, std::move(cond_inputs),
-                                   ctx->device(), now_ns, ctx->compiled()));
+                                   ctx->device(), now_ns, ctx->compiled(),
+                                   iter_base + 1));
     now_ns = cond_result.finish_ns;
     if (cond_result.outputs.size() != 1) {
       return InvalidArgument("While condition must produce one output");
@@ -149,7 +156,8 @@ Status WhileKernel(KernelContext* ctx) {
                        body_captures.end());
     TFE_ASSIGN_OR_RETURN(Executor::Result body_result,
                          RunBranch(ectx, body_name, std::move(body_inputs),
-                                   ctx->device(), now_ns, ctx->compiled()));
+                                   ctx->device(), now_ns, ctx->compiled(),
+                                   iter_base + 2));
     now_ns = body_result.finish_ns;
     if (static_cast<int64_t>(body_result.outputs.size()) != num_vars) {
       return InvalidArgument("While body must return the loop variables");

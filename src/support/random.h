@@ -15,6 +15,15 @@
 namespace tfe {
 namespace random {
 
+// SplitMix64 finalizer: spreads sequential stream ids across the 64-bit
+// space so derived stream ranges (base + node_id) don't overlap.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 // Counter-based Philox4x32-10 block cipher. Each Next4() produces four
 // 32-bit outputs and advances the 128-bit counter.
 class Philox {

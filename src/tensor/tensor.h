@@ -130,6 +130,12 @@ class Tensor {
 
   bool operator==(const Tensor& other) const { return state_ == other.state_; }
 
+  // Number of Tensor objects sharing this value's state. Used by the op-queue
+  // fuser to decide whether a run-internal intermediate is observable outside
+  // the run (and must be materialized) or can be elided. Inherently racy, like
+  // shared_ptr::use_count — callers must only act on it in the safe direction.
+  long state_use_count() const { return state_.use_count(); }
+
   // Implementation detail, public only so the factory helpers in tensor.cpp
   // can allocate it; never touch directly.
   struct State;

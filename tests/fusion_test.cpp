@@ -1,0 +1,345 @@
+// Cross-op elementwise fusion (op-queue drain + graph pass) and
+// threadpool-parallel kernels. The contract under test everywhere: the
+// optimized path is *bitwise* identical to the op-at-a-time serial path —
+// both sides evaluate the same scalar expressions (elementwise_functors.h)
+// in the same order, so not even the last ulp may move.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "api/tfe.h"
+#include "kernels/fused_elementwise.h"
+#include "runtime/eager_context.h"
+#include "tensor/tensor_handle.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::ToVector;
+
+// Bitwise comparison: NaN payloads and signed zeros must match too.
+::testing::AssertionResult BitwiseEqual(const std::vector<float>& a,
+                                        const std::vector<float>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Fusion on the drain is opportunistic: it needs queue depth, and an idle
+// drain thread would otherwise pop each op the moment it is enqueued. A
+// slow op at the head of the in-order queue keeps the drain busy while the
+// producer enqueues the chain, making the window deterministic in practice.
+void BlockQueueHead() {
+  Tensor a = ops::random_normal({192, 192}, 0, 1, /*seed=*/97);
+  Tensor b = ops::random_normal({192, 192}, 0, 1, /*seed=*/98);
+  ASSERT_TRUE(EagerContext::Global()->Sync().ok());  // inputs ready
+  (void)ops::matmul(a, b);
+}
+
+class FusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EagerContext::Options options;
+    options.async = true;
+    EagerContext::ResetGlobal(options);
+  }
+  void TearDown() override {
+    EagerContext::ResetGlobal(EagerContext::Options());
+  }
+};
+
+// A randomized elementwise chain over a closed, NaN-free op set (inputs stay
+// finite, no div/log/sqrt) so bitwise comparison is meaningful.
+Tensor RandomChain(const Tensor& x, const Tensor& scalar, int length,
+                   unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, 7);
+  Tensor h = x;
+  for (int i = 0; i < length; ++i) {
+    switch (pick(rng)) {
+      case 0: h = ops::add(h, x); break;
+      case 1: h = ops::sub(h, scalar); break;
+      case 2: h = ops::mul(h, scalar); break;
+      case 3: h = ops::maximum(h, x); break;
+      case 4: h = ops::minimum(h, scalar); break;
+      case 5: h = ops::tanh(h); break;
+      case 6: h = ops::relu(h); break;
+      default: h = ops::neg(h); break;
+    }
+  }
+  return h;
+}
+
+TEST_F(FusionTest, RandomChainsBitwiseMatchUnfused) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({33, 17}, 0, 1, /*seed=*/3);
+  Tensor s = ops::scalar<float>(0.25f);
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    const uint64_t runs_before = ctx->stats().fused_runs.load();
+    ctx->set_fuse_elementwise(true);
+    ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+    Tensor fused = RandomChain(x, s, 40, seed);
+    ASSERT_TRUE(ctx->Sync().ok());
+    EXPECT_GT(ctx->stats().fused_runs.load(), runs_before)
+        << "drain fuser never fired (seed " << seed << ")";
+
+    ctx->set_fuse_elementwise(false);
+    Tensor plain = RandomChain(x, s, 40, seed);
+    ASSERT_TRUE(ctx->Sync().ok());
+    EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(FusionTest, BroadcastScalarOperandsFuse) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::constant<float>({1, -2, 3, -4, 5, -6}, {2, 3});
+  Tensor half = ops::scalar<float>(0.5f);
+  Tensor two = ops::scalar<float>(2.0f);
+
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  // scalar on the left, on the right, and chained between tensor ops.
+  Tensor h = ops::mul(two, ops::add(x, half));
+  h = ops::sub(h, half);
+  h = ops::maximum(h, x);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before);
+  std::vector<float> fused = ToVector<float>(h);
+
+  ctx->set_fuse_elementwise(false);
+  Tensor g = ops::mul(two, ops::add(x, half));
+  g = ops::sub(g, half);
+  g = ops::maximum(g, x);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(fused, ToVector<float>(g)));
+}
+
+TEST_F(FusionTest, ShapeChangeCutsTheRunButValuesAgree) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({4, 4}, 0, 1, /*seed=*/11);
+  // reduce_sum in the middle is not fusable: the run must split around it.
+  Tensor h = ops::relu(ops::add(x, x));
+  Tensor r = ops::reduce_sum(h, {1}, /*keep_dims=*/true);
+  Tensor out = ops::tanh(ops::mul(h, r));
+  ASSERT_TRUE(ctx->Sync().ok());
+  std::vector<float> fused = ToVector<float>(out);
+
+  ctx->set_fuse_elementwise(false);
+  Tensor h2 = ops::relu(ops::add(x, x));
+  Tensor r2 = ops::reduce_sum(h2, {1}, /*keep_dims=*/true);
+  Tensor out2 = ops::tanh(ops::mul(h2, r2));
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(fused, ToVector<float>(out2)));
+}
+
+TEST_F(FusionTest, PoisonedProducerCutsRunAndPreservesErrorSemantics) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor params = ops::constant<float>({10, 20, 30}, {3});
+  // Exact values computed before the failure must still be exact.
+  Tensor good = ops::mul(ops::add(params, params), ops::scalar<float>(0.5f));
+  // The gather fails at kernel time; everything downstream is poisoned.
+  Tensor bad = ops::gather(params, ops::constant<int64_t>({7}, {1}));
+  Tensor down = ops::add(ops::relu(bad), bad);
+
+  EXPECT_EQ(ToVector<float>(good), (std::vector<float>{10, 20, 30}));
+  Status status = down.Materialize();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfRange);
+
+  // The deferred error surfaces once at Sync; afterwards the context (and
+  // the fuser) keep working.
+  ASSERT_FALSE(ctx->Sync().ok());
+  ASSERT_TRUE(ctx->Sync().ok());
+  Tensor again = ops::add(ops::add(params, params), params);
+  EXPECT_EQ(ToVector<float>(again), (std::vector<float>{30, 60, 90}));
+}
+
+TEST_F(FusionTest, TapeGradientsBitwiseMatchUnfused) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({8, 8}, 0, 1, /*seed=*/21);
+  auto grads = [&](bool fuse) {
+    ctx->set_fuse_elementwise(fuse);
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = ops::tanh(ops::mul(ops::add(x, x), x));
+    Tensor loss = ops::reduce_sum(ops::square(y));
+    auto dx = tape.gradient(loss, {x});
+    EXPECT_TRUE(dx.ok());
+    EXPECT_TRUE(ctx->Sync().ok());
+    return ToVector<float>((*dx)[0]);
+  };
+  EXPECT_TRUE(BitwiseEqual(grads(true), grads(false)));
+}
+
+TEST_F(FusionTest, StagedFunctionFusesStatically) {
+  EagerContext* ctx = EagerContext::Global();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::relu(ops::add(args[0], args[0]));
+        h = ops::tanh(ops::mul(h, h));
+        h = ops::sub(h, args[0]);
+        return {h};
+      },
+      "fusion_staged_chain");
+  Tensor x = ops::random_normal({16}, 0, 1, /*seed=*/5);
+
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  std::vector<float> fused = ToVector<float>(f({x})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  // The execution variant replaced the elementwise span with one
+  // FusedElementwise node.
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before);
+
+  ctx->set_fuse_elementwise(false);
+  std::vector<float> plain = ToVector<float>(f({x})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(fused, plain));
+}
+
+TEST_F(FusionTest, StagedFunctionGradientUnaffectedByFusion) {
+  // BuildBackward differentiates the *original* graph — the fused execution
+  // variant must never leak into autodiff.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::constant<float>({0.5f, -1.5f, 2.0f}, {3});
+  auto run = [&](bool fuse) {
+    ctx->set_fuse_elementwise(fuse);
+    Function f = function(
+        [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+          return {ops::reduce_sum(
+              ops::mul(ops::tanh(args[0]), ops::add(args[0], args[0])))};
+        },
+        fuse ? "fusion_grad_on" : "fusion_grad_off");
+    GradientTape tape;
+    tape.watch(x);
+    Tensor loss = f({x})[0];
+    auto dx = tape.gradient(loss, {x});
+    EXPECT_TRUE(dx.ok());
+    return ToVector<float>((*dx)[0]);
+  };
+  EXPECT_TRUE(BitwiseEqual(run(true), run(false)));
+}
+
+TEST_F(FusionTest, AsyncVariableOpsStayOrdered) {
+  EagerContext* ctx = EagerContext::Global();
+  Variable v(ops::constant<float>({0, 0}, {2}));
+  Tensor delta = ops::constant<float>({1, 2}, {2});
+  // Updates flow through the op queue; in-order draining must make the
+  // final read observe every one of them.
+  for (int i = 0; i < 50; ++i) v.assign_add(delta);
+  Tensor value = v.read_value();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(value), (std::vector<float>{50, 100}));
+}
+
+TEST_F(FusionTest, PoisonedAssignLeavesOldValue) {
+  EagerContext* ctx = EagerContext::Global();
+  Variable v(ops::constant<float>({5, 6}, {2}));
+  Tensor params = ops::constant<float>({1, 2}, {2});
+  Tensor bad = ops::gather(params, ops::constant<int64_t>({9, 9}, {2}));
+  v.assign(bad);  // enqueued; the kernel fails before the buffer swap
+  ASSERT_FALSE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(v.read_value()), (std::vector<float>{5, 6}));
+}
+
+// --- threadpool-parallel kernels -------------------------------------------
+
+class ParallelKernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    EagerContext::Global()->set_intra_op_parallelism(true);
+  }
+};
+
+template <typename Fn>
+void ExpectParallelBitwiseEqual(Fn compute) {
+  EagerContext* ctx = EagerContext::Global();
+  ctx->set_intra_op_parallelism(true);
+  std::vector<float> parallel = ToVector<float>(compute());
+  ctx->set_intra_op_parallelism(false);
+  std::vector<float> serial = ToVector<float>(compute());
+  EXPECT_TRUE(BitwiseEqual(parallel, serial));
+}
+
+TEST_F(ParallelKernelsTest, MatMulBitwise) {
+  // Big enough to cross the parallel threshold (m*n*k >= 2^21).
+  Tensor a = ops::random_normal({160, 160}, 0, 1, /*seed=*/31);
+  Tensor b = ops::random_normal({160, 160}, 0, 1, /*seed=*/32);
+  ExpectParallelBitwiseEqual([&] { return ops::matmul(a, b); });
+}
+
+TEST_F(ParallelKernelsTest, Conv2DAndGradsBitwise) {
+  Tensor x = ops::random_normal({2, 24, 24, 8}, 0, 1, /*seed=*/41);
+  Tensor f = ops::random_normal({3, 3, 8, 16}, 0, 1, /*seed=*/42);
+  ExpectParallelBitwiseEqual([&] { return ops::conv2d(x, f, {1, 1}, "SAME"); });
+  ExpectParallelBitwiseEqual([&] {
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = ops::reduce_sum(ops::conv2d(x, f, {1, 1}, "SAME"));
+    return (*tape.gradient(y, {x}))[0];
+  });
+}
+
+TEST_F(ParallelKernelsTest, PoolingBitwise) {
+  Tensor x = ops::random_normal({4, 32, 32, 4}, 0, 1, /*seed=*/51);
+  ExpectParallelBitwiseEqual([&] { return ops::max_pool(x, {2, 2}, {2, 2}); });
+  ExpectParallelBitwiseEqual([&] { return ops::avg_pool(x, {2, 2}, {2, 2}); });
+  ExpectParallelBitwiseEqual([&] {
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = ops::reduce_sum(ops::max_pool(x, {2, 2}, {2, 2}));
+    return (*tape.gradient(y, {x}))[0];
+  });
+}
+
+TEST_F(ParallelKernelsTest, TrailingReductionBitwise) {
+  Tensor x = ops::random_normal({64, 1024}, 0, 1, /*seed=*/61);
+  ExpectParallelBitwiseEqual([&] { return ops::reduce_sum(x, {1}); });
+  ExpectParallelBitwiseEqual([&] { return ops::reduce_mean(x, {1}); });
+  // Non-trailing axes take the serial path; values must still agree.
+  ExpectParallelBitwiseEqual([&] { return ops::reduce_sum(x, {0}); });
+}
+
+TEST_F(ParallelKernelsTest, LargeElementwiseBitwise) {
+  Tensor x = ops::random_normal({512, 256}, 0, 1, /*seed=*/71);
+  ExpectParallelBitwiseEqual([&] { return ops::tanh(ops::add(x, x)); });
+}
+
+// --- micro-op program encoding ---------------------------------------------
+
+TEST(MicroProgramTest, EncodeDecodeRoundTrip) {
+  kernels::MicroProgram program;
+  program.num_operands = 2;
+  program.insts.push_back({kernels::MicroOpCode::kAdd, 0, 1});
+  program.insts.push_back({kernels::MicroOpCode::kTanh, 2, 0});
+  program.outputs = {3};
+  auto decoded = kernels::MicroProgram::Decode(program.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_operands, 2);
+  ASSERT_EQ(decoded->insts.size(), 2u);
+  EXPECT_EQ(decoded->insts[1].opcode, kernels::MicroOpCode::kTanh);
+  EXPECT_EQ(decoded->outputs, std::vector<int32_t>{3});
+}
+
+TEST(MicroProgramTest, DecodeRejectsMalformedPrograms) {
+  EXPECT_FALSE(kernels::MicroProgram::Decode({}).ok());
+  // Forward reference: inst 0 reads register 2 (its own result).
+  EXPECT_FALSE(kernels::MicroProgram::Decode({2, 1, 0, 2, 0, 1, 2}).ok());
+  // Unknown opcode.
+  EXPECT_FALSE(kernels::MicroProgram::Decode({1, 1, 99, 0, 0, 1, 1}).ok());
+  // Output register out of range.
+  EXPECT_FALSE(kernels::MicroProgram::Decode({1, 1, 0, 0, 0, 1, 5}).ok());
+}
+
+}  // namespace
+}  // namespace tfe

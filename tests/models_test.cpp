@@ -185,6 +185,11 @@ TEST(L2hmcTest, StagedSamplerMatchesEagerStructure) {
 }
 
 TEST(L2hmcTest, StagedTrainingReducesLossOnAverage) {
+  // Loss improvement over a short window is a statistical property of the
+  // momenta stream; pin the context (and its RNG stream counter) so the
+  // test sees the same stream whether it runs alone or after the full
+  // suite in one process.
+  EagerContext::ResetGlobal({});
   models::L2hmcDynamics::Config config;
   config.leapfrog_steps = 2;
   models::L2hmcDynamics dynamics(config);
