@@ -13,11 +13,13 @@
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 
 using tfe::Tensor;
 namespace ops = tfe::ops;
 namespace bench = tfe::bench;
+namespace profiler = tfe::profiler;
 
 namespace {
 
@@ -46,6 +48,35 @@ double ChainSeconds(bool fuse) {
   return seconds;
 }
 
+// Same protocol as ChainSeconds, but every fourth op is a cast: an int32
+// tensor enters the float run through ops::cast, which the drain fuser folds
+// as a kCast micro-op instead of cutting the run at each dtype boundary.
+// (A cast producing a different shape than the run — e.g. casting a scalar —
+// still cuts, since fused outputs materialize at the run shape.)
+double CastChainSeconds(bool fuse) {
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+  ctx->set_fuse_elementwise(fuse);
+  ctx->set_async(true);
+  Tensor x = ops::random_normal({256, 256}, 0, 1, /*seed=*/7);
+  Tensor half = ops::scalar<float>(0.5f);
+  Tensor xi =
+      ops::cast(ops::mul(x, ops::scalar<float>(8.0f)), tfe::DType::kInt32);
+  ctx->SyncAllDevices();  // xi concrete before the measured window
+  auto step = [&] {
+    Tensor h = x;
+    for (int i = 0; i < kChainOps / 4; ++i) {
+      h = ops::mul(ops::add(h, x), half);
+      h = ops::sub(h, ops::cast(xi, tfe::DType::kFloat32));
+    }
+    ctx->SyncAllDevices();
+  };
+  step();  // warm-up
+  double seconds = bench::MeasureWallSeconds(step, kChainIterations);
+  ctx->set_async(false);
+  ctx->set_fuse_elementwise(true);
+  return seconds;
+}
+
 double MatMulSeconds(bool parallel) {
   tfe::EagerContext* ctx = tfe::EagerContext::Global();
   ctx->set_intra_op_parallelism(parallel);
@@ -66,10 +97,18 @@ int main() {
 
   std::printf("Elementwise fusion + intra-op parallelism (wall time)\n");
 
+  // The drain records every popped run's length here (always-on metric), so
+  // resetting it before each fused window gives the mean run length that
+  // window achieved.
+  profiler::Histogram* run_length =
+      profiler::Metrics().GetHistogram("fusion.run_length");
+
   ctx->stats().fused_runs.store(0);
   ctx->stats().fused_ops.store(0);
   double unfused = ChainSeconds(/*fuse=*/false);
+  run_length->Reset();
   double fused = ChainSeconds(/*fuse=*/true);
+  const double plain_run_length = run_length->mean();
   const double fused_runs = static_cast<double>(ctx->stats().fused_runs.load());
   const double fused_ops = static_cast<double>(ctx->stats().fused_ops.load());
 
@@ -80,6 +119,19 @@ int main() {
   std::printf("%-22s%9.2fx\n", "speedup", unfused / fused);
   std::printf("%-22s%10.0f runs / %.0f ops folded\n", "drain fuser",
               fused_runs, fused_ops);
+  std::printf("%-22s%10.1f ops\n", "mean run length", plain_run_length);
+
+  double cast_unfused = CastChainSeconds(/*fuse=*/false);
+  run_length->Reset();
+  double cast_fused = CastChainSeconds(/*fuse=*/true);
+  const double cast_run_length = run_length->mean();
+
+  std::printf("\n%d-op chain with a cast every 4th op\n", kChainOps);
+  std::printf("%-22s%10.1f ms\n", "fusion off", cast_unfused * 1e3);
+  std::printf("%-22s%10.1f ms\n", "fusion on", cast_fused * 1e3);
+  std::printf("%-22s%9.2fx\n", "speedup", cast_unfused / cast_fused);
+  std::printf("%-22s%10.1f ops (casts fold instead of cutting)\n",
+              "mean run length", cast_run_length);
 
   double serial = MatMulSeconds(/*parallel=*/false);
   double parallel = MatMulSeconds(/*parallel=*/true);
@@ -99,10 +151,16 @@ int main() {
   report.Add("chain_speedup", unfused / fused);
   report.Add("fused_runs", fused_runs);
   report.Add("fused_ops", fused_ops);
+  report.Add("chain_mean_run_length", plain_run_length);
+  report.Add("cast_chain_unfused_seconds", cast_unfused);
+  report.Add("cast_chain_fused_seconds", cast_fused);
+  report.Add("cast_chain_speedup", cast_unfused / cast_fused);
+  report.Add("cast_chain_mean_run_length", cast_run_length);
   report.Add("matmul_serial_seconds", serial);
   report.Add("matmul_parallel_seconds", parallel);
   report.Add("matmul_speedup", serial / parallel);
   report.Add("hardware_threads", static_cast<double>(hw));
+  report.AddProfilerMetrics();
   report.Write();
   return 0;
 }

@@ -138,6 +138,26 @@ class JsonReport {
     }
   }
 
+  // Embeds the profiler's metrics snapshot under "profiler." keys: counters
+  // and gauges as-is, histograms as .count/.mean/.max. No-op unless the
+  // profiler is on (TFE_PROFILE or an explicit profiler::Start), so default
+  // bench runs keep their JSON unchanged.
+  void AddProfilerMetrics() {
+    if (!profiler::enabled()) return;
+    const profiler::MetricsSnapshot snap = profiler::Metrics().Snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      Add("profiler." + name, static_cast<double>(value));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      Add("profiler." + name, static_cast<double>(value));
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      Add("profiler." + name + ".count", static_cast<double>(hist.count));
+      Add("profiler." + name + ".mean", hist.mean());
+      Add("profiler." + name + ".max", static_cast<double>(hist.max));
+    }
+  }
+
   // Returns false (after printing a warning) if the file cannot be written.
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";

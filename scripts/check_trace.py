@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file written by the profiler.
+
+Usage: scripts/check_trace.py <trace.json>
+
+Checks that the file is loadable the way chrome://tracing / Perfetto loads
+it, that every event carries the required keys, and that complete ("X")
+spans were recorded from at least two threads — dispatch on the host thread
+plus drain/kernel work on the queue's pool thread.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    span_tids = set()
+    categories = set()
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing '{key}': {ev}")
+        ph = ev["ph"]
+        if ph in ("X", "i") and "ts" not in ev:
+            fail(f"event {i} missing 'ts': {ev}")
+        if ph == "X":
+            if "dur" not in ev or "name" not in ev:
+                fail(f"X event {i} missing dur/name: {ev}")
+            span_tids.add(ev["tid"])
+            categories.add(ev.get("cat", ""))
+
+    if len(span_tids) < 2:
+        fail(f"X spans on {len(span_tids)} thread(s); expected >= 2 "
+             "(host dispatch + queue pool)")
+    for want in ("dispatch", "kernel", "queue_drain"):
+        if want not in categories:
+            fail(f"no '{want}' spans (categories seen: {sorted(categories)})")
+
+    print(f"check_trace: OK: {len(events)} events, "
+          f"{len(span_tids)} span threads, categories {sorted(categories)}")
+
+
+if __name__ == "__main__":
+    main()

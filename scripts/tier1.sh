@@ -4,12 +4,16 @@
 # handle-lifetime tests under AddressSanitizer (separate build trees; see
 # TFE_SANITIZE in the top-level CMakeLists.txt).
 #
-#   scripts/tier1.sh [--skip-sanitizers | --tier2]
+#   scripts/tier1.sh [--skip-sanitizers | --tier2 | --profile]
 #
 # --tier2 runs the FULL test suite under both sanitizers instead of the
 # concurrency-focused subset — slower, but it sweeps every kernel now that
 # the drain fuser and the intra-op threadpool put real parallelism under
 # ordinary ops.
+#
+# --profile is the observability smoke: build, run bench_fusion with
+# TFE_PROFILE set, validate the exported Chrome trace, then run the
+# profiler-overhead gate (fails above 5%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +23,18 @@ MODE="${1:-}"
 echo "==== tier 1: standard build + ctest ===="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
+
+if [[ "$MODE" == "--profile" ]]; then
+  TRACE="build/profile_smoke_trace.json"
+  echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
+  (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
+  python3 scripts/check_trace.py "$TRACE"
+  echo "==== profile smoke: overhead gate ===="
+  (cd build && ./bench/bench_profiler_overhead)
+  echo "==== profile smoke ok ===="
+  exit 0
+fi
+
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$MODE" == "--skip-sanitizers" ]]; then
@@ -31,9 +47,9 @@ if [[ "$MODE" == "--tier2" ]]; then
   # lifetime bugs there, and the suite is small enough to afford it.
   FILTER='*'
 else
-  # Concurrency tests only: the async queues, the drain fuser, and the
-  # threadpool-parallel kernels.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*'
+  # Concurrency tests only: the async queues, the drain fuser, the
+  # threadpool-parallel kernels, and the profiler's lock-free record/flush.
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="

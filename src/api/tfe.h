@@ -14,6 +14,7 @@
 #include "api/ops_api.h"
 #include "autodiff/tape.h"
 #include "data/dataset.h"
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 #include "staging/control_flow.h"
 #include "staging/function.h"

@@ -1,6 +1,7 @@
 #include "distrib/cluster.h"
 
 #include "graph/serialization.h"
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
 #include "tensor/tensor_handle.h"
@@ -53,6 +54,10 @@ StatusOr<std::string> Cluster::LocalDevicePart(
 
 StatusOr<RemoteTensor> Cluster::Put(const std::string& device_name,
                                     const Tensor& tensor) {
+  static profiler::Counter* puts =
+      profiler::Metrics().GetCounter("cluster.puts");
+  puts->Increment();
+  profiler::Scope rpc_span(profiler::EventKind::kRpcSend, "cluster.put");
   TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
   return worker->Put(tensor);
 }
@@ -60,6 +65,11 @@ StatusOr<RemoteTensor> Cluster::Put(const std::string& device_name,
 StatusOr<std::vector<RemoteTensor>> Cluster::RunOp(
     const std::string& device_name, const std::string& op_name,
     const std::vector<RemoteTensor>& inputs, const AttrMap& attrs) {
+  static profiler::Counter* run_ops =
+      profiler::Metrics().GetCounter("cluster.run_ops");
+  run_ops->Increment();
+  profiler::Scope rpc_span(profiler::EventKind::kRpcSend, "cluster.run_op");
+  if (rpc_span.active()) rpc_span.set_detail(profiler::Intern(op_name));
   TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
   TFE_ASSIGN_OR_RETURN(std::string local_device,
                        LocalDevicePart(device_name));
@@ -82,6 +92,12 @@ StatusOr<std::vector<RemoteTensor>> Cluster::RunOp(
 StatusOr<std::vector<RemoteTensor>> Cluster::RunFunction(
     const std::string& device_name, const GraphFunction& function,
     const std::vector<RemoteTensor>& inputs) {
+  static profiler::Counter* run_functions =
+      profiler::Metrics().GetCounter("cluster.run_functions");
+  run_functions->Increment();
+  profiler::Scope rpc_span(profiler::EventKind::kRpcSend,
+                           "cluster.run_function");
+  if (rpc_span.active()) rpc_span.set_detail(profiler::Intern(function.name()));
   TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(device_name));
   TFE_ASSIGN_OR_RETURN(std::string local_device,
                        LocalDevicePart(device_name));
@@ -103,6 +119,10 @@ StatusOr<std::vector<RemoteTensor>> Cluster::RunFunction(
 }
 
 StatusOr<Tensor> Cluster::Fetch(const RemoteTensor& tensor) {
+  static profiler::Counter* fetches =
+      profiler::Metrics().GetCounter("cluster.fetches");
+  fetches->Increment();
+  profiler::Scope rpc_span(profiler::EventKind::kRpcSend, "cluster.fetch");
   TFE_ASSIGN_OR_RETURN(WorkerServer * worker, ResolveWorker(tensor.device));
   return worker->Fetch(tensor.handle_id);
 }

@@ -1,6 +1,7 @@
 #include "distrib/worker.h"
 
 #include "graph/serialization.h"
+#include "profiler/profiler.h"
 #include "support/strings.h"
 #include "tensor/tensor_handle.h"
 #include "tensor/tensor_util.h"
@@ -38,6 +39,13 @@ std::vector<std::string> WorkerServer::DeviceNames() const {
 }
 
 void WorkerServer::Call(Request fn) {
+  static profiler::Counter* rpc_calls =
+      profiler::Metrics().GetCounter("rpc.calls");
+  rpc_calls->Increment();
+  // Client-side span: covers serialization-free enqueue plus the blocking
+  // wait for the service thread, i.e. the full RPC round trip.
+  profiler::Scope rpc_span(profiler::EventKind::kRpcSend, "worker_call");
+
   std::mutex done_mu;
   std::condition_variable done_cv;
   bool done = false;
@@ -57,9 +65,17 @@ void WorkerServer::Call(Request fn) {
   wake_.notify_one();
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return done; });
+  if (rpc_span.active()) {
+    static profiler::Histogram* roundtrip =
+        profiler::Metrics().GetHistogram("rpc.roundtrip_ns");
+    roundtrip->Record(profiler::NowNs() - rpc_span.start_ns());
+  }
 }
 
 void WorkerServer::CallAsync(Request fn) {
+  static profiler::Counter* rpc_async_calls =
+      profiler::Metrics().GetCounter("rpc.async_calls");
+  rpc_async_calls->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     TFE_CHECK(!shutdown_);
@@ -78,7 +94,15 @@ void WorkerServer::ServiceLoop() {
       request = std::move(queue_.front());
       queue_.pop_front();
     }
-    request();
+    {
+      static profiler::Counter* served =
+          profiler::Metrics().GetCounter("rpc.requests_served");
+      served->Increment();
+      // Service-side span: the worker thread executing one request.
+      profiler::Scope recv_span(profiler::EventKind::kRpcRecv,
+                                "worker_request");
+      request();
+    }
   }
 }
 

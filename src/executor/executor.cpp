@@ -5,6 +5,7 @@
 #include <set>
 #include <mutex>
 
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
 
@@ -53,6 +54,12 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
         " arguments (including captures), got ", args.size()));
   }
   if (default_device == nullptr) default_device = ctx_->HostCpu();
+
+  static profiler::Counter* executor_runs =
+      profiler::Metrics().GetCounter("executor.runs");
+  executor_runs->Increment();
+  profiler::Scope run_span(profiler::EventKind::kExecutorRun, function.name());
+  run_span.set_arg(n);
 
   // Staged execution is a sync point for async eager dispatch (paper §5):
   // pending arguments materialize before the dataflow run so graph kernels

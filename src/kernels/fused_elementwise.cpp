@@ -47,7 +47,7 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     MicroInst inst;
     TFE_ASSIGN_OR_RETURN(int64_t opcode, next());
     if (opcode < static_cast<int64_t>(MicroOpCode::kAdd) ||
-        opcode > static_cast<int64_t>(MicroOpCode::kFloor)) {
+        opcode > static_cast<int64_t>(MicroOpCode::kCast)) {
       return InvalidArgument("Unknown FusedElementwise opcode");
     }
     inst.opcode = static_cast<MicroOpCode>(opcode);
@@ -105,6 +105,7 @@ bool MicroOpCodeFor(const std::string& op_name, MicroOpCode* code) {
           {"Cos", MicroOpCode::kCos},
           {"Reciprocal", MicroOpCode::kReciprocal},
           {"Floor", MicroOpCode::kFloor},
+          {"Cast", MicroOpCode::kCast},
       };
   auto it = kMap->find(op_name);
   if (it == kMap->end()) return false;
@@ -255,6 +256,14 @@ void RunTyped(EagerContext* ectx, const MicroProgram& program,
             TFE_FUSED_UNARY_CASE(kReciprocal, ReciprocalF)
             TFE_FUSED_UNARY_CASE(kFloor, FloorF)
 #undef TFE_FUSED_UNARY_CASE
+            case MicroOpCode::kCast:
+              // Identity: foreign operands were converted to T up front.
+              if (sa == 1) {
+                std::copy(pa, pa + len, out);
+              } else {
+                std::fill(out, out + len, pa[0]);
+              }
+              break;
             default:
               break;  // unreachable; Decode validated the opcode
           }
@@ -285,12 +294,11 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
     return InvalidArgument("FusedElementwise requires at least one operand");
   }
 
-  const DType dtype = inputs[0].dtype();
+  // The run dtype: explicit when the program folds casts (operands may then
+  // carry foreign source dtypes), otherwise every operand's shared dtype.
+  const DType dtype = ctx->GetAttrOr<DType>("dtype", inputs[0].dtype());
   Shape out_shape = inputs[0].shape();
   for (const Tensor& input : inputs) {
-    if (input.dtype() != dtype) {
-      return InvalidArgument("FusedElementwise operand dtype mismatch");
-    }
     if (input.num_elements() > out_shape.num_elements()) {
       out_shape = input.shape();
     }
@@ -301,9 +309,28 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
           "FusedElementwise operands must match the run shape or be scalars");
     }
   }
+  // A foreign-dtype operand is legal only as a kCast source; it gets
+  // converted to the run dtype before interpretation.
+  std::vector<bool> foreign(inputs.size(), false);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].dtype() == dtype) continue;
+    if (!MicroOpSupports(MicroOpCode::kCast, inputs[i].dtype())) {
+      return InvalidArgument("FusedElementwise operand dtype mismatch");
+    }
+    foreign[i] = true;
+  }
   for (const MicroInst& inst : program.insts) {
     if (!MicroOpSupports(inst.opcode, dtype)) {
       return InvalidArgument("FusedElementwise opcode unsupported for dtype");
+    }
+    if (inst.opcode == MicroOpCode::kCast) continue;
+    const auto reads_foreign = [&](int32_t r) {
+      return r < program.num_operands && foreign[r];
+    };
+    if (reads_foreign(inst.a) ||
+        (MicroOpArity(inst.opcode) == 2 && reads_foreign(inst.b))) {
+      return InvalidArgument(
+          "FusedElementwise foreign-dtype operand read by a non-cast op");
     }
   }
 
@@ -314,12 +341,29 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
 
   const int64_t count = out_shape.num_elements();
   TFE_SWITCH_NUMERIC(dtype, T, {
+    // Pre-converted storage for foreign (cast-source) operands; the
+    // conversion applies the exact static_cast the standalone Cast kernel
+    // does, so folded runs stay bitwise identical to op-at-a-time.
+    std::vector<std::vector<T>> converted;
     std::vector<const T*> operand_ptrs;
     std::vector<int> operand_stride;
     operand_ptrs.reserve(inputs.size());
     operand_stride.reserve(inputs.size());
-    for (const Tensor& input : inputs) {
-      operand_ptrs.push_back(input.data<T>());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const Tensor& input = inputs[i];
+      if (foreign[i]) {
+        std::vector<T> buffer(input.num_elements());
+        TFE_SWITCH_NUMERIC(input.dtype(), TIn, {
+          const TIn* in = input.data<TIn>();
+          for (int64_t k = 0; k < input.num_elements(); ++k) {
+            buffer[k] = static_cast<T>(in[k]);
+          }
+        });
+        converted.push_back(std::move(buffer));
+        operand_ptrs.push_back(converted.back().data());
+      } else {
+        operand_ptrs.push_back(input.data<T>());
+      }
       operand_stride.push_back(
           input.num_elements() == 1 && count > 1 ? 0 : 1);
     }

@@ -56,6 +56,11 @@ enum class MicroOpCode : int64_t {
   kCos,
   kReciprocal,
   kFloor,
+  // Dtype conversion into the run dtype. The kernel pre-converts foreign
+  // operands with the same static_cast the standalone Cast kernel applies,
+  // so inside the interpreter kCast is an identity copy; an in-run input
+  // (already the run dtype) is an identity by construction.
+  kCast,
 };
 
 struct MicroInst {

@@ -1,6 +1,56 @@
 #include "ops/kernel.h"
 
+#include "profiler/profiler.h"
+
 namespace tfe {
+
+namespace {
+
+// Payload bytes across the concrete (value-bearing) tensors in `tensors`.
+int64_t ConcreteBytes(const std::vector<Tensor>& tensors) {
+  int64_t bytes = 0;
+  for (const Tensor& t : tensors) {
+    if (t.defined() && !t.is_resource() && !t.is_symbolic() && !t.is_opaque()) {
+      bytes += t.num_elements() * static_cast<int64_t>(DTypeSize(t.dtype()));
+    }
+  }
+  return bytes;
+}
+
+// The kernel observability hook (see Register). The op name is interned at
+// registration so the hot path never hashes it.
+KernelFn WrapKernelForProfiling(const std::string& op_name, KernelFn fn) {
+  const uint32_t name_id = profiler::Intern(op_name);
+  return [op_name, name_id, fn = std::move(fn)](KernelContext* ctx) -> Status {
+    if (!profiler::enabled()) return fn(ctx);
+    profiler::Scope span(profiler::EventKind::kKernel, name_id);
+    Status status = fn(ctx);
+    const int64_t bytes =
+        ConcreteBytes(ctx->inputs()) + ConcreteBytes(ctx->outputs());
+    std::string detail = ctx->device()->name();
+    if (ctx->num_outputs() > 0 && ctx->outputs()[0].defined() &&
+        !ctx->outputs()[0].is_resource()) {
+      detail += " " + ctx->outputs()[0].shape().ToString();
+    }
+    span.set_arg(bytes);
+    span.set_detail(profiler::Intern(detail));
+    auto& metrics = profiler::Metrics();
+    metrics.GetCounter("kernel." + op_name)->Increment();
+    // Statics in this lambda are shared across every wrapped kernel — these
+    // two metrics are process-wide aggregates, so that is exactly right.
+    static profiler::Counter* invocations =
+        metrics.GetCounter("kernel.invocations");
+    invocations->Increment();
+    static profiler::Histogram* duration =
+        metrics.GetHistogram("kernel.duration_ns");
+    duration->Record(profiler::NowNs() - span.start_ns());
+    metrics.GetCounter("device." + ctx->device()->name() + ".bytes_moved")
+        ->Increment(static_cast<uint64_t>(bytes));
+    return status;
+  };
+}
+
+}  // namespace
 
 Tensor KernelContext::AllocateOutput(int i, DType dtype, const Shape& shape) {
   if (static_cast<int>(outputs_.size()) <= i) outputs_.resize(i + 1);
@@ -20,6 +70,7 @@ KernelRegistry* KernelRegistry::Global() {
 
 Status KernelRegistry::Register(const std::string& op_name, KernelFn fn,
                                 std::vector<DeviceKind> kinds) {
+  fn = WrapKernelForProfiling(op_name, std::move(fn));
   if (kinds.empty()) {
     kinds = {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kTpu};
   }

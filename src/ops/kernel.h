@@ -71,6 +71,7 @@ class KernelContext {
   void SetOutput(int i, Tensor tensor);
 
   int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  const std::vector<Tensor>& outputs() const { return outputs_; }
   std::vector<Tensor> ConsumeOutputs() { return std::move(outputs_); }
 
   // --- virtual-time plumbing for composite kernels (Call) -------------------
@@ -113,7 +114,10 @@ class KernelRegistry {
   static KernelRegistry* Global();
 
   // Registers `fn` for `op_name` on each kind in `kinds`. An empty `kinds`
-  // registers for all device kinds (CPU + simulated GPU/TPU).
+  // registers for all device kinds (CPU + simulated GPU/TPU). Every kernel
+  // is wrapped with the profiler hook: while profiling is on, each
+  // invocation records a kKernel span (device, output shape, bytes touched)
+  // and updates the per-op metrics; off, the hook is one relaxed load.
   Status Register(const std::string& op_name, KernelFn fn,
                   std::vector<DeviceKind> kinds = {});
 

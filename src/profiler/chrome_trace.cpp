@@ -1,0 +1,111 @@
+#include "profiler/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace tfe {
+namespace profiler {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with nanosecond precision, the trace_event time unit.
+std::string MicrosString(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(
+    const std::vector<CollectedEvent>& events,
+    const std::map<uint32_t, std::string>& thread_names) {
+  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
+  for (const auto& ce : events) {
+    if (ce.event.start_ns < base_ns) base_ns = ce.event.start_ns;
+  }
+  if (events.empty()) base_ns = 0;
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+  }
+  for (const auto& ce : events) {
+    const Event& e = ce.event;
+    if (!first) out += ",";
+    first = false;
+    const std::string& name = InternedString(e.name);
+    out += "{\"ph\":\"";
+    out += EventKindIsSpan(e.kind) ? "X" : "i";
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ce.tid) + ",\"ts\":" +
+           MicrosString(e.start_ns - base_ns);
+    if (EventKindIsSpan(e.kind)) {
+      out += ",\"dur\":" + MicrosString(e.dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"cat\":\"";
+    out += EventKindName(e.kind);
+    out += "\",\"name\":\"";
+    AppendEscaped(&out, name.empty() ? EventKindName(e.kind) : name);
+    out += "\",\"args\":{\"arg\":" + std::to_string(e.arg);
+    if (e.detail != 0) {
+      out += ",\"detail\":\"";
+      AppendEscaped(&out, InternedString(e.detail));
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<CollectedEvent>& events,
+                        const std::map<uint32_t, std::string>& thread_names) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Unavailable("cannot open trace output file: " + path);
+  }
+  file << ChromeTraceJson(events, thread_names);
+  file.close();
+  if (!file) {
+    return Unavailable("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace profiler
+}  // namespace tfe

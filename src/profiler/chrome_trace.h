@@ -1,0 +1,31 @@
+// Chrome trace_event JSON serialization for collected profiler events.
+// The output loads in chrome://tracing and ui.perfetto.dev: span kinds
+// become "X" (complete) events, instant kinds become "i" events, and each
+// thread gets an "M" thread_name metadata record.
+#ifndef TFE_PROFILER_CHROME_TRACE_H_
+#define TFE_PROFILER_CHROME_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiler/profiler.h"
+#include "support/status.h"
+
+namespace tfe {
+namespace profiler {
+
+// Renders the events as a Chrome trace_event JSON document. Timestamps are
+// re-based so the earliest event starts at ts=0.
+std::string ChromeTraceJson(const std::vector<CollectedEvent>& events,
+                            const std::map<uint32_t, std::string>& thread_names);
+
+// ChromeTraceJson, written to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<CollectedEvent>& events,
+                        const std::map<uint32_t, std::string>& thread_names);
+
+}  // namespace profiler
+}  // namespace tfe
+
+#endif  // TFE_PROFILER_CHROME_TRACE_H_

@@ -1,0 +1,147 @@
+#include "profiler/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace tfe {
+namespace profiler {
+
+namespace {
+
+// Bucket index for value v: 0 for 0, otherwise 1 + floor(log2(v)), clamped.
+int BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  int index = std::bit_width(v);  // v in [2^(w-1), 2^w) -> bucket w
+  return index < Histogram::kBuckets ? index : Histogram::kBuckets - 1;
+}
+
+// Inclusive upper bound of bucket i (see BucketIndex).
+uint64_t BucketUpperBound(int i) {
+  if (i == 0) return 0;
+  if (i >= 63) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (static_cast<double>(seen) >= rank) {
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count();
+  snapshot.sum = sum();
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) snapshot.buckets.emplace_back(BucketUpperBound(i), n);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"mean\":" << h.mean()
+        << ",\"max\":" << h.max << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace profiler
+}  // namespace tfe

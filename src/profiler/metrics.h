@@ -1,0 +1,140 @@
+// MetricsRegistry: named counters, gauges, and histograms for the runtime
+// observability subsystem (the numeric half of src/profiler/; the event half
+// lives in profiler.h).
+//
+// Metric objects are allocated once per name and never move or die, so hot
+// paths look a metric up once (constructor or function-local static) and
+// afterwards touch only its atomics — an increment is one relaxed RMW.
+// Snapshot() and Reset() may run concurrently with updates; they see values
+// that are individually (not mutually) consistent, which is all a monitoring
+// surface needs.
+#ifndef TFE_PROFILER_METRICS_H_
+#define TFE_PROFILER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tfe {
+namespace profiler {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A last-write-wins signed value (queue depth, bytes in flight) that also
+// tracks the maximum it ever held since the last Reset.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
+  }
+  void Add(int64_t delta) {
+    RaiseMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void RaiseMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  // (inclusive upper bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Upper-bound estimate of the p-th percentile (p in [0, 100]).
+  uint64_t Percentile(double p) const;
+};
+
+// Exponential (power-of-two) bucket histogram for non-negative values:
+// bucket 0 holds zeros, bucket i holds [2^(i-1), 2^i). Recording is three
+// relaxed atomic RMWs plus a CAS max update — cheap enough to leave on.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Nested JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {"name": {"count":..,"mean":..,"max":..}, ...}}.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create by name. Returned pointers are valid for the process
+  // lifetime; cache them at instrumentation sites.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every metric's value; registrations (and cached pointers) stay
+  // valid. Benchmarks use this to open a fresh measurement window.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace profiler
+}  // namespace tfe
+
+#endif  // TFE_PROFILER_METRICS_H_

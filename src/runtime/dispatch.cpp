@@ -1,6 +1,7 @@
 #include "runtime/dispatch.h"
 
 #include "autodiff/tape.h"
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 #include "staging/trace_context.h"
 #include "support/strings.h"
@@ -8,6 +9,11 @@
 namespace tfe {
 
 StatusOr<std::vector<Tensor>> Dispatch(OpCall call) {
+  static profiler::Counter* dispatch_ops =
+      profiler::Metrics().GetCounter("dispatch.ops");
+  dispatch_ops->Increment();
+  profiler::Scope dispatch_span(profiler::EventKind::kDispatch, call.op_name);
+
   EagerContext* ctx = call.ctx != nullptr ? call.ctx : EagerContext::Global();
   TraceContext* trace = TraceContext::Current();
 

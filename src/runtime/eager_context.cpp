@@ -5,6 +5,7 @@
 
 #include "executor/executor.h"
 #include "ops/op_registry.h"
+#include "profiler/profiler.h"
 #include "runtime/op_queue.h"
 #include "support/strings.h"
 #include "tensor/tensor_handle.h"
@@ -62,6 +63,9 @@ EagerContext::EagerContext(const Options& options)
       rng_(options.random_seed, /*stream=*/0x7465666f),
       random_seed_(options.random_seed),
       async_(options.async) {
+  // TFE_PROFILE=<path> turns collection on for the process and registers the
+  // at-exit Chrome-trace export.
+  profiler::InitFromEnv();
   EnsureOpsRegistered();
   // Paper §4.4: "During program startup, the runtime detects the devices
   // that are available to the machine."
@@ -256,6 +260,15 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
     const std::string& op_name, std::vector<Tensor> inputs,
     const AttrMap& attrs, const std::string& requested_device) {
   stats_.eager_ops.fetch_add(1, std::memory_order_relaxed);
+  if (IsVariableOp(op_name)) {
+    static profiler::Counter* variable_ops =
+        profiler::Metrics().GetCounter("dispatch.variable_ops");
+    variable_ops->Increment();
+    if (profiler::enabled()) {
+      profiler::RecordInstant(profiler::EventKind::kVariableOp,
+                              profiler::Intern(op_name));
+    }
+  }
   // Host-language dispatch cost (DESIGN.md §2: calibrated interpreter
   // model; zero under HostProfile::Native).
   AdvanceHostNs(op_name == "Call" ? host_profile_.function_call_ns

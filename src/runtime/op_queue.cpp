@@ -30,12 +30,19 @@ std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node) {
 // the interpreted program.
 constexpr size_t kMaxFusedRun = 64;
 
-// Structural half of fusability: no attrs, a single output whose dtype the
-// opcode supports. Value/shape checks are the caller's job.
+// Structural half of fusability: a single output whose dtype the opcode
+// supports, and no attrs — except Cast, whose single "dst" attr is folded
+// into the program as a kCast micro-op. Value/shape checks are the caller's
+// job.
 bool FusableNode(const OpQueue::Node& node, kernels::MicroOpCode* code) {
-  return node.attrs.empty() && node.outputs.size() == 1 &&
-         kernels::MicroOpCodeFor(node.op_name, code) &&
-         kernels::MicroOpSupports(*code, node.outputs[0]->dtype());
+  if (node.outputs.size() != 1) return false;
+  if (!kernels::MicroOpCodeFor(node.op_name, code)) return false;
+  if (*code == kernels::MicroOpCode::kCast) {
+    if (node.attrs.size() != 1 || node.attrs.count("dst") == 0) return false;
+  } else if (!node.attrs.empty()) {
+    return false;
+  }
+  return kernels::MicroOpSupports(*code, node.outputs[0]->dtype());
 }
 
 // Resolves an external (not produced in-run) input to its concrete value.
@@ -53,12 +60,19 @@ bool ResolvedOperand(const Tensor& input, Tensor* value) {
 }
 
 // Whether `value` can feed a fused run of the given dtype/shape on `device`
-// without a transparent copy: dtype matches, it is the run shape or a
-// broadcast scalar, and it is already resident (nullptr means host data,
-// which the host CPU reads in place).
+// without a transparent copy: dtype matches (a cast's source operand may
+// instead be any numeric dtype — the kernel pre-converts it), it is the run
+// shape or a broadcast scalar, and it is already resident (nullptr means
+// host data, which the host CPU reads in place).
 bool OperandCompatible(const Tensor& value, DType dtype, const Shape& shape,
-                       const Device* device) {
-  if (value.dtype() != dtype) return false;
+                       const Device* device, bool cast_source = false) {
+  if (cast_source) {
+    if (!kernels::MicroOpSupports(kernels::MicroOpCode::kCast, value.dtype())) {
+      return false;
+    }
+  } else if (value.dtype() != dtype) {
+    return false;
+  }
   if (value.device() != nullptr && value.device() != device) return false;
   return value.shape() == shape || value.num_elements() == 1;
 }
@@ -94,12 +108,37 @@ bool Observable(size_t n, const std::vector<OpQueue::Node>& run) {
 }  // namespace
 
 OpQueue::OpQueue(EagerContext* ctx, Device* device)
-    : ctx_(ctx), device_(device) {}
+    : ctx_(ctx),
+      device_(device),
+      enqueued_counter_(profiler::Metrics().GetCounter("queue.enqueued")),
+      depth_gauge_(
+          profiler::Metrics().GetGauge("queue.depth." + device->name())),
+      run_length_hist_(
+          profiler::Metrics().GetHistogram("fusion.run_length")),
+      dispatch_latency_hist_(profiler::Metrics().GetHistogram(
+          "queue.dispatch_to_execute_ns")),
+      drain_name_id_(profiler::Intern("drain " + device->name())),
+      fusion_name_id_(profiler::Intern("fused_run")) {}
 
 void OpQueue::Enqueue(Node node) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_.push_back(std::move(node));
-  PumpLocked();
+  enqueued_counter_->Increment();
+  uint32_t name_id = 0;
+  if (profiler::enabled()) {
+    node.enqueue_wall_ns = profiler::NowNs();
+    name_id = profiler::Intern(node.op_name);
+  }
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(node));
+    depth = queue_.size();
+    PumpLocked();
+  }
+  depth_gauge_->Set(static_cast<int64_t>(depth));
+  if (name_id != 0) {
+    profiler::RecordInstant(profiler::EventKind::kEnqueue, name_id,
+                            static_cast<int64_t>(depth));
+  }
 }
 
 void OpQueue::PumpLocked() {
@@ -109,6 +148,8 @@ void OpQueue::PumpLocked() {
 }
 
 void OpQueue::Drain() {
+  profiler::Scope drain_span(profiler::EventKind::kQueueDrain, drain_name_id_);
+  int64_t ops_drained = 0;
   for (;;) {
     Node* front;
     {
@@ -139,6 +180,7 @@ void OpQueue::Drain() {
       return;
     }
     std::vector<Node> run;
+    size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
       run.push_back(std::move(queue_.front()));
@@ -152,6 +194,15 @@ void OpQueue::Drain() {
           queue_.pop_front();
         }
       }
+      depth = queue_.size();
+    }
+    depth_gauge_->Set(static_cast<int64_t>(depth));
+    run_length_hist_->Record(run.size());
+    ops_drained += static_cast<int64_t>(run.size());
+    drain_span.set_arg(ops_drained);
+    if (run.size() > 1) {
+      profiler::RecordInstant(profiler::EventKind::kFusionRun, fusion_name_id_,
+                              static_cast<int64_t>(run.size()));
     }
     if (run.size() == 1) {
       Execute(std::move(run.front()));
@@ -168,12 +219,14 @@ bool OpQueue::NodeStartsRun(const Node& node) const {
   if (device_->is_accelerator() || !device_->executes_kernels()) return false;
   kernels::MicroOpCode code;
   if (!FusableNode(node, &code)) return false;
+  const bool cast_source = code == kernels::MicroOpCode::kCast;
   const auto& out = *node.outputs[0];
   if (!out.shape().IsFullyDefined()) return false;
   for (const Tensor& input : node.inputs) {
     Tensor value;
     if (!ResolvedOperand(input, &value)) return false;
-    if (!OperandCompatible(value, out.dtype(), out.shape(), device_)) {
+    if (!OperandCompatible(value, out.dtype(), out.shape(), device_,
+                           cast_source)) {
       return false;
     }
   }
@@ -184,6 +237,7 @@ bool OpQueue::NodeJoinsRun(const Node& node,
                            const std::vector<Node>& run) const {
   kernels::MicroOpCode code;
   if (!FusableNode(node, &code)) return false;
+  const bool cast_source = code == kernels::MicroOpCode::kCast;
   const auto& head = *run.front().outputs[0];
   const auto& out = *node.outputs[0];
   if (out.dtype() != head.dtype() || !(out.shape() == head.shape())) {
@@ -203,7 +257,8 @@ bool OpQueue::NodeJoinsRun(const Node& node,
     }
     Tensor value;
     if (!ResolvedOperand(input, &value)) return false;
-    if (!OperandCompatible(value, head.dtype(), head.shape(), device_)) {
+    if (!OperandCompatible(value, head.dtype(), head.shape(), device_,
+                           cast_source)) {
       return false;
     }
   }
@@ -211,6 +266,14 @@ bool OpQueue::NodeJoinsRun(const Node& node,
 }
 
 void OpQueue::ExecuteFused(std::vector<Node> run) {
+  if (profiler::enabled()) {
+    const uint64_t now_ns = profiler::NowNs();
+    for (const Node& node : run) {
+      if (node.enqueue_wall_ns != 0 && node.enqueue_wall_ns <= now_ns) {
+        dispatch_latency_hist_->Record(now_ns - node.enqueue_wall_ns);
+      }
+    }
+  }
   const DType dtype = run.front().outputs[0]->dtype();
   const Shape shape = run.front().outputs[0]->shape();
 
@@ -303,6 +366,15 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
 
   AttrMap attrs;
   attrs.emplace("program", AttrValue(program.Encode()));
+  // A program with folded casts may carry foreign-dtype operands; tell the
+  // kernel the run dtype explicitly (older cast-free programs infer it from
+  // operand 0, so they need no attr).
+  for (const kernels::MicroInst& inst : program.insts) {
+    if (inst.opcode == kernels::MicroOpCode::kCast) {
+      attrs.emplace("dtype", AttrValue(dtype));
+      break;
+    }
+  }
   auto result = ctx_->ExecuteKernel("FusedElementwise", operands, attrs,
                                     device_, /*compiled=*/false, start_ns);
   if (!result.ok()) {
@@ -333,6 +405,12 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
 }
 
 void OpQueue::Execute(Node node) {
+  if (node.enqueue_wall_ns != 0 && profiler::enabled()) {
+    const uint64_t now_ns = profiler::NowNs();
+    if (node.enqueue_wall_ns <= now_ns) {
+      dispatch_latency_hist_->Record(now_ns - node.enqueue_wall_ns);
+    }
+  }
   // Deferred error propagation: a poisoned input poisons every output with
   // the *original* Status, without executing (paper §5 error semantics).
   uint64_t start_ns = node.enqueue_host_ns;

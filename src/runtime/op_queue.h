@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ops/attr_value.h"
+#include "profiler/profiler.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_handle.h"
 
@@ -42,6 +43,9 @@ class OpQueue {
     AttrMap attrs;
     // Virtual host time when the op was dispatched (earliest device start).
     uint64_t enqueue_host_ns = 0;
+    // Profiler wall clock at enqueue; 0 when profiling was off. Feeds the
+    // dispatch-to-execute latency histogram.
+    uint64_t enqueue_wall_ns = 0;
     // Deterministic RNG stream reserved at enqueue (program order).
     uint64_t rng_stream = 0;
     std::vector<std::shared_ptr<TensorHandle>> outputs;
@@ -93,6 +97,15 @@ class OpQueue {
 
   EagerContext* const ctx_;
   Device* const device_;
+
+  // Observability instruments, resolved once (metric pointers are
+  // process-lifetime stable; see profiler/metrics.h).
+  profiler::Counter* const enqueued_counter_;
+  profiler::Gauge* const depth_gauge_;
+  profiler::Histogram* const run_length_hist_;
+  profiler::Histogram* const dispatch_latency_hist_;
+  const uint32_t drain_name_id_;
+  const uint32_t fusion_name_id_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;

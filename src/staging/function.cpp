@@ -3,6 +3,7 @@
 #include "autodiff/function_grad.h"
 #include "autodiff/tape.h"
 #include "graph/passes.h"
+#include "profiler/profiler.h"
 #include "runtime/dispatch.h"
 #include "runtime/eager_context.h"
 #include "staging/signature.h"
@@ -49,7 +50,23 @@ StatusOr<std::shared_ptr<GraphFunction>> Function::GetOrTrace(
     if (!key_or.ok()) return key_or.status();
     key = std::move(key_or).value();
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      static profiler::Counter* hits =
+          profiler::Metrics().GetCounter("staging.cache_hits");
+      hits->Increment();
+      if (profiler::enabled()) {
+        profiler::RecordInstant(profiler::EventKind::kTraceCacheHit,
+                                profiler::Intern(name_));
+      }
+      return it->second;
+    }
+  }
+  static profiler::Counter* misses =
+      profiler::Metrics().GetCounter("staging.cache_misses");
+  misses->Increment();
+  if (profiler::enabled()) {
+    profiler::RecordInstant(profiler::EventKind::kTraceCacheMiss,
+                            profiler::Intern(name_));
   }
 
   // Cache miss: trace outside the lock (tracing can recursively invoke other
@@ -70,6 +87,7 @@ StatusOr<std::shared_ptr<GraphFunction>> Function::Trace(
     bool allow_variable_creation) {
   EagerContext* ctx = ctx_ != nullptr ? ctx_ : EagerContext::Global();
   ctx->stats().traces.fetch_add(1, std::memory_order_relaxed);
+  profiler::Scope trace_span(profiler::EventKind::kTraceStage, name_);
 
   auto graph_fn = std::make_shared<GraphFunction>(
       ctx->functions().UniqueName(name_));

@@ -11,6 +11,7 @@
 
 #include "api/tfe.h"
 #include "kernels/fused_elementwise.h"
+#include "runtime/dispatch.h"
 #include "runtime/eager_context.h"
 #include "tensor/tensor_handle.h"
 
@@ -252,6 +253,108 @@ TEST_F(FusionTest, PoisonedAssignLeavesOldValue) {
   EXPECT_EQ(ToVector<float>(v.read_value()), (std::vector<float>{5, 6}));
 }
 
+// --- cast folding ----------------------------------------------------------
+
+TEST_F(FusionTest, CastOperandsFoldIntoTheRun) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({33, 17}, 0, 1, /*seed=*/13);
+  // A full-shape int32 operand: its cast matches the run shape, so the
+  // drain folds it as a kCast micro-op. (A scalar cast would cut — fused
+  // outputs materialize at the run shape.)
+  Tensor i32 = ops::cast(ops::mul(x, ops::scalar<float>(4.0f)), DType::kInt32);
+  ASSERT_TRUE(ctx->Sync().ok());  // i32 concrete before the chain
+  auto chain = [&] {
+    // Two casts interleaved with float arithmetic: both must ride inside
+    // the same fused run as pre-converted foreign operands.
+    Tensor h = ops::add(x, ops::cast(i32, DType::kFloat32));
+    h = ops::mul(h, ops::scalar<float>(0.5f));
+    h = ops::relu(ops::sub(h, ops::cast(i32, DType::kFloat32)));
+    return ops::maximum(h, x);
+  };
+
+  // The drain records every popped run's length; a cast-cut chain could at
+  // best reach 3 consecutive fusable ops, so max >= 5 proves the casts
+  // folded into one run.
+  profiler::Histogram* run_length =
+      profiler::Metrics().GetHistogram("fusion.run_length");
+  run_length->Reset();
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor fused = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before)
+      << "cast-bearing chain never fused";
+  EXPECT_GE(run_length->Snapshot().max, 5u)
+      << "casts cut the run instead of folding";
+
+  ctx->set_fuse_elementwise(false);
+  Tensor plain = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)));
+}
+
+TEST_F(FusionTest, CastToDifferentDtypeCutsRunButValuesAgree) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({5, 7}, 0, 4, /*seed=*/17);
+  auto chain = [&] {
+    Tensor h = ops::mul(ops::add(x, x), x);       // float run
+    Tensor i = ops::cast(h, DType::kInt32);       // dtype changes: run splits
+    Tensor j = ops::add(ops::add(i, i), i);       // int32 run
+    return ops::cast(j, DType::kFloat32);
+  };
+  Tensor fused = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  ctx->set_fuse_elementwise(false);
+  Tensor plain = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)));
+}
+
+TEST_F(FusionTest, HandcraftedCastProgramConvertsOperand) {
+  // Exercise the kernel directly: reg1 is int32 (foreign), kCast folds it
+  // into the float run, then kAdd consumes the converted value.
+  kernels::MicroProgram program;
+  program.num_operands = 2;
+  program.insts.push_back({kernels::MicroOpCode::kCast, 1, 0});
+  program.insts.push_back({kernels::MicroOpCode::kAdd, 0, 2});
+  program.outputs = {3};
+  AttrMap attrs;
+  attrs.emplace("program", AttrValue(program.Encode()));
+  attrs.emplace("dtype", AttrValue(DType::kFloat32));
+  Tensor xf = ops::constant<float>({0.5f, -1.25f, 2.0f}, {3});
+  Tensor xi = ops::constant<int32_t>({1, -2, 3}, {3});
+  auto result = DispatchSingle({.op_name = "FusedElementwise",
+                                .inputs = {xf, xi},
+                                .attrs = attrs});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(EagerContext::Global()->Sync().ok());
+  EXPECT_EQ(ToVector<float>(*result),
+            (std::vector<float>{1.5f, -3.25f, 5.0f}));
+}
+
+TEST_F(FusionTest, ForeignOperandReadByNonCastIsRejected) {
+  // A non-cast instruction reading a foreign-dtype operand is a malformed
+  // program: only kCast may consume registers that need conversion.
+  kernels::MicroProgram program;
+  program.num_operands = 2;
+  program.insts.push_back({kernels::MicroOpCode::kAdd, 0, 1});
+  program.outputs = {2};
+  AttrMap attrs;
+  attrs.emplace("program", AttrValue(program.Encode()));
+  attrs.emplace("dtype", AttrValue(DType::kFloat32));
+  Tensor xf = ops::constant<float>({1, 2}, {2});
+  Tensor xi = ops::constant<int32_t>({1, 2}, {2});
+  auto result = Dispatch({.op_name = "FusedElementwise",
+                          .inputs = {xf, xi},
+                          .attrs = attrs});
+  // Async execution defers the kernel failure to the sync point.
+  Status status =
+      result.ok() ? (*result)[0].Materialize() : result.status();
+  EXPECT_FALSE(status.ok());
+  (void)EagerContext::Global()->Sync();  // absorb the deferred error
+}
+
 // --- threadpool-parallel kernels -------------------------------------------
 
 class ParallelKernelsTest : public ::testing::Test {
@@ -339,6 +442,17 @@ TEST(MicroProgramTest, DecodeRejectsMalformedPrograms) {
   EXPECT_FALSE(kernels::MicroProgram::Decode({1, 1, 99, 0, 0, 1, 1}).ok());
   // Output register out of range.
   EXPECT_FALSE(kernels::MicroProgram::Decode({1, 1, 0, 0, 0, 1, 5}).ok());
+}
+
+TEST(MicroProgramTest, CastOpcodeDecodesAndBoundsTheOpcodeRange) {
+  const int64_t cast_code = static_cast<int64_t>(kernels::MicroOpCode::kCast);
+  auto decoded = kernels::MicroProgram::Decode({1, 1, cast_code, 0, 0, 1, 1});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->insts[0].opcode, kernels::MicroOpCode::kCast);
+  EXPECT_EQ(kernels::MicroOpArity(kernels::MicroOpCode::kCast), 1);
+  // kCast is the last opcode; one past it is unknown.
+  EXPECT_FALSE(
+      kernels::MicroProgram::Decode({1, 1, cast_code + 1, 0, 0, 1, 1}).ok());
 }
 
 }  // namespace

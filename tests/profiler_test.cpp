@@ -1,0 +1,343 @@
+// Runtime observability subsystem: per-thread ring-buffer event collection,
+// the metrics registry, and the Chrome trace exporter. The concurrency tests
+// double as the TSan targets for the lock-free record/flush pair.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/tfe.h"
+#include "profiler/chrome_trace.h"
+#include "runtime/eager_context.h"
+
+namespace tfe {
+namespace {
+
+using profiler::CollectedEvent;
+using profiler::Event;
+using profiler::EventKind;
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    profiler::Stop();
+    (void)profiler::Collect();  // drain anything a prior test left buffered
+  }
+  void TearDown() override {
+    profiler::Stop();
+    (void)profiler::Collect();
+    EagerContext::ResetGlobal(EagerContext::Options());
+  }
+};
+
+// Minimal structural JSON validator: balanced braces/brackets outside
+// strings, no unescaped control characters inside strings, single root.
+::testing::AssertionResult JsonWellFormed(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return ::testing::AssertionFailure()
+               << "raw control char 0x" << std::hex << int(c)
+               << " inside string at offset " << std::dec << i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) {
+          return ::testing::AssertionFailure()
+                 << "unbalanced close at offset " << i;
+        }
+        break;
+      default: break;
+    }
+  }
+  if (in_string) return ::testing::AssertionFailure() << "unterminated string";
+  if (depth != 0) {
+    return ::testing::AssertionFailure() << "unbalanced depth " << depth;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST_F(ProfilerTest, RecordIsNoOpWhileStopped) {
+  profiler::RecordInstant(EventKind::kEnqueue, profiler::Intern("off"), 1);
+  EXPECT_TRUE(profiler::Collect().empty());
+}
+
+TEST_F(ProfilerTest, StartStopAreIdempotentAndEventsSurviveStop) {
+  profiler::Start();
+  profiler::Start();  // second Start must not reset buffers
+  profiler::RecordInstant(EventKind::kEnqueue, profiler::Intern("one"), 1);
+  profiler::Stop();
+  profiler::Stop();
+  profiler::RecordInstant(EventKind::kEnqueue, profiler::Intern("two"), 2);
+  // Recorded-before-Stop stays buffered; recorded-after-Stop is dropped.
+  std::vector<CollectedEvent> events = profiler::Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(profiler::InternedString(events[0].event.name), "one");
+  EXPECT_EQ(events[0].event.arg, 1);
+}
+
+TEST_F(ProfilerTest, EventsWithinAThreadKeepRecordOrder) {
+  profiler::Start();
+  for (int i = 0; i < 100; ++i) {
+    profiler::RecordInstant(EventKind::kEnqueue, profiler::Intern("seq"), i);
+  }
+  std::vector<CollectedEvent> events = profiler::Collect();
+  ASSERT_EQ(events.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(events[i].event.arg, i);
+    if (i > 0) {
+      EXPECT_GE(events[i].event.start_ns, events[i - 1].event.start_ns);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, CollectMergesThreadsInStartTimeOrder) {
+  profiler::Start();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const uint32_t name = profiler::Intern("merge");
+      for (int i = 0; i < kPerThread; ++i) {
+        profiler::RecordInstant(EventKind::kEnqueue, name, t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<CollectedEvent> events = profiler::Collect();
+  ASSERT_EQ(events.size(), size_t{kThreads} * kPerThread);
+  std::set<uint32_t> tids;
+  for (size_t i = 0; i < events.size(); ++i) {
+    tids.insert(events[i].tid);
+    if (i > 0) {
+      EXPECT_GE(events[i].event.start_ns, events[i - 1].event.start_ns)
+          << "merge not sorted at index " << i;
+    }
+  }
+  EXPECT_EQ(tids.size(), size_t{kThreads});
+  // A second Collect returns a disjoint (here: empty) batch.
+  EXPECT_TRUE(profiler::Collect().empty());
+}
+
+TEST_F(ProfilerTest, FullBufferDropsAndCounts) {
+  profiler::Start();
+  const uint64_t dropped_before = profiler::DroppedEvents();
+  // One thread's ring holds 1<<16 events; everything past that must be
+  // dropped (not overwritten — overwrite would race the flush) and counted.
+  constexpr uint64_t kRecords = (1u << 16) + 5000;
+  const uint32_t name = profiler::Intern("flood");
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    profiler::RecordInstant(EventKind::kEnqueue, name);
+  }
+  const uint64_t dropped = profiler::DroppedEvents() - dropped_before;
+  EXPECT_GE(dropped, kRecords - (1u << 16));
+  EXPECT_EQ(profiler::Collect().size() + dropped, kRecords);
+}
+
+TEST_F(ProfilerTest, ConcurrentRecordAndFlush) {
+  // TSan target: writers spin on their SPSC rings while this thread flushes.
+  profiler::Start();
+  const uint64_t dropped_before = profiler::DroppedEvents();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> recorded{0};
+  constexpr int kWriters = 3;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      const uint32_t name = profiler::Intern("race");
+      while (!stop.load(std::memory_order_relaxed)) {
+        profiler::RecordInstant(EventKind::kEnqueue, name);
+        recorded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  uint64_t collected = 0;
+  for (int flush = 0; flush < 50; ++flush) {
+    collected += profiler::Collect().size();
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  collected += profiler::Collect().size();
+  const uint64_t dropped = profiler::DroppedEvents() - dropped_before;
+  EXPECT_EQ(collected + dropped, recorded.load());
+}
+
+TEST_F(ProfilerTest, CountersGaugesAndHistograms) {
+  profiler::MetricsRegistry& metrics = profiler::Metrics();
+  profiler::Counter* counter = metrics.GetCounter("test.counter");
+  counter->Reset();
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+  // Get-or-create: same name, same object — cached pointers stay hot.
+  EXPECT_EQ(metrics.GetCounter("test.counter"), counter);
+
+  profiler::Gauge* gauge = metrics.GetGauge("test.gauge");
+  gauge->Reset();
+  gauge->Set(7);
+  gauge->Add(5);
+  gauge->Set(3);
+  EXPECT_EQ(gauge->value(), 3);
+  EXPECT_EQ(gauge->max(), 12);
+
+  profiler::Histogram* hist = metrics.GetHistogram("test.hist");
+  hist->Reset();
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) hist->Record(v);
+  EXPECT_EQ(hist->count(), 5u);
+  EXPECT_EQ(hist->sum(), 1006u);
+  EXPECT_DOUBLE_EQ(hist->mean(), 1006.0 / 5.0);
+  profiler::HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.max, 1000u);
+  uint64_t bucket_total = 0;
+  for (const auto& [bound, n] : snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Percentiles are upper-bound estimates, monotone, clamped to the max.
+  EXPECT_LE(snap.Percentile(0), snap.Percentile(50));
+  EXPECT_LE(snap.Percentile(50), snap.Percentile(100));
+  EXPECT_EQ(snap.Percentile(100), 1000u);
+
+  profiler::MetricsSnapshot all = metrics.Snapshot();
+  EXPECT_EQ(all.counters.at("test.counter"), 42u);
+  EXPECT_EQ(all.gauges.at("test.gauge"), 3);
+  EXPECT_EQ(all.histograms.at("test.hist").count, 5u);
+  EXPECT_TRUE(JsonWellFormed(all.ToJson()));
+
+  // Reset zeroes values but keeps registrations (and cached pointers) alive.
+  metrics.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("test.counter"), counter);
+}
+
+TEST_F(ProfilerTest, ChromeTraceJsonEscapesAndBalances) {
+  profiler::Start();
+  const uint32_t weird = profiler::Intern("we\"ird\\name\nwith\tctl");
+  profiler::RecordInstant(EventKind::kEnqueue, weird, 9);
+  {
+    profiler::Scope span(EventKind::kKernel, "spanned");
+    span.set_arg(123);
+    span.set_detail(weird);
+  }
+  std::vector<CollectedEvent> events = profiler::Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const std::string json =
+      profiler::ChromeTraceJson(events, profiler::ThreadNames());
+  EXPECT_TRUE(JsonWellFormed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // the instant
+  // The quote and backslash must arrive escaped, never raw.
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\nwith\\tctl"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ExportChromeTraceWritesLoadableFile) {
+  profiler::Start();
+  profiler::RecordInstant(EventKind::kEnqueue, profiler::Intern("file"), 1);
+  const std::string path = ::testing::TempDir() + "profiler_test_trace.json";
+  ASSERT_TRUE(profiler::ExportChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonWellFormed(contents));
+  EXPECT_NE(contents.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, AsyncChainEmitsRuntimeEventsAcrossThreads) {
+  EagerContext::Options options;
+  options.async = true;
+  EagerContext::ResetGlobal(options);
+  EagerContext* ctx = EagerContext::Global();
+  profiler::Start();
+
+  Tensor x = ops::random_normal({32, 32}, 0, 1, /*seed=*/3);
+  Tensor h = x;
+  for (int i = 0; i < 32; ++i) h = ops::tanh(ops::add(h, x));
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  // The drain records its span when it exits the drain loop, which can
+  // trail Sync by a moment — poll-collect until every expected kind (and a
+  // second thread) has shown up rather than racing a single flush.
+  std::set<uint32_t> tids;
+  std::set<EventKind> kinds;
+  uint64_t span_ns = 0;
+  auto satisfied = [&] {
+    return tids.size() >= 2 && kinds.count(EventKind::kDispatch) &&
+           kinds.count(EventKind::kEnqueue) &&
+           kinds.count(EventKind::kQueueDrain) &&
+           kinds.count(EventKind::kKernel);
+  };
+  for (int attempt = 0; attempt < 400 && !satisfied(); ++attempt) {
+    for (const CollectedEvent& e : profiler::Collect()) {
+      tids.insert(e.tid);
+      kinds.insert(e.event.kind);
+      // A single span may be shorter than the clock granularity; in
+      // aggregate the chain's spans must cover real time.
+      if (profiler::EventKindIsSpan(e.event.kind)) span_ns += e.event.dur_ns;
+    }
+    if (!satisfied()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  profiler::Stop();
+  EXPECT_GT(span_ns, 0u);
+  // Dispatch + enqueue on the host thread; drain + kernels on pool threads.
+  EXPECT_GE(tids.size(), 2u);
+  EXPECT_TRUE(kinds.count(EventKind::kDispatch));
+  EXPECT_TRUE(kinds.count(EventKind::kEnqueue));
+  EXPECT_TRUE(kinds.count(EventKind::kQueueDrain));
+  EXPECT_TRUE(kinds.count(EventKind::kKernel));
+}
+
+TEST_F(ProfilerTest, TraceCacheEventsRecorded) {
+  profiler::Start();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::add(args[0], args[0])};
+      },
+      "profiler_cache_probe");
+  Tensor x = ops::constant<float>({1, 2}, {2});
+  (void)f({x});  // miss: traces the function
+  (void)f({x});  // hit: same signature
+  ASSERT_TRUE(EagerContext::Global()->Sync().ok());
+  profiler::Stop();
+
+  int misses = 0, hits = 0, stages = 0;
+  for (const CollectedEvent& e : profiler::Collect()) {
+    switch (e.event.kind) {
+      case EventKind::kTraceCacheMiss: ++misses; break;
+      case EventKind::kTraceCacheHit: ++hits; break;
+      case EventKind::kTraceStage: ++stages; break;
+      default: break;
+    }
+  }
+  EXPECT_GE(misses, 1);
+  EXPECT_GE(hits, 1);
+  EXPECT_GE(stages, 1);
+}
+
+}  // namespace
+}  // namespace tfe
