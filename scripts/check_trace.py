@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Validates a Chrome trace_event JSON file written by the profiler.
 
-Usage: scripts/check_trace.py <trace.json>
+Usage: scripts/check_trace.py [--require-remote] <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
 spans were recorded from at least two threads — dispatch on the host thread
 plus drain/kernel work on the queue's pool thread.
+
+With --require-remote the trace must additionally contain the remote
+dispatch spans: a "remote_enqueue" on the client issuing the op over the
+pending-handle protocol and a "remote_resolve" where the worker completion
+resolves the client's pending handles.
 """
 import json
 import sys
@@ -18,9 +23,12 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <trace.json>")
-    path = sys.argv[1]
+    args = sys.argv[1:]
+    require_remote = "--require-remote" in args
+    args = [a for a in args if a != "--require-remote"]
+    if len(args) != 1:
+        fail(f"usage: {sys.argv[0]} [--require-remote] <trace.json>")
+    path = args[0]
     try:
         with open(path) as f:
             trace = json.load(f)
@@ -49,7 +57,10 @@ def main():
     if len(span_tids) < 2:
         fail(f"X spans on {len(span_tids)} thread(s); expected >= 2 "
              "(host dispatch + queue pool)")
-    for want in ("dispatch", "kernel", "queue_drain"):
+    wanted = ["dispatch", "kernel", "queue_drain"]
+    if require_remote:
+        wanted += ["remote_enqueue", "remote_resolve"]
+    for want in wanted:
         if want not in categories:
             fail(f"no '{want}' spans (categories seen: {sorted(categories)})")
 

@@ -11,8 +11,9 @@
 # the drain fuser and the intra-op threadpool put real parallelism under
 # ordinary ops.
 #
-# --profile is the observability smoke: build, run bench_fusion with
-# TFE_PROFILE set, validate the exported Chrome trace, then run the
+# --profile is the observability smoke: build, run bench_fusion and
+# bench_distrib with TFE_PROFILE set, validate the exported Chrome traces
+# (the distrib trace must carry remote enqueue/resolve spans), then run the
 # profiler-overhead gate (fails above 5%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +30,11 @@ if [[ "$MODE" == "--profile" ]]; then
   echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
   python3 scripts/check_trace.py "$TRACE"
+  REMOTE_TRACE="build/profile_smoke_remote_trace.json"
+  echo "==== profile smoke: bench_distrib under TFE_PROFILE ===="
+  (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \
+    ./bench/bench_distrib)
+  python3 scripts/check_trace.py --require-remote "$REMOTE_TRACE"
   echo "==== profile smoke: overhead gate ===="
   (cd build && ./bench/bench_profiler_overhead)
   echo "==== profile smoke ok ===="
@@ -43,13 +49,16 @@ if [[ "$MODE" == "--skip-sanitizers" ]]; then
 fi
 
 if [[ "$MODE" == "--tier2" ]]; then
-  # Everything, including the serial kernel tests: sanitizers still catch
-  # lifetime bugs there, and the suite is small enough to afford it.
+  # Everything, including the serial kernel tests and the distributed suite
+  # (worker service threads + async RPC callbacks are prime TSan territory):
+  # sanitizers still catch lifetime bugs there, and the suite is small
+  # enough to afford it.
   FILTER='*'
 else
   # Concurrency tests only: the async queues, the drain fuser, the
-  # threadpool-parallel kernels, and the profiler's lock-free record/flush.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*'
+  # threadpool-parallel kernels, the remote dispatch path, and the
+  # profiler's lock-free record/flush.
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="

@@ -31,6 +31,13 @@ namespace tfe {
 // Devices the runtime is aware of (paper §4.4's `list_devices`).
 std::vector<Device*> list_devices();
 
+// `tfe::device("/job:worker/task:1/device:CPU:0")` — the `with tf.device`
+// analog. Remote names scope work to a connected worker with the same
+// syntax as local devices (paper §4.5); ops dispatched under the scope
+// return pending handles immediately and their values stay remote until
+// read.
+using device = DeviceScope;
+
 // d(target)/d(variables) convenience: resolves variables to their resource
 // handles. Throws on failure. Entries are undefined when `target` does not
 // depend on the corresponding variable.

@@ -35,6 +35,12 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
+  // Remote devices live on another worker: ops dispatched to them are
+  // forwarded over a RemoteBackend instead of running kernels here (see
+  // device/remote_device.h), but they flow through the same DeviceManager /
+  // DeviceScope / OpQueue machinery as local ones (paper §4.5).
+  virtual bool IsRemote() const { return false; }
+
   const std::string& name() const { return canonical_name_; }
   const DeviceNameParts& name_parts() const { return name_parts_; }
   DeviceKind kind() const { return name_parts_.kind; }

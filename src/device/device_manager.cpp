@@ -23,10 +23,23 @@ StatusOr<Device*> DeviceManager::FindDevice(const std::string& name) const {
 StatusOr<Device*> DeviceManager::FindDevice(
     const DeviceNameParts& parts) const {
   std::lock_guard<std::mutex> lock(mu_);
+  DeviceNameParts lookup = parts;
+  if (!self_job_.empty() && lookup.job == self_job_ &&
+      lookup.task == self_task_) {
+    // A name addressed to this runtime's own cluster identity is local.
+    lookup.job = "localhost";
+    lookup.task = 0;
+  }
   for (const auto& device : devices_) {
-    if (device->name_parts() == parts) return device.get();
+    if (device->name_parts() == lookup) return device.get();
   }
   return NotFound("No device named " + parts.ToString());
+}
+
+void DeviceManager::SetSelfIdentity(std::string job, int task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  self_job_ = std::move(job);
+  self_task_ = task;
 }
 
 std::vector<Device*> DeviceManager::ListDevices() const {

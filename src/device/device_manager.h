@@ -32,6 +32,12 @@ class DeviceManager {
   StatusOr<Device*> FindDevice(const std::string& name) const;
   StatusOr<Device*> FindDevice(const DeviceNameParts& parts) const;
 
+  // This runtime's own address in a cluster ("/job:worker/task:1"). Names
+  // addressed to the identity resolve to the local devices: a worker
+  // executing a shipped graph whose nodes were staged under the worker's
+  // full remote name places them locally instead of failing the lookup.
+  void SetSelfIdentity(std::string job, int task);
+
   // All devices, in registration order (paper §4.4: `list_devices`).
   std::vector<Device*> ListDevices() const;
 
@@ -44,6 +50,8 @@ class DeviceManager {
  private:
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Device>> devices_;
+  std::string self_job_;
+  int self_task_ = -1;
 };
 
 }  // namespace tfe

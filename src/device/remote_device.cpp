@@ -1,0 +1,32 @@
+#include "device/remote_device.h"
+
+#include <utility>
+
+#include "support/logging.h"
+
+namespace tfe {
+namespace {
+
+std::string LocalDevicePart(DeviceNameParts parts) {
+  // The name the owning worker's DeviceManager resolves: same kind/index,
+  // local job/task.
+  parts.job = "localhost";
+  parts.task = 0;
+  return parts.ToString();
+}
+
+}  // namespace
+
+RemoteDevice::RemoteDevice(DeviceNameParts name,
+                           std::shared_ptr<RemoteBackend> backend)
+    // executes_kernels=false: ExecuteKernel must never run here — remote ops
+    // are forwarded whole. synchronous=false: like a GPU stream, dispatch
+    // only charges an enqueue; completion lands via the worker callback.
+    : Device(name, DeviceCostParams{}, /*executes_kernels=*/false,
+             /*synchronous=*/false),
+      backend_(std::move(backend)),
+      local_part_(LocalDevicePart(name)) {
+  TFE_CHECK(backend_ != nullptr);
+}
+
+}  // namespace tfe

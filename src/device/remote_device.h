@@ -1,0 +1,129 @@
+// RemoteDevice: a worker-resident device registered in the client's
+// DeviceManager as a first-class Device (paper §4.5: "executing an operation
+// on a remote device is syntactically equivalent to executing an operation
+// on a local device"). Dispatching to one flows through the ordinary
+// per-device OpQueue; the op is forwarded to the owning worker through a
+// RemoteBackend, outputs are pending TensorHandles that the worker's
+// completion callback resolves, and values stay in the worker's tensor store
+// until a read fetches them (transparent copy-on-read).
+//
+// The backend is an abstract transport so device/ stays independent of
+// distrib/: the in-process cluster binds it to a WorkerServer message queue
+// (the gRPC stand-in); a real deployment would bind it to a stub.
+#ifndef TFE_DEVICE_REMOTE_DEVICE_H_
+#define TFE_DEVICE_REMOTE_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/device.h"
+#include "ops/attr_value.h"
+#include "support/status.h"
+#include "tensor/tensor.h"
+
+namespace tfe {
+
+// Metadata of one tensor living in a worker's store — the wire form of an
+// op's output (values never travel unless fetched).
+struct RemoteOutputMeta {
+  int64_t handle_id = -1;
+  DType dtype = DType::kInvalid;
+  Shape shape;
+};
+
+// Transport to one worker. All methods are thread-safe. The *Async methods
+// never block; the worker processes requests in submission order (the
+// ordering guarantee the pending-handle protocol rests on: a producer's
+// RunOp always reaches the worker before its consumer's, so consumers may
+// reference output ids that do not exist yet). Completion callbacks run on
+// the worker's service thread — or inline on the caller when the backend is
+// already disconnected — and must not block.
+class RemoteBackend {
+ public:
+  using DoneFn = std::function<void(StatusOr<std::vector<RemoteOutputMeta>>)>;
+
+  virtual ~RemoteBackend() = default;
+
+  // "/job:<job>/task:<task>" — the worker this backend speaks to.
+  virtual const std::string& target() const = 0;
+
+  // Reserves a store id the client may assign to a shipped input or a
+  // pending output. Client-allocated ids live in a range disjoint from the
+  // worker's own so the two allocators never collide.
+  virtual int64_t AllocateHandleId() = 0;
+
+  // Ships a concrete tensor into the worker store under `dst_id`
+  // (fire-and-forget; a failed put surfaces as NotFound on the first op
+  // that consumes the id).
+  virtual void PutAsync(Tensor value, int64_t dst_id) = 0;
+  // Blocking variant; returns once the tensor is stored.
+  virtual Status Put(const Tensor& value, int64_t dst_id) = 0;
+
+  // Executes one primitive op on the worker. `device` is the device part
+  // relative to the worker (e.g. "/device:CPU:0"). Inputs are store ids.
+  // When `output_ids` is non-empty the worker stores the results under
+  // exactly those ids (pending-handle protocol); when empty it allocates
+  // ids itself and reports them in the completion metas.
+  virtual void RunOpAsync(const std::string& device, const std::string& op,
+                          std::vector<int64_t> input_ids, AttrMap attrs,
+                          std::vector<int64_t> output_ids, DoneFn done) = 0;
+  // Blocking variant (built on the async RPC).
+  virtual StatusOr<std::vector<RemoteOutputMeta>> RunOp(
+      const std::string& device, const std::string& op,
+      std::vector<int64_t> input_ids, AttrMap attrs,
+      std::vector<int64_t> output_ids) = 0;
+
+  // Executes a whole staged function as one remote op. `serialized` is the
+  // function bundle to register first (empty once the function has shipped —
+  // the worker then resolves `name` against its library). When
+  // `append_captures` is set the worker appends the deserialized function's
+  // capture values to the inputs (the blocking Cluster API's convention);
+  // the dispatch path ships complete inputs instead.
+  virtual void RunFunctionAsync(const std::string& device,
+                                const std::string& name,
+                                const std::string& serialized,
+                                std::vector<int64_t> input_ids,
+                                std::vector<int64_t> output_ids,
+                                bool append_captures, DoneFn done) = 0;
+
+  // Per-worker "already shipped" record for staged functions: a function is
+  // serialized and attached to its first remote call only (ship-once);
+  // afterwards the worker resolves the name against its own library. Marked
+  // only after successful serialization, so a failure stays reportable.
+  virtual bool FunctionShipped(const std::string& name) = 0;
+  virtual void MarkFunctionShipped(const std::string& name) = 0;
+
+  // Copies a stored tensor back to the client as plain host data (the
+  // transparent copy-on-read behind remote value reads). Blocking.
+  virtual StatusOr<Tensor> Fetch(int64_t handle_id) = 0;
+
+  // Drops a store entry; safe after disconnect (no-op). Never blocks.
+  virtual void DeleteAsync(int64_t handle_id) = 0;
+};
+
+class RemoteDevice : public Device {
+ public:
+  RemoteDevice(DeviceNameParts name, std::shared_ptr<RemoteBackend> backend);
+
+  bool IsRemote() const override { return true; }
+
+  RemoteBackend* backend() const { return backend_.get(); }
+  const std::shared_ptr<RemoteBackend>& shared_backend() const {
+    return backend_;
+  }
+  // The device part relative to the owning worker ("/device:CPU:0" etc.),
+  // what the worker's own DeviceManager resolves.
+  const std::string& local_device_part() const { return local_part_; }
+
+ private:
+  std::shared_ptr<RemoteBackend> backend_;
+  std::string local_part_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DEVICE_REMOTE_DEVICE_H_

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "distrib/remote_backend.h"
 #include "distrib/worker.h"
 #include "graph/graph_function.h"
 
@@ -29,12 +30,30 @@ class Cluster {
   };
 
   explicit Cluster(const Options& options);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   // All remote device names in the pool.
   std::vector<std::string> ListRemoteDevices() const;
+
+  // Registers every worker device in `ctx`'s DeviceManager as a first-class
+  // RemoteDevice (paper §4.5: workers "add their locally available devices
+  // to the pool of devices available to the main program"). Afterwards
+  // `tfe::device("/job:worker/task:1/device:CPU:0")` scopes ops with the
+  // same syntax as local execution: they flow through the ordinary
+  // dispatch -> OpQueue path, return pending handles immediately, and their
+  // values stay on the worker until read. Fails if a device of the same
+  // canonical name is already registered (e.g. a second Connect into the
+  // same context).
+  Status Connect(EagerContext* ctx);
+
+  // Simulates the failure of one worker: its service thread stops, queued
+  // requests and all later RPCs complete with Unavailable. In-flight remote
+  // ops surface the error as poisoned handles at the client's next sync
+  // point — no crash, no hang.
+  Status ShutdownWorker(const std::string& job, int task);
 
   // Ships a client tensor to the worker owning `device_name`.
   StatusOr<RemoteTensor> Put(const std::string& device_name,
@@ -71,6 +90,11 @@ class Cluster {
   static StatusOr<std::string> LocalDevicePart(const std::string& device_name);
 
   std::vector<std::unique_ptr<WorkerServer>> workers_;
+  // One transport per worker, shared by that worker's RemoteDevices (created
+  // on Connect). shared_ptr: registered devices may outlive the Cluster —
+  // the destructor disconnects the backends, turning later dispatches into
+  // deferred Unavailable errors instead of dangling pointers.
+  std::vector<std::shared_ptr<WorkerBackend>> backends_;
 };
 
 }  // namespace tfe

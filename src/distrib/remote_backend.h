@@ -1,0 +1,79 @@
+// WorkerBackend: the in-process RemoteBackend implementation — it binds a
+// RemoteDevice registered in the client's DeviceManager to one WorkerServer's
+// message queue (the gRPC stand-in). Cluster::Connect creates one per worker
+// and shares it across that worker's devices.
+//
+// The backend may outlive its worker (RemoteDevices registered in a
+// long-lived EagerContext hold it by shared_ptr while the Cluster that owns
+// the worker dies first). Disconnect() severs the link: from then on every
+// call completes inline with Unavailable — the same deferred poisoned-handle
+// path a mid-flight worker failure takes. The worker pointer is an atomic,
+// not a mutex, so severing never contends with handle releases running
+// inside worker completion callbacks.
+#ifndef TFE_DISTRIB_REMOTE_BACKEND_H_
+#define TFE_DISTRIB_REMOTE_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "device/remote_device.h"
+#include "distrib/worker.h"
+
+namespace tfe {
+
+class WorkerBackend : public RemoteBackend {
+ public:
+  // `worker` must stay valid until Disconnect() is called.
+  WorkerBackend(std::string target, WorkerServer* worker);
+
+  // Severs the link to the worker; all later calls fail with Unavailable.
+  void Disconnect();
+  bool connected() const {
+    return worker_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  // ---- RemoteBackend --------------------------------------------------------
+  const std::string& target() const override { return target_; }
+  int64_t AllocateHandleId() override;
+  void PutAsync(Tensor value, int64_t dst_id) override;
+  Status Put(const Tensor& value, int64_t dst_id) override;
+  void RunOpAsync(const std::string& device, const std::string& op,
+                  std::vector<int64_t> input_ids, AttrMap attrs,
+                  std::vector<int64_t> output_ids, DoneFn done) override;
+  StatusOr<std::vector<RemoteOutputMeta>> RunOp(
+      const std::string& device, const std::string& op,
+      std::vector<int64_t> input_ids, AttrMap attrs,
+      std::vector<int64_t> output_ids) override;
+  void RunFunctionAsync(const std::string& device, const std::string& name,
+                        const std::string& serialized,
+                        std::vector<int64_t> input_ids,
+                        std::vector<int64_t> output_ids, bool append_captures,
+                        DoneFn done) override;
+  bool FunctionShipped(const std::string& name) override;
+  void MarkFunctionShipped(const std::string& name) override;
+  StatusOr<Tensor> Fetch(int64_t handle_id) override;
+  void DeleteAsync(int64_t handle_id) override;
+
+  // Client-assigned store ids start here; the worker's own allocator counts
+  // up from 1, so the ranges never collide.
+  static constexpr int64_t kClientIdBase = int64_t{1} << 40;
+
+ private:
+  Status Disconnected() const;
+
+  const std::string target_;
+  std::atomic<WorkerServer*> worker_;
+  std::atomic<int64_t> next_id_{kClientIdBase};
+
+  // Function names already registered on the worker (ship-once protocol).
+  std::mutex shipped_mu_;
+  std::unordered_set<std::string> shipped_functions_;
+};
+
+}  // namespace tfe
+
+#endif  // TFE_DISTRIB_REMOTE_BACKEND_H_

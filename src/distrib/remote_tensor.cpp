@@ -1,8 +1,23 @@
 #include "distrib/remote_tensor.h"
 
+#include "device/device.h"
 #include "support/strings.h"
+#include "tensor/tensor_handle.h"
 
 namespace tfe {
+
+RemoteTensor RemoteTensor::View(const Tensor& tensor) {
+  RemoteTensor view;
+  if (!tensor.defined()) return view;
+  const auto& handle = tensor.pending_handle();
+  if (handle == nullptr || handle->remote_info() == nullptr) return view;
+  const TensorHandle::RemoteInfo* info = handle->remote_info();
+  view.device = info->device->name();
+  view.handle_id = info->handle_id;
+  view.dtype = handle->dtype();
+  view.shape = handle->shape();
+  return view;
+}
 
 std::string RemoteTensor::DebugString() const {
   if (!defined()) return "RemoteTensor(undefined)";

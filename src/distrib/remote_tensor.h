@@ -2,6 +2,12 @@
 // running an operation on a remote device stay on the remote device. Users
 // can then either perform more operations on these tensors or copy them to
 // the central server").
+//
+// Since remote devices joined the dispatch path, a RemoteTensor is just the
+// *wire view* of a remote-backed value: ordinary Tensors produced under a
+// remote device scope carry the same store id inside their TensorHandle, and
+// View() below extracts it — so the blocking Cluster API and the async
+// dispatch path interoperate on the same worker stores.
 #ifndef TFE_DISTRIB_REMOTE_TENSOR_H_
 #define TFE_DISTRIB_REMOTE_TENSOR_H_
 
@@ -10,6 +16,7 @@
 
 #include "tensor/dtype.h"
 #include "tensor/shape.h"
+#include "tensor/tensor.h"
 
 namespace tfe {
 
@@ -21,6 +28,12 @@ struct RemoteTensor {
 
   bool defined() const { return handle_id >= 0; }
   std::string DebugString() const;
+
+  // The wire view of a dispatch-path remote tensor (one produced by running
+  // an op under a remote device scope). Undefined (handle_id == -1) when
+  // `tensor` is not remote-backed; the view borrows the store entry, whose
+  // lifetime stays tied to `tensor`'s handle.
+  static RemoteTensor View(const Tensor& tensor);
 };
 
 }  // namespace tfe

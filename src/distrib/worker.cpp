@@ -15,16 +15,46 @@ WorkerServer::WorkerServer(const Options& options) : options_(options) {
   ctx_options.random_seed = options.random_seed;
   ctx_options.executor_threads = 2;
   ctx_ = std::make_unique<EagerContext>(ctx_options);
+  // Shipped graphs may carry node placements staged under this worker's full
+  // remote name; resolve those as local devices.
+  ctx_->devices().SetSelfIdentity(options_.job, options_.task);
   service_thread_ = std::thread([this] { ServiceLoop(); });
 }
 
 WorkerServer::~WorkerServer() {
+  // Graceful teardown: the service thread drains everything already queued
+  // (running each request with OK) before exiting, so work posted before
+  // destruction still completes. Explicit Shutdown() is the failure path.
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   wake_.notify_all();
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+void WorkerServer::Shutdown() {
+  std::deque<Request> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    // Swap the queue out so the service thread sees it empty and exits; the
+    // in-flight request (if any) finishes normally.
+    abandoned.swap(queue_);
+  }
+  wake_.notify_all();
   service_thread_.join();
+  // Fail everything that never reached the service thread. Callers see
+  // Unavailable through the usual channels: blocking RPCs return it,
+  // pending handles get poisoned with it.
+  const Status status = ShutdownStatus();
+  for (Request& request : abandoned) request(status);
+}
+
+Status WorkerServer::ShutdownStatus() const {
+  return Unavailable(strings::StrCat("Worker /job:", options_.job,
+                                     "/task:", options_.task, " shut down"));
 }
 
 std::vector<std::string> WorkerServer::DeviceNames() const {
@@ -49,18 +79,26 @@ void WorkerServer::Call(Request fn) {
   std::mutex done_mu;
   std::condition_variable done_cv;
   bool done = false;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    TFE_CHECK(!shutdown_);
-    queue_.push_back([&] {
-      fn();
-      // Notify under the lock: the waiter destroys done_cv (stack storage)
-      // as soon as it observes done, so an unlocked notify could touch a
-      // dead condition variable.
-      std::lock_guard<std::mutex> done_lock(done_mu);
-      done = true;
-      done_cv.notify_one();
-    });
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      queue_.push_back([&](const Status& status) {
+        fn(status);
+        // Notify under the lock: the waiter destroys done_cv (stack storage)
+        // as soon as it observes done, so an unlocked notify could touch a
+        // dead condition variable.
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        done = true;
+        done_cv.notify_one();
+      });
+    }
+  }
+  if (rejected) {
+    fn(ShutdownStatus());
+    return;
   }
   wake_.notify_one();
   std::unique_lock<std::mutex> lock(done_mu);
@@ -78,10 +116,13 @@ void WorkerServer::CallAsync(Request fn) {
   rpc_async_calls->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    TFE_CHECK(!shutdown_);
-    queue_.push_back(std::move(fn));
+    if (!shutdown_) {
+      queue_.push_back(std::move(fn));
+      wake_.notify_one();
+      return;
+    }
   }
-  wake_.notify_one();
+  fn(ShutdownStatus());
 }
 
 void WorkerServer::ServiceLoop() {
@@ -101,7 +142,7 @@ void WorkerServer::ServiceLoop() {
       // Service-side span: the worker thread executing one request.
       profiler::Scope recv_span(profiler::EventKind::kRpcRecv,
                                 "worker_request");
-      request();
+      request(Status::OK());
     }
   }
 }
@@ -118,108 +159,205 @@ RemoteTensor WorkerServer::Store(Tensor tensor,
   return remote;
 }
 
+std::string WorkerServer::FullDeviceName(const std::string& device) const {
+  auto parts = ParseDeviceName(device);
+  DeviceNameParts full = parts.ok() ? *parts : DeviceNameParts{};
+  full.job = options_.job;
+  full.task = options_.task;
+  return full.ToString();
+}
+
+Status WorkerServer::LookUpInputs(const std::vector<int64_t>& input_ids,
+                                  std::vector<Tensor>* inputs) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  for (int64_t id : input_ids) {
+    auto it = store_.find(id);
+    if (it == store_.end()) {
+      return NotFound(strings::StrCat("No remote tensor #", id, " on ",
+                                      options_.job, "/task:", options_.task));
+    }
+    inputs->push_back(it->second);
+  }
+  return Status::OK();
+}
+
+std::vector<RemoteOutputMeta> WorkerServer::StoreOutputs(
+    std::vector<Tensor> outputs, const std::vector<int64_t>& output_ids) {
+  std::vector<RemoteOutputMeta> metas;
+  metas.reserve(outputs.size());
+  std::lock_guard<std::mutex> lock(store_mu_);
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    RemoteOutputMeta meta;
+    meta.handle_id =
+        output_ids.empty() ? next_handle_++ : output_ids[i];
+    meta.dtype = outputs[i].dtype();
+    meta.shape = outputs[i].shape();
+    // insert_or_assign: re-running under a client-assigned id (retry)
+    // replaces rather than leaks.
+    store_.insert_or_assign(meta.handle_id, std::move(outputs[i]));
+    metas.push_back(std::move(meta));
+  }
+  return metas;
+}
+
+StatusOr<std::vector<RemoteOutputMeta>> WorkerServer::ExecuteOp(
+    const std::string& device, const std::string& op_name,
+    const std::vector<int64_t>& input_ids, const AttrMap& attrs,
+    const std::vector<int64_t>& output_ids) {
+  std::vector<Tensor> inputs;
+  TFE_RETURN_IF_ERROR(LookUpInputs(input_ids, &inputs));
+  TFE_ASSIGN_OR_RETURN(
+      std::vector<Tensor> outputs,
+      ctx_->RunPrimitive(op_name, std::move(inputs), attrs, device));
+  if (!output_ids.empty() && output_ids.size() != outputs.size()) {
+    return Internal(strings::StrCat(
+        "Remote op ", op_name, " produced ", outputs.size(),
+        " outputs but the client pre-assigned ", output_ids.size(),
+        " handle ids"));
+  }
+  return StoreOutputs(std::move(outputs), output_ids);
+}
+
+StatusOr<std::vector<RemoteOutputMeta>> WorkerServer::ExecuteFunction(
+    const std::string& device, const std::string& function_name,
+    const std::string& serialized, const std::vector<int64_t>& input_ids,
+    bool append_captures, const std::vector<int64_t>& output_ids) {
+  std::shared_ptr<GraphFunction> function;
+  if (!serialized.empty()) {
+    // Bundles carry the whole transitive closure of graph functions (nested
+    // Call / Cond / While callees included).
+    TFE_ASSIGN_OR_RETURN(auto bundle, DeserializeFunctionBundle(serialized));
+    function = bundle.front();
+    for (const auto& fn : bundle) {
+      if (!ctx_->functions().Contains(fn->name())) {
+        TFE_RETURN_IF_ERROR(ctx_->functions().Register(fn));
+      }
+    }
+  } else {
+    TFE_ASSIGN_OR_RETURN(function, ctx_->functions().Find(function_name));
+  }
+  std::vector<Tensor> inputs;
+  TFE_RETURN_IF_ERROR(LookUpInputs(input_ids, &inputs));
+  if (append_captures) {
+    // Blocking-API convention: captures ship inside the serialized function.
+    for (const Capture& capture : function->captures()) {
+      inputs.push_back(capture.tensor);
+    }
+  }
+  AttrMap attrs;
+  attrs["function"] = AttrValue(function->name());
+  TFE_ASSIGN_OR_RETURN(
+      std::vector<Tensor> outputs,
+      ctx_->RunPrimitive("Call", std::move(inputs), attrs, device));
+  if (!output_ids.empty() && output_ids.size() != outputs.size()) {
+    return Internal(strings::StrCat(
+        "Remote function ", function->name(), " produced ", outputs.size(),
+        " outputs but the client pre-assigned ", output_ids.size(),
+        " handle ids"));
+  }
+  return StoreOutputs(std::move(outputs), output_ids);
+}
+
 StatusOr<std::vector<RemoteTensor>> WorkerServer::RunOp(
     const std::string& device, const std::string& op_name,
     const std::vector<int64_t>& input_handles, const AttrMap& attrs) {
-  StatusOr<std::vector<RemoteTensor>> result =
+  StatusOr<std::vector<RemoteOutputMeta>> result =
       InvalidArgument("worker did not run");
-  Call([&] {
-    std::vector<Tensor> inputs;
-    {
-      std::lock_guard<std::mutex> lock(store_mu_);
-      for (int64_t handle : input_handles) {
-        auto it = store_.find(handle);
-        if (it == store_.end()) {
-          result = NotFound(strings::StrCat("No remote tensor #", handle,
-                                            " on ", options_.job, "/task:",
-                                            options_.task));
-          return;
-        }
-        inputs.push_back(it->second);
-      }
-    }
-    auto outputs = ctx_->RunPrimitive(op_name, std::move(inputs), attrs,
-                                      device);
-    if (!outputs.ok()) {
-      result = outputs.status();
+  Call([&](const Status& status) {
+    if (!status.ok()) {
+      result = status;
       return;
     }
-    auto parts = ParseDeviceName(device);
-    DeviceNameParts full = parts.ok() ? *parts : DeviceNameParts{};
-    full.job = options_.job;
-    full.task = options_.task;
-    std::vector<RemoteTensor> handles;
-    for (Tensor& output : *outputs) {
-      handles.push_back(Store(std::move(output), full.ToString()));
-    }
-    result = std::move(handles);
+    result = ExecuteOp(device, op_name, input_handles, attrs, {});
   });
-  return result;
+  if (!result.ok()) return result.status();
+  const std::string full_device = FullDeviceName(device);
+  std::vector<RemoteTensor> handles;
+  for (const RemoteOutputMeta& meta : *result) {
+    handles.push_back({full_device, meta.handle_id, meta.dtype, meta.shape});
+  }
+  return handles;
 }
 
 StatusOr<std::vector<RemoteTensor>> WorkerServer::RunFunction(
     const std::string& device, const std::string& serialized_function,
     const std::vector<int64_t>& input_handles) {
-  StatusOr<std::vector<RemoteTensor>> result =
+  StatusOr<std::vector<RemoteOutputMeta>> result =
       InvalidArgument("worker did not run");
-  Call([&] {
-    // Bundles carry the whole transitive closure of graph functions (nested
-    // Call / Cond / While callees included).
-    auto bundle = DeserializeFunctionBundle(serialized_function);
-    if (!bundle.ok()) {
-      result = bundle.status();
+  Call([&](const Status& status) {
+    if (!status.ok()) {
+      result = status;
       return;
     }
-    std::shared_ptr<GraphFunction> function = bundle->front();
-    for (const auto& fn : *bundle) {
-      if (!ctx_->functions().Contains(fn->name())) {
-        Status status = ctx_->functions().Register(fn);
-        if (!status.ok()) {
-          result = status;
-          return;
-        }
-      }
-    }
-    std::vector<Tensor> inputs;
-    {
-      std::lock_guard<std::mutex> lock(store_mu_);
-      for (int64_t handle : input_handles) {
-        auto it = store_.find(handle);
-        if (it == store_.end()) {
-          result = NotFound("Missing remote tensor handle");
-          return;
-        }
-        inputs.push_back(it->second);
-      }
-    }
-    // Captures ship inside the serialized function; append them.
-    for (const Capture& capture : function->captures()) {
-      inputs.push_back(capture.tensor);
-    }
-    AttrMap attrs;
-    attrs["function"] = AttrValue(function->name());
-    auto outputs =
-        ctx_->RunPrimitive("Call", std::move(inputs), attrs, device);
-    if (!outputs.ok()) {
-      result = outputs.status();
-      return;
-    }
-    auto parts = ParseDeviceName(device);
-    DeviceNameParts full = parts.ok() ? *parts : DeviceNameParts{};
-    full.job = options_.job;
-    full.task = options_.task;
-    std::vector<RemoteTensor> handles;
-    for (Tensor& output : *outputs) {
-      handles.push_back(Store(std::move(output), full.ToString()));
-    }
-    result = std::move(handles);
+    result = ExecuteFunction(device, /*function_name=*/"", serialized_function,
+                             input_handles, /*append_captures=*/true, {});
   });
-  return result;
+  if (!result.ok()) return result.status();
+  const std::string full_device = FullDeviceName(device);
+  std::vector<RemoteTensor> handles;
+  for (const RemoteOutputMeta& meta : *result) {
+    handles.push_back({full_device, meta.handle_id, meta.dtype, meta.shape});
+  }
+  return handles;
+}
+
+void WorkerServer::RunOpAsync(const std::string& device,
+                              const std::string& op_name,
+                              std::vector<int64_t> input_ids, AttrMap attrs,
+                              std::vector<int64_t> output_ids, DoneFn done) {
+  CallAsync([this, device, op_name, input_ids = std::move(input_ids),
+             attrs = std::move(attrs), output_ids = std::move(output_ids),
+             done = std::move(done)](const Status& status) {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    done(ExecuteOp(device, op_name, input_ids, attrs, output_ids));
+  });
+}
+
+void WorkerServer::RunFunctionAsync(const std::string& device,
+                                    const std::string& function_name,
+                                    const std::string& serialized,
+                                    std::vector<int64_t> input_ids,
+                                    std::vector<int64_t> output_ids,
+                                    bool append_captures, DoneFn done) {
+  CallAsync([this, device, function_name, serialized,
+             input_ids = std::move(input_ids),
+             output_ids = std::move(output_ids), append_captures,
+             done = std::move(done)](const Status& status) {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    done(ExecuteFunction(device, function_name, serialized, input_ids,
+                         append_captures, output_ids));
+  });
+}
+
+void WorkerServer::PutAsync(Tensor tensor, int64_t dst_id) {
+  // Direct store write (no queue trip): the client issues the put before the
+  // op that consumes `dst_id`, and map insertion under store_mu_ is ordered
+  // before that op's lookup regardless of which thread performs it.
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.insert_or_assign(dst_id, std::move(tensor));
+}
+
+void WorkerServer::DeleteAsync(int64_t handle_id) {
+  CallAsync([this, handle_id](const Status& status) {
+    if (!status.ok()) return;  // shut down: the whole store dies with it
+    std::lock_guard<std::mutex> lock(store_mu_);
+    store_.erase(handle_id);
+  });
 }
 
 StatusOr<RemoteTensor> WorkerServer::Put(const Tensor& tensor) {
   if (!tensor.defined() || tensor.is_symbolic() || tensor.is_resource()) {
     return InvalidArgument("Only concrete value tensors can be shipped");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return ShutdownStatus();
   }
   DeviceNameParts parts;
   parts.job = options_.job;
@@ -229,6 +367,10 @@ StatusOr<RemoteTensor> WorkerServer::Put(const Tensor& tensor) {
 }
 
 StatusOr<Tensor> WorkerServer::Fetch(int64_t handle_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return ShutdownStatus();
+  }
   std::lock_guard<std::mutex> lock(store_mu_);
   auto it = store_.find(handle_id);
   if (it == store_.end()) {
@@ -244,7 +386,12 @@ Tensor WorkerServer::FetchAsync(const RemoteTensor& remote) {
   auto handle = TensorHandle::Pending(remote.dtype, remote.shape,
                                       /*device=*/nullptr,
                                       /*host_clock=*/nullptr);
-  CallAsync([this, handle, handle_id = remote.handle_id] {
+  CallAsync([this, handle, handle_id = remote.handle_id](
+                const Status& status) {
+    if (!status.ok()) {
+      handle->SetError(status);
+      return;
+    }
     Tensor stored;
     {
       std::lock_guard<std::mutex> lock(store_mu_);

@@ -4,8 +4,23 @@
 // and RNG) on a dedicated service thread, and communicates with the main
 // program through a message queue — the in-process stand-in for the gRPC
 // transport (DESIGN.md §2 documents this substitution). The worker speaks
-// three requests: run an op, run a (serialized) graph function, move a
-// tensor in or out of its store.
+// three requests: run an op (or a serialized graph function), move a tensor
+// in or out of its store, and drop a store entry.
+//
+// Two calling conventions share one execution path:
+//   * blocking RPCs (RunOp/RunFunction/Put/Fetch) — the original API,
+//     which parks the caller until the service thread answers, and
+//   * pending-handle RPCs (RunOpAsync/RunFunctionAsync/PutAsync/DeleteAsync)
+//     — the client pre-assigns store ids for the outputs and continues
+//     immediately; a completion callback delivers metadata (or the error)
+//     when the service thread retires the request. Because the service queue
+//     is processed in submission order, a consumer may reference a
+//     producer's pre-assigned ids before the producer has executed.
+//
+// Shutdown() models worker failure: queued requests complete with
+// Unavailable, and later submissions fail the same way instead of crashing —
+// the errors ride the usual poisoned-handle path to the client's next sync
+// point.
 #ifndef TFE_DISTRIB_WORKER_H_
 #define TFE_DISTRIB_WORKER_H_
 
@@ -19,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "device/remote_device.h"
 #include "distrib/remote_tensor.h"
 #include "runtime/eager_context.h"
 #include "support/status.h"
@@ -34,6 +50,8 @@ class WorkerServer {
     uint64_t random_seed = 99;
   };
 
+  using DoneFn = RemoteBackend::DoneFn;
+
   explicit WorkerServer(const Options& options);
   ~WorkerServer();
 
@@ -45,6 +63,11 @@ class WorkerServer {
 
   // Device names this worker contributes to the cluster pool.
   std::vector<std::string> DeviceNames() const;
+
+  // Stops the service thread. Requests still queued — and any submitted
+  // later — complete with Unavailable (the simulated-failure path). Safe to
+  // call more than once.
+  void Shutdown();
 
   // ---- synchronous RPCs (thread-safe; execute on the service thread) ------
 
@@ -74,18 +97,71 @@ class WorkerServer {
   // Drops a stored tensor.
   Status Delete(int64_t handle_id);
 
- private:
-  // A queued request: runs on the service thread, fulfills its promise.
-  using Request = std::function<void()>;
+  // ---- pending-handle RPCs (never block the caller) -----------------------
 
-  // Enqueues `fn` and blocks until the service thread has run it.
+  // Runs one op, storing the outputs under the client-assigned `output_ids`
+  // (when empty, the worker allocates ids itself). `done` fires on the
+  // service thread with the output metadata, or with the op's error — or
+  // inline with Unavailable when the worker is already shut down.
+  void RunOpAsync(const std::string& device, const std::string& op_name,
+                  std::vector<int64_t> input_ids, AttrMap attrs,
+                  std::vector<int64_t> output_ids, DoneFn done);
+
+  // Runs a whole graph function as one request. `serialized` registers the
+  // function bundle first (idempotent; empty once the client knows it
+  // shipped — `function_name` is then resolved against this worker's
+  // library). `append_captures` preserves the blocking API's convention of
+  // shipping captures inside the bundle; the dispatch path ships complete
+  // inputs and passes false.
+  void RunFunctionAsync(const std::string& device,
+                        const std::string& function_name,
+                        const std::string& serialized,
+                        std::vector<int64_t> input_ids,
+                        std::vector<int64_t> output_ids, bool append_captures,
+                        DoneFn done);
+
+  // Stores a shipped tensor under the client-assigned id. Writes directly
+  // (the client invokes it before the op that consumes the id, and the
+  // store is a map under its own lock), so it cannot fail late: a lost put
+  // surfaces as NotFound on the consuming op.
+  void PutAsync(Tensor tensor, int64_t dst_id);
+
+  // Drops a store entry after every previously submitted request — the
+  // delete rides the service queue so it cannot outrun the op that still
+  // reads the id. Unknown ids and shut-down workers are ignored.
+  void DeleteAsync(int64_t handle_id);
+
+ private:
+  // A queued request: runs on the service thread with OK, or wherever the
+  // queue is being failed (shutdown drain / post-shutdown submission) with
+  // the reason — each request routes a non-OK status to its caller.
+  using Request = std::function<void(const Status&)>;
+
+  // Enqueues `fn` and blocks until the service thread has run it. When shut
+  // down, runs `fn` inline with Unavailable instead.
   void Call(Request fn);
   // Enqueues `fn` and returns immediately; the service thread runs it in
-  // arrival order (requests posted before shutdown still drain).
+  // arrival order. When shut down, runs `fn` inline with Unavailable.
   void CallAsync(Request fn);
   void ServiceLoop();
+  Status ShutdownStatus() const;
 
   RemoteTensor Store(Tensor tensor, const std::string& device_name);
+  // The shared execution path behind RunOp/RunOpAsync and
+  // RunFunction/RunFunctionAsync; runs on the service thread.
+  StatusOr<std::vector<RemoteOutputMeta>> ExecuteOp(
+      const std::string& device, const std::string& op_name,
+      const std::vector<int64_t>& input_ids, const AttrMap& attrs,
+      const std::vector<int64_t>& output_ids);
+  StatusOr<std::vector<RemoteOutputMeta>> ExecuteFunction(
+      const std::string& device, const std::string& function_name,
+      const std::string& serialized, const std::vector<int64_t>& input_ids,
+      bool append_captures, const std::vector<int64_t>& output_ids);
+  Status LookUpInputs(const std::vector<int64_t>& input_ids,
+                      std::vector<Tensor>* inputs);
+  std::vector<RemoteOutputMeta> StoreOutputs(
+      std::vector<Tensor> outputs, const std::vector<int64_t>& output_ids);
+  std::string FullDeviceName(const std::string& device) const;
 
   Options options_;
   std::unique_ptr<EagerContext> ctx_;
@@ -98,6 +174,8 @@ class WorkerServer {
 
   std::mutex store_mu_;
   std::map<int64_t, Tensor> store_;
+  // Worker-allocated ids count up from 1; client-assigned ids live at and
+  // above RemoteBackend's base (1 << 40), so the allocators never collide.
   int64_t next_handle_ = 1;
 };
 

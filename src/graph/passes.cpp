@@ -195,14 +195,21 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   // interpreted program.
   constexpr int kMaxFusedRun = 64;
 
-  auto fusable = [&](const Node& node) {
-    kernels::MicroOpCode code;
-    return node.attrs.empty() && node.control_inputs.empty() &&
-           node.num_outputs() == 1 &&
-           kernels::MicroOpCodeFor(node.op, &code) &&
-           static_cast<int>(node.inputs.size()) == kernels::MicroOpArity(code) &&
-           node.outputs[0].shape.IsFullyDefined() &&
-           kernels::MicroOpSupports(code, node.outputs[0].dtype);
+  // Mirrors the drain-side FusableNode: attr-free elementwise ops, plus Cast,
+  // whose single "dst" attr is folded into the program as a kCast micro-op
+  // (the cast target is always the run dtype, carried on the fused node).
+  auto fusable = [&](const Node& node, kernels::MicroOpCode* code) {
+    if (node.control_inputs.empty() && node.num_outputs() == 1 &&
+        kernels::MicroOpCodeFor(node.op, code) &&
+        static_cast<int>(node.inputs.size()) == kernels::MicroOpArity(*code) &&
+        node.outputs[0].shape.IsFullyDefined() &&
+        kernels::MicroOpSupports(*code, node.outputs[0].dtype)) {
+      if (*code == kernels::MicroOpCode::kCast) {
+        return node.attrs.size() == 1 && node.attrs.count("dst") != 0;
+      }
+      return node.attrs.empty();
+    }
+    return false;
   };
 
   // Greedy maximal runs of consecutive node ids. Consecutiveness guarantees
@@ -216,29 +223,41 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   std::vector<int> run_of(n, -1);
   int start = 0;
   while (start < n) {
-    if (!fusable(graph.node(start))) {
+    kernels::MicroOpCode start_code;
+    if (!fusable(graph.node(start), &start_code)) {
       ++start;
       continue;
     }
     const DType dtype = graph.node(start).outputs[0].dtype;
     const Shape& shape = graph.node(start).outputs[0].shape;
-    auto operand_ok = [&](const Endpoint& e, int cur) {
+    // A cast's source operand may be any dtype the kCast micro-op converts
+    // from; every other operand must already carry the run dtype.
+    auto operand_ok = [&](const Endpoint& e, int cur, bool cast_source) {
       if (e.node_id >= start && e.node_id < cur) return e.index == 0;  // in-run
       const TypeAndShape& t = graph.endpoint_type(e);
-      return t.dtype == dtype && t.shape.IsFullyDefined() &&
+      if (cast_source) {
+        if (!kernels::MicroOpSupports(kernels::MicroOpCode::kCast, t.dtype)) {
+          return false;
+        }
+      } else if (t.dtype != dtype) {
+        return false;
+      }
+      return t.shape.IsFullyDefined() &&
              (t.shape == shape || t.shape.num_elements() == 1);
     };
     int end = start;
     while (end < n && end - start < kMaxFusedRun) {
       const Node& node = graph.node(end);
+      kernels::MicroOpCode code = start_code;
       if (end > start &&
-          (!fusable(node) || node.outputs[0].dtype != dtype ||
+          (!fusable(node, &code) || node.outputs[0].dtype != dtype ||
            !(node.outputs[0].shape == shape))) {
         break;
       }
+      const bool cast_source = code == kernels::MicroOpCode::kCast;
       bool ok = true;
       for (const Endpoint& e : node.inputs) {
-        if (!operand_ok(e, end)) {
+        if (!operand_ok(e, end, cast_source)) {
           ok = false;
           break;
         }
@@ -343,6 +362,15 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
       }
     }
     fused.attrs.emplace("program", AttrValue(program.Encode()));
+    // A program with folded casts may carry foreign-dtype operands; tell the
+    // kernel the run dtype explicitly (cast-free programs infer it from
+    // operand 0, so they need no attr).
+    for (const kernels::MicroInst& inst : program.insts) {
+      if (inst.opcode == kernels::MicroOpCode::kCast) {
+        fused.attrs.emplace("dtype", AttrValue(run_type.dtype));
+        break;
+      }
+    }
     fused.inputs = std::move(operands);
     const int fused_id = static_cast<int>(nodes.size());
     for (int i = run.begin; i < run.end; ++i) new_node_id[i] = fused_id;

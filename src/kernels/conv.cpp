@@ -3,6 +3,7 @@
 // timing comes from the device cost model, and numerics are validated on
 // small shapes.
 #include <algorithm>
+#include <vector>
 
 #include "kernels/kernel_util.h"
 
@@ -142,37 +143,83 @@ void ConvBackpropInput(EagerContext* ectx, const ConvGeometry& g, const T* f,
   });
 }
 
-// Stays serial: every (n, oh, ow) position accumulates into the one shared
-// filter gradient, so any partition either races or changes the fp
-// accumulation order.
+// Accumulates the filter-gradient contribution of output rows
+// [row_begin, row_end) (rows enumerate (n, oh) pairs) into `df`, in the
+// same element order the old serial kernel used.
 template <typename T>
-void ConvBackpropFilter(const ConvGeometry& g, const T* x, const T* dy,
-                        T* df) {
-  for (int64_t n = 0; n < g.batch; ++n) {
-    for (int64_t oh = 0; oh < g.out_h; ++oh) {
-      for (int64_t ow = 0; ow < g.out_w; ++ow) {
-        const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
-        for (int64_t kh = 0; kh < g.k_h; ++kh) {
-          int64_t ih = oh * g.stride_h + kh - g.pad_top;
-          if (ih < 0 || ih >= g.in_h) continue;
-          for (int64_t kw = 0; kw < g.k_w; ++kw) {
-            int64_t iw = ow * g.stride_w + kw - g.pad_left;
-            if (iw < 0 || iw >= g.in_w) continue;
-            const T* in = x + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
-            T* weights = df + (kh * g.k_w + kw) * g.in_c * g.out_c;
-            for (int64_t ic = 0; ic < g.in_c; ++ic) {
-              T xv = in[ic];
-              if (xv == T(0)) continue;
-              T* w_row = weights + ic * g.out_c;
-              for (int64_t oc = 0; oc < g.out_c; ++oc) {
-                w_row[oc] += xv * grad[oc];
-              }
+void AccumulateFilterRows(const ConvGeometry& g, const T* x, const T* dy,
+                          int64_t row_begin, int64_t row_end, T* df) {
+  for (int64_t row = row_begin; row < row_end; ++row) {
+    const int64_t n = row / g.out_h;
+    const int64_t oh = row % g.out_h;
+    for (int64_t ow = 0; ow < g.out_w; ++ow) {
+      const T* grad = dy + ((n * g.out_h + oh) * g.out_w + ow) * g.out_c;
+      for (int64_t kh = 0; kh < g.k_h; ++kh) {
+        int64_t ih = oh * g.stride_h + kh - g.pad_top;
+        if (ih < 0 || ih >= g.in_h) continue;
+        for (int64_t kw = 0; kw < g.k_w; ++kw) {
+          int64_t iw = ow * g.stride_w + kw - g.pad_left;
+          if (iw < 0 || iw >= g.in_w) continue;
+          const T* in = x + ((n * g.in_h + ih) * g.in_w + iw) * g.in_c;
+          T* weights = df + (kh * g.k_w + kw) * g.in_c * g.out_c;
+          for (int64_t ic = 0; ic < g.in_c; ++ic) {
+            T xv = in[ic];
+            if (xv == T(0)) continue;
+            T* w_row = weights + ic * g.out_c;
+            for (int64_t oc = 0; oc < g.out_c; ++oc) {
+              w_row[oc] += xv * grad[oc];
             }
           }
         }
       }
     }
   }
+}
+
+// Every (n, oh, ow) position accumulates into the one shared filter
+// gradient, so a direct row partition would race. Instead each of a fixed
+// number of chunks accumulates into its own partial gradient and the
+// partials merge in a stride-doubling tree. The chunk count and every
+// summation order are functions of the geometry alone — never of the pool
+// size or scheduling — so the result is bitwise identical run-to-run and
+// with intra-op parallelism on or off.
+template <typename T>
+void ConvBackpropFilter(EagerContext* ectx, const ConvGeometry& g, const T* x,
+                        const T* dy, T* df) {
+  const int64_t rows = g.batch * g.out_h;
+  const int64_t row_flops = g.out_w * g.k_h * g.k_w * g.in_c * g.out_c;
+  const int64_t filter_size = g.k_h * g.k_w * g.in_c * g.out_c;
+  // One chunk per kConvShardFlops of work, capped so tiny problems skip the
+  // partial-buffer machinery entirely.
+  const int64_t worthwhile =
+      rows * row_flops / std::max<int64_t>(kConvShardFlops, 1);
+  const int64_t num_chunks =
+      std::min<int64_t>(std::min<int64_t>(16, rows),
+                        std::max<int64_t>(worthwhile, 1));
+  if (num_chunks <= 1) {
+    AccumulateFilterRows(g, x, dy, 0, rows, df);
+    return;
+  }
+
+  std::vector<std::vector<T>> partials(num_chunks);
+  ParallelFor(ectx, num_chunks, 1, [&](int64_t c_begin, int64_t c_end) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      partials[c].assign(filter_size, T(0));
+      AccumulateFilterRows(g, x, dy, c * rows / num_chunks,
+                           (c + 1) * rows / num_chunks, partials[c].data());
+    }
+  });
+  // partials[i] += partials[i + stride], stride doubling: a fixed reduction
+  // tree regardless of how chunks were scheduled above.
+  for (int64_t stride = 1; stride < num_chunks; stride *= 2) {
+    for (int64_t i = 0; i + stride < num_chunks; i += 2 * stride) {
+      T* a = partials[i].data();
+      const T* b = partials[i + stride].data();
+      for (int64_t k = 0; k < filter_size; ++k) a[k] += b[k];
+    }
+  }
+  const T* root = partials[0].data();
+  for (int64_t k = 0; k < filter_size; ++k) df[k] += root[k];
 }
 
 Status Conv2DKernel(KernelContext* ctx) {
@@ -229,7 +276,8 @@ Status Conv2DBackpropFilterKernel(KernelContext* ctx) {
   }
   Tensor df = ctx->AllocateOutput(0, x.dtype(), filter_shape);
   TFE_SWITCH_FLOAT(x.dtype(), T, {
-    ConvBackpropFilter<T>(g, x.data<T>(), dy.data<T>(), df.mutable_data<T>());
+    ConvBackpropFilter<T>(ctx->eager_context(), g, x.data<T>(), dy.data<T>(),
+                          df.mutable_data<T>());
   });
   return Status::OK();
 }

@@ -171,6 +171,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRpcSend: return "rpc_send";
     case EventKind::kRpcRecv: return "rpc_recv";
     case EventKind::kExecutorRun: return "executor_run";
+    case EventKind::kRemoteEnqueue: return "remote_enqueue";
+    case EventKind::kRemoteResolve: return "remote_resolve";
   }
   return "unknown";
 }
@@ -184,6 +186,8 @@ bool EventKindIsSpan(EventKind kind) {
     case EventKind::kRpcSend:
     case EventKind::kRpcRecv:
     case EventKind::kExecutorRun:
+    case EventKind::kRemoteEnqueue:
+    case EventKind::kRemoteResolve:
       return true;
     default:
       return false;

@@ -46,6 +46,10 @@ enum class EventKind : uint8_t {
   kRpcSend,         // (span) client side of a worker RPC (blocking wait)
   kRpcRecv,         // (span) service-thread execution of a worker request
   kExecutorRun,     // (span) one dataflow executor invocation (arg = nodes)
+  kRemoteEnqueue,   // (span) client-side issue of a remote op over the
+                    //  pending-handle protocol (detail = op name)
+  kRemoteResolve,   // (span) worker completion resolving the client's
+                    //  pending handles (detail = op name)
 };
 
 // Stable lowercase name ("dispatch", "kernel", ...) used as the Chrome

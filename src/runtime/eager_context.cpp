@@ -3,7 +3,9 @@
 #include <chrono>
 #include <thread>
 
+#include "device/remote_device.h"
 #include "executor/executor.h"
+#include "graph/serialization.h"
 #include "ops/op_registry.h"
 #include "profiler/profiler.h"
 #include "runtime/op_queue.h"
@@ -129,6 +131,15 @@ StatusOr<Device*> EagerContext::ResolveDevice(
     }
     return device;
   }
+  // Results of remote ops stay remote (paper §4.5): an unscoped op follows
+  // its first remote input to that worker instead of fetching the value —
+  // the same data-attraction rule as accelerators below, minus the kernel
+  // check (the worker resolves kernels on its side).
+  for (const Tensor& input : inputs) {
+    if (!input.defined() || input.is_symbolic()) continue;
+    Device* device = input.device();
+    if (device != nullptr && device->IsRemote()) return device;
+  }
   // Unspecified: prefer the device of the first accelerator-resident input
   // if a kernel is available there — "the runtime is able to select a device
   // based on the availability of kernels" (paper §4.4).
@@ -175,6 +186,11 @@ StatusOr<EagerContext::KernelRun> EagerContext::ExecuteKernel(
     const AttrMap& attrs, Device* device, bool compiled, uint64_t start_ns,
     uint64_t rng_stream) {
   KernelRun run;
+  if (device->IsRemote()) {
+    return Internal(strings::StrCat(
+        "ExecuteKernel invoked for remote device ", device->name(),
+        "; remote ops must flow through the dispatch path"));
+  }
   const bool execute = device->executes_kernels() || AlwaysExecutes(op_name);
   // An opaque input forces simulation regardless: there are no values to
   // compute with (state ops handle opacity themselves).
@@ -282,8 +298,32 @@ StatusOr<std::vector<Tensor>> EagerContext::RunPrimitive(
     }
   }
 
-  TFE_ASSIGN_OR_RETURN(Device * device,
-                       ResolveDevice(op_name, inputs, requested_device));
+  StatusOr<Device*> device_or = ResolveDevice(op_name, inputs, requested_device);
+  if (!device_or.ok()) {
+    // An unknown *remote* device name is a deferred failure, not an eager
+    // throw: outputs come back poisoned and the error surfaces at the next
+    // sync point — the same protocol as a worker dying mid-op (paper §4.5
+    // unified with the async error model).
+    const std::string& request =
+        requested_device.empty() ? DeviceScope::Current() : requested_device;
+    StatusOr<DeviceNameParts> parts = ParseDeviceName(request);
+    if (parts.ok() && parts->job != "localhost") {
+      std::vector<Tensor> poisoned;
+      if (DeferRemoteError(op_name, inputs, attrs, device_or.status(),
+                           &poisoned)) {
+        return poisoned;
+      }
+    }
+    return device_or.status();
+  }
+  Device* device = *device_or;
+
+  // Remote devices take the pending-handle dispatch path unconditionally —
+  // returning immediately is the whole point of forwarding ops instead of
+  // round-tripping per call.
+  if (device->IsRemote()) {
+    return RunRemote(op_name, std::move(inputs), attrs, device);
+  }
 
   // Async fast path (paper §5): enqueue and return pending handles. Variable
   // ops are sequenced through the owning variable's device queue too, so
@@ -409,6 +449,249 @@ bool EagerContext::EnqueueAsync(const std::string& op_name,
     result.push_back(Tensor::FromHandle(std::move(handle)));
   }
   queue_for(device)->Enqueue(std::move(node));
+  *outputs = std::move(result);
+  return true;
+}
+
+StatusOr<std::vector<Tensor>> EagerContext::RunRemote(
+    const std::string& op_name, std::vector<Tensor> inputs,
+    const AttrMap& attrs, Device* device) {
+  static profiler::Counter* remote_ops =
+      profiler::Metrics().GetCounter("dispatch.remote_ops");
+  remote_ops->Increment();
+  if (op_name == "Call") {
+    return RunRemoteCall(std::move(inputs), attrs, device);
+  }
+  if (AlwaysExecutes(op_name)) {
+    return InvalidArgument(strings::StrCat(
+        "Op ", op_name, " cannot be dispatched to remote device ",
+        device->name(),
+        "; only primitive ops and staged function calls execute remotely"));
+  }
+  for (const Tensor& input : inputs) {
+    if (!input.defined()) {
+      return InvalidArgument(
+          strings::StrCat("Undefined input to remote op ", op_name));
+    }
+  }
+  // Output metadata at dispatch time, mirroring EnqueueAsync; shapes that
+  // inference cannot pin down without values fall back to the blocking
+  // protocol (correct, just synchronous).
+  auto def_or = OpRegistry::Global()->LookUp(op_name);
+  if (!def_or.ok()) return def_or.status();
+  std::vector<TypeAndShape> input_types;
+  input_types.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    input_types.push_back({input.dtype(), input.shape()});
+  }
+  InferenceContext infer(std::move(input_types), &attrs);
+  bool inferable = (*def_or)->shape_fn(&infer).ok();
+  if (inferable) {
+    for (const TypeAndShape& out : infer.outputs()) {
+      if (!out.shape.IsFullyDefined()) inferable = false;
+    }
+  }
+  if (!inferable) {
+    return RunRemoteBlocking(op_name, std::move(inputs), attrs, device);
+  }
+  return EnqueueRemote(op_name, std::move(inputs), attrs, device,
+                       infer.outputs());
+}
+
+StatusOr<std::vector<Tensor>> EagerContext::RunRemoteCall(
+    std::vector<Tensor> inputs, const AttrMap& attrs, Device* device) {
+  auto* remote = static_cast<RemoteDevice*>(device);
+  auto fn_attr = attrs.find("function");
+  if (fn_attr == attrs.end() || !fn_attr->second.Is<std::string>()) {
+    return InvalidArgument("Call without a string 'function' attr");
+  }
+  const std::string& name = fn_attr->second.Get<std::string>();
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> function,
+                       functions_.Find(name));
+  AttrMap call_attrs = attrs;
+  // Ship-once: serialize the bundle (the callee closure) only the first time
+  // this backend sees the name; the worker registers it and every later call
+  // is one small request naming the function. Marked only after successful
+  // serialization, so a failure here (host funcs, resource captures) stays a
+  // clear client-side error and a retry can still ship.
+  if (!remote->backend()->FunctionShipped(name)) {
+    TFE_ASSIGN_OR_RETURN(std::string serialized,
+                         SerializeFunctionBundle(*function, functions_));
+    call_attrs.emplace("serialized_function", AttrValue(std::move(serialized)));
+    remote->backend()->MarkFunctionShipped(name);
+  }
+  std::vector<TypeAndShape> output_types;
+  bool inferable = true;
+  for (int i = 0; i < function->num_outputs(); ++i) {
+    TypeAndShape out = function->output_type(i);
+    if (!out.shape.IsFullyDefined()) {
+      inferable = false;
+      break;
+    }
+    output_types.push_back(std::move(out));
+  }
+  if (!inferable) {
+    return RunRemoteBlocking("Call", std::move(inputs), call_attrs, device);
+  }
+  return EnqueueRemote("Call", std::move(inputs), std::move(call_attrs),
+                       device, output_types);
+}
+
+StatusOr<std::vector<Tensor>> EagerContext::EnqueueRemote(
+    const std::string& op_name, std::vector<Tensor> inputs, AttrMap attrs,
+    Device* device, const std::vector<TypeAndShape>& output_types) {
+  auto* remote = static_cast<RemoteDevice*>(device);
+  const std::shared_ptr<RemoteBackend>& backend = remote->shared_backend();
+  OpQueue::Node node;
+  node.op_name = op_name;
+  node.inputs = std::move(inputs);
+  node.attrs = std::move(attrs);
+  node.enqueue_host_ns = host_now_ns();
+  node.rng_stream = NextRngStream();
+  std::vector<Tensor> result;
+  result.reserve(output_types.size());
+  for (const TypeAndShape& out : output_types) {
+    // The pending-handle protocol: the client pre-assigns the worker-store
+    // id each output will live under, so ops dispatched later can reference
+    // results that do not exist yet without waiting for this one.
+    TensorHandle::RemoteInfo info;
+    info.device = device;
+    info.handle_id = backend->AllocateHandleId();
+    const int64_t id = info.handle_id;
+    info.fetch = [backend, id] { return backend->Fetch(id); };
+    info.release = [backend, id] { backend->DeleteAsync(id); };
+    auto handle = TensorHandle::PendingRemote(out.dtype, out.shape,
+                                              std::move(info), &host_now_ns_);
+    node.outputs.push_back(handle);
+    result.push_back(Tensor::FromHandle(std::move(handle)));
+  }
+  queue_for(device)->Enqueue(std::move(node));
+  return result;
+}
+
+StatusOr<std::vector<Tensor>> EagerContext::RunRemoteBlocking(
+    const std::string& op_name, std::vector<Tensor> inputs,
+    const AttrMap& attrs, Device* device) {
+  auto* remote = static_cast<RemoteDevice*>(device);
+  const std::shared_ptr<RemoteBackend>& backend = remote->shared_backend();
+  // Order behind everything in flight: inputs produced by queued remote ops
+  // must exist in the worker store before this request arrives, and handles
+  // on other queues must have resolved so their ids (or errors) are visible.
+  WaitQueuesDrained();
+
+  std::vector<int64_t> input_ids;
+  std::vector<int64_t> temp_ids;
+  input_ids.reserve(inputs.size());
+  for (Tensor& input : inputs) {
+    const auto& handle = input.pending_handle();
+    const TensorHandle::RemoteInfo* rinfo =
+        handle != nullptr ? handle->remote_info() : nullptr;
+    if (rinfo != nullptr) {
+      TFE_RETURN_IF_ERROR(handle->status());
+      if (static_cast<RemoteDevice*>(rinfo->device)->shared_backend().get() !=
+          backend.get()) {
+        return InvalidArgument(strings::StrCat(
+            "Remote op ", op_name, " on ", device->name(),
+            " takes an input living on ", rinfo->device->name(),
+            ", a different worker; tensors do not implicitly hop between "
+            "workers — copy explicitly via fetch and re-put"));
+      }
+      input_ids.push_back(rinfo->handle_id);
+      continue;
+    }
+    if (handle != nullptr) {
+      TFE_RETURN_IF_ERROR(handle->WaitReady());
+      input = handle->tensor();
+    }
+    if (!input.defined() || input.is_symbolic() || input.is_resource() ||
+        input.is_opaque()) {
+      return InvalidArgument(strings::StrCat(
+          "Remote op ", op_name,
+          " takes an input that is not a concrete value tensor"));
+    }
+    const int64_t temp_id = backend->AllocateHandleId();
+    TFE_RETURN_IF_ERROR(backend->Put(input, temp_id));
+    input_ids.push_back(temp_id);
+    temp_ids.push_back(temp_id);
+  }
+
+  // Worker-assigned output ids (empty output_ids): the reply carries them.
+  StatusOr<std::vector<RemoteOutputMeta>> metas =
+      Internal("remote call did not complete");
+  if (op_name == "Call") {
+    auto fn_attr = attrs.find("function");
+    TFE_CHECK(fn_attr != attrs.end());
+    std::string serialized;
+    auto ser_attr = attrs.find("serialized_function");
+    if (ser_attr != attrs.end()) {
+      serialized = ser_attr->second.Get<std::string>();
+    }
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+    backend->RunFunctionAsync(
+        remote->local_device_part(), fn_attr->second.Get<std::string>(),
+        serialized, std::move(input_ids), /*output_ids=*/{},
+        /*append_captures=*/false,
+        [&](StatusOr<std::vector<RemoteOutputMeta>> reply) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          metas = std::move(reply);
+          done = true;
+          done_cv.notify_one();
+        });
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done; });
+  } else {
+    metas = backend->RunOp(remote->local_device_part(), op_name,
+                           std::move(input_ids), attrs, /*output_ids=*/{});
+  }
+  for (int64_t id : temp_ids) backend->DeleteAsync(id);
+  if (!metas.ok()) return metas.status();
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(metas->size());
+  for (const RemoteOutputMeta& meta : *metas) {
+    TensorHandle::RemoteInfo info;
+    info.device = device;
+    info.handle_id = meta.handle_id;
+    const int64_t id = meta.handle_id;
+    info.fetch = [backend, id] { return backend->Fetch(id); };
+    info.release = [backend, id] { backend->DeleteAsync(id); };
+    auto handle = TensorHandle::PendingRemote(meta.dtype, meta.shape,
+                                              std::move(info), &host_now_ns_);
+    // Already executed: resolve to the opaque placeholder immediately (the
+    // value stays remote; the first local read fetches it).
+    handle->SetTensor(Tensor::Opaque(meta.dtype, meta.shape, device),
+                      /*ready_ns=*/0);
+    outputs.push_back(Tensor::FromHandle(std::move(handle)));
+  }
+  return outputs;
+}
+
+bool EagerContext::DeferRemoteError(const std::string& op_name,
+                                    const std::vector<Tensor>& inputs,
+                                    const AttrMap& attrs, const Status& error,
+                                    std::vector<Tensor>* outputs) {
+  auto def_or = OpRegistry::Global()->LookUp(op_name);
+  if (!def_or.ok()) return false;
+  std::vector<TypeAndShape> input_types;
+  input_types.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    if (!input.defined()) return false;
+    input_types.push_back({input.dtype(), input.shape()});
+  }
+  InferenceContext infer(std::move(input_types), &attrs);
+  if (!(*def_or)->shape_fn(&infer).ok()) return false;
+  std::vector<Tensor> result;
+  result.reserve(infer.outputs().size());
+  for (const TypeAndShape& out : infer.outputs()) {
+    // Partial shapes are fine here: the handles only ever report the error.
+    auto handle = TensorHandle::Pending(out.dtype, out.shape,
+                                        /*device=*/nullptr, &host_now_ns_);
+    handle->SetError(error);
+    result.push_back(Tensor::FromHandle(std::move(handle)));
+  }
+  NoteAsyncError(error);
   *outputs = std::move(result);
   return true;
 }

@@ -233,6 +233,41 @@ class EagerContext {
                     const std::vector<Tensor>& inputs, const AttrMap& attrs,
                     Device* device, std::vector<Tensor>* outputs);
 
+  // ---- Remote dispatch (device->IsRemote(), paper §4.5) --------------------
+  // Remote ops always take the pending-handle path regardless of the async
+  // flag: the op enqueues on the remote device's OpQueue and returns
+  // remote-backed pending tensors immediately; the worker's completion
+  // callback resolves (or poisons) them. Ops whose output shapes cannot be
+  // pinned down at dispatch fall back to RunRemoteBlocking.
+  StatusOr<std::vector<Tensor>> RunRemote(const std::string& op_name,
+                                          std::vector<Tensor> inputs,
+                                          const AttrMap& attrs, Device* device);
+  // Staged-function calls on a remote device: the serialized bundle ships on
+  // first use (ship-once, per backend), after which each call is one small
+  // request naming the registered function.
+  StatusOr<std::vector<Tensor>> RunRemoteCall(std::vector<Tensor> inputs,
+                                              const AttrMap& attrs,
+                                              Device* device);
+  // Synchronous remote execution with worker-assigned output ids: the slow
+  // path for ops shape inference cannot handle. Drains the queues first so
+  // the request observes every in-flight op's results.
+  StatusOr<std::vector<Tensor>> RunRemoteBlocking(const std::string& op_name,
+                                                  std::vector<Tensor> inputs,
+                                                  const AttrMap& attrs,
+                                                  Device* device);
+  // Builds the pending remote handles (client-assigned store ids) and
+  // enqueues the node on the remote device's queue.
+  StatusOr<std::vector<Tensor>> EnqueueRemote(
+      const std::string& op_name, std::vector<Tensor> inputs, AttrMap attrs,
+      Device* device, const std::vector<TypeAndShape>& output_types);
+  // Poisoned-output fabrication for an op whose placement failed on a
+  // remote-looking device name: the error defers to the next sync point
+  // instead of throwing at dispatch, matching mid-flight worker failures.
+  // False when output metadata cannot be inferred (caller reports eagerly).
+  bool DeferRemoteError(const std::string& op_name,
+                        const std::vector<Tensor>& inputs, const AttrMap& attrs,
+                        const Status& error, std::vector<Tensor>* outputs);
+
   DeviceManager devices_;
   Device* host_cpu_ = nullptr;
   FunctionLibrary functions_;

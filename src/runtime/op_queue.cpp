@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "device/device.h"
+#include "device/remote_device.h"
 #include "kernels/fused_elementwise.h"
 #include "runtime/eager_context.h"
+#include "support/strings.h"
 #include "support/threadpool.h"
 
 namespace tfe {
@@ -16,11 +18,22 @@ namespace {
 // The front node's first input handle that has not resolved yet, or null if
 // the node is ready to execute. Handles from this queue are always resolved
 // by the time their consumer reaches the front (in-order execution), so this
-// only ever parks on cross-device dependencies.
-std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node) {
+// only ever parks on cross-device dependencies. A remote queue additionally
+// skips unresolved handles living on its own device: the worker's in-order
+// service queue guarantees the producing request lands before the consuming
+// one, so the consumer can pass the producer's store id without waiting —
+// parking here would serialize exactly the chain the pending-handle protocol
+// exists to overlap.
+std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node,
+                                                   const Device* device) {
   for (const Tensor& input : node.inputs) {
     const auto& handle = input.pending_handle();
-    if (handle != nullptr && !handle->resolved()) return handle;
+    if (handle == nullptr) continue;
+    if (device->IsRemote() && handle->remote_info() != nullptr &&
+        handle->device() == device) {
+      continue;
+    }
+    if (!handle->resolved()) return handle;
   }
   return nullptr;
 }
@@ -49,6 +62,10 @@ bool FusableNode(const OpQueue::Node& node, kernels::MicroOpCode* code) {
 // False when the input is unresolved, poisoned, or not plain data.
 bool ResolvedOperand(const Tensor& input, Tensor* value) {
   const auto& handle = input.pending_handle();
+  // Remote values are copy-on-read: "resolved" only means the worker posted
+  // completion, and touching the placeholder would trigger (or race) the
+  // fetch. Never fuse through them.
+  if (handle != nullptr && handle->remote_info() != nullptr) return false;
   if (handle == nullptr) {
     *value = input;
   } else {
@@ -163,7 +180,8 @@ void OpQueue::Drain() {
       // and deque growth does not invalidate the front element.
       front = &queue_.front();
     }
-    if (std::shared_ptr<TensorHandle> unresolved = FirstUnresolvedInput(*front)) {
+    if (std::shared_ptr<TensorHandle> unresolved =
+            FirstUnresolvedInput(*front, device_)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         draining_ = false;
@@ -405,6 +423,10 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
 }
 
 void OpQueue::Execute(Node node) {
+  if (device_->IsRemote()) {
+    ExecuteRemote(std::move(node));
+    return;
+  }
   if (node.enqueue_wall_ns != 0 && profiler::enabled()) {
     const uint64_t now_ns = profiler::NowNs();
     if (node.enqueue_wall_ns <= now_ns) {
@@ -427,6 +449,18 @@ void OpQueue::Execute(Node node) {
       for (const auto& out : node.outputs) out->SetError(status);
       ctx_->NoteAsyncError(status);
       return;
+    }
+    if (handle->remote_info() != nullptr) {
+      // Copy-on-read: a local op consuming a remote tensor pulls the value
+      // from the worker store here (WaitReady performs the one-shot fetch —
+      // the drain already confirmed the handle resolved, so this only blocks
+      // on the fetch RPC itself).
+      status = handle->WaitReady();
+      if (!status.ok()) {
+        for (const auto& out : node.outputs) out->SetError(status);
+        ctx_->NoteAsyncError(status);
+        return;
+      }
     }
     start_ns = std::max(start_ns, handle->ready_ns());
     inputs.push_back(handle->tensor());
@@ -495,9 +529,160 @@ void OpQueue::Execute(Node node) {
   }
 }
 
+void OpQueue::ExecuteRemote(Node node) {
+  if (node.enqueue_wall_ns != 0 && profiler::enabled()) {
+    const uint64_t now_ns = profiler::NowNs();
+    if (node.enqueue_wall_ns <= now_ns) {
+      dispatch_latency_hist_->Record(now_ns - node.enqueue_wall_ns);
+    }
+  }
+  auto* remote = static_cast<RemoteDevice*>(device_);
+  std::shared_ptr<RemoteBackend> backend = remote->shared_backend();
+
+  auto poison = [&](const Status& status) {
+    for (const auto& out : node.outputs) out->SetError(status);
+    ctx_->NoteAsyncError(status);
+  };
+
+  // Assemble a worker-store id per input. Same-worker remote inputs pass by
+  // id (their producing request is already ahead of ours in the worker's
+  // in-order queue); local values ship to fresh temp ids first.
+  std::vector<int64_t> input_ids;
+  std::vector<int64_t> temp_ids;
+  input_ids.reserve(node.inputs.size());
+  for (const Tensor& input : node.inputs) {
+    const auto& handle = input.pending_handle();
+    const TensorHandle::RemoteInfo* rinfo =
+        handle != nullptr ? handle->remote_info() : nullptr;
+    if (rinfo != nullptr) {
+      // Deferred error propagation: a poisoned remote producer poisons this
+      // op's outputs with the *original* status, no RPC issued.
+      if (handle->resolved() && !handle->status().ok()) {
+        poison(handle->status());
+        return;
+      }
+      if (handle->device() != device_ &&
+          static_cast<RemoteDevice*>(rinfo->device)->shared_backend().get() !=
+              backend.get()) {
+        poison(InvalidArgument(strings::StrCat(
+            "Remote op ", node.op_name, " on ", device_->name(),
+            " takes an input living on ", rinfo->device->name(),
+            ", a different worker; tensors do not implicitly hop between "
+            "workers — copy explicitly via fetch and re-put")));
+        return;
+      }
+      input_ids.push_back(rinfo->handle_id);
+      continue;
+    }
+    if (handle != nullptr) {
+      Status status = handle->status();
+      if (!status.ok()) {
+        poison(status);
+        return;
+      }
+    }
+    Tensor value = handle != nullptr ? handle->tensor() : input;
+    if (!value.defined() || value.is_symbolic() || value.is_resource() ||
+        value.is_opaque()) {
+      poison(InvalidArgument(strings::StrCat(
+          "Remote op ", node.op_name, " on ", device_->name(),
+          " takes an input that is not a concrete value tensor")));
+      return;
+    }
+    const int64_t temp_id = backend->AllocateHandleId();
+    backend->PutAsync(std::move(value), temp_id);
+    input_ids.push_back(temp_id);
+    temp_ids.push_back(temp_id);
+  }
+
+  // The pending-handle protocol: outputs execute under the client-assigned
+  // store ids baked into the handles at dispatch time.
+  std::vector<int64_t> output_ids;
+  output_ids.reserve(node.outputs.size());
+  for (const auto& out : node.outputs) {
+    TFE_CHECK(out->remote_info() != nullptr);
+    output_ids.push_back(out->remote_info()->handle_id);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_;
+  }
+  auto done = [this, backend, outputs = node.outputs, temp_ids,
+               op_name = node.op_name](
+                  StatusOr<std::vector<RemoteOutputMeta>> metas) {
+    {
+      profiler::Scope resolve_span(profiler::EventKind::kRemoteResolve,
+                                   "remote_resolve");
+      if (resolve_span.active()) {
+        resolve_span.set_detail(profiler::Intern(op_name));
+      }
+      if (!metas.ok()) {
+        for (const auto& out : outputs) out->SetError(metas.status());
+        ctx_->NoteAsyncError(metas.status());
+      } else if (metas->size() != outputs.size()) {
+        Status status = Internal(strings::StrCat(
+            "Remote op ", op_name, " produced ", metas->size(),
+            " outputs, expected ", outputs.size()));
+        for (const auto& out : outputs) out->SetError(status);
+        ctx_->NoteAsyncError(status);
+      } else {
+        // Values stay on the worker: handles resolve to opaque placeholders
+        // and the first local read fetches (TensorHandle copy-on-read).
+        for (size_t i = 0; i < outputs.size(); ++i) {
+          const RemoteOutputMeta& meta = (*metas)[i];
+          outputs[i]->SetTensor(Tensor::Opaque(meta.dtype, meta.shape, device_),
+                                /*ready_ns=*/0);
+        }
+      }
+      // The consuming request (if any) is already behind us in the worker
+      // queue, so the temp inputs are safe to drop now.
+      for (int64_t id : temp_ids) backend->DeleteAsync(id);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (inflight_ == 0) drained_cv_.notify_all();
+  };
+
+  profiler::Scope enqueue_span(profiler::EventKind::kRemoteEnqueue,
+                               "remote_enqueue");
+  if (enqueue_span.active()) {
+    enqueue_span.set_detail(profiler::Intern(node.op_name));
+  }
+  if (node.op_name == "Call") {
+    auto fn_attr = node.attrs.find("function");
+    if (fn_attr == node.attrs.end() || !fn_attr->second.Is<std::string>()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inflight_;
+      }
+      poison(InvalidArgument("Remote Call without a string 'function' attr"));
+      return;
+    }
+    std::string serialized;
+    auto ser_attr = node.attrs.find("serialized_function");
+    if (ser_attr != node.attrs.end() && ser_attr->second.Is<std::string>()) {
+      serialized = ser_attr->second.Get<std::string>();
+    }
+    // The dispatch path ships complete inputs (args + captures) from the
+    // client's live values, so the worker must not append the serialized
+    // bundle's snapshot of the captures.
+    backend->RunFunctionAsync(remote->local_device_part(),
+                              fn_attr->second.Get<std::string>(), serialized,
+                              std::move(input_ids), std::move(output_ids),
+                              /*append_captures=*/false, std::move(done));
+  } else {
+    backend->RunOpAsync(remote->local_device_part(), node.op_name,
+                        std::move(input_ids), std::move(node.attrs),
+                        std::move(output_ids), std::move(done));
+  }
+}
+
 void OpQueue::WaitDrained() {
   std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && !draining_; });
+  drained_cv_.wait(lock, [this] {
+    return queue_.empty() && !draining_ && inflight_ == 0;
+  });
 }
 
 size_t OpQueue::pending_ops() const {

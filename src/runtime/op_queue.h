@@ -76,6 +76,13 @@ class OpQueue {
   // Runs one op: propagates poisoned inputs, materializes the rest, executes
   // the kernel, accounts device time, and fulfills the output handles.
   void Execute(Node node);
+  // Remote-device variant: ships local inputs to the worker store, passes
+  // same-worker inputs by store id, and issues the op over the backend's
+  // pending-handle protocol. The worker's completion callback resolves the
+  // output handles (to opaque placeholders — values stay remote until read)
+  // or poisons them; the RPC is in flight while the drain moves on, tracked
+  // by inflight_ so WaitDrained covers it.
+  void ExecuteRemote(Node node);
 
   // Whether `node` can open a fused elementwise run: fusion enabled, this is
   // a real (non-accelerator) compute device, the op maps to a micro-opcode,
@@ -113,6 +120,10 @@ class OpQueue {
   bool draining_ = false;
   // Waiting on a cross-device input handle; its AndThen callback un-parks.
   bool parked_ = false;
+  // Remote RPCs issued but not yet resolved by their worker callback. Part
+  // of the WaitDrained predicate: a drained remote queue means every op's
+  // outputs have been resolved (or poisoned), not merely sent.
+  int inflight_ = 0;
 };
 
 }  // namespace tfe

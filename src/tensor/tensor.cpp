@@ -136,6 +136,11 @@ bool Tensor::is_opaque() const {
   if (!defined()) return false;
   if (state_->handle != nullptr) {
     const auto& handle = state_->handle;
+    // Remote-backed handles resolve to opaque placeholders, but their values
+    // are readable: the first read fetches from the worker store
+    // (copy-on-read). Don't peek at the placeholder either — tensor() before
+    // the fetch completes would race with the placeholder swap.
+    if (handle->remote_info() != nullptr) return false;
     return handle->resolved() && handle->status().ok() &&
            handle->tensor().is_opaque();
   }

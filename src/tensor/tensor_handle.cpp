@@ -20,6 +20,23 @@ std::shared_ptr<TensorHandle> TensorHandle::Pending(
       new TensorHandle(dtype, std::move(shape), device, host_clock));
 }
 
+std::shared_ptr<TensorHandle> TensorHandle::PendingRemote(
+    DType dtype, Shape shape, RemoteInfo remote,
+    std::atomic<uint64_t>* host_clock) {
+  TFE_CHECK(remote.device != nullptr);
+  auto handle = std::shared_ptr<TensorHandle>(
+      new TensorHandle(dtype, std::move(shape), remote.device, host_clock));
+  handle->remote_ = std::move(remote);
+  return handle;
+}
+
+TensorHandle::~TensorHandle() {
+  // Last client reference: drop the worker-store entry. `release` never
+  // blocks (fire-and-forget delete), so running it from arbitrary dtor
+  // contexts — including worker completion callbacks — is safe.
+  if (remote_.release) remote_.release();
+}
+
 TensorHandle::State TensorHandle::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;
@@ -69,7 +86,37 @@ Status TensorHandle::WaitReady() const {
                                                std::memory_order_relaxed)) {
     }
   }
-  return status;
+  if (!status.ok()) return status;
+  // Copy-on-read for remote-backed handles: the worker callback resolved
+  // this handle to an opaque placeholder; the first wait pulls the value.
+  return EnsureFetched();
+}
+
+Status TensorHandle::EnsureFetched() const {
+  if (remote_.device == nullptr || !remote_.fetch) return Status::OK();
+  std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
+  if (fetched_) return fetch_error_;
+  bool placeholder;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TFE_CHECK(state_ == State::kConcrete);
+    placeholder = value_.is_opaque();
+  }
+  if (placeholder) {
+    // The RPC runs outside mu_ so concurrent metadata reads never block on
+    // the network. Racing readers serialize on fetch_mu_; once `fetched_`
+    // is set, value_ is immutable again and lock-free references handed out
+    // by tensor() stay valid.
+    StatusOr<Tensor> value = remote_.fetch();
+    if (value.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const_cast<TensorHandle*>(this)->value_ = std::move(value).value();
+    } else {
+      fetch_error_ = value.status();
+    }
+  }
+  fetched_ = true;
+  return fetch_error_;
 }
 
 const Tensor& TensorHandle::tensor() const {

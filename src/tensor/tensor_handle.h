@@ -36,6 +36,20 @@ class TensorHandle {
  public:
   enum class State { kPending, kConcrete, kError };
 
+  // Extra state of a handle whose value lives in a remote worker's tensor
+  // store (paper §4.5: results of remote ops stay remote until copied). The
+  // handle still runs the ordinary pending→concrete|error state machine —
+  // the worker's completion callback resolves it to an *opaque* placeholder
+  // tensor — and the first value read triggers `fetch` (transparent
+  // copy-on-read), replacing the placeholder with host data. `release` drops
+  // the worker-store entry when the last client reference dies.
+  struct RemoteInfo {
+    Device* device = nullptr;  // the owning RemoteDevice
+    int64_t handle_id = -1;    // id in the worker's tensor store
+    std::function<StatusOr<Tensor>()> fetch;
+    std::function<void()> release;
+  };
+
   // A pending handle with known output metadata. `host_clock`, when non-null,
   // is the owning runtime's virtual host clock; WaitReady raises it to the
   // producing op's completion time (the virtual cost of blocking on a read).
@@ -45,6 +59,13 @@ class TensorHandle {
       DType dtype, Shape shape, Device* device,
       std::atomic<uint64_t>* host_clock = nullptr);
 
+  // A pending handle backed by a remote worker-store entry.
+  static std::shared_ptr<TensorHandle> PendingRemote(
+      DType dtype, Shape shape, RemoteInfo remote,
+      std::atomic<uint64_t>* host_clock = nullptr);
+
+  ~TensorHandle();
+
   // --- metadata (immutable, never blocks) -----------------------------------
   DType dtype() const { return dtype_; }
   const Shape& shape() const { return shape_; }
@@ -52,6 +73,12 @@ class TensorHandle {
 
   State state() const;
   bool resolved() const { return state() != State::kPending; }
+
+  // Non-null iff the handle's value lives (or lived) in a remote store.
+  // Immutable after construction, so callers may keep the pointer.
+  const RemoteInfo* remote_info() const {
+    return remote_.device != nullptr ? &remote_ : nullptr;
+  }
 
   // --- resolution (producer side; called exactly once) ----------------------
   // pending -> concrete. `ready_ns` is the virtual time at which the value
@@ -62,7 +89,10 @@ class TensorHandle {
 
   // --- sync point (consumer side) -------------------------------------------
   // Blocks until resolved; raises the virtual host clock to ready_ns. Returns
-  // OK for a concrete value, the poisoning Status for an error.
+  // OK for a concrete value, the poisoning Status for an error. For a
+  // remote-backed handle this is also the copy-on-read point: the first
+  // successful wait fetches the value from the worker store and replaces the
+  // opaque placeholder, so tensor() afterwards sees real host data.
   Status WaitReady() const;
 
   // The materialized value; requires a prior successful WaitReady().
@@ -82,11 +112,16 @@ class TensorHandle {
                std::atomic<uint64_t>* host_clock);
 
   void Resolve(State state, Tensor value, Status status, uint64_t ready_ns);
+  // Copy-on-read: replaces the opaque placeholder of a concrete remote
+  // handle with the fetched value, exactly once. Returns the fetch status
+  // (cached on repeat calls). No-op (OK) for non-remote handles.
+  Status EnsureFetched() const;
 
   const DType dtype_;
   const Shape shape_;
   Device* const device_;
   std::atomic<uint64_t>* const host_clock_;
+  RemoteInfo remote_;  // engaged iff remote_.device != nullptr
 
   mutable std::mutex mu_;
   mutable std::condition_variable resolved_cv_;
@@ -95,6 +130,11 @@ class TensorHandle {
   Status error_;
   uint64_t ready_ns_ = 0;
   std::vector<std::function<void()>> callbacks_;
+
+  // Serializes the one-shot fetch without holding mu_ across the RPC.
+  mutable std::mutex fetch_mu_;
+  mutable bool fetched_ = false;
+  mutable Status fetch_error_;
 };
 
 }  // namespace tfe

@@ -208,6 +208,35 @@ TEST_F(FusionTest, StagedFunctionFusesStatically) {
   EXPECT_TRUE(BitwiseEqual(fused, plain));
 }
 
+TEST_F(FusionTest, StagedFunctionWithCastFusesStatically) {
+  // The static pass admits Cast like the drain does: a staged function whose
+  // chain converts an int32 argument mid-run still collapses to one
+  // FusedElementwise node, and values match the unfused execution bitwise.
+  EagerContext* ctx = EagerContext::Global();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::add(ops::cast(args[0], DType::kFloat32), args[1]);
+        h = ops::relu(ops::mul(h, ops::scalar<float>(0.5f)));
+        return {ops::sub(h, args[1])};
+      },
+      "fusion_staged_cast_chain");
+  Tensor xi = ops::cast(ops::random_normal({16}, 0, 8, /*seed=*/6),
+                        DType::kInt32);
+  Tensor xf = ops::random_normal({16}, 0, 1, /*seed=*/7);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  std::vector<float> fused = ToVector<float>(f({xi, xf})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before)
+      << "cast-bearing staged chain never fused";
+
+  ctx->set_fuse_elementwise(false);
+  std::vector<float> plain = ToVector<float>(f({xi, xf})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(fused, plain));
+}
+
 TEST_F(FusionTest, StagedFunctionGradientUnaffectedByFusion) {
   // BuildBackward differentiates the *original* graph — the fused execution
   // variant must never leak into autodiff.
@@ -390,6 +419,21 @@ TEST_F(ParallelKernelsTest, Conv2DAndGradsBitwise) {
     tape.watch(x);
     Tensor y = ops::reduce_sum(ops::conv2d(x, f, {1, 1}, "SAME"));
     return (*tape.gradient(y, {x}))[0];
+  });
+}
+
+TEST_F(ParallelKernelsTest, ConvBackpropFilterBitwise) {
+  // Large enough that ConvBackpropFilter takes the chunked path (total
+  // multiply-adds ~23M >> the 2^20 shard threshold, so 16 partial
+  // accumulators engage). Chunking and the reduction tree depend only on
+  // the geometry, so serial and parallel runs must agree bitwise.
+  Tensor x = ops::random_normal({2, 32, 32, 8}, 0, 1, /*seed=*/43);
+  Tensor f = ops::random_normal({3, 3, 8, 16}, 0, 1, /*seed=*/44);
+  ExpectParallelBitwiseEqual([&] {
+    GradientTape tape;
+    tape.watch(f);
+    Tensor y = ops::reduce_sum(ops::conv2d(x, f, {1, 1}, "SAME"));
+    return (*tape.gradient(y, {f}))[0];
   });
 }
 

@@ -146,6 +146,54 @@ TEST(PassesTest, FoldingCascades) {
   EXPECT_EQ(stats.folded_constants, 2);
 }
 
+TEST(PassesTest, FuseElementwiseAbsorbsCast) {
+  // Cast rides inside a static fused run as a kCast micro-op: the int32
+  // argument feeds the run as a foreign operand and the fused node carries
+  // the run dtype so the kernel knows what to convert to.
+  auto fn = std::make_shared<GraphFunction>("fuse_cast_static");
+  {
+    TraceContext trace(fn, EagerContext::Global());
+    Tensor xi = trace.AddParameter(DType::kInt32, Shape({4})).value();
+    Tensor xf = trace.AddParameter(DType::kFloat32, Shape({4})).value();
+    Tensor h = ops::add(ops::cast(xi, DType::kFloat32), xf);
+    h = ops::relu(ops::mul(h, h));
+    fn->outputs().push_back({h.node_id(), h.output_index()});
+  }
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FuseElementwise(*fn, &stats).ok());
+  EXPECT_EQ(stats.fused_runs, 1);
+  EXPECT_EQ(stats.fused_nodes, 4);
+  EXPECT_EQ(CountOps(*fn, "Cast"), 0);
+  EXPECT_EQ(CountOps(*fn, "FusedElementwise"), 1);
+  for (int i = 0; i < fn->graph().num_nodes(); ++i) {
+    const Node& node = fn->graph().node(i);
+    if (node.op != "FusedElementwise") continue;
+    EXPECT_EQ(node.attrs.count("dtype"), 1u)
+        << "cast-bearing program must pin the run dtype";
+  }
+}
+
+TEST(PassesTest, FuseElementwiseSplitsRunsAtDtypeChange) {
+  // A dtype change splits the run: the cast heads the run of its *output*
+  // dtype and reads the earlier run's result as a foreign operand.
+  auto fn = std::make_shared<GraphFunction>("fuse_cast_cut");
+  {
+    TraceContext trace(fn, EagerContext::Global());
+    Tensor xf = trace.AddParameter(DType::kFloat32, Shape({4})).value();
+    Tensor f_chain = ops::mul(ops::add(xf, xf), xf);       // float run
+    Tensor i = ops::cast(f_chain, DType::kInt32);          // dtype changes
+    Tensor i_chain = ops::add(ops::add(i, i), i);          // int32 run
+    fn->outputs().push_back({i_chain.node_id(), i_chain.output_index()});
+  }
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FuseElementwise(*fn, &stats).ok());
+  // Two runs: [add, mul] float and [cast, add, add] int32 — the cast joins
+  // the run of its *output* dtype, never the float run it reads from.
+  EXPECT_EQ(stats.fused_runs, 2);
+  EXPECT_EQ(CountOps(*fn, "Cast"), 0);
+  EXPECT_EQ(CountOps(*fn, "FusedElementwise"), 2);
+}
+
 TEST(PassesTest, OptimizedFunctionStillComputesCorrectly) {
   // End-to-end: the default pipeline must preserve semantics.
   Function f = function(
