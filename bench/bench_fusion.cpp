@@ -51,8 +51,7 @@ double ChainSeconds(bool fuse) {
 // Same protocol as ChainSeconds, but every fourth op is a cast: an int32
 // tensor enters the float run through ops::cast, which the drain fuser folds
 // as a kCast micro-op instead of cutting the run at each dtype boundary.
-// (A cast producing a different shape than the run — e.g. casting a scalar —
-// still cuts, since fused outputs materialize at the run shape.)
+// (Scalar casts fold too, as broadcast foreign operands.)
 double CastChainSeconds(bool fuse) {
   tfe::EagerContext* ctx = tfe::EagerContext::Global();
   ctx->set_fuse_elementwise(fuse);
@@ -67,6 +66,65 @@ double CastChainSeconds(bool fuse) {
     for (int i = 0; i < kChainOps / 4; ++i) {
       h = ops::mul(ops::add(h, x), half);
       h = ops::sub(h, ops::cast(xi, tfe::DType::kFloat32));
+    }
+    ctx->SyncAllDevices();
+  };
+  step();  // warm-up
+  double seconds = bench::MeasureWallSeconds(step, kChainIterations);
+  ctx->set_async(false);
+  ctx->set_fuse_elementwise(true);
+  return seconds;
+}
+
+// A chain where every other op changes layout or broadcasts: add-bias
+// ({256} against {256,256}), transpose, relu, transpose, repeated. The
+// fuser folds Transpose as an indexed-load micro-op and the bias broadcast
+// as a strided operand, so the whole interleaved chain still forms long
+// runs instead of cutting at every shape change.
+double LayoutChainSeconds(bool fuse) {
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+  ctx->set_fuse_elementwise(fuse);
+  ctx->set_async(true);
+  Tensor x = ops::random_normal({256, 256}, 0, 1, /*seed=*/7);
+  Tensor bias = ops::random_normal({256}, 0, 1, /*seed=*/11);
+  auto step = [&] {
+    Tensor h = x;
+    for (int i = 0; i < kChainOps / 4; ++i) {
+      h = ops::add(h, bias);
+      h = ops::transpose(h, {1, 0});
+      h = ops::relu(h);
+      h = ops::transpose(h, {1, 0});
+    }
+    ctx->SyncAllDevices();
+  };
+  step();  // warm-up
+  double seconds = bench::MeasureWallSeconds(step, kChainIterations);
+  ctx->set_async(false);
+  ctx->set_fuse_elementwise(true);
+  return seconds;
+}
+
+// A 63-op elementwise chain ending in a full reduce_sum: one op short of the
+// 64-member run cap so the reduction epilogue rides in the same run. Fused,
+// the drain executes the whole thing as a single blocked map-reduce pass —
+// no intermediate tensors at all; unfused it is 64 kernel launches and 63
+// materialized 256KB temporaries.
+constexpr int kReduceChainOps = 64;  // 63 elementwise + the reduce
+
+double ReduceChainSeconds(bool fuse) {
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+  ctx->set_fuse_elementwise(fuse);
+  ctx->set_async(true);
+  Tensor x = ops::random_normal({256, 256}, 0, 1, /*seed=*/7);
+  Tensor half = ops::scalar<float>(0.5f);
+  auto step = [&] {
+    for (int chain = 0; chain < 4; ++chain) {
+      Tensor h = x;
+      for (int i = 0; i < (kReduceChainOps - 1) / 3; ++i) {
+        h = ops::relu(ops::mul(ops::add(h, x), half));
+      }
+      Tensor total = ops::reduce_sum(h);
+      (void)total;
     }
     ctx->SyncAllDevices();
   };
@@ -133,6 +191,35 @@ int main() {
   std::printf("%-22s%10.1f ops (casts fold instead of cutting)\n",
               "mean run length", cast_run_length);
 
+  double layout_unfused = LayoutChainSeconds(/*fuse=*/false);
+  run_length->Reset();
+  double layout_fused = LayoutChainSeconds(/*fuse=*/true);
+  const double layout_run_length = run_length->mean();
+
+  std::printf("\n%d-op chain with transpose / bias-add every other op\n",
+              kChainOps);
+  std::printf("%-22s%10.1f ms\n", "fusion off", layout_unfused * 1e3);
+  std::printf("%-22s%10.1f ms\n", "fusion on", layout_fused * 1e3);
+  std::printf("%-22s%9.2fx\n", "speedup", layout_unfused / layout_fused);
+  std::printf("%-22s%10.1f ops (layout ops ride inside the run)\n",
+              "mean run length", layout_run_length);
+
+  profiler::Counter* reduce_runs =
+      profiler::Metrics().GetCounter("fusion.reduce_runs");
+  const int64_t reduce_runs_before = reduce_runs->value();
+  double reduce_unfused = ReduceChainSeconds(/*fuse=*/false);
+  double reduce_fused = ReduceChainSeconds(/*fuse=*/true);
+  const double fused_reduce_runs =
+      static_cast<double>(reduce_runs->value() - reduce_runs_before);
+
+  std::printf("\n%d-op elementwise chain ending in reduce_sum\n",
+              kReduceChainOps);
+  std::printf("%-22s%10.1f ms\n", "fusion off", reduce_unfused * 1e3);
+  std::printf("%-22s%10.1f ms\n", "fusion on", reduce_fused * 1e3);
+  std::printf("%-22s%9.2fx\n", "speedup", reduce_unfused / reduce_fused);
+  std::printf("%-22s%10.0f map-reduce passes\n", "fused reduce runs",
+              fused_reduce_runs);
+
   double serial = MatMulSeconds(/*parallel=*/false);
   double parallel = MatMulSeconds(/*parallel=*/true);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -156,11 +243,43 @@ int main() {
   report.Add("cast_chain_fused_seconds", cast_fused);
   report.Add("cast_chain_speedup", cast_unfused / cast_fused);
   report.Add("cast_chain_mean_run_length", cast_run_length);
+  report.Add("layout_chain_unfused_seconds", layout_unfused);
+  report.Add("layout_chain_fused_seconds", layout_fused);
+  report.Add("layout_chain_speedup", layout_unfused / layout_fused);
+  report.Add("layout_chain_mean_run_length", layout_run_length);
+  report.Add("reduce_chain_unfused_seconds", reduce_unfused);
+  report.Add("reduce_chain_fused_seconds", reduce_fused);
+  report.Add("reduce_chain_speedup", reduce_unfused / reduce_fused);
+  report.Add("fused_reduce_runs", fused_reduce_runs);
   report.Add("matmul_serial_seconds", serial);
   report.Add("matmul_parallel_seconds", parallel);
   report.Add("matmul_speedup", serial / parallel);
   report.Add("hardware_threads", static_cast<double>(hw));
   report.AddProfilerMetrics();
   report.Write();
-  return 0;
+
+  // Regression gates for the map-reduce fusion window. Layout ops must not
+  // cut runs (mean run length on the interleaved chain stays long), and the
+  // fused chain→reduce pass must beat 64 separate kernel launches by >=3x.
+  int rc = 0;
+  if (layout_run_length <= 16.0) {
+    std::fprintf(stderr,
+                 "FAIL: mean run length %.1f <= 16 on the transpose/bias-add "
+                 "chain — layout ops are cutting fusion runs\n",
+                 layout_run_length);
+    rc = 1;
+  }
+  if (reduce_unfused / reduce_fused < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: chain->reduce_sum fused speedup %.2fx < 3x\n",
+                 reduce_unfused / reduce_fused);
+    rc = 1;
+  }
+  if (fused_reduce_runs < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: no fused map-reduce pass ran — the reduce epilogue "
+                 "was not recognized on the drain\n");
+    rc = 1;
+  }
+  return rc;
 }

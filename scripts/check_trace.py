@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validates a Chrome trace_event JSON file written by the profiler.
 
-Usage: scripts/check_trace.py [--require-remote] <trace.json>
+Usage: scripts/check_trace.py [--require-remote] [--require-reduce-fusion] \
+    <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
@@ -12,6 +13,10 @@ With --require-remote the trace must additionally contain the remote
 dispatch spans: a "remote_enqueue" on the client issuing the op over the
 pending-handle protocol and a "remote_resolve" where the worker completion
 resolves the client's pending handles.
+
+With --require-reduce-fusion the trace must contain at least one
+"fused_reduce_run" instant — emitted by the fused kernel each time a
+reduction epilogue executes as a blocked map-reduce pass.
 """
 import json
 import sys
@@ -25,9 +30,12 @@ def fail(msg):
 def main():
     args = sys.argv[1:]
     require_remote = "--require-remote" in args
-    args = [a for a in args if a != "--require-remote"]
+    require_reduce_fusion = "--require-reduce-fusion" in args
+    args = [a for a in args
+            if a not in ("--require-remote", "--require-reduce-fusion")]
     if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} [--require-remote] <trace.json>")
+        fail(f"usage: {sys.argv[0]} [--require-remote] "
+             "[--require-reduce-fusion] <trace.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -41,6 +49,7 @@ def main():
 
     span_tids = set()
     categories = set()
+    instant_names = set()
     for i, ev in enumerate(events):
         for key in ("ph", "pid", "tid"):
             if key not in ev:
@@ -53,6 +62,8 @@ def main():
                 fail(f"X event {i} missing dur/name: {ev}")
             span_tids.add(ev["tid"])
             categories.add(ev.get("cat", ""))
+        elif ph == "i":
+            instant_names.add(ev.get("name", ""))
 
     if len(span_tids) < 2:
         fail(f"X spans on {len(span_tids)} thread(s); expected >= 2 "
@@ -63,6 +74,9 @@ def main():
     for want in wanted:
         if want not in categories:
             fail(f"no '{want}' spans (categories seen: {sorted(categories)})")
+    if require_reduce_fusion and "fused_reduce_run" not in instant_names:
+        fail("no 'fused_reduce_run' instant — no fused map-reduce pass ran "
+             f"(instants seen: {sorted(instant_names)})")
 
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(span_tids)} span threads, categories {sorted(categories)}")

@@ -13,8 +13,9 @@
 #
 # --profile is the observability smoke: build, run bench_fusion and
 # bench_distrib with TFE_PROFILE set, validate the exported Chrome traces
-# (the distrib trace must carry remote enqueue/resolve spans), then run the
-# profiler-overhead gate (fails above 5%).
+# (the fusion trace must carry a fused_reduce_run instant, the distrib trace
+# remote enqueue/resolve spans), then run the profiler-overhead gate (fails
+# above 5%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +30,7 @@ if [[ "$MODE" == "--profile" ]]; then
   TRACE="build/profile_smoke_trace.json"
   echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
-  python3 scripts/check_trace.py "$TRACE"
+  python3 scripts/check_trace.py --require-reduce-fusion "$TRACE"
   REMOTE_TRACE="build/profile_smoke_remote_trace.json"
   echo "==== profile smoke: bench_distrib under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \

@@ -9,6 +9,18 @@ std::vector<Device*> list_devices() {
   return EagerContext::Global()->devices().ListDevices();
 }
 
+Tensor copy_to(const Tensor& tensor, Device* device) {
+  auto result = EagerContext::Global()->CopyTo(tensor, device);
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
+Tensor copy_to(const Tensor& tensor, const std::string& device_name) {
+  auto device = EagerContext::Global()->devices().FindDevice(device_name);
+  device.status().ThrowIfError();
+  return copy_to(tensor, device.value());
+}
+
 std::vector<Tensor> gradient(GradientTape& tape, const Tensor& target,
                              const std::vector<Variable>& variables) {
   std::vector<Tensor> sources;

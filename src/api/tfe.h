@@ -38,6 +38,15 @@ std::vector<Device*> list_devices();
 // read.
 using device = DeviceScope;
 
+// Explicit tensor move (paper §4.5's explicit-copy model): places `tensor`'s
+// value on the named device. Local targets behave like the runtime's
+// transparent input copy; remote targets ship the value into the worker's
+// store and return a remote-backed handle — the sanctioned way to move a
+// tensor between workers (implicit cross-worker hops are errors). Throws on
+// failure (unknown device, poisoned source, opaque source).
+Tensor copy_to(const Tensor& tensor, const std::string& device_name);
+Tensor copy_to(const Tensor& tensor, Device* device);
+
 // d(target)/d(variables) convenience: resolves variables to their resource
 // handles. Throws on failure. Entries are undefined when `target` does not
 // depend on the corresponding variable.

@@ -142,7 +142,8 @@ StatusOr<Executor::Result> Executor::Run(const GraphFunction& function,
     }
 
     ctx_->stats().executor_nodes.fetch_add(1, std::memory_order_relaxed);
-    uint64_t node_stream = rng_base + static_cast<uint64_t>(id);
+    uint64_t node_stream =
+        rng_base + static_cast<uint64_t>(node.rng_id >= 0 ? node.rng_id : id);
     if (node_stream == 0) node_stream = 1;  // 0 means "unassigned"
     TFE_ASSIGN_OR_RETURN(
         EagerContext::KernelRun run,

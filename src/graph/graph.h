@@ -46,6 +46,11 @@ struct Node {
   // "operations inside the graph function explicitly placed on another
   // device override the outer device context").
   std::string requested_device;
+  // Stable id for deterministic RNG stream derivation: execution-only
+  // rewrites (FuseElementwise) renumber nodes, and random ops must draw the
+  // same Philox stream whether or not the variant ran. -1 means "use the
+  // node's current id" (the canonical post-Optimize graph).
+  int rng_id = -1;
 
   int num_outputs() const { return static_cast<int>(outputs.size()); }
   bool is_stateful() const;  // consults the op registry

@@ -61,6 +61,7 @@ Status CloneGraphFunctionInto(const GraphFunction& source,
                     node.requested_device));
     cloned->constant_value = node.constant_value;
     cloned->control_inputs = node.control_inputs;
+    cloned->rng_id = node.rng_id;
     TFE_CHECK_EQ(cloned->id, id);
   }
   target.arg_nodes() = source.arg_nodes();

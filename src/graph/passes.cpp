@@ -191,30 +191,182 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   Graph& graph = function.graph();
   const int n = graph.num_nodes();
 
+  // Constants and arguments carry no dataflow or control inputs, so
+  // floating them to the front preserves topological order while making
+  // fusable spans contiguous — a mid-chain scalar Const (ops::scalar inside
+  // the traced body) no longer splits a run. The drain never had this
+  // problem: resolved constants are operands there, not queue entries.
+  {
+    auto leading = [&](int id) {
+      const Node& node = graph.node(id);
+      return node.op == "Const" || node.op == "Arg";
+    };
+    std::vector<int> order;
+    order.reserve(n);
+    for (int id = 0; id < n; ++id) {
+      if (leading(id)) order.push_back(id);
+    }
+    for (int id = 0; id < n; ++id) {
+      if (!leading(id)) order.push_back(id);
+    }
+    bool identity = true;
+    for (int i = 0; i < n; ++i) identity = identity && order[i] == i;
+    if (!identity) {
+      std::vector<int> new_id(n);
+      for (int i = 0; i < n; ++i) new_id[order[i]] = i;
+      std::deque<Node> reordered;
+      for (int i = 0; i < n; ++i) {
+        Node& node = graph.node(order[i]);
+        // Pin the RNG stream before renumbering (see the rebuild below).
+        if (node.rng_id < 0) node.rng_id = order[i];
+        node.id = i;
+        for (Endpoint& e : node.inputs) e.node_id = new_id[e.node_id];
+        for (int& dep : node.control_inputs) dep = new_id[dep];
+        reordered.push_back(std::move(node));
+      }
+      for (int& arg : function.arg_nodes()) arg = new_id[arg];
+      for (Endpoint& out : function.outputs()) {
+        out.node_id = new_id[out.node_id];
+      }
+      graph.ResetNodes(std::move(reordered));
+    }
+  }
+
   // Mirrors the op-queue drain bound: limits the register footprint of one
   // interpreted program.
   constexpr int kMaxFusedRun = 64;
 
-  // Mirrors the drain-side FusableNode: attr-free elementwise ops, plus Cast,
-  // whose single "dst" attr is folded into the program as a kCast micro-op
-  // (the cast target is always the run dtype, carried on the fused node).
-  auto fusable = [&](const Node& node, kernels::MicroOpCode* code) {
-    if (node.control_inputs.empty() && node.num_outputs() == 1 &&
-        kernels::MicroOpCodeFor(node.op, code) &&
-        static_cast<int>(node.inputs.size()) == kernels::MicroOpArity(*code) &&
-        node.outputs[0].shape.IsFullyDefined() &&
-        kernels::MicroOpSupports(*code, node.outputs[0].dtype)) {
-      if (*code == kernels::MicroOpCode::kCast) {
-        return node.attrs.size() == 1 && node.attrs.count("dst") != 0;
+  enum class MemberKind { kCompute, kLayout, kReduce };
+  struct MemberClass {
+    MemberKind kind = MemberKind::kCompute;
+    kernels::MicroOpCode code = kernels::MicroOpCode::kAdd;  // kCompute only
+  };
+
+  // Mirrors the drain-side FusableNode: elementwise micro-ops (Cast's single
+  // "dst" attr folds into the program — the cast target is always the run
+  // dtype, carried on the fused node), layout ops whose attrs the run
+  // compiler folds into access descriptors, and trailing reductions.
+  auto classify = [&](const Node& node, MemberClass* cls) {
+    if (!node.control_inputs.empty() || node.num_outputs() != 1 ||
+        !node.outputs[0].shape.IsFullyDefined()) {
+      return false;
+    }
+    const DType dtype = node.outputs[0].dtype;
+    if (kernels::MicroOpCodeFor(node.op, &cls->code)) {
+      cls->kind = MemberKind::kCompute;
+      if (static_cast<int>(node.inputs.size()) !=
+          kernels::MicroOpArity(cls->code)) {
+        return false;
       }
-      return node.attrs.empty();
+      if (cls->code == kernels::MicroOpCode::kCast) {
+        if (node.attrs.size() != 1 || node.attrs.count("dst") == 0) {
+          return false;
+        }
+      } else if (!node.attrs.empty()) {
+        return false;
+      }
+      return kernels::MicroOpSupports(cls->code, dtype);
+    }
+    if (kernels::MicroLayoutOp(node.op)) {
+      cls->kind = MemberKind::kLayout;
+      if (node.inputs.size() != 1) return false;
+      if (node.op == "Transpose") {
+        auto it = node.attrs.find("perm");
+        if (node.attrs.size() != 1 || it == node.attrs.end() ||
+            !it->second.Is<std::vector<int64_t>>()) {
+          return false;
+        }
+      } else if (node.op == "Reshape") {
+        if (node.attrs.size() != 1 || node.attrs.count("shape") == 0) {
+          return false;
+        }
+      } else if (node.op == "ExpandDims") {
+        if (node.attrs.size() != 1 || node.attrs.count("axis") == 0) {
+          return false;
+        }
+      } else {  // Squeeze: "axis" is optional
+        if (!node.attrs.empty() &&
+            (node.attrs.size() != 1 || node.attrs.count("axis") == 0)) {
+          return false;
+        }
+      }
+      return kernels::MicroOpSupports(kernels::MicroOpCode::kCast, dtype);
+    }
+    kernels::MicroReduceKind rkind;
+    if (kernels::MicroReduceKindFor(node.op, &rkind)) {
+      cls->kind = MemberKind::kReduce;
+      if (node.inputs.size() != 1) return false;
+      for (const auto& [name, value] : node.attrs) {
+        if (name != "axis" && name != "keep_dims") return false;
+      }
+      auto it = node.attrs.find("axis");
+      if (it != node.attrs.end() && !it->second.Is<std::vector<int64_t>>()) {
+        return false;
+      }
+      return kernels::MicroOpSupports(kernels::MicroOpCode::kCast, dtype);
     }
     return false;
   };
 
+  // Describes member `id` of span [begin, id] to the run compiler; external
+  // operands collect (deduplicated) into `operands`.
+  auto member_desc = [&](int id, int begin, std::vector<Endpoint>& operands)
+      -> kernels::FusedRunOp {
+    const Node& node = graph.node(id);
+    kernels::FusedRunOp op;
+    op.op = node.op;
+    op.dtype = node.outputs[0].dtype;
+    op.shape = node.outputs[0].shape;
+    if (node.op == "Transpose") {
+      op.perm = node.attrs.find("perm")->second.Get<std::vector<int64_t>>();
+    }
+    kernels::MicroReduceKind rkind;
+    if (kernels::MicroReduceKindFor(node.op, &rkind)) {
+      auto it = node.attrs.find("axis");
+      if (it != node.attrs.end()) {
+        op.axes = it->second.Get<std::vector<int64_t>>();
+      }
+    }
+    for (const Endpoint& e : node.inputs) {
+      if (e.node_id >= begin && e.node_id < id) {
+        op.args.push_back({/*producer=*/e.node_id - begin, /*operand=*/-1});
+        continue;
+      }
+      int idx = -1;
+      for (size_t k = 0; k < operands.size(); ++k) {
+        if (operands[k] == e) {
+          idx = static_cast<int>(k);
+          break;
+        }
+      }
+      if (idx < 0) {
+        idx = static_cast<int>(operands.size());
+        operands.push_back(e);
+      }
+      op.args.push_back({/*producer=*/-1, /*operand=*/idx});
+    }
+    return op;
+  };
+
+  auto build_descs = [&](int begin, int end, std::vector<Endpoint>* operands,
+                         std::vector<kernels::FusedRunOperand>* operand_descs)
+      -> std::vector<kernels::FusedRunOp> {
+    std::vector<kernels::FusedRunOp> ops;
+    for (int i = begin; i < end; ++i) {
+      ops.push_back(member_desc(i, begin, *operands));
+    }
+    for (const Endpoint& e : *operands) {
+      const TypeAndShape& t = graph.endpoint_type(e);
+      operand_descs->push_back({t.dtype, t.shape});
+    }
+    return ops;
+  };
+
   // Greedy maximal runs of consecutive node ids. Consecutiveness guarantees
   // every external operand of a run precedes it topologically, so replacing
-  // the span with one node can never create a cycle.
+  // the span with one node can never create a cycle. Each candidate span is
+  // trial-compiled and shrunk from the tail until it compiles — the compiler
+  // is the single authority on layout compatibility.
   struct Run {
     int begin;
     int end;  // exclusive
@@ -223,16 +375,17 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   std::vector<int> run_of(n, -1);
   int start = 0;
   while (start < n) {
-    kernels::MicroOpCode start_code;
-    if (!fusable(graph.node(start), &start_code)) {
+    MemberClass start_cls;
+    if (!classify(graph.node(start), &start_cls) ||
+        start_cls.kind == MemberKind::kReduce) {
       ++start;
       continue;
     }
     const DType dtype = graph.node(start).outputs[0].dtype;
-    const Shape& shape = graph.node(start).outputs[0].shape;
     // A cast's source operand may be any dtype the kCast micro-op converts
     // from; every other operand must already carry the run dtype.
-    auto operand_ok = [&](const Endpoint& e, int cur, bool cast_source) {
+    auto compute_operand_ok = [&](const Endpoint& e, int cur,
+                                  const Shape& member_shape, bool cast_source) {
       if (e.node_id >= start && e.node_id < cur) return e.index == 0;  // in-run
       const TypeAndShape& t = graph.endpoint_type(e);
       if (cast_source) {
@@ -243,27 +396,68 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
         return false;
       }
       return t.shape.IsFullyDefined() &&
-             (t.shape == shape || t.shape.num_elements() == 1);
+             (t.shape.num_elements() == 1 ||
+              kernels::BroadcastsTo(t.shape, member_shape));
     };
     int end = start;
-    while (end < n && end - start < kMaxFusedRun) {
+    int64_t run_count = 1;
+    bool saw_reduce = false;
+    while (end < n && end - start < kMaxFusedRun && !saw_reduce) {
       const Node& node = graph.node(end);
-      kernels::MicroOpCode code = start_code;
-      if (end > start &&
-          (!fusable(node, &code) || node.outputs[0].dtype != dtype ||
-           !(node.outputs[0].shape == shape))) {
+      MemberClass cls = start_cls;
+      if (end > start && (!classify(node, &cls) ||
+                          node.outputs[0].dtype != dtype)) {
         break;
       }
-      const bool cast_source = code == kernels::MicroOpCode::kCast;
+      const Shape& member_shape = node.outputs[0].shape;
+      const int64_t count = member_shape.num_elements();
       bool ok = true;
-      for (const Endpoint& e : node.inputs) {
-        if (!operand_ok(e, end, cast_source)) {
-          ok = false;
-          break;
+      if (cls.kind == MemberKind::kReduce) {
+        // Joins only as the terminating epilogue of an in-run value of the
+        // full evaluation count; the compiler checks the trailing-axes rule.
+        const Endpoint& e = node.inputs[0];
+        ok = end > start && e.node_id >= start && e.node_id < end &&
+             e.index == 0 &&
+             graph.node(e.node_id).outputs[0].shape.num_elements() ==
+                 run_count;
+        saw_reduce = ok;
+      } else if (count != run_count && count != 1 && run_count != 1) {
+        ok = false;
+      } else if (cls.kind == MemberKind::kLayout) {
+        const Endpoint& e = node.inputs[0];
+        if (e.node_id >= start && e.node_id < end) {
+          ok = e.index == 0;
+        } else {
+          const TypeAndShape& t = graph.endpoint_type(e);
+          ok = t.dtype == dtype && t.shape.IsFullyDefined() &&
+               t.shape.num_elements() == count;
+        }
+      } else {
+        const bool cast_source = cls.code == kernels::MicroOpCode::kCast;
+        for (const Endpoint& e : node.inputs) {
+          if (!compute_operand_ok(e, end, member_shape, cast_source)) {
+            ok = false;
+            break;
+          }
         }
       }
       if (!ok) break;
+      if (cls.kind != MemberKind::kReduce) {
+        run_count = std::max(run_count, count);
+      }
       ++end;
+    }
+    // Shrink from the tail until the span compiles (trial materialization:
+    // only the last member publishes — output emission itself cannot fail,
+    // so a compiling trial span compiles with any materialize set).
+    while (end - start >= 2) {
+      std::vector<Endpoint> operands;
+      std::vector<kernels::FusedRunOperand> operand_descs;
+      std::vector<kernels::FusedRunOp> ops =
+          build_descs(start, end, &operands, &operand_descs);
+      ops.back().materialize = true;
+      if (kernels::CompileFusedRun(ops, operand_descs, dtype).ok()) break;
+      --end;
     }
     if (end - start >= 2) {
       for (int i = start; i < end; ++i) run_of[i] = static_cast<int>(runs.size());
@@ -296,6 +490,40 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     if (!any) used_outside[run.end - 1] = true;
   }
 
+  // Compile every run before any node moves out of the graph: build_descs
+  // reads graph.endpoint_type() for external operands, which must happen
+  // while their producer nodes are still intact.
+  struct RunCompiled {
+    std::vector<Endpoint> operands;
+    kernels::CompiledRun compiled;
+    std::vector<TypeAndShape> outputs;  // one per compiled.output_members
+    DType dtype = DType::kFloat32;
+  };
+  std::vector<RunCompiled> run_compiled;
+  run_compiled.reserve(runs.size());
+  for (const Run& run : runs) {
+    RunCompiled rc;
+    rc.dtype = graph.node(run.begin).outputs[0].dtype;
+    std::vector<kernels::FusedRunOperand> operand_descs;
+    std::vector<kernels::FusedRunOp> ops =
+        build_descs(run.begin, run.end, &rc.operands, &operand_descs);
+    for (int i = run.begin; i < run.end; ++i) {
+      ops[i - run.begin].materialize = used_outside[i];
+    }
+    auto compiled_or = kernels::CompileFusedRun(ops, operand_descs, rc.dtype);
+    if (!compiled_or.ok()) {
+      // The trial compile accepted this span and materialization cannot
+      // introduce new failures, so this is a pass invariant violation.
+      return Internal("FuseElementwise span stopped compiling: " +
+                      compiled_or.status().message());
+    }
+    rc.compiled = std::move(*compiled_or);
+    for (int member_off : rc.compiled.output_members) {
+      rc.outputs.push_back(graph.node(run.begin + member_off).outputs[0]);
+    }
+    run_compiled.push_back(std::move(rc));
+  }
+
   // Rebuild the node list: non-run nodes move over; each run collapses to a
   // FusedElementwise node at its begin position.
   std::deque<Node> nodes;
@@ -306,78 +534,34 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     if (r >= 0 && runs[r].begin != id) continue;  // absorbed into its run
     if (r < 0) {
       new_node_id[id] = static_cast<int>(nodes.size());
-      nodes.push_back(std::move(graph.node(id)));
+      Node& node = graph.node(id);
+      // Pin the RNG stream to the pre-fusion id so random ops draw the same
+      // stream whether or not this execution-only rewrite ran.
+      if (node.rng_id < 0) node.rng_id = id;
+      nodes.push_back(std::move(node));
       continue;
     }
     const Run& run = runs[r];
-    const TypeAndShape run_type = graph.node(run.begin).outputs[0];
-    // Pass 1: dedup external operands; record each member's argument slots as
-    // operand index (>= 0) or ~producer_member for in-run values.
-    kernels::MicroProgram program;
-    std::vector<Endpoint> operands;
-    std::vector<std::array<int64_t, 2>> args(run.end - run.begin, {0, 0});
-    for (int i = run.begin; i < run.end; ++i) {
-      const Node& member = graph.node(i);
-      for (size_t a = 0; a < member.inputs.size(); ++a) {
-        const Endpoint& e = member.inputs[a];
-        if (e.node_id >= run.begin && e.node_id < i) {
-          args[i - run.begin][a] = ~static_cast<int64_t>(e.node_id - run.begin);
-          continue;
-        }
-        int idx = -1;
-        for (size_t k = 0; k < operands.size(); ++k) {
-          if (operands[k] == e) {
-            idx = static_cast<int>(k);
-            break;
-          }
-        }
-        if (idx < 0) {
-          idx = static_cast<int>(operands.size());
-          operands.push_back(e);
-        }
-        args[i - run.begin][a] = idx;
-      }
-    }
-    // Pass 2: emit instructions and outputs with final register numbers.
-    program.num_operands = static_cast<int64_t>(operands.size());
+    RunCompiled& rc = run_compiled[r];
     Node fused;
     fused.op = "FusedElementwise";
-    for (int i = run.begin; i < run.end; ++i) {
-      const Node& member = graph.node(i);
-      kernels::MicroOpCode code;
-      kernels::MicroOpCodeFor(member.op, &code);  // validated by fusable()
-      kernels::MicroInst inst;
-      inst.opcode = code;
-      auto to_reg = [&](int64_t v) {
-        return static_cast<int32_t>(v >= 0 ? v : program.num_operands + ~v);
-      };
-      inst.a = to_reg(args[i - run.begin][0]);
-      if (member.inputs.size() > 1) inst.b = to_reg(args[i - run.begin][1]);
-      program.insts.push_back(inst);
-      if (used_outside[i]) {
-        fused_out_index[i] = static_cast<int>(fused.outputs.size());
-        program.outputs.push_back(static_cast<int32_t>(program.num_operands) +
-                                  (i - run.begin));
-        fused.outputs.push_back(run_type);
-      }
+    for (size_t k = 0; k < rc.compiled.output_members.size(); ++k) {
+      const int member = run.begin + rc.compiled.output_members[k];
+      fused_out_index[member] = static_cast<int>(k);
     }
-    fused.attrs.emplace("program", AttrValue(program.Encode()));
-    // A program with folded casts may carry foreign-dtype operands; tell the
-    // kernel the run dtype explicitly (cast-free programs infer it from
-    // operand 0, so they need no attr).
-    for (const kernels::MicroInst& inst : program.insts) {
-      if (inst.opcode == kernels::MicroOpCode::kCast) {
-        fused.attrs.emplace("dtype", AttrValue(run_type.dtype));
-        break;
-      }
-    }
-    fused.inputs = std::move(operands);
+    fused.outputs = std::move(rc.outputs);
+    fused.attrs.emplace("program", AttrValue(rc.compiled.program.Encode()));
+    // Extended programs may read operands under layout maps or foreign
+    // dtypes, so the run dtype is always explicit.
+    fused.attrs.emplace("dtype", AttrValue(rc.dtype));
+    fused.inputs = std::move(rc.operands);
     const int fused_id = static_cast<int>(nodes.size());
     for (int i = run.begin; i < run.end; ++i) new_node_id[i] = fused_id;
     nodes.push_back(std::move(fused));
     if (stats != nullptr) {
       stats->fused_runs += 1;
       stats->fused_nodes += run.end - run.begin;
+      if (rc.compiled.has_reduce) stats->fused_reduce_runs += 1;
     }
   }
 

@@ -17,9 +17,11 @@ struct PassStats {
   int pruned_nodes = 0;
   int cse_merged = 0;
   int folded_constants = 0;
-  // FuseElementwise: runs collapsed / primitive nodes absorbed into them.
+  // FuseElementwise: runs collapsed / primitive nodes absorbed into them /
+  // runs that ended in a fused reduction epilogue.
   int fused_runs = 0;
   int fused_nodes = 0;
+  int fused_reduce_runs = 0;
 };
 
 // Dead-op pruning: removes non-stateful nodes not reachable from the
@@ -39,11 +41,13 @@ Status FoldConstants(GraphFunction& function, PassStats* stats = nullptr);
 // fold -> CSE -> prune.
 Status Optimize(GraphFunction& function, PassStats* stats = nullptr);
 
-// Collapses runs of shape-compatible elementwise nodes into single
-// FusedElementwise nodes interpreting a micro-op program (the static
-// counterpart of the op-queue drain fusion; both lower to the same kernel).
-// Intermediates consumed only inside a run disappear from the graph;
-// intermediates used elsewhere (or returned) become extra fused outputs.
+// Collapses runs of elementwise, layout (Transpose/Reshape/ExpandDims/
+// Squeeze), and trailing-reduction (Sum/Mean/Max/Min) nodes into single
+// FusedElementwise nodes interpreting a micro-op map-reduce program (the
+// static counterpart of the op-queue drain fusion; both describe runs to
+// kernels::CompileFusedRun and lower to the same kernel). Intermediates
+// consumed only inside a run disappear from the graph; intermediates used
+// elsewhere (or returned) become extra fused outputs.
 //
 // Deliberately NOT part of Optimize(): FusedElementwise has no gradient, so
 // this pass must only run on execution-only clones (see

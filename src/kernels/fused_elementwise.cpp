@@ -1,29 +1,131 @@
 #include "kernels/fused_elementwise.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "kernels/elementwise_functors.h"
 #include "kernels/kernel_util.h"
+#include "kernels/reduce_util.h"
+#include "profiler/metrics.h"
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 
 namespace tfe {
 namespace kernels {
 
+namespace {
+
+std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& dims) {
+  std::vector<int64_t> strides(dims.size());
+  int64_t acc = 1;
+  for (int i = static_cast<int>(dims.size()) - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= dims[i];
+  }
+  return strides;
+}
+
+int64_t ProductOf(const std::vector<int64_t>& dims) {
+  int64_t acc = 1;
+  for (int64_t d : dims) acc *= d;
+  return acc;
+}
+
+constexpr int64_t kMaxAccessRank = 16;
+
+Status ValidateAccess(const MicroAccess& access, int64_t count,
+                      const char* what) {
+  const std::string where = std::string("FusedElementwise ") + what;
+  if (access.kind != MicroAccessKind::kStrided) {
+    if (!access.dims.empty() || !access.strides.empty()) {
+      return InvalidArgument(where + " carries dims without a strided kind");
+    }
+    return Status::OK();
+  }
+  if (access.dims.size() != access.strides.size() ||
+      static_cast<int64_t>(access.dims.size()) > kMaxAccessRank) {
+    return InvalidArgument(where + " descriptor malformed");
+  }
+  int64_t product = 1;
+  for (size_t d = 0; d < access.dims.size(); ++d) {
+    if (access.dims[d] < 1 || access.strides[d] < 0) {
+      return InvalidArgument(where + " descriptor out of range");
+    }
+    product *= access.dims[d];
+  }
+  if (product != count) {
+    return InvalidArgument(where +
+                           " descriptor does not cover the evaluation space");
+  }
+  return Status::OK();
+}
+
+// Largest offset a strided walk can touch (0 for the other kinds' element 0).
+int64_t MaxAccessOffset(const MicroAccess& access) {
+  int64_t off = 0;
+  for (size_t d = 0; d < access.dims.size(); ++d) {
+    off += (access.dims[d] - 1) * access.strides[d];
+  }
+  return off;
+}
+
+void EncodeAccess(const MicroAccess& access, std::vector<int64_t>* out) {
+  out->push_back(static_cast<int64_t>(access.kind));
+  if (access.kind == MicroAccessKind::kStrided) {
+    out->push_back(static_cast<int64_t>(access.dims.size()));
+    for (int64_t d : access.dims) out->push_back(d);
+    for (int64_t s : access.strides) out->push_back(s);
+  }
+}
+
+}  // namespace
+
 std::vector<int64_t> MicroProgram::Encode() const {
   std::vector<int64_t> encoded;
-  encoded.reserve(2 + insts.size() * 3 + 1 + outputs.size());
+  if (!extended) {
+    encoded.reserve(2 + insts.size() * 3 + 1 + outputs.size());
+    encoded.push_back(num_operands);
+    encoded.push_back(static_cast<int64_t>(insts.size()));
+    for (const MicroInst& inst : insts) {
+      encoded.push_back(static_cast<int64_t>(inst.opcode));
+      encoded.push_back(inst.a);
+      encoded.push_back(inst.b);
+    }
+    encoded.push_back(static_cast<int64_t>(outputs.size()));
+    for (int32_t reg : outputs) encoded.push_back(reg);
+    return encoded;
+  }
+  encoded.push_back(kMicroProgramMagic);
   encoded.push_back(num_operands);
+  encoded.push_back(static_cast<int64_t>(eval_dims.size()));
+  for (int64_t d : eval_dims) encoded.push_back(d);
+  for (const MicroOperandSlot& slot : slots) {
+    encoded.push_back(slot.input);
+    EncodeAccess(slot.access, &encoded);
+  }
   encoded.push_back(static_cast<int64_t>(insts.size()));
   for (const MicroInst& inst : insts) {
     encoded.push_back(static_cast<int64_t>(inst.opcode));
     encoded.push_back(inst.a);
     encoded.push_back(inst.b);
   }
-  encoded.push_back(static_cast<int64_t>(outputs.size()));
-  for (int32_t reg : outputs) encoded.push_back(reg);
+  encoded.push_back(static_cast<int64_t>(output_specs.size()));
+  for (const MicroOutputSpec& spec : output_specs) {
+    encoded.push_back(spec.reg);
+    encoded.push_back(static_cast<int64_t>(spec.shape.size()));
+    for (int64_t d : spec.shape) encoded.push_back(d);
+    EncodeAccess(spec.store, &encoded);
+  }
+  encoded.push_back(static_cast<int64_t>(reduce.kind));
+  if (reduce.kind != MicroReduceKind::kNone) {
+    encoded.push_back(reduce.src);
+    encoded.push_back(reduce.reduce_count);
+    encoded.push_back(static_cast<int64_t>(reduce.shape.size()));
+    for (int64_t d : reduce.shape) encoded.push_back(d);
+  }
   return encoded;
 }
 
@@ -37,6 +139,173 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     }
     return encoded[pos++];
   };
+  const bool extended = !encoded.empty() && encoded[0] == kMicroProgramMagic;
+  int64_t eval_count = 0;
+  if (extended) {
+    pos = 1;
+    program.extended = true;
+    TFE_ASSIGN_OR_RETURN(program.num_operands, next());
+    if (program.num_operands < 1) {
+      return InvalidArgument("Malformed FusedElementwise program header");
+    }
+    TFE_ASSIGN_OR_RETURN(int64_t eval_rank, next());
+    if (eval_rank < 0 || eval_rank > kMaxAccessRank) {
+      return InvalidArgument("FusedElementwise evaluation rank out of range");
+    }
+    eval_count = 1;
+    for (int64_t d = 0; d < eval_rank; ++d) {
+      TFE_ASSIGN_OR_RETURN(int64_t dim, next());
+      if (dim < 0) {
+        return InvalidArgument("FusedElementwise evaluation dim out of range");
+      }
+      program.eval_dims.push_back(dim);
+      eval_count *= dim;
+    }
+    auto decode_access = [&](const char* what) -> StatusOr<MicroAccess> {
+      MicroAccess access;
+      TFE_ASSIGN_OR_RETURN(int64_t kind, next());
+      if (kind < static_cast<int64_t>(MicroAccessKind::kAuto) ||
+          kind > static_cast<int64_t>(MicroAccessKind::kStrided)) {
+        return InvalidArgument("FusedElementwise access kind out of range");
+      }
+      access.kind = static_cast<MicroAccessKind>(kind);
+      if (access.kind == MicroAccessKind::kStrided) {
+        TFE_ASSIGN_OR_RETURN(int64_t rank, next());
+        if (rank < 0 || rank > kMaxAccessRank) {
+          return InvalidArgument("FusedElementwise access rank out of range");
+        }
+        for (int64_t d = 0; d < rank; ++d) {
+          TFE_ASSIGN_OR_RETURN(int64_t dim, next());
+          access.dims.push_back(dim);
+        }
+        for (int64_t d = 0; d < rank; ++d) {
+          TFE_ASSIGN_OR_RETURN(int64_t stride, next());
+          access.strides.push_back(stride);
+        }
+      }
+      TFE_RETURN_IF_ERROR(ValidateAccess(access, eval_count, what));
+      return access;
+    };
+    for (int64_t s = 0; s < program.num_operands; ++s) {
+      MicroOperandSlot slot;
+      TFE_ASSIGN_OR_RETURN(slot.input, next());
+      if (slot.input < 0) {
+        return InvalidArgument("FusedElementwise slot input out of range");
+      }
+      TFE_ASSIGN_OR_RETURN(slot.access, decode_access("operand slot"));
+      program.slots.push_back(std::move(slot));
+    }
+    TFE_ASSIGN_OR_RETURN(int64_t num_insts, next());
+    if (num_insts < 0) {
+      return InvalidArgument("Malformed FusedElementwise program header");
+    }
+    for (int64_t i = 0; i < num_insts; ++i) {
+      MicroInst inst;
+      TFE_ASSIGN_OR_RETURN(int64_t opcode, next());
+      if (opcode < static_cast<int64_t>(MicroOpCode::kAdd) ||
+          opcode > static_cast<int64_t>(MicroOpCode::kCast)) {
+        return InvalidArgument("Unknown FusedElementwise opcode");
+      }
+      inst.opcode = static_cast<MicroOpCode>(opcode);
+      TFE_ASSIGN_OR_RETURN(int64_t a, next());
+      TFE_ASSIGN_OR_RETURN(int64_t b, next());
+      const int64_t limit = program.num_operands + i;
+      if (a < 0 || a >= limit || b < 0 || b >= limit) {
+        return InvalidArgument("FusedElementwise register out of range");
+      }
+      inst.a = static_cast<int32_t>(a);
+      inst.b = static_cast<int32_t>(b);
+      program.insts.push_back(inst);
+    }
+    TFE_ASSIGN_OR_RETURN(int64_t num_outputs, next());
+    if (num_outputs < 0) {
+      return InvalidArgument("Malformed FusedElementwise output count");
+    }
+    for (int64_t o = 0; o < num_outputs; ++o) {
+      MicroOutputSpec spec;
+      TFE_ASSIGN_OR_RETURN(int64_t reg, next());
+      if (reg < 0 || reg >= program.num_registers()) {
+        return InvalidArgument("FusedElementwise output register out of range");
+      }
+      spec.reg = static_cast<int32_t>(reg);
+      TFE_ASSIGN_OR_RETURN(int64_t shape_rank, next());
+      if (shape_rank < 0 || shape_rank > kMaxAccessRank) {
+        return InvalidArgument("FusedElementwise output rank out of range");
+      }
+      for (int64_t d = 0; d < shape_rank; ++d) {
+        TFE_ASSIGN_OR_RETURN(int64_t dim, next());
+        if (dim < 0) {
+          return InvalidArgument("FusedElementwise output dim out of range");
+        }
+        spec.shape.push_back(dim);
+      }
+      TFE_ASSIGN_OR_RETURN(spec.store, decode_access("output store"));
+      const int64_t shape_count = ProductOf(spec.shape);
+      switch (spec.store.kind) {
+        case MicroAccessKind::kScalar:
+          if (shape_count != 1) {
+            return InvalidArgument("FusedElementwise scalar output not scalar");
+          }
+          break;
+        case MicroAccessKind::kStrided:
+          if (MaxAccessOffset(spec.store) >= shape_count) {
+            return InvalidArgument(
+                "FusedElementwise output store escapes the output buffer");
+          }
+          break;
+        default:
+          if (shape_count != eval_count) {
+            return InvalidArgument(
+                "FusedElementwise contiguous output shape mismatch");
+          }
+          break;
+      }
+      program.outputs.push_back(spec.reg);
+      program.output_specs.push_back(std::move(spec));
+    }
+    TFE_ASSIGN_OR_RETURN(int64_t reduce_kind, next());
+    if (reduce_kind < static_cast<int64_t>(MicroReduceKind::kNone) ||
+        reduce_kind > static_cast<int64_t>(MicroReduceKind::kMin)) {
+      return InvalidArgument("FusedElementwise reduce kind out of range");
+    }
+    program.reduce.kind = static_cast<MicroReduceKind>(reduce_kind);
+    if (program.reduce.kind != MicroReduceKind::kNone) {
+      TFE_ASSIGN_OR_RETURN(int64_t src, next());
+      if (src < 0 || src >= program.num_registers()) {
+        return InvalidArgument("FusedElementwise reduce register out of range");
+      }
+      program.reduce.src = static_cast<int32_t>(src);
+      TFE_ASSIGN_OR_RETURN(program.reduce.reduce_count, next());
+      if (program.reduce.reduce_count < 1) {
+        return InvalidArgument("FusedElementwise reduce count out of range");
+      }
+      TFE_ASSIGN_OR_RETURN(int64_t out_rank, next());
+      if (out_rank < 0 || out_rank > kMaxAccessRank) {
+        return InvalidArgument("FusedElementwise reduce rank out of range");
+      }
+      for (int64_t d = 0; d < out_rank; ++d) {
+        TFE_ASSIGN_OR_RETURN(int64_t dim, next());
+        if (dim < 0) {
+          return InvalidArgument("FusedElementwise reduce dim out of range");
+        }
+        program.reduce.shape.push_back(dim);
+      }
+      if (ProductOf(program.reduce.shape) * program.reduce.reduce_count !=
+          eval_count) {
+        return InvalidArgument(
+            "FusedElementwise reduce does not tile the evaluation space");
+      }
+    }
+    if (program.insts.empty() && program.outputs.empty() &&
+        program.reduce.kind == MicroReduceKind::kNone) {
+      return InvalidArgument("FusedElementwise program computes nothing");
+    }
+    if (pos != encoded.size()) {
+      return InvalidArgument("Trailing data in FusedElementwise program");
+    }
+    return program;
+  }
+
   TFE_ASSIGN_OR_RETURN(program.num_operands, next());
   TFE_ASSIGN_OR_RETURN(int64_t num_insts, next());
   if (program.num_operands < 0 || num_insts <= 0) {
@@ -140,6 +409,494 @@ bool MicroOpSupports(MicroOpCode code, DType dtype) {
   }
 }
 
+bool MicroLayoutOp(const std::string& op_name) {
+  return op_name == "Transpose" || op_name == "Reshape" ||
+         op_name == "ExpandDims" || op_name == "Squeeze";
+}
+
+bool MicroReduceKindFor(const std::string& op_name, MicroReduceKind* kind) {
+  if (op_name == "Sum") {
+    *kind = MicroReduceKind::kSum;
+  } else if (op_name == "Mean") {
+    *kind = MicroReduceKind::kMean;
+  } else if (op_name == "Max") {
+    *kind = MicroReduceKind::kMax;
+  } else if (op_name == "Min") {
+    *kind = MicroReduceKind::kMin;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool BroadcastsTo(const Shape& shape, const Shape& out) {
+  if (shape.rank() > out.rank()) return false;
+  for (int i = 0; i < shape.rank(); ++i) {
+    const int64_t sd = shape.dims()[shape.rank() - 1 - i];
+    const int64_t od = out.dims()[out.rank() - 1 - i];
+    if (sd != od && sd != 1) return false;
+  }
+  return true;
+}
+
+// ---- Run compiler ----------------------------------------------------------
+
+namespace {
+
+// Where a member's value lives relative to the flat evaluation index.
+// Flat: the member's buffer offset IS the evaluation index. Otherwise the
+// evaluation walks the member's dims in permuted order: evaluation dim d
+// advances the member's dim dim_of[d]. The map invariant (checked by
+// ValidateIndexMap) is that dim_of is injective over the member's rank and
+// the permuted dims reproduce the evaluation dims exactly.
+struct IndexMap {
+  bool flat = true;
+  std::vector<int> dim_of;
+
+  bool operator==(const IndexMap& o) const {
+    return flat == o.flat && dim_of == o.dim_of;
+  }
+};
+
+bool ValidateIndexMap(const IndexMap& m, const Shape& node_shape,
+                      const std::vector<int64_t>& eval_dims) {
+  if (m.flat) return true;
+  const int rank = node_shape.rank();
+  if (static_cast<int>(m.dim_of.size()) != static_cast<int>(eval_dims.size()) ||
+      rank != static_cast<int>(eval_dims.size())) {
+    return false;
+  }
+  std::vector<char> used(rank, 0);
+  for (size_t d = 0; d < m.dim_of.size(); ++d) {
+    const int nd = m.dim_of[d];
+    if (nd < 0 || nd >= rank || used[nd]) return false;
+    used[nd] = 1;
+    if (node_shape.dims()[nd] != eval_dims[d]) return false;
+  }
+  return true;
+}
+
+IndexMap NormalizeIndexMap(IndexMap m, const Shape& node_shape,
+                           const std::vector<int64_t>& eval_dims) {
+  if (m.flat) return m;
+  if (node_shape.dims() != eval_dims) return m;
+  for (size_t d = 0; d < m.dim_of.size(); ++d) {
+    if (m.dim_of[d] != static_cast<int>(d)) return m;
+  }
+  m.flat = true;
+  m.dim_of.clear();
+  return m;
+}
+
+bool IsPermutation(const std::vector<int64_t>& perm, int rank) {
+  if (static_cast<int>(perm.size()) != rank) return false;
+  std::vector<char> used(rank, 0);
+  for (int64_t p : perm) {
+    if (p < 0 || p >= rank || used[p]) return false;
+    used[p] = 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<CompiledRun> CompileFusedRun(
+    const std::vector<FusedRunOp>& ops,
+    const std::vector<FusedRunOperand>& operands, DType run_dtype) {
+  const int n = static_cast<int>(ops.size());
+  if (n < 2) return InvalidArgument("fused run needs at least two members");
+  if (!MicroOpSupports(MicroOpCode::kAdd, run_dtype)) {
+    return InvalidArgument("fused run dtype is not numeric");
+  }
+
+  enum class Member { kCompute, kLayout, kReduce };
+  std::vector<Member> kind(n, Member::kCompute);
+  std::vector<MicroOpCode> code(n, MicroOpCode::kAdd);
+  MicroReduceKind reduce_kind = MicroReduceKind::kNone;
+  for (int i = 0; i < n; ++i) {
+    if (MicroOpCodeFor(ops[i].op, &code[i])) {
+      kind[i] = Member::kCompute;
+    } else if (MicroLayoutOp(ops[i].op)) {
+      kind[i] = Member::kLayout;
+    } else if (MicroReduceKindFor(ops[i].op, &reduce_kind)) {
+      kind[i] = Member::kReduce;
+      if (i != n - 1) {
+        return InvalidArgument("reduction must terminate the fused run");
+      }
+    } else {
+      return InvalidArgument("op is not fusable: " + ops[i].op);
+    }
+    if (!ops[i].shape.IsFullyDefined()) {
+      return InvalidArgument("fused run member shape not fully defined");
+    }
+    const size_t want_args =
+        kind[i] == Member::kCompute ? MicroOpArity(code[i]) : 1;
+    if (ops[i].args.size() != want_args) {
+      return InvalidArgument("fused run member arity mismatch");
+    }
+    for (const FusedRunArg& a : ops[i].args) {
+      const bool is_producer = a.producer >= 0 && a.producer < i;
+      const bool is_operand =
+          a.operand >= 0 && a.operand < static_cast<int>(operands.size());
+      if (is_producer == is_operand) {
+        return InvalidArgument("fused run argument unresolved");
+      }
+    }
+  }
+
+  // The evaluation space: the reduction's input shape when a reduction
+  // terminates the run, else the last member's shape.
+  const bool has_reduce = kind[n - 1] == Member::kReduce;
+  Shape eval_shape;
+  int64_t reduce_count = 1;
+  if (has_reduce) {
+    const FusedRunArg& arg = ops[n - 1].args[0];
+    if (arg.producer < 0) {
+      return InvalidArgument("fused reduction input must be in-run");
+    }
+    eval_shape = ops[arg.producer].shape;
+    std::vector<int64_t> axes = ops[n - 1].axes;
+    for (int64_t& ax : axes) {
+      if (ax < 0) ax += eval_shape.rank();
+      if (ax < 0 || ax >= eval_shape.rank()) {
+        return InvalidArgument("fused reduction axis out of range");
+      }
+    }
+    std::sort(axes.begin(), axes.end());
+    axes.erase(std::unique(axes.begin(), axes.end()), axes.end());
+    if (axes.empty()) {
+      for (int d = 0; d < eval_shape.rank(); ++d) axes.push_back(d);
+    }
+    // Only a trailing block of axes keeps the reduced elements contiguous in
+    // evaluation order; anything else falls back to the standalone kernel.
+    const int k = static_cast<int>(axes.size());
+    for (int j = 0; j < k; ++j) {
+      if (axes[j] != eval_shape.rank() - k + j) {
+        return InvalidArgument("fused reduction must reduce trailing axes");
+      }
+    }
+    for (int64_t ax : axes) reduce_count *= eval_shape.dims()[ax];
+    if (reduce_count < 1) reduce_count = 1;
+    if (ops[n - 1].shape.num_elements() * reduce_count !=
+        eval_shape.num_elements()) {
+      return InvalidArgument("fused reduction output does not tile the input");
+    }
+    if (ops[n - 1].dtype != run_dtype) {
+      return InvalidArgument("fused run member dtype mismatch");
+    }
+  } else {
+    eval_shape = ops[n - 1].shape;
+  }
+  const int64_t count = eval_shape.num_elements();
+  if (count <= 0) return InvalidArgument("fused run over an empty tensor");
+
+  const int limit = has_reduce ? n - 1 : n;
+  std::vector<char> scalar(n, 0);
+  for (int i = 0; i < limit; ++i) {
+    scalar[i] = ops[i].shape.num_elements() == 1;
+    if (ops[i].dtype != run_dtype) {
+      return InvalidArgument("fused run member dtype mismatch");
+    }
+    if (!scalar[i] && ops[i].shape.num_elements() != count) {
+      return InvalidArgument("fused run member count mismatch");
+    }
+    if (kind[i] == Member::kCompute && !MicroOpSupports(code[i], run_dtype)) {
+      return InvalidArgument("fused run opcode unsupported for dtype");
+    }
+  }
+
+  // Backward index-map analysis: walk members last-to-first (every consumer
+  // of a producer has a larger index, so all proposals for a member precede
+  // its own processing) and assign each member the map its consumers need.
+  // Conflicting needs — one consumer wants the value flat, another wants it
+  // transposed — are unsupported; the caller falls back.
+  const std::vector<int64_t>& eval_dims = eval_shape.dims();
+  std::vector<IndexMap> psi(n);
+  std::vector<char> psi_set(n, 0);
+  auto propose = [&](int p, const IndexMap& m) -> bool {
+    if (scalar[p]) return true;  // index-independent
+    if (!ValidateIndexMap(m, ops[p].shape, eval_dims)) return false;
+    if (!psi_set[p]) {
+      psi[p] = m;
+      psi_set[p] = 1;
+      return true;
+    }
+    return psi[p] == m;
+  };
+  for (int i = n - 1; i >= 0; --i) {
+    if (kind[i] == Member::kReduce) {
+      if (!propose(ops[i].args[0].producer, IndexMap{})) {
+        return InvalidArgument("fused run has conflicting layouts");
+      }
+      continue;
+    }
+    if (scalar[i]) continue;  // its inputs are scalars too
+    if (!psi_set[i]) {
+      psi[i] = IndexMap{};  // unconsumed in-run: evaluate flat
+      psi_set[i] = 1;
+    }
+    const IndexMap m = psi[i];
+    if (kind[i] == Member::kCompute) {
+      for (const FusedRunArg& a : ops[i].args) {
+        if (a.producer < 0 || scalar[a.producer]) continue;
+        if (!(ops[a.producer].shape == ops[i].shape) ||
+            !propose(a.producer, m)) {
+          return InvalidArgument("fused run has conflicting layouts");
+        }
+      }
+      continue;
+    }
+    // Layout member: compose its index transform into the producer's map.
+    // External-operand inputs are handled at emission (a load descriptor is
+    // more flexible than a register map).
+    const FusedRunArg& a = ops[i].args[0];
+    if (a.producer < 0 || scalar[a.producer]) continue;
+    const int p = a.producer;
+    if (ops[i].op == "Transpose") {
+      const std::vector<int64_t>& perm = ops[i].perm;
+      const int rank = ops[i].shape.rank();
+      if (!IsPermutation(perm, rank) || ops[p].shape.rank() != rank) {
+        return InvalidArgument("fused transpose perm malformed");
+      }
+      for (int d = 0; d < rank; ++d) {
+        if (ops[p].shape.dims()[perm[d]] != ops[i].shape.dims()[d]) {
+          return InvalidArgument("fused transpose shape mismatch");
+        }
+      }
+      IndexMap pm;
+      pm.flat = false;
+      if (m.flat) {
+        pm.dim_of.assign(perm.begin(), perm.end());
+      } else {
+        pm.dim_of.resize(m.dim_of.size());
+        for (size_t d = 0; d < m.dim_of.size(); ++d) {
+          pm.dim_of[d] = static_cast<int>(perm[m.dim_of[d]]);
+        }
+      }
+      pm = NormalizeIndexMap(std::move(pm), ops[p].shape, eval_dims);
+      if (!propose(p, pm)) {
+        return InvalidArgument("fused run has conflicting layouts");
+      }
+    } else {
+      // Reshape/ExpandDims/Squeeze share the producer's buffer verbatim, so
+      // they are exactly the flat map; under a permuted map the producer's
+      // register would need a walk its own dims cannot express.
+      if (!m.flat || !propose(p, IndexMap{})) {
+        return InvalidArgument("fused run has conflicting layouts");
+      }
+    }
+  }
+
+  // ---- Emission ----
+  CompiledRun out;
+  MicroProgram& prog = out.program;
+  prog.extended = true;
+  prog.eval_dims = eval_dims;
+
+  auto slot_for = [&](int64_t input, MicroAccess access) -> int32_t {
+    // Collapse a strided descriptor that is actually contiguous (the walk
+    // visits offsets 0..count-1 in order whenever strides are row-major for
+    // its own dims, whatever those dims are).
+    if (access.kind == MicroAccessKind::kStrided &&
+        access.strides == RowMajorStrides(access.dims)) {
+      access = MicroAccess{MicroAccessKind::kContiguous, {}, {}};
+    }
+    for (size_t s = 0; s < prog.slots.size(); ++s) {
+      if (prog.slots[s].input == input && prog.slots[s].access == access) {
+        return static_cast<int32_t>(s);
+      }
+    }
+    prog.slots.push_back(MicroOperandSlot{input, std::move(access)});
+    return static_cast<int32_t>(prog.slots.size() - 1);
+  };
+
+  // Access descriptor for an external operand of a compute member.
+  auto compute_operand_access = [&](int oi, int member) -> StatusOr<MicroAccess> {
+    const FusedRunOperand& od = operands[oi];
+    if (od.shape.num_elements() == 1) {
+      return MicroAccess{MicroAccessKind::kScalar, {}, {}};
+    }
+    const Shape& node_shape = ops[member].shape;
+    if (!BroadcastsTo(od.shape, node_shape)) {
+      return InvalidArgument("fused operand does not broadcast to the member");
+    }
+    std::vector<int64_t> b = BroadcastStrides(od.shape, node_shape);
+    const IndexMap& m = psi[member];
+    MicroAccess access;
+    access.kind = MicroAccessKind::kStrided;
+    if (m.flat) {
+      access.dims = node_shape.dims();
+      access.strides = std::move(b);
+    } else {
+      access.dims = eval_dims;
+      access.strides.resize(eval_dims.size());
+      for (size_t d = 0; d < eval_dims.size(); ++d) {
+        access.strides[d] = b[m.dim_of[d]];
+      }
+    }
+    return access;
+  };
+
+  // Access descriptor for an external operand read through a layout member.
+  auto layout_operand_access = [&](int oi, int member) -> StatusOr<MicroAccess> {
+    const FusedRunOperand& od = operands[oi];
+    if (od.dtype != run_dtype) {
+      return InvalidArgument("fused layout member cannot cast");
+    }
+    if (od.shape.num_elements() == 1) {
+      return MicroAccess{MicroAccessKind::kScalar, {}, {}};
+    }
+    if (od.shape.num_elements() != ops[member].shape.num_elements()) {
+      return InvalidArgument("fused layout operand count mismatch");
+    }
+    const IndexMap& m = psi[member];
+    MicroAccess access;
+    access.kind = MicroAccessKind::kStrided;
+    if (ops[member].op == "Transpose") {
+      const std::vector<int64_t>& perm = ops[member].perm;
+      const int rank = ops[member].shape.rank();
+      if (!IsPermutation(perm, rank) || od.shape.rank() != rank) {
+        return InvalidArgument("fused transpose perm malformed");
+      }
+      std::vector<int64_t> in_rm = RowMajorStrides(od.shape.dims());
+      std::vector<int64_t> walk(rank);
+      for (int d = 0; d < rank; ++d) {
+        if (od.shape.dims()[perm[d]] != ops[member].shape.dims()[d]) {
+          return InvalidArgument("fused transpose shape mismatch");
+        }
+        walk[d] = in_rm[perm[d]];
+      }
+      if (m.flat) {
+        access.dims = ops[member].shape.dims();
+        access.strides = std::move(walk);
+      } else {
+        access.dims = eval_dims;
+        access.strides.resize(eval_dims.size());
+        for (size_t d = 0; d < eval_dims.size(); ++d) {
+          access.strides[d] = walk[m.dim_of[d]];
+        }
+      }
+    } else {
+      if (m.flat) {
+        return MicroAccess{MicroAccessKind::kContiguous, {}, {}};
+      }
+      std::vector<int64_t> node_rm = RowMajorStrides(ops[member].shape.dims());
+      access.dims = eval_dims;
+      access.strides.resize(eval_dims.size());
+      for (size_t d = 0; d < eval_dims.size(); ++d) {
+        access.strides[d] = node_rm[m.dim_of[d]];
+      }
+    }
+    return access;
+  };
+
+  // Pass 1: resolve every argument to a slot or a producer, creating slots
+  // in first-use order (slot ids must be final before registers number).
+  struct ArgRef {
+    bool is_slot = false;
+    int32_t index = 0;  // slot id, or producer member index
+  };
+  std::vector<std::array<ArgRef, 2>> arg_refs(n);
+  for (int i = 0; i < limit; ++i) {
+    if (kind[i] == Member::kCompute) {
+      const int arity = MicroOpArity(code[i]);
+      for (int k = 0; k < arity; ++k) {
+        const FusedRunArg& a = ops[i].args[k];
+        if (a.producer >= 0) {
+          arg_refs[i][k] = {false, a.producer};
+          continue;
+        }
+        const FusedRunOperand& od = operands[a.operand];
+        if (od.dtype != run_dtype) {
+          if (code[i] != MicroOpCode::kCast ||
+              !MicroOpSupports(MicroOpCode::kCast, od.dtype)) {
+            return InvalidArgument(
+                "fused operand dtype readable only by a cast");
+          }
+          out.has_cast = true;
+        }
+        TFE_ASSIGN_OR_RETURN(MicroAccess access,
+                             compute_operand_access(a.operand, i));
+        arg_refs[i][k] = {true, slot_for(a.operand, std::move(access))};
+      }
+      if (code[i] == MicroOpCode::kCast) out.has_cast = true;
+    } else {  // layout
+      const FusedRunArg& a = ops[i].args[0];
+      if (a.producer >= 0) {
+        if (ops[a.producer].dtype != run_dtype) {
+          return InvalidArgument("fused layout member cannot cast");
+        }
+        arg_refs[i][0] = {false, a.producer};
+      } else {
+        TFE_ASSIGN_OR_RETURN(MicroAccess access,
+                             layout_operand_access(a.operand, i));
+        arg_refs[i][0] = {true, slot_for(a.operand, std::move(access))};
+      }
+    }
+  }
+  prog.num_operands = static_cast<int64_t>(prog.slots.size());
+  if (prog.num_operands < 1) {
+    return InvalidArgument("fused run reads no operands");
+  }
+
+  // Pass 2: emit instructions and resolve member registers.
+  std::vector<int32_t> reg_of(n, -1);
+  for (int i = 0; i < limit; ++i) {
+    auto resolve = [&](const ArgRef& r) -> int32_t {
+      return r.is_slot ? r.index : reg_of[r.index];
+    };
+    if (kind[i] == Member::kCompute) {
+      MicroInst inst;
+      inst.opcode = code[i];
+      inst.a = resolve(arg_refs[i][0]);
+      inst.b = MicroOpArity(code[i]) == 2 ? resolve(arg_refs[i][1]) : inst.a;
+      reg_of[i] = static_cast<int32_t>(prog.num_operands + prog.insts.size());
+      prog.insts.push_back(inst);
+    } else {
+      reg_of[i] = resolve(arg_refs[i][0]);
+    }
+  }
+
+  // Outputs: every materialized member, in member order; the reduction's
+  // output (when present) is the extra last kernel output.
+  for (int i = 0; i < limit; ++i) {
+    if (!ops[i].materialize) continue;
+    MicroOutputSpec spec;
+    spec.reg = reg_of[i];
+    spec.shape = ops[i].shape.dims();
+    if (scalar[i]) {
+      spec.store.kind = MicroAccessKind::kScalar;
+    } else if (psi[i].flat) {
+      spec.store.kind = MicroAccessKind::kContiguous;
+    } else {
+      std::vector<int64_t> node_rm = RowMajorStrides(ops[i].shape.dims());
+      spec.store.kind = MicroAccessKind::kStrided;
+      spec.store.dims = eval_dims;
+      spec.store.strides.resize(eval_dims.size());
+      for (size_t d = 0; d < eval_dims.size(); ++d) {
+        spec.store.strides[d] = node_rm[psi[i].dim_of[d]];
+      }
+    }
+    prog.outputs.push_back(spec.reg);
+    prog.output_specs.push_back(std::move(spec));
+    out.output_members.push_back(i);
+  }
+  if (has_reduce) {
+    prog.reduce.kind = reduce_kind;
+    prog.reduce.src = reg_of[ops[n - 1].args[0].producer];
+    prog.reduce.reduce_count = reduce_count;
+    prog.reduce.shape = ops[n - 1].shape.dims();
+    out.output_members.push_back(n - 1);
+    out.has_reduce = true;
+  }
+  if (out.output_members.empty()) {
+    return InvalidArgument("fused run materializes nothing");
+  }
+  return out;
+}
+
+// ---- Interpreter -----------------------------------------------------------
+
 namespace {
 
 // Below this many output elements a fused shard is not worth a pool hop.
@@ -148,8 +905,10 @@ constexpr int64_t kFusedGrainElements = 16 * 1024;
 // Elements interpreted per block. The interpreter dispatches each micro-op
 // once per block and then runs a tight loop the compiler can vectorize; the
 // hot registers (an instruction's operands are almost always recent results)
-// stay cache-resident at this size.
+// stay cache-resident at this size. Must divide kReduceChunkElements so
+// reduction chunk boundaries always land on block boundaries.
 constexpr int64_t kFusedBlockElements = 512;
+static_assert(kReduceChunkElements % kFusedBlockElements == 0);
 
 // Strides are 0 (broadcast scalar) or 1, so specializing the four cases
 // keeps every loop body a unit-stride read the vectorizer understands.
@@ -179,107 +938,311 @@ void UnaryBlock(const T* a, int sa, T* out, int64_t len) {
   }
 }
 
-// One traversal of the output index space, blocked: for each block, every
-// instruction runs as one tight loop writing its own register row, and the
-// published registers are copied to the kernel outputs.
+// Gathers `len` evaluation-contiguous elements starting at flat index `base`
+// from a strided walk into the contiguous row `out`, odometer-style (the
+// same walk TransposeKernel does, generalized to broadcast strides).
+template <typename T>
+void GatherBlock(const MicroAccess& access, const T* src, int64_t base,
+                 int64_t len, T* out, std::vector<int64_t>& coord) {
+  const int rank = static_cast<int>(access.dims.size());
+  if (rank == 0) {
+    for (int64_t i = 0; i < len; ++i) out[i] = src[0];
+    return;
+  }
+  int64_t rem = base;
+  int64_t off = 0;
+  for (int d = rank - 1; d >= 0; --d) {
+    coord[d] = rem % access.dims[d];
+    rem /= access.dims[d];
+    off += coord[d] * access.strides[d];
+  }
+  for (int64_t i = 0; i < len; ++i) {
+    out[i] = src[off];
+    for (int d = rank - 1; d >= 0; --d) {
+      off += access.strides[d];
+      if (++coord[d] < access.dims[d]) break;
+      coord[d] = 0;
+      off -= access.strides[d] * access.dims[d];
+    }
+  }
+}
+
+// Scatter counterpart of GatherBlock for permuted output stores.
+template <typename T>
+void ScatterBlock(const MicroAccess& access, T* dst, int64_t base, int64_t len,
+                  const T* row, int64_t row_stride,
+                  std::vector<int64_t>& coord) {
+  const int rank = static_cast<int>(access.dims.size());
+  if (rank == 0) {
+    if (base == 0 && len > 0) dst[0] = row[0];
+    return;
+  }
+  int64_t rem = base;
+  int64_t off = 0;
+  for (int d = rank - 1; d >= 0; --d) {
+    coord[d] = rem % access.dims[d];
+    rem /= access.dims[d];
+    off += coord[d] * access.strides[d];
+  }
+  for (int64_t i = 0; i < len; ++i) {
+    dst[off] = row[i * row_stride];
+    for (int d = rank - 1; d >= 0; --d) {
+      off += access.strides[d];
+      if (++coord[d] < access.dims[d]) break;
+      coord[d] = 0;
+      off -= access.strides[d] * access.dims[d];
+    }
+  }
+}
+
+// A slot resolved against the kernel's (possibly dtype-converted) inputs.
+template <typename T>
+struct ResolvedSlot {
+  const T* base = nullptr;
+  int stride = 1;              // 0 = broadcast scalar (non-gather slots only)
+  int gather = -1;             // >= 0: index of this slot's gather row
+  const MicroAccess* access = nullptr;  // gather slots only
+};
+
+template <typename T>
+struct ResolvedOutput {
+  T* data = nullptr;
+  MicroAccessKind kind = MicroAccessKind::kAuto;
+  const MicroAccess* store = nullptr;  // kStrided only
+  int32_t reg = 0;
+};
+
+ReduceAccumKind AccumKindOf(MicroReduceKind kind) {
+  switch (kind) {
+    case MicroReduceKind::kMax:
+      return ReduceAccumKind::kMax;
+    case MicroReduceKind::kMin:
+      return ReduceAccumKind::kMin;
+    default:
+      return ReduceAccumKind::kSum;  // Sum and Mean accumulate alike
+  }
+}
+
+// One traversal of the evaluation space, blocked: for each block, gather
+// rows for strided slots, run every instruction as one tight loop writing
+// its own register row, store the published registers, and (for map-reduce
+// programs) fold the reduction source into the owning chunk partial.
 template <typename T>
 void RunTyped(EagerContext* ectx, const MicroProgram& program,
-              const std::vector<const T*>& operands,
-              const std::vector<int>& operand_stride,
-              const std::vector<T*>& outputs, int64_t count) {
-  const int64_t num_blocks =
-      (count + kFusedBlockElements - 1) / kFusedBlockElements;
-  const int64_t min_blocks =
-      std::max<int64_t>(1, kFusedGrainElements / kFusedBlockElements);
-  // Rows shrink with the tensor so a long program over a tiny tensor does
-  // not pay for (and zero-init) full 512-element registers.
+              const std::vector<ResolvedSlot<T>>& slots, int num_gather_rows,
+              const std::vector<ResolvedOutput<T>>& outputs, T* reduce_out,
+              int64_t count) {
+  if (count <= 0) return;
   const int64_t row_elements = std::min(kFusedBlockElements, count);
-  ParallelFor(ectx, num_blocks, min_blocks, [&](int64_t block_begin,
-                                                int64_t block_end) {
-    // One block-length row per instruction result, owned by the shard.
-    std::vector<T> regs(program.insts.size() * row_elements);
-    for (int64_t block = block_begin; block < block_end; ++block) {
-      const int64_t base = block * kFusedBlockElements;
-      const int64_t len = std::min(kFusedBlockElements, count - base);
-      // Register -> (pointer, stride) within this block.
-      auto src = [&](int32_t r) -> std::pair<const T*, int> {
-        if (r < program.num_operands) {
-          return {operands[r] + (operand_stride[r] != 0 ? base : 0),
-                  operand_stride[r]};
+  int max_rank = 0;
+  for (const ResolvedSlot<T>& slot : slots) {
+    if (slot.access) {
+      max_rank = std::max(max_rank, static_cast<int>(slot.access->dims.size()));
+    }
+  }
+  for (const ResolvedOutput<T>& o : outputs) {
+    if (o.store) {
+      max_rank = std::max(max_rank, static_cast<int>(o.store->dims.size()));
+    }
+  }
+  const bool has_reduce = program.reduce.kind != MicroReduceKind::kNone;
+  const ReduceAccumKind rkind = AccumKindOf(program.reduce.kind);
+
+  struct Scratch {
+    std::vector<T> rows;
+    std::vector<int64_t> coord;
+  };
+  const size_t scratch_rows = num_gather_rows + program.insts.size();
+  auto make_scratch = [&]() {
+    return Scratch{std::vector<T>(scratch_rows * row_elements),
+                   std::vector<int64_t>(std::max(max_rank, 1))};
+  };
+
+  // `partial`, when non-null, receives the reduction source over this block.
+  auto interpret_block = [&](Scratch& s, int64_t base, int64_t len,
+                             T* partial) {
+    T* gather_rows = s.rows.data();
+    T* inst_rows = gather_rows + num_gather_rows * row_elements;
+    auto src = [&](int32_t r) -> std::pair<const T*, int> {
+      if (r < program.num_operands) {
+        const ResolvedSlot<T>& slot = slots[r];
+        if (slot.gather >= 0) {
+          return {gather_rows + slot.gather * row_elements, 1};
         }
-        return {regs.data() + (r - program.num_operands) * row_elements, 1};
-      };
-      for (size_t j = 0; j < program.insts.size(); ++j) {
-        const MicroInst& inst = program.insts[j];
-        auto [pa, sa] = src(inst.a);
-        T* out = regs.data() + j * row_elements;
-        if (MicroOpArity(inst.opcode) == 2) {
-          auto [pb, sb] = src(inst.b);
-          using namespace functors;  // NOLINT(build/namespaces)
-          switch (inst.opcode) {
+        return {slot.base + (slot.stride != 0 ? base : 0), slot.stride};
+      }
+      return {inst_rows + (r - program.num_operands) * row_elements, 1};
+    };
+    for (int32_t r = 0; r < program.num_operands; ++r) {
+      const ResolvedSlot<T>& slot = slots[r];
+      if (slot.gather >= 0) {
+        GatherBlock(*slot.access, slot.base, base, len,
+                    gather_rows + slot.gather * row_elements, s.coord);
+      }
+    }
+    for (size_t j = 0; j < program.insts.size(); ++j) {
+      const MicroInst& inst = program.insts[j];
+      auto [pa, sa] = src(inst.a);
+      T* out = inst_rows + j * row_elements;
+      if (MicroOpArity(inst.opcode) == 2) {
+        auto [pb, sb] = src(inst.b);
+        using namespace functors;  // NOLINT(build/namespaces)
+        switch (inst.opcode) {
 #define TFE_FUSED_BINARY_CASE(code, F)        \
   case MicroOpCode::code:                     \
     BinaryBlock<F, T>(pa, sa, pb, sb, out, len); \
     break;
-            TFE_FUSED_BINARY_CASE(kAdd, AddF)
-            TFE_FUSED_BINARY_CASE(kSub, SubF)
-            TFE_FUSED_BINARY_CASE(kMul, MulF)
-            TFE_FUSED_BINARY_CASE(kDiv, DivF)
-            TFE_FUSED_BINARY_CASE(kMaximum, MaximumF)
-            TFE_FUSED_BINARY_CASE(kMinimum, MinimumF)
-            TFE_FUSED_BINARY_CASE(kSquaredDifference, SquaredDifferenceF)
-            TFE_FUSED_BINARY_CASE(kPow, PowF)
+          TFE_FUSED_BINARY_CASE(kAdd, AddF)
+          TFE_FUSED_BINARY_CASE(kSub, SubF)
+          TFE_FUSED_BINARY_CASE(kMul, MulF)
+          TFE_FUSED_BINARY_CASE(kDiv, DivF)
+          TFE_FUSED_BINARY_CASE(kMaximum, MaximumF)
+          TFE_FUSED_BINARY_CASE(kMinimum, MinimumF)
+          TFE_FUSED_BINARY_CASE(kSquaredDifference, SquaredDifferenceF)
+          TFE_FUSED_BINARY_CASE(kPow, PowF)
 #undef TFE_FUSED_BINARY_CASE
-            default:
-              break;  // unreachable; arity == 2 covers exactly these
-          }
-        } else {
-          using namespace functors;  // NOLINT(build/namespaces)
-          switch (inst.opcode) {
+          default:
+            break;  // unreachable; arity == 2 covers exactly these
+        }
+      } else {
+        using namespace functors;  // NOLINT(build/namespaces)
+        switch (inst.opcode) {
 #define TFE_FUSED_UNARY_CASE(code, F) \
   case MicroOpCode::code:             \
     UnaryBlock<F, T>(pa, sa, out, len); \
     break;
-            TFE_FUSED_UNARY_CASE(kNeg, NegF)
-            TFE_FUSED_UNARY_CASE(kAbs, AbsF)
-            TFE_FUSED_UNARY_CASE(kSquare, SquareF)
-            TFE_FUSED_UNARY_CASE(kSign, SignF)
-            TFE_FUSED_UNARY_CASE(kRelu, ReluF)
-            TFE_FUSED_UNARY_CASE(kExp, ExpF)
-            TFE_FUSED_UNARY_CASE(kLog, LogF)
-            TFE_FUSED_UNARY_CASE(kSqrt, SqrtF)
-            TFE_FUSED_UNARY_CASE(kRsqrt, RsqrtF)
-            TFE_FUSED_UNARY_CASE(kTanh, TanhF)
-            TFE_FUSED_UNARY_CASE(kSigmoid, SigmoidF)
-            TFE_FUSED_UNARY_CASE(kSin, SinF)
-            TFE_FUSED_UNARY_CASE(kCos, CosF)
-            TFE_FUSED_UNARY_CASE(kReciprocal, ReciprocalF)
-            TFE_FUSED_UNARY_CASE(kFloor, FloorF)
+          TFE_FUSED_UNARY_CASE(kNeg, NegF)
+          TFE_FUSED_UNARY_CASE(kAbs, AbsF)
+          TFE_FUSED_UNARY_CASE(kSquare, SquareF)
+          TFE_FUSED_UNARY_CASE(kSign, SignF)
+          TFE_FUSED_UNARY_CASE(kRelu, ReluF)
+          TFE_FUSED_UNARY_CASE(kExp, ExpF)
+          TFE_FUSED_UNARY_CASE(kLog, LogF)
+          TFE_FUSED_UNARY_CASE(kSqrt, SqrtF)
+          TFE_FUSED_UNARY_CASE(kRsqrt, RsqrtF)
+          TFE_FUSED_UNARY_CASE(kTanh, TanhF)
+          TFE_FUSED_UNARY_CASE(kSigmoid, SigmoidF)
+          TFE_FUSED_UNARY_CASE(kSin, SinF)
+          TFE_FUSED_UNARY_CASE(kCos, CosF)
+          TFE_FUSED_UNARY_CASE(kReciprocal, ReciprocalF)
+          TFE_FUSED_UNARY_CASE(kFloor, FloorF)
 #undef TFE_FUSED_UNARY_CASE
-            case MicroOpCode::kCast:
-              // Identity: foreign operands were converted to T up front.
-              if (sa == 1) {
-                std::copy(pa, pa + len, out);
-              } else {
-                std::fill(out, out + len, pa[0]);
-              }
-              break;
-            default:
-              break;  // unreachable; Decode validated the opcode
-          }
-        }
-      }
-      for (size_t o = 0; o < outputs.size(); ++o) {
-        auto [p, stride] = src(program.outputs[o]);
-        T* dst = outputs[o] + base;
-        if (stride == 1) {
-          std::copy(p, p + len, dst);
-        } else {
-          std::fill(dst, dst + len, p[0]);
+          case MicroOpCode::kCast:
+            // Identity: foreign operands were converted to T up front.
+            if (sa == 1) {
+              std::copy(pa, pa + len, out);
+            } else {
+              std::fill(out, out + len, pa[0]);
+            }
+            break;
+          default:
+            break;  // unreachable; Decode validated the opcode
         }
       }
     }
+    for (const ResolvedOutput<T>& o : outputs) {
+      auto [p, stride] = src(o.reg);
+      switch (o.kind) {
+        case MicroAccessKind::kScalar:
+          if (base == 0) o.data[0] = p[0];
+          break;
+        case MicroAccessKind::kStrided:
+          ScatterBlock(*o.store, o.data, base, len, p,
+                       static_cast<int64_t>(stride), s.coord);
+          break;
+        default: {  // kAuto / kContiguous
+          T* dst = o.data + base;
+          if (stride == 1) {
+            std::copy(p, p + len, dst);
+          } else {
+            std::fill(dst, dst + len, p[0]);
+          }
+          break;
+        }
+      }
+    }
+    if (partial) {
+      auto [p, stride] = src(program.reduce.src);
+      ReduceAccumulate(rkind, *partial, p, static_cast<int64_t>(stride), len);
+    }
+  };
+
+  if (!has_reduce) {
+    const int64_t num_blocks =
+        (count + kFusedBlockElements - 1) / kFusedBlockElements;
+    const int64_t min_blocks =
+        std::max<int64_t>(1, kFusedGrainElements / kFusedBlockElements);
+    ParallelFor(ectx, num_blocks, min_blocks,
+                [&](int64_t block_begin, int64_t block_end) {
+                  Scratch s = make_scratch();
+                  for (int64_t block = block_begin; block < block_end;
+                       ++block) {
+                    const int64_t base = block * kFusedBlockElements;
+                    interpret_block(s, base,
+                                    std::min(kFusedBlockElements, count - base),
+                                    nullptr);
+                  }
+                });
+    return;
+  }
+
+  // Map-reduce: the evaluation space is out_count strips of reduce_count
+  // contiguous elements. Each strip uses the canonical chunk/tree geometry
+  // from reduce_util.h, so the result is bitwise identical to the standalone
+  // reduction kernel, serial or sharded.
+  const int64_t rc = program.reduce.reduce_count;
+  const int64_t out_count = count / rc;
+  const int64_t nc = ReduceChunkCount(rc);
+  const T init = ReduceInit<T>(rkind);
+  const bool is_mean = program.reduce.kind == MicroReduceKind::kMean;
+  if (out_count > 1) {
+    // Shards own whole strips (partials, tree, and finalize included).
+    const int64_t min_strips =
+        std::max<int64_t>(1, kFusedGrainElements / std::max<int64_t>(rc, 1));
+    ParallelFor(ectx, out_count, min_strips,
+                [&](int64_t strip_begin, int64_t strip_end) {
+                  Scratch s = make_scratch();
+                  std::vector<T> partials(nc);
+                  for (int64_t strip = strip_begin; strip < strip_end;
+                       ++strip) {
+                    std::fill(partials.begin(), partials.end(), init);
+                    int64_t off = 0;
+                    while (off < rc) {
+                      const int64_t len =
+                          std::min(kFusedBlockElements, rc - off);
+                      interpret_block(s, strip * rc + off, len,
+                                      &partials[off / kReduceChunkElements]);
+                      off += len;
+                    }
+                    T acc = ReduceCombineTree(rkind, partials.data(), nc);
+                    if (is_mean) acc /= static_cast<T>(rc);
+                    reduce_out[strip] = acc;
+                  }
+                });
+    return;
+  }
+  // Full reduction (one strip): shards own disjoint chunk ranges writing a
+  // shared partial array, then a single serial tree combine after the
+  // ParallelFor barrier.
+  std::vector<T> partials(nc, init);
+  const int64_t min_chunks =
+      std::max<int64_t>(1, kFusedGrainElements / kReduceChunkElements);
+  ParallelFor(ectx, nc, min_chunks, [&](int64_t c_begin, int64_t c_end) {
+    Scratch s = make_scratch();
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      T acc = init;
+      const int64_t begin = c * kReduceChunkElements;
+      const int64_t end = std::min(rc, begin + kReduceChunkElements);
+      for (int64_t off = begin; off < end; off += kFusedBlockElements) {
+        interpret_block(s, off, std::min(kFusedBlockElements, end - off),
+                        &acc);
+      }
+      partials[c] = acc;
+    }
   });
+  T acc = ReduceCombineTree(rkind, partials.data(), nc);
+  if (is_mean) acc /= static_cast<T>(rc);
+  reduce_out[0] = acc;
 }
 
 Status FusedElementwiseKernel(KernelContext* ctx) {
@@ -287,9 +1250,6 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
                        ctx->GetAttr<std::vector<int64_t>>("program"));
   TFE_ASSIGN_OR_RETURN(MicroProgram program, MicroProgram::Decode(encoded));
   const std::vector<Tensor>& inputs = ctx->inputs();
-  if (program.num_operands != static_cast<int64_t>(inputs.size())) {
-    return InvalidArgument("FusedElementwise operand count mismatch");
-  }
   if (inputs.empty()) {
     return InvalidArgument("FusedElementwise requires at least one operand");
   }
@@ -297,58 +1257,123 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
   // The run dtype: explicit when the program folds casts (operands may then
   // carry foreign source dtypes), otherwise every operand's shared dtype.
   const DType dtype = ctx->GetAttrOr<DType>("dtype", inputs[0].dtype());
-  Shape out_shape = inputs[0].shape();
-  for (const Tensor& input : inputs) {
-    if (input.num_elements() > out_shape.num_elements()) {
-      out_shape = input.shape();
+
+  int64_t count = 0;
+  Shape legacy_shape;
+  if (program.extended) {
+    count = ProductOf(program.eval_dims);
+    for (const MicroOperandSlot& slot : program.slots) {
+      if (slot.input < 0 ||
+          slot.input >= static_cast<int64_t>(inputs.size())) {
+        return InvalidArgument("FusedElementwise slot input out of range");
+      }
+      const Tensor& input = inputs[slot.input];
+      switch (slot.access.kind) {
+        case MicroAccessKind::kScalar:
+          if (input.num_elements() != 1) {
+            return InvalidArgument(
+                "FusedElementwise scalar slot reads a non-scalar input");
+          }
+          break;
+        case MicroAccessKind::kStrided:
+          if (MaxAccessOffset(slot.access) >= input.num_elements()) {
+            return InvalidArgument(
+                "FusedElementwise strided slot escapes its input");
+          }
+          break;
+        default:  // kAuto / kContiguous
+          if (input.num_elements() != count &&
+              !(slot.access.kind == MicroAccessKind::kAuto &&
+                input.num_elements() == 1)) {
+            return InvalidArgument(
+                "FusedElementwise slot does not cover the evaluation space");
+          }
+          break;
+      }
+    }
+  } else {
+    // v1: slot i reads input i; shapes must match the run shape or be
+    // broadcast scalars, and the run shape is the largest operand's.
+    if (program.num_operands != static_cast<int64_t>(inputs.size())) {
+      return InvalidArgument("FusedElementwise operand count mismatch");
+    }
+    legacy_shape = inputs[0].shape();
+    for (const Tensor& input : inputs) {
+      if (input.num_elements() > legacy_shape.num_elements()) {
+        legacy_shape = input.shape();
+      }
+    }
+    for (const Tensor& input : inputs) {
+      if (input.shape() != legacy_shape && input.num_elements() != 1) {
+        return InvalidArgument(
+            "FusedElementwise operands must match the run shape or be scalars");
+      }
+    }
+    count = legacy_shape.num_elements();
+    program.slots.resize(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      program.slots[i].input = static_cast<int64_t>(i);
+      program.slots[i].access.kind = MicroAccessKind::kAuto;
     }
   }
-  for (const Tensor& input : inputs) {
-    if (input.shape() != out_shape && input.num_elements() != 1) {
-      return InvalidArgument(
-          "FusedElementwise operands must match the run shape or be scalars");
-    }
-  }
+
   // A foreign-dtype operand is legal only as a kCast source; it gets
   // converted to the run dtype before interpretation.
   std::vector<bool> foreign(inputs.size(), false);
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    if (inputs[i].dtype() == dtype) continue;
-    if (!MicroOpSupports(MicroOpCode::kCast, inputs[i].dtype())) {
+  for (const MicroOperandSlot& slot : program.slots) {
+    const Tensor& input = inputs[slot.input];
+    if (input.dtype() == dtype) continue;
+    if (!MicroOpSupports(MicroOpCode::kCast, input.dtype())) {
       return InvalidArgument("FusedElementwise operand dtype mismatch");
     }
-    foreign[i] = true;
+    foreign[slot.input] = true;
   }
+  const auto reads_foreign = [&](int32_t r) {
+    return r < program.num_operands && foreign[program.slots[r].input];
+  };
   for (const MicroInst& inst : program.insts) {
     if (!MicroOpSupports(inst.opcode, dtype)) {
       return InvalidArgument("FusedElementwise opcode unsupported for dtype");
     }
     if (inst.opcode == MicroOpCode::kCast) continue;
-    const auto reads_foreign = [&](int32_t r) {
-      return r < program.num_operands && foreign[r];
-    };
     if (reads_foreign(inst.a) ||
         (MicroOpArity(inst.opcode) == 2 && reads_foreign(inst.b))) {
       return InvalidArgument(
           "FusedElementwise foreign-dtype operand read by a non-cast op");
     }
   }
+  // Published registers (outputs, reduce source) must carry the run dtype.
+  for (int32_t reg : program.outputs) {
+    if (reads_foreign(reg)) {
+      return InvalidArgument(
+          "FusedElementwise foreign-dtype operand published as an output");
+    }
+  }
+  if (program.reduce.kind != MicroReduceKind::kNone &&
+      reads_foreign(program.reduce.src)) {
+    return InvalidArgument(
+        "FusedElementwise foreign-dtype operand fed to the reduction");
+  }
 
   EagerContext* ectx = ctx->eager_context();
   ectx->stats().fused_runs.fetch_add(1, std::memory_order_relaxed);
   ectx->stats().fused_ops.fetch_add(program.insts.size(),
                                     std::memory_order_relaxed);
+  if (program.reduce.kind != MicroReduceKind::kNone) {
+    static profiler::Counter* reduce_runs =
+        profiler::Metrics().GetCounter("fusion.reduce_runs");
+    static const uint32_t reduce_name_id = profiler::Intern("fused_reduce_run");
+    reduce_runs->Increment();
+    profiler::RecordInstant(profiler::EventKind::kFusionRun, reduce_name_id,
+                            static_cast<int64_t>(program.insts.size()) + 1);
+  }
 
-  const int64_t count = out_shape.num_elements();
   TFE_SWITCH_NUMERIC(dtype, T, {
     // Pre-converted storage for foreign (cast-source) operands; the
     // conversion applies the exact static_cast the standalone Cast kernel
     // does, so folded runs stay bitwise identical to op-at-a-time.
-    std::vector<std::vector<T>> converted;
-    std::vector<const T*> operand_ptrs;
-    std::vector<int> operand_stride;
-    operand_ptrs.reserve(inputs.size());
-    operand_stride.reserve(inputs.size());
+    std::vector<std::vector<T>> converted(inputs.size());
+    std::vector<const T*> input_ptrs(inputs.size());
     for (size_t i = 0; i < inputs.size(); ++i) {
       const Tensor& input = inputs[i];
       if (foreign[i]) {
@@ -359,21 +1384,63 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
             buffer[k] = static_cast<T>(in[k]);
           }
         });
-        converted.push_back(std::move(buffer));
-        operand_ptrs.push_back(converted.back().data());
+        converted[i] = std::move(buffer);
+        input_ptrs[i] = converted[i].data();
       } else {
-        operand_ptrs.push_back(input.data<T>());
+        input_ptrs[i] = input.data<T>();
       }
-      operand_stride.push_back(
-          input.num_elements() == 1 && count > 1 ? 0 : 1);
     }
-    std::vector<T*> output_ptrs;
-    output_ptrs.reserve(program.outputs.size());
+    std::vector<ResolvedSlot<T>> slots(program.slots.size());
+    int num_gather_rows = 0;
+    for (size_t s = 0; s < program.slots.size(); ++s) {
+      const MicroOperandSlot& slot = program.slots[s];
+      slots[s].base = input_ptrs[slot.input];
+      switch (slot.access.kind) {
+        case MicroAccessKind::kScalar:
+          slots[s].stride = 0;
+          break;
+        case MicroAccessKind::kStrided:
+          slots[s].gather = num_gather_rows++;
+          slots[s].access = &slot.access;
+          break;
+        case MicroAccessKind::kAuto:
+          slots[s].stride =
+              inputs[slot.input].num_elements() == 1 && count > 1 ? 0 : 1;
+          break;
+        case MicroAccessKind::kContiguous:
+          slots[s].stride = 1;
+          break;
+      }
+    }
+    std::vector<ResolvedOutput<T>> outputs;
+    outputs.reserve(program.outputs.size());
     for (size_t o = 0; o < program.outputs.size(); ++o) {
-      Tensor out = ctx->AllocateOutput(static_cast<int>(o), dtype, out_shape);
-      output_ptrs.push_back(out.mutable_data<T>());
+      ResolvedOutput<T> res;
+      res.reg = program.outputs[o];
+      if (program.extended) {
+        const MicroOutputSpec& spec = program.output_specs[o];
+        Tensor out = ctx->AllocateOutput(static_cast<int>(o), dtype,
+                                         Shape(spec.shape));
+        res.data = out.mutable_data<T>();
+        res.kind = spec.store.kind;
+        if (spec.store.kind == MicroAccessKind::kStrided) {
+          res.store = &spec.store;
+        }
+      } else {
+        Tensor out =
+            ctx->AllocateOutput(static_cast<int>(o), dtype, legacy_shape);
+        res.data = out.mutable_data<T>();
+        res.kind = MicroAccessKind::kAuto;
+      }
+      outputs.push_back(res);
     }
-    RunTyped<T>(ectx, program, operand_ptrs, operand_stride, output_ptrs,
+    T* reduce_out = nullptr;
+    if (program.reduce.kind != MicroReduceKind::kNone) {
+      Tensor out = ctx->AllocateOutput(static_cast<int>(program.outputs.size()),
+                                       dtype, Shape(program.reduce.shape));
+      reduce_out = out.mutable_data<T>();
+    }
+    RunTyped<T>(ectx, program, slots, num_gather_rows, outputs, reduce_out,
                 count);
   });
   return Status::OK();

@@ -1,12 +1,16 @@
-// FusedElementwise: one kernel invocation executing a run of elementwise ops
-// as a compact micro-op program in a single memory traversal.
+// FusedElementwise: one kernel invocation executing a run of elementwise,
+// layout, and reduction ops as a compact micro-op program in a single memory
+// traversal (a fused map-reduce engine).
 //
 // Both fusion frontends — the op-queue drain (dynamic, paper §5) and the
 // graph pass in graph/passes.cpp (static, the §4.6 staged-optimization
-// opportunity) — lower a recognized run to the same program encoding and the
-// same interpreter, so fused execution is bitwise identical in either stage.
+// opportunity) — describe a recognized run to CompileFusedRun() below and
+// lower it to the same program encoding and the same interpreter, so fused
+// execution is bitwise identical in either stage.
 //
-// Program encoding (the "program" attr, a vector<int64_t>):
+// Two program encodings share the "program" attr (a vector<int64_t>):
+//
+// v1 (legacy, first element >= 0) — pure elementwise runs:
 //
 //     [num_operands, num_insts,
 //      opcode_0, a_0, b_0, ..., opcode_{n-1}, a_{n-1}, b_{n-1},
@@ -16,6 +20,23 @@
 // run shape, or broadcast scalars); register num_operands + i holds
 // instruction i's result. `b` is ignored for unary opcodes. Output registers
 // name which instruction results materialize as kernel outputs.
+//
+// v2 (extended, first element == kMicroProgramMagic) — map-reduce runs. The
+// operand registers become *slots*: each names a kernel input plus an access
+// descriptor (contiguous, broadcast scalar, or a strided odometer walk), so
+// one input can be read under several index maps and layout ops (Transpose /
+// Reshape / ExpandDims / Squeeze) fold into the run as indexed loads instead
+// of cutting it. Outputs carry their own shape and store descriptor, and an
+// optional reduction epilogue (Sum/Mean/Max/Min over the trailing axes of
+// the evaluation space) folds the mapped values into per-chunk partial
+// accumulators combined by the fixed stride-doubling tree in reduce_util.h:
+//
+//     [kMicroProgramMagic, num_slots, eval_rank, eval_dims...,
+//      {input, kind, [rank, dims..., strides...] if strided} per slot,
+//      num_insts, {opcode, a, b}*,
+//      num_outputs, {reg, shape_rank, shape_dims...,
+//                    kind, [rank, dims..., strides...] if strided} per output,
+//      reduce_kind, [src_reg, reduce_count, out_rank, out_dims...] if any]
 #ifndef TFE_KERNELS_FUSED_ELEMENTWISE_H_
 #define TFE_KERNELS_FUSED_ELEMENTWISE_H_
 
@@ -25,6 +46,7 @@
 
 #include "support/status.h"
 #include "tensor/dtype.h"
+#include "tensor/shape.h"
 
 namespace tfe {
 namespace kernels {
@@ -70,11 +92,77 @@ struct MicroInst {
   int32_t b = 0;
 };
 
+// First element of a v2-encoded program (v1 starts with num_operands >= 0).
+constexpr int64_t kMicroProgramMagic = -2;
+
+// How an operand slot reads its input — or an output stores its register —
+// relative to the flat evaluation index.
+enum class MicroAccessKind : int64_t {
+  // v1 semantics: broadcast scalar when the input has one element and the
+  // run has more, contiguous otherwise.
+  kAuto = 0,
+  kContiguous = 1,  // offset == flat evaluation index
+  kScalar = 2,      // stride-0 broadcast of a single element
+  // offset = dot(decompose(flat, dims), strides); product(dims) equals the
+  // evaluation count. Expresses transposed walks and broadcast (stride-0)
+  // dims in one odometer.
+  kStrided = 3,
+};
+
+struct MicroAccess {
+  MicroAccessKind kind = MicroAccessKind::kAuto;
+  std::vector<int64_t> dims;     // kStrided only
+  std::vector<int64_t> strides;  // kStrided only; parallel to dims
+
+  bool operator==(const MicroAccess& o) const {
+    return kind == o.kind && dims == o.dims && strides == o.strides;
+  }
+};
+
+// One operand register of a v2 program: which kernel input it reads, how.
+struct MicroOperandSlot {
+  int64_t input = -1;  // kernel input index; -1 in v1 (slot i reads input i)
+  MicroAccess access;
+};
+
+// One kernel output of a v2 program: which register, the allocated shape,
+// and how register rows land in the output buffer.
+struct MicroOutputSpec {
+  int32_t reg = 0;
+  std::vector<int64_t> shape;
+  MicroAccess store;
+};
+
+enum class MicroReduceKind : int64_t {
+  kNone = 0,
+  kSum = 1,
+  kMean = 2,
+  kMax = 3,
+  kMin = 4,
+};
+
+// Reduction epilogue: fold `src` over trailing strips of `reduce_count`
+// evaluation elements into one extra kernel output (always the last one).
+struct MicroReduce {
+  MicroReduceKind kind = MicroReduceKind::kNone;
+  int32_t src = 0;
+  int64_t reduce_count = 1;
+  std::vector<int64_t> shape;  // reduce output dims
+};
+
 struct MicroProgram {
   int64_t num_operands = 0;
   std::vector<MicroInst> insts;
-  // Registers published as kernel outputs, in output order.
+  // Registers published as kernel outputs, in output order (the reduction
+  // epilogue's output is extra and always last; it is not listed here).
   std::vector<int32_t> outputs;
+
+  // --- v2 extensions (engaged when `extended` is true) ---------------------
+  bool extended = false;
+  std::vector<int64_t> eval_dims;            // the evaluation space
+  std::vector<MicroOperandSlot> slots;       // size == num_operands
+  std::vector<MicroOutputSpec> output_specs;  // parallel to `outputs`
+  MicroReduce reduce;
 
   int64_t num_registers() const {
     return num_operands + static_cast<int64_t>(insts.size());
@@ -93,6 +181,60 @@ int MicroOpArity(MicroOpCode code);
 // Transcendental opcodes require floating dtypes; arithmetic ones accept any
 // numeric dtype.
 bool MicroOpSupports(MicroOpCode code, DType dtype);
+
+// Layout ops the run compiler folds as indexed loads (no instruction):
+// Transpose, Reshape, ExpandDims, Squeeze.
+bool MicroLayoutOp(const std::string& op_name);
+
+// Reductions the run compiler accepts as epilogues; maps Sum/Mean/Max/Min.
+bool MicroReduceKindFor(const std::string& op_name, MicroReduceKind* kind);
+
+// True when `shape` broadcasts to `out` under trailing-dim alignment (every
+// trailing dim equal or 1) — the layouts BroadcastStrides expresses.
+bool BroadcastsTo(const Shape& shape, const Shape& out);
+
+// ---- Run compiler ----------------------------------------------------------
+//
+// Both fusion frontends describe a candidate run as a vector of FusedRunOp
+// (one per member, in queue/topological order) plus the deduplicated
+// external operands, and get back a v2 program. Any unsupported pattern —
+// layout under an incompatible index map, a non-trailing reduction,
+// conflicting index maps for a multiply-consumed producer — returns an
+// error, and the caller falls back to op-at-a-time execution (the drain) or
+// leaves the span unfused (the graph pass).
+
+struct FusedRunArg {
+  int producer = -1;  // in-run member index, or -1
+  int operand = -1;   // external operand index, or -1
+};
+
+struct FusedRunOp {
+  std::string op;
+  DType dtype = DType::kFloat32;  // the member's output dtype
+  Shape shape;                    // the member's output shape
+  std::vector<FusedRunArg> args;
+  std::vector<int64_t> perm;  // Transpose only
+  std::vector<int64_t> axes;  // reductions only ("axis" attr; empty = all)
+  bool materialize = false;   // publish this member's value as an output
+};
+
+struct FusedRunOperand {
+  DType dtype = DType::kFloat32;
+  Shape shape;
+};
+
+struct CompiledRun {
+  MicroProgram program;
+  // Member index per kernel output, in kernel-output order; when the run
+  // ends in a reduction its member is last.
+  std::vector<int> output_members;
+  bool has_cast = false;
+  bool has_reduce = false;
+};
+
+StatusOr<CompiledRun> CompileFusedRun(const std::vector<FusedRunOp>& ops,
+                                      const std::vector<FusedRunOperand>& operands,
+                                      DType run_dtype);
 
 void RegisterFusedElementwiseKernels();
 

@@ -1,0 +1,118 @@
+// Canonical trailing-strip reduction used by both the standalone reduction
+// kernels (reduction.cpp) and the fused map-reduce epilogue
+// (fused_elementwise.cpp). Keeping the accumulation geometry in one place is
+// what makes fused and unfused reductions bitwise identical, serial or
+// sharded:
+//
+//   - A strip of reduce_count elements is split into fixed 4096-element
+//     chunks (the last one short). Each chunk is accumulated serially in
+//     element order into its own partial.
+//   - Partials are combined by a stride-doubling tree whose shape depends
+//     only on the chunk count — never on how many shards ran — so parallel
+//     execution reproduces the serial result bit for bit.
+//   - Strips of at most one chunk skip the tree entirely (a single serial
+//     accumulation), which keeps small reductions on the exact op-at-a-time
+//     sequence they always had.
+//   - Mean accumulates like Sum and divides by the strip length at the end.
+#ifndef TFE_KERNELS_REDUCE_UTIL_H_
+#define TFE_KERNELS_REDUCE_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tfe {
+namespace kernels {
+
+constexpr int64_t kReduceChunkElements = 4096;
+
+enum class ReduceAccumKind { kSum, kMax, kMin };
+
+template <typename T>
+inline T ReduceInit(ReduceAccumKind kind) {
+  switch (kind) {
+    case ReduceAccumKind::kMax:
+      return std::numeric_limits<T>::lowest();
+    case ReduceAccumKind::kMin:
+      return std::numeric_limits<T>::max();
+    case ReduceAccumKind::kSum:
+      break;
+  }
+  return T(0);
+}
+
+// Folds `len` elements read at `p[i * stride]` into `acc`, in element order.
+template <typename T>
+inline void ReduceAccumulate(ReduceAccumKind kind, T& acc, const T* p,
+                             int64_t stride, int64_t len) {
+  switch (kind) {
+    case ReduceAccumKind::kSum:
+      for (int64_t i = 0; i < len; ++i) acc += p[i * stride];
+      break;
+    case ReduceAccumKind::kMax:
+      for (int64_t i = 0; i < len; ++i) {
+        T v = p[i * stride];
+        if (v > acc) acc = v;
+      }
+      break;
+    case ReduceAccumKind::kMin:
+      for (int64_t i = 0; i < len; ++i) {
+        T v = p[i * stride];
+        if (v < acc) acc = v;
+      }
+      break;
+  }
+}
+
+inline int64_t ReduceChunkCount(int64_t reduce_count) {
+  return reduce_count <= kReduceChunkElements
+             ? 1
+             : (reduce_count + kReduceChunkElements - 1) / kReduceChunkElements;
+}
+
+// Stride-doubling tree over the chunk partials; geometry depends only on n.
+template <typename T>
+inline T ReduceCombineTree(ReduceAccumKind kind, T* partials, int64_t n) {
+  for (int64_t stride = 1; stride < n; stride *= 2) {
+    for (int64_t i = 0; i + stride < n; i += 2 * stride) {
+      switch (kind) {
+        case ReduceAccumKind::kSum:
+          partials[i] += partials[i + stride];
+          break;
+        case ReduceAccumKind::kMax:
+          if (partials[i + stride] > partials[i]) partials[i] = partials[i + stride];
+          break;
+        case ReduceAccumKind::kMin:
+          if (partials[i + stride] < partials[i]) partials[i] = partials[i + stride];
+          break;
+      }
+    }
+  }
+  return n > 0 ? partials[0] : T(0);
+}
+
+// Reduces one contiguous strip with the canonical chunk/tree geometry.
+template <typename T>
+inline T ReduceStripSerial(ReduceAccumKind kind, const T* strip, int64_t rc) {
+  if (rc <= kReduceChunkElements) {
+    T acc = ReduceInit<T>(kind);
+    ReduceAccumulate(kind, acc, strip, 1, rc);
+    return acc;
+  }
+  const int64_t nc = ReduceChunkCount(rc);
+  std::vector<T> partials(static_cast<size_t>(nc));
+  for (int64_t c = 0; c < nc; ++c) {
+    const int64_t begin = c * kReduceChunkElements;
+    const int64_t len = std::min(kReduceChunkElements, rc - begin);
+    T acc = ReduceInit<T>(kind);
+    ReduceAccumulate(kind, acc, strip + begin, 1, len);
+    partials[static_cast<size_t>(c)] = acc;
+  }
+  return ReduceCombineTree(kind, partials.data(), nc);
+}
+
+}  // namespace kernels
+}  // namespace tfe
+
+#endif  // TFE_KERNELS_REDUCE_UTIL_H_

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "kernels/kernel_util.h"
+#include "kernels/reduce_util.h"
 
 namespace tfe {
 namespace kernels {
@@ -83,25 +84,21 @@ void Reduce(EagerContext* ectx, const Tensor& x, Tensor& out,
   for (int64_t i = 0; i < out_count; ++i) result[i] = init;
 
   if (IsTrailingReduction(plan) && plan.reduce_count > 0) {
+    // Each output folds one contiguous strip through the canonical
+    // chunk/tree geometry in reduce_util.h — the same geometry the fused
+    // map-reduce epilogue uses, so fused and standalone reductions agree
+    // bitwise however either of them is sharded.
     const int64_t rc = plan.reduce_count;
+    const ReduceAccumKind akind = kind == Reduction::kMax
+                                      ? ReduceAccumKind::kMax
+                                      : kind == Reduction::kMin
+                                            ? ReduceAccumKind::kMin
+                                            : ReduceAccumKind::kSum;
     const int64_t min_outputs =
         std::max<int64_t>(1, kReduceShardWork / std::max<int64_t>(rc, 1));
     ParallelFor(ectx, out_count, min_outputs, [&](int64_t begin, int64_t end) {
       for (int64_t o = begin; o < end; ++o) {
-        const T* block = in + o * rc;
-        T acc = init;
-        switch (kind) {
-          case Reduction::kSum:
-          case Reduction::kMean:
-            for (int64_t a = 0; a < rc; ++a) acc += block[a];
-            break;
-          case Reduction::kMax:
-            for (int64_t a = 0; a < rc; ++a) acc = std::max(acc, block[a]);
-            break;
-          case Reduction::kMin:
-            for (int64_t a = 0; a < rc; ++a) acc = std::min(acc, block[a]);
-            break;
-        }
+        T acc = ReduceStripSerial(akind, in + o * rc, rc);
         if (kind == Reduction::kMean) acc /= static_cast<T>(rc);
         result[o] = acc;
       }

@@ -181,6 +181,55 @@ StatusOr<Tensor> EagerContext::CopyToDevice(const Tensor& tensor,
                           device);
 }
 
+StatusOr<Tensor> EagerContext::CopyTo(const Tensor& tensor, Device* device) {
+  TFE_CHECK(device != nullptr);
+  if (!tensor.defined() || tensor.is_symbolic()) {
+    return InvalidArgument("copy_to requires a concrete tensor");
+  }
+  if (tensor.is_resource()) {
+    return InvalidArgument(
+        "copy_to cannot move a resource handle; variables are pinned to "
+        "their device");
+  }
+  const auto& handle = tensor.pending_handle();
+  const TensorHandle::RemoteInfo* rinfo =
+      handle != nullptr ? handle->remote_info() : nullptr;
+  if (rinfo != nullptr && rinfo->device == device) return tensor;  // no-op
+
+  // Reading the value is the first half of any move: it waits out async
+  // producers, surfaces a poisoned source's original status, and fetches a
+  // remote source from its worker store (copy-on-read).
+  TFE_RETURN_IF_ERROR(tensor.Materialize());
+  const Tensor& value = handle != nullptr ? handle->tensor() : tensor;
+
+  if (!device->IsRemote()) {
+    return CopyToDevice(value, device);
+  }
+  if (value.is_opaque()) {
+    return InvalidArgument(strings::StrCat(
+        "copy_to(", device->name(),
+        "): source is an opaque placeholder with no host bytes to ship"));
+  }
+  // Remote target: ship the value into the target worker's store and hand
+  // back a handle referencing it there, exactly as if an op on that worker
+  // had produced it.
+  auto* remote = static_cast<RemoteDevice*>(device);
+  const std::shared_ptr<RemoteBackend>& backend = remote->shared_backend();
+  const int64_t id = backend->AllocateHandleId();
+  TFE_RETURN_IF_ERROR(backend->Put(value, id));
+  stats_.device_copies.fetch_add(1, std::memory_order_relaxed);
+  TensorHandle::RemoteInfo info;
+  info.device = device;
+  info.handle_id = id;
+  info.fetch = [backend, id] { return backend->Fetch(id); };
+  info.release = [backend, id] { backend->DeleteAsync(id); };
+  auto out = TensorHandle::PendingRemote(value.dtype(), value.shape(),
+                                         std::move(info), &host_now_ns_);
+  out->SetTensor(Tensor::Opaque(value.dtype(), value.shape(), device),
+                 /*ready_ns=*/0);
+  return Tensor::FromHandle(std::move(out));
+}
+
 StatusOr<EagerContext::KernelRun> EagerContext::ExecuteKernel(
     const std::string& op_name, const std::vector<Tensor>& inputs,
     const AttrMap& attrs, Device* device, bool compiled, uint64_t start_ns,
@@ -594,7 +643,7 @@ StatusOr<std::vector<Tensor>> EagerContext::RunRemoteBlocking(
             "Remote op ", op_name, " on ", device->name(),
             " takes an input living on ", rinfo->device->name(),
             ", a different worker; tensors do not implicitly hop between "
-            "workers — copy explicitly via fetch and re-put"));
+            "workers — move it explicitly with tfe::copy_to"));
       }
       input_ids.push_back(rinfo->handle_id);
       continue;

@@ -176,6 +176,15 @@ class EagerContext {
   // copies the inputs to the correct device"). Accounts transfer time.
   StatusOr<Tensor> CopyToDevice(const Tensor& tensor, Device* device);
 
+  // Explicit tensor move (tfe::copy_to): reads the tensor's value — fetching
+  // from its worker store when the source is remote — and places it on
+  // `device`. Local targets behave like the transparent copy; remote targets
+  // ship the value into the target worker's store over the pending-handle
+  // protocol and return a remote-backed handle. This is the explicit hop the
+  // deferred cross-worker InvalidArgument directs users to: tensors never
+  // implicitly move between workers, but copy_to moves them on demand.
+  StatusOr<Tensor> CopyTo(const Tensor& tensor, Device* device);
+
   // ---- Virtual time --------------------------------------------------------
 
   uint64_t host_now_ns() const {

@@ -43,19 +43,72 @@ std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node,
 // the interpreted program.
 constexpr size_t kMaxFusedRun = 64;
 
-// Structural half of fusability: a single output whose dtype the opcode
-// supports, and no attrs — except Cast, whose single "dst" attr is folded
-// into the program as a kCast micro-op. Value/shape checks are the caller's
-// job.
-bool FusableNode(const OpQueue::Node& node, kernels::MicroOpCode* code) {
+// What role a node plays inside a fused run: a compute member contributes a
+// micro-op instruction, a layout member (Transpose/Reshape/ExpandDims/
+// Squeeze) folds into operand access descriptors, and a reduce member
+// (Sum/Mean/Max/Min over trailing axes) terminates the run as its epilogue.
+enum class MemberKind { kCompute, kLayout, kReduce };
+
+struct MemberClass {
+  MemberKind kind = MemberKind::kCompute;
+  kernels::MicroOpCode code = kernels::MicroOpCode::kAdd;  // kCompute only
+};
+
+// Structural half of fusability: a single output whose dtype the interpreter
+// supports, and exactly the attrs the run compiler knows how to fold (Cast's
+// "dst", Transpose's "perm", a reduction's "axis"/"keep_dims", ...).
+// Value/shape checks are the caller's job.
+bool FusableNode(const OpQueue::Node& node, MemberClass* cls) {
   if (node.outputs.size() != 1) return false;
-  if (!kernels::MicroOpCodeFor(node.op_name, code)) return false;
-  if (*code == kernels::MicroOpCode::kCast) {
-    if (node.attrs.size() != 1 || node.attrs.count("dst") == 0) return false;
-  } else if (!node.attrs.empty()) {
-    return false;
+  const DType dtype = node.outputs[0]->dtype();
+  if (kernels::MicroOpCodeFor(node.op_name, &cls->code)) {
+    cls->kind = MemberKind::kCompute;
+    if (cls->code == kernels::MicroOpCode::kCast) {
+      if (node.attrs.size() != 1 || node.attrs.count("dst") == 0) return false;
+    } else if (!node.attrs.empty()) {
+      return false;
+    }
+    return kernels::MicroOpSupports(cls->code, dtype);
   }
-  return kernels::MicroOpSupports(*code, node.outputs[0]->dtype());
+  if (kernels::MicroLayoutOp(node.op_name)) {
+    cls->kind = MemberKind::kLayout;
+    if (node.op_name == "Transpose") {
+      auto it = node.attrs.find("perm");
+      if (node.attrs.size() != 1 || it == node.attrs.end() ||
+          !it->second.Is<std::vector<int64_t>>()) {
+        return false;
+      }
+    } else if (node.op_name == "Reshape") {
+      if (node.attrs.size() != 1 || node.attrs.count("shape") == 0) {
+        return false;
+      }
+    } else if (node.op_name == "ExpandDims") {
+      if (node.attrs.size() != 1 || node.attrs.count("axis") == 0) {
+        return false;
+      }
+    } else {  // Squeeze: "axis" is optional
+      if (!node.attrs.empty() &&
+          (node.attrs.size() != 1 || node.attrs.count("axis") == 0)) {
+        return false;
+      }
+    }
+    // The interpreter is numeric-typed; layout members only ride along for
+    // dtypes it can hold in registers (kCast support == "is numeric").
+    return kernels::MicroOpSupports(kernels::MicroOpCode::kCast, dtype);
+  }
+  kernels::MicroReduceKind rkind;
+  if (kernels::MicroReduceKindFor(node.op_name, &rkind)) {
+    cls->kind = MemberKind::kReduce;
+    for (const auto& [name, value] : node.attrs) {
+      if (name != "axis" && name != "keep_dims") return false;
+    }
+    auto it = node.attrs.find("axis");
+    if (it != node.attrs.end() && !it->second.Is<std::vector<int64_t>>()) {
+      return false;
+    }
+    return kernels::MicroOpSupports(kernels::MicroOpCode::kCast, dtype);
+  }
+  return false;
 }
 
 // Resolves an external (not produced in-run) input to its concrete value.
@@ -76,11 +129,12 @@ bool ResolvedOperand(const Tensor& input, Tensor* value) {
          !value->is_opaque();
 }
 
-// Whether `value` can feed a fused run of the given dtype/shape on `device`
-// without a transparent copy: dtype matches (a cast's source operand may
-// instead be any numeric dtype — the kernel pre-converts it), it is the run
-// shape or a broadcast scalar, and it is already resident (nullptr means
-// host data, which the host CPU reads in place).
+// Whether `value` can feed a fused compute member of the given dtype/shape
+// on `device` without a transparent copy: dtype matches (a cast's source
+// operand may instead be any numeric dtype — the kernel pre-converts it), it
+// broadcasts to the member's shape under trailing-dim alignment (which
+// covers the member shape itself, bias rows, and scalars), and it is already
+// resident (nullptr means host data, which the host CPU reads in place).
 bool OperandCompatible(const Tensor& value, DType dtype, const Shape& shape,
                        const Device* device, bool cast_source = false) {
   if (cast_source) {
@@ -91,7 +145,8 @@ bool OperandCompatible(const Tensor& value, DType dtype, const Shape& shape,
     return false;
   }
   if (value.device() != nullptr && value.device() != device) return false;
-  return value.shape() == shape || value.num_elements() == 1;
+  return value.num_elements() == 1 ||
+         kernels::BroadcastsTo(value.shape(), shape);
 }
 
 // Whether run node `n`'s output can be observed outside the run. False only
@@ -203,13 +258,31 @@ void OpQueue::Drain() {
       std::lock_guard<std::mutex> lock(mu_);
       run.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      // Peek ahead: absorb the longest fusable elementwise run behind the
+      // Peek ahead: absorb the longest fusable map-reduce run behind the
       // front. Ops are popped together so the run executes as one kernel.
       if (NodeStartsRun(run.front())) {
         while (run.size() < kMaxFusedRun && !queue_.empty() &&
                NodeJoinsRun(queue_.front(), run)) {
           run.push_back(std::move(queue_.front()));
           queue_.pop_front();
+        }
+        // The evaluation space is the last member's shape, so a scalar tail
+        // in a non-scalar run would shrink it to one element and fail to
+        // compile. Hand such tails back; the next iteration runs them alone.
+        // (A scalar *reduction* tail is exempt: its epilogue evaluates over
+        // the producer's shape.)
+        kernels::MicroReduceKind tail_kind;
+        while (run.size() > 1 &&
+               run.back().outputs[0]->shape().num_elements() == 1 &&
+               !kernels::MicroReduceKindFor(run.back().op_name, &tail_kind)) {
+          int64_t prefix_count = 1;
+          for (size_t i = 0; i + 1 < run.size(); ++i) {
+            prefix_count = std::max(
+                prefix_count, run[i].outputs[0]->shape().num_elements());
+          }
+          if (prefix_count == 1) break;  // all-scalar run: fine as is
+          queue_.push_front(std::move(run.back()));
+          run.pop_back();
         }
       }
       depth = queue_.size();
@@ -235,11 +308,23 @@ bool OpQueue::NodeStartsRun(const Node& node) const {
   // Fuse only where the kernel actually computes: simulated accelerators are
   // virtual-time devices and fusing would perturb their cost model.
   if (device_->is_accelerator() || !device_->executes_kernels()) return false;
-  kernels::MicroOpCode code;
-  if (!FusableNode(node, &code)) return false;
-  const bool cast_source = code == kernels::MicroOpCode::kCast;
+  MemberClass cls;
+  if (!FusableNode(node, &cls)) return false;
+  // A reduction only terminates a run — alone it IS the standalone kernel.
+  if (cls.kind == MemberKind::kReduce) return false;
   const auto& out = *node.outputs[0];
   if (!out.shape().IsFullyDefined()) return false;
+  if (cls.kind == MemberKind::kLayout) {
+    if (node.inputs.size() != 1) return false;
+    Tensor value;
+    if (!ResolvedOperand(node.inputs[0], &value)) return false;
+    // Layout members never cast or broadcast: same dtype, same element
+    // count, already resident.
+    return value.dtype() == out.dtype() &&
+           (value.device() == nullptr || value.device() == device_) &&
+           value.num_elements() == out.shape().num_elements();
+  }
+  const bool cast_source = cls.code == kernels::MicroOpCode::kCast;
   for (const Tensor& input : node.inputs) {
     Tensor value;
     if (!ResolvedOperand(input, &value)) return false;
@@ -253,29 +338,83 @@ bool OpQueue::NodeStartsRun(const Node& node) const {
 
 bool OpQueue::NodeJoinsRun(const Node& node,
                            const std::vector<Node>& run) const {
-  kernels::MicroOpCode code;
-  if (!FusableNode(node, &code)) return false;
-  const bool cast_source = code == kernels::MicroOpCode::kCast;
-  const auto& head = *run.front().outputs[0];
-  const auto& out = *node.outputs[0];
-  if (out.dtype() != head.dtype() || !(out.shape() == head.shape())) {
+  // A reduction closes the run; nothing fuses behind its epilogue.
+  kernels::MicroReduceKind tail_kind;
+  if (kernels::MicroReduceKindFor(run.back().op_name, &tail_kind)) {
     return false;
   }
-  for (const Tensor& input : node.inputs) {
+  MemberClass cls;
+  if (!FusableNode(node, &cls)) return false;
+  const DType run_dtype = run.front().outputs[0]->dtype();
+  const auto& out = *node.outputs[0];
+  if (out.dtype() != run_dtype || !out.shape().IsFullyDefined()) return false;
+
+  // The run's evaluation count so far. Members are scalar or share one
+  // count, so the maximum is that count.
+  int64_t run_count = 1;
+  for (const Node& prev : run) {
+    run_count =
+        std::max(run_count, prev.outputs[0]->shape().num_elements());
+  }
+
+  auto producer_of = [&](const Tensor& input) -> const Node* {
     const auto& handle = input.pending_handle();
-    if (handle != nullptr) {
-      bool in_run = false;
-      for (const Node& prev : run) {
-        if (prev.outputs[0] == handle) {
-          in_run = true;
-          break;
-        }
-      }
-      if (in_run) continue;
+    if (handle == nullptr) return nullptr;
+    for (const Node& prev : run) {
+      if (prev.outputs[0] == handle) return &prev;
     }
+    return nullptr;
+  };
+
+  if (cls.kind == MemberKind::kReduce) {
+    // A reduce epilogue folds an in-run value of the full evaluation count
+    // over a trailing block of axes; anything else stays standalone rather
+    // than dragging the whole run into the op-at-a-time fallback.
+    if (node.inputs.size() != 1) return false;
+    const Node* producer = producer_of(node.inputs[0]);
+    if (producer == nullptr) return false;
+    const Shape& in_shape = producer->outputs[0]->shape();
+    if (in_shape.num_elements() != run_count) return false;
+    std::vector<int64_t> axes;
+    auto it = node.attrs.find("axis");
+    if (it != node.attrs.end()) axes = it->second.Get<std::vector<int64_t>>();
+    const int rank = in_shape.rank();
+    std::vector<bool> reduced(rank, axes.empty());
+    for (int64_t axis : axes) {
+      if (axis < 0) axis += rank;
+      if (axis < 0 || axis >= rank) return false;
+      reduced[axis] = true;
+    }
+    bool seen = false;
+    for (bool r : reduced) {
+      if (r) {
+        seen = true;
+      } else if (seen) {
+        return false;  // non-trailing reduction
+      }
+    }
+    return true;
+  }
+
+  const int64_t count = out.shape().num_elements();
+  if (count != run_count && count != 1 && run_count != 1) return false;
+
+  if (cls.kind == MemberKind::kLayout) {
+    if (node.inputs.size() != 1) return false;
+    if (producer_of(node.inputs[0]) != nullptr) return true;
+    Tensor value;
+    if (!ResolvedOperand(node.inputs[0], &value)) return false;
+    return value.dtype() == run_dtype &&
+           (value.device() == nullptr || value.device() == device_) &&
+           value.num_elements() == count;
+  }
+
+  const bool cast_source = cls.code == kernels::MicroOpCode::kCast;
+  for (const Tensor& input : node.inputs) {
+    if (producer_of(input) != nullptr) continue;
     Tensor value;
     if (!ResolvedOperand(input, &value)) return false;
-    if (!OperandCompatible(value, head.dtype(), head.shape(), device_,
+    if (!OperandCompatible(value, run_dtype, out.shape(), device_,
                            cast_source)) {
       return false;
     }
@@ -293,26 +432,48 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
     }
   }
   const DType dtype = run.front().outputs[0]->dtype();
-  const Shape shape = run.front().outputs[0]->shape();
 
-  // Build the micro-op program. Pass 1 deduplicates external operands (their
-  // registers come first); each input slot records either an operand index
-  // (>= 0) or ~producer_inst for values computed inside the run.
-  kernels::MicroProgram program;
+  // Describe the run to the compiler shared with the static graph pass.
+  // Pass 1 resolves each member's args: external operands deduplicate into
+  // `operands`; in-run values reference their producing member.
+  std::vector<kernels::FusedRunOp> ops(run.size());
   std::vector<Tensor> operands;
+  std::vector<kernels::FusedRunOperand> operand_descs;
   std::unordered_map<const TensorHandle*, int> produced;
-  std::vector<std::vector<int64_t>> args(run.size());
   uint64_t start_ns = 0;
   bool ok = true;
   for (size_t n = 0; ok && n < run.size(); ++n) {
     const Node& node = run[n];
     start_ns = std::max(start_ns, node.enqueue_host_ns);
+    kernels::FusedRunOp& op = ops[n];
+    op.op = node.op_name;
+    op.dtype = node.outputs[0]->dtype();
+    op.shape = node.outputs[0]->shape();
+    if (node.op_name == "Transpose") {
+      auto it = node.attrs.find("perm");
+      if (it == node.attrs.end() || !it->second.Is<std::vector<int64_t>>()) {
+        ok = false;
+        break;
+      }
+      op.perm = it->second.Get<std::vector<int64_t>>();
+    }
+    kernels::MicroReduceKind rkind;
+    if (kernels::MicroReduceKindFor(node.op_name, &rkind)) {
+      auto it = node.attrs.find("axis");
+      if (it != node.attrs.end()) {
+        if (!it->second.Is<std::vector<int64_t>>()) {
+          ok = false;
+          break;
+        }
+        op.axes = it->second.Get<std::vector<int64_t>>();
+      }
+    }
     for (const Tensor& input : node.inputs) {
       const auto& handle = input.pending_handle();
       if (handle != nullptr) {
         auto it = produced.find(handle.get());
         if (it != produced.end()) {
-          args[n].push_back(~static_cast<int64_t>(it->second));
+          op.args.push_back({/*producer=*/it->second, /*operand=*/-1});
           continue;
         }
       }
@@ -322,49 +483,39 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
         break;
       }
       if (handle != nullptr) start_ns = std::max(start_ns, handle->ready_ns());
-      int reg = -1;
+      int index = -1;
       for (size_t i = 0; i < operands.size(); ++i) {
         if (operands[i] == value) {
-          reg = static_cast<int>(i);
+          index = static_cast<int>(i);
           break;
         }
       }
-      if (reg < 0) {
-        reg = static_cast<int>(operands.size());
+      if (index < 0) {
+        index = static_cast<int>(operands.size());
+        operand_descs.push_back({value.dtype(), value.shape()});
         operands.push_back(std::move(value));
       }
-      args[n].push_back(reg);
+      op.args.push_back({/*producer=*/-1, /*operand=*/index});
     }
     produced[node.outputs[0].get()] = static_cast<int>(n);
   }
 
-  // Pass 2: emit instructions with final register numbers, and materialize
-  // exactly the outputs something outside the run can still observe (the
-  // last node's always is — it is the run's result).
+  // Materialize exactly the outputs something outside the run can still
+  // observe (the last node's always is — it is the run's result), then
+  // compile. Compilation rejects layout conflicts and other patterns the
+  // join rules cannot see; those runs execute op-at-a-time.
   std::vector<bool> materialize(run.size(), false);
+  kernels::CompiledRun compiled;
   if (ok) {
-    program.num_operands = static_cast<int64_t>(operands.size());
-    for (size_t n = 0; ok && n < run.size(); ++n) {
-      kernels::MicroOpCode code;
-      kernels::MicroOpCodeFor(run[n].op_name, &code);  // validated by peek
-      if (static_cast<int>(args[n].size()) != kernels::MicroOpArity(code)) {
-        ok = false;
-        break;
-      }
-      kernels::MicroInst inst;
-      inst.opcode = code;
-      auto to_reg = [&](int64_t a) {
-        return static_cast<int32_t>(
-            a >= 0 ? a : program.num_operands + ~a);
-      };
-      inst.a = to_reg(args[n][0]);
-      if (args[n].size() > 1) inst.b = to_reg(args[n][1]);
-      program.insts.push_back(inst);
+    for (size_t n = 0; n < run.size(); ++n) {
       materialize[n] = n + 1 == run.size() || Observable(n, run);
-      if (materialize[n]) {
-        program.outputs.push_back(
-            static_cast<int32_t>(program.num_operands) + static_cast<int32_t>(n));
-      }
+      ops[n].materialize = materialize[n];
+    }
+    auto compiled_or = kernels::CompileFusedRun(ops, operand_descs, dtype);
+    if (compiled_or.ok()) {
+      compiled = std::move(*compiled_or);
+    } else {
+      ok = false;
     }
   }
 
@@ -383,16 +534,10 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
   };
 
   AttrMap attrs;
-  attrs.emplace("program", AttrValue(program.Encode()));
-  // A program with folded casts may carry foreign-dtype operands; tell the
-  // kernel the run dtype explicitly (older cast-free programs infer it from
-  // operand 0, so they need no attr).
-  for (const kernels::MicroInst& inst : program.insts) {
-    if (inst.opcode == kernels::MicroOpCode::kCast) {
-      attrs.emplace("dtype", AttrValue(dtype));
-      break;
-    }
-  }
+  attrs.emplace("program", AttrValue(compiled.program.Encode()));
+  // Extended programs may read operands under layout maps or foreign dtypes,
+  // so the run dtype is always explicit.
+  attrs.emplace("dtype", AttrValue(dtype));
   auto result = ctx_->ExecuteKernel("FusedElementwise", operands, attrs,
                                     device_, /*compiled=*/false, start_ns);
   if (!result.ok()) {
@@ -401,24 +546,25 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
   }
   const uint64_t done_ns =
       device_->timeline().Schedule(start_ns, result->device_ns);
-  if (result->outputs.size() != program.outputs.size()) {
+  if (result->outputs.size() != compiled.output_members.size()) {
     poison(Internal("FusedElementwise produced " +
                     std::to_string(result->outputs.size()) +
                     " outputs, expected " +
-                    std::to_string(program.outputs.size())));
+                    std::to_string(compiled.output_members.size())));
     return;
   }
   // Every handle in the run resolves at the same completion time; elided
-  // intermediates resolve to opaque placeholders (nobody can read them).
-  size_t out_index = 0;
+  // intermediates resolve to opaque placeholders of their own shape (nobody
+  // can read them).
+  for (size_t k = 0; k < compiled.output_members.size(); ++k) {
+    run[compiled.output_members[k]].outputs[0]->SetTensor(
+        std::move(result->outputs[k]), done_ns);
+  }
   for (size_t n = 0; n < run.size(); ++n) {
-    if (materialize[n]) {
-      run[n].outputs[0]->SetTensor(std::move(result->outputs[out_index++]),
-                                   done_ns);
-    } else {
-      run[n].outputs[0]->SetTensor(Tensor::Opaque(dtype, shape, device_),
-                                   done_ns);
-    }
+    if (materialize[n]) continue;
+    const auto& out = run[n].outputs[0];
+    out->SetTensor(Tensor::Opaque(out->dtype(), out->shape(), device_),
+                   done_ns);
   }
 }
 
@@ -568,7 +714,7 @@ void OpQueue::ExecuteRemote(Node node) {
             "Remote op ", node.op_name, " on ", device_->name(),
             " takes an input living on ", rinfo->device->name(),
             ", a different worker; tensors do not implicitly hop between "
-            "workers — copy explicitly via fetch and re-put")));
+            "workers — move it explicitly with tfe::copy_to")));
         return;
       }
       input_ids.push_back(rinfo->handle_id);

@@ -84,22 +84,27 @@ class OpQueue {
   // by inflight_ so WaitDrained covers it.
   void ExecuteRemote(Node node);
 
-  // Whether `node` can open a fused elementwise run: fusion enabled, this is
-  // a real (non-accelerator) compute device, the op maps to a micro-opcode,
-  // and every input is an already-resolved, copy-free operand of the run
-  // shape (or a broadcast scalar).
+  // Whether `node` can open a fused run: fusion enabled, this is a real
+  // (non-accelerator) compute device, the op is an elementwise micro-op or a
+  // layout op (Transpose/Reshape/ExpandDims/Squeeze — reductions only
+  // *terminate* runs), and every input is an already-resolved, copy-free
+  // operand that broadcasts to the node's shape.
   bool NodeStartsRun(const Node& node) const;
-  // Whether `node` extends `run`: same dtype and shape as the run, and each
-  // input is either produced by a node already in the run or an external
-  // operand passing the NodeStartsRun input checks. An unresolved or
-  // poisoned external input cuts the run (the node stays queued and the next
-  // drain iteration parks or poisons as usual).
+  // Whether `node` extends `run`: same dtype as the run and a compatible
+  // element count (the run's count, a broadcast scalar, or growing a
+  // so-far-scalar run), and each input is either produced by a node already
+  // in the run or an external operand passing the NodeStartsRun input
+  // checks. A trailing-axes Sum/Mean/Max/Min over an in-run value joins as
+  // the run's reduction epilogue and closes it. An unresolved or poisoned
+  // external input cuts the run (the node stays queued and the next drain
+  // iteration parks or poisons as usual).
   bool NodeJoinsRun(const Node& node, const std::vector<Node>& run) const;
   // Executes a run of >= 2 fused nodes as one FusedElementwise invocation:
-  // builds the micro-op program (deduplicating operands), elides
-  // intermediates nobody outside the run can observe, schedules one span of
-  // device time, and fulfills every run handle at the same completion time.
-  // Falls back to per-node Execute() on any surprise.
+  // describes the run to kernels::CompileFusedRun (deduplicating operands),
+  // elides intermediates nobody outside the run can observe, schedules one
+  // span of device time, and fulfills every run handle at the same
+  // completion time. Falls back to per-node Execute() on any surprise,
+  // including patterns the compiler rejects (conflicting layouts).
   void ExecuteFused(std::vector<Node> run);
 
   EagerContext* const ctx_;

@@ -126,10 +126,12 @@ TEST_F(FusionTest, BroadcastScalarOperandsFuse) {
   EXPECT_TRUE(BitwiseEqual(fused, ToVector<float>(g)));
 }
 
-TEST_F(FusionTest, ShapeChangeCutsTheRunButValuesAgree) {
+TEST_F(FusionTest, MidChainReductionSplitsOrTerminatesButValuesAgree) {
   EagerContext* ctx = EagerContext::Global();
   Tensor x = ops::random_normal({4, 4}, 0, 1, /*seed=*/11);
-  // reduce_sum in the middle is not fusable: the run must split around it.
+  // reduce_sum mid-chain may only *terminate* a run (add/relu/sum fuse into
+  // one map-reduce pass; mul/tanh restart a fresh run downstream) — either
+  // way the values may not move a single ulp.
   Tensor h = ops::relu(ops::add(x, x));
   Tensor r = ops::reduce_sum(h, {1}, /*keep_dims=*/true);
   Tensor out = ops::tanh(ops::mul(h, r));
@@ -288,8 +290,8 @@ TEST_F(FusionTest, CastOperandsFoldIntoTheRun) {
   EagerContext* ctx = EagerContext::Global();
   Tensor x = ops::random_normal({33, 17}, 0, 1, /*seed=*/13);
   // A full-shape int32 operand: its cast matches the run shape, so the
-  // drain folds it as a kCast micro-op. (A scalar cast would cut — fused
-  // outputs materialize at the run shape.)
+  // drain folds it as a kCast micro-op. (Scalar casts join too — see
+  // ScalarCastJoinsTheRun.)
   Tensor i32 = ops::cast(ops::mul(x, ops::scalar<float>(4.0f)), DType::kInt32);
   ASSERT_TRUE(ctx->Sync().ok());  // i32 concrete before the chain
   auto chain = [&] {
@@ -382,6 +384,215 @@ TEST_F(FusionTest, ForeignOperandReadByNonCastIsRejected) {
       result.ok() ? (*result)[0].Materialize() : result.status();
   EXPECT_FALSE(status.ok());
   (void)EagerContext::Global()->Sync();  // absorb the deferred error
+}
+
+// --- map-reduce fusion: layout members, reduce epilogues, scalar casts -----
+
+TEST_F(FusionTest, TransposeAndBiasAddRideInsideTheRun) {
+  // Layout ops fold into the run as indexed loads instead of cutting it: an
+  // interleaved transpose/bias-add/elementwise chain pops as one long run.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({24, 24}, 0, 1, /*seed=*/41);
+  Tensor bias = ops::random_normal({24}, 0, 1, /*seed=*/42);
+  ASSERT_TRUE(ctx->Sync().ok());
+  auto chain = [&] {
+    Tensor h = ops::add(x, bias);            // bias-add (row broadcast)
+    h = ops::transpose(h, {1, 0});
+    h = ops::mul(h, ops::scalar<float>(0.5f));
+    h = ops::transpose(h, {1, 0});
+    h = ops::relu(ops::add(h, bias));
+    return ops::sub(h, x);
+  };
+
+  profiler::Histogram* run_length =
+      profiler::Metrics().GetHistogram("fusion.run_length");
+  run_length->Reset();
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor fused = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before)
+      << "layout-interleaved chain never fused";
+  // Transpose-cut runs could reach at most 2; >= 5 proves layout members
+  // joined.
+  EXPECT_GE(run_length->Snapshot().max, 5u)
+      << "transposes cut the run instead of folding";
+
+  ctx->set_fuse_elementwise(false);
+  Tensor plain = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)));
+}
+
+TEST_F(FusionTest, ReduceEpilogueFusesAndMatchesUnfusedBitwise) {
+  // elementwise-chain -> reduction executes as one blocked map-reduce pass;
+  // partial accumulators + the deterministic tree combine keep it bitwise
+  // identical to the standalone reduction kernel.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({64, 32}, 0, 1, /*seed=*/43);
+  Tensor bias = ops::random_normal({32}, 0, 1, /*seed=*/44);
+  ASSERT_TRUE(ctx->Sync().ok());
+  profiler::Counter* reduce_runs =
+      profiler::Metrics().GetCounter("fusion.reduce_runs");
+
+  struct Case {
+    const char* name;
+    std::function<Tensor()> build;
+  };
+  const Case cases[] = {
+      {"row_sum",
+       [&] {
+         return ops::reduce_sum(ops::relu(ops::mul(ops::add(x, bias), x)),
+                                {1});
+       }},
+      {"full_mean",
+       [&] { return ops::reduce_mean(ops::tanh(ops::add(x, x))); }},
+      {"row_max_keepdims",
+       [&] {
+         return ops::reduce_max(ops::sub(ops::mul(x, x), bias), {1},
+                                /*keep_dims=*/true);
+       }},
+  };
+  for (const Case& c : cases) {
+    ctx->set_fuse_elementwise(true);
+    const uint64_t reduce_before = reduce_runs->value();
+    ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+    Tensor fused = c.build();
+    ASSERT_TRUE(ctx->Sync().ok());
+    EXPECT_GT(reduce_runs->value(), reduce_before)
+        << c.name << ": no fused map-reduce pass ran";
+
+    ctx->set_fuse_elementwise(false);
+    Tensor plain = c.build();
+    ASSERT_TRUE(ctx->Sync().ok());
+    EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)))
+        << c.name;
+  }
+}
+
+TEST_F(FusionTest, FusedReduceShardsBitwiseMatchSerial) {
+  // Large enough that the fused pass shards across the intra-op pool; the
+  // per-shard partials and tree combine must reproduce the serial pass
+  // exactly (acceptance: fused bitwise identical, serial AND sharded).
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({256, 512}, 0, 1, /*seed=*/45);
+  ASSERT_TRUE(ctx->Sync().ok());
+  auto compute = [&] {
+    return ops::reduce_sum(ops::mul(ops::tanh(ops::add(x, x)), x), {1});
+  };
+  ctx->set_intra_op_parallelism(true);
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor sharded = compute();
+  ASSERT_TRUE(ctx->Sync().ok());
+  std::vector<float> sharded_v = ToVector<float>(sharded);
+
+  ctx->set_intra_op_parallelism(false);
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor serial = compute();
+  ASSERT_TRUE(ctx->Sync().ok());
+  ctx->set_intra_op_parallelism(true);
+  EXPECT_TRUE(BitwiseEqual(sharded_v, ToVector<float>(serial)));
+}
+
+TEST_F(FusionTest, TapeGradientsThroughFusedReduceBitwiseMatchUnfused) {
+  // The tape records primitive ops before the drain fuses them, so the
+  // backward graph is identical either way — and the fused forward values
+  // feeding it must be too.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({16, 8}, 0, 1, /*seed=*/46);
+  Tensor bias = ops::random_normal({8}, 0, 1, /*seed=*/47);
+  ASSERT_TRUE(ctx->Sync().ok());
+  auto grads = [&](bool fuse) {
+    ctx->set_fuse_elementwise(fuse);
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = ops::reduce_mean(ops::mul(ops::add(x, bias), x), {1});
+    Tensor loss = ops::reduce_sum(ops::square(y));
+    auto dx = tape.gradient(loss, {x});
+    EXPECT_TRUE(dx.ok());
+    EXPECT_TRUE(ctx->Sync().ok());
+    return ToVector<float>((*dx)[0]);
+  };
+  EXPECT_TRUE(BitwiseEqual(grads(true), grads(false)));
+}
+
+TEST_F(FusionTest, PoisonPropagatesThroughFusedReduce) {
+  // A poisoned producer feeding a chain that ends in a fused reduction
+  // surfaces the *original* status, same as op-at-a-time execution.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor params = ops::constant<float>({1, 2, 3}, {3});
+  Tensor bad = ops::gather(params, ops::constant<int64_t>({9}, {1}));
+  Tensor loss = ops::reduce_sum(ops::relu(ops::add(bad, bad)));
+  Status status = loss.Materialize();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfRange);
+  ASSERT_FALSE(ctx->Sync().ok());  // deferred error surfaces once
+  ASSERT_TRUE(ctx->Sync().ok());
+}
+
+TEST_F(FusionTest, ScalarCastJoinsTheRun) {
+  // A scalar cast no longer cuts the run: it folds as a kCast micro-op over
+  // a broadcast (scalar-slot) foreign operand.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({33, 17}, 0, 1, /*seed=*/48);
+  Tensor three = ops::constant<int32_t>({3}, {1});
+  ASSERT_TRUE(ctx->Sync().ok());
+  auto chain = [&] {
+    Tensor h = ops::mul(x, ops::cast(three, DType::kFloat32));
+    h = ops::add(h, x);
+    h = ops::relu(ops::sub(h, ops::cast(three, DType::kFloat32)));
+    return ops::minimum(h, x);
+  };
+
+  profiler::Histogram* run_length =
+      profiler::Metrics().GetHistogram("fusion.run_length");
+  run_length->Reset();
+  const uint64_t runs_before = ctx->stats().fused_runs.load();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor fused = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_runs.load(), runs_before)
+      << "scalar-cast chain never fused";
+  EXPECT_GE(run_length->Snapshot().max, 5u)
+      << "scalar casts cut the run instead of joining";
+
+  ctx->set_fuse_elementwise(false);
+  Tensor plain = chain();
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)));
+}
+
+TEST_F(FusionTest, StagedMapReduceFusesStaticallyAndMatchesBitwise) {
+  // The static pass applies identical recognition: a staged
+  // transpose/bias-add chain with a reduction epilogue collapses into one
+  // FusedElementwise node whose execution matches the unfused variant
+  // bitwise.
+  EagerContext* ctx = EagerContext::Global();
+  Function f = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor h = ops::add(args[0], args[1]);   // bias-add
+        h = ops::transpose(h, {1, 0});
+        h = ops::mul(h, ops::scalar<float>(0.25f));
+        h = ops::transpose(h, {1, 0});
+        return {ops::reduce_sum(ops::relu(h), {1})};
+      },
+      "fusion_staged_map_reduce");
+  Tensor x = ops::random_normal({12, 20}, 0, 1, /*seed=*/49);
+  Tensor bias = ops::random_normal({20}, 0, 1, /*seed=*/50);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  profiler::Counter* reduce_runs =
+      profiler::Metrics().GetCounter("fusion.reduce_runs");
+  const uint64_t reduce_before = reduce_runs->value();
+  std::vector<float> fused = ToVector<float>(f({x, bias})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(reduce_runs->value(), reduce_before)
+      << "static pass did not form a fused map-reduce node";
+
+  ctx->set_fuse_elementwise(false);
+  std::vector<float> plain = ToVector<float>(f({x, bias})[0]);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(fused, plain));
 }
 
 // --- threadpool-parallel kernels -------------------------------------------

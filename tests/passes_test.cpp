@@ -194,6 +194,57 @@ TEST(PassesTest, FuseElementwiseSplitsRunsAtDtypeChange) {
   EXPECT_EQ(CountOps(*fn, "FusedElementwise"), 2);
 }
 
+TEST(PassesTest, FuseElementwiseAbsorbsLayoutAndReduction) {
+  // The widened recognition: transposes and the bias-add broadcast ride
+  // inside the run as indexed loads, and the trailing reduce_sum joins as
+  // the run's map-reduce epilogue — one FusedElementwise node remains.
+  auto fn = std::make_shared<GraphFunction>("fuse_map_reduce_static");
+  {
+    TraceContext trace(fn, EagerContext::Global());
+    Tensor x = trace.AddParameter(DType::kFloat32, Shape({6, 10})).value();
+    Tensor bias = trace.AddParameter(DType::kFloat32, Shape({10})).value();
+    Tensor h = ops::add(x, bias);
+    h = ops::transpose(h, {1, 0});
+    h = ops::mul(h, ops::scalar<float>(0.5f));
+    h = ops::transpose(h, {1, 0});
+    Tensor r = ops::reduce_sum(ops::relu(h), {1});
+    fn->outputs().push_back({r.node_id(), r.output_index()});
+  }
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FuseElementwise(*fn, &stats).ok());
+  EXPECT_EQ(stats.fused_runs, 1);
+  EXPECT_EQ(stats.fused_reduce_runs, 1);
+  EXPECT_EQ(CountOps(*fn, "Transpose"), 0);
+  EXPECT_EQ(CountOps(*fn, "Sum"), 0);
+  EXPECT_EQ(CountOps(*fn, "FusedElementwise"), 1);
+}
+
+TEST(PassesTest, FuseElementwiseLongInterleavedChainStaysOneRun) {
+  // Acceptance gate for the widened window: a 60-op chain alternating
+  // elementwise with transposes/bias-adds must keep a mean run length above
+  // 16 (layout cuts previously capped it around 2).
+  auto fn = std::make_shared<GraphFunction>("fuse_interleaved_long");
+  {
+    TraceContext trace(fn, EagerContext::Global());
+    Tensor x = trace.AddParameter(DType::kFloat32, Shape({8, 8})).value();
+    Tensor bias = trace.AddParameter(DType::kFloat32, Shape({8})).value();
+    Tensor h = x;
+    for (int i = 0; i < 20; ++i) {
+      h = ops::add(h, bias);          // bias-add
+      h = ops::transpose(h, {1, 0});  // layout
+      h = ops::relu(h);               // elementwise
+    }
+    fn->outputs().push_back({h.node_id(), h.output_index()});
+  }
+  passes::PassStats stats;
+  ASSERT_TRUE(passes::FuseElementwise(*fn, &stats).ok());
+  ASSERT_GT(stats.fused_runs, 0);
+  EXPECT_GT(stats.fused_nodes / stats.fused_runs, 16)
+      << "fused_nodes=" << stats.fused_nodes
+      << " fused_runs=" << stats.fused_runs;
+  EXPECT_EQ(CountOps(*fn, "Transpose"), 0);
+}
+
 TEST(PassesTest, OptimizedFunctionStillComputesCorrectly) {
   // End-to-end: the default pipeline must preserve semantics.
   Function f = function(

@@ -262,5 +262,85 @@ TEST_F(RemoteExecutionTest, BlockingClusterApiStillWorksAlongside) {
   EXPECT_EQ(ToVector<float>(dispatched), (std::vector<float>{3, 3}));
 }
 
+TEST_F(RemoteExecutionTest, CopyToShipsLocalTensorToWorker) {
+  // copy_to places a local value in a worker's store; ops scoped there
+  // consume it by store id with no further transfer.
+  Tensor local = ops::constant<float>({1, 2, 3}, {3});
+  Tensor shipped = tfe::copy_to(local, kTask1);
+  ASSERT_NE(shipped.pending_handle(), nullptr);
+  ASSERT_NE(shipped.pending_handle()->remote_info(), nullptr);
+  EXPECT_EQ(shipped.device()->name(), kTask1);
+  Tensor doubled;
+  {
+    tfe::device scope(kTask1);
+    doubled = ops::add(shipped, shipped);
+  }
+  EXPECT_EQ(ToVector<float>(doubled), (std::vector<float>{2, 4, 6}));
+}
+
+TEST_F(RemoteExecutionTest, CopyToBringsRemoteValueHome) {
+  Tensor remote;
+  {
+    tfe::device scope(kTask0);
+    remote = ops::mul(ops::constant<float>({2, 3}, {2}),
+                      ops::constant<float>({10, 10}, {2}));
+  }
+  Tensor home = tfe::copy_to(remote, EagerContext::Global()->HostCpu());
+  EXPECT_EQ(home.pending_handle(), nullptr);
+  EXPECT_FALSE(home.device() != nullptr && home.device()->IsRemote());
+  EXPECT_EQ(ToVector<float>(home), (std::vector<float>{20, 30}));
+}
+
+TEST_F(RemoteExecutionTest, CopyToMovesTensorBetweenWorkers) {
+  // The explicit hop the cross-worker InvalidArgument directs users to:
+  // fetch from task 0's store, re-put into task 1's, consume on task 1.
+  Tensor a = ops::constant<float>({5, 6}, {2});
+  Tensor on_task0;
+  {
+    tfe::device scope(kTask0);
+    on_task0 = ops::add(a, a);
+  }
+  Tensor on_task1 = tfe::copy_to(on_task0, kTask1);
+  ASSERT_NE(on_task1.pending_handle(), nullptr);
+  ASSERT_NE(on_task1.pending_handle()->remote_info(), nullptr);
+  EXPECT_EQ(on_task1.device()->name(), kTask1);
+  Tensor cross;
+  {
+    tfe::device scope(kTask1);
+    cross = ops::add(on_task1, a);
+  }
+  ASSERT_TRUE(EagerContext::Global()->Sync().ok());
+  EXPECT_EQ(ToVector<float>(cross), (std::vector<float>{15, 18}));
+}
+
+TEST_F(RemoteExecutionTest, CopyToSameDeviceIsANoOp) {
+  Tensor remote;
+  {
+    tfe::device scope(kTask1);
+    remote = ops::add(ops::constant<float>({1, 1}, {2}),
+                      ops::constant<float>({1, 1}, {2}));
+  }
+  Tensor same = tfe::copy_to(remote, kTask1);
+  ASSERT_NE(same.pending_handle(), nullptr);
+  ASSERT_NE(same.pending_handle()->remote_info(), nullptr);
+  EXPECT_EQ(same.pending_handle()->remote_info()->handle_id,
+            remote.pending_handle()->remote_info()->handle_id);
+}
+
+TEST_F(RemoteFailureTest, CopyToSurfacesPoisonedSourceStatus) {
+  // Moving a poisoned tensor reports the original failure instead of
+  // shipping garbage.
+  Tensor bad;
+  {
+    tfe::device scope("/job:worker/task:9/device:CPU:0");
+    bad = ops::add(ops::constant<float>({1}, {1}),
+                   ops::constant<float>({1}, {1}));
+  }
+  auto moved = EagerContext::Global()->CopyTo(
+      bad, EagerContext::Global()->devices().FindDevice(kTask0).value());
+  EXPECT_FALSE(moved.ok());
+  (void)EagerContext::Global()->Sync();  // clear the deferred error
+}
+
 }  // namespace
 }  // namespace tfe
