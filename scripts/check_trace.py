@@ -2,7 +2,7 @@
 """Validates a Chrome trace_event JSON file written by the profiler.
 
 Usage: scripts/check_trace.py [--require-remote] [--require-reduce-fusion] \
-    <trace.json>
+    [--require-allocator] <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
@@ -17,6 +17,11 @@ resolves the client's pending handles.
 With --require-reduce-fusion the trace must contain at least one
 "fused_reduce_run" instant — emitted by the fused kernel each time a
 reduction epilogue executes as a blocked map-reduce pass.
+
+With --require-allocator the trace must contain the memory subsystem's
+instants: an "allocator_slab" (the arena acquiring a fresh slab from the
+system) and a "buffer_donation" (a fused run writing its output in place
+into a uniquely-owned input buffer).
 """
 import json
 import sys
@@ -31,11 +36,13 @@ def main():
     args = sys.argv[1:]
     require_remote = "--require-remote" in args
     require_reduce_fusion = "--require-reduce-fusion" in args
+    require_allocator = "--require-allocator" in args
     args = [a for a in args
-            if a not in ("--require-remote", "--require-reduce-fusion")]
+            if a not in ("--require-remote", "--require-reduce-fusion",
+                         "--require-allocator")]
     if len(args) != 1:
         fail(f"usage: {sys.argv[0]} [--require-remote] "
-             "[--require-reduce-fusion] <trace.json>")
+             "[--require-reduce-fusion] [--require-allocator] <trace.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -77,6 +84,11 @@ def main():
     if require_reduce_fusion and "fused_reduce_run" not in instant_names:
         fail("no 'fused_reduce_run' instant — no fused map-reduce pass ran "
              f"(instants seen: {sorted(instant_names)})")
+    if require_allocator:
+        for want in ("allocator_slab", "buffer_donation"):
+            if want not in instant_names:
+                fail(f"no '{want}' instant — the memory subsystem left no "
+                     f"trace (instants seen: {sorted(instant_names)})")
 
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(span_tids)} span threads, categories {sorted(categories)}")

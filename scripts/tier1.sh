@@ -30,7 +30,8 @@ if [[ "$MODE" == "--profile" ]]; then
   TRACE="build/profile_smoke_trace.json"
   echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
-  python3 scripts/check_trace.py --require-reduce-fusion "$TRACE"
+  python3 scripts/check_trace.py --require-reduce-fusion --require-allocator \
+    "$TRACE"
   REMOTE_TRACE="build/profile_smoke_remote_trace.json"
   echo "==== profile smoke: bench_distrib under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \
@@ -53,13 +54,16 @@ if [[ "$MODE" == "--tier2" ]]; then
   # Everything, including the serial kernel tests and the distributed suite
   # (worker service threads + async RPC callbacks are prime TSan territory):
   # sanitizers still catch lifetime bugs there, and the suite is small
-  # enough to afford it.
+  # enough to afford it. The arena would recycle blocks and hide
+  # use-after-free behind reuse, so the sweep pins every buffer to a fresh
+  # system allocation for byte-level ASan/TSan visibility.
   FILTER='*'
+  export TFE_ALLOCATOR=system
 else
   # Concurrency tests only: the async queues, the drain fuser, the
-  # threadpool-parallel kernels, the remote dispatch path, and the
-  # profiler's lock-free record/flush.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*'
+  # threadpool-parallel kernels, the remote dispatch path, the allocator +
+  # donation machinery, and the profiler's lock-free record/flush.
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="

@@ -9,7 +9,8 @@ Device::Device(DeviceNameParts name, DeviceCostParams cost_params,
       cost_params_(cost_params),
       executes_kernels_(executes_kernels),
       synchronous_(synchronous),
-      timeline_(canonical_name_) {}
+      timeline_(canonical_name_),
+      allocator_(MakeAllocator(DefaultAllocatorKind(), canonical_name_)) {}
 
 uint64_t Device::CompileCostNs(const std::string& signature) {
   if (cost_params_.per_op_compile_ns == 0) return 0;

@@ -23,6 +23,7 @@
 #include "device/cost_model.h"
 #include "device/device_name.h"
 #include "support/timeline.h"
+#include "tensor/allocator.h"
 
 namespace tfe {
 
@@ -58,6 +59,16 @@ class Device {
   const DeviceCostParams& cost_params() const { return cost_params_; }
   Timeline& timeline() { return timeline_; }
 
+  // The allocator serving this device's tensor storage (never null). Each
+  // device owns its own instance — the allocator-behind-context pattern —
+  // so per-device stats() separate CPU, sim, and remote allocation traffic.
+  // The kind (arena vs system) is fixed at device construction from
+  // TFE_ALLOCATOR / the programmatic override.
+  Allocator* allocator() const { return allocator_.get(); }
+  const std::shared_ptr<Allocator>& allocator_shared() const {
+    return allocator_;
+  }
+
   // Virtual cost to charge for compiling `signature` on this device
   // (simulated TPU eager mode). First call per signature pays
   // per_op_compile_ns; later calls hit the compile cache and pay nothing.
@@ -77,6 +88,7 @@ class Device {
   bool executes_kernels_;
   bool synchronous_;
   Timeline timeline_;
+  std::shared_ptr<Allocator> allocator_;
 
   std::mutex compile_mu_;
   std::unordered_set<std::string> compile_cache_;

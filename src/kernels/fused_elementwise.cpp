@@ -892,6 +892,54 @@ StatusOr<CompiledRun> CompileFusedRun(
   if (out.output_members.empty()) {
     return InvalidArgument("fused run materializes nothing");
   }
+
+  // Donation plan: alias a uniquely-owned external operand's buffer as a
+  // fused output so the run writes in place instead of allocating. The
+  // interpreter processes disjoint contiguous blocks, and within a block
+  // every gather/instruction read happens before any output store — so
+  // overwriting a donor is safe iff (a) the output stores contiguously over
+  // the full evaluation space (its block writes exactly the block's element
+  // range), (b) every slot reading the donor is contiguous (strided/gather
+  // reads cross block boundaries), and (c) none of those slots feed an
+  // output store or the reduction epilogue, both of which read *after* the
+  // block's stores. The donated output's register is always an instruction
+  // row (condition on spec.reg below), so its own in-block reads precede
+  // the store.
+  out.donations.assign(prog.output_specs.size(), -1);
+  std::vector<char> donor_taken(operands.size(), 0);
+  for (size_t o = 0; o < prog.output_specs.size(); ++o) {
+    const MicroOutputSpec& spec = prog.output_specs[o];
+    if (spec.store.kind != MicroAccessKind::kContiguous) continue;
+    if (spec.reg < prog.num_operands) continue;  // slot alias, reads a buffer
+    if (ProductOf(spec.shape) != count) continue;
+    for (size_t oi = 0; oi < operands.size(); ++oi) {
+      if (donor_taken[oi] || !operands[oi].may_donate) continue;
+      if (operands[oi].dtype != run_dtype) continue;
+      if (operands[oi].shape.num_elements() != count) continue;
+      bool safe = true;
+      for (size_t s = 0; safe && s < prog.slots.size(); ++s) {
+        if (prog.slots[s].input != static_cast<int64_t>(oi)) continue;
+        if (prog.slots[s].access.kind != MicroAccessKind::kContiguous) {
+          safe = false;
+          break;
+        }
+        for (int32_t out_reg : prog.outputs) {
+          if (out_reg == static_cast<int32_t>(s)) {
+            safe = false;
+            break;
+          }
+        }
+        if (prog.reduce.kind != MicroReduceKind::kNone &&
+            prog.reduce.src == static_cast<int32_t>(s)) {
+          safe = false;
+        }
+      }
+      if (!safe) continue;
+      out.donations[o] = static_cast<int>(oi);
+      donor_taken[oi] = 1;
+      break;
+    }
+  }
   return out;
 }
 
@@ -1355,6 +1403,55 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
         "FusedElementwise foreign-dtype operand fed to the reduction");
   }
 
+  // Donation plan ("donate" attr): output k writes donate[k]'s buffer in
+  // place (-1 = fresh allocation). The compiler only assigns donations it
+  // proved safe, but the kernel is publicly invocable, so re-validate the
+  // in-place rules here: dtype/size match, a contiguous full-space store
+  // from an instruction register, and no slot of the donor feeding an
+  // output store or the reduction epilogue (both read after the block's
+  // stores — everything else reads before them).
+  const std::vector<int64_t> donate =
+      ctx->GetAttrOr<std::vector<int64_t>>("donate", {});
+  if (!donate.empty()) {
+    if (!program.extended) {
+      return InvalidArgument("FusedElementwise donation requires a v2 program");
+    }
+    if (donate.size() != program.outputs.size()) {
+      return InvalidArgument("FusedElementwise donate length mismatch");
+    }
+    for (size_t o = 0; o < donate.size(); ++o) {
+      const int64_t donor = donate[o];
+      if (donor < 0) continue;
+      if (donor >= static_cast<int64_t>(inputs.size())) {
+        return InvalidArgument("FusedElementwise donor index out of range");
+      }
+      const MicroOutputSpec& spec = program.output_specs[o];
+      const Tensor& src = inputs[donor];
+      if (src.dtype() != dtype || foreign[donor] ||
+          src.num_elements() != count ||
+          spec.store.kind != MicroAccessKind::kContiguous ||
+          ProductOf(spec.shape) != count ||
+          spec.reg < program.num_operands) {
+        return InvalidArgument("FusedElementwise unsafe donation");
+      }
+      for (size_t s = 0; s < program.slots.size(); ++s) {
+        if (program.slots[s].input != donor) continue;
+        bool stored = program.slots[s].access.kind !=
+                      MicroAccessKind::kContiguous;
+        for (int32_t out_reg : program.outputs) {
+          if (out_reg == static_cast<int32_t>(s)) stored = true;
+        }
+        if (program.reduce.kind != MicroReduceKind::kNone &&
+            program.reduce.src == static_cast<int32_t>(s)) {
+          stored = true;
+        }
+        if (stored) {
+          return InvalidArgument("FusedElementwise unsafe donation");
+        }
+      }
+    }
+  }
+
   EagerContext* ectx = ctx->eager_context();
   ectx->stats().fused_runs.fetch_add(1, std::memory_order_relaxed);
   ectx->stats().fused_ops.fetch_add(program.insts.size(),
@@ -1419,8 +1516,13 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
       res.reg = program.outputs[o];
       if (program.extended) {
         const MicroOutputSpec& spec = program.output_specs[o];
-        Tensor out = ctx->AllocateOutput(static_cast<int>(o), dtype,
-                                         Shape(spec.shape));
+        const int64_t donor = o < donate.size() ? donate[o] : -1;
+        Tensor out =
+            donor >= 0
+                ? DonateOutput(ctx, static_cast<int>(o), dtype,
+                               Shape(spec.shape), inputs[donor])
+                : ctx->AllocateOutput(static_cast<int>(o), dtype,
+                                      Shape(spec.shape));
         res.data = out.mutable_data<T>();
         res.kind = spec.store.kind;
         if (spec.store.kind == MicroAccessKind::kStrided) {

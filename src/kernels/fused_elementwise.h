@@ -221,6 +221,11 @@ struct FusedRunOp {
 struct FusedRunOperand {
   DType dtype = DType::kFloat32;
   Shape shape;
+  // The caller proved this operand's buffer is uniquely owned (no
+  // outstanding tensors/handles, tape not watching) and is willing to have
+  // the run overwrite it in place. Only the async drain sets this; the
+  // static graph pass has no ownership information and leaves it false.
+  bool may_donate = false;
 };
 
 struct CompiledRun {
@@ -230,6 +235,11 @@ struct CompiledRun {
   std::vector<int> output_members;
   bool has_cast = false;
   bool has_reduce = false;
+  // Donation plan, parallel to program.outputs: the operand index whose
+  // buffer output k writes in place, or -1 for a fresh allocation. Assigned
+  // only where the interpreter's block order proves every read of the donor
+  // precedes the overwriting store (see AssignDonations in the .cpp).
+  std::vector<int> donations;
 };
 
 StatusOr<CompiledRun> CompileFusedRun(const std::vector<FusedRunOp>& ops,

@@ -4,11 +4,32 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "profiler/profiler.h"
 #include "runtime/eager_context.h"
 #include "support/threadpool.h"
 
 namespace tfe {
 namespace kernels {
+
+Tensor DonateOutput(KernelContext* ctx, int i, DType dtype, const Shape& shape,
+                    const Tensor& donor) {
+  Tensor out = Tensor::Concrete(dtype, shape, donor.buffer(), ctx->device());
+  ctx->SetOutput(i, out);
+  static profiler::Counter* donations =
+      profiler::Metrics().GetCounter("allocator.donations");
+  static profiler::Counter* donated_bytes =
+      profiler::Metrics().GetCounter("allocator.donated_bytes");
+  const int64_t bytes =
+      shape.num_elements() * static_cast<int64_t>(DTypeSize(dtype));
+  donations->Increment();
+  donated_bytes->Increment(static_cast<uint64_t>(bytes));
+  if (profiler::enabled()) {
+    static const uint32_t donation_name = profiler::Intern("buffer_donation");
+    profiler::RecordInstant(profiler::EventKind::kAllocator, donation_name,
+                            bytes);
+  }
+  return out;
+}
 
 void ParallelFor(EagerContext* ctx, int64_t total, int64_t min_per_shard,
                  const std::function<void(int64_t, int64_t)>& fn) {

@@ -83,6 +83,15 @@ void RegisterKernel(const char* op_name, KernelFn fn);
 void ParallelFor(EagerContext* ctx, int64_t total, int64_t min_per_shard,
                  const std::function<void(int64_t, int64_t)>& fn);
 
+// Publishes output `i` as an in-place view over `donor`'s buffer instead of
+// allocating fresh storage (buffer donation), and updates the
+// allocator.donations metrics. The caller must have proved the donor's
+// buffer is exclusively owned and that the kernel's access pattern never
+// reads the donor after writing the output (see the fused-run donation
+// rules in fused_elementwise.cpp). Returns the published output tensor.
+Tensor DonateOutput(KernelContext* ctx, int i, DType dtype, const Shape& shape,
+                    const Tensor& donor);
+
 }  // namespace kernels
 }  // namespace tfe
 

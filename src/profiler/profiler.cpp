@@ -173,6 +173,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kExecutorRun: return "executor_run";
     case EventKind::kRemoteEnqueue: return "remote_enqueue";
     case EventKind::kRemoteResolve: return "remote_resolve";
+    case EventKind::kAllocator: return "allocator";
   }
   return "unknown";
 }

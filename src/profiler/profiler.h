@@ -50,6 +50,9 @@ enum class EventKind : uint8_t {
                     //  pending-handle protocol (detail = op name)
   kRemoteResolve,   // (span) worker completion resolving the client's
                     //  pending handles (detail = op name)
+  kAllocator,       // allocator event: a fresh slab pulled from the system
+                    //  ("allocator_slab", arg = bytes) or a fused-run buffer
+                    //  donation ("buffer_donation", arg = bytes)
 };
 
 // Stable lowercase name ("dispatch", "kernel", ...) used as the Chrome

@@ -67,6 +67,14 @@ StatusOr<std::vector<Tensor>> Dispatch(OpCall call) {
   // primitive ops were already recorded; recording the HostFunc itself would
   // double-count (paper §4.7: "when executing in imperative mode, wrapping a
   // Python function in a py_func has essentially no effect").
+  //
+  // Buffer donation leans on this call happening at *dispatch* time: an
+  // active tape's TapeEntry keeps whole input/output Tensors (not ids), so
+  // by the time the op-queue drain weighs donating a buffer, anything the
+  // tape will ever need already holds extra state/handle references and
+  // fails the drain's exclusivity counts. Recording must never be deferred
+  // past enqueue, and TapeEntry must never be weakened to id-only, or
+  // fused runs would overwrite buffers the backward pass still reads.
   if (!(trace == nullptr && call.op_name == "HostFunc")) {
     GradientTape::RecordOperation(call.op_name, call.attrs, call.inputs,
                                   outputs, call.device);

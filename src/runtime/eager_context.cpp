@@ -61,6 +61,7 @@ EagerContext::EagerContext() : EagerContext(Options()) {}
 EagerContext::EagerContext(const Options& options)
     : fuse_elementwise_(options.fuse_elementwise),
       intra_op_parallelism_(options.intra_op_parallelism),
+      buffer_donation_(options.buffer_donation),
       host_profile_(options.host_profile),
       rng_(options.random_seed, /*stream=*/0x7465666f),
       random_seed_(options.random_seed),

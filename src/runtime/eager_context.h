@@ -72,6 +72,11 @@ class EagerContext {
     // intra-op pool via kernels::ParallelFor. Values are bitwise identical
     // to serial execution (shards never change accumulation order).
     bool intra_op_parallelism = true;
+    // Buffer donation: a drain-fused run whose input buffer is uniquely
+    // owned (no outstanding handles or tensors, tape not watching) writes
+    // its output in place instead of allocating. Values stay bitwise
+    // identical; off switches every fused run to the copying path.
+    bool buffer_donation = true;
   };
 
   EagerContext();  // default Options
@@ -106,6 +111,12 @@ class EagerContext {
   }
   void set_intra_op_parallelism(bool parallel) {
     intra_op_parallelism_.store(parallel, std::memory_order_relaxed);
+  }
+  bool buffer_donation() const {
+    return buffer_donation_.load(std::memory_order_relaxed);
+  }
+  void set_buffer_donation(bool donate) {
+    buffer_donation_.store(donate, std::memory_order_relaxed);
   }
 
   const HostProfile& host_profile() const { return host_profile_; }
@@ -284,6 +295,7 @@ class EagerContext {
   std::unique_ptr<ThreadPool> intraop_pool_;
   std::atomic<bool> fuse_elementwise_{true};
   std::atomic<bool> intra_op_parallelism_{true};
+  std::atomic<bool> buffer_donation_{true};
   HostProfile host_profile_;
   std::atomic<uint64_t> host_now_ns_{0};
   Stats stats_;

@@ -442,6 +442,7 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
   std::unordered_map<const TensorHandle*, int> produced;
   uint64_t start_ns = 0;
   bool ok = true;
+  const bool donation_enabled = ctx_->buffer_donation();
   for (size_t n = 0; ok && n < run.size(); ++n) {
     const Node& node = run[n];
     start_ns = std::max(start_ns, node.enqueue_host_ns);
@@ -491,8 +492,25 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
         }
       }
       if (index < 0) {
+        // Donation: offer this operand's buffer as an in-place output when
+        // it is provably exclusive — `input` (this run slot, alive until the
+        // kernel returns) is the only tensor state wrapping the producing
+        // handle, nothing else holds the handle, its resolved value, or its
+        // buffer. A tape-watched or user-aliased value fails these counts
+        // (TapeEntry and aliases hold whole Tensors). Counts are racy the
+        // same way Observable's are, but external references can only be
+        // created from existing external references, so a stale count only
+        // errs high and races resolve toward copying (the safe direction).
+        bool may_donate = false;
+        if (donation_enabled && handle != nullptr && value.dtype() == dtype &&
+            (value.device() == nullptr || value.device() == device_)) {
+          may_donate = handle.use_count() == 1 &&
+                       input.state_use_count() == 1 &&
+                       value.state_use_count() == 2 &&  // handle's + `value`
+                       value.buffer().use_count() == 1;
+        }
         index = static_cast<int>(operands.size());
-        operand_descs.push_back({value.dtype(), value.shape()});
+        operand_descs.push_back({value.dtype(), value.shape(), may_donate});
         operands.push_back(std::move(value));
       }
       op.args.push_back({/*producer=*/-1, /*operand=*/index});
@@ -538,6 +556,13 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
   // Extended programs may read operands under layout maps or foreign dtypes,
   // so the run dtype is always explicit.
   attrs.emplace("dtype", AttrValue(dtype));
+  bool any_donation = false;
+  for (int d : compiled.donations) any_donation |= d >= 0;
+  if (any_donation) {
+    attrs.emplace("donate",
+                  AttrValue(std::vector<int64_t>(compiled.donations.begin(),
+                                                 compiled.donations.end())));
+  }
   auto result = ctx_->ExecuteKernel("FusedElementwise", operands, attrs,
                                     device_, /*compiled=*/false, start_ns);
   if (!result.ok()) {

@@ -1,28 +1,24 @@
 #include "tensor/buffer.h"
 
-#include <cstdlib>
-#include <cstring>
+#include <utility>
 
 #include "support/logging.h"
+#include "tensor/allocator.h"
 
 namespace tfe {
 
-namespace {
-constexpr size_t kAlignment = 64;
-}
-
 std::shared_ptr<Buffer> Buffer::Allocate(size_t bytes) {
-  // Round up to the alignment so aligned_alloc's size precondition holds;
-  // keep zero-size buffers valid (rank-0 slices of empty tensors).
-  size_t alloc_bytes = ((bytes + kAlignment - 1) / kAlignment) * kAlignment;
-  if (alloc_bytes == 0) alloc_bytes = kAlignment;
-  void* data = std::aligned_alloc(kAlignment, alloc_bytes);
-  TFE_CHECK(data != nullptr) << "Out of memory allocating " << bytes
-                             << " bytes";
-  std::memset(data, 0, alloc_bytes);
-  return std::shared_ptr<Buffer>(new Buffer(data, bytes));
+  return Allocate(bytes, ProcessAllocator());
 }
 
-Buffer::~Buffer() { std::free(data_); }
+std::shared_ptr<Buffer> Buffer::Allocate(
+    size_t bytes, std::shared_ptr<Allocator> allocator) {
+  TFE_CHECK(allocator != nullptr);
+  void* data = allocator->AllocateRaw(bytes);
+  return std::shared_ptr<Buffer>(
+      new Buffer(data, bytes, std::move(allocator)));
+}
+
+Buffer::~Buffer() { allocator_->DeallocateRaw(data_, bytes_); }
 
 }  // namespace tfe

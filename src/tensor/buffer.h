@@ -6,6 +6,10 @@
 // (see device/). Buffers are immutable once published inside a tensor; ops
 // that mutate state (variable assign) swap in freshly allocated buffers, so
 // readers holding the old buffer are never invalidated.
+//
+// Storage comes from an Allocator (allocator.h): per-device arenas by
+// default, a pass-through SystemAllocator under TFE_ALLOCATOR=system. The
+// buffer keeps its allocator alive and returns the bytes through it.
 #ifndef TFE_TENSOR_BUFFER_H_
 #define TFE_TENSOR_BUFFER_H_
 
@@ -14,10 +18,16 @@
 
 namespace tfe {
 
+class Allocator;
+
 class Buffer {
  public:
-  // Allocates `bytes` of 64-byte-aligned, zero-initialized storage.
+  // Allocates `bytes` of 64-byte-aligned, zero-initialized storage from the
+  // process-default allocator (device-less buffers).
   static std::shared_ptr<Buffer> Allocate(size_t bytes);
+  // Same, from a specific allocator (the owning device's).
+  static std::shared_ptr<Buffer> Allocate(size_t bytes,
+                                          std::shared_ptr<Allocator> allocator);
 
   ~Buffer();
 
@@ -28,11 +38,16 @@ class Buffer {
   const void* data() const { return data_; }
   size_t bytes() const { return bytes_; }
 
+  // The allocator this buffer's storage came from (never null).
+  const std::shared_ptr<Allocator>& allocator() const { return allocator_; }
+
  private:
-  Buffer(void* data, size_t bytes) : data_(data), bytes_(bytes) {}
+  Buffer(void* data, size_t bytes, std::shared_ptr<Allocator> allocator)
+      : data_(data), bytes_(bytes), allocator_(std::move(allocator)) {}
 
   void* data_;
   size_t bytes_;
+  std::shared_ptr<Allocator> allocator_;
 };
 
 }  // namespace tfe

@@ -2,7 +2,9 @@
 
 #include <atomic>
 
+#include "device/device.h"
 #include "support/strings.h"
+#include "tensor/allocator.h"
 #include "tensor/tensor_handle.h"
 
 namespace tfe {
@@ -64,8 +66,12 @@ Tensor Tensor::Concrete(DType dtype, Shape shape,
 }
 
 Tensor Tensor::Empty(DType dtype, const Shape& shape, Device* device) {
-  auto buffer = Buffer::Allocate(static_cast<size_t>(shape.num_elements()) *
-                                 DTypeSize(dtype));
+  // Storage comes from the owning device's allocator so per-device arenas
+  // account (and recycle) their own traffic; device-less tensors use the
+  // process-wide default.
+  auto buffer = Buffer::Allocate(
+      static_cast<size_t>(shape.num_elements()) * DTypeSize(dtype),
+      device != nullptr ? device->allocator_shared() : ProcessAllocator());
   return Concrete(dtype, shape, std::move(buffer), device);
 }
 

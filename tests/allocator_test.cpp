@@ -1,0 +1,431 @@
+// Memory subsystem: the Allocator interface (arena size-class freelists,
+// system pass-through, per-device ownership) and fused-run buffer donation.
+// The donation contract under test: a buffer is donated only when provably
+// exclusive — a value watched by the gradient tape, aliased by a second
+// Tensor, or held by a pending TensorHandle is never overwritten — and a
+// donated run's outputs are bitwise identical to the copying path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/tfe.h"
+#include "kernels/fused_elementwise.h"
+#include "profiler/profiler.h"
+#include "runtime/eager_context.h"
+#include "tensor/allocator.h"
+#include "tensor/buffer.h"
+#include "tensor/tensor_handle.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::ToVector;
+
+bool AllZero(const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+TEST(AllocatorTest, ArenaReusesFreedBlocksAndRezeroes) {
+  ArenaAllocator arena("test");
+  void* p1 = arena.AllocateRaw(1000);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_TRUE(AllZero(p1, 1000));
+  EXPECT_EQ(arena.stats().freelist_hits.load(), 0u);
+  EXPECT_EQ(arena.stats().freelist_misses.load(), 1u);
+  std::memset(p1, 0xAB, 1000);
+  arena.DeallocateRaw(p1, 1000);
+  EXPECT_GT(arena.retained_bytes(), 0u);
+
+  // Same size class (1000 and 900 both round into the 1024 class): the
+  // freed block comes back, scrubbed to zero.
+  void* p2 = arena.AllocateRaw(900);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(arena.stats().freelist_hits.load(), 1u);
+  EXPECT_TRUE(AllZero(p2, 900));
+  arena.DeallocateRaw(p2, 900);
+}
+
+TEST(AllocatorTest, ArenaStatsTrackInUseAndHighWater) {
+  ArenaAllocator arena("stats");
+  void* a = arena.AllocateRaw(100);
+  void* b = arena.AllocateRaw(5000);
+  const int64_t peak = arena.stats().in_use_bytes.load();
+  EXPECT_GT(peak, 0);
+  EXPECT_EQ(arena.stats().high_water_bytes.load(), peak);
+  EXPECT_EQ(arena.stats().bytes_requested.load(), 5100u);
+  arena.DeallocateRaw(a, 100);
+  arena.DeallocateRaw(b, 5000);
+  EXPECT_EQ(arena.stats().in_use_bytes.load(), 0);
+  // High water survives the frees.
+  EXPECT_EQ(arena.stats().high_water_bytes.load(), peak);
+}
+
+TEST(AllocatorTest, ArenaRespectsRetainedBytesCap) {
+  ArenaAllocator arena("cap", /*max_retained_bytes=*/2048);
+  void* a = arena.AllocateRaw(1024);
+  void* b = arena.AllocateRaw(1024);
+  void* c = arena.AllocateRaw(1024);
+  arena.DeallocateRaw(a, 1024);
+  arena.DeallocateRaw(b, 1024);
+  arena.DeallocateRaw(c, 1024);  // over the cap: released to the system
+  EXPECT_LE(arena.retained_bytes(), 2048u);
+}
+
+TEST(AllocatorTest, ArenaIsThreadSafe) {
+  ArenaAllocator arena("threads");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&arena, t] {
+      for (int i = 0; i < 500; ++i) {
+        size_t bytes = static_cast<size_t>(64 + 64 * ((i + t) % 8));
+        void* p = arena.AllocateRaw(bytes);
+        static_cast<char*>(p)[0] = 1;
+        arena.DeallocateRaw(p, bytes);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(arena.stats().in_use_bytes.load(), 0);
+  EXPECT_EQ(arena.stats().allocations.load(), 2000u);
+  EXPECT_EQ(arena.stats().deallocations.load(), 2000u);
+}
+
+TEST(AllocatorTest, SystemAllocatorPassesThrough) {
+  SystemAllocator system("test");
+  void* p = system.AllocateRaw(256);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(AllZero(p, 256));
+  system.DeallocateRaw(p, 256);
+  EXPECT_EQ(system.stats().freelist_hits.load(), 0u);
+  EXPECT_EQ(system.stats().freelist_misses.load(), 1u);
+  EXPECT_EQ(system.stats().in_use_bytes.load(), 0);
+}
+
+TEST(AllocatorTest, KindSelectionHonorsOverrideAndEnv) {
+  const char* saved = std::getenv("TFE_ALLOCATOR");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  ClearAllocatorKindOverride();
+  unsetenv("TFE_ALLOCATOR");
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kArena);  // default
+  setenv("TFE_ALLOCATOR", "system", 1);
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kSystem);
+  setenv("TFE_ALLOCATOR", "arena", 1);
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kArena);
+  setenv("TFE_ALLOCATOR", "bogus", 1);
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kArena);
+  // The programmatic override wins over the environment.
+  setenv("TFE_ALLOCATOR", "system", 1);
+  OverrideDefaultAllocatorKind(AllocatorKind::kArena);
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kArena);
+  ClearAllocatorKindOverride();
+  EXPECT_EQ(DefaultAllocatorKind(), AllocatorKind::kSystem);
+
+  if (saved != nullptr) {
+    setenv("TFE_ALLOCATOR", saved_value.c_str(), 1);
+  } else {
+    unsetenv("TFE_ALLOCATOR");
+  }
+}
+
+TEST(AllocatorTest, EachDeviceOwnsAnAccountingAllocator) {
+  EagerContext::ResetGlobal(EagerContext::Options());
+  Device* cpu = EagerContext::Global()->HostCpu();
+  ASSERT_NE(cpu->allocator(), nullptr);
+  EXPECT_EQ(cpu->allocator()->name(), cpu->name());
+
+  const uint64_t before = cpu->allocator()->stats().bytes_requested.load();
+  Tensor t = Tensor::Empty(DType::kFloat32, Shape({64, 64}), cpu);
+  const uint64_t after = cpu->allocator()->stats().bytes_requested.load();
+  EXPECT_GE(after - before, 64u * 64u * sizeof(float));
+
+  // Device-less tensors route through the process allocator instead.
+  Tensor detached = Tensor::Empty(DType::kFloat32, Shape({8}), nullptr);
+  EXPECT_EQ(detached.buffer()->allocator().get(), ProcessAllocator().get());
+}
+
+TEST(AllocatorTest, BufferKeepsItsAllocatorAlive) {
+  std::shared_ptr<Buffer> buffer;
+  {
+    auto arena = std::make_shared<ArenaAllocator>("scoped");
+    buffer = Buffer::Allocate(512, arena);
+  }  // the test's only direct ref dies; the buffer keeps the arena alive
+  std::memset(buffer->data(), 0x5A, buffer->bytes());
+  EXPECT_EQ(static_cast<unsigned char*>(buffer->data())[511], 0x5A);
+  buffer.reset();  // returns storage through (and then releases) the arena
+}
+
+// ---- Buffer donation -------------------------------------------------------
+
+uint64_t Donations() {
+  return profiler::Metrics().GetCounter("allocator.donations")->value();
+}
+
+// Fusion on the drain needs queue depth; a slow op at the head of the
+// in-order queue keeps the drain busy while the producer enqueues the chain
+// (same trick as fusion_test.cpp).
+void BlockQueueHead() {
+  Tensor a = ops::random_normal({192, 192}, 0, 1, /*seed=*/97);
+  Tensor b = ops::random_normal({192, 192}, 0, 1, /*seed=*/98);
+  ASSERT_TRUE(EagerContext::Global()->Sync().ok());
+  (void)ops::matmul(a, b);
+}
+
+// Unary chain: every fused run reads exactly one external operand (the
+// previous run's tip), the donation candidate.
+Tensor UnaryChain(const Tensor& x, int length) {
+  Tensor h = x;
+  for (int i = 0; i < length; ++i) {
+    h = (i % 2 == 0) ? ops::abs(h) : ops::neg(h);
+  }
+  return h;
+}
+
+class DonationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EagerContext::Options options;
+    options.async = true;
+    EagerContext::ResetGlobal(options);
+  }
+  void TearDown() override {
+    EagerContext::ResetGlobal(EagerContext::Options());
+  }
+};
+
+TEST_F(DonationTest, FusedRunsDonateAndMatchTheCopyingPathBitwise) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({64, 64}, 0, 1, /*seed=*/5);
+
+  const uint64_t donations_before = Donations();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor donated = UnaryChain(x, 160);  // > kMaxFusedRun: several runs form
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(Donations(), donations_before)
+      << "no fused run donated a uniquely-owned input buffer";
+
+  ctx->set_buffer_donation(false);
+  const uint64_t donations_off = Donations();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor copied = UnaryChain(x, 160);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(Donations(), donations_off) << "donation fired while disabled";
+
+  EXPECT_EQ(ToVector<float>(donated), ToVector<float>(copied));
+}
+
+TEST_F(DonationTest, TapeWatchedBuffersAreNeverDonated) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({32, 32}, 0, 1, /*seed=*/9);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  const uint64_t donations_before = Donations();
+  GradientTape tape;
+  tape.watch(x);
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  // Every intermediate is recorded on the tape (TapeEntry holds the whole
+  // Tensor), so none is exclusively owned and none may be donated.
+  Tensor h = x;
+  for (int i = 0; i < 96; ++i) h = ops::tanh(h);
+  Tensor loss = ops::reduce_sum(h);
+  EXPECT_EQ(Donations(), donations_before)
+      << "a tape-watched buffer was donated";
+
+  auto grads = tape.gradient(loss, {x});
+  ASSERT_TRUE(grads.ok());
+  ASSERT_TRUE((*grads)[0].Materialize().ok());
+}
+
+TEST_F(DonationTest, AliasedTensorsSurviveDonatingRuns) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({48, 48}, 0, 1, /*seed=*/13);
+
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor mid = UnaryChain(x, 100);
+  // `kept` aliases the chain's tip while it is still a pending handle; both
+  // the alias and the held handle must block donation of this buffer even
+  // though 100 more ops consume it.
+  Tensor kept = mid;
+  Tensor out = UnaryChain(mid, 100);
+  ASSERT_TRUE(ctx->Sync().ok());
+  std::vector<float> kept_values = ToVector<float>(kept);
+  std::vector<float> out_values = ToVector<float>(out);
+
+  // Recompute without fusion (no runs, no donation) as ground truth.
+  ctx->set_fuse_elementwise(false);
+  Tensor mid_ref = UnaryChain(x, 100);
+  Tensor out_ref = UnaryChain(mid_ref, 100);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(kept_values, ToVector<float>(mid_ref))
+      << "an aliased buffer was overwritten by a donating run";
+  EXPECT_EQ(out_values, ToVector<float>(out_ref));
+}
+
+TEST_F(DonationTest, CompilerAssignsDonationOnlyWhenProvablySafe) {
+  using kernels::CompileFusedRun;
+  using kernels::FusedRunOp;
+  using kernels::FusedRunOperand;
+
+  // Unary chain over one donatable operand: the output may reuse it.
+  std::vector<FusedRunOp> chain(2);
+  chain[0] = {"Abs", DType::kFloat32, Shape({64}), {{-1, 0}}, {}, {}, false};
+  chain[1] = {"Neg", DType::kFloat32, Shape({64}), {{0, -1}}, {}, {}, true};
+  std::vector<FusedRunOperand> donatable = {
+      {DType::kFloat32, Shape({64}), /*may_donate=*/true}};
+  auto compiled = CompileFusedRun(chain, donatable, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->donations.size(), 1u);
+  EXPECT_EQ(compiled->donations[0], 0);
+
+  // Same run without the may_donate bit: no donation.
+  std::vector<FusedRunOperand> held = {
+      {DType::kFloat32, Shape({64}), /*may_donate=*/false}};
+  compiled = CompileFusedRun(chain, held, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->donations[0], -1);
+
+  // A transposed (strided) read of the operand crosses block boundaries:
+  // overwriting it in place would clobber rows a later block still reads.
+  std::vector<FusedRunOp> transposed(2);
+  transposed[0] = {"Transpose", DType::kFloat32, Shape({8, 8}),
+                   {{-1, 0}}, {1, 0}, {}, false};
+  transposed[1] = {"Abs", DType::kFloat32, Shape({8, 8}),
+                   {{0, -1}}, {}, {}, true};
+  std::vector<FusedRunOperand> matrix = {
+      {DType::kFloat32, Shape({8, 8}), /*may_donate=*/true}};
+  compiled = CompileFusedRun(transposed, matrix, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+  for (int donor : compiled->donations) EXPECT_EQ(donor, -1);
+
+  // A materialized layout view of the operand publishes the operand's slot
+  // as an output store, which reads the buffer *after* in-block stores; the
+  // operand must not be donated to the other output.
+  std::vector<FusedRunOp> viewed(2);
+  viewed[0] = {"Reshape", DType::kFloat32, Shape({64}),
+               {{-1, 0}}, {}, {}, true};
+  viewed[1] = {"Abs", DType::kFloat32, Shape({64}), {{-1, 0}}, {}, {}, true};
+  compiled = CompileFusedRun(viewed, donatable, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+  for (int donor : compiled->donations) EXPECT_EQ(donor, -1);
+}
+
+TEST_F(DonationTest, DonatedKernelOutputIsInPlaceAndBitwiseIdentical) {
+  using kernels::CompileFusedRun;
+  using kernels::FusedRunOp;
+  using kernels::FusedRunOperand;
+  EagerContext* ctx = EagerContext::Global();
+  Device* cpu = ctx->HostCpu();
+
+  std::vector<FusedRunOp> run(2);
+  run[0] = {"Abs", DType::kFloat32, Shape({256}), {{-1, 0}}, {}, {}, false};
+  run[1] = {"Neg", DType::kFloat32, Shape({256}), {{0, -1}}, {}, {}, true};
+  std::vector<FusedRunOperand> operands = {
+      {DType::kFloat32, Shape({256}), /*may_donate=*/true}};
+  auto compiled = CompileFusedRun(run, operands, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->donations[0], 0);
+
+  auto make_input = [&] {
+    Tensor t = Tensor::Empty(DType::kFloat32, Shape({256}), cpu);
+    float* data = t.mutable_data<float>();
+    for (int i = 0; i < 256; ++i) data[i] = (i % 2 == 0 ? 1.f : -1.f) * i;
+    return t;
+  };
+
+  AttrMap attrs;
+  attrs.emplace("program", AttrValue(compiled->program.Encode()));
+  attrs.emplace("dtype", AttrValue(DType::kFloat32));
+
+  Tensor plain_in = make_input();
+  auto plain = ctx->ExecuteKernel("FusedElementwise", {plain_in}, attrs, cpu,
+                                  /*compiled=*/false, /*start_ns=*/0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->outputs.size(), 1u);
+  EXPECT_NE(plain->outputs[0].buffer().get(), plain_in.buffer().get());
+
+  attrs.emplace("donate", AttrValue(std::vector<int64_t>{0}));
+  Tensor donated_in = make_input();
+  auto donated = ctx->ExecuteKernel("FusedElementwise", {donated_in}, attrs,
+                                    cpu, /*compiled=*/false, /*start_ns=*/0);
+  ASSERT_TRUE(donated.ok());
+  ASSERT_EQ(donated->outputs.size(), 1u);
+  // In place: the output IS the input's storage...
+  EXPECT_EQ(donated->outputs[0].buffer().get(), donated_in.buffer().get());
+  // ...and the values match the copying path bit for bit.
+  EXPECT_EQ(ToVector<float>(donated->outputs[0]),
+            ToVector<float>(plain->outputs[0]));
+}
+
+TEST_F(DonationTest, KernelRejectsUnsafeDonationAttr) {
+  using kernels::CompileFusedRun;
+  using kernels::FusedRunOp;
+  using kernels::FusedRunOperand;
+  EagerContext* ctx = EagerContext::Global();
+  Device* cpu = ctx->HostCpu();
+
+  // Transposed read: the compiler refuses to donate, and a forged "donate"
+  // attr naming the operand anyway must be rejected, not honored.
+  std::vector<FusedRunOp> run(2);
+  run[0] = {"Transpose", DType::kFloat32, Shape({16, 16}),
+            {{-1, 0}}, {1, 0}, {}, false};
+  run[1] = {"Abs", DType::kFloat32, Shape({16, 16}), {{0, -1}}, {}, {}, true};
+  std::vector<FusedRunOperand> operands = {
+      {DType::kFloat32, Shape({16, 16}), /*may_donate=*/true}};
+  auto compiled = CompileFusedRun(run, operands, DType::kFloat32);
+  ASSERT_TRUE(compiled.ok());
+
+  AttrMap attrs;
+  attrs.emplace("program", AttrValue(compiled->program.Encode()));
+  attrs.emplace("dtype", AttrValue(DType::kFloat32));
+  attrs.emplace("donate", AttrValue(std::vector<int64_t>{0}));
+  Tensor input = Tensor::Empty(DType::kFloat32, Shape({16, 16}), cpu);
+  auto result = ctx->ExecuteKernel("FusedElementwise", {input}, attrs, cpu,
+                                   /*compiled=*/false, /*start_ns=*/0);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DonationTest, ArenaAndSystemAllocatorsAgreeBitwise) {
+  auto compute = [](std::vector<float>* out_values) {
+    ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+    Tensor x = ops::random_normal({64, 64}, 0, 1, /*seed=*/21);
+    Tensor out = ops::reduce_sum(UnaryChain(x, 128));
+    ASSERT_TRUE(EagerContext::Global()->Sync().ok());
+    *out_values = ToVector<float>(out);
+  };
+  EagerContext::Options options;
+  options.async = true;
+
+  // Copying system-allocator baseline...
+  OverrideDefaultAllocatorKind(AllocatorKind::kSystem);
+  EagerContext::ResetGlobal(options);
+  EagerContext::Global()->set_buffer_donation(false);
+  std::vector<float> system_values;
+  compute(&system_values);
+
+  // ...vs recycled arena buffers with in-place donation. Same bits.
+  OverrideDefaultAllocatorKind(AllocatorKind::kArena);
+  EagerContext::ResetGlobal(options);
+  std::vector<float> arena_values;
+  compute(&arena_values);
+  ClearAllocatorKindOverride();
+
+  ASSERT_EQ(system_values.size(), arena_values.size());
+  for (size_t i = 0; i < arena_values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&system_values[i], &arena_values[i], sizeof(float)),
+              0)
+        << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tfe

@@ -595,6 +595,35 @@ TEST_F(FusionTest, StagedMapReduceFusesStaticallyAndMatchesBitwise) {
   EXPECT_TRUE(BitwiseEqual(fused, plain));
 }
 
+TEST_F(FusionTest, DonatingRunsBitwiseMatchCopyingRuns) {
+  // Buffer donation hands a uniquely-owned input buffer to the fused run as
+  // its in-place output. The interpreter's block order (all loads of a block
+  // precede its stores) makes the overwrite invisible to the computation:
+  // the donating path must agree with fresh-allocation fused runs bitwise.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({40, 24}, 0, 1, /*seed=*/61);
+  Tensor s = ops::scalar<float>(0.5f);
+
+  profiler::Counter* donations =
+      profiler::Metrics().GetCounter("allocator.donations");
+  const uint64_t donations_before = donations->value();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor donated = RandomChain(x, s, 120, /*seed=*/8);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(donations->value(), donations_before)
+      << "no fused run donated an input buffer";
+
+  ctx->set_buffer_donation(false);
+  const uint64_t donations_off = donations->value();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor copied = RandomChain(x, s, 120, /*seed=*/8);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(donations->value(), donations_off)
+      << "donation fired while disabled";
+
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(donated), ToVector<float>(copied)));
+}
+
 // --- threadpool-parallel kernels -------------------------------------------
 
 class ParallelKernelsTest : public ::testing::Test {
