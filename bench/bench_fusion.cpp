@@ -138,6 +138,72 @@ double ReduceChainSeconds(bool fuse) {
   return seconds;
 }
 
+// ---- Residual diamond tower: DAG capture + program cache ------------------
+//
+// Each block computes t = relu(y * half); y = t + y. The skip connection
+// makes every block a diamond: y feeds both the mul and the join add, so
+// once a run spans a block boundary the in-run y is consumed twice — a true
+// DAG segment, not a chain. (relu rather than tanh: the point is dispatch
+// overhead removed by fusion, and a transcendental would bury it under pure
+// compute on both sides.) The same shapes recur every block and every
+// iteration, so after warm-up the drain resolves each window's program from
+// the fused-program cache instead of recompiling.
+constexpr int kResidualBlocks = 40;  // 3 ops per block
+
+struct ResidualResult {
+  double seconds = 0;
+  double cache_hit_rate = 0;  // over the measured fused window
+  double dag_runs = 0;        // fused DAG segments over the same window
+  std::vector<float> values;  // final tower output, for the bitwise check
+};
+
+ResidualResult MeasureResidual(bool fuse) {
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+  ctx->set_fuse_elementwise(fuse);
+  ctx->set_async(true);
+  Tensor x = ops::random_normal({256, 256}, 0, 1, /*seed=*/13);
+  Tensor half = ops::scalar<float>(0.5f);
+  auto tower = [&] {
+    Tensor y = x;
+    for (int i = 0; i < kResidualBlocks; ++i) {
+      Tensor t = ops::relu(ops::mul(y, half));
+      y = ops::add(t, y);
+    }
+    return y;
+  };
+  auto step = [&] {
+    (void)tower();
+    ctx->SyncAllDevices();
+  };
+  // Run boundaries depend on drain timing, so the set of distinct program
+  // keys only saturates after several towers; warm up until lookups stop
+  // missing, then measure steady state.
+  for (int i = 0; i < 8; ++i) step();
+  profiler::Counter* hits =
+      profiler::Metrics().GetCounter("fusion.program_cache.hit");
+  profiler::Counter* misses =
+      profiler::Metrics().GetCounter("fusion.program_cache.miss");
+  const uint64_t hits_before = hits->value();
+  const uint64_t misses_before = misses->value();
+  const uint64_t dag_before = ctx->stats().fused_dag_runs.load();
+  ResidualResult out;
+  out.seconds = bench::MeasureWallSeconds(step, kChainIterations);
+  const double hit_delta = static_cast<double>(hits->value() - hits_before);
+  const double miss_delta =
+      static_cast<double>(misses->value() - misses_before);
+  out.cache_hit_rate = hit_delta + miss_delta > 0
+                           ? hit_delta / (hit_delta + miss_delta)
+                           : 0.0;
+  out.dag_runs =
+      static_cast<double>(ctx->stats().fused_dag_runs.load() - dag_before);
+  Tensor tip = tower();
+  ctx->SyncAllDevices();
+  out.values = tfe::tensor_util::ToVector<float>(tip);
+  ctx->set_async(false);
+  ctx->set_fuse_elementwise(true);
+  return out;
+}
+
 // ---- Arena allocator + buffer donation A/B --------------------------------
 //
 // Donation folds a fused run's uniquely-owned input buffer into its output:
@@ -310,6 +376,29 @@ int main() {
   std::printf("%-22s%10.0f map-reduce passes\n", "fused reduce runs",
               fused_reduce_runs);
 
+  ResidualResult residual_unfused = MeasureResidual(/*fuse=*/false);
+  ResidualResult residual_fused = MeasureResidual(/*fuse=*/true);
+  const double residual_speedup =
+      residual_unfused.seconds / residual_fused.seconds;
+  const bool residual_bitwise_equal =
+      residual_unfused.values.size() == residual_fused.values.size() &&
+      std::memcmp(residual_unfused.values.data(), residual_fused.values.data(),
+                  residual_fused.values.size() * sizeof(float)) == 0;
+
+  std::printf("\n%d-block residual tower (diamond DAG per block)\n",
+              kResidualBlocks);
+  std::printf("%-22s%10.1f ms\n", "fusion off",
+              residual_unfused.seconds * 1e3);
+  std::printf("%-22s%10.1f ms\n", "fusion + program cache",
+              residual_fused.seconds * 1e3);
+  std::printf("%-22s%9.2fx\n", "speedup", residual_speedup);
+  std::printf("%-22s%9.0f%%\n", "cache hit rate",
+              residual_fused.cache_hit_rate * 100.0);
+  std::printf("%-22s%10.0f DAG segments\n", "dag fused runs",
+              residual_fused.dag_runs);
+  std::printf("%-22s%10s\n", "bitwise identical",
+              residual_bitwise_equal ? "yes" : "NO");
+
   // Allocator + donation A/B: the copying system-allocator configuration vs
   // arena recycling with in-place donation, same chain, same bits.
   AllocatorVariant alloc_system =
@@ -343,17 +432,30 @@ int main() {
   std::printf("%-22s%10s\n", "bitwise identical",
               alloc_bitwise_equal ? "yes" : "NO");
 
-  double serial = MatMulSeconds(/*parallel=*/false);
-  double parallel = MatMulSeconds(/*parallel=*/true);
+  // The MatMul parallel-speedup series only measures anything on a machine
+  // with more than one hardware thread; on a single-core host the sharded
+  // product degenerates to the serial one plus threadpool overhead, so the
+  // series (and its JSON keys) is skipped entirely.
   const unsigned hw = std::thread::hardware_concurrency();
+  const bool run_matmul_series = hw > 1;
+  double serial = 0.0;
+  double parallel = 0.0;
+  if (run_matmul_series) {
+    serial = MatMulSeconds(/*parallel=*/false);
+    parallel = MatMulSeconds(/*parallel=*/true);
 
-  std::printf("\n512x512x512 MatMul, %u hardware threads\n", hw);
-  std::printf("%-22s%10.1f ms\n", "serial", serial * 1e3);
-  std::printf("%-22s%10.1f ms\n", "intra-op parallel", parallel * 1e3);
-  std::printf("%-22s%9.2fx\n", "speedup", serial / parallel);
-  std::printf(
-      "\nExpected: >=2x on both (MatMul needs >=4 hardware threads); the\n"
-      "parallel product is bitwise identical to the serial one.\n");
+    std::printf("\n512x512x512 MatMul, %u hardware threads\n", hw);
+    std::printf("%-22s%10.1f ms\n", "serial", serial * 1e3);
+    std::printf("%-22s%10.1f ms\n", "intra-op parallel", parallel * 1e3);
+    std::printf("%-22s%9.2fx\n", "speedup", serial / parallel);
+    std::printf(
+        "\nExpected: >=2x on both (MatMul needs >=4 hardware threads); the\n"
+        "parallel product is bitwise identical to the serial one.\n");
+  } else {
+    std::printf(
+        "\n512x512x512 MatMul series skipped: 1 hardware thread, no\n"
+        "parallel speedup to measure.\n");
+  }
 
   bench::JsonReport report("fusion");
   report.Add("chain_unfused_seconds", unfused);
@@ -374,6 +476,12 @@ int main() {
   report.Add("reduce_chain_fused_seconds", reduce_fused);
   report.Add("reduce_chain_speedup", reduce_unfused / reduce_fused);
   report.Add("fused_reduce_runs", fused_reduce_runs);
+  report.Add("residual_unfused_seconds", residual_unfused.seconds);
+  report.Add("residual_fused_seconds", residual_fused.seconds);
+  report.Add("residual_speedup", residual_speedup);
+  report.Add("residual_cache_hit_rate", residual_fused.cache_hit_rate);
+  report.Add("residual_dag_runs", residual_fused.dag_runs);
+  report.Add("residual_bitwise_equal", residual_bitwise_equal ? 1.0 : 0.0);
   report.Add("alloc_system_big_chain_seconds", alloc_system.big_chain_seconds);
   report.Add("alloc_arena_big_chain_seconds", alloc_arena.big_chain_seconds);
   report.Add("alloc_arena_speedup",
@@ -385,9 +493,11 @@ int main() {
   report.Add("alloc_bytes_moved_reduction", bytes_reduction);
   report.Add("alloc_donations", alloc_arena.donations);
   report.Add("alloc_bitwise_equal", alloc_bitwise_equal ? 1.0 : 0.0);
-  report.Add("matmul_serial_seconds", serial);
-  report.Add("matmul_parallel_seconds", parallel);
-  report.Add("matmul_speedup", serial / parallel);
+  if (run_matmul_series) {
+    report.Add("matmul_serial_seconds", serial);
+    report.Add("matmul_parallel_seconds", parallel);
+    report.Add("matmul_speedup", serial / parallel);
+  }
   report.Add("hardware_threads", static_cast<double>(hw));
   report.AddProfilerMetrics();
   report.Write();
@@ -413,6 +523,34 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: no fused map-reduce pass ran — the reduce epilogue "
                  "was not recognized on the drain\n");
+    rc = 1;
+  }
+  // DAG-fusion gates: the cached diamond tower must beat op-at-a-time by
+  // >=2x, steady-state program lookups must resolve from the cache, at
+  // least one window must have been recognized as a true DAG segment, and
+  // fusion must not move a single bit of the result.
+  if (residual_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: residual tower fused speedup %.2fx < 2x\n",
+                 residual_speedup);
+    rc = 1;
+  }
+  if (residual_fused.cache_hit_rate < 0.90) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state program-cache hit rate %.0f%% < 90%%\n",
+                 residual_fused.cache_hit_rate * 100.0);
+    rc = 1;
+  }
+  if (residual_fused.dag_runs < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: no DAG segment fused on the residual tower — the "
+                 "diamond is being cut into chains\n");
+    rc = 1;
+  }
+  if (!residual_bitwise_equal) {
+    std::fprintf(stderr,
+                 "FAIL: DAG-fused residual tower differs bitwise from the "
+                 "unfused one\n");
     rc = 1;
   }
   // Memory-subsystem gates: donation must cut measured device traffic by

@@ -2,7 +2,7 @@
 """Validates a Chrome trace_event JSON file written by the profiler.
 
 Usage: scripts/check_trace.py [--require-remote] [--require-reduce-fusion] \
-    [--require-allocator] <trace.json>
+    [--require-allocator] [--require-dag-fusion] <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
@@ -22,6 +22,12 @@ With --require-allocator the trace must contain the memory subsystem's
 instants: an "allocator_slab" (the arena acquiring a fresh slab from the
 system) and a "buffer_donation" (a fused run writing its output in place
 into a uniquely-owned input buffer).
+
+With --require-dag-fusion the trace must contain a "dag_fused_run" instant
+(a fused window that was a true DAG segment — multi-output or an in-run
+value consumed more than once) and a "program_cache_hit" instant (a fused
+window that resolved its compiled program from the program cache instead of
+recompiling).
 """
 import json
 import sys
@@ -37,12 +43,14 @@ def main():
     require_remote = "--require-remote" in args
     require_reduce_fusion = "--require-reduce-fusion" in args
     require_allocator = "--require-allocator" in args
+    require_dag_fusion = "--require-dag-fusion" in args
     args = [a for a in args
             if a not in ("--require-remote", "--require-reduce-fusion",
-                         "--require-allocator")]
+                         "--require-allocator", "--require-dag-fusion")]
     if len(args) != 1:
         fail(f"usage: {sys.argv[0]} [--require-remote] "
-             "[--require-reduce-fusion] [--require-allocator] <trace.json>")
+             "[--require-reduce-fusion] [--require-allocator] "
+             "[--require-dag-fusion] <trace.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -89,6 +97,14 @@ def main():
             if want not in instant_names:
                 fail(f"no '{want}' instant — the memory subsystem left no "
                      f"trace (instants seen: {sorted(instant_names)})")
+    if require_dag_fusion:
+        if "dag_fused_run" not in instant_names:
+            fail("no 'dag_fused_run' instant — no DAG segment executed "
+                 f"fused (instants seen: {sorted(instant_names)})")
+        if "program_cache_hit" not in instant_names:
+            fail("no 'program_cache_hit' instant — every fused window "
+                 "recompiled its program "
+                 f"(instants seen: {sorted(instant_names)})")
 
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(span_tids)} span threads, categories {sorted(categories)}")

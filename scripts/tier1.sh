@@ -13,9 +13,9 @@
 #
 # --profile is the observability smoke: build, run bench_fusion and
 # bench_distrib with TFE_PROFILE set, validate the exported Chrome traces
-# (the fusion trace must carry a fused_reduce_run instant, the distrib trace
-# remote enqueue/resolve spans), then run the profiler-overhead gate (fails
-# above 5%).
+# (the fusion trace must carry fused_reduce_run, dag_fused_run, and
+# program_cache_hit instants, the distrib trace remote enqueue/resolve
+# spans), then run the profiler-overhead gate (fails above 5%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,7 +31,7 @@ if [[ "$MODE" == "--profile" ]]; then
   echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
   python3 scripts/check_trace.py --require-reduce-fusion --require-allocator \
-    "$TRACE"
+    --require-dag-fusion "$TRACE"
   REMOTE_TRACE="build/profile_smoke_remote_trace.json"
   echo "==== profile smoke: bench_distrib under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \
@@ -63,7 +63,7 @@ else
   # Concurrency tests only: the async queues, the drain fuser, the
   # threadpool-parallel kernels, the remote dispatch path, the allocator +
   # donation machinery, and the profiler's lock-free record/flush.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*'
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="
@@ -77,5 +77,20 @@ cmake -B build-asan -S . -DTFE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" --target tfe_tests
 ASAN_OPTIONS="detect_leaks=1" \
   ./build-asan/tests/tfe_tests --gtest_filter="$FILTER"
+
+if [[ "$MODE" == "--tier2" ]]; then
+  # The program cache's enabled/disabled switch is latched once per process,
+  # so the full-suite pass above (cache on by default) cannot also cover
+  # concurrent drains racing GetOrCompile with the cache pinned on under a
+  # focused filter. Run the fusion + cache subset again with the cache
+  # explicitly enabled under both sanitizers.
+  CACHE_FILTER='Fusion*:MicroProgram*:ProgramCache*:Async*'
+  echo "==== tsan: cache-enabled fusion subset ===="
+  TSAN_OPTIONS="halt_on_error=1" TFE_FUSION_CACHE=on \
+    ./build-tsan/tests/tfe_tests --gtest_filter="$CACHE_FILTER"
+  echo "==== asan: cache-enabled fusion subset ===="
+  ASAN_OPTIONS="detect_leaks=1" TFE_FUSION_CACHE=on \
+    ./build-asan/tests/tfe_tests --gtest_filter="$CACHE_FILTER"
+fi
 
 echo "==== tier 1 ok ===="

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kernels/fused_elementwise.h"
+#include "kernels/program_cache.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
 
@@ -308,9 +309,10 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     return false;
   };
 
-  // Describes member `id` of span [begin, id] to the run compiler; external
-  // operands collect (deduplicated) into `operands`.
-  auto member_desc = [&](int id, int begin, std::vector<Endpoint>& operands)
+  // Describes member `id` of a run (the ascending member-id list) to the run
+  // compiler; external operands collect (deduplicated) into `operands`.
+  auto member_desc = [&](int id, const std::vector<int>& members,
+                         std::vector<Endpoint>& operands)
       -> kernels::FusedRunOp {
     const Node& node = graph.node(id);
     kernels::FusedRunOp op;
@@ -328,8 +330,17 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
       }
     }
     for (const Endpoint& e : node.inputs) {
-      if (e.node_id >= begin && e.node_id < id) {
-        op.args.push_back({/*producer=*/e.node_id - begin, /*operand=*/-1});
+      // An input produced by an earlier member references its position in
+      // the member list (ids ascend, so any member input is earlier).
+      int producer = -1;
+      for (size_t k = 0; k < members.size() && members[k] < id; ++k) {
+        if (members[k] == e.node_id) {
+          producer = static_cast<int>(k);
+          break;
+        }
+      }
+      if (producer >= 0) {
+        op.args.push_back({producer, /*operand=*/-1});
         continue;
       }
       int idx = -1;
@@ -348,12 +359,13 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     return op;
   };
 
-  auto build_descs = [&](int begin, int end, std::vector<Endpoint>* operands,
+  auto build_descs = [&](const std::vector<int>& members,
+                         std::vector<Endpoint>* operands,
                          std::vector<kernels::FusedRunOperand>* operand_descs)
       -> std::vector<kernels::FusedRunOp> {
     std::vector<kernels::FusedRunOp> ops;
-    for (int i = begin; i < end; ++i) {
-      ops.push_back(member_desc(i, begin, *operands));
+    for (int id : members) {
+      ops.push_back(member_desc(id, members, *operands));
     }
     for (const Endpoint& e : *operands) {
       const TypeAndShape& t = graph.endpoint_type(e);
@@ -362,31 +374,47 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     return ops;
   };
 
-  // Greedy maximal runs of consecutive node ids. Consecutiveness guarantees
-  // every external operand of a run precedes it topologically, so replacing
-  // the span with one node can never create a cycle. Each candidate span is
-  // trial-compiled and shrunk from the tail until it compiles — the compiler
-  // is the single authority on layout compatibility.
+  // How far past a run's anchor the DAG capture scan looks for members
+  // (mirrors the drain's bounded peek-plus-skip window).
+  constexpr int kMaxScanWindow = 192;
+
+  // Greedy maximal DAG segments: each run is an ascending member-id list,
+  // not necessarily contiguous — the scan steps over non-joining nodes
+  // (holes), so a non-fusable op interleaved in a diamond no longer cuts the
+  // run. The fused node replaces the run at its *anchor* (first member)
+  // position, so cycle freedom needs every external operand to precede the
+  // anchor: a node whose input comes from a skipped node (id >= anchor, not
+  // a member) does not join. Each candidate is trial-compiled and shrunk
+  // from the tail until it compiles — the compiler is the single authority
+  // on layout compatibility.
   struct Run {
-    int begin;
-    int end;  // exclusive
+    std::vector<int> members;  // ascending node ids; front() is the anchor
   };
   std::vector<Run> runs;
   std::vector<int> run_of(n, -1);
   int start = 0;
   while (start < n) {
     MemberClass start_cls;
-    if (!classify(graph.node(start), &start_cls) ||
+    if (run_of[start] >= 0 || !classify(graph.node(start), &start_cls) ||
         start_cls.kind == MemberKind::kReduce) {
       ++start;
       continue;
     }
     const DType dtype = graph.node(start).outputs[0].dtype;
+    std::vector<int> members{start};
+    auto member_pos = [&](int id) -> int {
+      for (size_t k = 0; k < members.size(); ++k) {
+        if (members[k] == id) return static_cast<int>(k);
+      }
+      return -1;
+    };
     // A cast's source operand may be any dtype the kCast micro-op converts
-    // from; every other operand must already carry the run dtype.
-    auto compute_operand_ok = [&](const Endpoint& e, int cur,
-                                  const Shape& member_shape, bool cast_source) {
-      if (e.node_id >= start && e.node_id < cur) return e.index == 0;  // in-run
+    // from; every other operand must already carry the run dtype. External
+    // operands must precede the anchor (see above).
+    auto compute_operand_ok = [&](const Endpoint& e, const Shape& member_shape,
+                                  bool cast_source) {
+      if (member_pos(e.node_id) >= 0) return e.index == 0;  // in-run
+      if (e.node_id >= start) return false;  // skipped node: would cycle
       const TypeAndShape& t = graph.endpoint_type(e);
       if (cast_source) {
         if (!kernels::MicroOpSupports(kernels::MicroOpCode::kCast, t.dtype)) {
@@ -399,15 +427,43 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
              (t.shape.num_elements() == 1 ||
               kernels::BroadcastsTo(t.shape, member_shape));
     };
-    int end = start;
-    int64_t run_count = 1;
+    // The anchor's own operands are validated here (the member scan starts
+    // past it); without this, a hopeless anchor would churn through the
+    // shrink loop's trial compiles before being discarded.
+    {
+      const Node& anchor = graph.node(start);
+      const Shape& anchor_shape = anchor.outputs[0].shape;
+      bool anchor_ok = true;
+      if (start_cls.kind == MemberKind::kLayout) {
+        const TypeAndShape& t = graph.endpoint_type(anchor.inputs[0]);
+        anchor_ok = t.dtype == dtype && t.shape.IsFullyDefined() &&
+                    t.shape.num_elements() == anchor_shape.num_elements();
+      } else {
+        const bool cast_source =
+            start_cls.code == kernels::MicroOpCode::kCast;
+        for (const Endpoint& e : anchor.inputs) {
+          if (!compute_operand_ok(e, anchor_shape, cast_source)) {
+            anchor_ok = false;
+            break;
+          }
+        }
+      }
+      if (!anchor_ok) {
+        ++start;
+        continue;
+      }
+    }
+    int64_t run_count = graph.node(start).outputs[0].shape.num_elements();
     bool saw_reduce = false;
-    while (end < n && end - start < kMaxFusedRun && !saw_reduce) {
-      const Node& node = graph.node(end);
-      MemberClass cls = start_cls;
-      if (end > start && (!classify(node, &cls) ||
-                          node.outputs[0].dtype != dtype)) {
-        break;
+    for (int j = start + 1;
+         j < n && j < start + kMaxScanWindow && !saw_reduce &&
+         static_cast<int>(members.size()) < kMaxFusedRun;
+         ++j) {
+      if (run_of[j] >= 0) continue;  // claimed by an earlier run
+      const Node& node = graph.node(j);
+      MemberClass cls;
+      if (!classify(node, &cls) || node.outputs[0].dtype != dtype) {
+        continue;  // a hole: step over it
       }
       const Shape& member_shape = node.outputs[0].shape;
       const int64_t count = member_shape.num_elements();
@@ -416,8 +472,7 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
         // Joins only as the terminating epilogue of an in-run value of the
         // full evaluation count; the compiler checks the trailing-axes rule.
         const Endpoint& e = node.inputs[0];
-        ok = end > start && e.node_id >= start && e.node_id < end &&
-             e.index == 0 &&
+        ok = member_pos(e.node_id) >= 0 && e.index == 0 &&
              graph.node(e.node_id).outputs[0].shape.num_elements() ==
                  run_count;
         saw_reduce = ok;
@@ -425,8 +480,10 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
         ok = false;
       } else if (cls.kind == MemberKind::kLayout) {
         const Endpoint& e = node.inputs[0];
-        if (e.node_id >= start && e.node_id < end) {
+        if (member_pos(e.node_id) >= 0) {
           ok = e.index == 0;
+        } else if (e.node_id >= start) {
+          ok = false;  // skipped node: would cycle
         } else {
           const TypeAndShape& t = graph.endpoint_type(e);
           ok = t.dtype == dtype && t.shape.IsFullyDefined() &&
@@ -435,37 +492,36 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
       } else {
         const bool cast_source = cls.code == kernels::MicroOpCode::kCast;
         for (const Endpoint& e : node.inputs) {
-          if (!compute_operand_ok(e, end, member_shape, cast_source)) {
+          if (!compute_operand_ok(e, member_shape, cast_source)) {
             ok = false;
             break;
           }
         }
       }
-      if (!ok) break;
+      if (!ok) continue;  // a hole: step over it
+      members.push_back(j);
       if (cls.kind != MemberKind::kReduce) {
         run_count = std::max(run_count, count);
       }
-      ++end;
     }
-    // Shrink from the tail until the span compiles (trial materialization:
-    // only the last member publishes — output emission itself cannot fail,
-    // so a compiling trial span compiles with any materialize set).
-    while (end - start >= 2) {
+    // Shrink from the tail until the segment compiles (trial
+    // materialization: only the last member publishes — output emission
+    // itself cannot fail, so a compiling trial compiles with any
+    // materialize set).
+    while (members.size() >= 2) {
       std::vector<Endpoint> operands;
       std::vector<kernels::FusedRunOperand> operand_descs;
       std::vector<kernels::FusedRunOp> ops =
-          build_descs(start, end, &operands, &operand_descs);
+          build_descs(members, &operands, &operand_descs);
       ops.back().materialize = true;
       if (kernels::CompileFusedRun(ops, operand_descs, dtype).ok()) break;
-      --end;
+      members.pop_back();
     }
-    if (end - start >= 2) {
-      for (int i = start; i < end; ++i) run_of[i] = static_cast<int>(runs.size());
-      runs.push_back({start, end});
-      start = end;
-    } else {
-      ++start;
+    if (members.size() >= 2) {
+      for (int id : members) run_of[id] = static_cast<int>(runs.size());
+      runs.push_back({std::move(members)});
     }
+    ++start;
   }
   if (runs.empty()) return Status::OK();
 
@@ -486,8 +542,8 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   // publishes its final value.
   for (const Run& run : runs) {
     bool any = false;
-    for (int i = run.begin; i < run.end; ++i) any = any || used_outside[i];
-    if (!any) used_outside[run.end - 1] = true;
+    for (int i : run.members) any = any || used_outside[i];
+    if (!any) used_outside[run.members.back()] = true;
   }
 
   // Compile every run before any node moves out of the graph: build_descs
@@ -503,35 +559,38 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   run_compiled.reserve(runs.size());
   for (const Run& run : runs) {
     RunCompiled rc;
-    rc.dtype = graph.node(run.begin).outputs[0].dtype;
+    rc.dtype = graph.node(run.members.front()).outputs[0].dtype;
     std::vector<kernels::FusedRunOperand> operand_descs;
     std::vector<kernels::FusedRunOp> ops =
-        build_descs(run.begin, run.end, &rc.operands, &operand_descs);
-    for (int i = run.begin; i < run.end; ++i) {
-      ops[i - run.begin].materialize = used_outside[i];
+        build_descs(run.members, &rc.operands, &operand_descs);
+    for (size_t k = 0; k < run.members.size(); ++k) {
+      ops[k].materialize = used_outside[run.members[k]];
     }
-    auto compiled_or = kernels::CompileFusedRun(ops, operand_descs, rc.dtype);
+    auto compiled_or = kernels::FusedProgramCache::Global().GetOrCompile(
+        ops, operand_descs, rc.dtype);
     if (!compiled_or.ok()) {
-      // The trial compile accepted this span and materialization cannot
+      // The trial compile accepted this segment and materialization cannot
       // introduce new failures, so this is a pass invariant violation.
-      return Internal("FuseElementwise span stopped compiling: " +
+      return Internal("FuseElementwise segment stopped compiling: " +
                       compiled_or.status().message());
     }
     rc.compiled = std::move(*compiled_or);
     for (int member_off : rc.compiled.output_members) {
-      rc.outputs.push_back(graph.node(run.begin + member_off).outputs[0]);
+      rc.outputs.push_back(graph.node(run.members[member_off]).outputs[0]);
     }
     run_compiled.push_back(std::move(rc));
   }
 
   // Rebuild the node list: non-run nodes move over; each run collapses to a
-  // FusedElementwise node at its begin position.
+  // FusedElementwise node at its anchor position. Nodes sitting in a run's
+  // holes keep their relative order, which stays topological because every
+  // external operand of the run precedes the anchor.
   std::deque<Node> nodes;
   std::vector<int> new_node_id(n, -1);
   std::vector<int> fused_out_index(n, -1);
   for (int id = 0; id < n; ++id) {
     const int r = run_of[id];
-    if (r >= 0 && runs[r].begin != id) continue;  // absorbed into its run
+    if (r >= 0 && runs[r].members.front() != id) continue;  // absorbed
     if (r < 0) {
       new_node_id[id] = static_cast<int>(nodes.size());
       Node& node = graph.node(id);
@@ -546,7 +605,7 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     Node fused;
     fused.op = "FusedElementwise";
     for (size_t k = 0; k < rc.compiled.output_members.size(); ++k) {
-      const int member = run.begin + rc.compiled.output_members[k];
+      const int member = run.members[rc.compiled.output_members[k]];
       fused_out_index[member] = static_cast<int>(k);
     }
     fused.outputs = std::move(rc.outputs);
@@ -556,12 +615,18 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
     fused.attrs.emplace("dtype", AttrValue(rc.dtype));
     fused.inputs = std::move(rc.operands);
     const int fused_id = static_cast<int>(nodes.size());
-    for (int i = run.begin; i < run.end; ++i) new_node_id[i] = fused_id;
+    for (int i : run.members) new_node_id[i] = fused_id;
     nodes.push_back(std::move(fused));
     if (stats != nullptr) {
       stats->fused_runs += 1;
-      stats->fused_nodes += run.end - run.begin;
+      stats->fused_nodes += static_cast<int>(run.members.size());
       if (rc.compiled.has_reduce) stats->fused_reduce_runs += 1;
+      const bool contiguous =
+          run.members.back() - run.members.front() + 1 ==
+          static_cast<int>(run.members.size());
+      if (!contiguous || rc.compiled.output_members.size() > 1) {
+        stats->fused_dag_runs += 1;
+      }
     }
   }
 

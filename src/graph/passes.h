@@ -18,10 +18,13 @@ struct PassStats {
   int cse_merged = 0;
   int folded_constants = 0;
   // FuseElementwise: runs collapsed / primitive nodes absorbed into them /
-  // runs that ended in a fused reduction epilogue.
+  // runs that ended in a fused reduction epilogue / runs that were true DAG
+  // segments (non-contiguous member ids or multiple fused outputs) rather
+  // than linear chains.
   int fused_runs = 0;
   int fused_nodes = 0;
   int fused_reduce_runs = 0;
+  int fused_dag_runs = 0;
 };
 
 // Dead-op pruning: removes non-stateful nodes not reachable from the
@@ -41,13 +44,18 @@ Status FoldConstants(GraphFunction& function, PassStats* stats = nullptr);
 // fold -> CSE -> prune.
 Status Optimize(GraphFunction& function, PassStats* stats = nullptr);
 
-// Collapses runs of elementwise, layout (Transpose/Reshape/ExpandDims/
-// Squeeze), and trailing-reduction (Sum/Mean/Max/Min) nodes into single
-// FusedElementwise nodes interpreting a micro-op map-reduce program (the
-// static counterpart of the op-queue drain fusion; both describe runs to
-// kernels::CompileFusedRun and lower to the same kernel). Intermediates
-// consumed only inside a run disappear from the graph; intermediates used
-// elsewhere (or returned) become extra fused outputs.
+// Collapses single-device DAG segments of elementwise, layout (Transpose/
+// Reshape/ExpandDims/Squeeze), and trailing-reduction (Sum/Mean/Max/Min)
+// nodes into single FusedElementwise nodes interpreting a micro-op
+// map-reduce program (the static counterpart of the op-queue drain fusion;
+// both describe runs to the fused-program cache, which compiles via
+// kernels::CompileFusedRun on a miss). Segments need not be contiguous in
+// node-id order: the scan steps over non-fusable nodes, and cycle freedom
+// is kept by requiring every external operand to precede the segment's
+// anchor. Intermediates consumed only inside a run disappear from the
+// graph; intermediates used elsewhere (or returned) become extra fused
+// outputs — multi-consumer intermediates and diamond joins fuse as one
+// multi-output program.
 //
 // Deliberately NOT part of Optimize(): FusedElementwise has no gradient, so
 // this pass must only run on execution-only clones (see

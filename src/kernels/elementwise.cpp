@@ -151,11 +151,25 @@ Status CompareKernel(KernelContext* ctx) {
   return Status::OK();
 }
 
+// Output buffer for a unary elementwise kernel: in place over the input
+// when the drain proved the input buffer exclusively owned and set the
+// "donate" attr (op-at-a-time donation, mirroring FusedElementwise's). The
+// per-element loops read element i immediately before writing element i, so
+// aliasing input and output is exact. Structurally re-validated here: the
+// kernel is publicly invocable with arbitrary attrs.
+Tensor UnaryOutput(KernelContext* ctx, const Tensor& x) {
+  if (ctx->GetAttrOr<int64_t>("donate", -1) == 0 && x.defined() &&
+      !x.is_opaque() && !x.is_resource()) {
+    return DonateOutput(ctx, 0, x.dtype(), x.shape(), x);
+  }
+  return ctx->AllocateOutput(0, x.dtype(), x.shape());
+}
+
 // F exposes `template <typename T> static T Apply(T)`.
 template <typename F>
 Status UnaryKernel(KernelContext* ctx) {
   const Tensor& x = ctx->input(0);
-  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  Tensor out = UnaryOutput(ctx, x);
   TFE_SWITCH_NUMERIC(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();
@@ -172,7 +186,7 @@ Status UnaryKernel(KernelContext* ctx) {
 template <typename F>
 Status UnaryFloatKernel(KernelContext* ctx) {
   const Tensor& x = ctx->input(0);
-  Tensor out = ctx->AllocateOutput(0, x.dtype(), x.shape());
+  Tensor out = UnaryOutput(ctx, x);
   TFE_SWITCH_FLOAT(x.dtype(), T, {
     const T* in = x.data<T>();
     T* result = out.mutable_data<T>();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <map>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -98,10 +100,11 @@ std::vector<int64_t> MicroProgram::Encode() const {
     for (int32_t reg : outputs) encoded.push_back(reg);
     return encoded;
   }
-  encoded.push_back(kMicroProgramMagic);
+  encoded.push_back(compact ? kMicroProgramMagicV3 : kMicroProgramMagic);
   encoded.push_back(num_operands);
   encoded.push_back(static_cast<int64_t>(eval_dims.size()));
   for (int64_t d : eval_dims) encoded.push_back(d);
+  if (compact) encoded.push_back(num_rows);
   for (const MicroOperandSlot& slot : slots) {
     encoded.push_back(slot.input);
     EncodeAccess(slot.access, &encoded);
@@ -111,6 +114,7 @@ std::vector<int64_t> MicroProgram::Encode() const {
     encoded.push_back(static_cast<int64_t>(inst.opcode));
     encoded.push_back(inst.a);
     encoded.push_back(inst.b);
+    if (compact) encoded.push_back(inst.dst);
   }
   encoded.push_back(static_cast<int64_t>(output_specs.size()));
   for (const MicroOutputSpec& spec : output_specs) {
@@ -139,11 +143,14 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     }
     return encoded[pos++];
   };
-  const bool extended = !encoded.empty() && encoded[0] == kMicroProgramMagic;
+  const bool v3 = !encoded.empty() && encoded[0] == kMicroProgramMagicV3;
+  const bool extended =
+      v3 || (!encoded.empty() && encoded[0] == kMicroProgramMagic);
   int64_t eval_count = 0;
   if (extended) {
     pos = 1;
     program.extended = true;
+    program.compact = v3;
     TFE_ASSIGN_OR_RETURN(program.num_operands, next());
     if (program.num_operands < 1) {
       return InvalidArgument("Malformed FusedElementwise program header");
@@ -160,6 +167,12 @@ StatusOr<MicroProgram> MicroProgram::Decode(
       }
       program.eval_dims.push_back(dim);
       eval_count *= dim;
+    }
+    if (v3) {
+      TFE_ASSIGN_OR_RETURN(program.num_rows, next());
+      if (program.num_rows < 0 || program.num_rows > 4096) {
+        return InvalidArgument("FusedElementwise row count out of range");
+      }
     }
     auto decode_access = [&](const char* what) -> StatusOr<MicroAccess> {
       MicroAccess access;
@@ -199,6 +212,9 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     if (num_insts < 0) {
       return InvalidArgument("Malformed FusedElementwise program header");
     }
+    // v3 rows may be read only after some earlier instruction wrote them —
+    // rows the compiler retired and reassigned must never leak stale data.
+    std::vector<bool> row_written(v3 ? program.num_rows : 0, false);
     for (int64_t i = 0; i < num_insts; ++i) {
       MicroInst inst;
       TFE_ASSIGN_OR_RETURN(int64_t opcode, next());
@@ -209,14 +225,35 @@ StatusOr<MicroProgram> MicroProgram::Decode(
       inst.opcode = static_cast<MicroOpCode>(opcode);
       TFE_ASSIGN_OR_RETURN(int64_t a, next());
       TFE_ASSIGN_OR_RETURN(int64_t b, next());
-      const int64_t limit = program.num_operands + i;
-      if (a < 0 || a >= limit || b < 0 || b >= limit) {
-        return InvalidArgument("FusedElementwise register out of range");
+      if (v3) {
+        const int64_t limit = program.num_operands + program.num_rows;
+        auto readable = [&](int64_t r) {
+          return r >= 0 && r < limit &&
+                 (r < program.num_operands ||
+                  row_written[r - program.num_operands]);
+        };
+        if (!readable(a) || !readable(b)) {
+          return InvalidArgument("FusedElementwise register out of range");
+        }
+        TFE_ASSIGN_OR_RETURN(int64_t dst, next());
+        if (dst < program.num_operands || dst >= limit) {
+          return InvalidArgument(
+              "FusedElementwise destination register out of range");
+        }
+        inst.dst = static_cast<int32_t>(dst);
+        row_written[dst - program.num_operands] = true;
+      } else {
+        const int64_t limit = program.num_operands + i;
+        if (a < 0 || a >= limit || b < 0 || b >= limit) {
+          return InvalidArgument("FusedElementwise register out of range");
+        }
+        inst.dst = static_cast<int32_t>(program.num_operands + i);
       }
       inst.a = static_cast<int32_t>(a);
       inst.b = static_cast<int32_t>(b);
       program.insts.push_back(inst);
     }
+    if (!v3) program.num_rows = static_cast<int64_t>(program.insts.size());
     TFE_ASSIGN_OR_RETURN(int64_t num_outputs, next());
     if (num_outputs < 0) {
       return InvalidArgument("Malformed FusedElementwise output count");
@@ -224,7 +261,9 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     for (int64_t o = 0; o < num_outputs; ++o) {
       MicroOutputSpec spec;
       TFE_ASSIGN_OR_RETURN(int64_t reg, next());
-      if (reg < 0 || reg >= program.num_registers()) {
+      if (reg < 0 || reg >= program.num_registers() ||
+          (v3 && reg >= program.num_operands &&
+           !row_written[reg - program.num_operands])) {
         return InvalidArgument("FusedElementwise output register out of range");
       }
       spec.reg = static_cast<int32_t>(reg);
@@ -271,7 +310,9 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     program.reduce.kind = static_cast<MicroReduceKind>(reduce_kind);
     if (program.reduce.kind != MicroReduceKind::kNone) {
       TFE_ASSIGN_OR_RETURN(int64_t src, next());
-      if (src < 0 || src >= program.num_registers()) {
+      if (src < 0 || src >= program.num_registers() ||
+          (v3 && src >= program.num_operands &&
+           !row_written[src - program.num_operands])) {
         return InvalidArgument("FusedElementwise reduce register out of range");
       }
       program.reduce.src = static_cast<int32_t>(src);
@@ -329,8 +370,10 @@ StatusOr<MicroProgram> MicroProgram::Decode(
     }
     inst.a = static_cast<int32_t>(a);
     inst.b = static_cast<int32_t>(b);
+    inst.dst = static_cast<int32_t>(program.num_operands + i);
     program.insts.push_back(inst);
   }
+  program.num_rows = static_cast<int64_t>(program.insts.size());
   TFE_ASSIGN_OR_RETURN(int64_t num_outputs, next());
   if (num_outputs < 0) {
     return InvalidArgument("Malformed FusedElementwise output count");
@@ -893,6 +936,13 @@ StatusOr<CompiledRun> CompileFusedRun(
     return InvalidArgument("fused run materializes nothing");
   }
 
+  // Lower to the v3 compact form: shared subexpressions (a DAG value read by
+  // several consumers compiles each read against one instruction) and
+  // liveness-driven row reuse, so scratch stays at a few rows however long
+  // the run is. Donation analysis below only reasons about slots and the
+  // row-vs-slot distinction, both of which compaction preserves.
+  CompactProgram(&prog);
+
   // Donation plan: alias a uniquely-owned external operand's buffer as a
   // fused output so the run writes in place instead of allocating. The
   // interpreter processes disjoint contiguous blocks, and within a block
@@ -941,6 +991,115 @@ StatusOr<CompiledRun> CompileFusedRun(
     }
   }
   return out;
+}
+
+void CompactProgram(MicroProgram* program) {
+  if (!program->extended || program->compact) return;
+  const int64_t n_ops = program->num_operands;
+
+  // CSE over the one-value-per-instruction form: value id n_ops + j names
+  // instruction j's result; `val` maps original value ids to merged ones.
+  std::vector<int32_t> val(n_ops + program->insts.size());
+  for (int64_t s = 0; s < n_ops; ++s) val[s] = static_cast<int32_t>(s);
+  std::vector<MicroInst> merged;
+  std::map<std::tuple<int64_t, int32_t, int32_t>, int32_t> seen;
+  for (size_t j = 0; j < program->insts.size(); ++j) {
+    MicroInst inst = program->insts[j];
+    inst.a = val[inst.a];
+    inst.b = val[inst.b];
+    const auto key = std::make_tuple(static_cast<int64_t>(inst.opcode),
+                                     inst.a, inst.b);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      val[n_ops + j] = it->second;
+      continue;
+    }
+    const int32_t v = static_cast<int32_t>(n_ops + merged.size());
+    val[n_ops + j] = v;
+    seen.emplace(key, v);
+    merged.push_back(inst);
+  }
+
+  // Liveness: a value's row is reusable after its last reader; values named
+  // by an output spec or the reduce epilogue are read after every
+  // instruction ran, so they stay pinned to the end.
+  std::vector<int32_t> last_use(merged.size(), -1);
+  std::vector<char> pinned(merged.size(), 0);
+  for (size_t j = 0; j < merged.size(); ++j) {
+    if (merged[j].a >= n_ops) {
+      last_use[merged[j].a - n_ops] = static_cast<int32_t>(j);
+    }
+    if (merged[j].b >= n_ops) {
+      last_use[merged[j].b - n_ops] = static_cast<int32_t>(j);
+    }
+  }
+  for (size_t o = 0; o < program->output_specs.size(); ++o) {
+    const int32_t reg = val[program->output_specs[o].reg];
+    if (reg >= n_ops) pinned[reg - n_ops] = 1;
+  }
+  if (program->reduce.kind != MicroReduceKind::kNone &&
+      program->reduce.src >= n_ops) {
+    pinned[val[program->reduce.src] - n_ops] = 1;
+  }
+
+  // Row assignment. Releasing a source row before allocating the dst lets an
+  // instruction overwrite its own input row: the interpreter's block loops
+  // read element i before writing element i, so in-place rows are exact.
+  std::vector<int32_t> row_of(merged.size(), -1);
+  std::vector<int32_t> free_rows;
+  int32_t next_row = 0;
+  for (size_t j = 0; j < merged.size(); ++j) {
+    MicroInst& inst = merged[j];
+    const int32_t a_val = inst.a;  // merged value ids, pre-rewrite
+    const int32_t b_val = inst.b;
+    if (a_val >= n_ops) {
+      inst.a = static_cast<int32_t>(n_ops + row_of[a_val - n_ops]);
+    }
+    if (b_val >= n_ops) {
+      inst.b = static_cast<int32_t>(n_ops + row_of[b_val - n_ops]);
+    }
+    auto maybe_release = [&](int32_t value) {
+      if (value < n_ops) return;
+      const int32_t idx = value - n_ops;
+      if (last_use[idx] == static_cast<int32_t>(j) && !pinned[idx]) {
+        free_rows.push_back(row_of[idx]);
+        last_use[idx] = -2;  // release once even when a == b
+      }
+    };
+    maybe_release(a_val);
+    maybe_release(b_val);
+    int32_t row;
+    if (free_rows.empty()) {
+      row = next_row++;
+    } else {
+      row = free_rows.back();
+      free_rows.pop_back();
+    }
+    row_of[j] = row;
+    inst.dst = static_cast<int32_t>(n_ops + row);
+    // A value nothing reads (dead code after a trial shrink) frees its row
+    // immediately.
+    if (last_use[j] == -1 && !pinned[j]) free_rows.push_back(row);
+  }
+
+  // Rewrite output and reduce references to their final rows.
+  for (size_t o = 0; o < program->output_specs.size(); ++o) {
+    int32_t reg = program->output_specs[o].reg;
+    if (reg >= n_ops) {
+      reg = static_cast<int32_t>(n_ops + row_of[val[reg] - n_ops]);
+    }
+    program->output_specs[o].reg = reg;
+    program->outputs[o] = reg;
+  }
+  if (program->reduce.kind != MicroReduceKind::kNone &&
+      program->reduce.src >= n_ops) {
+    program->reduce.src =
+        static_cast<int32_t>(n_ops + row_of[val[program->reduce.src] - n_ops]);
+  }
+
+  program->insts = std::move(merged);
+  program->num_rows = next_row;
+  program->compact = true;
 }
 
 // ---- Interpreter -----------------------------------------------------------
@@ -1100,7 +1259,11 @@ void RunTyped(EagerContext* ectx, const MicroProgram& program,
     std::vector<T> rows;
     std::vector<int64_t> coord;
   };
-  const size_t scratch_rows = num_gather_rows + program.insts.size();
+  // Decode normalized every program (v1/v2/v3) to explicit dst rows, so
+  // scratch is num_rows rows — for compact programs a few rows however long
+  // the instruction list is.
+  const size_t scratch_rows =
+      num_gather_rows + static_cast<size_t>(program.num_rows);
   auto make_scratch = [&]() {
     return Scratch{std::vector<T>(scratch_rows * row_elements),
                    std::vector<int64_t>(std::max(max_rank, 1))};
@@ -1131,7 +1294,7 @@ void RunTyped(EagerContext* ectx, const MicroProgram& program,
     for (size_t j = 0; j < program.insts.size(); ++j) {
       const MicroInst& inst = program.insts[j];
       auto [pa, sa] = src(inst.a);
-      T* out = inst_rows + j * row_elements;
+      T* out = inst_rows + (inst.dst - program.num_operands) * row_elements;
       if (MicroOpArity(inst.opcode) == 2) {
         auto [pb, sb] = src(inst.b);
         using namespace functors;  // NOLINT(build/namespaces)
@@ -1176,9 +1339,11 @@ void RunTyped(EagerContext* ectx, const MicroProgram& program,
           TFE_FUSED_UNARY_CASE(kFloor, FloorF)
 #undef TFE_FUSED_UNARY_CASE
           case MicroOpCode::kCast:
-            // Identity: foreign operands were converted to T up front.
+            // Identity: foreign operands were converted to T up front. With
+            // compact row reuse the source row may be reassigned as the
+            // destination, making the copy an exact self-copy — skip it.
             if (sa == 1) {
-              std::copy(pa, pa + len, out);
+              if (pa != out) std::copy(pa, pa + len, out);
             } else {
               std::fill(out, out + len, pa[0]);
             }
@@ -1463,6 +1628,35 @@ Status FusedElementwiseKernel(KernelContext* ctx) {
     reduce_runs->Increment();
     profiler::RecordInstant(profiler::EventKind::kFusionRun, reduce_name_id,
                             static_cast<int64_t>(program.insts.size()) + 1);
+  }
+  {
+    // A DAG run (vs a linear chain): more than one published output, or an
+    // in-run value consumed by several instructions. Rows are storage, not
+    // values — a write retires the row's previous value — so read counts
+    // reset at each redefinition.
+    bool dag = program.outputs.size() +
+                   (program.reduce.kind != MicroReduceKind::kNone ? 1 : 0) >
+               1;
+    if (!dag) {
+      std::vector<int> reads(program.num_registers(), 0);
+      for (const MicroInst& inst : program.insts) {
+        if (inst.a >= program.num_operands && ++reads[inst.a] > 1) dag = true;
+        if (MicroOpArity(inst.opcode) == 2 && inst.b >= program.num_operands &&
+            ++reads[inst.b] > 1) {
+          dag = true;
+        }
+        if (inst.dst >= 0) reads[inst.dst] = 0;
+      }
+    }
+    if (dag) {
+      static profiler::Counter* dag_runs =
+          profiler::Metrics().GetCounter("fusion.dag_runs");
+      static const uint32_t dag_name_id = profiler::Intern("dag_fused_run");
+      dag_runs->Increment();
+      ectx->stats().fused_dag_runs.fetch_add(1, std::memory_order_relaxed);
+      profiler::RecordInstant(profiler::EventKind::kFusionRun, dag_name_id,
+                              static_cast<int64_t>(program.insts.size()));
+    }
   }
 
   TFE_SWITCH_NUMERIC(dtype, T, {

@@ -37,6 +37,21 @@
 //      num_outputs, {reg, shape_rank, shape_dims...,
 //                    kind, [rank, dims..., strides...] if strided} per output,
 //      reduce_kind, [src_reg, reduce_count, out_rank, out_dims...] if any]
+//
+// v3 (compact, first element == kMicroProgramMagicV3) — DAG segments. Same
+// layout as v2 with two changes: the header carries an explicit scratch-row
+// count (num_rows, placed after eval_dims), and every instruction carries an
+// explicit destination register {opcode, a, b, dst}. v1/v2 pin instruction
+// i's result to register num_operands + i, so a 64-op run needs 64 scratch
+// rows; v3 lets the compiler CSE identical instructions (shared
+// subexpressions load once) and reuse dead rows by liveness, so a long chain
+// runs in 2-3 rows regardless of length and multi-consumer values occupy one
+// row read by many instructions. dst registers live in
+// [num_operands, num_operands + num_rows); a register may only be read after
+// an earlier instruction wrote it, and rows named by outputs or the reduce
+// epilogue stay live to the end. Decode normalizes v1/v2 programs to the
+// same form (dst = num_operands + i), so the interpreter has one execution
+// path.
 #ifndef TFE_KERNELS_FUSED_ELEMENTWISE_H_
 #define TFE_KERNELS_FUSED_ELEMENTWISE_H_
 
@@ -90,10 +105,15 @@ struct MicroInst {
   // Register operands; `b` is ignored for unary opcodes.
   int32_t a = 0;
   int32_t b = 0;
+  // Destination register, in [num_operands, num_operands + num_rows).
+  // Encoded only by v3; Decode normalizes v1/v2 to dst = num_operands + i.
+  int32_t dst = -1;
 };
 
 // First element of a v2-encoded program (v1 starts with num_operands >= 0).
 constexpr int64_t kMicroProgramMagic = -2;
+// First element of a v3 (compact DAG) program.
+constexpr int64_t kMicroProgramMagicV3 = -3;
 
 // How an operand slot reads its input — or an output stores its register —
 // relative to the flat evaluation index.
@@ -164,8 +184,16 @@ struct MicroProgram {
   std::vector<MicroOutputSpec> output_specs;  // parallel to `outputs`
   MicroReduce reduce;
 
+  // --- v3 extensions (engaged when `compact` is true) ----------------------
+  // Compact programs carry explicit dst registers and a scratch-row count;
+  // CompactProgram() below rewrites a freshly compiled v2 program into this
+  // form (CSE + liveness-driven row reuse).
+  bool compact = false;
+  int64_t num_rows = 0;  // scratch rows; insts[i].dst - num_operands < this
+
   int64_t num_registers() const {
-    return num_operands + static_cast<int64_t>(insts.size());
+    return num_operands + (compact ? num_rows
+                                   : static_cast<int64_t>(insts.size()));
   }
 
   std::vector<int64_t> Encode() const;
@@ -245,6 +273,15 @@ struct CompiledRun {
 StatusOr<CompiledRun> CompileFusedRun(const std::vector<FusedRunOp>& ops,
                                       const std::vector<FusedRunOperand>& operands,
                                       DType run_dtype);
+
+// Rewrites a one-row-per-instruction program into v3 compact form: dedups
+// identical (opcode, a, b) instructions (shared subexpressions compute
+// once), then reassigns destination rows by liveness so dead rows are
+// reused. References in later instructions, output specs, and the reduce
+// epilogue are remapped. Rows feeding outputs or the reduce epilogue stay
+// live to the end of the program. Exposed for tests; CompileFusedRun applies
+// it to every program it emits.
+void CompactProgram(MicroProgram* program);
 
 void RegisterFusedElementwiseKernels();
 

@@ -224,6 +224,9 @@ class EagerContext {
     // FusedElementwise invocations / primitive ops folded into them.
     std::atomic<uint64_t> fused_runs{0};
     std::atomic<uint64_t> fused_ops{0};
+    // Fused runs whose program was a DAG rather than a linear chain:
+    // several published outputs, or an in-run value with several consumers.
+    std::atomic<uint64_t> fused_dag_runs{0};
   };
   Stats& stats() { return stats_; }
 

@@ -7,6 +7,7 @@
 #include "device/device.h"
 #include "device/remote_device.h"
 #include "kernels/fused_elementwise.h"
+#include "kernels/program_cache.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
@@ -42,6 +43,11 @@ std::shared_ptr<TensorHandle> FirstUnresolvedInput(const OpQueue::Node& node,
 // Bounds the peek-ahead work per drain step and the register footprint of
 // the interpreted program.
 constexpr size_t kMaxFusedRun = 64;
+
+// How many non-joining queued nodes the DAG capture scan will step over
+// while looking for more members. Bounds the per-drain scan (and the deque
+// middle-erase cost) when the queue is deep.
+constexpr size_t kMaxPeekSkip = 128;
 
 // What role a node plays inside a fused run: a compute member contributes a
 // micro-op instruction, a layout member (Transpose/Reshape/ExpandDims/
@@ -258,13 +264,32 @@ void OpQueue::Drain() {
       std::lock_guard<std::mutex> lock(mu_);
       run.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      // Peek ahead: absorb the longest fusable map-reduce run behind the
-      // front. Ops are popped together so the run executes as one kernel.
+      // Peek ahead: absorb the largest fusable map-reduce DAG segment behind
+      // the front. Members are popped together so the segment executes as
+      // one kernel; the scan steps over ("skips") queued nodes that do not
+      // join, so a non-fusable op interleaved in a diamond no longer cuts
+      // the run. Reordering members ahead of skipped nodes is safe: a
+      // member's inputs are all resolved or produced in-run (a consumer of a
+      // skipped node's output fails ResolvedOperand and cannot join), ops
+      // with effects (variable writes) are never fusable, RNG streams are
+      // pinned at dispatch, and skipped nodes that consume a member's output
+      // see its handle resolve when the fused kernel completes.
       if (NodeStartsRun(run.front())) {
-        while (run.size() < kMaxFusedRun && !queue_.empty() &&
-               NodeJoinsRun(queue_.front(), run)) {
-          run.push_back(std::move(queue_.front()));
-          queue_.pop_front();
+        size_t scan = 0;
+        kernels::MicroReduceKind close_kind;
+        while (run.size() < kMaxFusedRun && scan < queue_.size() &&
+               scan < kMaxPeekSkip) {
+          if (NodeJoinsRun(queue_[scan], run)) {
+            run.push_back(std::move(queue_[scan]));
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(scan));
+            // A reduce epilogue closes the run; stop scanning.
+            if (kernels::MicroReduceKindFor(run.back().op_name, &close_kind)) {
+              break;
+            }
+          } else {
+            ++scan;
+          }
         }
         // The evaluation space is the last member's shape, so a scalar tail
         // in a non-scalar run would shrink it to one element and fail to
@@ -529,7 +554,12 @@ void OpQueue::ExecuteFused(std::vector<Node> run) {
       materialize[n] = n + 1 == run.size() || Observable(n, run);
       ops[n].materialize = materialize[n];
     }
-    auto compiled_or = kernels::CompileFusedRun(ops, operand_descs, dtype);
+    // Steady-state steps recognize the same DAG segment every iteration;
+    // the program cache keys on the segment's shape/dtype signature and
+    // returns the compiled artifact (or the cached rejection) without
+    // re-running trial compilation.
+    auto compiled_or = kernels::FusedProgramCache::Global().GetOrCompile(
+        ops, operand_descs, dtype);
     if (compiled_or.ok()) {
       compiled = std::move(*compiled_or);
     } else {
@@ -675,6 +705,32 @@ void OpQueue::Execute(Node node) {
       }
     }
     extra_ns += device_->CompileCostNs(signature);
+  }
+
+  // Op-at-a-time buffer donation: the fused-run use-count proof applied to a
+  // single unary elementwise op. When this node's only input is provably the
+  // last reference to its value — no other handle holders, tensor states, or
+  // buffer aliases (tape entries and user aliases hold whole Tensors and
+  // fail the counts) — ask the kernel to write its output in place. The
+  // unary kernels re-validate dtype/shape and allocate fresh otherwise.
+  if (ctx_->buffer_donation() && !device_->is_accelerator() &&
+      device_->executes_kernels() && node.attrs.empty() &&
+      node.inputs.size() == 1 && inputs.size() == 1 &&
+      node.outputs.size() == 1) {
+    kernels::MicroOpCode code;
+    if (kernels::MicroOpCodeFor(node.op_name, &code) &&
+        kernels::MicroOpArity(code) == 1 &&
+        code != kernels::MicroOpCode::kCast) {
+      const auto& handle = node.inputs[0].pending_handle();
+      const Tensor& value = inputs[0];
+      if (handle != nullptr && value.defined() && !value.is_opaque() &&
+          !value.is_resource() && value.dtype() == node.outputs[0]->dtype() &&
+          handle.use_count() == 1 && node.inputs[0].state_use_count() == 1 &&
+          value.state_use_count() == 2 &&  // handle's + `inputs[0]`
+          value.buffer().use_count() == 1) {
+        node.attrs.emplace("donate", AttrValue(int64_t{0}));
+      }
+    }
   }
 
   auto run = ctx_->ExecuteKernel(node.op_name, inputs, node.attrs, device_,

@@ -70,11 +70,21 @@ class OpQueue {
   void PumpLocked();
   // Pops and executes ready ops in order; parks on the first unresolved
   // input handle. Runs on a pool thread; never blocks. When the front is a
-  // fusable elementwise op, peeks ahead and pops the whole run (see
-  // NodeStartsRun/NodeJoinsRun) to execute as one FusedElementwise kernel.
+  // fusable elementwise op, scans ahead over a bounded window and pops the
+  // whole DAG segment (see NodeStartsRun/NodeJoinsRun): non-joining nodes
+  // are *stepped over* rather than cutting the run, so a stray op
+  // interleaved in a diamond no longer ends it. Skipped nodes keep their
+  // queue position and cannot feed run members (their handles are
+  // unresolved, so the member would fail the join check), while skipped
+  // nodes *consuming* member outputs see them resolve when the fused kernel
+  // completes — the reordering is observationally equivalent to in-order
+  // execution.
   void Drain();
   // Runs one op: propagates poisoned inputs, materializes the rest, executes
-  // the kernel, accounts device time, and fulfills the output handles.
+  // the kernel, accounts device time, and fulfills the output handles. A
+  // unary elementwise op whose input buffer is provably uniquely owned (the
+  // same use-count proof ExecuteFused applies to run operands) passes the
+  // kernel a "donate" attr and writes its output in place.
   void Execute(Node node);
   // Remote-device variant: ships local inputs to the worker store, passes
   // same-worker inputs by store id, and issues the op over the backend's
@@ -100,7 +110,8 @@ class OpQueue {
   // iteration parks or poisons as usual).
   bool NodeJoinsRun(const Node& node, const std::vector<Node>& run) const;
   // Executes a run of >= 2 fused nodes as one FusedElementwise invocation:
-  // describes the run to kernels::CompileFusedRun (deduplicating operands),
+  // describes the run to the fused-program cache (which compiles via
+  // kernels::CompileFusedRun on a signature miss, deduplicating operands),
   // elides intermediates nobody outside the run can observe, schedules one
   // span of device time, and fulfills every run handle at the same
   // completion time. Falls back to per-node Execute() on any surprise,

@@ -15,11 +15,14 @@ StatusOr<std::string> TensorKey(const Tensor& tensor) {
     // share a trace (their storage bindings differ).
     return strings::StrCat("res#", tensor.resource()->resource_id());
   }
-  return strings::StrCat(DTypeName(tensor.dtype()),
-                         tensor.shape().ToString());
+  return TypeShapeKey(tensor.dtype(), tensor.shape());
 }
 
 }  // namespace
+
+std::string TypeShapeKey(DType dtype, const Shape& shape) {
+  return strings::StrCat(DTypeName(dtype), shape.ToString());
+}
 
 StatusOr<std::string> ComputeSignature(const std::vector<Tensor>& args,
                                        const AttrMap& non_tensor_args,

@@ -19,6 +19,11 @@
 
 namespace tfe {
 
+// The (dtype, shape) atom every signature is built from. Shared by the
+// trace cache below and by the fused-program cache
+// (kernels/program_cache.h), so both caches abstract tensors the same way.
+std::string TypeShapeKey(DType dtype, const Shape& shape);
+
 // Cache key for one invocation.
 StatusOr<std::string> ComputeSignature(const std::vector<Tensor>& args,
                                        const AttrMap& non_tensor_args,

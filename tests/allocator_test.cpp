@@ -394,6 +394,60 @@ TEST_F(DonationTest, KernelRejectsUnsafeDonationAttr) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST_F(DonationTest, OpAtATimeUnaryOpsDonate) {
+  // With fusion off the drain executes ops one at a time; a unary op whose
+  // input buffer is uniquely owned (producer handle dropped, no aliases, no
+  // tape) writes its output in place under the same ownership proof the
+  // fused path uses.
+  EagerContext* ctx = EagerContext::Global();
+  ctx->set_fuse_elementwise(false);
+  Tensor x = ops::random_normal({64, 64}, 0, 1, /*seed=*/33);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  const uint64_t donations_before = Donations();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor donated = UnaryChain(x, 64);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(Donations(), donations_before)
+      << "no op-at-a-time unary op donated its input buffer";
+
+  ctx->set_buffer_donation(false);
+  Tensor copied = UnaryChain(x, 64);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(donated), ToVector<float>(copied));
+}
+
+TEST_F(DonationTest, EscapingMultiConsumerValueBlocksOpAtATimeDonation) {
+  // A value held by the test and consumed by two later ops is never
+  // uniquely owned: neither consumer may overwrite it, and the held handle
+  // must still read the original bits after both consumers ran.
+  EagerContext* ctx = EagerContext::Global();
+  ctx->set_fuse_elementwise(false);
+  Tensor x = ops::random_normal({32, 32}, 0, 1, /*seed=*/37);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor mid = ops::abs(x);
+  Tensor kept = mid;  // escapes: a second handle to the same value
+  const uint64_t donations_before = Donations();
+  Tensor a = ops::neg(mid);
+  Tensor b = ops::abs(mid);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(Donations(), donations_before)
+      << "a consumer donated a multi-consumer value that escapes the queue";
+
+  // Ground truth without donation anywhere.
+  ctx->set_buffer_donation(false);
+  Tensor mid_ref = ops::abs(x);
+  Tensor a_ref = ops::neg(mid_ref);
+  Tensor b_ref = ops::abs(mid_ref);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(kept), ToVector<float>(mid_ref))
+      << "the escaping value was overwritten in place";
+  EXPECT_EQ(ToVector<float>(a), ToVector<float>(a_ref));
+  EXPECT_EQ(ToVector<float>(b), ToVector<float>(b_ref));
+}
+
 TEST_F(DonationTest, ArenaAndSystemAllocatorsAgreeBitwise) {
   auto compute = [](std::vector<float>* out_values) {
     ASSERT_NO_FATAL_FAILURE(BlockQueueHead());

@@ -11,6 +11,7 @@
 
 #include "api/tfe.h"
 #include "kernels/fused_elementwise.h"
+#include "kernels/program_cache.h"
 #include "runtime/dispatch.h"
 #include "runtime/eager_context.h"
 #include "tensor/tensor_handle.h"
@@ -737,6 +738,305 @@ TEST(MicroProgramTest, CastOpcodeDecodesAndBoundsTheOpcodeRange) {
   // kCast is the last opcode; one past it is unknown.
   EXPECT_FALSE(
       kernels::MicroProgram::Decode({1, 1, cast_code + 1, 0, 0, 1, 1}).ok());
+}
+
+// Builds the minimal extended program around `insts` (one slot per operand,
+// contiguous {n}-element evaluation, one contiguous output per entry of
+// `outputs`), the shape CompileFusedRun emits before compaction.
+kernels::MicroProgram MakeExtendedProgram(
+    int64_t num_operands, int64_t n, std::vector<kernels::MicroInst> insts,
+    std::vector<int32_t> outputs) {
+  kernels::MicroProgram p;
+  p.num_operands = num_operands;
+  p.extended = true;
+  p.eval_dims = {n};
+  for (int64_t i = 0; i < num_operands; ++i) {
+    kernels::MicroOperandSlot slot;
+    slot.input = i;
+    slot.access.kind = kernels::MicroAccessKind::kContiguous;
+    p.slots.push_back(slot);
+  }
+  for (size_t i = 0; i < insts.size(); ++i) {
+    insts[i].dst = static_cast<int32_t>(num_operands + i);
+  }
+  p.insts = std::move(insts);
+  p.outputs = outputs;
+  for (int32_t reg : p.outputs) {
+    kernels::MicroOutputSpec spec;
+    spec.reg = reg;
+    spec.shape = {n};
+    spec.store.kind = kernels::MicroAccessKind::kContiguous;
+    p.output_specs.push_back(spec);
+  }
+  return p;
+}
+
+TEST(MicroProgramTest, V3RoundTripKeepsDstAndRowCount) {
+  // add → relu in one reused row: dst of both instructions is row 0.
+  kernels::MicroProgram p = MakeExtendedProgram(
+      2, 8,
+      {{kernels::MicroOpCode::kAdd, 0, 1},
+       {kernels::MicroOpCode::kRelu, 2, 0}},
+      {3});
+  p.compact = true;
+  p.num_rows = 1;
+  p.insts[0].dst = 2;
+  p.insts[1].dst = 2;
+  p.outputs = {2};
+  p.output_specs[0].reg = 2;
+
+  auto decoded = kernels::MicroProgram::Decode(p.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->compact);
+  EXPECT_EQ(decoded->num_rows, 1);
+  EXPECT_EQ(decoded->num_registers(), 3);
+  ASSERT_EQ(decoded->insts.size(), 2u);
+  EXPECT_EQ(decoded->insts[0].dst, 2);
+  EXPECT_EQ(decoded->insts[1].dst, 2);
+  EXPECT_EQ(decoded->outputs, std::vector<int32_t>{2});
+}
+
+TEST(MicroProgramTest, V3RejectsRowMisuse) {
+  auto make = [](int32_t inst1_a, int32_t inst1_dst,
+                 int32_t out_reg) -> std::vector<int64_t> {
+    kernels::MicroProgram p = MakeExtendedProgram(
+        2, 8,
+        {{kernels::MicroOpCode::kAdd, 0, 1},
+         {kernels::MicroOpCode::kRelu, inst1_a, 0}},
+        {3});
+    p.compact = true;
+    p.num_rows = 2;
+    p.insts[0].dst = 2;
+    p.insts[1].dst = inst1_dst;
+    p.outputs = {out_reg};
+    p.output_specs[0].reg = out_reg;
+    return p.Encode();
+  };
+  // The valid baseline decodes.
+  ASSERT_TRUE(kernels::MicroProgram::Decode(make(2, 3, 3)).ok());
+  // Reading row 1 before any instruction wrote it.
+  EXPECT_FALSE(kernels::MicroProgram::Decode(make(3, 3, 3)).ok());
+  // dst out of the declared row range.
+  EXPECT_FALSE(kernels::MicroProgram::Decode(make(2, 4, 3)).ok());
+  // Output naming a row no instruction wrote.
+  kernels::MicroProgram unwritten = MakeExtendedProgram(
+      2, 8, {{kernels::MicroOpCode::kAdd, 0, 1}}, {3});
+  unwritten.compact = true;
+  unwritten.num_rows = 2;
+  unwritten.insts[0].dst = 2;
+  EXPECT_FALSE(kernels::MicroProgram::Decode(unwritten.Encode()).ok());
+}
+
+TEST(MicroProgramTest, CompactProgramDedupsAndReusesRows) {
+  // add(0,1) computed twice (a shared subexpression), then multiplied with
+  // itself. CSE must merge the duplicate and liveness must recycle its row.
+  kernels::MicroProgram p = MakeExtendedProgram(
+      2, 8,
+      {{kernels::MicroOpCode::kAdd, 0, 1},
+       {kernels::MicroOpCode::kAdd, 0, 1},
+       {kernels::MicroOpCode::kMul, 2, 3}},
+      {4});
+  kernels::CompactProgram(&p);
+  EXPECT_TRUE(p.compact);
+  ASSERT_EQ(p.insts.size(), 2u);  // duplicate add merged
+  EXPECT_EQ(p.insts[1].opcode, kernels::MicroOpCode::kMul);
+  // Both mul operands read the single shared add row.
+  EXPECT_EQ(p.insts[1].a, p.insts[0].dst);
+  EXPECT_EQ(p.insts[1].b, p.insts[0].dst);
+  EXPECT_LE(p.num_rows, 2);
+  ASSERT_EQ(p.outputs.size(), 1u);
+  EXPECT_EQ(p.outputs[0], p.insts[1].dst);
+  EXPECT_EQ(p.output_specs[0].reg, p.insts[1].dst);
+  // Compaction is idempotent.
+  const auto encoded = p.Encode();
+  kernels::CompactProgram(&p);
+  EXPECT_EQ(p.Encode(), encoded);
+}
+
+TEST(MicroProgramTest, CompactProgramBoundsRowsOnLongChains) {
+  // A 32-op chain needs a constant number of rows once dead rows recycle,
+  // not one per instruction (the v1/v2 regime).
+  std::vector<kernels::MicroInst> insts;
+  insts.push_back({kernels::MicroOpCode::kAdd, 0, 1});
+  for (int i = 1; i < 32; ++i) {
+    insts.push_back({kernels::MicroOpCode::kRelu,
+                     static_cast<int32_t>(2 + i - 1), 0});
+  }
+  kernels::MicroProgram p = MakeExtendedProgram(
+      2, 8, std::move(insts), {static_cast<int32_t>(2 + 31)});
+  kernels::CompactProgram(&p);
+  EXPECT_TRUE(p.compact);
+  EXPECT_EQ(p.insts.size(), 32u);
+  EXPECT_LE(p.num_rows, 2);
+}
+
+// --- compiled-program cache -------------------------------------------------
+
+// A minimal compilable segment: add(o0, o1) → relu, operands of `n` floats.
+void MakeCacheRun(int64_t n, std::vector<kernels::FusedRunOp>* ops,
+                  std::vector<kernels::FusedRunOperand>* operands) {
+  kernels::FusedRunOp add;
+  add.op = "Add";
+  add.shape = Shape({n});
+  add.args = {{-1, 0}, {-1, 1}};
+  kernels::FusedRunOp relu;
+  relu.op = "Relu";
+  relu.shape = Shape({n});
+  relu.args = {{0, -1}};
+  relu.materialize = true;
+  *ops = {add, relu};
+  operands->assign(2, kernels::FusedRunOperand{DType::kFloat32, Shape({n})});
+}
+
+TEST(ProgramCacheTest, MissThenHitOnSameSignature) {
+  kernels::FusedProgramCache cache(/*capacity=*/8);
+  std::vector<kernels::FusedRunOp> ops;
+  std::vector<kernels::FusedRunOperand> operands;
+  MakeCacheRun(16, &ops, &operands);
+
+  auto first = cache.GetOrCompile(ops, operands, DType::kFloat32);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  auto second = cache.GetOrCompile(ops, operands, DType::kFloat32);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The cached artifact is the same program, not a recompile of a different
+  // shape: same encoding, same output wiring.
+  EXPECT_EQ(second->program.Encode(), first->program.Encode());
+  EXPECT_EQ(second->output_members, first->output_members);
+
+  // A different shape is a different signature.
+  MakeCacheRun(32, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCacheTest, DonationBitIsPartOfTheSignature) {
+  // The compile result's donation plan depends on may_donate, so two runs
+  // differing only in ownership proofs must not share an entry.
+  kernels::FusedProgramCache cache(/*capacity=*/8);
+  std::vector<kernels::FusedRunOp> ops;
+  std::vector<kernels::FusedRunOperand> operands;
+  MakeCacheRun(16, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  operands[0].may_donate = true;
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCacheTest, LruEvictsColdestEntry) {
+  kernels::FusedProgramCache cache(/*capacity=*/2);
+  std::vector<kernels::FusedRunOp> ops;
+  std::vector<kernels::FusedRunOperand> operands;
+
+  MakeCacheRun(8, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  MakeCacheRun(16, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  // Touch {8} so {16} is coldest.
+  MakeCacheRun(8, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  MakeCacheRun(32, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // {8} survived, {16} was evicted.
+  MakeCacheRun(8, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  MakeCacheRun(16, &ops, &operands);
+  ASSERT_TRUE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(ProgramCacheTest, FailedCompilesAreCached) {
+  // A rejected segment is rejected identically every step; the cache must
+  // remember the failure instead of re-running the compile walk.
+  kernels::FusedProgramCache cache(/*capacity=*/8);
+  std::vector<kernels::FusedRunOp> ops;
+  std::vector<kernels::FusedRunOperand> operands;
+  MakeCacheRun(16, &ops, &operands);
+  ops[1].op = "MatMul";  // not a micro-op: compilation fails
+  EXPECT_FALSE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_FALSE(cache.GetOrCompile(ops, operands, DType::kFloat32).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// --- DAG segments on the drain ---------------------------------------------
+
+// A tower of residual diamonds: t = relu(h * s); h = t + h. Every block's h
+// is consumed by both the mul and the join add, so a run spanning a block
+// boundary carries an in-run value with two readers — a DAG, not a chain.
+Tensor ResidualTower(const Tensor& x, const Tensor& s, int blocks) {
+  Tensor h = x;
+  for (int i = 0; i < blocks; ++i) {
+    Tensor t = ops::relu(ops::mul(h, s));
+    h = ops::add(t, h);
+  }
+  return h;
+}
+
+TEST_F(FusionTest, DiamondDagFusesAndMatchesUnfused) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({48, 32}, 0, 1, /*seed=*/5);
+  Tensor s = ops::scalar<float>(0.5f);
+
+  const uint64_t dag_before = ctx->stats().fused_dag_runs.load();
+  ctx->set_fuse_elementwise(true);
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor fused = ResidualTower(x, s, 12);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(ctx->stats().fused_dag_runs.load(), dag_before)
+      << "no window was recognized as a DAG segment";
+
+  ctx->set_fuse_elementwise(false);
+  Tensor plain = ResidualTower(x, s, 12);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(BitwiseEqual(ToVector<float>(fused), ToVector<float>(plain)));
+}
+
+TEST_F(FusionTest, MultiOutputRunMatchesUnfused) {
+  // Intermediates held by the test escape the run and must materialize as
+  // extra fused outputs; every escaping value must match the unfused bits.
+  EagerContext* ctx = EagerContext::Global();
+  Tensor x = ops::random_normal({31, 9}, 0, 1, /*seed=*/19);
+  Tensor s = ops::scalar<float>(0.25f);
+
+  auto build = [&](std::vector<Tensor>* kept) {
+    Tensor a = ops::add(x, s);
+    Tensor b = ops::relu(ops::mul(a, s));
+    Tensor c = ops::sub(ops::add(b, a), s);  // a consumed twice (diamond)
+    kept->assign({a, b, c});
+  };
+
+  ctx->set_fuse_elementwise(true);
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  std::vector<Tensor> fused;
+  build(&fused);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  ctx->set_fuse_elementwise(false);
+  std::vector<Tensor> plain;
+  build(&plain);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  ASSERT_EQ(fused.size(), plain.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_TRUE(
+        BitwiseEqual(ToVector<float>(fused[i]), ToVector<float>(plain[i])))
+        << "escaping value " << i;
+  }
 }
 
 }  // namespace
