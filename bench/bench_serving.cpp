@@ -1,0 +1,237 @@
+// Multi-tenant serving: cross-request batching throughput and latency.
+//
+// Eight closed-loop clients, each with its own session, drive the same
+// staged MLP inference through tfe::Serving. The batched configuration
+// (window of 8, 200us max queue delay) coalesces same-signature calls from
+// concurrent sessions into one execution through the async executor; the
+// unbatched configuration (window of 1) runs every call individually. The
+// contract under test: batching multiplies throughput at equal-or-better
+// tail latency while every session's outputs stay bitwise identical to its
+// own unbatched run, and an injected failure poisons only its own session.
+//
+//   build/bench/bench_serving
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tensor/tensor_handle.h"
+
+using tfe::Tensor;
+namespace ops = tfe::ops;
+namespace bench = tfe::bench;
+namespace serving = tfe::serving;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kWarmupRequests = 5;
+constexpr int kMeasuredRequests = 50;
+constexpr int kRowsPerRequest = 1;
+constexpr int kFeatures = 16;
+
+uint64_t Counter(const char* name) {
+  return tfe::profiler::Metrics().GetCounter(name)->value();
+}
+
+struct ModeResult {
+  double requests_per_second = 0;
+  double p99_us = 0;
+  double mean_batch_size = 0;
+  std::vector<std::vector<float>> outputs;  // last output per client
+  bool ok = true;
+};
+
+ModeResult RunMode(int max_batch, tfe::Function& fn,
+                   const std::vector<Tensor>& inputs) {
+  serving::ServingOptions options;
+  options.max_batch_size = max_batch;
+  options.max_queue_delay_us = 200;
+  serving::Serving server(options);
+
+  std::vector<serving::SessionId> sessions(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    sessions[c] = server.OpenSession().value();
+  }
+
+  const uint64_t batches_before = Counter("serving.batches");
+  const uint64_t coalesced_before = Counter("serving.batched_calls");
+
+  ModeResult result;
+  result.outputs.resize(kClients);
+  std::vector<std::vector<double>> latencies_us(kClients);
+  std::atomic<bool> failed{false};
+  std::barrier gate(kClients + 1);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto request = [&]() -> bool {
+        auto out = server.Submit(sessions[c], fn, {inputs[c]});
+        if (!out.ok() || !serving::Serving::Await(*out).ok()) return false;
+        result.outputs[c] = tfe::tensor_util::ToVector<float>((*out)[0]);
+        return true;
+      };
+      for (int i = 0; i < kWarmupRequests && !failed.load(); ++i) {
+        if (!request()) failed.store(true);
+      }
+      gate.arrive_and_wait();  // warmup complete everywhere
+      gate.arrive_and_wait();  // main started the clock
+      for (int i = 0; i < kMeasuredRequests && !failed.load(); ++i) {
+        auto begin = std::chrono::steady_clock::now();
+        if (!request()) failed.store(true);
+        latencies_us[c].push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+      }
+      gate.arrive_and_wait();  // measured window complete
+    });
+  }
+
+  gate.arrive_and_wait();
+  auto begin = std::chrono::steady_clock::now();
+  gate.arrive_and_wait();
+  gate.arrive_and_wait();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  for (auto& t : clients) t.join();
+
+  result.ok = !failed.load();
+  result.requests_per_second = kClients * kMeasuredRequests / seconds;
+  std::vector<double> all;
+  for (auto& l : latencies_us) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  result.p99_us =
+      all.empty() ? 0 : all[static_cast<size_t>(0.99 * (all.size() - 1))];
+  const uint64_t batches = Counter("serving.batches") - batches_before;
+  const uint64_t coalesced = Counter("serving.batched_calls") - coalesced_before;
+  result.mean_batch_size =
+      batches == 0 ? 1.0 : static_cast<double>(coalesced) / batches;
+  return result;
+}
+
+// An injected failure must poison exactly one tenant: the victim's future
+// carries the error, its batch-mate's result is unaffected.
+bool FailureStaysIsolated(tfe::Function& fn, const Tensor& good_input) {
+  serving::ServingOptions options;
+  options.max_batch_size = 2;
+  options.max_queue_delay_us = 100000;
+  serving::Serving server(options);
+  auto healthy = server.OpenSession("healthy").value();
+  auto victim = server.OpenSession("victim").value();
+
+  auto poisoned_handle = tfe::TensorHandle::Pending(
+      tfe::DType::kFloat32, tfe::Shape({kRowsPerRequest, kFeatures}),
+      tfe::EagerContext::Global()->HostCpu(), nullptr);
+  Tensor poisoned = Tensor::FromHandle(poisoned_handle);
+
+  auto healthy_out = server.Submit(healthy, fn, {good_input});
+  auto victim_out = server.Submit(victim, fn, {poisoned});
+  if (!healthy_out.ok() || !victim_out.ok()) return false;
+  poisoned_handle->SetError(tfe::InvalidArgument("injected failure"));
+
+  const bool victim_poisoned = !serving::Serving::Await(*victim_out).ok();
+  const bool healthy_intact = serving::Serving::Await(*healthy_out).ok();
+  const bool deferred_surfaced = !server.SessionStatus(victim).ok();
+  return victim_poisoned && healthy_intact && deferred_surfaced &&
+         server.SessionStatus(healthy).ok();
+}
+
+}  // namespace
+
+int main() {
+  tfe::EagerContext::Options context_options;
+  context_options.async = true;
+  tfe::EagerContext::ResetGlobal(context_options);
+  tfe::EagerContext* ctx = tfe::EagerContext::Global();
+
+  // One staged MLP shared by every tenant (pure: weights are captured
+  // constants, so coalesced execution is provably safe). Deep and narrow:
+  // per-request cost is dominated by per-op dispatch through the executor,
+  // the overhead batching amortizes — one batched run issues the same ~75
+  // ops as a single-request run but serves the whole window.
+  Tensor w_in = ops::random_normal({kFeatures, 16}, 0, 0.1, /*seed=*/1);
+  std::vector<Tensor> hidden_w, hidden_b;
+  for (int layer = 0; layer < 24; ++layer) {
+    hidden_w.push_back(ops::random_normal({16, 16}, 0, 0.1, /*seed=*/10 + layer));
+    hidden_b.push_back(ops::random_normal({16}, 0, 0.1, /*seed=*/40 + layer));
+  }
+  Tensor w_out = ops::random_normal({16, 16}, 0, 0.1, /*seed=*/3);
+  TFE_CHECK(ctx->Sync().ok());
+  tfe::Function fn = tfe::function(
+      [w_in, hidden_w, hidden_b, w_out](const std::vector<Tensor>& args) {
+        Tensor h = ops::matmul(args[0], w_in);
+        for (size_t layer = 0; layer < hidden_w.size(); ++layer) {
+          h = ops::relu(
+              ops::add(ops::matmul(h, hidden_w[layer]), hidden_b[layer]));
+        }
+        return std::vector<Tensor>{ops::softmax(ops::matmul(h, w_out))};
+      },
+      "serve_mlp");
+
+  std::vector<Tensor> inputs;
+  for (int c = 0; c < kClients; ++c) {
+    inputs.push_back(ops::random_normal({kRowsPerRequest, kFeatures}, 0, 1,
+                                        /*seed=*/100 + c));
+  }
+  TFE_CHECK(ctx->Sync().ok());
+
+  ModeResult unbatched = RunMode(/*max_batch=*/1, fn, inputs);
+  ModeResult batched = RunMode(/*max_batch=*/kClients, fn, inputs);
+  TFE_CHECK(unbatched.ok && batched.ok);
+
+  // Bitwise identity: per session, batched == unbatched == a direct call.
+  bool bitwise_identical = true;
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<Tensor> direct = fn({inputs[c]});
+    TFE_CHECK(ctx->Sync().ok());
+    std::vector<float> reference =
+        tfe::tensor_util::ToVector<float>(direct[0]);
+    bitwise_identical = bitwise_identical &&
+                        batched.outputs[c] == reference &&
+                        unbatched.outputs[c] == reference;
+  }
+  const bool failure_isolated = FailureStaysIsolated(fn, inputs[0]);
+
+  const double speedup =
+      batched.requests_per_second / unbatched.requests_per_second;
+  std::printf("\n%d closed-loop clients, %d requests each, MLP inference\n",
+              kClients, kMeasuredRequests);
+  std::printf("%-22s%12.0f req/s   p99 %8.1f us\n", "unbatched (window 1)",
+              unbatched.requests_per_second, unbatched.p99_us);
+  std::printf("%-22s%12.0f req/s   p99 %8.1f us\n", "batched (window 8)",
+              batched.requests_per_second, batched.p99_us);
+  std::printf("%-22s%11.2fx         mean batch %.2f\n", "throughput gain",
+              speedup, batched.mean_batch_size);
+  std::printf("%-22s%12s\n", "bitwise identical",
+              bitwise_identical ? "yes" : "NO");
+  std::printf("%-22s%12s\n", "failure isolated",
+              failure_isolated ? "yes" : "NO");
+  std::printf(
+      "\nExpected: >=3x throughput at equal-or-better p99. Batching\n"
+      "amortizes per-call dispatch across the window; per-session\n"
+      "outputs and RNG streams are independent of batch-mates.\n");
+
+  bench::JsonReport report("serving");
+  report.Add("clients", kClients);
+  report.Add("unbatched_requests_per_second", unbatched.requests_per_second);
+  report.Add("batched_requests_per_second", batched.requests_per_second);
+  report.Add("throughput_speedup", speedup);
+  report.Add("unbatched_p99_us", unbatched.p99_us);
+  report.Add("batched_p99_us", batched.p99_us);
+  report.Add("mean_batch_size", batched.mean_batch_size);
+  report.Add("bitwise_identical", bitwise_identical ? 1 : 0);
+  report.Add("failure_isolated", failure_isolated ? 1 : 0);
+  report.Add("gate_throughput_3x", speedup >= 3.0 ? 1 : 0);
+  report.Add("gate_p99_not_worse", batched.p99_us <= unbatched.p99_us ? 1 : 0);
+  report.AddProfilerMetrics();
+  report.Write();
+  return 0;
+}

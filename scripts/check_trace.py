@@ -2,7 +2,8 @@
 """Validates a Chrome trace_event JSON file written by the profiler.
 
 Usage: scripts/check_trace.py [--require-remote] [--require-reduce-fusion] \
-    [--require-allocator] [--require-dag-fusion] <trace.json>
+    [--require-allocator] [--require-dag-fusion] [--require-batching] \
+    <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
@@ -28,6 +29,11 @@ With --require-dag-fusion the trace must contain a "dag_fused_run" instant
 value consumed more than once) and a "program_cache_hit" instant (a fused
 window that resolved its compiled program from the program cache instead of
 recompiling).
+
+With --require-batching the trace must contain the serving subsystem's
+evidence that cross-request coalescing actually happened: a "batched_run"
+instant (one execution serving a window of >= 2 sessions' calls) and a
+"session_open" instant.
 """
 import json
 import sys
@@ -44,13 +50,15 @@ def main():
     require_reduce_fusion = "--require-reduce-fusion" in args
     require_allocator = "--require-allocator" in args
     require_dag_fusion = "--require-dag-fusion" in args
+    require_batching = "--require-batching" in args
     args = [a for a in args
             if a not in ("--require-remote", "--require-reduce-fusion",
-                         "--require-allocator", "--require-dag-fusion")]
+                         "--require-allocator", "--require-dag-fusion",
+                         "--require-batching")]
     if len(args) != 1:
         fail(f"usage: {sys.argv[0]} [--require-remote] "
              "[--require-reduce-fusion] [--require-allocator] "
-             "[--require-dag-fusion] <trace.json>")
+             "[--require-dag-fusion] [--require-batching] <trace.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -105,6 +113,14 @@ def main():
             fail("no 'program_cache_hit' instant — every fused window "
                  "recompiled its program "
                  f"(instants seen: {sorted(instant_names)})")
+
+    if require_batching:
+        if "batched_run" not in instant_names:
+            fail("no 'batched_run' instant — no window coalesced calls from "
+                 f"concurrent sessions (instants seen: {sorted(instant_names)})")
+        if "session_open" not in instant_names:
+            fail("no 'session_open' instant — the serving front end left no "
+                 f"trace (instants seen: {sorted(instant_names)})")
 
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(span_tids)} span threads, categories {sorted(categories)}")

@@ -4,12 +4,19 @@
 # handle-lifetime tests under AddressSanitizer (separate build trees; see
 # TFE_SANITIZE in the top-level CMakeLists.txt).
 #
-#   scripts/tier1.sh [--skip-sanitizers | --tier2 | --profile]
+#   scripts/tier1.sh [--skip-sanitizers | --tier2 | --profile | --serving]
 #
 # --tier2 runs the FULL test suite under both sanitizers instead of the
 # concurrency-focused subset — slower, but it sweeps every kernel now that
 # the drain fuser and the intra-op threadpool put real parallelism under
 # ordinary ops.
+#
+# --serving is the multi-tenant serving gate: build, run the serving +
+# donation test subset, then bench_serving under TFE_PROFILE — the exported
+# trace must carry batched_run evidence (check_trace.py --require-batching)
+# and BENCH_serving.json must clear its gates: batched throughput >= 3x
+# unbatched at equal-or-better p99, bitwise-identical per-session outputs,
+# and an injected failure poisoning only its own session.
 #
 # --profile is the observability smoke: build, run bench_fusion and
 # bench_distrib with TFE_PROFILE set, validate the exported Chrome traces
@@ -43,6 +50,34 @@ if [[ "$MODE" == "--profile" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "--serving" ]]; then
+  echo "==== serving: focused tests ===="
+  ./build/tests/tfe_tests --gtest_filter='Serving*:Donation*'
+  echo "==== serving: bench_serving under TFE_PROFILE ===="
+  TRACE="build/serving_smoke_trace.json"
+  (cd build && TFE_PROFILE="serving_smoke_trace.json" ./bench/bench_serving)
+  python3 scripts/check_trace.py --require-batching "$TRACE"
+  echo "==== serving: bench gates ===="
+  python3 - build/BENCH_serving.json <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))["metrics"]
+gates = ["gate_throughput_3x", "gate_p99_not_worse",
+         "bitwise_identical", "failure_isolated"]
+failed = [g for g in gates if metrics.get(g) != 1]
+if failed:
+    print("serving gates FAILED:", failed)
+    print({k: metrics[k] for k in sorted(metrics) if not k.startswith("profiler.")})
+    sys.exit(1)
+print("serving gates ok: %.2fx throughput, p99 %.0fus vs %.0fus, "
+      "mean batch %.2f" % (metrics["throughput_speedup"],
+                           metrics["batched_p99_us"],
+                           metrics["unbatched_p99_us"],
+                           metrics["mean_batch_size"]))
+PYEOF
+  echo "==== serving ok ===="
+  exit 0
+fi
+
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$MODE" == "--skip-sanitizers" ]]; then
@@ -63,7 +98,7 @@ else
   # Concurrency tests only: the async queues, the drain fuser, the
   # threadpool-parallel kernels, the remote dispatch path, the allocator +
   # donation machinery, and the profiler's lock-free record/flush.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*'
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*:Serving*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="
@@ -91,6 +126,17 @@ if [[ "$MODE" == "--tier2" ]]; then
   echo "==== asan: cache-enabled fusion subset ===="
   ASAN_OPTIONS="detect_leaks=1" TFE_FUSION_CACHE=on \
     ./build-asan/tests/tfe_tests --gtest_filter="$CACHE_FILTER"
+
+  # The serving subsystem is client threads racing the batcher thread racing
+  # the executor: run its subset (plus the donation proofs it leans on)
+  # under both sanitizers with a small window so coalescing actually forms.
+  SERVING_FILTER='Serving*:Donation*'
+  echo "==== tsan: serving subset ===="
+  TSAN_OPTIONS="halt_on_error=1" TFE_BATCH_MAX=4 \
+    ./build-tsan/tests/tfe_tests --gtest_filter="$SERVING_FILTER"
+  echo "==== asan: serving subset ===="
+  ASAN_OPTIONS="detect_leaks=1" TFE_BATCH_MAX=4 \
+    ./build-asan/tests/tfe_tests --gtest_filter="$SERVING_FILTER"
 fi
 
 echo "==== tier 1 ok ===="

@@ -16,6 +16,8 @@
 #include "data/dataset.h"
 #include "profiler/profiler.h"
 #include "runtime/eager_context.h"
+#include "serving/serving.h"
+#include "serving/workspace.h"
 #include "staging/control_flow.h"
 #include "staging/function.h"
 #include "staging/trace_context.h"

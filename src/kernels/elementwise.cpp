@@ -87,6 +87,28 @@ void BroadcastBinaryLoop(EagerContext* ectx, const TIn* a,
   });
 }
 
+// Output buffer for a binary elementwise kernel: in place over the operand
+// the drain proved exclusively owned (op-at-a-time donation; "donate" attr
+// holds the donor's input index). Only an exact-shape donor qualifies — a
+// broadcasting operand's buffer is smaller than the output, and an
+// exact-shape donor's element i is read immediately before element i is
+// written, so aliasing is safe (the non-donor operand cannot share the
+// donor's buffer: a shared buffer fails the drain's use-count proof).
+// Structurally re-validated here: kernels are publicly invocable with
+// arbitrary attrs.
+Tensor BinaryOutput(KernelContext* ctx, const Tensor& a, const Tensor& b,
+                    DType out_dtype, const Shape& out_shape) {
+  const int64_t donor_index = ctx->GetAttrOr<int64_t>("donate", -1);
+  if (donor_index == 0 || donor_index == 1) {
+    const Tensor& donor = donor_index == 0 ? a : b;
+    if (donor.defined() && !donor.is_opaque() && !donor.is_resource() &&
+        donor.dtype() == out_dtype && donor.shape() == out_shape) {
+      return DonateOutput(ctx, 0, out_dtype, out_shape, donor);
+    }
+  }
+  return ctx->AllocateOutput(0, out_dtype, out_shape);
+}
+
 // F exposes `template <typename T> static T Apply(T, T)`.
 template <typename F>
 Status BinaryKernel(KernelContext* ctx) {
@@ -98,7 +120,7 @@ Status BinaryKernel(KernelContext* ctx) {
                            DTypeName(b.dtype()));
   }
   TFE_ASSIGN_OR_RETURN(Shape out_shape, BroadcastShapes(a.shape(), b.shape()));
-  Tensor out = ctx->AllocateOutput(0, a.dtype(), out_shape);
+  Tensor out = BinaryOutput(ctx, a, b, a.dtype(), out_shape);
   auto a_strides = BroadcastStrides(a.shape(), out_shape);
   auto b_strides = BroadcastStrides(b.shape(), out_shape);
   TFE_SWITCH_NUMERIC(a.dtype(), T, {
@@ -119,7 +141,7 @@ Status BinaryFloatKernel(KernelContext* ctx) {
     return InvalidArgument("Binary op dtype mismatch");
   }
   TFE_ASSIGN_OR_RETURN(Shape out_shape, BroadcastShapes(a.shape(), b.shape()));
-  Tensor out = ctx->AllocateOutput(0, a.dtype(), out_shape);
+  Tensor out = BinaryOutput(ctx, a, b, a.dtype(), out_shape);
   auto a_strides = BroadcastStrides(a.shape(), out_shape);
   auto b_strides = BroadcastStrides(b.shape(), out_shape);
   TFE_SWITCH_FLOAT(a.dtype(), T, {

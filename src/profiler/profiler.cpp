@@ -174,6 +174,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRemoteEnqueue: return "remote_enqueue";
     case EventKind::kRemoteResolve: return "remote_resolve";
     case EventKind::kAllocator: return "allocator";
+    case EventKind::kServing: return "serving";
   }
   return "unknown";
 }

@@ -53,6 +53,10 @@ enum class EventKind : uint8_t {
   kAllocator,       // allocator event: a fresh slab pulled from the system
                     //  ("allocator_slab", arg = bytes) or a fused-run buffer
                     //  donation ("buffer_donation", arg = bytes)
+  kServing,         // serving-layer event: a cross-request batch executed
+                    //  ("batched_run", arg = coalesced calls), a call ran
+                    //  unbatched ("unbatched_run"), or a session opened or
+                    //  closed ("session_open"/"session_close")
 };
 
 // Stable lowercase name ("dispatch", "kernel", ...) used as the Chrome

@@ -201,6 +201,10 @@ class EagerContext {
   uint64_t host_now_ns() const {
     return host_now_ns_.load(std::memory_order_relaxed);
   }
+  // The virtual host clock itself, for constructing pending handles whose
+  // reads join the host timeline (TensorHandle::Pending). Outlives every
+  // handle by the usual tensors-don't-outlive-their-context rule.
+  std::atomic<uint64_t>* host_clock() { return &host_now_ns_; }
   void AdvanceHostNs(uint64_t ns) {
     host_now_ns_.fetch_add(ns, std::memory_order_relaxed);
   }

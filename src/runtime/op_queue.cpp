@@ -708,27 +708,38 @@ void OpQueue::Execute(Node node) {
   }
 
   // Op-at-a-time buffer donation: the fused-run use-count proof applied to a
-  // single unary elementwise op. When this node's only input is provably the
-  // last reference to its value — no other handle holders, tensor states, or
-  // buffer aliases (tape entries and user aliases hold whole Tensors and
-  // fail the counts) — ask the kernel to write its output in place. The
-  // unary kernels re-validate dtype/shape and allocate fresh otherwise.
+  // single elementwise op. When an input is provably the last reference to
+  // its value — no other handle holders, tensor states, or buffer aliases
+  // (tape entries and user aliases hold whole Tensors and fail the counts) —
+  // ask the kernel to write its output in place. Binary ops may take the
+  // donation from either operand, but only one whose shape equals the
+  // output's: a broadcasting operand's buffer is too small, and an
+  // exact-shape donor reads element i immediately before the loop writes
+  // element i, so aliasing is safe even when the other operand broadcasts
+  // (it lives in a different buffer — a shared buffer fails the counts).
+  // The kernels re-validate dtype/shape and allocate fresh otherwise.
   if (ctx_->buffer_donation() && !device_->is_accelerator() &&
       device_->executes_kernels() && node.attrs.empty() &&
-      node.inputs.size() == 1 && inputs.size() == 1 &&
-      node.outputs.size() == 1) {
+      node.inputs.size() == inputs.size() &&
+      (inputs.size() == 1 || inputs.size() == 2) && node.outputs.size() == 1) {
     kernels::MicroOpCode code;
     if (kernels::MicroOpCodeFor(node.op_name, &code) &&
-        kernels::MicroOpArity(code) == 1 &&
+        kernels::MicroOpArity(code) == static_cast<int>(inputs.size()) &&
         code != kernels::MicroOpCode::kCast) {
-      const auto& handle = node.inputs[0].pending_handle();
-      const Tensor& value = inputs[0];
-      if (handle != nullptr && value.defined() && !value.is_opaque() &&
-          !value.is_resource() && value.dtype() == node.outputs[0]->dtype() &&
-          handle.use_count() == 1 && node.inputs[0].state_use_count() == 1 &&
-          value.state_use_count() == 2 &&  // handle's + `inputs[0]`
-          value.buffer().use_count() == 1) {
-        node.attrs.emplace("donate", AttrValue(int64_t{0}));
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        const auto& handle = node.inputs[i].pending_handle();
+        const Tensor& value = inputs[i];
+        if (handle != nullptr && value.defined() && !value.is_opaque() &&
+            !value.is_resource() &&
+            value.dtype() == node.outputs[0]->dtype() &&
+            value.shape() == node.outputs[0]->shape() &&
+            handle.use_count() == 1 &&
+            node.inputs[i].state_use_count() == 1 &&
+            value.state_use_count() == 2 &&  // handle's + `inputs[i]`
+            value.buffer().use_count() == 1) {
+          node.attrs.emplace("donate", AttrValue(static_cast<int64_t>(i)));
+          break;
+        }
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "runtime/dispatch.h"
+#include "serving/workspace.h"
 #include "tensor/tensor_handle.h"
 #include "runtime/eager_context.h"
 #include "staging/trace_context.h"
@@ -56,6 +57,46 @@ Variable::Variable(const Tensor& initial_value, std::string name) {
   TFE_CHECK(!initial_value.is_symbolic())
       << "Variables must be initialized with concrete values; compute the "
          "initializer under an init_scope when inside a trace";
+  // Workspace resolution (serving/workspace.h): under an active
+  // WorkspaceScope a *named* variable resolves against the calling session's
+  // workspace — a hit (local or parent-shared) re-binds to the existing
+  // storage, leaving its value untouched; a miss creates fresh storage
+  // registered in the session's local scope. Anonymous variables and code
+  // outside any scope keep the historical fresh-storage-per-construction
+  // semantics.
+  if (!name.empty()) {
+    if (auto workspace = serving::Workspace::Current(); workspace != nullptr) {
+      if (auto existing = workspace->FindVariable(name);
+          existing.has_value()) {
+        if (existing->dtype() != initial_value.dtype() ||
+            existing->shape() != initial_value.shape()) {
+          throw RuntimeError(
+              ErrorCode::kInvalidArgument,
+              strings::StrCat(
+                  "Workspace '", workspace->name(), "' variable '", name,
+                  "' is ", DTypeName(existing->dtype()),
+                  existing->shape().ToString(), " but was re-created as ",
+                  DTypeName(initial_value.dtype()),
+                  initial_value.shape().ToString()));
+        }
+        *this = *existing;
+        return;
+      }
+      Construct(initial_value, name);
+      // A racing creator of the same name wins registration; re-bind so both
+      // constructors observe the same storage.
+      if (!workspace->AddVariable(name, *this).ok()) {
+        if (auto winner = workspace->FindVariable(name); winner.has_value()) {
+          *this = *winner;
+        }
+      }
+      return;
+    }
+  }
+  Construct(initial_value, name);
+}
+
+void Variable::Construct(const Tensor& initial_value, std::string name) {
   // State-creation contract (paper §4.6): a traced function may create
   // variables only during a trace that allows it (its first trace). A user
   // error, so it throws rather than CHECK-failing.

@@ -60,6 +60,10 @@ class Variable {
   // trace that permits variable creation (the first trace of a function)
   // may create variables (paper §4.6, "State creation"). Storage lives
   // outside any graph.
+  // Under an active serving::WorkspaceScope, a non-empty `name` resolves
+  // against the scope's workspace first: an existing variable of matching
+  // dtype/shape is re-bound (its value untouched) and a new one registers in
+  // the workspace — per-session state isolation with parent-shared weights.
   explicit Variable(const Tensor& initial_value, std::string name = "");
 
   bool defined() const { return storage_ != nullptr; }
@@ -84,6 +88,9 @@ class Variable {
   const std::shared_ptr<VariableStorage>& storage() const { return storage_; }
 
  private:
+  // The workspace-blind creation path (fresh storage, creation contract).
+  void Construct(const Tensor& initial_value, std::string name);
+
   std::shared_ptr<VariableStorage> storage_;
   Tensor handle_;
 };

@@ -417,6 +417,73 @@ TEST_F(DonationTest, OpAtATimeUnaryOpsDonate) {
   EXPECT_EQ(ToVector<float>(donated), ToVector<float>(copied));
 }
 
+// Binary chain alternating which side the pending (uniquely-owned) operand
+// sits on, so both donate=0 and donate=1 assignments are exercised. `y` is
+// held by the caller throughout and must never be overwritten.
+Tensor BinaryChain(const Tensor& x, const Tensor& y, int length) {
+  Tensor h = ops::abs(x);
+  for (int i = 0; i < length; ++i) {
+    switch (i % 4) {
+      case 0: h = ops::add(h, y); break;
+      case 1: h = ops::mul(y, h); break;
+      case 2: h = ops::sub(h, y); break;
+      default: h = ops::add(y, h); break;
+    }
+  }
+  return h;
+}
+
+TEST_F(DonationTest, OpAtATimeBinaryOpsDonateEitherExactShapeOperand) {
+  // Binary elementwise ops donate whichever operand passes the ownership
+  // proof and matches the output shape exactly — left or right. The
+  // caller-held operand fails the use-count proof and survives; the donated
+  // path stays bitwise identical to the copying path.
+  EagerContext* ctx = EagerContext::Global();
+  ctx->set_fuse_elementwise(false);
+  Tensor x = ops::random_normal({64, 64}, 0, 1, /*seed=*/43);
+  Tensor y = ops::random_normal({64, 64}, 0, 1, /*seed=*/44);
+  ASSERT_TRUE(ctx->Sync().ok());
+  std::vector<float> y_bits = ToVector<float>(y);
+
+  const uint64_t donations_before = Donations();
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  Tensor donated = BinaryChain(x, y, 64);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_GT(Donations(), donations_before)
+      << "no op-at-a-time binary op donated its exclusive operand";
+  EXPECT_EQ(ToVector<float>(y), y_bits)
+      << "the caller-held operand was overwritten in place";
+
+  ctx->set_buffer_donation(false);
+  Tensor copied = BinaryChain(x, y, 64);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(donated), ToVector<float>(copied));
+}
+
+TEST_F(DonationTest, BroadcastOperandsAreNeverDonated) {
+  // A broadcasting operand is smaller than the output; writing the result
+  // into it would run off the end of the buffer. Here the only exclusively
+  // owned value is the [1, 64] row — shape-mismatched with the [64, 64]
+  // output — and the full-size operand is caller-held, so nothing donates.
+  EagerContext* ctx = EagerContext::Global();
+  ctx->set_fuse_elementwise(false);
+  Tensor row = ops::random_normal({1, 64}, 0, 1, /*seed=*/45);
+  Tensor big = ops::random_normal({64, 64}, 0, 1, /*seed=*/46);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  ASSERT_NO_FATAL_FAILURE(BlockQueueHead());
+  const uint64_t donations_before = Donations();
+  Tensor out = ops::add(ops::neg(row), big);  // neg(row): unique but small
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(Donations(), donations_before)
+      << "a broadcasting operand was donated";
+
+  ctx->set_buffer_donation(false);
+  Tensor reference = ops::add(ops::neg(row), big);
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>(out), ToVector<float>(reference));
+}
+
 TEST_F(DonationTest, EscapingMultiConsumerValueBlocksOpAtATimeDonation) {
   // A value held by the test and consumed by two later ops is never
   // uniquely owned: neither consumer may overwrite it, and the held handle

@@ -1,0 +1,465 @@
+// The serving subsystem: session workspaces (named variable scopes with
+// parent sharing), the dynamic batcher (cross-request coalescing with
+// bitwise-identical per-session results), per-session RNG determinism, and
+// per-session error poisoning.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/tfe.h"
+#include "serving/serving.h"
+#include "serving/workspace.h"
+#include "tensor/allocator.h"
+#include "tensor/tensor_handle.h"
+
+namespace tfe {
+namespace {
+
+using tensor_util::ToVector;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EagerContext::Options options;
+    options.async = true;
+    EagerContext::ResetGlobal(options);
+  }
+  void TearDown() override {
+    EagerContext::ResetGlobal(EagerContext::Options());
+  }
+};
+
+// ---- Workspace layer -------------------------------------------------------
+
+TEST_F(ServingTest, WorkspaceResolvesLocallyThenThroughParentChain) {
+  auto& registry = serving::WorkspaceRegistry::Global();
+  auto parent = registry.GetOrCreate("ws_test/shared");
+  ASSERT_TRUE(parent.ok());
+  {
+    serving::WorkspaceScope scope(*parent);
+    Variable weights(ops::constant<float>({1, 2, 3}, {3}), "weights");
+  }
+  auto child1 = registry.GetOrCreate("ws_test/s1", "ws_test/shared");
+  auto child2 = registry.GetOrCreate("ws_test/s2", "ws_test/shared");
+  ASSERT_TRUE(child1.ok() && child2.ok());
+
+  {
+    serving::WorkspaceScope scope(*child1);
+    Variable state(ops::constant<float>({10}, {1}), "state");
+    // Re-creating the parent's variable re-binds to the existing storage:
+    // the "initial value" of a re-creation never clobbers shared weights.
+    Variable weights(ops::constant<float>({0, 0, 0}, {3}), "weights");
+    EXPECT_EQ(ToVector<float>(weights.value()),
+              (std::vector<float>{1, 2, 3}));
+  }
+  {
+    serving::WorkspaceScope scope(*child2);
+    Variable state(ops::constant<float>({20}, {1}), "state");
+  }
+
+  // Same name, independent per-session storage.
+  auto s1 = (*child1)->FindLocalVariable("state");
+  auto s2 = (*child2)->FindLocalVariable("state");
+  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  EXPECT_EQ(ToVector<float>(s1->value()), (std::vector<float>{10}));
+  EXPECT_EQ(ToVector<float>(s2->value()), (std::vector<float>{20}));
+  // Children never leak locals into the parent.
+  EXPECT_FALSE((*parent)->FindLocalVariable("state").has_value());
+  // Parent resolution is visible through both children.
+  EXPECT_TRUE((*child1)->HasVariable("weights"));
+  EXPECT_TRUE((*child2)->HasVariable("weights"));
+
+  // A shape-mismatched re-creation is a user error, not a silent rebind.
+  {
+    serving::WorkspaceScope scope(*child1);
+    EXPECT_THROW(Variable(ops::constant<float>({1, 2}, {2}), "weights"),
+                 RuntimeError);
+  }
+
+  // A nonexistent parent is rejected; removal unregisters.
+  EXPECT_FALSE(registry.GetOrCreate("ws_test/s3", "ws_test/nope").ok());
+  EXPECT_TRUE(registry.Remove("ws_test/s1"));
+  EXPECT_TRUE(registry.Remove("ws_test/s2"));
+  EXPECT_TRUE(registry.Remove("ws_test/shared"));
+  EXPECT_FALSE(registry.Remove("ws_test/shared"));
+}
+
+TEST_F(ServingTest, VariablesOutsideAnyScopeKeepFreshStorageSemantics) {
+  // Historical behavior must be untouched: two same-named variables created
+  // outside any WorkspaceScope do not share storage.
+  Variable a(ops::constant<float>({1}, {1}), "dup");
+  Variable b(ops::constant<float>({2}, {1}), "dup");
+  EXPECT_NE(a.storage().get(), b.storage().get());
+  EXPECT_EQ(ToVector<float>(a.value()), (std::vector<float>{1}));
+  EXPECT_EQ(ToVector<float>(b.value()), (std::vector<float>{2}));
+}
+
+TEST_F(ServingTest, CloseSessionFreesVariableArenaBlocks) {
+  EagerContext* ctx = EagerContext::Global();
+  ASSERT_TRUE(ctx->Sync().ok());
+  auto& stats = ctx->HostCpu()->allocator()->stats();
+
+  serving::Serving serving;
+  auto sid = serving.OpenSession("arena");
+  ASSERT_TRUE(sid.ok());
+  const int64_t before = stats.in_use_bytes.load();
+  {
+    auto ws = serving.workspace(*sid);
+    ASSERT_TRUE(ws.ok());
+    serving::WorkspaceScope scope(*ws);
+    // relu() routes the init through a device kernel, so the variable's
+    // buffer comes from the HostCpu arena (host literals bypass it).
+    Variable big(ops::relu(ops::zeros(DType::kFloat32, {256, 1024})),
+                 "big");  // 1 MiB
+    ASSERT_TRUE(ctx->Sync().ok());
+  }  // the local handle dies; the workspace keeps the storage alive
+  const int64_t with_variable = stats.in_use_bytes.load();
+  EXPECT_GE(with_variable - before, int64_t{1} << 20)
+      << "variable storage not visible in allocator stats";
+
+  const uint64_t deallocations = stats.deallocations.load();
+  ASSERT_TRUE(serving.CloseSession(*sid).ok());
+  EXPECT_GE(with_variable - stats.in_use_bytes.load(), int64_t{1} << 20)
+      << "closing the session did not return the variable's arena block";
+  EXPECT_GT(stats.deallocations.load(), deallocations);
+}
+
+// ---- Dynamic batching ------------------------------------------------------
+
+TEST_F(ServingTest, CoalescesSameSignatureCallsBitwiseExactly) {
+  EagerContext* ctx = EagerContext::Global();
+  Tensor W = ops::random_normal({8, 16}, 0, 1, /*seed=*/3);
+  Tensor bias = ops::random_normal({16}, 0, 1, /*seed=*/4);
+  ASSERT_TRUE(ctx->Sync().ok());
+  Function fn = function(
+      [W, bias](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{
+            ops::softmax(ops::relu(ops::add(ops::matmul(args[0], W), bias)))};
+      },
+      "serve_mlp");
+
+  serving::ServingOptions options;
+  options.max_batch_size = 4;
+  options.max_queue_delay_us = 200000;  // the full window forms first
+  serving::Serving serving(options);
+
+  auto* batches = profiler::Metrics().GetCounter("serving.batches");
+  auto* coalesced = profiler::Metrics().GetCounter("serving.batched_calls");
+  const uint64_t batches_before = batches->value();
+  const uint64_t coalesced_before = coalesced->value();
+
+  std::vector<serving::SessionId> sessions;
+  std::vector<Tensor> inputs;
+  for (int s = 0; s < 4; ++s) {
+    auto sid = serving.OpenSession();
+    ASSERT_TRUE(sid.ok());
+    sessions.push_back(*sid);
+    inputs.push_back(ops::random_normal({2, 8}, 0, 1, /*seed=*/10 + s));
+  }
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  std::vector<std::vector<Tensor>> futures;
+  for (int s = 0; s < 4; ++s) {
+    auto out = serving.Submit(sessions[s], fn, {inputs[s]});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    futures.push_back(std::move(*out));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(serving::Serving::Await(f).ok());
+  }
+
+  EXPECT_GT(batches->value(), batches_before)
+      << "no cross-request batch formed";
+  EXPECT_GE(coalesced->value() - coalesced_before, 4u);
+
+  // Each session's outputs must be bitwise identical to its own unbatched
+  // run — padding rows and batch-mates change nothing.
+  for (int s = 0; s < 4; ++s) {
+    std::vector<Tensor> direct = fn({inputs[s]});
+    ASSERT_TRUE(ctx->Sync().ok());
+    EXPECT_EQ(ToVector<float>(futures[s][0]), ToVector<float>(direct[0]))
+        << "batched output diverged for session " << s;
+  }
+}
+
+TEST_F(ServingTest, RowMixingOutputsFallBackToUnbatchedExactly) {
+  EagerContext* ctx = EagerContext::Global();
+  // x @ xᵀ mixes examples: the batched trace's output is [B, B], not a
+  // row-wise stack of [r, r] — the shape proof must reject the group and
+  // run every call unbatched, keeping results exact.
+  Function fn = function(
+      [](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{
+            ops::matmul(args[0], args[0], false, /*transpose_b=*/true)};
+      },
+      "gram");
+
+  serving::ServingOptions options;
+  options.max_batch_size = 2;
+  options.max_queue_delay_us = 100000;
+  serving::Serving serving(options);
+  auto* batches = profiler::Metrics().GetCounter("serving.batches");
+  const uint64_t batches_before = batches->value();
+
+  auto s1 = serving.OpenSession();
+  auto s2 = serving.OpenSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  Tensor x1 = ops::random_normal({2, 8}, 0, 1, /*seed=*/31);
+  Tensor x2 = ops::random_normal({2, 8}, 0, 1, /*seed=*/32);
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  auto f1 = serving.Submit(*s1, fn, {x1});
+  auto f2 = serving.Submit(*s2, fn, {x2});
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  ASSERT_TRUE(serving::Serving::Await(*f1).ok());
+  ASSERT_TRUE(serving::Serving::Await(*f2).ok());
+
+  EXPECT_EQ(batches->value(), batches_before)
+      << "a row-mixing function was coalesced";
+  std::vector<Tensor> direct1 = fn({x1});
+  std::vector<Tensor> direct2 = fn({x2});
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_EQ(ToVector<float>((*f1)[0]), ToVector<float>(direct1[0]));
+  EXPECT_EQ(ToVector<float>((*f2)[0]), ToVector<float>(direct2[0]));
+}
+
+TEST_F(ServingTest, PartialWindowFlushesAfterQueueDelay) {
+  serving::ServingOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_delay_us = 2000;  // 2 ms: the window never fills
+  serving::Serving serving(options);
+  Function fn = function(
+      [](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{ops::relu(args[0])};
+      },
+      "lone_call");
+  auto sid = serving.OpenSession();
+  ASSERT_TRUE(sid.ok());
+  Tensor x = ops::constant<float>({-1, 2, -3, 4}, {2, 2});
+  auto out = serving.Submit(*sid, fn, {x});
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(serving::Serving::Await(*out).ok());  // delay flush, not full
+  EXPECT_EQ(ToVector<float>((*out)[0]), (std::vector<float>{0, 2, 0, 4}));
+}
+
+// ---- Per-session RNG streams -----------------------------------------------
+
+TEST_F(ServingTest, BatchingNeverChangesASessionsSampledValues) {
+  EagerContext* ctx = EagerContext::Global();
+  // Seed-0 randomness makes the graph batch-unsafe: calls run individually
+  // on the session's Philox substream, reserved at submit. The sampled
+  // sequence must depend only on (session, submit ordinal) — not on the
+  // batching window or on interleaving with other tenants.
+  Function fn = function(
+      [](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{
+            ops::add(args[0], ops::random_normal({2, 4}))};
+      },
+      "noisy");
+  Tensor x = ops::ones(DType::kFloat32, {2, 4});
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  auto run = [&](int max_batch,
+                 bool interleave) -> std::vector<std::vector<float>> {
+    serving::ServingOptions options;
+    options.max_batch_size = max_batch;
+    options.max_queue_delay_us = 1000;
+    serving::Serving serving(options);
+    auto a = serving.OpenSession();
+    auto b = serving.OpenSession();
+    EXPECT_TRUE(a.ok() && b.ok());
+    // a1 a2 b1 b2 vs a1 b1 a2 b2: per-session sequences must not care.
+    std::vector<std::pair<serving::SessionId, int>> order =
+        interleave ? std::vector<std::pair<serving::SessionId, int>>{
+                         {*a, 0}, {*b, 2}, {*a, 1}, {*b, 3}}
+                   : std::vector<std::pair<serving::SessionId, int>>{
+                         {*a, 0}, {*a, 1}, {*b, 2}, {*b, 3}};
+    std::vector<std::vector<float>> results(4);
+    std::vector<std::vector<Tensor>> futures(4);
+    for (const auto& [sid, slot] : order) {
+      auto out = serving.Submit(sid, fn, {x});
+      EXPECT_TRUE(out.ok());
+      futures[slot] = std::move(*out);
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(serving::Serving::Await(futures[i]).ok());
+      results[i] = ToVector<float>(futures[i][0]);
+    }
+    return results;
+  };
+
+  auto batched = run(/*max_batch=*/8, /*interleave=*/true);
+  auto unbatched = run(/*max_batch=*/1, /*interleave=*/false);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batched[i], unbatched[i])
+        << "sampled values changed with batching config at call " << i;
+  }
+  // Sanity: the stream advances between a session's calls and differs
+  // across sessions.
+  EXPECT_NE(batched[0], batched[1]);
+  EXPECT_NE(batched[0], batched[2]);
+}
+
+// ---- Error poisoning -------------------------------------------------------
+
+TEST_F(ServingTest, PoisonedInputFailsOnlyItsOwnSession) {
+  EagerContext* ctx = EagerContext::Global();
+  Function fn = function(
+      [](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{ops::relu(args[0])};
+      },
+      "isolated");
+
+  serving::ServingOptions options;
+  options.max_batch_size = 2;
+  options.max_queue_delay_us = 200000;
+  serving::Serving serving(options);
+  auto victim = serving.OpenSession("victim");
+  auto healthy = serving.OpenSession("healthy");
+  ASSERT_TRUE(victim.ok() && healthy.ok());
+
+  Tensor good = ops::constant<float>({-1, 1, -2, 2}, {2, 2});
+  auto poisoned_handle = TensorHandle::Pending(
+      DType::kFloat32, Shape({2, 2}), ctx->HostCpu(), nullptr);
+  Tensor poisoned = Tensor::FromHandle(poisoned_handle);
+  // First submit (good args) traces; the poisoned call then lands in the
+  // same signature group and the two coalesce into one window.
+  auto healthy_out = serving.Submit(*healthy, fn, {good});
+  ASSERT_TRUE(healthy_out.ok());
+  auto victim_out = serving.Submit(*victim, fn, {poisoned});
+  ASSERT_TRUE(victim_out.ok());
+  poisoned_handle->SetError(InvalidArgument("injected failure"));
+
+  // The victim's futures poison with the injected error...
+  Status victim_status = serving::Serving::Await(*victim_out);
+  EXPECT_FALSE(victim_status.ok());
+  EXPECT_NE(victim_status.ToString().find("injected failure"),
+            std::string::npos);
+  // ...its batch-mate is untouched...
+  ASSERT_TRUE(serving::Serving::Await(*healthy_out).ok());
+  EXPECT_EQ(ToVector<float>((*healthy_out)[0]),
+            (std::vector<float>{0, 1, 0, 2}));
+  // ...and the deferred per-session error surfaces once, then clears.
+  EXPECT_FALSE(serving.SessionStatus(*victim).ok());
+  EXPECT_TRUE(serving.SessionStatus(*victim).ok());
+  EXPECT_TRUE(serving.SessionStatus(*healthy).ok());
+}
+
+// ---- Sessions and lifecycle ------------------------------------------------
+
+TEST_F(ServingTest, StatefulFunctionsKeepPerSessionStateIsolated) {
+  EagerContext* ctx = EagerContext::Global();
+  // A function that creates and mutates a named variable: batch-unsafe (it
+  // writes state), and its variable resolves against the submitting
+  // session's workspace. Each session uses its own Function instance — a
+  // shared instance would trace once and capture the first session's
+  // storage for everyone (shared-weights semantics, which is exactly what
+  // shared *pure* model functions want).
+  auto make_counter = [] {
+    return function(
+        [](const std::vector<Tensor>& args) {
+          Tensor init = [] {
+            InitScope init_scope;
+            return ops::zeros(DType::kFloat32, {1});
+          }();
+          Variable acc(init, "acc");
+          acc.assign_add(args[0]);
+          return std::vector<Tensor>{acc.value()};
+        },
+        "counter");
+  };
+  Function counter1 = make_counter();
+  Function counter2 = make_counter();
+
+  serving::Serving serving;
+  auto s1 = serving.OpenSession();
+  auto s2 = serving.OpenSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  Tensor one = ops::ones(DType::kFloat32, {1});
+  ASSERT_TRUE(ctx->Sync().ok());
+
+  auto r1a = serving.Submit(*s1, counter1, {one});
+  ASSERT_TRUE(r1a.ok());
+  ASSERT_TRUE(serving::Serving::Await(*r1a).ok());
+  auto r1b = serving.Submit(*s1, counter1, {one});
+  ASSERT_TRUE(r1b.ok());
+  ASSERT_TRUE(serving::Serving::Await(*r1b).ok());
+  auto r2 = serving.Submit(*s2, counter2, {one});
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(serving::Serving::Await(*r2).ok());
+
+  EXPECT_EQ(ToVector<float>((*r1a)[0]), (std::vector<float>{1}));
+  EXPECT_EQ(ToVector<float>((*r1b)[0]), (std::vector<float>{2}));
+  EXPECT_EQ(ToVector<float>((*r2)[0]), (std::vector<float>{1}))
+      << "session 2's counter saw session 1's state";
+
+  // The state lives in each session's workspace under the same name.
+  auto ws1 = serving.workspace(*s1);
+  auto ws2 = serving.workspace(*s2);
+  ASSERT_TRUE(ws1.ok() && ws2.ok());
+  EXPECT_TRUE((*ws1)->FindLocalVariable("acc").has_value());
+  EXPECT_TRUE((*ws2)->FindLocalVariable("acc").has_value());
+}
+
+TEST_F(ServingTest, SessionLifecycleAndShutdown) {
+  serving::Serving serving;
+  auto* gauge = profiler::Metrics().GetGauge("serving.sessions");
+  const int64_t sessions_before = gauge->value();
+  auto sid = serving.OpenSession("lifecycle");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(gauge->value(), sessions_before + 1);
+  EXPECT_EQ(serving.num_sessions(), 1);
+
+  auto ws = serving.workspace(*sid);
+  ASSERT_TRUE(ws.ok());
+  const std::string ws_name = (*ws)->name();
+  EXPECT_TRUE(serving::WorkspaceRegistry::Global().Contains(ws_name));
+
+  ASSERT_TRUE(serving.CloseSession(*sid).ok());
+  EXPECT_EQ(gauge->value(), sessions_before);
+  EXPECT_FALSE(serving::WorkspaceRegistry::Global().Contains(ws_name));
+  EXPECT_TRUE(serving.CloseSession(*sid).code() == ErrorCode::kNotFound);
+
+  Function fn = function(
+      [](const std::vector<Tensor>& args) {
+        return std::vector<Tensor>{ops::relu(args[0])};
+      },
+      "after_shutdown");
+  serving.Shutdown();
+  auto reopened = serving.OpenSession();
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST_F(ServingTest, SharedWorkspaceGivesEverySessionTheSameWeights) {
+  EagerContext* ctx = EagerContext::Global();
+  auto& registry = serving::WorkspaceRegistry::Global();
+  auto shared = registry.GetOrCreate("serving_test/model");
+  ASSERT_TRUE(shared.ok());
+  {
+    serving::WorkspaceScope scope(*shared);
+    Variable weights(ops::constant<float>({5, 5}, {2}), "w");
+  }
+
+  serving::ServingOptions options;
+  options.shared_workspace = "serving_test/model";
+  serving::Serving serving(options);
+  auto s1 = serving.OpenSession();
+  auto s2 = serving.OpenSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto ws1 = serving.workspace(*s1);
+  auto ws2 = serving.workspace(*s2);
+  ASSERT_TRUE(ws1.ok() && ws2.ok());
+
+  auto w1 = (*ws1)->FindVariable("w");
+  auto w2 = (*ws2)->FindVariable("w");
+  ASSERT_TRUE(w1.has_value() && w2.has_value());
+  EXPECT_EQ(w1->storage().get(), w2->storage().get())
+      << "parent-shared weights duplicated per session";
+  ASSERT_TRUE(ctx->Sync().ok());
+  EXPECT_TRUE(registry.Remove("serving_test/model"));
+}
+
+}  // namespace
+}  // namespace tfe
