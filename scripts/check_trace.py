@@ -3,7 +3,7 @@
 
 Usage: scripts/check_trace.py [--require-remote] [--require-reduce-fusion] \
     [--require-allocator] [--require-dag-fusion] [--require-batching] \
-    <trace.json>
+    [--require-loop] <trace.json>
 
 Checks that the file is loadable the way chrome://tracing / Perfetto loads
 it, that every event carries the required keys, and that complete ("X")
@@ -34,6 +34,10 @@ With --require-batching the trace must contain the serving subsystem's
 evidence that cross-request coalescing actually happened: a "batched_run"
 instant (one execution serving a window of >= 2 sessions' calls) and a
 "session_open" instant.
+
+With --require-loop the trace must contain a "staged_loop" instant — the
+While kernel completing a loop (its arg carries the iteration count), the
+evidence that a staged while_loop actually iterated instead of unrolling.
 """
 import json
 import sys
@@ -51,14 +55,16 @@ def main():
     require_allocator = "--require-allocator" in args
     require_dag_fusion = "--require-dag-fusion" in args
     require_batching = "--require-batching" in args
+    require_loop = "--require-loop" in args
     args = [a for a in args
             if a not in ("--require-remote", "--require-reduce-fusion",
                          "--require-allocator", "--require-dag-fusion",
-                         "--require-batching")]
+                         "--require-batching", "--require-loop")]
     if len(args) != 1:
         fail(f"usage: {sys.argv[0]} [--require-remote] "
              "[--require-reduce-fusion] [--require-allocator] "
-             "[--require-dag-fusion] [--require-batching] <trace.json>")
+             "[--require-dag-fusion] [--require-batching] "
+             "[--require-loop] <trace.json>")
     path = args[0]
     try:
         with open(path) as f:
@@ -121,6 +127,10 @@ def main():
         if "session_open" not in instant_names:
             fail("no 'session_open' instant — the serving front end left no "
                  f"trace (instants seen: {sorted(instant_names)})")
+
+    if require_loop and "staged_loop" not in instant_names:
+        fail("no 'staged_loop' instant — no While kernel completed a loop "
+             f"(instants seen: {sorted(instant_names)})")
 
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(span_tids)} span threads, categories {sorted(categories)}")

@@ -18,11 +18,13 @@
 # unbatched at equal-or-better p99, bitwise-identical per-session outputs,
 # and an injected failure poisoning only its own session.
 #
-# --profile is the observability smoke: build, run bench_fusion and
-# bench_distrib with TFE_PROFILE set, validate the exported Chrome traces
-# (the fusion trace must carry fused_reduce_run, dag_fused_run, and
-# program_cache_hit instants, the distrib trace remote enqueue/resolve
-# spans), then run the profiler-overhead gate (fails above 5%).
+# --profile is the observability smoke: build, run bench_fusion,
+# bench_distrib, and bench_rnn with TFE_PROFILE set, validate the exported
+# Chrome traces (the fusion trace must carry fused_reduce_run,
+# dag_fused_run, and program_cache_hit instants, the distrib trace remote
+# enqueue/resolve spans, the rnn trace a staged_loop instant proving a
+# While kernel iterated), then run the profiler-overhead gate (fails
+# above 5%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +46,25 @@ if [[ "$MODE" == "--profile" ]]; then
   (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \
     ./bench/bench_distrib)
   python3 scripts/check_trace.py --require-remote "$REMOTE_TRACE"
+  LOOP_TRACE="build/profile_smoke_loop_trace.json"
+  echo "==== profile smoke: bench_rnn under TFE_PROFILE ===="
+  (cd build && TFE_PROFILE="profile_smoke_loop_trace.json" ./bench/bench_rnn)
+  python3 scripts/check_trace.py --require-loop "$LOOP_TRACE"
+  echo "==== profile smoke: staged-loop bench gates ===="
+  python3 - build/BENCH_rnn.json <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))["metrics"]
+gates = ["gate_staged_loop_3x", "gate_body_cache_90"]
+failed = [g for g in gates if metrics.get(g) != 1]
+if failed:
+    print("rnn staged-loop gates FAILED:", failed)
+    print({k: metrics[k] for k in sorted(metrics)
+           if not k.startswith("profiler.")})
+    sys.exit(1)
+print("rnn staged-loop gates ok: %.2fx vs re-tracing, "
+      "%.0f%% body-cache hit rate" % (metrics["staged_vs_retrace_speedup"],
+                                      100 * metrics["loop_body_cache_hit_rate"]))
+PYEOF
   echo "==== profile smoke: overhead gate ===="
   (cd build && ./bench/bench_profiler_overhead)
   echo "==== profile smoke ok ===="
@@ -97,8 +118,11 @@ if [[ "$MODE" == "--tier2" ]]; then
 else
   # Concurrency tests only: the async queues, the drain fuser, the
   # threadpool-parallel kernels, the remote dispatch path, the allocator +
-  # donation machinery, and the profiler's lock-free record/flush.
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*:Serving*'
+  # donation machinery, the profiler's lock-free record/flush, and the
+  # staged control-flow paths (While iteration reuses cached execution
+  # variants across the executor pool; recursion runs depth-capped nested
+  # calls).
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*:Serving*:While*:WhileGrad*:Recursion*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="
@@ -137,6 +161,18 @@ if [[ "$MODE" == "--tier2" ]]; then
   echo "==== asan: serving subset ===="
   ASAN_OPTIONS="detect_leaks=1" TFE_BATCH_MAX=4 \
     ./build-asan/tests/tfe_tests --gtest_filter="$SERVING_FILTER"
+
+  # Staged control flow: While iterations drive the executor pool through a
+  # cached body variant, the While gradient replays staged backwards off
+  # per-iteration snapshot stacks, and recursion nests depth-capped Calls —
+  # all lifetime-sensitive paths worth a dedicated sweep.
+  CF_FILTER='CondTest*:WhileTest*:WhileGradTest*:RecursionTest*'
+  echo "==== tsan: control-flow subset ===="
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tfe_tests --gtest_filter="$CF_FILTER"
+  echo "==== asan: control-flow subset ===="
+  ASAN_OPTIONS="detect_leaks=1" \
+    ./build-asan/tests/tfe_tests --gtest_filter="$CF_FILTER"
 fi
 
 echo "==== tier 1 ok ===="

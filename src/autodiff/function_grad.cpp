@@ -45,12 +45,19 @@ std::map<std::string, BackwardCacheEntry>& BackwardCache() {
   return *cache;
 }
 
+// When `seed_accumulators` is non-null, the backward gets one extra trailing
+// parameter per (arg index, type) entry, pre-seeded into the sweep's gradient
+// map at that arg's endpoint — the loop-body accumulator threading described
+// in function_grad.h.
 StatusOr<BackwardCacheEntry> BuildBackward(
     EagerContext* ctx, const std::shared_ptr<GraphFunction>& forward,
-    int num_original_outputs) {
+    int num_original_outputs,
+    const std::vector<std::pair<int, TypeAndShape>>* seed_accumulators =
+        nullptr) {
   const Graph& graph = forward->graph();
-  auto backward_fn = std::make_shared<GraphFunction>(
-      ctx->functions().UniqueName(forward->name() + "__grad"));
+  auto backward_fn = std::make_shared<GraphFunction>(ctx->functions().UniqueName(
+      forward->name() +
+      (seed_accumulators == nullptr ? "__grad" : "__loop_grad")));
   BackwardCacheEntry entry;
 
   TraceContext trace(backward_fn, ctx);
@@ -90,6 +97,14 @@ StatusOr<BackwardCacheEntry> BuildBackward(
     output_grads.emplace(r, param);
     entry.grad_output_indices.push_back(r);
   }
+  std::vector<std::pair<int, Tensor>> accumulator_params;  // arg idx -> param
+  if (seed_accumulators != nullptr) {
+    for (const auto& [arg_index, type] : *seed_accumulators) {
+      TFE_ASSIGN_OR_RETURN(Tensor param,
+                           trace.AddParameter(type.dtype, type.shape));
+      accumulator_params.emplace_back(arg_index, param);
+    }
+  }
 
   // Constants materialize directly in the backward graph.
   for (int id = 0; id < graph.num_nodes(); ++id) {
@@ -116,6 +131,12 @@ StatusOr<BackwardCacheEntry> BuildBackward(
   };
   for (const auto& [index, param] : output_grads) {
     TFE_RETURN_IF_ERROR(accumulate(forward->outputs()[index], param));
+  }
+  // Accumulators are the FIRST value at their arg's endpoint, so the sweep's
+  // emplace-then-add behavior folds every later contribution onto them.
+  for (const auto& [arg_index, param] : accumulator_params) {
+    TFE_RETURN_IF_ERROR(
+        accumulate({forward->arg_nodes()[arg_index], 0}, param));
   }
 
   for (int id = graph.num_nodes() - 1; id >= 0; --id) {
@@ -194,10 +215,19 @@ StatusOr<std::shared_ptr<GraphFunction>> BuildForwardFunction(
   if (ctx->functions().Contains(name)) {
     return ctx->functions().Find(name);
   }
+  // Differentiate the program as written: clone from the pristine
+  // pre-optimization snapshot when the tracer attached one, so the backward
+  // sweep accumulates gradients in the same association as the eager tape
+  // (CSE in the optimized graph would regroup contributions and perturb the
+  // last ulp). Functions built directly from graphs (deserialized bundles)
+  // have no snapshot and differentiate their own graph.
+  const GraphFunction& src = function->autodiff_source() != nullptr
+                                 ? *function->autodiff_source()
+                                 : *function;
   auto forward = std::make_shared<GraphFunction>(name);
-  TFE_RETURN_IF_ERROR(CloneGraphFunctionInto(*function, *forward));
-  forward->outputs() = function->outputs();
-  for (const Endpoint& e : IntermediateEndpoints(*function)) {
+  TFE_RETURN_IF_ERROR(CloneGraphFunctionInto(src, *forward));
+  forward->outputs() = src.outputs();
+  for (const Endpoint& e : IntermediateEndpoints(src)) {
     forward->outputs().push_back(e);
   }
   TFE_RETURN_IF_ERROR(ctx->functions().Register(forward));
@@ -219,6 +249,61 @@ StatusOr<BackwardFunction> GetOrBuildBackwardFunction(
   std::lock_guard<std::mutex> lock(g_backward_mu);
   auto [it, inserted] = BackwardCache().emplace(key, entry);
   return it->second.backward;
+}
+
+namespace {
+
+std::map<std::string, LoopBackwardFunction>& LoopBackwardCache() {
+  static auto* cache = new std::map<std::string, LoopBackwardFunction>();
+  return *cache;
+}
+
+}  // namespace
+
+StatusOr<LoopBackwardFunction> GetOrBuildLoopBackwardFunction(
+    EagerContext* ctx, const std::shared_ptr<GraphFunction>& forward,
+    int num_vars) {
+  std::string key = forward->name() + "#loop#" + std::to_string(num_vars);
+  {
+    std::lock_guard<std::mutex> lock(g_backward_mu);
+    auto it = LoopBackwardCache().find(key);
+    if (it != LoopBackwardCache().end()) return it->second;
+  }
+
+  // Pass 1: the standard backward reveals which captures receive gradients
+  // at all, and with what dtype/shape — that set defines the accumulators.
+  TFE_ASSIGN_OR_RETURN(BackwardCacheEntry probe,
+                       BuildBackward(ctx, forward, num_vars));
+  LoopBackwardFunction entry;
+  std::vector<std::pair<int, TypeAndShape>> seeds;
+  for (size_t j = 0; j < probe.backward.grad_arg_indices.size(); ++j) {
+    int arg_index = probe.backward.grad_arg_indices[j];
+    if (arg_index < num_vars) continue;
+    const Endpoint& out = probe.backward.function->outputs()[j];
+    TypeAndShape type =
+        probe.backward.function->graph().endpoint_type(out);
+    seeds.emplace_back(arg_index, type);
+    entry.accumulated_arg_indices.push_back(arg_index);
+    entry.accumulator_types.push_back(type);
+  }
+
+  // Pass 2: rebuild with those accumulators threaded through the sweep.
+  TFE_ASSIGN_OR_RETURN(BackwardCacheEntry seeded,
+                       BuildBackward(ctx, forward, num_vars, &seeds));
+  entry.function = seeded.backward.function;
+  entry.grad_arg_indices = seeded.backward.grad_arg_indices;
+  entry.grad_output_indices = seeded.grad_output_indices;
+  for (int arg_index : entry.accumulated_arg_indices) {
+    bool present = false;
+    for (int i : entry.grad_arg_indices) present |= (i == arg_index);
+    if (!present) {
+      return Internal("Loop backward lost a threaded capture accumulator");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(g_backward_mu);
+  auto [it, inserted] = LoopBackwardCache().emplace(key, std::move(entry));
+  return it->second;
 }
 
 namespace {

@@ -42,6 +42,37 @@ StatusOr<BackwardFunction> GetOrBuildBackwardFunction(
     EagerContext* ctx, const std::shared_ptr<GraphFunction>& forward,
     int num_original_outputs);
 
+// The backward of a While-loop body: like BackwardFunction, but gradients
+// for the body's *captures* (args at index >= num_vars) are threaded through
+// explicit accumulator parameters instead of being emitted fresh each call.
+// The function's parameter layout is
+//   [forward args..., intermediates..., grads for grad_output_indices...,
+//    one accumulator per accumulated_arg_indices entry]
+// and the output for an accumulated arg is `accumulator + (this iteration's
+// contributions, folded in reverse-sweep order)`. Seeding the sweep with the
+// accumulator makes the whole reverse loop a single flat left-fold — the
+// exact association the eager tape produces for an unrolled loop — so While
+// gradients stay bitwise-equal to unrolled-loop tape gradients.
+struct LoopBackwardFunction {
+  std::shared_ptr<GraphFunction> function;
+  // function's outputs correspond to gradients for these forward-arg
+  // positions (args without incoming gradients are omitted; every
+  // accumulated arg is present — it carries at least its accumulator).
+  std::vector<int> grad_arg_indices;
+  // Which of the first `num_vars` forward outputs take gradient parameters.
+  std::vector<int> grad_output_indices;
+  // Capture args (>= num_vars) whose gradients are threaded, in parameter
+  // order, with the dtype/shape of each accumulator.
+  std::vector<int> accumulated_arg_indices;
+  std::vector<TypeAndShape> accumulator_types;
+};
+
+// Returns (building on first use) the loop-body backward for a forward
+// variant whose first `num_vars` args/outputs are the loop variables.
+StatusOr<LoopBackwardFunction> GetOrBuildLoopBackwardFunction(
+    EagerContext* ctx, const std::shared_ptr<GraphFunction>& forward,
+    int num_vars);
+
 }  // namespace tfe
 
 #endif  // TFE_AUTODIFF_FUNCTION_GRAD_H_

@@ -78,6 +78,21 @@ class GraphFunction {
   std::shared_ptr<GraphFunction> GetOrBuildExecutionVariant(
       const std::function<std::shared_ptr<GraphFunction>()>& build);
 
+  // Pristine pre-optimization snapshot of the trace, attached by the tracer
+  // before graph passes run. Autodiff builds forward/backward variants from
+  // this graph — never the optimized one — so gradient accumulation keeps
+  // the program-as-written association and stays bitwise-equal to the eager
+  // tape (CSE would otherwise regroup contributions: (g1+g2)*k instead of
+  // g1*k + g2*k). Null for functions built directly from graphs (e.g.
+  // deserialized bundles), in which case the function's own graph is the
+  // autodiff source.
+  void set_autodiff_source(std::shared_ptr<const GraphFunction> source) {
+    autodiff_source_ = std::move(source);
+  }
+  const std::shared_ptr<const GraphFunction>& autodiff_source() const {
+    return autodiff_source_;
+  }
+
  private:
   std::string name_;
   Graph graph_;
@@ -88,6 +103,7 @@ class GraphFunction {
   std::mutex variant_mu_;
   bool variant_ready_ = false;
   std::shared_ptr<GraphFunction> execution_variant_;
+  std::shared_ptr<const GraphFunction> autodiff_source_;
 };
 
 // Structural copy of `source` — nodes (ids preserved), arg nodes, captures,

@@ -4,8 +4,10 @@
 #include <array>
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
+#include "device/device.h"
 #include "kernels/fused_elementwise.h"
 #include "kernels/program_cache.h"
 #include "runtime/eager_context.h"
@@ -657,6 +659,68 @@ Status FuseElementwise(GraphFunction& function, PassStats* stats) {
   for (Endpoint& out : function.outputs()) remap(out);
   graph.ResetNodes(std::move(nodes));
   return Status::OK();
+}
+
+namespace {
+
+// Attrs whose string value names a subfunction whose body deserves the same
+// fusion treatment as the graph referencing it.
+constexpr const char* kSubfunctionAttrs[] = {
+    "function",      "then_function", "else_function", "cond_function",
+    "body_function", "body_forward",  "body_backward"};
+
+// Guards FusedExecutionVariant against recursive graph functions: the
+// variant mutex is held while the build callback runs, so re-entering
+// GetOrBuildExecutionVariant on a function already being built on this
+// thread would self-deadlock.
+std::set<const GraphFunction*>& VariantsInProgress() {
+  thread_local std::set<const GraphFunction*> in_progress;
+  return in_progress;
+}
+
+}  // namespace
+
+std::shared_ptr<GraphFunction> FusedExecutionVariant(
+    EagerContext* ctx, Device* device,
+    const std::shared_ptr<GraphFunction>& function, bool* built_now) {
+  if (built_now != nullptr) *built_now = false;
+  if (ctx == nullptr || !ctx->fuse_elementwise() || device == nullptr ||
+      device->is_accelerator() || !device->executes_kernels()) {
+    return function;
+  }
+  auto& in_progress = VariantsInProgress();
+  if (!in_progress.insert(function.get()).second) return function;
+
+  bool ran_build = false;
+  auto fused = function->GetOrBuildExecutionVariant(
+      [&]() -> std::shared_ptr<GraphFunction> {
+        ran_build = true;
+        // Pre-build variants for every referenced subfunction so Cond
+        // branches and While bodies fuse even when the *outer* graph has
+        // nothing worth fusing itself.
+        const Graph& graph = function->graph();
+        for (int id = 0; id < graph.num_nodes(); ++id) {
+          for (const char* attr : kSubfunctionAttrs) {
+            auto it = graph.node(id).attrs.find(attr);
+            if (it == graph.node(id).attrs.end() ||
+                !it->second.Is<std::string>()) {
+              continue;
+            }
+            auto callee = ctx->functions().Find(it->second.Get<std::string>());
+            if (callee.ok()) FusedExecutionVariant(ctx, device, *callee);
+          }
+        }
+        auto variant = std::make_shared<GraphFunction>(function->name() +
+                                                       "__fused_ew");
+        if (!CloneGraphFunctionInto(*function, *variant).ok()) return nullptr;
+        PassStats pstats;
+        if (!FuseElementwise(*variant, &pstats).ok()) return nullptr;
+        if (pstats.fused_runs == 0) return nullptr;  // nothing to gain
+        return variant;
+      });
+  in_progress.erase(function.get());
+  if (built_now != nullptr) *built_now = ran_build;
+  return fused != nullptr ? fused : function;
 }
 
 }  // namespace passes

@@ -317,9 +317,9 @@ StatusOr<std::shared_ptr<GraphFunction>> DeserializeFunction(
 namespace {
 
 // Attr names whose string value names another graph function.
-constexpr const char* kFunctionAttrs[] = {"function", "then_function",
-                                          "else_function", "cond_function",
-                                          "body_function"};
+constexpr const char* kFunctionAttrs[] = {
+    "function",      "then_function", "else_function", "cond_function",
+    "body_function", "body_forward",  "body_backward"};
 
 // Names of graph functions referenced by `function`'s nodes.
 std::vector<std::string> ReferencedFunctions(const GraphFunction& function) {

@@ -1,6 +1,8 @@
 // The Call kernel: graph functions are executed *by an operation* (paper
 // §4.1), which is what makes staged functions compose, run on devices, and
 // appear on gradient tapes like any primitive.
+#include <cstdlib>
+
 #include "executor/executor.h"
 #include "graph/passes.h"
 #include "kernels/kernel_util.h"
@@ -10,12 +12,42 @@ namespace tfe {
 namespace kernels {
 namespace {
 
+// Recursive graph functions (self/mutual recursion via Call) need a depth
+// cap: an unbounded recursion would otherwise exhaust the host stack, since
+// nested calls execute inline on the calling thread. Overflow surfaces as a
+// FailedPrecondition that poisons the call's outputs like any deferred
+// kernel error. TFE_MAX_CALL_DEPTH overrides the default.
+int64_t MaxCallDepth() {
+  static const int64_t cap = [] {
+    if (const char* env = std::getenv("TFE_MAX_CALL_DEPTH")) {
+      int64_t v = std::atoll(env);
+      if (v > 0) return v;
+    }
+    return static_cast<int64_t>(64);
+  }();
+  return cap;
+}
+
+thread_local int64_t t_call_depth = 0;
+
 Status CallKernel(KernelContext* ctx) {
   TFE_ASSIGN_OR_RETURN(auto function_name,
                        ctx->GetAttr<std::string>("function"));
   EagerContext* ectx = ctx->eager_context();
   TFE_ASSIGN_OR_RETURN(auto function, ectx->functions().Find(function_name));
   ectx->stats().function_calls.fetch_add(1, std::memory_order_relaxed);
+
+  // Depth accounting is per-thread, which matches execution: a top-level
+  // call's nested Call kernels all run inline on one executor thread.
+  if (t_call_depth >= MaxCallDepth()) {
+    return FailedPrecondition(
+        "Call recursion depth exceeded TFE_MAX_CALL_DEPTH (" +
+        std::to_string(MaxCallDepth()) + ") in function " + function_name);
+  }
+  struct DepthGuard {
+    DepthGuard() { ++t_call_depth; }
+    ~DepthGuard() { --t_call_depth; }
+  } depth_guard;
 
   Device* device = ctx->device();
   uint64_t start_ns = ctx->start_ns();
@@ -30,24 +62,12 @@ Status CallKernel(KernelContext* ctx) {
   }
 
   // On real compute devices, run the lazily-built execution variant with
-  // elementwise runs fused. The original function is what autodiff and
-  // serialization see; simulated accelerators keep the unfused graph so
-  // their per-node cost model is undisturbed.
-  std::shared_ptr<GraphFunction> to_run = function;
-  if (ectx->fuse_elementwise() && !device->is_accelerator() &&
-      device->executes_kernels()) {
-    auto fused = function->GetOrBuildExecutionVariant(
-        [&]() -> std::shared_ptr<GraphFunction> {
-          auto variant = std::make_shared<GraphFunction>(function->name() +
-                                                         "__fused_ew");
-          if (!CloneGraphFunctionInto(*function, *variant).ok()) return nullptr;
-          passes::PassStats pstats;
-          if (!passes::FuseElementwise(*variant, &pstats).ok()) return nullptr;
-          if (pstats.fused_runs == 0) return nullptr;  // nothing to gain
-          return variant;
-        });
-    if (fused != nullptr) to_run = std::move(fused);
-  }
+  // elementwise runs fused (the helper also pre-builds variants for any
+  // Cond/While subfunctions this graph references). The original function is
+  // what autodiff and serialization see; simulated accelerators keep the
+  // unfused graph so their per-node cost model is undisturbed.
+  std::shared_ptr<GraphFunction> to_run =
+      passes::FusedExecutionVariant(ectx, device, function);
 
   Executor executor(ectx);
   // Nested calls (this kernel running on an executor thread) execute inline

@@ -1,5 +1,6 @@
 #include "models/l2hmc.h"
 
+#include "staging/control_flow.h"
 #include "support/strings.h"
 
 namespace tfe {
@@ -75,68 +76,112 @@ Tensor L2hmcDynamics::LogProb(const Tensor& x) const {
   return ops::neg(ops::squeeze(quad, {1}) * Scalar(0.5));
 }
 
-L2hmcDynamics::Proposal L2hmcDynamics::Transition(const Tensor& x0) const {
+L2hmcDynamics::LeapfrogState L2hmcDynamics::LeapfrogStep(
+    const LeapfrogState& state) const {
   const double eps = config_.step_size;
+  Tensor x = state.x;
+  Tensor v = state.v;
+  Tensor log_jacobian = state.log_jacobian;
+  // The learned leapfrog integrator: v half-step (momentum net), x full
+  // step (position net), v half-step. The log-Jacobian of the scale terms
+  // accumulates into the acceptance ratio.
+  //
+  // Half-step momentum update.
+  {
+    GradientTape tape;
+    tape.watch(x);
+    Tensor energy = ops::reduce_sum(LogProb(x));
+    tape.StopRecording();
+    auto grads = tape.gradient(energy, {x});
+    grads.status().ThrowIfError();
+    Tensor grad_x = (*grads)[0];
+    L2hmcNetwork::Heads heads = (*momentum_net_)(x, grad_x);
+    Tensor scale = ops::exp(heads.scale * Scalar(0.5 * eps));
+    v = v * scale +
+        Scalar(0.5 * eps) * (grad_x * ops::exp(heads.transformation) +
+                             heads.translation);
+    log_jacobian =
+        log_jacobian + ops::reduce_sum(heads.scale * Scalar(0.5 * eps), {1});
+  }
+  // Full-step position update.
+  {
+    L2hmcNetwork::Heads heads = (*position_net_)(x, v);
+    Tensor scale = ops::exp(heads.scale * Scalar(eps));
+    x = x * scale +
+        Scalar(eps) * (v * ops::exp(heads.transformation) +
+                       heads.translation);
+    log_jacobian =
+        log_jacobian + ops::reduce_sum(heads.scale * Scalar(eps), {1});
+  }
+  // Half-step momentum update.
+  {
+    GradientTape tape;
+    tape.watch(x);
+    Tensor energy = ops::reduce_sum(LogProb(x));
+    tape.StopRecording();
+    auto grads = tape.gradient(energy, {x});
+    grads.status().ThrowIfError();
+    Tensor grad_x = (*grads)[0];
+    L2hmcNetwork::Heads heads = (*momentum_net_)(x, grad_x);
+    Tensor scale = ops::exp(heads.scale * Scalar(0.5 * eps));
+    v = v * scale +
+        Scalar(0.5 * eps) * (grad_x * ops::exp(heads.transformation) +
+                             heads.translation);
+    log_jacobian =
+        log_jacobian + ops::reduce_sum(heads.scale * Scalar(0.5 * eps), {1});
+  }
+  return {x, v, log_jacobian};
+}
+
+L2hmcDynamics::Proposal L2hmcDynamics::Transition(const Tensor& x0) const {
   const int64_t n = x0.shape().dim(0);
   const int64_t dim = config_.dim;
 
   Tensor x = x0;
-  Tensor v = ops::random_normal({n, dim});
+  Tensor v = config_.sample_seed == 0
+                 ? ops::random_normal({n, dim})
+                 : ops::random_normal({n, dim}, 0.0, 1.0,
+                                      config_.sample_seed);
   Tensor log_prob0 = LogProb(x);
   Tensor kinetic0 = ops::reduce_sum(ops::square(v), {1}) * Scalar(0.5);
 
-  // The learned leapfrog integrator: v half-step (momentum net), x full
-  // step (position net), v half-step. The log-Jacobian of the scale terms
-  // accumulates into the acceptance ratio.
-  Tensor log_jacobian = ops::zeros(DType::kFloat32, {n});
-  for (int64_t step = 0; step < config_.leapfrog_steps; ++step) {
-    // Half-step momentum update.
-    {
-      GradientTape tape;
-      tape.watch(x);
-      Tensor energy = ops::reduce_sum(LogProb(x));
-      tape.StopRecording();
-      auto grads = tape.gradient(energy, {x});
-      grads.status().ThrowIfError();
-      Tensor grad_x = (*grads)[0];
-      L2hmcNetwork::Heads heads = (*momentum_net_)(x, grad_x);
-      Tensor scale = ops::exp(heads.scale * Scalar(0.5 * eps));
-      v = v * scale +
-          Scalar(0.5 * eps) * (grad_x * ops::exp(heads.transformation) +
-                               heads.translation);
-      log_jacobian =
-          log_jacobian +
-          ops::reduce_sum(heads.scale * Scalar(0.5 * eps), {1});
+  LeapfrogState state{x, v, ops::zeros(DType::kFloat32, {n})};
+  if (config_.staged_loop) {
+    // One While node over {step, x, v, log_jacobian}; the body is the same
+    // LeapfrogStep the unrolled path runs, traced once. The +1 on
+    // maximum_iterations pays for the final (false) cond evaluation; it is
+    // also the bound on the While gradient's snapshot stack.
+    if (leapfrog_body_ == nullptr) {
+      leapfrog_cond_ = std::make_unique<Function>(
+          [steps = config_.leapfrog_steps](
+              const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+            return {ops::less(vars[0],
+                              ops::fill(DType::kInt32, {},
+                                        static_cast<double>(steps)))};
+          },
+          "l2hmc_leapfrog_cond");
+      leapfrog_body_ = std::make_unique<Function>(
+          [this](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+            LeapfrogState next = LeapfrogStep({vars[1], vars[2], vars[3]});
+            return {ops::add(vars[0], ops::fill(DType::kInt32, {}, 1.0)),
+                    next.x, next.v, next.log_jacobian};
+          },
+          "l2hmc_leapfrog_body");
     }
-    // Full-step position update.
-    {
-      L2hmcNetwork::Heads heads = (*position_net_)(x, v);
-      Tensor scale = ops::exp(heads.scale * Scalar(eps));
-      x = x * scale +
-          Scalar(eps) * (v * ops::exp(heads.transformation) +
-                         heads.translation);
-      log_jacobian =
-          log_jacobian + ops::reduce_sum(heads.scale * Scalar(eps), {1});
-    }
-    // Half-step momentum update.
-    {
-      GradientTape tape;
-      tape.watch(x);
-      Tensor energy = ops::reduce_sum(LogProb(x));
-      tape.StopRecording();
-      auto grads = tape.gradient(energy, {x});
-      grads.status().ThrowIfError();
-      Tensor grad_x = (*grads)[0];
-      L2hmcNetwork::Heads heads = (*momentum_net_)(x, grad_x);
-      Tensor scale = ops::exp(heads.scale * Scalar(0.5 * eps));
-      v = v * scale +
-          Scalar(0.5 * eps) * (grad_x * ops::exp(heads.transformation) +
-                               heads.translation);
-      log_jacobian =
-          log_jacobian +
-          ops::reduce_sum(heads.scale * Scalar(0.5 * eps), {1});
+    std::vector<Tensor> out = ops::while_loop(
+        *leapfrog_cond_, *leapfrog_body_,
+        {ops::fill(DType::kInt32, {}, 0.0), state.x, state.v,
+         state.log_jacobian},
+        config_.leapfrog_steps + 1);
+    state = {out[1], out[2], out[3]};
+  } else {
+    for (int64_t step = 0; step < config_.leapfrog_steps; ++step) {
+      state = LeapfrogStep(state);
     }
   }
+  x = state.x;
+  v = state.v;
+  Tensor log_jacobian = state.log_jacobian;
 
   // Metropolis-Hastings correction.
   Tensor log_prob1 = LogProb(x);
@@ -146,7 +191,10 @@ L2hmcDynamics::Proposal L2hmcDynamics::Transition(const Tensor& x0) const {
   Tensor accept_prob =
       ops::minimum(ops::exp(ops::minimum(log_accept, ops::zeros_like(log_accept))),
                    ops::ones_like(log_accept));
-  Tensor uniform = ops::random_uniform({n});
+  Tensor uniform = config_.sample_seed == 0
+                       ? ops::random_uniform({n})
+                       : ops::random_uniform({n}, 0.0, 1.0,
+                                             config_.sample_seed + 1);
   Tensor accept_mask =
       ops::cast(ops::less(uniform, accept_prob), DType::kFloat32);
   Tensor mask2d = ops::expand_dims(accept_mask, 1);

@@ -6,7 +6,10 @@
 // imperative execution is dispatch-bound and staging the update function
 // recovers an order of magnitude — exactly the regime Figure 4 probes. The
 // host loop over leapfrog steps is fully unrolled by tracing, as the paper
-// describes for Python loops (§4.1).
+// describes for Python loops (§4.1) — or, with Config::staged_loop, staged
+// as a single While node whose body is one cached graph function, so a
+// whole training step (forward, While gradient, SGD update) is ONE graph
+// whose size no longer grows with leapfrog_steps.
 #ifndef TFE_MODELS_L2HMC_H_
 #define TFE_MODELS_L2HMC_H_
 
@@ -49,6 +52,16 @@ class L2hmcDynamics : public Checkpointable {
     int64_t leapfrog_steps = 10;  // the paper's setting
     double step_size = 0.1;
     int64_t seed = 17;
+    // Stage the leapfrog integrator as one While node instead of unrolling
+    // the host loop into the trace. The loop body is traced once and its
+    // execution variant is reused across iterations; differentiating
+    // through it uses the While gradient (per-iteration backward replay).
+    bool staged_loop = false;
+    // When nonzero, the momentum and Metropolis draws use the deterministic
+    // Philox streams (sample_seed, sample_seed + 1) instead of the
+    // context's stateful stream, making staged-loop and unrolled
+    // transitions bitwise-comparable.
+    int64_t sample_seed = 0;
   };
   L2hmcDynamics() : L2hmcDynamics(Config()) {}
   explicit L2hmcDynamics(const Config& config);
@@ -75,9 +88,22 @@ class L2hmcDynamics : public Checkpointable {
   const Config& config() const { return config_; }
 
  private:
+  struct LeapfrogState {
+    Tensor x;
+    Tensor v;
+    Tensor log_jacobian;
+  };
+  // One learned leapfrog update (v half-step, x full step, v half-step),
+  // shared by the unrolled host loop and the staged while_loop body.
+  LeapfrogState LeapfrogStep(const LeapfrogState& state) const;
+
   Config config_;
   std::unique_ptr<L2hmcNetwork> position_net_;
   std::unique_ptr<L2hmcNetwork> momentum_net_;
+  // Lazily-built staged-loop functions (Config::staged_loop); mutable so
+  // their trace caches persist across const Transition calls.
+  mutable std::unique_ptr<Function> leapfrog_cond_;
+  mutable std::unique_ptr<Function> leapfrog_body_;
 };
 
 }  // namespace models

@@ -175,6 +175,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRemoteResolve: return "remote_resolve";
     case EventKind::kAllocator: return "allocator";
     case EventKind::kServing: return "serving";
+    case EventKind::kLoop: return "loop";
   }
   return "unknown";
 }

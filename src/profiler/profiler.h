@@ -57,6 +57,10 @@ enum class EventKind : uint8_t {
                     //  ("batched_run", arg = coalesced calls), a call ran
                     //  unbatched ("unbatched_run"), or a session opened or
                     //  closed ("session_open"/"session_close")
+  kLoop,            // staged control-flow event: a While kernel finished a
+                    //  loop ("staged_loop", arg = iterations) or its
+                    //  gradient finished the reverse replay
+                    //  ("staged_loop_grad", arg = iterations)
 };
 
 // Stable lowercase name ("dispatch", "kernel", ...) used as the Chrome

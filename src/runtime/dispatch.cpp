@@ -37,8 +37,35 @@ StatusOr<std::vector<Tensor>> Dispatch(OpCall call) {
       }
       return Status::OK();
     };
+    // Ops carrying an explicit declared signature (num_declared_outputs +
+    // out_dtype_i/out_shape_i attrs) bypass the library lookup — this is how
+    // a recursive function's body records a Call to itself before the callee
+    // finishes registering, and how WhileGrad declares its var + capture
+    // gradient outputs.
+    auto declared_outputs = [&]() -> StatusOr<bool> {
+      auto n = call.attrs.find("num_declared_outputs");
+      if (n == call.attrs.end() || !n->second.Is<int64_t>()) return false;
+      for (int64_t i = 0; i < n->second.Get<int64_t>(); ++i) {
+        auto dt = call.attrs.find(strings::StrCat("out_dtype_", i));
+        auto sh = call.attrs.find(strings::StrCat("out_shape_", i));
+        if (dt == call.attrs.end() || !dt->second.Is<DType>() ||
+            sh == call.attrs.end() || !sh->second.Is<Shape>()) {
+          return InvalidArgument(call.op_name +
+                                 " is missing a declared output dtype/shape");
+        }
+        pre_inferred.push_back(
+            {dt->second.Get<DType>(), sh->second.Get<Shape>()});
+      }
+      return true;
+    };
     if (call.op_name == "Call") {
-      TFE_RETURN_IF_ERROR(function_outputs("function"));
+      TFE_ASSIGN_OR_RETURN(bool declared, declared_outputs());
+      if (!declared) TFE_RETURN_IF_ERROR(function_outputs("function"));
+    } else if (call.op_name == "WhileGrad") {
+      TFE_ASSIGN_OR_RETURN(bool declared, declared_outputs());
+      if (!declared) {
+        return InvalidArgument("WhileGrad requires declared output types");
+      }
     } else if (call.op_name == "Cond") {
       // Branch output signatures agree (validated at construction).
       TFE_RETURN_IF_ERROR(function_outputs("then_function"));
@@ -53,6 +80,10 @@ StatusOr<std::vector<Tensor>> Dispatch(OpCall call) {
             {call.inputs.at(i).dtype(), call.inputs.at(i).shape()});
       }
     }
+    // Tracing executes the host-language function: recording an op costs a
+    // host dispatch just like running it eagerly would (the reason staged
+    // loops beat per-iteration re-tracing — one trace, many executions).
+    ctx->AdvanceHostNs(ctx->host_profile().per_op_dispatch_ns);
     TFE_ASSIGN_OR_RETURN(outputs,
                          trace->RecordOp(call.op_name, call.inputs, call.attrs,
                                          call.device,

@@ -4,11 +4,14 @@
 #include "autodiff/function_grad.h"
 #include "autodiff/gradient_registry.h"
 #include "executor/executor.h"
+#include "graph/passes.h"
 #include "kernels/kernel_util.h"
 #include "ops/op_registry.h"
+#include "profiler/profiler.h"
 #include "runtime/dispatch.h"
 #include "runtime/eager_context.h"
 #include "support/strings.h"
+#include "tensor/tensor_util.h"
 
 namespace tfe {
 
@@ -62,8 +65,21 @@ StatusOr<bool> ScalarPred(const Tensor& pred) {
   return pred.data<bool>()[0];
 }
 
-// Runs graph function `name` on `inputs` (explicit + that function's
-// captures), sharing the executor conventions of the Call kernel.
+// Runs an already-resolved graph function on `inputs` (explicit + that
+// function's captures), sharing the executor conventions of the Call kernel.
+StatusOr<Executor::Result> RunResolved(EagerContext* ctx,
+                                       const GraphFunction& fn,
+                                       std::vector<Tensor> inputs,
+                                       Device* device, uint64_t start_ns,
+                                       bool compiled,
+                                       uint64_t rng_stream_base) {
+  Executor executor(ctx);
+  return executor.Run(fn, inputs, device, start_ns, compiled,
+                      /*parallel=*/!Executor::InExecutor(), rng_stream_base);
+}
+
+// Name-based variant: resolves `name` (and its fused execution variant, when
+// the device executes kernels) before running.
 StatusOr<Executor::Result> RunBranch(EagerContext* ctx,
                                      const std::string& name,
                                      std::vector<Tensor> inputs,
@@ -71,9 +87,10 @@ StatusOr<Executor::Result> RunBranch(EagerContext* ctx,
                                      bool compiled, uint64_t rng_stream_base) {
   TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> fn,
                        ctx->functions().Find(name));
-  Executor executor(ctx);
-  return executor.Run(*fn, inputs, device, start_ns, compiled,
-                      /*parallel=*/!Executor::InExecutor(), rng_stream_base);
+  std::shared_ptr<GraphFunction> to_run =
+      passes::FusedExecutionVariant(ctx, device, fn);
+  return RunResolved(ctx, *to_run, std::move(inputs), device, start_ns,
+                     compiled, rng_stream_base);
 }
 
 Status CondKernel(KernelContext* ctx) {
@@ -125,8 +142,31 @@ Status WhileKernel(KernelContext* ctx) {
   std::vector<Tensor> body_captures(
       ctx->inputs().begin() + num_vars + cond_caps, ctx->inputs().end());
 
+  static profiler::Counter* iterations_counter =
+      profiler::Metrics().GetCounter("loop.iterations");
+  static profiler::Counter* body_hit_counter =
+      profiler::Metrics().GetCounter("loop.body_cache_hit");
+  static const uint32_t loop_name_id = profiler::Intern("staged_loop");
+
   uint64_t now_ns = ctx->start_ns();
   EagerContext* ectx = ctx->eager_context();
+  // Iteration fast path: resolve both functions AND their fused execution
+  // variants once, outside the loop — each iteration is then a single
+  // executor run over a pre-compiled graph (one GetOrBuildExecutionVariant +
+  // FusedProgramCache lookup per loop, not per iteration). Freed loop-state
+  // buffers return to the device arena's size-class freelists, so the next
+  // iteration's identically-shaped state reuses the same blocks.
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> cond_fn,
+                       ectx->functions().Find(cond_name));
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> body_fn,
+                       ectx->functions().Find(body_name));
+  bool body_built_now = false;
+  std::shared_ptr<GraphFunction> cond_run =
+      passes::FusedExecutionVariant(ectx, ctx->device(), cond_fn);
+  std::shared_ptr<GraphFunction> body_run = passes::FusedExecutionVariant(
+      ectx, ctx->device(), body_fn, &body_built_now);
+
+  int64_t completed = 0;
   for (int64_t iteration = 0;; ++iteration) {
     if (iteration >= max_iterations) {
       return FailedPrecondition("While exceeded maximum_iterations");
@@ -140,10 +180,10 @@ Status WhileKernel(KernelContext* ctx) {
     const uint64_t iter_base =
         random::SplitMix64(ctx->rng_stream()) +
         2 * static_cast<uint64_t>(iteration);
-    TFE_ASSIGN_OR_RETURN(Executor::Result cond_result,
-                         RunBranch(ectx, cond_name, std::move(cond_inputs),
-                                   ctx->device(), now_ns, ctx->compiled(),
-                                   iter_base + 1));
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result cond_result,
+        RunResolved(ectx, *cond_run, std::move(cond_inputs), ctx->device(),
+                    now_ns, ctx->compiled(), iter_base + 1));
     now_ns = cond_result.finish_ns;
     if (cond_result.outputs.size() != 1) {
       return InvalidArgument("While condition must produce one output");
@@ -154,16 +194,24 @@ Status WhileKernel(KernelContext* ctx) {
     std::vector<Tensor> body_inputs = vars;
     body_inputs.insert(body_inputs.end(), body_captures.begin(),
                        body_captures.end());
-    TFE_ASSIGN_OR_RETURN(Executor::Result body_result,
-                         RunBranch(ectx, body_name, std::move(body_inputs),
-                                   ctx->device(), now_ns, ctx->compiled(),
-                                   iter_base + 2));
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result body_result,
+        RunResolved(ectx, *body_run, std::move(body_inputs), ctx->device(),
+                    now_ns, ctx->compiled(), iter_base + 2));
     now_ns = body_result.finish_ns;
     if (static_cast<int64_t>(body_result.outputs.size()) != num_vars) {
       return InvalidArgument("While body must return the loop variables");
     }
     vars = std::move(body_result.outputs);
+    ++completed;
+    iterations_counter->Increment();
+    // Every iteration after the loop's one-time variant resolution is a
+    // body-cache hit; only the very first iteration of the execution that
+    // actually built the variant pays the miss.
+    if (iteration > 0 || !body_built_now) body_hit_counter->Increment();
   }
+  profiler::RecordInstant(profiler::EventKind::kLoop, loop_name_id,
+                          completed);
   for (int64_t i = 0; i < num_vars; ++i) {
     ctx->SetOutput(static_cast<int>(i), vars[i]);
   }
@@ -333,6 +381,303 @@ StatusOr<std::vector<Tensor>> CondGradImpl(const TapeEntry& e,
   return result;  // no gradient for the predicate
 }
 
+// ---------------------------------------------------------------------------
+// While gradient.
+//
+// Cond's gradient pattern (rematerialize intermediates via the forward
+// variant, run the staged backward) is the per-iteration template; the loop
+// structure around it is:
+//   forward replay:  re-run cond/body, pushing each iteration's loop
+//                    variables onto a host-side tensor stack (memory bound:
+//                    iterations × loop-state size, <= maximum_iterations —
+//                    captures are not snapshotted);
+//   backward sweep:  for i = N-1..0, run body__fwd on snapshot i to
+//                    rematerialize intermediates, then the loop backward
+//                    (function_grad.h: capture gradients threaded through
+//                    zero-seeded accumulators) to chain the var gradients
+//                    and fold this iteration's capture contributions.
+// The accumulator threading keeps the whole sweep a single flat left-fold in
+// reverse execution order — the same association the eager tape produces for
+// an unrolled loop — which is what makes While gradients bitwise-equal to
+// unrolled-loop tape gradients for deterministic bodies.
+
+Status WhileGradKernel(KernelContext* ctx) {
+  TFE_ASSIGN_OR_RETURN(auto cond_name,
+                       ctx->GetAttr<std::string>("cond_function"));
+  TFE_ASSIGN_OR_RETURN(auto body_name,
+                       ctx->GetAttr<std::string>("body_function"));
+  TFE_ASSIGN_OR_RETURN(auto fwd_name, ctx->GetAttr<std::string>("body_forward"));
+  TFE_ASSIGN_OR_RETURN(auto bwd_name,
+                       ctx->GetAttr<std::string>("body_backward"));
+  TFE_ASSIGN_OR_RETURN(int64_t num_vars, ctx->GetAttr<int64_t>("num_vars"));
+  int64_t cond_caps = ctx->GetAttrOr<int64_t>("cond_captures", 0);
+  int64_t max_iterations =
+      ctx->GetAttrOr<int64_t>("maximum_iterations", 1'000'000);
+  TFE_ASSIGN_OR_RETURN(
+      auto grad_arg_indices,
+      ctx->GetAttr<std::vector<int64_t>>("grad_arg_indices"));
+  TFE_ASSIGN_OR_RETURN(
+      auto grad_output_indices,
+      ctx->GetAttr<std::vector<int64_t>>("grad_output_indices"));
+
+  const int64_t num_grad_in = static_cast<int64_t>(grad_output_indices.size());
+  const int64_t num_body_caps =
+      ctx->num_inputs() - num_vars - cond_caps - num_grad_in;
+  if (num_body_caps < 0) {
+    return InvalidArgument("WhileGrad input count mismatch");
+  }
+  // Input layout: [vars..., cond_captures..., body_captures..., out grads].
+  std::vector<Tensor> vars(ctx->inputs().begin(),
+                           ctx->inputs().begin() + num_vars);
+  std::vector<Tensor> cond_captures(
+      ctx->inputs().begin() + num_vars,
+      ctx->inputs().begin() + num_vars + cond_caps);
+  std::vector<Tensor> body_captures(
+      ctx->inputs().begin() + num_vars + cond_caps,
+      ctx->inputs().begin() + num_vars + cond_caps + num_body_caps);
+
+  static profiler::Counter* grad_iterations_counter =
+      profiler::Metrics().GetCounter("loop.grad_iterations");
+  static const uint32_t grad_name_id = profiler::Intern("staged_loop_grad");
+
+  EagerContext* ectx = ctx->eager_context();
+  Device* device = ctx->device();
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> cond_fn,
+                       ectx->functions().Find(cond_name));
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> body_fn,
+                       ectx->functions().Find(body_name));
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> fwd_fn,
+                       ectx->functions().Find(fwd_name));
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> bwd_fn,
+                       ectx->functions().Find(bwd_name));
+  std::shared_ptr<GraphFunction> cond_run =
+      passes::FusedExecutionVariant(ectx, device, cond_fn);
+  std::shared_ptr<GraphFunction> body_run =
+      passes::FusedExecutionVariant(ectx, device, body_fn);
+  std::shared_ptr<GraphFunction> fwd_run =
+      passes::FusedExecutionVariant(ectx, device, fwd_fn);
+  std::shared_ptr<GraphFunction> bwd_run =
+      passes::FusedExecutionVariant(ectx, device, bwd_fn);
+
+  // Forward replay, snapshotting the loop variables per iteration. The rng
+  // spread mirrors WhileKernel's so seeded randomness inside the body draws
+  // iteration-stable values; seed-0 stream randomness replays from THIS
+  // node's stream, not the forward While's — the same rematerialization
+  // caveat Cond's gradient has.
+  uint64_t now_ns = ctx->start_ns();
+  const uint64_t rng_root = random::SplitMix64(ctx->rng_stream());
+  std::vector<std::vector<Tensor>> stack;
+  for (int64_t iteration = 0;; ++iteration) {
+    if (iteration >= max_iterations) {
+      return FailedPrecondition("WhileGrad replay exceeded maximum_iterations");
+    }
+    const uint64_t iter_base = rng_root + 2 * static_cast<uint64_t>(iteration);
+    std::vector<Tensor> cond_inputs = vars;
+    cond_inputs.insert(cond_inputs.end(), cond_captures.begin(),
+                       cond_captures.end());
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result cond_result,
+        RunResolved(ectx, *cond_run, std::move(cond_inputs), device, now_ns,
+                    ctx->compiled(), iter_base + 1));
+    now_ns = cond_result.finish_ns;
+    TFE_ASSIGN_OR_RETURN(bool keep_going, ScalarPred(cond_result.outputs.at(0)));
+    if (!keep_going) break;
+    stack.push_back(vars);
+    std::vector<Tensor> body_inputs = vars;
+    body_inputs.insert(body_inputs.end(), body_captures.begin(),
+                       body_captures.end());
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result body_result,
+        RunResolved(ectx, *body_run, std::move(body_inputs), device, now_ns,
+                    ctx->compiled(), iter_base + 2));
+    now_ns = body_result.finish_ns;
+    vars = std::move(body_result.outputs);
+  }
+  const int64_t n_iters = static_cast<int64_t>(stack.size());
+
+  // Incoming gradients for the loop outputs (zeros where the tape had none).
+  std::vector<Tensor> grad_vars(num_vars);
+  for (size_t k = 0; k < grad_output_indices.size(); ++k) {
+    grad_vars[grad_output_indices[k]] =
+        ctx->input(static_cast<int>(num_vars + cond_caps + num_body_caps +
+                                    static_cast<int64_t>(k)));
+  }
+  for (int64_t v = 0; v < num_vars; ++v) {
+    if (!grad_vars[v].defined()) {
+      grad_vars[v] = tensor_util::Zeros(vars[v].dtype(), vars[v].shape());
+    }
+  }
+
+  // Zero-initialized capture accumulators, typed by the declared outputs.
+  std::vector<Tensor> accs;
+  int64_t num_accs = 0;
+  for (int64_t arg : grad_arg_indices) num_accs += (arg >= num_vars) ? 1 : 0;
+  for (int64_t k = 0; k < num_accs; ++k) {
+    const int64_t slot = num_vars + k;
+    TFE_ASSIGN_OR_RETURN(
+        DType dt, ctx->GetAttr<DType>(strings::StrCat("out_dtype_", slot)));
+    TFE_ASSIGN_OR_RETURN(
+        Shape sh, ctx->GetAttr<Shape>(strings::StrCat("out_shape_", slot)));
+    for (int64_t dim : sh.dims()) {
+      if (dim == kUnknownDim) {
+        return Unimplemented(
+            "While capture gradients with dynamic shapes are not supported");
+      }
+    }
+    accs.push_back(tensor_util::Zeros(dt, sh));
+  }
+
+  // Reverse sweep: rematerialize iteration i's intermediates, run the loop
+  // backward, chain var gradients, thread capture accumulators.
+  for (int64_t i = n_iters - 1; i >= 0; --i) {
+    const uint64_t iter_base = rng_root + 2 * static_cast<uint64_t>(i);
+    std::vector<Tensor> fwd_inputs = stack[i];
+    fwd_inputs.insert(fwd_inputs.end(), body_captures.begin(),
+                      body_captures.end());
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result fwd_result,
+        RunResolved(ectx, *fwd_run, std::move(fwd_inputs), device, now_ns,
+                    ctx->compiled(), iter_base + 2));
+    now_ns = fwd_result.finish_ns;
+
+    std::vector<Tensor> bwd_inputs = stack[i];
+    bwd_inputs.insert(bwd_inputs.end(), body_captures.begin(),
+                      body_captures.end());
+    for (size_t j = static_cast<size_t>(num_vars);
+         j < fwd_result.outputs.size(); ++j) {
+      bwd_inputs.push_back(fwd_result.outputs[j]);
+    }
+    for (int64_t idx : grad_output_indices) bwd_inputs.push_back(grad_vars[idx]);
+    bwd_inputs.insert(bwd_inputs.end(), accs.begin(), accs.end());
+    TFE_ASSIGN_OR_RETURN(
+        Executor::Result bwd_result,
+        RunResolved(ectx, *bwd_run, std::move(bwd_inputs), device, now_ns,
+                    ctx->compiled(), iter_base + 3));
+    now_ns = bwd_result.finish_ns;
+    if (bwd_result.outputs.size() != grad_arg_indices.size()) {
+      return Internal("While loop-backward output arity mismatch");
+    }
+
+    std::vector<Tensor> next_grad_vars(num_vars);
+    size_t acc_pos = 0;
+    for (size_t j = 0; j < grad_arg_indices.size(); ++j) {
+      if (grad_arg_indices[j] < num_vars) {
+        next_grad_vars[grad_arg_indices[j]] = bwd_result.outputs[j];
+      } else {
+        accs[acc_pos++] = bwd_result.outputs[j];
+      }
+    }
+    for (int64_t v = 0; v < num_vars; ++v) {
+      if (!next_grad_vars[v].defined()) {
+        next_grad_vars[v] =
+            tensor_util::Zeros(stack[i][v].dtype(), stack[i][v].shape());
+      }
+    }
+    grad_vars = std::move(next_grad_vars);
+    grad_iterations_counter->Increment();
+  }
+  profiler::RecordInstant(profiler::EventKind::kLoop, grad_name_id,
+                          n_iters);
+
+  for (int64_t v = 0; v < num_vars; ++v) {
+    ctx->SetOutput(static_cast<int>(v), grad_vars[v]);
+  }
+  for (int64_t k = 0; k < num_accs; ++k) {
+    ctx->SetOutput(static_cast<int>(num_vars + k), accs[k]);
+  }
+  ctx->set_completion_ns(now_ns);
+  return Status::OK();
+}
+
+StatusOr<std::vector<Tensor>> WhileGradImpl(const TapeEntry& e,
+                                            const std::vector<Tensor>& g) {
+  EagerContext* ctx = EagerContext::Global();
+  int64_t num_vars = e.attrs.at("num_vars").Get<int64_t>();
+  int64_t cond_caps = e.attrs.count("cond_captures")
+                          ? e.attrs.at("cond_captures").Get<int64_t>()
+                          : 0;
+  int64_t max_iterations =
+      e.attrs.count("maximum_iterations")
+          ? e.attrs.at("maximum_iterations").Get<int64_t>()
+          : 1'000'000;
+  std::string cond_name = e.attrs.at("cond_function").Get<std::string>();
+  std::string body_name = e.attrs.at("body_function").Get<std::string>();
+
+  for (int64_t i = 0; i < num_vars; ++i) {
+    if (e.inputs[i].is_resource()) {
+      return Unimplemented(
+          "Gradients of While over resource loop variables are not "
+          "supported (captured variables are fine)");
+    }
+  }
+
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> body,
+                       ctx->functions().Find(body_name));
+  TFE_ASSIGN_OR_RETURN(std::shared_ptr<GraphFunction> body_fwd,
+                       BuildForwardFunction(ctx, body));
+  TFE_ASSIGN_OR_RETURN(
+      LoopBackwardFunction loop_backward,
+      GetOrBuildLoopBackwardFunction(ctx, body_fwd,
+                                     static_cast<int>(num_vars)));
+
+  // WhileGrad inputs: every While input, then the incoming output gradients
+  // for the loop vars the backward consumes.
+  std::vector<Tensor> inputs = e.inputs;
+  for (int idx : loop_backward.grad_output_indices) {
+    Tensor grad = (idx < static_cast<int>(g.size()) && g[idx].defined())
+                      ? g[idx]
+                      : ops::zeros_like(e.outputs[idx]);
+    inputs.push_back(grad);
+  }
+
+  AttrMap attrs;
+  attrs["cond_function"] = AttrValue(cond_name);
+  attrs["body_function"] = AttrValue(body_name);
+  attrs["body_forward"] = AttrValue(body_fwd->name());
+  attrs["body_backward"] = AttrValue(loop_backward.function->name());
+  attrs["num_vars"] = AttrValue(num_vars);
+  attrs["cond_captures"] = AttrValue(cond_caps);
+  attrs["maximum_iterations"] = AttrValue(max_iterations);
+  attrs["grad_arg_indices"] =
+      AttrValue(std::vector<int64_t>(loop_backward.grad_arg_indices.begin(),
+                                     loop_backward.grad_arg_indices.end()));
+  attrs["grad_output_indices"] = AttrValue(
+      std::vector<int64_t>(loop_backward.grad_output_indices.begin(),
+                           loop_backward.grad_output_indices.end()));
+  // Declared outputs: var gradients (typed like the loop vars), then one
+  // accumulator per capture that receives a gradient.
+  const int64_t num_outputs =
+      num_vars +
+      static_cast<int64_t>(loop_backward.accumulated_arg_indices.size());
+  attrs["num_declared_outputs"] = AttrValue(num_outputs);
+  for (int64_t i = 0; i < num_vars; ++i) {
+    attrs[strings::StrCat("out_dtype_", i)] = AttrValue(e.inputs[i].dtype());
+    attrs[strings::StrCat("out_shape_", i)] = AttrValue(e.inputs[i].shape());
+  }
+  for (size_t k = 0; k < loop_backward.accumulator_types.size(); ++k) {
+    const int64_t slot = num_vars + static_cast<int64_t>(k);
+    attrs[strings::StrCat("out_dtype_", slot)] =
+        AttrValue(loop_backward.accumulator_types[k].dtype);
+    attrs[strings::StrCat("out_shape_", slot)] =
+        AttrValue(loop_backward.accumulator_types[k].shape);
+  }
+
+  TFE_ASSIGN_OR_RETURN(
+      std::vector<Tensor> out,
+      Dispatch({.op_name = "WhileGrad", .inputs = std::move(inputs),
+                .attrs = std::move(attrs), .device = e.device}));
+
+  std::vector<Tensor> result(e.inputs.size());
+  for (int64_t i = 0; i < num_vars; ++i) result[i] = out[i];
+  for (size_t k = 0; k < loop_backward.accumulated_arg_indices.size(); ++k) {
+    // Body arg index -> While input slot (after vars and cond captures).
+    int arg = loop_backward.accumulated_arg_indices[k];
+    result[num_vars + cond_caps + (arg - num_vars)] =
+        out[num_vars + static_cast<int64_t>(k)];
+  }
+  return result;  // cond captures receive no gradient
+}
+
 }  // namespace
 
 namespace ops {
@@ -422,7 +767,98 @@ std::vector<Tensor> while_loop(Function& cond_fn, Function& body_fn,
   return std::move(result).value();
 }
 
+std::vector<Tensor> call(const std::string& function_name,
+                         const std::vector<Tensor>& args,
+                         const std::vector<TypeAndShape>& output_types) {
+  EagerContext* ctx = EagerContext::Global();
+  std::vector<Tensor> inputs = args;
+  // A registered callee may carry value captures; mirror Function's calling
+  // convention and append them. An unregistered callee (the recursive
+  // self-call case — the function is still being traced) must be
+  // capture-free, which DefineRecursiveFunction enforces.
+  if (ctx->functions().Contains(function_name)) {
+    auto fn = ctx->functions().Find(function_name);
+    fn.status().ThrowIfError();
+    for (const Capture& capture : (*fn)->captures()) {
+      inputs.push_back(capture.tensor);
+    }
+  }
+  AttrMap attrs;
+  attrs["function"] = AttrValue(function_name);
+  attrs["num_original_outputs"] =
+      AttrValue(static_cast<int64_t>(output_types.size()));
+  attrs["num_declared_outputs"] =
+      AttrValue(static_cast<int64_t>(output_types.size()));
+  for (size_t i = 0; i < output_types.size(); ++i) {
+    attrs[strings::StrCat("out_dtype_", i)] = AttrValue(output_types[i].dtype);
+    attrs[strings::StrCat("out_shape_", i)] = AttrValue(output_types[i].shape);
+  }
+  auto result = Dispatch({.op_name = "Call", .inputs = std::move(inputs),
+                          .attrs = std::move(attrs)});
+  result.status().ThrowIfError();
+  return std::move(result).value();
+}
+
 }  // namespace ops
+
+StatusOr<std::shared_ptr<GraphFunction>> DefineRecursiveFunction(
+    const std::string& name, const std::vector<TypeAndShape>& arg_types,
+    const std::vector<TypeAndShape>& output_types,
+    const std::function<StatusOr<std::vector<Tensor>>(
+        const std::vector<Tensor>&)>& body) {
+  EagerContext* ctx = EagerContext::Global();
+  if (ctx->functions().Contains(name)) {
+    return InvalidArgument("A graph function named '" + name +
+                           "' already exists");
+  }
+  auto fn = std::make_shared<GraphFunction>(name);
+  {
+    TraceContext trace(fn, ctx);
+    std::vector<Tensor> params;
+    for (const TypeAndShape& type : arg_types) {
+      TFE_ASSIGN_OR_RETURN(Tensor param,
+                           trace.AddParameter(type.dtype, type.shape));
+      params.push_back(param);
+    }
+    TFE_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, body(params));
+    if (outputs.size() != output_types.size()) {
+      return InvalidArgument(
+          strings::StrCat("Recursive function '", name, "' returned ",
+                          outputs.size(), " outputs; declared ",
+                          output_types.size()));
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      Tensor out = outputs[i];
+      if (!out.is_symbolic() || out.graph() != &fn->graph()) {
+        TFE_ASSIGN_OR_RETURN(out, trace.Capture(out));
+      }
+      if (out.dtype() != output_types[i].dtype) {
+        return InvalidArgument("Recursive function '" + name +
+                               "' output dtype does not match its "
+                               "declared signature");
+      }
+      fn->outputs().push_back({out.node_id(), out.output_index()});
+    }
+  }
+  // Self-calls dispatch with the declared signature only — captures would
+  // never be appended at the recursive call sites, so forbid them. Build
+  // constants with ops (fill/zeros) inside the body instead of capturing
+  // eager tensors.
+  if (!fn->captures().empty()) {
+    return InvalidArgument(
+        "Recursive function '" + name +
+        "' captures tensors; pass them as explicit arguments");
+  }
+  // As in Function::Trace: snapshot the as-written graph before the passes
+  // run so autodiff differentiates the program as written (bitwise tape
+  // parity; see GraphFunction::set_autodiff_source).
+  auto pristine = std::make_shared<GraphFunction>(name + "__as_written");
+  TFE_RETURN_IF_ERROR(CloneGraphFunctionInto(*fn, *pristine));
+  TFE_RETURN_IF_ERROR(passes::Optimize(*fn));
+  fn->set_autodiff_source(std::move(pristine));
+  TFE_RETURN_IF_ERROR(ctx->functions().Register(fn));
+  return fn;
+}
 
 void RegisterControlFlowOps() {
   {
@@ -439,15 +875,35 @@ void RegisterControlFlowOps() {
     def.name = "While";
     def.num_inputs = OpDef::kVariadic;
     def.is_stateful = true;
-    // Marked differentiable with no gradient registered: asking for a While
-    // gradient must be a loud Unimplemented error, never a silent zero.
+    def.differentiable = true;
+    def.shape_fn = [](InferenceContext*) { return Status::OK(); };
+    TFE_CHECK(OpRegistry::Global()->Register(std::move(def)).ok());
+  }
+  {
+    OpDef def;
+    def.name = "WhileGrad";
+    def.num_inputs = OpDef::kVariadic;
+    def.is_stateful = true;
     def.differentiable = true;
     def.shape_fn = [](InferenceContext*) { return Status::OK(); };
     TFE_CHECK(OpRegistry::Global()->Register(std::move(def)).ok());
   }
   kernels::RegisterKernel("Cond", CondKernel);
   kernels::RegisterKernel("While", WhileKernel);
+  kernels::RegisterKernel("WhileGrad", WhileGradKernel);
   TFE_CHECK(GradientRegistry::Global()->Register("Cond", CondGradImpl).ok());
+  TFE_CHECK(GradientRegistry::Global()->Register("While", WhileGradImpl).ok());
+  // Second-order While gradients are a loud Unimplemented error, never a
+  // silent zero.
+  TFE_CHECK(GradientRegistry::Global()
+                ->Register("WhileGrad",
+                           [](const TapeEntry&, const std::vector<Tensor>&)
+                               -> StatusOr<std::vector<Tensor>> {
+                             return Unimplemented(
+                                 "second-order gradients through While are "
+                                 "not supported");
+                           })
+                .ok());
 }
 
 }  // namespace tfe

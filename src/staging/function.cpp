@@ -152,7 +152,14 @@ StatusOr<std::shared_ptr<GraphFunction>> Function::Trace(
     return Trace(args, non_tensor_args, /*allow_variable_creation=*/false);
   }
 
+  // Snapshot the trace before optimization: autodiff differentiates the
+  // program as written so gradient accumulation matches the eager tape
+  // bitwise (see GraphFunction::set_autodiff_source).
+  auto pristine =
+      std::make_shared<GraphFunction>(graph_fn->name() + "__as_written");
+  TFE_RETURN_IF_ERROR(CloneGraphFunctionInto(*graph_fn, *pristine));
   TFE_RETURN_IF_ERROR(passes::Optimize(*graph_fn));
+  graph_fn->set_autodiff_source(std::move(pristine));
   TFE_RETURN_IF_ERROR(ctx->functions().Register(graph_fn));
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "api/tfe.h"
+#include "profiler/metrics.h"
 #include "staging/control_flow.h"
 #include "state/hash_table.h"
 #include "models/optimizers.h"
@@ -181,6 +182,324 @@ TEST(WhileTest, MaximumIterationsGuards) {
   EXPECT_THROW(
       ops::while_loop(always, id_body, {ops::scalar<float>(1.0f)}, 10),
       RuntimeError);
+}
+
+TEST(WhileGradTest, BitwiseMatchesUnrolledTapeGradient) {
+  // The acceptance bar for the While gradient: replaying the staged body
+  // backward per iteration (with capture grads threaded through zero-seeded
+  // accumulators) must reproduce the eager tape's gradient BITWISE, because
+  // both reduce to the same flat left-fold of per-op contributions in the
+  // same reverse order. `w` is used twice per iteration so accumulation
+  // order inside an iteration matters too.
+  Tensor w = ops::scalar<float>(1.1f);
+  Tensor b = ops::scalar<float>(0.25f);
+  const int kIters = 5;
+  auto step = [&](const Tensor& x) {
+    return ops::add(ops::add(ops::mul(x, w), b),
+                    ops::mul(ops::square(x), w));
+  };
+
+  // Unrolled baseline: the same body math applied eagerly, op by op, under
+  // a tape.
+  Tensor x0 = ops::scalar<float>(0.5f);
+  GradientTape unrolled;
+  unrolled.watch(x0);
+  unrolled.watch(w);
+  unrolled.watch(b);
+  Tensor x = x0;
+  for (int i = 0; i < kIters; ++i) x = step(x);
+  unrolled.StopRecording();
+  std::vector<Tensor> want =
+      std::move(unrolled.gradient(x, {x0, w, b})).value();
+
+  // Staged: one While node over vars {counter, x}; w and b ride along as
+  // value captures of the body function.
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], ops::fill(DType::kFloat32, {}, 5.0))};
+      },
+      "wg_below");
+  Function body = function(
+      [&](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::add(vars[0], ops::fill(DType::kFloat32, {}, 1.0)),
+                step(vars[1])};
+      },
+      "wg_body");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::while_loop(below, body, {args[0], args[1]})[1]};
+      },
+      "wg_staged");
+  GradientTape tape;
+  tape.watch(x0);
+  tape.watch(w);
+  tape.watch(b);
+  Tensor y = staged({ops::scalar<float>(0.0f), x0})[0];
+  tape.StopRecording();
+  std::vector<Tensor> got = std::move(tape.gradient(y, {x0, w, b})).value();
+
+  EXPECT_EQ(y.scalar<float>(), x.scalar<float>());  // forward parity first
+  ASSERT_EQ(got.size(), want.size());
+  const char* names[] = {"dx0", "dw", "db"};
+  for (size_t i = 0; i < got.size(); ++i) {
+    float g = got[i].scalar<float>();
+    float e = want[i].scalar<float>();
+    EXPECT_EQ(g, e) << names[i] << " diverged: staged=" << g
+                    << " unrolled=" << e;
+  }
+}
+
+TEST(WhileGradTest, DataDependentIterationCount) {
+  // One staged trace; the gradient replays however many iterations the
+  // forward pass actually ran — 2^N with N decided at execution time.
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], vars[1])};  // {value, limit}
+      },
+      "wgd_below");
+  Function body = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::mul(vars[0], ops::fill(DType::kFloat32, {}, 2.0)),
+                vars[1]};
+      },
+      "wgd_body");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::while_loop(below, body, {args[0], args[1]})[0]};
+      },
+      "wgd_staged");
+  struct Case { float limit; float expected_grad; };
+  for (const Case& c : {Case{10.0f, 16.0f}, Case{1000.0f, 1024.0f}}) {
+    Tensor x = ops::scalar<float>(1.0f);
+    GradientTape tape;
+    tape.watch(x);
+    Tensor y = staged({x, ops::scalar<float>(c.limit)})[0];
+    tape.StopRecording();
+    Tensor grad = std::move(tape.gradient(y, {x})).value()[0];
+    EXPECT_FLOAT_EQ(grad.scalar<float>(), c.expected_grad)
+        << "limit=" << c.limit;
+  }
+  EXPECT_EQ(staged.num_traces(), 1);
+}
+
+TEST(WhileGradTest, OneGraphTrainingStep) {
+  // Forward while_loop AND its gradient staged into a single graph
+  // function: the tape lives inside the trace, so tape.gradient records a
+  // WhileGrad node instead of running one. `w` is threaded as a loop
+  // variable (passes through each iteration unchanged), exercising
+  // loop-variable gradient accumulation across iterations.
+  const int kIters = 4;
+  auto step = [](const Tensor& x, const Tensor& w) {
+    return ops::add(ops::mul(x, w), ops::mul(ops::square(x), w));
+  };
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], ops::fill(DType::kFloat32, {}, 4.0))};
+      },
+      "wgt_below");
+  Function body = function(
+      [&](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::add(vars[0], ops::fill(DType::kFloat32, {}, 1.0)),
+                step(vars[1], vars[2]), vars[2]};
+      },
+      "wgt_body");
+  Function train = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        // args = {x0, w}
+        GradientTape tape;
+        tape.watch(args[0]);
+        tape.watch(args[1]);
+        Tensor zero = ops::fill(DType::kFloat32, {}, 0.0);
+        std::vector<Tensor> out =
+            ops::while_loop(below, body, {zero, args[0], args[1]});
+        Tensor y = out[1];
+        tape.StopRecording();
+        std::vector<Tensor> grads =
+            std::move(tape.gradient(y, {args[0], args[1]})).value();
+        return {y, grads[0], grads[1]};
+      },
+      "wgt_train");
+
+  auto eager_reference = [&](float x0v, float wv) {
+    Tensor x0 = ops::scalar<float>(x0v);
+    Tensor w = ops::scalar<float>(wv);
+    GradientTape tape;
+    tape.watch(x0);
+    tape.watch(w);
+    Tensor x = x0;
+    for (int i = 0; i < kIters; ++i) x = step(x, w);
+    tape.StopRecording();
+    std::vector<Tensor> grads =
+        std::move(tape.gradient(x, {x0, w})).value();
+    return std::vector<float>{x.scalar<float>(), grads[0].scalar<float>(),
+                              grads[1].scalar<float>()};
+  };
+
+  struct Case { float x0, w; };
+  for (const Case& c : {Case{0.5f, 1.1f}, Case{0.25f, 0.9f}}) {
+    std::vector<Tensor> got =
+        train({ops::scalar<float>(c.x0), ops::scalar<float>(c.w)});
+    std::vector<float> want = eager_reference(c.x0, c.w);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i].scalar<float>(), want[i])
+          << "output " << i << " at x0=" << c.x0;
+    }
+  }
+  EXPECT_EQ(train.num_traces(), 1);  // forward + backward in ONE graph
+}
+
+TEST(WhileTest, LoopMetricsAndBodyCacheHits) {
+  profiler::Counter* iters =
+      profiler::Metrics().GetCounter("loop.iterations");
+  profiler::Counter* hits =
+      profiler::Metrics().GetCounter("loop.body_cache_hit");
+  uint64_t iters_before = iters->value();
+  uint64_t hits_before = hits->value();
+
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], ops::fill(DType::kFloat32, {}, 8.0))};
+      },
+      "lm_below");
+  Function body = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::add(vars[0], ops::fill(DType::kFloat32, {}, 1.0))};
+      },
+      "lm_body");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return ops::while_loop(below, body, {args[0]});
+      },
+      "lm_staged");
+  Tensor out = staged({ops::scalar<float>(0.0f)})[0];
+  EXPECT_FLOAT_EQ(out.scalar<float>(), 8.0f);
+
+  uint64_t ran = iters->value() - iters_before;
+  uint64_t hit = hits->value() - hits_before;
+  EXPECT_EQ(ran, 8u);
+  // The body's execution variant is resolved once, before the loop; at
+  // worst the first iteration pays the build, all later ones hit (the
+  // >=90% steady-state acceptance bar).
+  EXPECT_GE(hit, ran - 1);
+}
+
+TEST(RecursionTest, FactorialViaRecursiveCall) {
+  // The recursive self-call records against the *declared* signature —
+  // "fact_rt" is not in the library yet while its own body is tracing.
+  std::vector<TypeAndShape> sig = {{DType::kFloat32, Shape({})}};
+  auto fact = DefineRecursiveFunction(
+      "fact_rt", sig, sig,
+      [&](const std::vector<Tensor>& args)
+          -> StatusOr<std::vector<Tensor>> {
+        // Constants come from ops::fill so the branches stay capture-free
+        // (an eager constant would become a capture, which recursive
+        // functions reject).
+        Function base = function(
+            [](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+              return {ops::fill(DType::kFloat32, {}, 1.0)};
+            },
+            "fact_rt_base");
+        Function rec = function(
+            [&](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+              Tensor one = ops::fill(DType::kFloat32, {}, 1.0);
+              Tensor smaller = ops::call("fact_rt", {ops::sub(a[0], one)},
+                                         {{DType::kFloat32, Shape({})}})[0];
+              return {ops::mul(a[0], smaller)};
+            },
+            "fact_rt_rec");
+        Tensor pred =
+            ops::greater(args[0], ops::fill(DType::kFloat32, {}, 1.0));
+        return ops::cond(pred, rec, base, {args[0]});
+      });
+  ASSERT_TRUE(fact.ok()) << fact.status().message();
+
+  Tensor five = ops::scalar<float>(5.0f);
+  Tensor out = ops::call("fact_rt", {five}, {{DType::kFloat32, Shape({})}})[0];
+  EXPECT_FLOAT_EQ(out.scalar<float>(), 120.0f);
+  Tensor one = ops::scalar<float>(1.0f);
+  EXPECT_FLOAT_EQ(
+      ops::call("fact_rt", {one}, {{DType::kFloat32, Shape({})}})[0]
+          .scalar<float>(),
+      1.0f);
+}
+
+TEST(RecursionTest, MutualRecursion) {
+  // is_even / is_odd defined in terms of each other; the first definition
+  // calls a sibling that does not exist yet.
+  std::vector<TypeAndShape> sig = {{DType::kFloat32, Shape({})}};
+  auto parity_body = [](const char* other, double base_value) {
+    return [other, base_value](const std::vector<Tensor>& args)
+               -> StatusOr<std::vector<Tensor>> {
+      Function base = function(
+          [base_value](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+            return {ops::fill(DType::kFloat32, {}, base_value)};
+          },
+          std::string("parity_base_") + other);
+      Function rec = function(
+          [other](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+            Tensor one = ops::fill(DType::kFloat32, {}, 1.0);
+            return {ops::call(other, {ops::sub(a[0], one)},
+                              {{DType::kFloat32, Shape({})}})[0]};
+          },
+          std::string("parity_rec_") + other);
+      Tensor pred =
+          ops::greater(args[0], ops::fill(DType::kFloat32, {}, 0.0));
+      return ops::cond(pred, rec, base, {args[0]});
+    };
+  };
+  auto is_even =
+      DefineRecursiveFunction("rt_is_even", sig, sig,
+                              parity_body("rt_is_odd", 1.0));
+  ASSERT_TRUE(is_even.ok()) << is_even.status().message();
+  auto is_odd =
+      DefineRecursiveFunction("rt_is_odd", sig, sig,
+                              parity_body("rt_is_even", 0.0));
+  ASSERT_TRUE(is_odd.ok()) << is_odd.status().message();
+
+  auto run = [](const char* name, float n) {
+    return ops::call(name, {ops::scalar<float>(n)},
+                     {{DType::kFloat32, Shape({})}})[0]
+        .scalar<float>();
+  };
+  EXPECT_FLOAT_EQ(run("rt_is_even", 6.0f), 1.0f);
+  EXPECT_FLOAT_EQ(run("rt_is_even", 3.0f), 0.0f);
+  EXPECT_FLOAT_EQ(run("rt_is_odd", 7.0f), 1.0f);
+  EXPECT_FLOAT_EQ(run("rt_is_odd", 0.0f), 0.0f);
+}
+
+TEST(RecursionTest, DepthOverflowPoisonsOutputs) {
+  // No base case: execution recurses until TFE_MAX_CALL_DEPTH and the
+  // FailedPrecondition poisons the output like any deferred kernel error.
+  std::vector<TypeAndShape> sig = {{DType::kFloat32, Shape({})}};
+  auto inf = DefineRecursiveFunction(
+      "rt_infinite", sig, sig,
+      [](const std::vector<Tensor>& args) -> StatusOr<std::vector<Tensor>> {
+        return std::vector<Tensor>{
+            ops::call("rt_infinite", {args[0]},
+                      {{DType::kFloat32, Shape({})}})[0]};
+      });
+  ASSERT_TRUE(inf.ok()) << inf.status().message();
+  EXPECT_THROW(
+      {
+        Tensor out = ops::call("rt_infinite", {ops::scalar<float>(1.0f)},
+                               {{DType::kFloat32, Shape({})}})[0];
+        out.scalar<float>();
+      },
+      RuntimeError);
+}
+
+TEST(RecursionTest, CapturingRecursiveFunctionRejected) {
+  // Implicit value captures would change the recursive call's signature
+  // mid-trace; they must be passed as explicit arguments instead.
+  Tensor outside = ops::scalar<float>(2.0f);
+  std::vector<TypeAndShape> sig = {{DType::kFloat32, Shape({})}};
+  auto bad = DefineRecursiveFunction(
+      "rt_capturing", sig, sig,
+      [&](const std::vector<Tensor>& args) -> StatusOr<std::vector<Tensor>> {
+        return std::vector<Tensor>{ops::mul(args[0], outside)};
+      });
+  EXPECT_FALSE(bad.ok());
 }
 
 TEST(HashTableTest, InsertLookupSize) {

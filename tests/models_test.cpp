@@ -211,5 +211,68 @@ TEST(L2hmcTest, StagedTrainingReducesLossOnAverage) {
   EXPECT_EQ(staged_step.num_traces(), 1);
 }
 
+TEST(L2hmcTest, StagedLoopTransitionBitwiseMatchesUnrolled) {
+  // The staged While body is the same LeapfrogStep the host loop runs, so
+  // with deterministic sample draws the two integrators must agree
+  // BITWISE, not just approximately.
+  models::L2hmcDynamics::Config config;
+  config.leapfrog_steps = 4;
+  config.step_size = 0.01;
+  config.sample_seed = 91;
+  models::L2hmcDynamics unrolled(config);
+  config.staged_loop = true;
+  models::L2hmcDynamics staged(config);  // same seed -> identical weights
+
+  Tensor x = ops::random_normal({6, 2}, 0, 1, /*seed=*/18);
+  auto a = unrolled.Transition(x);
+  auto b = staged.Transition(x);
+  std::vector<float> ax = tensor_util::ToVector<float>(a.x_out);
+  std::vector<float> bx = tensor_util::ToVector<float>(b.x_out);
+  ASSERT_EQ(ax.size(), bx.size());
+  for (size_t i = 0; i < ax.size(); ++i) EXPECT_EQ(ax[i], bx[i]) << i;
+  std::vector<float> ap = tensor_util::ToVector<float>(a.accept_prob);
+  std::vector<float> bp = tensor_util::ToVector<float>(b.accept_prob);
+  ASSERT_EQ(ap.size(), bp.size());
+  for (size_t i = 0; i < ap.size(); ++i) EXPECT_EQ(ap[i], bp[i]) << i;
+}
+
+TEST(L2hmcTest, StagedLoopTrainStepOneGraphMatchesUnrolled) {
+  // With staged_loop the whole training step — forward While, the While
+  // gradient's per-iteration backward replay, and the SGD updates — stages
+  // into ONE graph function, and both the loss and the updated weights
+  // must match the unrolled eager step bitwise.
+  models::L2hmcDynamics::Config config;
+  config.leapfrog_steps = 3;
+  config.step_size = 0.01;
+  config.sample_seed = 92;
+  models::L2hmcDynamics unrolled(config);
+  config.staged_loop = true;
+  models::L2hmcDynamics staged(config);
+
+  Function staged_step = function(
+      [&staged](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {staged.TrainStep(args[0], 1e-3)};
+      },
+      "l2hmc_staged_loop_train");
+
+  Tensor x = ops::random_normal({8, 2}, 0, 1, /*seed=*/19);
+  float eager_loss = unrolled.TrainStep(x, 1e-3).scalar<float>();
+  float staged_loss = staged_step({x})[0].scalar<float>();
+  EXPECT_EQ(eager_loss, staged_loss);
+  EXPECT_EQ(staged_step.num_traces(), 1);
+
+  std::vector<Variable> uvars = unrolled.variables();
+  std::vector<Variable> svars = staged.variables();
+  ASSERT_EQ(uvars.size(), svars.size());
+  for (size_t i = 0; i < uvars.size(); ++i) {
+    std::vector<float> uv = tensor_util::ToVector<float>(uvars[i].value());
+    std::vector<float> sv = tensor_util::ToVector<float>(svars[i].value());
+    ASSERT_EQ(uv.size(), sv.size());
+    for (size_t j = 0; j < uv.size(); ++j) {
+      EXPECT_EQ(uv[j], sv[j]) << "variable " << i << " element " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tfe

@@ -4,6 +4,7 @@
 #include "api/tfe.h"
 #include "graph/serialization.h"
 #include "runtime/eager_context.h"
+#include "staging/control_flow.h"
 
 namespace tfe {
 namespace {
@@ -167,6 +168,175 @@ TEST(SerializationTest, BundleCarriesNestedCallees) {
   auto outputs = production.RunPrimitive("Call", inputs, attrs, "");
   ASSERT_TRUE(outputs.ok());
   EXPECT_TRUE(tensor_util::AllClose(expected, (*outputs)[0]));
+}
+
+TEST(SerializationTest, CondBundleRoundTrips) {
+  // A traced Cond node references its branch functions by name; the bundle
+  // must carry both so a fresh runtime can take either branch.
+  Function double_it = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::mul(args[0], ops::fill(DType::kFloat32, {}, 2.0))};
+      },
+      "ser_cond_then");
+  Function negate_it = function(
+      [](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return {ops::neg(args[0])};
+      },
+      "ser_cond_else");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        Tensor pred = ops::less(ops::fill(DType::kFloat32, {}, 0.0), args[0]);
+        return ops::cond(pred, double_it, negate_it, {args[0]});
+      },
+      "ser_cond_outer");
+  Tensor pos = ops::scalar<float>(3.0f);
+  Tensor neg = ops::scalar<float>(-3.0f);
+  Tensor want_pos = staged({pos})[0];
+  ASSERT_EQ(staged.num_traces(), 1);
+
+  auto concrete = staged.GetConcreteFunction({pos});
+  ASSERT_TRUE(concrete.ok());
+  auto serialized = SerializeFunctionBundle(
+      **concrete, EagerContext::Global()->functions());
+  ASSERT_TRUE(serialized.ok());
+  auto bundle = DeserializeFunctionBundle(*serialized);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_EQ(bundle->size(), 3u);  // outer + both branches
+
+  EagerContext::Options options;
+  options.register_sim_gpu = false;
+  options.register_sim_tpu = false;
+  EagerContext production(options);
+  for (const auto& fn : *bundle) {
+    ASSERT_TRUE(production.functions().Register(fn).ok());
+  }
+  AttrMap attrs;
+  attrs["function"] = AttrValue(bundle->front()->name());
+  auto run = [&](const Tensor& x) {
+    std::vector<Tensor> inputs = {x};
+    for (const Capture& capture : bundle->front()->captures()) {
+      inputs.push_back(capture.tensor);
+    }
+    auto out = production.RunPrimitive("Call", inputs, attrs, "");
+    EXPECT_TRUE(out.ok()) << out.status().message();
+    return (*out)[0];
+  };
+  EXPECT_FLOAT_EQ(run(pos).scalar<float>(), want_pos.scalar<float>());
+  EXPECT_FLOAT_EQ(run(neg).scalar<float>(), 3.0f);  // untaken-at-trace branch
+}
+
+TEST(SerializationTest, WhileBundleRoundTrips) {
+  // The While node references cond/body functions; the deserialized loop
+  // must still iterate a data-dependent number of times.
+  Function below = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::less(vars[0], vars[1])};
+      },
+      "ser_while_cond");
+  Function twice = function(
+      [](const std::vector<Tensor>& vars) -> std::vector<Tensor> {
+        return {ops::mul(vars[0], ops::fill(DType::kFloat32, {}, 2.0)),
+                vars[1]};
+      },
+      "ser_while_body");
+  Function staged = function(
+      [&](const std::vector<Tensor>& args) -> std::vector<Tensor> {
+        return ops::while_loop(below, twice, {args[0], args[1]});
+      },
+      "ser_while_outer");
+  Tensor one = ops::scalar<float>(1.0f);
+  Tensor limit = ops::scalar<float>(10.0f);
+  EXPECT_FLOAT_EQ(staged({one, limit})[0].scalar<float>(), 16.0f);
+
+  auto concrete = staged.GetConcreteFunction({one, limit});
+  ASSERT_TRUE(concrete.ok());
+  auto serialized = SerializeFunctionBundle(
+      **concrete, EagerContext::Global()->functions());
+  ASSERT_TRUE(serialized.ok());
+  auto bundle = DeserializeFunctionBundle(*serialized);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_EQ(bundle->size(), 3u);  // outer + cond + body
+
+  EagerContext::Options options;
+  options.register_sim_gpu = false;
+  options.register_sim_tpu = false;
+  EagerContext production(options);
+  for (const auto& fn : *bundle) {
+    ASSERT_TRUE(production.functions().Register(fn).ok());
+  }
+  AttrMap attrs;
+  attrs["function"] = AttrValue(bundle->front()->name());
+  auto run = [&](float init, float lim) {
+    std::vector<Tensor> inputs = {ops::scalar<float>(init),
+                                  ops::scalar<float>(lim)};
+    for (const Capture& capture : bundle->front()->captures()) {
+      inputs.push_back(capture.tensor);
+    }
+    auto out = production.RunPrimitive("Call", inputs, attrs, "");
+    EXPECT_TRUE(out.ok()) << out.status().message();
+    return (*out)[0].scalar<float>();
+  };
+  EXPECT_FLOAT_EQ(run(1.0f, 10.0f), 16.0f);
+  EXPECT_FLOAT_EQ(run(1.0f, 100.0f), 128.0f);  // more iterations than traced
+}
+
+TEST(SerializationTest, RecursiveCallBundleRoundTrips) {
+  // A recursive function's graph Calls itself by name: the bundle's
+  // transitive-closure walk must terminate on the cycle and the restored
+  // function must recurse in the fresh runtime.
+  std::vector<TypeAndShape> sig = {{DType::kFloat32, Shape({})}};
+  auto fact = DefineRecursiveFunction(
+      "ser_factorial", sig, sig,
+      [](const std::vector<Tensor>& args)
+          -> StatusOr<std::vector<Tensor>> {
+        Tensor n = args[0];
+        Function base = function(
+            [](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+              return {ops::fill(DType::kFloat32, {}, 1.0)};
+            },
+            "ser_fact_base");
+        Function recurse = function(
+            [](const std::vector<Tensor>& a) -> std::vector<Tensor> {
+              Tensor n_minus_1 =
+                  ops::sub(a[0], ops::fill(DType::kFloat32, {}, 1.0));
+              std::vector<Tensor> rec = ops::call(
+                  "ser_factorial", {n_minus_1},
+                  {{DType::kFloat32, Shape({})}});
+              return {ops::mul(a[0], rec[0])};
+            },
+            "ser_fact_recurse");
+        Tensor is_base =
+            ops::less(n, ops::fill(DType::kFloat32, {}, 1.5));
+        return ops::cond(is_base, base, recurse, {n});
+      });
+  ASSERT_TRUE(fact.ok()) << fact.status().message();
+
+  auto serialized = SerializeFunctionBundle(
+      **fact, EagerContext::Global()->functions());
+  ASSERT_TRUE(serialized.ok()) << serialized.status().message();
+  auto bundle = DeserializeFunctionBundle(*serialized);
+  ASSERT_TRUE(bundle.ok());
+  // factorial + cond branches (+ their callees, if any): the self-reference
+  // must not duplicate the root.
+  int roots = 0;
+  for (const auto& fn : *bundle) {
+    if (fn->name() == "ser_factorial") ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+
+  EagerContext::Options options;
+  options.register_sim_gpu = false;
+  options.register_sim_tpu = false;
+  EagerContext production(options);
+  for (const auto& fn : *bundle) {
+    ASSERT_TRUE(production.functions().Register(fn).ok());
+  }
+  AttrMap attrs;
+  attrs["function"] = AttrValue("ser_factorial");
+  auto out = production.RunPrimitive(
+      "Call", {ops::scalar<float>(5.0f)}, attrs, "");
+  ASSERT_TRUE(out.ok()) << out.status().message();
+  EXPECT_FLOAT_EQ((*out)[0].scalar<float>(), 120.0f);
 }
 
 TEST(SerializationTest, BundleRejectsGarbage) {
