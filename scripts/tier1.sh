@@ -40,7 +40,7 @@ if [[ "$MODE" == "--profile" ]]; then
   echo "==== profile smoke: bench_fusion under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_trace.json" ./bench/bench_fusion)
   python3 scripts/check_trace.py --require-reduce-fusion --require-allocator \
-    --require-dag-fusion "$TRACE"
+    --require-dag-fusion --require-memory-plan "$TRACE"
   REMOTE_TRACE="build/profile_smoke_remote_trace.json"
   echo "==== profile smoke: bench_distrib under TFE_PROFILE ===="
   (cd build && TFE_PROFILE="profile_smoke_remote_trace.json" \
@@ -112,9 +112,12 @@ if [[ "$MODE" == "--tier2" ]]; then
   # sanitizers still catch lifetime bugs there, and the suite is small
   # enough to afford it. The arena would recycle blocks and hide
   # use-after-free behind reuse, so the sweep pins every buffer to a fresh
-  # system allocation for byte-level ASan/TSan visibility.
+  # system allocation for byte-level ASan/TSan visibility. The memory plan
+  # would likewise pack intermediates into one slab and hide per-tensor
+  # bounds; disable it so every staged intermediate is its own allocation.
   FILTER='*'
   export TFE_ALLOCATOR=system
+  export TFE_MEMORY_PLAN=off
 else
   # Concurrency tests only: the async queues, the drain fuser, the
   # threadpool-parallel kernels, the remote dispatch path, the allocator +
@@ -122,7 +125,7 @@ else
   # staged control-flow paths (While iteration reuses cached execution
   # variants across the executor pool; recursion runs depth-capped nested
   # calls).
-  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*:Serving*:While*:WhileGrad*:Recursion*'
+  FILTER='Async*:*Async*:Fusion*:ParallelKernels*:MicroProgram*:Profiler*:Remote*:Cluster*:Allocator*:Donation*:ProgramCache*:Serving*:While*:WhileGrad*:Recursion*:MemoryPlan*'
 fi
 
 echo "==== tsan: filter=$FILTER ===="

@@ -15,6 +15,10 @@
 
 namespace tfe {
 
+namespace memplan {
+class MemoryPlan;
+}  // namespace memplan
+
 // A value the trace closed over. Lexical captures are "silently passed to
 // the graph function at call-time, without programmer intervention" (§4.6):
 // eager tensors are captured by value, variables by reference (their
@@ -78,6 +82,15 @@ class GraphFunction {
   std::shared_ptr<GraphFunction> GetOrBuildExecutionVariant(
       const std::function<std::shared_ptr<GraphFunction>()>& build);
 
+  // Cached static memory plan over *this* function's node order (built on
+  // the execution variant the executor actually runs — same lifecycle as the
+  // variant above; null, also cached, when nothing in the graph is
+  // plannable). Const because the executor only holds const references:
+  // the plan is derived state, invisible to autodiff and serialization.
+  std::shared_ptr<const memplan::MemoryPlan> GetOrBuildMemoryPlan(
+      const std::function<std::shared_ptr<const memplan::MemoryPlan>()>&
+          build) const;
+
   // Pristine pre-optimization snapshot of the trace, attached by the tracer
   // before graph passes run. Autodiff builds forward/backward variants from
   // this graph — never the optimized one — so gradient accumulation keeps
@@ -104,6 +117,10 @@ class GraphFunction {
   bool variant_ready_ = false;
   std::shared_ptr<GraphFunction> execution_variant_;
   std::shared_ptr<const GraphFunction> autodiff_source_;
+
+  mutable std::mutex plan_mu_;
+  mutable bool plan_ready_ = false;
+  mutable std::shared_ptr<const memplan::MemoryPlan> memory_plan_;
 };
 
 // Structural copy of `source` — nodes (ids preserved), arg nodes, captures,
